@@ -1,0 +1,141 @@
+// Command nocap-prove builds a benchmark circuit, generates a real
+// Spartan+Orion proof with this repository's prover, verifies it, and
+// reports statement/proof statistics.
+//
+// Usage:
+//
+//	nocap-prove -circuit auction -n 64
+//	nocap-prove -circuit aes
+//	nocap-prove -circuit synthetic -n 65536 -reps 3
+//	nocap-prove -circuit rsa -out proof.bin      # save the proof
+//	nocap-prove -circuit rsa -in proof.bin       # verify a saved proof
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nocap"
+)
+
+func buildCircuit(name string, n int) *nocap.Benchmark {
+	switch name {
+	case "aes":
+		key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+			0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
+		blocks := n
+		if blocks < 1 {
+			blocks = 1
+		}
+		pt := make([]byte, 16*blocks)
+		for i := range pt {
+			pt[i] = byte(i)
+		}
+		return nocap.AES(key, pt)
+	case "sha":
+		blocks := n
+		if blocks < 1 {
+			blocks = 1
+		}
+		data := make([]byte, 64*blocks)
+		for i := range data {
+			data[i] = byte(i * 3)
+		}
+		return nocap.SHA256(data)
+	case "rsa":
+		sq := n
+		if sq < 1 {
+			sq = 4
+		}
+		return nocap.RSA(sq, 8, 42)
+	case "auction":
+		bids := make([]uint64, max(n, 4))
+		for i := range bids {
+			bids[i] = uint64((i*2654435761 + 12345) % (1 << 20))
+		}
+		return nocap.Auction(bids)
+	case "litmus":
+		return nocap.Litmus(max(n, 4), 8, 42)
+	case "synthetic":
+		return nocap.Synthetic(max(n, 64))
+	}
+	return nil
+}
+
+func main() {
+	circuit := flag.String("circuit", "auction", "aes|sha|rsa|auction|litmus|synthetic")
+	n := flag.Int("n", 16, "circuit size parameter (blocks/bids/txns/constraints)")
+	reps := flag.Int("reps", 1, "soundness repetitions (paper uses 3)")
+	zk := flag.Bool("zk", true, "zero-knowledge masking")
+	recompute := flag.Bool("recompute", false, "use the §V-A recomputation prover (identical proofs, different memory profile)")
+	out := flag.String("out", "", "write the serialized proof to this file")
+	in := flag.String("in", "", "verify a serialized proof from this file instead of proving")
+	flag.Parse()
+
+	bm := buildCircuit(*circuit, *n)
+	if bm == nil {
+		fmt.Fprintf(os.Stderr, "unknown circuit %q\n", *circuit)
+		os.Exit(1)
+	}
+	stats := bm.Inst.Stats()
+	fmt.Printf("circuit %s: %d constraints, %d variables, %d nonzeros\n",
+		bm.Name, stats.Constraints, stats.Vars, stats.NNZ)
+
+	params := nocap.DefaultParams()
+	params.Reps = *reps
+	params.PCS.ZK = *zk
+	params.Recompute = *recompute
+	if half := bm.Inst.NumVars() / 2; params.PCS.Rows > half {
+		params.PCS.Rows = half
+	}
+
+	if *in != "" {
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "read proof: %v\n", err)
+			os.Exit(1)
+		}
+		proof, err := nocap.UnmarshalProof(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "decode proof: %v\n", err)
+			os.Exit(1)
+		}
+		if err := nocap.Verify(params, bm.Inst, bm.IO, proof); err != nil {
+			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("proof from %s verified (%d bytes)\n", *in, len(data))
+		return
+	}
+
+	start := time.Now()
+	proof, err := nocap.Prove(params, bm.Inst, bm.IO, bm.Witness)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "prove: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("proved in %v, proof %.2f MB\n", time.Since(start).Round(time.Millisecond),
+		float64(proof.SizeBytes())/1e6)
+
+	if *out != "" {
+		data, err := nocap.MarshalProof(proof)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "write: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("proof written to %s (%d bytes)\n", *out, len(data))
+	}
+
+	start = time.Now()
+	if err := nocap.Verify(params, bm.Inst, bm.IO, proof); err != nil {
+		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("verified in %v\n", time.Since(start).Round(time.Millisecond))
+}

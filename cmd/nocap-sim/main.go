@@ -1,0 +1,72 @@
+// Command nocap-sim drives the cycle-level NoCap simulator directly:
+// simulate a proof at paper scale, inspect per-task timing, traffic,
+// power, and area, and sweep hardware parameters.
+//
+// Usage:
+//
+//	nocap-sim -logn 24
+//	nocap-sim -logn 30 -reps 3 -recompute=false
+//	nocap-sim -logn 24 -mul-lanes 1024 -hbm 0.5
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"nocap"
+	"nocap/internal/isa"
+)
+
+func main() {
+	logN := flag.Int("logn", 24, "log2 of padded constraint count")
+	reps := flag.Int("reps", 3, "soundness repetitions")
+	recompute := flag.Bool("recompute", true, "sumcheck recomputation optimization")
+	mulLanes := flag.Int("mul-lanes", 2048, "multiplier/adder lanes")
+	hashLanes := flag.Int("hash-lanes", 128, "hash FU lanes")
+	nttLanes := flag.Int("ntt-lanes", 64, "NTT FU lanes")
+	rfMB := flag.Float64("rf-mb", 8, "register file size in MB")
+	hbm := flag.Float64("hbm", 1.0, "HBM bandwidth in TB/s")
+	flag.Parse()
+
+	cfg := nocap.DefaultHardware()
+	cfg.MulLanes, cfg.AddLanes = *mulLanes, *mulLanes
+	cfg.HashLanes = *hashLanes
+	cfg.NTTLanes = *nttLanes
+	cfg.RegFileBytes = int64(*rfMB * float64(1<<20))
+	cfg.MemBytesPerCycle = 1024 * *hbm
+
+	opts := nocap.DefaultProtocol()
+	opts.Reps = *reps
+	opts.Recompute = *recompute
+
+	res := nocap.Simulate(cfg, *logN, opts)
+	fmt.Printf("NoCap simulation: 2^%d constraints, reps=%d, recompute=%v\n",
+		*logN, *reps, *recompute)
+	fmt.Printf("prover time: %.3f ms (%d cycles)\n", res.Seconds()*1e3, res.Cycles)
+	fmt.Printf("HBM traffic: %.2f GB (%.0f GB/s average)\n",
+		float64(res.MemBytes)/1e9, float64(res.MemBytes)/res.Seconds()/1e9)
+
+	fmt.Println("\nper-task timing:")
+	fmt.Printf("  %-11s %14s %8s %12s %s\n", "task", "cycles", "share", "traffic", "bottleneck")
+	for _, t := range res.Tasks {
+		spill := ""
+		if t.Spilled {
+			spill = " (spilled)"
+		}
+		fmt.Printf("  %-11s %14d %7.1f%% %10.2fGB %s%s\n",
+			t.Name, t.Cycles, 100*float64(t.Cycles)/float64(res.Cycles),
+			float64(t.MemBytes)/1e9, t.Bottleneck, spill)
+	}
+
+	fmt.Println("\nfunctional unit utilization:")
+	for fu := isa.FU(0); fu < isa.FUMem; fu++ {
+		fmt.Printf("  %-8s %5.1f%%\n", fu, 100*res.Utilization(fu))
+	}
+
+	p := nocap.Power(res)
+	a := nocap.Area(cfg)
+	fmt.Printf("\npower: %.1f W (FU %.1f, regfile %.1f, HBM %.1f)\n",
+		p.Total(), p.FU, p.RegFile, p.HBM)
+	fmt.Printf("area:  %.2f mm² (compute %.2f, memory system %.2f)\n",
+		a.Total(), a.Compute(), a.MemorySystem())
+}

@@ -1,0 +1,52 @@
+package nocap_test
+
+import (
+	"fmt"
+
+	"nocap"
+)
+
+// ExampleProve demonstrates the core prove/verify flow on a tiny
+// statement: knowledge of a square root.
+func ExampleProve() {
+	b := nocap.NewBuilder()
+	x := b.Secret(nocap.NewElement(6))
+	sq := b.Square(nocap.FromVar(x))
+	pub := b.Public(nocap.NewElement(36))
+	b.AssertEq(nocap.FromVar(sq), nocap.FromVar(pub))
+
+	inst, io, witness := b.Build()
+	proof, err := nocap.Prove(nocap.TestParams(), inst, io, witness)
+	if err != nil {
+		fmt.Println("prove failed:", err)
+		return
+	}
+	fmt.Println("verified:", nocap.Verify(nocap.TestParams(), inst, io, proof) == nil)
+	// Output: verified: true
+}
+
+// ExampleSimulate runs the cycle-level NoCap model at the paper's
+// 16M-constraint scale.
+func ExampleSimulate() {
+	res := nocap.Simulate(nocap.DefaultHardware(), 24, nocap.DefaultProtocol())
+	fmt.Printf("prover time: %.0f ms\n", res.Seconds()*1e3)
+	fmt.Printf("die area: %.1f mm²\n", nocap.Area(nocap.DefaultHardware()).Total())
+	// Output:
+	// prover time: 151 ms
+	// die area: 45.9 mm²
+}
+
+// ExampleMarshalProof shows proof serialization for transmission.
+func ExampleMarshalProof() {
+	bm := nocap.Synthetic(256)
+	params := nocap.TestParams()
+	proof, err := nocap.Prove(params, bm.Inst, bm.IO, bm.Witness)
+	if err != nil {
+		fmt.Println("prove failed:", err)
+		return
+	}
+	data, _ := nocap.MarshalProof(proof)
+	decoded, _ := nocap.UnmarshalProof(data)
+	fmt.Println("round trip verified:", nocap.Verify(params, bm.Inst, bm.IO, decoded) == nil)
+	// Output: round trip verified: true
+}

@@ -1,0 +1,46 @@
+// Quickstart: build a small circuit, prove knowledge of its witness with
+// the Spartan+Orion zk-SNARK, verify the proof, and simulate how fast
+// the NoCap accelerator would prove the same statement at paper scale.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nocap"
+)
+
+func main() {
+	// Statement: "I know x and y with x·y = 391 and x + y = 40"
+	// (i.e. the factors 17 and 23), without revealing x or y.
+	b := nocap.NewBuilder()
+	x := b.Secret(nocap.NewElement(17))
+	y := b.Secret(nocap.NewElement(23))
+	prod := b.Mul(nocap.FromVar(x), nocap.FromVar(y))
+
+	pubProd := b.Public(nocap.NewElement(391))
+	pubSum := b.Public(nocap.NewElement(40))
+	b.AssertEq(nocap.FromVar(prod), nocap.FromVar(pubProd))
+	b.AssertEq(nocap.AddLC(nocap.FromVar(x), nocap.FromVar(y)), nocap.FromVar(pubSum))
+
+	inst, io, witness := b.Build()
+	fmt.Printf("circuit: %d constraints, %d variables\n",
+		inst.NumConstraints(), inst.NumVars())
+
+	params := nocap.TestParams()
+	proof, err := nocap.Prove(params, inst, io, witness)
+	if err != nil {
+		log.Fatalf("prove: %v", err)
+	}
+	fmt.Printf("proof generated: %.1f KB\n", float64(proof.SizeBytes())/1e3)
+
+	if err := nocap.Verify(params, inst, io, proof); err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	fmt.Println("proof verified: the prover knows the factors of 391")
+
+	// The same protocol at paper scale on the NoCap accelerator.
+	res := nocap.Simulate(nocap.DefaultHardware(), 24, nocap.DefaultProtocol())
+	fmt.Printf("NoCap would prove a 16M-constraint statement in %.0f ms\n",
+		res.Seconds()*1e3)
+}

@@ -1,0 +1,93 @@
+// Verifiable machine learning (paper §I: "a server can use ZKPs to
+// prove to clients that a (secret) machine learning model achieves a
+// certain accuracy [90]"). A model owner holds a private linear
+// classifier; the evaluation set and the claimed accuracy are public.
+// The circuit scores every sample, compares predictions to labels, and
+// asserts that the number of correct predictions meets the claim — all
+// without revealing the model weights.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"nocap"
+)
+
+// The public evaluation set: two features per sample, binary labels.
+// (A toy "is x0 + 2·x1 large" concept with some noise.)
+var (
+	features = [][2]uint64{
+		{10, 80}, {90, 70}, {20, 10}, {5, 95}, {60, 60}, {15, 20},
+		{80, 90}, {25, 30}, {70, 20}, {10, 10}, {95, 95}, {30, 75},
+		{55, 10}, {5, 5}, {85, 40}, {40, 85},
+	}
+	labels = []uint64{1, 1, 0, 1, 1, 0, 1, 0, 0, 0, 1, 1, 0, 0, 1, 1}
+)
+
+// The private model: score = w0·x0 + w1·x1, predict 1 when score ≥ τ.
+const (
+	secretW0, secretW1 = 1, 2
+	threshold          = 120 // public decision threshold
+	claimedCorrect     = 15  // public accuracy claim: ≥15/16
+)
+
+func main() {
+	b := nocap.NewBuilder()
+
+	// Secret weights, range-checked to 8 bits.
+	w0 := b.Secret(nocap.NewElement(secretW0))
+	w1 := b.Secret(nocap.NewElement(secretW1))
+	b.ToBits(nocap.FromVar(w0), 8)
+	b.ToBits(nocap.FromVar(w1), 8)
+
+	var correctSum nocap.LC
+	for i, x := range features {
+		// score = w0·x0 + w1·x1 (features are public constants).
+		s0 := b.Mul(nocap.FromVar(w0), nocap.Const(nocap.NewElement(x[0])))
+		s1 := b.Mul(nocap.FromVar(w1), nocap.Const(nocap.NewElement(x[1])))
+		score := nocap.AddLC(nocap.FromVar(s0), nocap.FromVar(s1))
+		// pred = score ≥ τ  (i.e. NOT (score < τ)); scores fit 17 bits.
+		lt := b.LessThan(score, nocap.Const(nocap.NewElement(threshold)), 18)
+		// correct = label==1 ? pred : 1-pred, linear given the public label.
+		var correct nocap.LC
+		if labels[i] == 1 {
+			correct = nocap.SubLC(nocap.Const(nocap.NewElement(1)), nocap.FromVar(lt))
+		} else {
+			correct = nocap.FromVar(lt)
+		}
+		correctSum = nocap.AddLC(correctSum, correct)
+	}
+	// Assert Σ correct ≥ claimedCorrect.
+	tooFew := b.LessThan(correctSum, nocap.Const(nocap.NewElement(claimedCorrect)), 8)
+	b.AssertEq(nocap.FromVar(tooFew), nil)
+	claim := b.Public(nocap.NewElement(claimedCorrect))
+	_ = claim
+
+	inst, io, witness := b.Build()
+	fmt.Printf("accuracy circuit: %d constraints over %d samples\n",
+		inst.NumConstraints(), len(features))
+
+	params := nocap.TestParams()
+	start := time.Now()
+	proof, err := nocap.Prove(params, inst, io, witness)
+	if err != nil {
+		log.Fatalf("prove: %v", err)
+	}
+	fmt.Printf("model owner proves ≥%d/%d correct in %v (proof %.1f KB)\n",
+		claimedCorrect, len(features), time.Since(start).Round(time.Millisecond),
+		float64(proof.SizeBytes())/1e3)
+
+	if err := nocap.Verify(params, inst, io, proof); err != nil {
+		log.Fatalf("verify: %v", err)
+	}
+	fmt.Println("client verified the accuracy claim without seeing the weights")
+
+	// Paper framing: differentially-private training verification at
+	// ~2^28-constraint scale drops from 100 CPU-hours to under 30 NoCap
+	// minutes (§I); one inference-accuracy proof like zkCNN's is ~2^26.
+	res := nocap.Simulate(nocap.DefaultHardware(), 26, nocap.DefaultProtocol())
+	fmt.Printf("a 2^26-constraint model-evaluation proof simulates at %.2f s on NoCap\n",
+		res.Seconds())
+}

@@ -1,0 +1,3 @@
+module nocap
+
+go 1.24

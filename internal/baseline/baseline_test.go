@@ -1,0 +1,77 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPipeZKMatchesTableIV(t *testing.T) {
+	// PipeZK's published times are exactly linear at 0.50125 µs/constraint.
+	cases := []struct {
+		constraints int64
+		want        float64
+	}{
+		{16_000_000, 8.02},
+		{32_000_000, 16.0},
+		{98_000_000, 49.1},
+		{268_400_000, 134.6},
+		{550_000_000, 275.8},
+	}
+	for _, c := range cases {
+		got := PipeZKSeconds(c.constraints)
+		if math.Abs(got-c.want)/c.want > 0.005 {
+			t.Errorf("PipeZK(%d) = %.2fs, want %.2fs", c.constraints, got, c.want)
+		}
+	}
+}
+
+func TestPipeZKSplit(t *testing.T) {
+	accel, host := PipeZKSplit(16_000_000)
+	if math.Abs(accel-1.43) > 0.01 {
+		t.Fatalf("accel portion %.2f", accel)
+	}
+	if math.Abs(accel+host-8.02) > 0.01 {
+		t.Fatalf("split doesn't sum: %.2f + %.2f", accel, host)
+	}
+	// §III: the ASIC portion achieves 32× over the CPU; non-accelerated
+	// part caps end-to-end speedup at ~6.7×.
+	cpu := Groth16CPUSeconds(16_000_000)
+	if cap := cpu / (accel + host); math.Abs(cap-6.7) > 0.1 {
+		t.Fatalf("PipeZK speedup cap %.2f, paper says 6.7", cap)
+	}
+}
+
+func TestGroth16Anchors(t *testing.T) {
+	if Groth16CPUSeconds(16_000_000) != 53.99 {
+		t.Fatal("CPU anchor wrong")
+	}
+	if Groth16GPUSeconds(16_000_000) != 37.44 {
+		t.Fatal("GPU anchor wrong")
+	}
+	if Groth16CPUSeconds(32_000_000) != 2*53.99 {
+		t.Fatal("linear scaling wrong")
+	}
+}
+
+func TestGroth16MultiplyModel(t *testing.T) {
+	m := DefaultMultiplyModel()
+	muls := m.Groth16Muls(16_000_000, 24)
+	perConstraint := muls / 16e6
+	// Groth16 must land in the tens of thousands of 64-bit multiplies
+	// per constraint — the scale the §III analysis implies.
+	if perConstraint < 30_000 || perConstraint > 150_000 {
+		t.Fatalf("Groth16 %.0f muls/constraint implausible", perConstraint)
+	}
+	// MSMs must dominate FFTs.
+	noFFT := m
+	noFFT.NumFFTs = 0
+	if (muls-noFFT.Groth16Muls(16_000_000, 24))/muls > 0.3 {
+		t.Fatal("FFTs dominate the multiply model; MSM should")
+	}
+}
+
+func TestMontMuls(t *testing.T) {
+	if montMuls(6) != 78 || montMuls(4) != 36 {
+		t.Fatal("CIOS multiply counts wrong")
+	}
+}

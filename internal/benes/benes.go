@@ -1,0 +1,186 @@
+// Package benes implements the Beneš permutation network of NoCap's
+// shuffle FU (paper §IV-B): a 2·log₂N − 1 stage switch fabric that
+// realizes arbitrary permutations. "Beneš network routing is
+// complicated, but because all dependencies in ZKP are known at compile
+// time, we determine the network's routing control bits at compile time,
+// and embed them in the instruction" — Route is that compile-time
+// router, and ControlBits accounts for the ~N·log₂N bits of switch
+// state (7 bits per element at the FU's 128-lane width).
+//
+// Routing uses the classical looping algorithm: the two inputs of every
+// input-stage switch must enter different subnetworks, the two inputs
+// feeding an output-stage switch must arrive from different
+// subnetworks, and alternately walking these constraints 2-colors each
+// cycle.
+package benes
+
+import (
+	"fmt"
+
+	"nocap/internal/field"
+)
+
+// Network is a routed Beneš network for one specific permutation.
+type Network struct {
+	n int
+	// cross is the single switch of a 2-input network.
+	cross bool
+	// in and out are the first/last stage switch settings (n > 2);
+	// switch k handles lines 2k and 2k+1. false routes line 2k straight
+	// to the upper subnetwork / from the upper subnetwork.
+	in, out      []bool
+	upper, lower *Network
+}
+
+// Width returns the number of network lines.
+func (nw *Network) Width() int { return nw.n }
+
+// ControlBits returns the total switch-state bits: (2·log₂n − 1)·n/2.
+func (nw *Network) ControlBits() int {
+	if nw == nil {
+		return 0
+	}
+	if nw.n <= 1 {
+		return 0
+	}
+	if nw.n == 2 {
+		return 1
+	}
+	return len(nw.in) + len(nw.out) + nw.upper.ControlBits() + nw.lower.ControlBits()
+}
+
+// Route computes switch settings realizing perm, where perm[o] is the
+// input line delivered to output line o. len(perm) must be a power of
+// two and perm a permutation.
+func Route(perm []int) (*Network, error) {
+	n := len(perm)
+	if n == 0 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("benes: width %d is not a power of two", n)
+	}
+	seen := make([]bool, n)
+	for _, p := range perm {
+		if p < 0 || p >= n || seen[p] {
+			return nil, fmt.Errorf("benes: not a permutation")
+		}
+		seen[p] = true
+	}
+	return route(perm), nil
+}
+
+// route recursively routes a validated permutation.
+func route(perm []int) *Network {
+	n := len(perm)
+	if n == 1 {
+		return &Network{n: 1}
+	}
+	if n == 2 {
+		return &Network{n: 2, cross: perm[0] == 1}
+	}
+	half := n / 2
+
+	// inv[i] = output position of input i.
+	inv := make([]int, n)
+	for o, i := range perm {
+		inv[i] = o
+	}
+
+	// sub[i] ∈ {0,1}: which subnetwork input i traverses (0 = upper).
+	sub := make([]int, n)
+	for i := range sub {
+		sub[i] = -1
+	}
+	for start := 0; start < n; start++ {
+		if sub[start] != -1 {
+			continue
+		}
+		i, s := start, 0
+		for {
+			sub[i] = s
+			p := i ^ 1 // input partner: must take the other subnetwork
+			if sub[p] == -1 {
+				sub[p] = 1 - s
+			}
+			// Follow p to its output; the output partner's input must
+			// differ from p's subnetwork, i.e. equal s.
+			next := perm[inv[p]^1]
+			if sub[next] != -1 {
+				break // cycle closed
+			}
+			i = next
+		}
+	}
+
+	nw := &Network{
+		n:   n,
+		in:  make([]bool, half),
+		out: make([]bool, half),
+	}
+	for k := 0; k < half; k++ {
+		nw.in[k] = sub[2*k] == 1 // cross when even line goes to lower
+	}
+	upperPerm := make([]int, half)
+	lowerPerm := make([]int, half)
+	for j := 0; j < half; j++ {
+		nw.out[j] = sub[perm[2*j]] == 1
+		for _, o := range []int{2 * j, 2*j + 1} {
+			if sub[perm[o]] == 0 {
+				upperPerm[j] = perm[o] / 2
+			} else {
+				lowerPerm[j] = perm[o] / 2
+			}
+		}
+	}
+	nw.upper = route(upperPerm)
+	nw.lower = route(lowerPerm)
+	return nw
+}
+
+// Apply streams a vector through the routed network, returning
+// out[o] = v[perm[o]]. len(v) must equal the network width.
+func (nw *Network) Apply(v []field.Element) []field.Element {
+	if len(v) != nw.n {
+		panic("benes: vector width mismatch")
+	}
+	switch nw.n {
+	case 1:
+		return []field.Element{v[0]}
+	case 2:
+		if nw.cross {
+			return []field.Element{v[1], v[0]}
+		}
+		return []field.Element{v[0], v[1]}
+	}
+	half := nw.n / 2
+	upIn := make([]field.Element, half)
+	loIn := make([]field.Element, half)
+	for k := 0; k < half; k++ {
+		a, b := v[2*k], v[2*k+1]
+		if nw.in[k] {
+			a, b = b, a
+		}
+		upIn[k], loIn[k] = a, b
+	}
+	upOut := nw.upper.Apply(upIn)
+	loOut := nw.lower.Apply(loIn)
+	out := make([]field.Element, nw.n)
+	for j := 0; j < half; j++ {
+		a, b := upOut[j], loOut[j]
+		if nw.out[j] {
+			a, b = b, a
+		}
+		out[2*j], out[2*j+1] = a, b
+	}
+	return out
+}
+
+// Stages returns the switching-stage count: 2·log₂n − 1.
+func (nw *Network) Stages() int {
+	if nw.n <= 1 {
+		return 0
+	}
+	stages := 1
+	for w := nw.n; w > 2; w /= 2 {
+		stages += 2
+	}
+	return stages
+}

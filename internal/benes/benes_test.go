@@ -1,0 +1,180 @@
+package benes
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+)
+
+// applyIndices routes the identity-valued vector to recover the realized
+// permutation.
+func applyIndices(t *testing.T, nw *Network, n int) []int {
+	t.Helper()
+	v := make([]field.Element, n)
+	for i := range v {
+		v[i] = field.New(uint64(i))
+	}
+	out := nw.Apply(v)
+	perm := make([]int, n)
+	for o, e := range out {
+		perm[o] = int(e.Uint64())
+	}
+	return perm
+}
+
+func checkRoutes(t *testing.T, perm []int) {
+	t.Helper()
+	nw, err := Route(perm)
+	if err != nil {
+		t.Fatalf("route: %v", err)
+	}
+	got := applyIndices(t, nw, len(perm))
+	for o := range perm {
+		if got[o] != perm[o] {
+			t.Fatalf("output %d got input %d, want %d (perm %v)", o, got[o], perm[o], perm)
+		}
+	}
+}
+
+func TestIdentityAndReversal(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 64, 128} {
+		id := make([]int, n)
+		rev := make([]int, n)
+		for i := range id {
+			id[i] = i
+			rev[i] = n - 1 - i
+		}
+		checkRoutes(t, id)
+		checkRoutes(t, rev)
+	}
+}
+
+func TestAllPermutationsOfFour(t *testing.T) {
+	// Exhaustive for n=4: all 24 permutations must route.
+	var perms [][]int
+	var gen func(cur []int, rest []int)
+	gen = func(cur, rest []int) {
+		if len(rest) == 0 {
+			perms = append(perms, append([]int(nil), cur...))
+			return
+		}
+		for i, v := range rest {
+			next := append(append([]int(nil), rest[:i]...), rest[i+1:]...)
+			gen(append(cur, v), next)
+		}
+	}
+	gen(nil, []int{0, 1, 2, 3})
+	if len(perms) != 24 {
+		t.Fatalf("%d perms", len(perms))
+	}
+	for _, p := range perms {
+		checkRoutes(t, p)
+	}
+}
+
+func TestRandomPermutations(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{8, 16, 128, 1024} {
+		for trial := 0; trial < 10; trial++ {
+			checkRoutes(t, rng.Perm(n))
+		}
+	}
+}
+
+func TestCyclicRotations(t *testing.T) {
+	// Rotations are the sumcheck folding permutation (paper §IV-B).
+	n := 128
+	for _, k := range []int{1, 8, 64, 127} {
+		perm := make([]int, n)
+		for o := range perm {
+			perm[o] = (o + k) % n
+		}
+		checkRoutes(t, perm)
+	}
+}
+
+func TestGroupedInterleavings(t *testing.T) {
+	// Even-indexed chunks to the first half, odd-indexed to the second —
+	// the hash-compaction permutation (paper §IV-B).
+	n := 128
+	for _, g := range []int{1, 2, 8} {
+		perm := make([]int, n)
+		for o := range perm {
+			// output o in first half takes even chunk number o/g*2 ...
+			chunk := o / g
+			within := o % g
+			var srcChunk int
+			if o < n/2 {
+				srcChunk = 2 * chunk
+			} else {
+				srcChunk = 2*(chunk-n/2/g) + 1
+			}
+			perm[o] = srcChunk*g + within
+		}
+		checkRoutes(t, perm)
+	}
+}
+
+func TestControlBitsMatchPaper(t *testing.T) {
+	// Paper §IV-B: ~N·log₂N control bits; "instructions for setting the
+	// Beneš network control state occupy 7 bits per 64-bit element" at
+	// the 128-lane width: (2·7−1)·64 = 832 bits = 6.5 per element.
+	nw, err := Route(rand.New(rand.NewSource(2)).Perm(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.ControlBits(); got != 832 {
+		t.Fatalf("control bits %d, want 832", got)
+	}
+	perElem := float64(nw.ControlBits()) / 128
+	if perElem < 6 || perElem > 7 {
+		t.Fatalf("%.1f control bits per element, paper says ~7", perElem)
+	}
+	if nw.Stages() != 13 {
+		t.Fatalf("stages %d, want 13", nw.Stages())
+	}
+}
+
+func TestRouteErrors(t *testing.T) {
+	if _, err := Route([]int{0, 1, 2}); err == nil {
+		t.Fatal("non-power-of-two accepted")
+	}
+	if _, err := Route([]int{0, 0}); err == nil {
+		t.Fatal("non-permutation accepted")
+	}
+	if _, err := Route([]int{0, 5}); err == nil {
+		t.Fatal("out-of-range accepted")
+	}
+	if _, err := Route(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestApplyWidthMismatchPanics(t *testing.T) {
+	nw, _ := Route([]int{1, 0})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	nw.Apply(make([]field.Element, 4))
+}
+
+func BenchmarkRoute128(b *testing.B) {
+	perm := rand.New(rand.NewSource(3)).Perm(128)
+	for i := 0; i < b.N; i++ {
+		if _, err := Route(perm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkApply128(b *testing.B) {
+	nw, _ := Route(rand.New(rand.NewSource(4)).Perm(128))
+	v := make([]field.Element, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.Apply(v)
+	}
+}

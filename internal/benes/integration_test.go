@@ -1,0 +1,21 @@
+package benes
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocap/internal/isa"
+)
+
+func TestControlBitsMatchISAConstant(t *testing.T) {
+	// The ISA's per-shuffle-instruction control-state constant must equal
+	// what the router actually produces for the FU's 128-lane width.
+	nw, err := Route(rand.New(rand.NewSource(5)).Perm(128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.ControlBits() != isa.ShuffleControlBits {
+		t.Fatalf("router emits %d control bits, ISA assumes %d",
+			nw.ControlBits(), isa.ShuffleControlBits)
+	}
+}

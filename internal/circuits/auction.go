@@ -1,0 +1,67 @@
+package circuits
+
+import (
+	"nocap/internal/field"
+	"nocap/internal/r1cs"
+)
+
+// bidBits bounds bid magnitudes (range-checked).
+const bidBits = 32
+
+// Auction builds the paper's verifiable sealed-bid auction benchmark
+// ([33], §VII-B): the auctioneer proves that the published winner and
+// clearing price follow the second-price rules without revealing losing
+// bids. Bids are secret; public outputs are the winning bid, the
+// clearing (second-highest) price, and the winner index.
+func Auction(bids []uint64) *Benchmark {
+	if len(bids) < 2 {
+		panic("circuits: auction needs at least 2 bids")
+	}
+	b := r1cs.NewBuilder()
+
+	bidVars := make([]r1cs.Variable, len(bids))
+	for i, v := range bids {
+		if v >= 1<<bidBits {
+			panic("circuits: bid exceeds range")
+		}
+		bidVars[i] = b.Secret(field.New(v))
+		b.ToBits(r1cs.FromVar(bidVars[i]), bidBits)
+	}
+
+	// Running maximum, second maximum, and argmax.
+	maxLC := r1cs.FromVar(bidVars[0])
+	secondLC := r1cs.LC(nil) // zero
+	argLC := r1cs.LC(nil)    // index 0
+	for i := 1; i < len(bidVars); i++ {
+		bid := r1cs.FromVar(bidVars[i])
+		beatsMax := b.LessThan(maxLC, bid, bidBits)
+		beatsSecond := b.LessThan(secondLC, bid, bidBits)
+		// If the bid beats the max, the old max becomes the second price;
+		// else if it beats the second, it becomes the second price.
+		inner := b.Select(beatsSecond, bid, secondLC)
+		second := b.Select(beatsMax, maxLC, r1cs.FromVar(inner))
+		newMax := b.Select(beatsMax, bid, maxLC)
+		newArg := b.Select(beatsMax, r1cs.Const(field.New(uint64(i))), argLC)
+		maxLC = r1cs.FromVar(newMax)
+		secondLC = r1cs.FromVar(second)
+		argLC = r1cs.FromVar(newArg)
+	}
+
+	expose := func(lc r1cs.LC) uint64 {
+		v := b.Eval(lc)
+		pub := b.Public(v)
+		b.AssertEq(lc, r1cs.FromVar(pub))
+		return v.Uint64()
+	}
+	winBid := expose(maxLC)
+	price := expose(secondLC)
+	winner := expose(argLC)
+
+	inst, io, w := b.Build()
+	out := []byte{
+		byte(winner),
+		byte(price), byte(price >> 8), byte(price >> 16), byte(price >> 24),
+		byte(winBid), byte(winBid >> 8), byte(winBid >> 16), byte(winBid >> 24),
+	}
+	return &Benchmark{Name: "auction", Inst: inst, IO: io, Witness: w, Outputs: out}
+}

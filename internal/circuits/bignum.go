@@ -1,0 +1,206 @@
+package circuits
+
+import (
+	"math/big"
+	"math/rand"
+
+	"nocap/internal/field"
+	"nocap/internal/r1cs"
+)
+
+// limbBits is the bignum limb width. 16-bit limbs keep convolution
+// partial sums far below the Goldilocks modulus (k·2^32 ≪ 2^63).
+const limbBits = 16
+
+// limbBase is 2^limbBits.
+const limbBase = uint64(1) << limbBits
+
+// bignum is an in-circuit big integer: little-endian limb wires, each
+// range-checked to limbBits.
+type bignum struct {
+	limbs []r1cs.Variable
+}
+
+// toLimbs splits a big.Int into k 16-bit limbs.
+func toLimbs(v *big.Int, k int) []uint64 {
+	out := make([]uint64, k)
+	t := new(big.Int).Set(v)
+	mask := big.NewInt(int64(limbBase - 1))
+	for i := 0; i < k; i++ {
+		out[i] = new(big.Int).And(t, mask).Uint64()
+		t.Rsh(t, limbBits)
+	}
+	if t.Sign() != 0 {
+		panic("circuits: bignum does not fit limb count")
+	}
+	return out
+}
+
+// fromLimbVals reassembles a big.Int from concrete limb values.
+func fromLimbVals(limbs []uint64) *big.Int {
+	v := new(big.Int)
+	for i := len(limbs) - 1; i >= 0; i-- {
+		v.Lsh(v, limbBits)
+		v.Add(v, new(big.Int).SetUint64(limbs[i]))
+	}
+	return v
+}
+
+// allocBignum allocates secret limb wires for v with range checks.
+func allocBignum(b *r1cs.Builder, v *big.Int, k int) bignum {
+	limbs := toLimbs(v, k)
+	out := bignum{limbs: make([]r1cs.Variable, k)}
+	for i, l := range limbs {
+		sec := b.Secret(field.New(l))
+		b.ToBits(r1cs.FromVar(sec), limbBits) // range check
+		out.limbs[i] = sec
+	}
+	return out
+}
+
+// value reads the concrete big.Int behind a bignum.
+func (n bignum) value(b *r1cs.Builder) *big.Int {
+	vals := make([]uint64, len(n.limbs))
+	for i, l := range n.limbs {
+		vals[i] = b.Value(l).Uint64()
+	}
+	return fromLimbVals(vals)
+}
+
+// modMul emits constraints for r = x·y mod m, where m is a public
+// constant modulus with k limbs. The identity x·y = q·m + r is enforced
+// limb-wise with a signed carry chain (see DESIGN.md; the standard
+// non-native-arithmetic gadget).
+func modMul(b *r1cs.Builder, x, y bignum, m *big.Int) bignum {
+	k := len(x.limbs)
+	if len(y.limbs) != k {
+		panic("circuits: modmul limb mismatch")
+	}
+	xv, yv := x.value(b), y.value(b)
+	prod := new(big.Int).Mul(xv, yv)
+	q, r := new(big.Int).DivMod(prod, m, new(big.Int))
+	qb := allocBignum(b, q, k)
+	rb := allocBignum(b, r, k)
+	mLimbs := toLimbs(m, k)
+
+	// prodTerm_i = Σ_{a+b=i} x_a·y_b (one Mul wire per pair);
+	// qmTerm_i = Σ_{a+b=i} q_a·m_b (linear: m is constant).
+	numCols := 2*k - 1
+	terms := make([]r1cs.LC, numCols)
+	for a := 0; a < k; a++ {
+		for c := 0; c < k; c++ {
+			p := b.Mul(r1cs.FromVar(x.limbs[a]), r1cs.FromVar(y.limbs[c]))
+			terms[a+c] = r1cs.AddLC(terms[a+c], r1cs.FromVar(p))
+			if mLimbs[c] != 0 {
+				terms[a+c] = r1cs.AddLC(terms[a+c],
+					r1cs.ScaleLC(field.Neg(field.New(mLimbs[c])), r1cs.FromVar(qb.limbs[a])))
+			}
+		}
+	}
+	for i := 0; i < k; i++ {
+		terms[i] = r1cs.AddLC(terms[i],
+			r1cs.ScaleLC(field.Neg(field.One), r1cs.FromVar(rb.limbs[i])))
+	}
+
+	// Carry chain: t_i + c_{i-1} = B·c_i, final carry 0. Carries are
+	// signed; they are committed with an offset and range-checked.
+	// |c_i| < (k+1)·B, so offset 2^(limbBits+8) covers k ≤ 255.
+	const carryRange = limbBits + 9
+	offset := field.New(uint64(1) << (carryRange - 1))
+	carryVal := int64(0)
+	var prevCarry r1cs.LC
+	for i := 0; i < numCols; i++ {
+		// Witness-side t_i (signed, fits easily in int64).
+		ti := int64(0)
+		for _, t := range terms[i] {
+			v := b.Value(t.Var)
+			c := t.Coeff
+			if c.Uint64() > field.Modulus/2 {
+				ti -= int64(field.Neg(c).Uint64()) * int64(v.Uint64())
+			} else {
+				ti += int64(c.Uint64()) * int64(v.Uint64())
+			}
+		}
+		total := ti + carryVal
+		if total%int64(limbBase) != 0 {
+			panic("circuits: modmul carry not divisible")
+		}
+		carryVal = total / int64(limbBase)
+		if i == numCols-1 {
+			if carryVal != 0 {
+				panic("circuits: modmul final carry nonzero")
+			}
+			// t_last + c_{last-1} = 0.
+			b.AssertEq(r1cs.AddLC(terms[i], prevCarry), nil)
+			break
+		}
+		// Allocate offset carry and range check it.
+		cOff := b.Secret(field.New(uint64(carryVal + int64(offset.Uint64()))))
+		b.ToBits(r1cs.FromVar(cOff), carryRange)
+		carryLC := r1cs.SubLC(r1cs.FromVar(cOff), r1cs.Const(offset))
+		// t_i + c_{i-1} − B·c_i = 0.
+		b.AssertEq(
+			r1cs.SubLC(r1cs.AddLC(terms[i], prevCarry),
+				r1cs.ScaleLC(field.New(limbBase), carryLC)),
+			nil)
+		prevCarry = carryLC
+	}
+	return rb
+}
+
+// RSA builds the paper's RSA-style benchmark: proving knowledge of a
+// secret x with x^(2^squarings) ≡ y (mod n) for a public 16·limbs-bit
+// modulus — the repeated modular squaring at the heart of RSA
+// decryption, implemented with non-native bignum limbs (§VII-B framing:
+// "RSA operates on large prime fields"). seed makes the instance
+// reproducible.
+func RSA(squarings, numLimbs int, seed int64) *Benchmark {
+	if squarings < 1 || numLimbs < 2 {
+		panic("circuits: RSA needs ≥1 squaring and ≥2 limbs")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	bits := numLimbs * limbBits
+	// Random odd modulus with the top bit set.
+	n := new(big.Int).SetBit(big.NewInt(0), bits-1, 1)
+	for i := 0; i < bits-1; i++ {
+		if rng.Intn(2) == 1 {
+			n.SetBit(n, i, 1)
+		}
+	}
+	n.SetBit(n, 0, 1)
+	x := new(big.Int).Rand(rng, n)
+
+	b := r1cs.NewBuilder()
+	xb := allocBignum(b, x, numLimbs)
+	cur := xb
+	for s := 0; s < squarings; s++ {
+		cur = modMul(b, cur, cur, n)
+	}
+	// Expose the result limbs as public outputs.
+	var outBytes []byte
+	for _, l := range cur.limbs {
+		v := b.Value(l)
+		pub := b.Public(v)
+		b.AssertEq(r1cs.FromVar(l), r1cs.FromVar(pub))
+		outBytes = append(outBytes, byte(v.Uint64()), byte(v.Uint64()>>8))
+	}
+	inst, io, w := b.Build()
+	return &Benchmark{Name: "rsa", Inst: inst, IO: io, Witness: w, Outputs: outBytes}
+}
+
+// RSAExpected computes the reference result x^(2^squarings) mod n for
+// testing; it regenerates the same deterministic instance inputs.
+func RSAExpected(squarings, numLimbs int, seed int64) *big.Int {
+	rng := rand.New(rand.NewSource(seed))
+	bits := numLimbs * limbBits
+	n := new(big.Int).SetBit(big.NewInt(0), bits-1, 1)
+	for i := 0; i < bits-1; i++ {
+		if rng.Intn(2) == 1 {
+			n.SetBit(n, i, 1)
+		}
+	}
+	n.SetBit(n, 0, 1)
+	x := new(big.Int).Rand(rng, n)
+	e := new(big.Int).Lsh(big.NewInt(1), uint(squarings))
+	return new(big.Int).Exp(x, e, n)
+}

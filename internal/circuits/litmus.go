@@ -1,0 +1,177 @@
+package circuits
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nocap/internal/field"
+	"nocap/internal/r1cs"
+)
+
+// amountBits bounds transfer amounts and balances.
+const amountBits = 32
+
+// Transfer is one database transaction: move Amount from one account to
+// another (the two-row YCSB access of the paper's Litmus benchmark).
+type Transfer struct {
+	From, To int
+	Amount   uint64
+}
+
+// LitmusGamma and LitmusBeta are the public audit-accumulator
+// parameters (fixed protocol constants; in a deployment they would be
+// derived from a commitment to the batch).
+var (
+	LitmusGamma = field.New(0x67616d6d61) // "gamma"
+	LitmusBeta  = field.New(0x62657461)   // "beta"
+)
+
+// LitmusAccumulator computes the reference audit accumulator
+// Π_t (γ − (t + β·from + β²·to + β³·amount)) for a batch.
+func LitmusAccumulator(txns []Transfer) field.Element {
+	acc := field.One
+	b2 := field.Mul(LitmusBeta, LitmusBeta)
+	b3 := field.Mul(b2, LitmusBeta)
+	for t, tx := range txns {
+		term := field.Sub(LitmusGamma,
+			field.Add(field.New(uint64(t)),
+				field.Add(field.Mul(LitmusBeta, field.New(uint64(tx.From))),
+					field.Add(field.Mul(b2, field.New(uint64(tx.To))),
+						field.Mul(b3, field.New(tx.Amount))))))
+		acc = field.Mul(acc, term)
+	}
+	return acc
+}
+
+// LitmusCircuit builds a verifiable-database transaction batch in the
+// style of the paper's Litmus benchmark ([84], §VII-B). The circuit
+// processes the given transfers over the given initial balances:
+//
+//   - data-oblivious account selection (linear Select scan, as circuits
+//     must not branch on secrets),
+//   - solvency and range checks per transaction,
+//   - conservation of total balance,
+//   - a multiset-hash audit accumulator with public randomness — the
+//     multiset-hashing technique Litmus (and Spartan's memory checking)
+//     relies on.
+//
+// Public inputs/outputs: initial balances, final balances, and the
+// accumulator (io layout: n initial ‖ n final ‖ accumulator). The
+// transfers themselves stay secret. It panics if a transfer is
+// insolvent or out of range (the batch would be unprovable).
+func LitmusCircuit(initial []uint64, txns []Transfer) *Benchmark {
+	numAccounts := len(initial)
+	if numAccounts < 2 || len(txns) < 1 {
+		panic("circuits: litmus needs ≥2 accounts and ≥1 transfer")
+	}
+
+	b := r1cs.NewBuilder()
+
+	balances := make([]r1cs.Variable, numAccounts)
+	balVals := append([]uint64(nil), initial...)
+	for i := range balances {
+		if initial[i] >= 1<<amountBits {
+			panic("circuits: initial balance out of range")
+		}
+		// Initial balances are public: they chain from the previous
+		// batch's public final balances (or genesis).
+		balances[i] = b.Public(field.New(initial[i]))
+		b.ToBits(r1cs.FromVar(balances[i]), amountBits)
+	}
+
+	accLC := r1cs.Const(field.One)
+
+	for t, tx := range txns {
+		if tx.From < 0 || tx.From >= numAccounts || tx.To < 0 || tx.To >= numAccounts ||
+			tx.From == tx.To {
+			panic(fmt.Sprintf("circuits: transfer %d has invalid accounts", t))
+		}
+		if tx.Amount > balVals[tx.From] {
+			panic(fmt.Sprintf("circuits: transfer %d is insolvent", t))
+		}
+		balVals[tx.From] -= tx.Amount
+		balVals[tx.To] += tx.Amount
+		if balVals[tx.To] >= 1<<amountBits {
+			panic(fmt.Sprintf("circuits: transfer %d overflows a balance", t))
+		}
+
+		fromV := b.Secret(field.New(uint64(tx.From)))
+		toV := b.Secret(field.New(uint64(tx.To)))
+		amtV := b.Secret(field.New(tx.Amount))
+		b.ToBits(r1cs.FromVar(amtV), amountBits)
+
+		// Oblivious scan: selector bits per account.
+		fromBalLC := r1cs.LC(nil)
+		for j := 0; j < numAccounts; j++ {
+			isFrom := b.IsZero(r1cs.SubLC(r1cs.FromVar(fromV), r1cs.Const(field.New(uint64(j)))))
+			isTo := b.IsZero(r1cs.SubLC(r1cs.FromVar(toV), r1cs.Const(field.New(uint64(j)))))
+			g := b.Mul(r1cs.FromVar(isFrom), r1cs.FromVar(balances[j]))
+			fromBalLC = r1cs.AddLC(fromBalLC, r1cs.FromVar(g))
+			dec := b.Mul(r1cs.FromVar(isFrom), r1cs.FromVar(amtV))
+			inc := b.Mul(r1cs.FromVar(isTo), r1cs.FromVar(amtV))
+			nb := b.Secret(field.New(balVals2(b, balances[j], dec, inc)))
+			b.AssertEq(
+				r1cs.AddLC(r1cs.SubLC(r1cs.FromVar(balances[j]), r1cs.FromVar(dec)), r1cs.FromVar(inc)),
+				r1cs.FromVar(nb))
+			balances[j] = nb
+		}
+		// Solvency: amt ≤ pre-update source balance.
+		over := b.LessThan(fromBalLC, r1cs.FromVar(amtV), amountBits)
+		b.AssertEq(r1cs.FromVar(over), nil)
+
+		// Audit accumulator term: γ − (t + β·from + β²·to + β³·amt).
+		term := r1cs.SubLC(r1cs.Const(LitmusGamma),
+			r1cs.AddLC(r1cs.Const(field.New(uint64(t))),
+				r1cs.AddLC(r1cs.ScaleLC(LitmusBeta, r1cs.FromVar(fromV)),
+					r1cs.AddLC(r1cs.ScaleLC(field.Mul(LitmusBeta, LitmusBeta), r1cs.FromVar(toV)),
+						r1cs.ScaleLC(field.Mul(field.Mul(LitmusBeta, LitmusBeta), LitmusBeta), r1cs.FromVar(amtV))))))
+		acc := b.Mul(accLC, term)
+		accLC = r1cs.FromVar(acc)
+	}
+
+	// Expose final balances and the accumulator.
+	for j := 0; j < numAccounts; j++ {
+		pub := b.Public(b.Value(balances[j]))
+		b.AssertEq(r1cs.FromVar(balances[j]), r1cs.FromVar(pub))
+	}
+	accPub := b.Public(b.Eval(accLC))
+	b.AssertEq(accLC, r1cs.FromVar(accPub))
+
+	inst, io, w := b.Build()
+	return &Benchmark{Name: "litmus", Inst: inst, IO: io, Witness: w}
+}
+
+// Litmus builds a pseudo-random transaction batch (the benchmark
+// configuration: transactions "access two random rows", §VII-B).
+func Litmus(numTxns, numAccounts int, seed int64) *Benchmark {
+	if numTxns < 1 || numAccounts < 2 {
+		panic("circuits: litmus needs ≥1 txn and ≥2 accounts")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	initial := make([]uint64, numAccounts)
+	for i := range initial {
+		initial[i] = uint64(rng.Intn(1 << 20))
+	}
+	balances := append([]uint64(nil), initial...)
+	txns := make([]Transfer, numTxns)
+	for t := range txns {
+		from := rng.Intn(numAccounts)
+		to := rng.Intn(numAccounts - 1)
+		if to >= from {
+			to++
+		}
+		amt := uint64(rng.Intn(1 << 10))
+		if amt > balances[from] {
+			amt = balances[from]
+		}
+		balances[from] -= amt
+		balances[to] += amt
+		txns[t] = Transfer{From: from, To: to, Amount: amt}
+	}
+	return LitmusCircuit(initial, txns)
+}
+
+// balVals2 computes the concrete updated balance for witness assignment.
+func balVals2(b *r1cs.Builder, bal, dec, inc r1cs.Variable) uint64 {
+	return field.Add(field.Sub(b.Value(bal), b.Value(dec)), b.Value(inc)).Uint64()
+}

@@ -1,0 +1,182 @@
+package circuits
+
+import (
+	"encoding/binary"
+
+	"nocap/internal/field"
+	"nocap/internal/r1cs"
+)
+
+// sha256K are the SHA-256 round constants.
+var sha256K = [64]uint32{
+	0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+	0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+	0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+	0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+	0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+	0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+	0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+	0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+}
+
+var sha256H0 = [8]uint32{
+	0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a,
+	0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
+}
+
+// word is a 32-bit value as little-endian bit wires (bits[0] = LSB).
+type word []r1cs.Variable
+
+// SHA256 builds a SHA-256 circuit over the given preimage blocks (the
+// paper's SHA benchmark, §VII-B: proving knowledge of data with a given
+// hash without revealing it). The preimage is secret; the digest is
+// public. The input must be a whole number of 64-byte blocks — callers
+// apply their own padding, matching the "1,000 512-bit hash blocks"
+// framing of the paper.
+func SHA256(blocks []byte) *Benchmark {
+	if len(blocks) == 0 || len(blocks)%64 != 0 {
+		panic("circuits: SHA256 input must be a positive multiple of 64 bytes")
+	}
+	b := r1cs.NewBuilder()
+
+	// Running state, initially the SHA-256 IV (constants).
+	state := make([]word, 8)
+	for i := range state {
+		state[i] = constWord(b, sha256H0[i])
+	}
+
+	for blk := 0; blk*64 < len(blocks); blk++ {
+		// Message schedule w[0..63]; w[0..15] from the secret block.
+		w := make([]word, 64)
+		for t := 0; t < 16; t++ {
+			v := binary.BigEndian.Uint32(blocks[blk*64+4*t:])
+			sec := b.Secret(field.New(uint64(v)))
+			w[t] = word(b.ToBits(r1cs.FromVar(sec), 32))
+		}
+		for t := 16; t < 64; t++ {
+			s0 := sigmaXor(b, w[t-15], 7, 18, 3)
+			s1 := sigmaXor(b, w[t-2], 17, 19, 10)
+			w[t] = wordFromVar(b, b.Add32(wordLC(w[t-16]), wordLC(s0), wordLC(w[t-7]), wordLC(s1)))
+		}
+
+		a, bb, c, d, e, f, g, h := state[0], state[1], state[2], state[3], state[4], state[5], state[6], state[7]
+		for t := 0; t < 64; t++ {
+			S1 := sigmaXor(b, e, 6, 11, 25|rotOnly)
+			ch := chCircuit(b, e, f, g)
+			t1 := b.Add32(wordLC(h), wordLC(S1), wordLC(ch),
+				r1cs.Const(field.New(uint64(sha256K[t]))), wordLC(w[t]))
+			S0 := sigmaXor(b, a, 2, 13, 22|rotOnly)
+			maj := majCircuit(b, a, bb, c)
+			t2 := b.Add32(wordLC(S0), wordLC(maj))
+			h, g, f = g, f, e
+			e = wordFromVar(b, b.Add32(wordLC(d), r1cs.FromVar(t1)))
+			d, c, bb = c, bb, a
+			a = wordFromVar(b, b.Add32(r1cs.FromVar(t1), r1cs.FromVar(t2)))
+		}
+		next := make([]word, 8)
+		for i, s := range []word{a, bb, c, d, e, f, g, h} {
+			next[i] = wordFromVar(b, b.Add32(wordLC(state[i]), wordLC(s)))
+		}
+		state = next
+	}
+
+	// Expose the digest.
+	digest := make([]byte, 32)
+	for i, s := range state {
+		v := wordVal(b, s)
+		binary.BigEndian.PutUint32(digest[4*i:], v)
+		pub := b.Public(field.New(uint64(v)))
+		b.AssertEq(wordLC(s), r1cs.FromVar(pub))
+	}
+
+	inst, io, w := b.Build()
+	return &Benchmark{Name: "sha", Inst: inst, IO: io, Witness: w, Outputs: digest}
+}
+
+// rotOnly flags the third shift of sigmaXor as a rotation instead of a
+// logical shift (the Σ functions rotate all three; the σ functions shift
+// the last one). It is OR-ed into the third rotation amount.
+const rotOnly = 1 << 16
+
+// constWord materializes a constant 32-bit word as bit wires.
+func constWord(b *r1cs.Builder, v uint32) word {
+	sec := b.Secret(field.New(uint64(v)))
+	b.AssertEq(r1cs.Const(field.New(uint64(v))), r1cs.FromVar(sec))
+	return word(b.ToBits(r1cs.FromVar(sec), 32))
+}
+
+// wordLC is the linear combination Σ bits·2^i.
+func wordLC(w word) r1cs.LC { return r1cs.FromBits([]r1cs.Variable(w)) }
+
+// wordFromVar decomposes a 32-bit-valued wire into a word.
+func wordFromVar(b *r1cs.Builder, v r1cs.Variable) word {
+	return word(b.ToBits(r1cs.FromVar(v), 32))
+}
+
+// wordVal reads the concrete value of a word.
+func wordVal(b *r1cs.Builder, w word) uint32 {
+	var v uint32
+	for i, bit := range w {
+		if b.Value(bit) == field.One {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+// rotr returns the word rotated right by k (free rewiring).
+func rotr(w word, k uint) word {
+	out := make(word, 32)
+	for i := 0; i < 32; i++ {
+		out[i] = w[(i+int(k))%32]
+	}
+	return out
+}
+
+// shr returns the word shifted right by k; the vacated high bits must be
+// zero wires, so callers pass a shared zero wire.
+func shrWord(b *r1cs.Builder, w word, k uint) word {
+	zero := b.Secret(field.Zero)
+	b.AssertEq(nil, r1cs.FromVar(zero))
+	out := make(word, 32)
+	for i := 0; i < 32; i++ {
+		if i+int(k) < 32 {
+			out[i] = w[i+int(k)]
+		} else {
+			out[i] = zero
+		}
+	}
+	return out
+}
+
+// sigmaXor computes rotr(w,r1) ⊕ rotr(w,r2) ⊕ f(w,r3) where f is a
+// rotation when r3 has the rotOnly flag, else a logical shift.
+func sigmaXor(b *r1cs.Builder, w word, k1, k2, k3 uint) word {
+	var third word
+	if k3&rotOnly != 0 {
+		third = rotr(w, k3&^rotOnly)
+	} else {
+		third = shrWord(b, w, k3)
+	}
+	return word(xorBits(b, xorBits(b, []r1cs.Variable(rotr(w, k1)), []r1cs.Variable(rotr(w, k2))), []r1cs.Variable(third)))
+}
+
+// chCircuit computes Ch(e,f,g) = (e∧f)⊕(¬e∧g) per bit = g + e·(f−g).
+func chCircuit(b *r1cs.Builder, e, f, g word) word {
+	out := make(word, 32)
+	for i := 0; i < 32; i++ {
+		out[i] = b.Select(e[i], r1cs.FromVar(f[i]), r1cs.FromVar(g[i]))
+	}
+	return out
+}
+
+// majCircuit computes Maj(a,b,c) per bit: with t = b⊕c,
+// maj = t ? a : b.
+func majCircuit(b *r1cs.Builder, x, y, z word) word {
+	out := make(word, 32)
+	for i := 0; i < 32; i++ {
+		t := b.Xor(y[i], z[i])
+		out[i] = b.Select(t, r1cs.FromVar(x[i]), r1cs.FromVar(y[i]))
+	}
+	return out
+}

@@ -1,0 +1,189 @@
+package code
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/ntt"
+)
+
+func randMsg(n int, seed int64) []field.Element {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]field.Element, n)
+	for i := range v {
+		v[i] = field.New(rng.Uint64())
+	}
+	return v
+}
+
+func codes() []Code {
+	return []Code{NewReedSolomon(), NewExpander(42)}
+}
+
+func TestBlowupAndLength(t *testing.T) {
+	for _, c := range codes() {
+		for _, n := range []int{8, 64, 256} {
+			cw := c.Encode(randMsg(n, int64(n)))
+			if len(cw) != n*c.Blowup() {
+				t.Fatalf("%s: |cw| = %d, want %d", c.Name(), len(cw), n*c.Blowup())
+			}
+		}
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	// Enc(a + s·b) == Enc(a) + s·Enc(b): the PCS consistency check
+	// depends on this exactly (paper §V-A "Reed-Solomon codes are linear").
+	for _, c := range codes() {
+		for _, n := range []int{16, 128} {
+			a := randMsg(n, 1)
+			b := randMsg(n, 2)
+			s := field.New(0xabcdef)
+			comb := make([]field.Element, n)
+			for i := range comb {
+				comb[i] = field.Add(a[i], field.Mul(s, b[i]))
+			}
+			ea, eb, ec := c.Encode(a), c.Encode(b), c.Encode(comb)
+			for i := range ec {
+				want := field.Add(ea[i], field.Mul(s, eb[i]))
+				if ec[i] != want {
+					t.Fatalf("%s n=%d: linearity fails at %d", c.Name(), n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, c := range codes() {
+		msg := randMsg(64, 3)
+		a := c.Encode(msg)
+		b := c.Encode(msg)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: non-deterministic encode", c.Name())
+			}
+		}
+	}
+	// Two Expander instances with the same seed must agree.
+	x, y := NewExpander(7), NewExpander(7)
+	msg := randMsg(128, 4)
+	a, b := x.Encode(msg), y.Encode(msg)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("expander not seed-deterministic")
+		}
+	}
+}
+
+func TestZeroMessage(t *testing.T) {
+	for _, c := range codes() {
+		cw := c.Encode(make([]field.Element, 64))
+		for i, v := range cw {
+			if v != field.Zero {
+				t.Fatalf("%s: zero message has nonzero symbol at %d", c.Name(), i)
+			}
+		}
+	}
+}
+
+func TestDistinctMessagesDistinctCodewords(t *testing.T) {
+	for _, c := range codes() {
+		a := randMsg(64, 5)
+		b := append([]field.Element(nil), a...)
+		b[10] = field.Add(b[10], field.One)
+		ea, eb := c.Encode(a), c.Encode(b)
+		diff := 0
+		for i := range ea {
+			if ea[i] != eb[i] {
+				diff++
+			}
+		}
+		if diff == 0 {
+			t.Fatalf("%s: distinct messages collide", c.Name())
+		}
+		// RS with blowup 4 has distance 3n+1: differences must be plentiful.
+		if c.Name() == "reed-solomon" && diff < 3*64+1 {
+			t.Fatalf("rs distance too small: %d", diff)
+		}
+	}
+}
+
+func TestQueriesMatchPaper(t *testing.T) {
+	if NewReedSolomon().Queries() != 189 {
+		t.Fatal("RS queries must be 189 (paper §VII-A)")
+	}
+	if NewExpander(1).Queries() != 1222 {
+		t.Fatal("expander queries must be 1222 (paper §VII-A)")
+	}
+}
+
+func TestRSSystematicViaInverse(t *testing.T) {
+	// The first n codeword symbols are evaluations, not the message; but
+	// the codeword restricted to the full domain must interpolate back to
+	// the message (degree < n). Check via inverse NTT on the codeword.
+	msg := randMsg(32, 6)
+	cw := NewReedSolomon().Encode(msg)
+	// cw = NTT(msg ‖ 0...) so Inverse(cw) = msg ‖ 0...
+	inv := append([]field.Element(nil), cw...)
+	ntt.Inverse(inv)
+	for i := range inv {
+		if i < len(msg) {
+			if inv[i] != msg[i] {
+				t.Fatalf("decode mismatch at %d", i)
+			}
+		} else if inv[i] != field.Zero {
+			t.Fatalf("high coefficients nonzero at %d", i)
+		}
+	}
+}
+
+func TestExpanderGraphBytes(t *testing.T) {
+	c := NewExpander(1)
+	if c.GraphBytes(32) != 0 {
+		t.Fatal("base-size message needs no graph")
+	}
+	small, large := c.GraphBytes(1<<10), c.GraphBytes(1<<20)
+	if small <= 0 || large <= small {
+		t.Fatalf("graph bytes not growing: %d vs %d", small, large)
+	}
+	// At paper scale (2^24-row commitments) the graph is gigabytes.
+	if c.GraphBytes(1<<27) < 1<<30 {
+		t.Fatalf("expected multi-GB graph at scale, got %d", c.GraphBytes(1<<27))
+	}
+}
+
+func TestBadLengthPanics(t *testing.T) {
+	for _, c := range codes() {
+		for _, n := range []int{0, 3} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Fatalf("%s n=%d: expected panic", c.Name(), n)
+					}
+				}()
+				c.Encode(make([]field.Element, n))
+			}()
+		}
+	}
+}
+
+func BenchmarkRSEncode64k(b *testing.B) {
+	c := NewReedSolomon()
+	msg := randMsg(1<<16, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(msg)
+	}
+}
+
+func BenchmarkExpanderEncode64k(b *testing.B) {
+	c := NewExpander(7)
+	msg := randMsg(1<<16, 7)
+	c.Encode(msg) // warm graph caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Encode(msg)
+	}
+}

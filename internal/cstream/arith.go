@@ -1,0 +1,60 @@
+package cstream
+
+import (
+	"fmt"
+
+	"nocap/internal/field"
+	"nocap/internal/r1cs"
+)
+
+// ToR1CS performs the arithmetization step of paper Fig. 2 (①/②):
+// translate the gate-level circuit into an R1CS instance whose z-vector
+// carries the wire values. The first numPublic inputs become public
+// (x̄); the remaining inputs are the witness (w̄); the last gate's
+// output is exposed as a public output. Multiplication gates become one
+// R1CS row each; addition gates fold into linear combinations, matching
+// the ~N-nonzeros-per-matrix structure of §II-B.
+//
+// It returns the instance and the io/witness vectors for the provided
+// inputs, ready for spartan.Prove.
+func (c *Circuit) ToR1CS(inputs []field.Element, numPublic int) (*r1cs.Instance, []field.Element, []field.Element, error) {
+	if err := c.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(inputs) != c.NumInputs {
+		return nil, nil, nil, fmt.Errorf("cstream: %d inputs, circuit wants %d", len(inputs), c.NumInputs)
+	}
+	if numPublic < 0 || numPublic > c.NumInputs {
+		return nil, nil, nil, fmt.Errorf("cstream: %d public of %d inputs", numPublic, c.NumInputs)
+	}
+	if len(c.Gates) == 0 {
+		return nil, nil, nil, fmt.Errorf("cstream: circuit has no gates")
+	}
+
+	b := r1cs.NewBuilder()
+	// wires[node] is the linear combination carrying the node's value;
+	// addition gates stay linear (no constraint) until consumed by a
+	// multiplication or the output.
+	wires := make([]r1cs.LC, c.NumInputs+len(c.Gates))
+	for i, v := range inputs {
+		if i < numPublic {
+			wires[i] = r1cs.FromVar(b.Public(v))
+		} else {
+			wires[i] = r1cs.FromVar(b.Secret(v))
+		}
+	}
+	for i, g := range c.Gates {
+		node := c.NumInputs + i
+		if g.Op == OpMul {
+			wires[node] = r1cs.FromVar(b.Mul(wires[g.A], wires[g.B]))
+		} else {
+			wires[node] = r1cs.AddLC(wires[g.A], wires[g.B])
+		}
+	}
+	outLC := wires[len(wires)-1]
+	out := b.Public(b.Eval(outLC))
+	b.AssertEq(outLC, r1cs.FromVar(out))
+
+	inst, io, w := b.Build()
+	return inst, io, w, nil
+}

@@ -1,0 +1,124 @@
+package cstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/spartan"
+)
+
+// fig2Circuit is the paper's Fig. 2 example:
+// f(x,w) = x0 + w0 + x1·w1 + x1·w1·w2.
+func fig2Circuit() *Circuit {
+	// inputs: x0=0, x1=1, w0=2, w1=3, w2=4
+	return &Circuit{
+		NumInputs: 5,
+		Gates: []Gate{
+			{OpMul, 1, 3}, // 5: x1·w1
+			{OpMul, 5, 4}, // 6: x1·w1·w2
+			{OpAdd, 0, 2}, // 7: x0+w0
+			{OpAdd, 7, 5}, // 8: +x1w1
+			{OpAdd, 8, 6}, // 9: +x1w1w2
+		},
+	}
+}
+
+func TestFig2ToR1CS(t *testing.T) {
+	c := fig2Circuit()
+	inputs := []field.Element{
+		field.New(3), field.New(5), // x
+		field.New(7), field.New(11), field.New(13), // w
+	}
+	inst, io, w, err := c.ToR1CS(inputs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, i := inst.Satisfied(inst.AssembleZ(io, w)); !ok {
+		t.Fatalf("constraint %d violated", i)
+	}
+	// io = (x0, x1, output); output = 3+7+5·11+5·11·13 = 780.
+	if io[2] != field.New(780) {
+		t.Fatalf("output %v, want 780", io[2])
+	}
+}
+
+func TestArithmetizedCircuitProves(t *testing.T) {
+	// Full Fig. 2 pipeline: circuit → R1CS → Spartan+Orion proof.
+	c := fig2Circuit()
+	inputs := []field.Element{
+		field.New(1), field.New(2),
+		field.New(3), field.New(4), field.New(5),
+	}
+	inst, io, w, err := c.ToR1CS(inputs, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, err := spartan.Prove(spartan.TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := spartan.Verify(spartan.TestParams(), inst, io, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRandomCircuitR1CSAgreesWithEvaluate(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	for trial := 0; trial < 10; trial++ {
+		c := randomCircuit(4, 50, int64(trial))
+		inputs := make([]field.Element, 4)
+		for i := range inputs {
+			inputs[i] = field.New(rng.Uint64())
+		}
+		nodes, err := c.Evaluate(inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, io, w, err := c.ToR1CS(inputs, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok, i := inst.Satisfied(inst.AssembleZ(io, w)); !ok {
+			t.Fatalf("trial %d: constraint %d violated", trial, i)
+		}
+		// Final public output = last node value.
+		if io[len(io)-1] != nodes[len(nodes)-1] {
+			t.Fatalf("trial %d: output mismatch", trial)
+		}
+	}
+}
+
+func TestToR1CSErrors(t *testing.T) {
+	c := fig2Circuit()
+	if _, _, _, err := c.ToR1CS(make([]field.Element, 3), 1); err == nil {
+		t.Fatal("wrong input count accepted")
+	}
+	if _, _, _, err := c.ToR1CS(make([]field.Element, 5), 9); err == nil {
+		t.Fatal("too many public inputs accepted")
+	}
+	empty := &Circuit{NumInputs: 2}
+	if _, _, _, err := empty.ToR1CS(make([]field.Element, 2), 1); err == nil {
+		t.Fatal("gateless circuit accepted")
+	}
+}
+
+func TestMulGateConstraintCount(t *testing.T) {
+	// Addition gates must be free (folded into LCs): a circuit of k mul
+	// gates and any number of adds needs ~k+1 constraints before padding.
+	c := &Circuit{NumInputs: 2}
+	for i := 0; i < 16; i++ {
+		node := 2 + i
+		c.Gates = append(c.Gates, Gate{OpAdd, node - 1, node - 2})
+	}
+	c.Gates = append(c.Gates, Gate{OpMul, 17, 16})
+	inputs := []field.Element{field.New(1), field.New(2)}
+	inst, _, _, err := c.ToR1CS(inputs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1 mul + 1 output binding = 2 constraints, padded to ≥2.
+	if inst.NumConstraints() > 4 {
+		t.Fatalf("adds were not free: %d constraints", inst.NumConstraints())
+	}
+}

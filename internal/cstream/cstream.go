@@ -1,0 +1,213 @@
+// Package cstream implements the compressed circuit representation of
+// paper §V-A: the sumcheck-recomputation optimization streams the
+// circuit from memory in "61-bit elements: for each operation, we keep
+// track of the operation type (add or multiply) as well as the address
+// of the operand node. By storing the address relative to the current
+// node, we can compress this representation to 61 bits per node."
+//
+// Each gate consumes exactly 61 bits: 1 op bit and two 30-bit relative
+// operand addresses (offsets back from the current node). Evaluate
+// recomputes all wire values from the inputs alone — the recompute-
+// instead-of-load trade NoCap makes to cut sumcheck memory traffic.
+package cstream
+
+import (
+	"errors"
+	"fmt"
+
+	"nocap/internal/field"
+)
+
+// BitsPerNode is the paper's packed gate width.
+const BitsPerNode = 61
+
+// addrBits is the width of each relative operand address.
+const addrBits = 30
+
+// maxOffset bounds how far back a gate can reference.
+const maxOffset = 1<<addrBits - 1
+
+// Op is a gate type; the streamed format has one opcode bit.
+type Op uint8
+
+// Gate operations.
+const (
+	OpAdd Op = 0
+	OpMul Op = 1
+)
+
+// Gate is one 2-input arithmetic gate. A and B are node indices: nodes
+// 0..NumInputs-1 are the circuit inputs, node NumInputs+i is gate i's
+// output.
+type Gate struct {
+	Op   Op
+	A, B int
+}
+
+// Circuit is a gate-level arithmetic circuit (the DAG of paper Fig. 2,
+// before R1CS conversion).
+type Circuit struct {
+	NumInputs int
+	Gates     []Gate
+}
+
+// Validate checks topological order and address bounds.
+func (c *Circuit) Validate() error {
+	if c.NumInputs < 1 {
+		return errors.New("cstream: circuit needs at least one input")
+	}
+	for i, g := range c.Gates {
+		node := c.NumInputs + i
+		for _, ref := range []int{g.A, g.B} {
+			if ref < 0 || ref >= node {
+				return fmt.Errorf("cstream: gate %d references node %d (have %d)", i, ref, node)
+			}
+			if node-ref > maxOffset {
+				return fmt.Errorf("cstream: gate %d offset %d exceeds %d bits", i, node-ref, addrBits)
+			}
+		}
+		if g.Op > OpMul {
+			return fmt.Errorf("cstream: gate %d has invalid op", i)
+		}
+	}
+	return nil
+}
+
+// Evaluate recomputes every node value from the inputs (the
+// recomputation path of §V-A). The returned slice holds inputs followed
+// by gate outputs.
+func (c *Circuit) Evaluate(inputs []field.Element) ([]field.Element, error) {
+	if len(inputs) != c.NumInputs {
+		return nil, fmt.Errorf("cstream: %d inputs, circuit wants %d", len(inputs), c.NumInputs)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	nodes := make([]field.Element, c.NumInputs+len(c.Gates))
+	copy(nodes, inputs)
+	for i, g := range c.Gates {
+		a, b := nodes[g.A], nodes[g.B]
+		if g.Op == OpMul {
+			nodes[c.NumInputs+i] = field.Mul(a, b)
+		} else {
+			nodes[c.NumInputs+i] = field.Add(a, b)
+		}
+	}
+	return nodes, nil
+}
+
+// bitWriter packs little-endian bit strings.
+type bitWriter struct {
+	buf  []byte
+	nbit int
+}
+
+func (w *bitWriter) write(v uint64, bits int) {
+	for i := 0; i < bits; i++ {
+		if w.nbit%8 == 0 {
+			w.buf = append(w.buf, 0)
+		}
+		if v>>uint(i)&1 == 1 {
+			w.buf[w.nbit/8] |= 1 << uint(w.nbit%8)
+		}
+		w.nbit++
+	}
+}
+
+// bitReader unpacks little-endian bit strings.
+type bitReader struct {
+	buf  []byte
+	nbit int
+}
+
+func (r *bitReader) read(bits int) (uint64, error) {
+	var v uint64
+	for i := 0; i < bits; i++ {
+		byteIdx := r.nbit / 8
+		if byteIdx >= len(r.buf) {
+			return 0, errors.New("cstream: truncated stream")
+		}
+		if r.buf[byteIdx]>>uint(r.nbit%8)&1 == 1 {
+			v |= 1 << uint(i)
+		}
+		r.nbit++
+	}
+	return v, nil
+}
+
+// Encode packs the circuit into the 61-bit-per-gate stream. The header
+// carries the input and gate counts (two 64-bit words).
+func (c *Circuit) Encode() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	w := &bitWriter{}
+	w.write(uint64(c.NumInputs), 64)
+	w.write(uint64(len(c.Gates)), 64)
+	for i, g := range c.Gates {
+		node := c.NumInputs + i
+		w.write(uint64(g.Op), 1)
+		w.write(uint64(node-g.A), addrBits)
+		w.write(uint64(node-g.B), addrBits)
+	}
+	return w.buf, nil
+}
+
+// Decode unpacks an encoded stream.
+func Decode(data []byte) (*Circuit, error) {
+	r := &bitReader{buf: data}
+	numInputs, err := r.read(64)
+	if err != nil {
+		return nil, err
+	}
+	numGates, err := r.read(64)
+	if err != nil {
+		return nil, err
+	}
+	if numInputs > 1<<40 || numGates > 1<<40 {
+		return nil, errors.New("cstream: implausible header")
+	}
+	// The payload must actually be present: 61 bits per claimed gate.
+	if avail := uint64(len(data))*8 - 128; numGates > avail/BitsPerNode {
+		return nil, errors.New("cstream: gate count exceeds stream length")
+	}
+	c := &Circuit{NumInputs: int(numInputs), Gates: make([]Gate, numGates)}
+	for i := range c.Gates {
+		op, err := r.read(1)
+		if err != nil {
+			return nil, err
+		}
+		offA, err := r.read(addrBits)
+		if err != nil {
+			return nil, err
+		}
+		offB, err := r.read(addrBits)
+		if err != nil {
+			return nil, err
+		}
+		node := c.NumInputs + i
+		if offA == 0 || offB == 0 || uint64(node) < offA || uint64(node) < offB {
+			return nil, fmt.Errorf("cstream: gate %d has invalid offsets", i)
+		}
+		c.Gates[i] = Gate{Op: Op(op), A: node - int(offA), B: node - int(offB)}
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// StreamBits returns the payload size in bits (excluding the header):
+// exactly BitsPerNode per gate — the §V-A compression claim.
+func (c *Circuit) StreamBits() int { return BitsPerNode * len(c.Gates) }
+
+// CompressionVsPrecomputed returns the traffic ratio of streaming the
+// circuit + inputs (2N values, §V-A) versus loading the three
+// precomputed SpMV products (3N values): the win recomputation buys.
+func CompressionVsPrecomputed(numGates int) float64 {
+	// circuit stream (61 bits/gate) + witness (64 bits/value, ≈1 per
+	// gate) vs 3 precomputed 64-bit products per gate.
+	streamed := float64(numGates)*BitsPerNode + float64(numGates)*64
+	precomputed := float64(numGates) * 3 * 64
+	return streamed / precomputed
+}

@@ -1,0 +1,174 @@
+package cstream
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+)
+
+// randomCircuit builds a valid random DAG.
+func randomCircuit(numInputs, numGates int, seed int64) *Circuit {
+	rng := rand.New(rand.NewSource(seed))
+	c := &Circuit{NumInputs: numInputs}
+	for i := 0; i < numGates; i++ {
+		node := numInputs + i
+		c.Gates = append(c.Gates, Gate{
+			Op: Op(rng.Intn(2)),
+			A:  rng.Intn(node),
+			B:  rng.Intn(node),
+		})
+	}
+	return c
+}
+
+func TestEvaluate(t *testing.T) {
+	// (x0 + x1) * x0
+	c := &Circuit{
+		NumInputs: 2,
+		Gates: []Gate{
+			{Op: OpAdd, A: 0, B: 1},
+			{Op: OpMul, A: 2, B: 0},
+		},
+	}
+	nodes, err := c.Evaluate([]field.Element{field.New(3), field.New(4)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[2] != field.New(7) || nodes[3] != field.New(21) {
+		t.Fatalf("eval wrong: %v", nodes)
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, size := range []int{1, 10, 1000} {
+		c := randomCircuit(4, size, int64(size))
+		data, err := c.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Decode(data)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if got.NumInputs != c.NumInputs || len(got.Gates) != len(c.Gates) {
+			t.Fatal("shape mismatch")
+		}
+		for i := range c.Gates {
+			if got.Gates[i] != c.Gates[i] {
+				t.Fatalf("gate %d mismatch: %v vs %v", i, got.Gates[i], c.Gates[i])
+			}
+		}
+	}
+}
+
+func TestDecodedCircuitEvaluatesIdentically(t *testing.T) {
+	c := randomCircuit(8, 500, 7)
+	inputs := make([]field.Element, 8)
+	rng := rand.New(rand.NewSource(8))
+	for i := range inputs {
+		inputs[i] = field.New(rng.Uint64())
+	}
+	want, err := c.Evaluate(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := c.Encode()
+	dec, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dec.Evaluate(inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("node %d differs after round trip", i)
+		}
+	}
+}
+
+func TestExactly61BitsPerNode(t *testing.T) {
+	// The §V-A claim: 61 bits per node.
+	c := randomCircuit(4, 128, 9)
+	if c.StreamBits() != 61*128 {
+		t.Fatalf("stream bits %d", c.StreamBits())
+	}
+	data, _ := c.Encode()
+	payloadBits := len(data)*8 - 128 // minus header
+	// Byte padding adds <8 bits.
+	if payloadBits < c.StreamBits() || payloadBits > c.StreamBits()+8 {
+		t.Fatalf("encoded payload %d bits, want ≈%d", payloadBits, c.StreamBits())
+	}
+}
+
+func TestValidateRejectsBadCircuits(t *testing.T) {
+	cases := map[string]*Circuit{
+		"no inputs":    {NumInputs: 0},
+		"forward ref":  {NumInputs: 1, Gates: []Gate{{OpAdd, 0, 1}}},
+		"negative ref": {NumInputs: 1, Gates: []Gate{{OpAdd, -1, 0}}},
+		"bad op":       {NumInputs: 1, Gates: []Gate{{Op(3), 0, 0}}},
+	}
+	for name, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	c := randomCircuit(2, 5, 10)
+	if _, err := c.Evaluate(make([]field.Element, 3)); err == nil {
+		t.Fatal("wrong input count accepted")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+	c := randomCircuit(2, 5, 11)
+	data, _ := c.Encode()
+	if _, err := Decode(data[:len(data)-2]); err == nil {
+		t.Fatal("truncated stream accepted")
+	}
+	// Corrupt a relative offset to zero (gate referencing itself).
+	bad := append([]byte(nil), data...)
+	for i := 16; i < len(bad); i++ {
+		bad[i] = 0
+	}
+	if _, err := Decode(bad); err == nil {
+		t.Fatal("zero offsets accepted")
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	// §V-A: streaming circuit + witness loads 2N values instead of 3N —
+	// about a third less traffic; with 61-bit packing slightly better.
+	ratio := CompressionVsPrecomputed(1 << 20)
+	if ratio > 0.67 || ratio < 0.6 {
+		t.Fatalf("compression ratio %.3f outside expected band", ratio)
+	}
+}
+
+func BenchmarkEvaluate64k(b *testing.B) {
+	c := randomCircuit(16, 1<<16, 12)
+	inputs := make([]field.Element, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Evaluate(inputs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode64k(b *testing.B) {
+	c := randomCircuit(16, 1<<16, 13)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package cstream
+
+import "testing"
+
+// FuzzDecode ensures the 61-bit stream decoder never panics and that
+// every successfully decoded circuit validates and re-encodes stably.
+func FuzzDecode(f *testing.F) {
+	good, _ := randomCircuit(4, 20, 1).Encode()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add(make([]byte, 16))
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := Decode(b)
+		if err != nil {
+			return
+		}
+		if err := c.Validate(); err != nil {
+			t.Fatalf("decoded circuit invalid: %v", err)
+		}
+		re, err := c.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		c2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if len(c2.Gates) != len(c.Gates) || c2.NumInputs != c.NumInputs {
+			t.Fatal("re-encode not stable")
+		}
+	})
+}

@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// WriteCSV emits the Figure 7 sweep as plot-ready series
+// (resource,scale,relative_performance).
+func (f Figure7Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "resource,scale,rel_perf"); err != nil {
+		return err
+	}
+	for _, p := range f.Points {
+		if _, err := fmt.Fprintf(w, "%s,%g,%.4f\n", p.Resource, p.Scale, p.RelPerf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits the Figure 8 scatter (hbm_tbs,area_mm2,perf,pareto).
+func (f Figure8Result) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "hbm_tbs,area_mm2,perf,pareto"); err != nil {
+		return err
+	}
+	for _, p := range f.Points {
+		if _, err := fmt.Fprintf(w, "%g,%.2f,%.4f,%v\n", p.HBMTBs, p.AreaMM2, p.Perf, p.Pareto); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV emits Table IV rows (benchmark,nocap_s,cpu_s,pipezk_s,
+// speedup_cpu,speedup_pipezk).
+func (t TableIVResult) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "benchmark,nocap_s,cpu_s,pipezk_s,vs_cpu,vs_pipezk"); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%.4f,%.1f,%.1f,%.0f,%.0f\n",
+			r.Name, r.NoCapSec, r.CPUSec, r.PipeSec, r.VsCPU, r.VsPipeZK); err != nil {
+			return err
+		}
+	}
+	return nil
+}

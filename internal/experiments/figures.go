@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nocap/internal/perfmodel"
+	"nocap/internal/power"
+	"nocap/internal/sim"
+	"nocap/internal/tasks"
+)
+
+// Figure5Result is the power breakdown (paper Fig. 5, 16M-constraint
+// statement; "essentially identical across benchmarks").
+type Figure5Result struct {
+	Power power.PowerBreakdown
+}
+
+// Figure5 regenerates the power breakdown.
+func Figure5() Figure5Result {
+	res := sim.Prover(sim.DefaultConfig(), 24, tasks.DefaultOptions())
+	return Figure5Result{Power: power.Estimate(res)}
+}
+
+// Render prints Figure 5.
+func (f Figure5Result) Render() string {
+	p := f.Power
+	return fmt.Sprintf(`Figure 5: NoCap power breakdown (16M-constraint statement)
+FUs:           %5.1f W (%4.1f%%)   [paper: 13%%]
+Register file: %5.1f W (%4.1f%%)   [paper: 44%%]
+HBM:           %5.1f W (%4.1f%%)   [paper: 42%%]
+Total:         %5.1f W            [paper: 62 W]
+`, p.FU, 100*p.FUShare(), p.RegFile, 100*p.RegFileShare(), p.HBM, 100*p.HBMShare(), p.Total())
+}
+
+// Figure6Row is one task's share of runtime and traffic.
+type Figure6Row struct {
+	Task                 string
+	CPUShare, NoCapShare float64
+	NoCapTraffic         float64
+	PaperCPU, PaperNoCap float64
+	PaperTrafficFootnote float64
+}
+
+// Figure6Result is the runtime/traffic breakdown (paper Fig. 6).
+type Figure6Result struct{ Rows []Figure6Row }
+
+// Figure6 regenerates the runtime breakdown (a) for CPU (calibrated
+// shares) and NoCap (simulated), and the NoCap memory-traffic breakdown
+// (b).
+func Figure6() Figure6Result {
+	res := sim.Prover(sim.DefaultConfig(), 24, tasks.DefaultOptions())
+	paperNoCap := map[string]float64{
+		"sumcheck": 0.70, "rs-encode": 0.09, "poly-arith": 0.12, "merkle": 0.05, "spmv": 0.005,
+	}
+	paperTraffic := map[string]float64{
+		"sumcheck": 0.55, "rs-encode": 0.09, "poly-arith": 0.25, "merkle": 0.09, "spmv": 0.01,
+	}
+	var rows []Figure6Row
+	for kind := tasks.Kind(0); kind < tasks.NumKinds; kind++ {
+		name := kind.String()
+		rows = append(rows, Figure6Row{
+			Task:                 name,
+			CPUShare:             perfmodel.CPUTaskShares[name],
+			NoCapShare:           res.TaskShare(kind),
+			NoCapTraffic:         res.TrafficShare(kind),
+			PaperCPU:             perfmodel.CPUTaskShares[name],
+			PaperNoCap:           paperNoCap[name],
+			PaperTrafficFootnote: paperTraffic[name],
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].NoCapShare > rows[j].NoCapShare })
+	return Figure6Result{Rows: rows}
+}
+
+// Render prints Figure 6.
+func (f Figure6Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 6: runtime breakdown (a) and NoCap memory traffic (b) by task\n")
+	fmt.Fprintf(&b, "%-11s %9s %11s %13s %14s %15s\n",
+		"task", "CPU time", "NoCap time", "(paper NoCap)", "NoCap traffic", "(paper traffic)")
+	for _, r := range f.Rows {
+		fmt.Fprintf(&b, "%-11s %8.1f%% %10.1f%% %12.1f%% %13.1f%% %14.1f%%\n",
+			r.Task, 100*r.CPUShare, 100*r.NoCapShare, 100*r.PaperNoCap,
+			100*r.NoCapTraffic, 100*r.PaperTrafficFootnote)
+	}
+	return b.String()
+}
+
+// Figure7Point is one (resource, scale) sensitivity measurement.
+type Figure7Point struct {
+	Resource string
+	Scale    float64
+	// RelPerf is performance relative to the default configuration
+	// (gmean across the five benchmarks; >1 is faster).
+	RelPerf float64
+}
+
+// Figure7Result is the parameter-sensitivity study.
+type Figure7Result struct{ Points []Figure7Point }
+
+// figure7Resources mutates one hardware resource by a scale factor.
+var figure7Resources = []struct {
+	name string
+	mut  func(*sim.Config, float64)
+}{
+	{"hash-fu", func(c *sim.Config, s float64) { c.HashLanes = scaleInt(c.HashLanes, s) }},
+	{"arith-fu", func(c *sim.Config, s float64) {
+		c.MulLanes = scaleInt(c.MulLanes, s)
+		c.AddLanes = scaleInt(c.AddLanes, s)
+	}},
+	{"ntt-fu", func(c *sim.Config, s float64) { c.NTTLanes = scaleInt(c.NTTLanes, s) }},
+	{"hbm-bw", func(c *sim.Config, s float64) { c.MemBytesPerCycle *= s }},
+	{"reg-file", func(c *sim.Config, s float64) { c.RegFileBytes = int64(float64(c.RegFileBytes) * s) }},
+}
+
+func scaleInt(v int, s float64) int {
+	out := int(float64(v) * s)
+	if out < 1 {
+		out = 1
+	}
+	return out
+}
+
+// Figure7Scales are the sweep points of the sensitivity study.
+var Figure7Scales = []float64{0.25, 0.5, 1, 2, 4}
+
+// gmeanNoCapSeconds simulates the gmean proving time over the benchmark
+// suite under a configuration.
+func gmeanNoCapSeconds(cfg sim.Config) float64 {
+	var times []float64
+	for _, bm := range Benchmarks {
+		logN := perfmodel.PaddedLog2(bm.Constraints)
+		times = append(times, sim.Prover(cfg, logN, tasks.DefaultOptions()).Seconds())
+	}
+	return gmean(times)
+}
+
+// Figure7 regenerates the sensitivity sweep: each hardware building
+// block scaled individually, performance relative to the default.
+func Figure7() Figure7Result {
+	base := gmeanNoCapSeconds(sim.DefaultConfig())
+	var pts []Figure7Point
+	for _, res := range figure7Resources {
+		for _, s := range Figure7Scales {
+			cfg := sim.DefaultConfig()
+			res.mut(&cfg, s)
+			pts = append(pts, Figure7Point{
+				Resource: res.name,
+				Scale:    s,
+				RelPerf:  base / gmeanNoCapSeconds(cfg),
+			})
+		}
+	}
+	return Figure7Result{Points: pts}
+}
+
+// Render prints Figure 7 as a series table.
+func (f Figure7Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 7: parameter sensitivity (relative gmean performance)\n")
+	fmt.Fprintf(&b, "%-10s", "resource")
+	for _, s := range Figure7Scales {
+		fmt.Fprintf(&b, " %7.2fx", s)
+	}
+	b.WriteByte('\n')
+	for _, res := range figure7Resources {
+		fmt.Fprintf(&b, "%-10s", res.name)
+		for _, s := range Figure7Scales {
+			for _, p := range f.Points {
+				if p.Resource == res.name && p.Scale == s {
+					fmt.Fprintf(&b, " %7.2f ", p.RelPerf)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Figure8Point is one design-space sample.
+type Figure8Point struct {
+	AreaMM2 float64
+	// Perf is gmean performance relative to the default configuration.
+	Perf   float64
+	HBMTBs float64
+	Pareto bool
+}
+
+// Figure8Result is the design-space exploration (paper Fig. 8).
+type Figure8Result struct{ Points []Figure8Point }
+
+// Figure8 sweeps on-chip storage and FU throughputs independently for
+// 1 TB/s and 2 TB/s HBM, computes area for each configuration, and marks
+// the Pareto frontier.
+func Figure8() Figure8Result {
+	base := gmeanNoCapSeconds(sim.DefaultConfig())
+	scales := []float64{0.25, 0.5, 1, 2}
+	var pts []Figure8Point
+	for _, hbm := range []float64{1, 2} {
+		for _, fus := range scales {
+			for _, rf := range scales {
+				for _, ntt := range scales {
+					cfg := sim.DefaultConfig()
+					cfg.MemBytesPerCycle *= hbm
+					cfg.MulLanes = scaleInt(cfg.MulLanes, fus)
+					cfg.AddLanes = scaleInt(cfg.AddLanes, fus)
+					cfg.HashLanes = scaleInt(cfg.HashLanes, fus)
+					cfg.NTTLanes = scaleInt(cfg.NTTLanes, ntt)
+					cfg.RegFileBytes = int64(float64(cfg.RegFileBytes) * rf)
+					pts = append(pts, Figure8Point{
+						AreaMM2: power.Area(cfg).Total(),
+						Perf:    base / gmeanNoCapSeconds(cfg),
+						HBMTBs:  hbm,
+					})
+				}
+			}
+		}
+	}
+	markPareto(pts)
+	return Figure8Result{Points: pts}
+}
+
+// markPareto flags points not dominated (within their HBM class) by a
+// smaller-or-equal-area, faster point.
+func markPareto(pts []Figure8Point) {
+	for i := range pts {
+		dominated := false
+		for j := range pts {
+			if i == j || pts[i].HBMTBs != pts[j].HBMTBs {
+				continue
+			}
+			if pts[j].AreaMM2 <= pts[i].AreaMM2 && pts[j].Perf > pts[i].Perf {
+				dominated = true
+				break
+			}
+		}
+		pts[i].Pareto = !dominated
+	}
+}
+
+// Render prints the Pareto frontiers of Figure 8.
+func (f Figure8Result) Render() string {
+	var b strings.Builder
+	b.WriteString("Figure 8: design space (Pareto frontier points)\n")
+	fmt.Fprintf(&b, "%6s %10s %8s\n", "HBM", "area[mm²]", "perf")
+	pts := append([]Figure8Point(nil), f.Points...)
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].HBMTBs != pts[j].HBMTBs {
+			return pts[i].HBMTBs < pts[j].HBMTBs
+		}
+		return pts[i].AreaMM2 < pts[j].AreaMM2
+	})
+	for _, p := range pts {
+		if !p.Pareto {
+			continue
+		}
+		fmt.Fprintf(&b, "%4.0fTB %10.1f %8.2f\n", p.HBMTBs, p.AreaMM2, p.Perf)
+	}
+	return b.String()
+}

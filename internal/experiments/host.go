@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nocap/internal/perfmodel"
+)
+
+// PCIeBytesPerSec is the host link of paper §IV-D ("PCIe 5.0 supports
+// 64 GB/s bandwidth, more than enough to keep NoCap busy").
+const PCIeBytesPerSec = 64e9
+
+// HostRow is one benchmark's host-interface accounting.
+type HostRow struct {
+	Name string
+	// WireBytes is the z̄ wire-value payload the host ships (8 B per
+	// padded variable, §IV-D).
+	WireBytes int64
+	// TransferSec vs ProverSec: the link is "more than enough" when the
+	// transfer is a small fraction of proving.
+	TransferSec, ProverSec float64
+	Utilization            float64
+}
+
+// HostInterfaceResult reproduces the §IV-D system-integration claim.
+type HostInterfaceResult struct{ Rows []HostRow }
+
+// HostInterface computes wire-value transfer times per benchmark.
+func HostInterface() HostInterfaceResult {
+	var out HostInterfaceResult
+	for _, bm := range Benchmarks {
+		logN := perfmodel.PaddedLog2(bm.Constraints)
+		wires := int64(8) << uint(logN+1) // z has ~2·constraints entries
+		prover := NoCapSeconds(bm.Constraints)
+		transfer := float64(wires) / PCIeBytesPerSec
+		out.Rows = append(out.Rows, HostRow{
+			Name:        bm.Name,
+			WireBytes:   wires,
+			TransferSec: transfer,
+			ProverSec:   prover,
+			Utilization: transfer / prover,
+		})
+	}
+	return out
+}
+
+// Render prints the host-interface analysis.
+func (h HostInterfaceResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Section IV-D host interface: wire-value transfer over PCIe 5.0 (64 GB/s)\n")
+	fmt.Fprintf(&b, "%-9s %10s %12s %11s %12s\n", "bench", "wires", "transfer", "prover", "link util")
+	for _, r := range h.Rows {
+		fmt.Fprintf(&b, "%-9s %8.2fGB %10.1fms %9.2fs %11.1f%%\n",
+			r.Name, float64(r.WireBytes)/1e9, r.TransferSec*1e3, r.ProverSec, 100*r.Utilization)
+	}
+	b.WriteString("(well under the prover time in every case: the link keeps NoCap busy)\n")
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nocap/internal/perfmodel"
+)
+
+// ProofSizeRow decomposes one benchmark's proof size.
+type ProofSizeRow struct {
+	Name string
+	LogN int
+	// Direct-scheme components (this repository's Brakedown/Shockwave-
+	// style opening, DESIGN.md §3.3), in MB.
+	VectorsMB, ColumnsMB, PathsMB, SumcheckMB float64
+	// DirectMB is their sum; ComposedMB the paper's Orion-composed size.
+	DirectMB, ComposedMB float64
+}
+
+// ProofCompositionResult quantifies what Orion's proof composition buys:
+// the direct opening ships (reps + proximity) row-combination vectors of
+// O(N/rows) elements, which dominates at scale; the composition replaces
+// them with a second small SNARK, flattening growth to O(log²N)
+// (paper §II-A).
+type ProofCompositionResult struct{ Rows []ProofSizeRow }
+
+// proofGeometry mirrors pcs.Commit's layout at paper parameters.
+func proofGeometry(logN int) (msgLen, rows, masks, queries, reps int) {
+	rows, masks, queries, reps = 128, 4+3, 189, 3
+	cols := (1 << uint(logN-1)) / rows // witness half split into 128 rows
+	msgLen = cols + queries            // ZK row tails
+	for msgLen&(msgLen-1) != 0 {
+		msgLen++
+	}
+	return msgLen, rows, masks, queries, reps
+}
+
+// ProofComposition computes the direct-scheme size breakdown for each
+// benchmark next to the paper's composed sizes.
+func ProofComposition() ProofCompositionResult {
+	var out ProofCompositionResult
+	for _, bm := range Benchmarks {
+		logN := perfmodel.PaddedLog2(bm.Constraints)
+		msgLen, rows, masks, queries, reps := proofGeometry(logN)
+		row := ProofSizeRow{Name: bm.Name, LogN: logN}
+		// (proximity + per-point eval) vectors, each msgLen elements.
+		row.VectorsMB = float64((4+reps)*msgLen*8) / 1e6
+		// Shared column openings: queries × (rows+masks) elements.
+		row.ColumnsMB = float64(queries*(rows+masks)*8) / 1e6
+		// Merkle paths: queries × log2(4·msgLen) digests.
+		depth := 2
+		for 1<<uint(depth) < 4*msgLen {
+			depth++
+		}
+		row.PathsMB = float64(queries*(8+32*depth)) / 1e6
+		// Sumcheck messages: reps × (outer deg-3 over logN + inner deg-2
+		// over logN+1 rounds).
+		row.SumcheckMB = float64(reps*(logN*4+(logN+1)*3)*8) / 1e6
+		row.DirectMB = row.VectorsMB + row.ColumnsMB + row.PathsMB + row.SumcheckMB
+		row.ComposedMB = perfmodel.ProofMB(bm.Constraints)
+		out.Rows = append(out.Rows, row)
+	}
+	return out
+}
+
+// Render prints the composition analysis.
+func (p ProofCompositionResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Proof composition analysis: direct Brakedown opening vs Orion composition\n")
+	fmt.Fprintf(&b, "%-9s %5s %9s %9s %7s %9s %11s %13s\n",
+		"bench", "logN", "vectors", "columns", "paths", "sumcheck", "direct[MB]", "composed[MB]")
+	for _, r := range p.Rows {
+		fmt.Fprintf(&b, "%-9s %5d %8.2fM %8.2fM %6.2fM %8.3fM %11.1f %13.1f\n",
+			r.Name, r.LogN, r.VectorsMB, r.ColumnsMB, r.PathsMB, r.SumcheckMB,
+			r.DirectMB, r.ComposedMB)
+	}
+	b.WriteString("(the O(N/rows) combination vectors dominate the direct scheme at scale;\n")
+	b.WriteString(" Orion's code-switching composition replaces them with a second small\n")
+	b.WriteString(" SNARK, giving the paper's O(log²N) proof sizes — DESIGN.md §3.3)\n")
+	return b.String()
+}

@@ -1,0 +1,256 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §5): each generator returns structured rows and
+// renders the same columns the paper reports, combining the cycle-level
+// simulator (full-scale runs) with the calibrated baseline/CPU models
+// and, where laptop-scale allows, measurements of the real Go prover.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"nocap/internal/baseline"
+	"nocap/internal/circuits"
+	"nocap/internal/perfmodel"
+	"nocap/internal/power"
+	"nocap/internal/sim"
+	"nocap/internal/tasks"
+)
+
+// Benchmarks are the five paper benchmarks with their Table III sizes.
+var Benchmarks = circuits.PaperSizes
+
+// NoCapSeconds simulates NoCap's proving time for a raw constraint count.
+func NoCapSeconds(constraints int64) float64 {
+	logN := perfmodel.PaddedLog2(constraints)
+	return sim.Prover(sim.DefaultConfig(), logN, tasks.DefaultOptions()).Seconds()
+}
+
+// gmean returns the geometric mean.
+func gmean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += math.Log(x)
+	}
+	return math.Exp(s / float64(len(xs)))
+}
+
+// TableIRow is one system in the end-to-end comparison.
+type TableIRow struct {
+	Scheme, Prover string
+	Times          perfmodel.EndToEnd
+}
+
+// TableIResult is the paper's Table I: end-to-end times at 16M
+// constraints over a 10 MB/s link.
+type TableIResult struct {
+	Constraints int64
+	Rows        []TableIRow
+}
+
+// TableI regenerates Table I.
+func TableI() TableIResult {
+	const n = 16_000_000
+	g16 := func(prover float64) perfmodel.EndToEnd {
+		return perfmodel.EndToEnd{
+			Prover:   prover,
+			Send:     perfmodel.SendSeconds(float64(baseline.Groth16ProofBytes) / 1e6),
+			Verifier: baseline.Groth16VerifySeconds,
+		}
+	}
+	so := func(prover float64) perfmodel.EndToEnd {
+		return perfmodel.NoCapEndToEnd(prover, n)
+	}
+	return TableIResult{
+		Constraints: n,
+		Rows: []TableIRow{
+			{"Groth16", "CPU", g16(baseline.Groth16CPUSeconds(n))},
+			{"Groth16", "GPU", g16(baseline.Groth16GPUSeconds(n))},
+			{"Groth16", "PipeZK", g16(baseline.PipeZKSeconds(n))},
+			{"Spartan+Orion", "CPU", so(perfmodel.CPUSeconds(n))},
+			{"Spartan+Orion", "NoCap", so(NoCapSeconds(n))},
+		},
+	}
+}
+
+// Render prints the table in the paper's layout.
+func (t TableIResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table I: end-to-end execution time, %d R1CS constraints, 10 MB/s link\n", t.Constraints)
+	fmt.Fprintf(&b, "%-15s %-8s %9s %7s %9s %8s\n", "zkSNARK", "Prover", "Prover", "Send", "Verifier", "Total")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-15s %-8s %8.2fs %6.2fs %8.2fs %7.2fs\n",
+			r.Scheme, r.Prover, r.Times.Prover, r.Times.Send, r.Times.Verifier, r.Times.Total())
+	}
+	return b.String()
+}
+
+// TableIIResult is the area breakdown.
+type TableIIResult struct{ Area power.AreaBreakdown }
+
+// TableII regenerates Table II from the area model.
+func TableII() TableIIResult { return TableIIResult{Area: power.Area(sim.DefaultConfig())} }
+
+// Render prints Table II.
+func (t TableIIResult) Render() string {
+	a := t.Area
+	var b strings.Builder
+	b.WriteString("Table II: NoCap area breakdown [mm²]\n")
+	rows := []struct {
+		name string
+		mm2  float64
+	}{
+		{"NTT FU", a.NTT}, {"Multiply FU", a.Mul}, {"Add FU", a.Add}, {"Hash FU", a.Hash},
+		{"Total Compute", a.Compute()},
+		{"Reg. file (2,048 x 4 KB banks)", a.RegFile},
+		{"Benes network", a.Benes},
+		{"Memory interface (2 x PHY)", a.MemPHYs},
+		{"Total memory system", a.MemorySystem()},
+		{"Total NoCap", a.Total()},
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-32s %6.2f\n", r.name, r.mm2)
+	}
+	return b.String()
+}
+
+// TableIIIRow is one benchmark's statement parameters.
+type TableIIIRow struct {
+	Name               string
+	Constraints        int64
+	ProofMB, VerifyMS  float64
+	PaperMB, PaperVMms float64
+}
+
+// TableIIIResult reproduces the benchmark table.
+type TableIIIResult struct{ Rows []TableIIIRow }
+
+// TableIII regenerates Table III from the fitted O(log²N) models,
+// alongside the paper's values.
+func TableIII() TableIIIResult {
+	var rows []TableIIIRow
+	for _, bm := range Benchmarks {
+		rows = append(rows, TableIIIRow{
+			Name:        bm.Name,
+			Constraints: bm.Constraints,
+			ProofMB:     perfmodel.ProofMB(bm.Constraints),
+			VerifyMS:    perfmodel.VerifySeconds(bm.Constraints) * 1e3,
+			PaperMB:     bm.ProofMB,
+			PaperVMms:   bm.VerifyMS,
+		})
+	}
+	return TableIIIResult{Rows: rows}
+}
+
+// Render prints Table III.
+func (t TableIIIResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table III: benchmark R1CS size, proof size, verification time\n")
+	fmt.Fprintf(&b, "%-9s %10s %11s %12s %12s %13s\n",
+		"Benchmark", "R1CS", "Proof [MB]", "(paper)", "V time [ms]", "(paper)")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-9s %9.1fM %11.1f %12.1f %12.1f %13.1f\n",
+			r.Name, float64(r.Constraints)/1e6, r.ProofMB, r.PaperMB, r.VerifyMS, r.PaperVMms)
+	}
+	return b.String()
+}
+
+// TableIVRow compares proving times for one benchmark.
+type TableIVRow struct {
+	Name                      string
+	NoCapSec, CPUSec, PipeSec float64
+	VsCPU, VsPipeZK           float64
+}
+
+// TableIVResult is the proving-time comparison.
+type TableIVResult struct {
+	Rows                     []TableIVRow
+	GmeanVsCPU, GmeanVsPipe  float64
+	PaperGmeanCPU, PaperPipe float64
+}
+
+// TableIV regenerates Table IV: NoCap (simulated) vs CPU and PipeZK
+// (calibrated models).
+func TableIV() TableIVResult {
+	res := TableIVResult{PaperGmeanCPU: 586, PaperPipe: 41}
+	var vsCPU, vsPipe []float64
+	for _, bm := range Benchmarks {
+		row := TableIVRow{
+			Name:     bm.Name,
+			NoCapSec: NoCapSeconds(bm.Constraints),
+			CPUSec:   perfmodel.CPUSeconds(bm.Constraints),
+			PipeSec:  baseline.PipeZKSeconds(bm.Constraints),
+		}
+		row.VsCPU = row.CPUSec / row.NoCapSec
+		row.VsPipeZK = row.PipeSec / row.NoCapSec
+		vsCPU = append(vsCPU, row.VsCPU)
+		vsPipe = append(vsPipe, row.VsPipeZK)
+		res.Rows = append(res.Rows, row)
+	}
+	res.GmeanVsCPU = gmean(vsCPU)
+	res.GmeanVsPipe = gmean(vsPipe)
+	return res
+}
+
+// Render prints Table IV.
+func (t TableIVResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table IV: proof generation time and NoCap speedups\n")
+	fmt.Fprintf(&b, "%-9s %11s %11s %9s %10s %10s\n",
+		"Benchmark", "NoCap", "CPU", "vs CPU", "PipeZK", "vs PipeZK")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-9s %9.1fms %10.1fs %8.0fx %9.1fs %9.0fx\n",
+			r.Name, r.NoCapSec*1e3, r.CPUSec, r.VsCPU, r.PipeSec, r.VsPipeZK)
+	}
+	fmt.Fprintf(&b, "gmean speedups: %.0fx vs CPU (paper: %.0fx), %.0fx vs PipeZK (paper: %.0fx)\n",
+		t.GmeanVsCPU, t.PaperGmeanCPU, t.GmeanVsPipe, t.PaperPipe)
+	return b.String()
+}
+
+// TableVRow is one benchmark's end-to-end comparison.
+type TableVRow struct {
+	Name     string
+	NoCap    perfmodel.EndToEnd
+	VsPipeZK float64
+}
+
+// TableVResult is the end-to-end table.
+type TableVResult struct {
+	Rows       []TableVRow
+	Gmean      float64
+	PaperGmean float64
+}
+
+// TableV regenerates Table V: NoCap end-to-end runtime and speedup over
+// PipeZK's end-to-end runtime.
+func TableV() TableVResult {
+	res := TableVResult{PaperGmean: 16.8}
+	var speeds []float64
+	for _, bm := range Benchmarks {
+		e2e := perfmodel.NoCapEndToEnd(NoCapSeconds(bm.Constraints), bm.Constraints)
+		pipe := perfmodel.EndToEnd{
+			Prover:   baseline.PipeZKSeconds(bm.Constraints),
+			Send:     perfmodel.SendSeconds(float64(baseline.Groth16ProofBytes) / 1e6),
+			Verifier: baseline.Groth16VerifySeconds,
+		}
+		row := TableVRow{Name: bm.Name, NoCap: e2e, VsPipeZK: pipe.Total() / e2e.Total()}
+		speeds = append(speeds, row.VsPipeZK)
+		res.Rows = append(res.Rows, row)
+	}
+	res.Gmean = gmean(speeds)
+	return res
+}
+
+// Render prints Table V.
+func (t TableVResult) Render() string {
+	var b strings.Builder
+	b.WriteString("Table V: NoCap end-to-end runtime [s] and speedup vs PipeZK\n")
+	fmt.Fprintf(&b, "%-9s %8s %7s %9s %7s %11s\n", "Benchmark", "Prover", "Send", "Verifier", "Total", "vs PipeZK")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-9s %7.1f %7.1f %9.1f %7.1f %10.1fx\n",
+			r.Name, r.NoCap.Prover, r.NoCap.Send, r.NoCap.Verifier, r.NoCap.Total(), r.VsPipeZK)
+	}
+	fmt.Fprintf(&b, "gmean end-to-end speedup: %.1fx (paper: %.1fx)\n", t.Gmean, t.PaperGmean)
+	return b.String()
+}

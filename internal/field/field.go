@@ -1,0 +1,291 @@
+// Package field implements arithmetic in the Goldilocks-64 prime field,
+// GF(p) with p = 2^64 − 2^32 + 1, the field NoCap's functional units
+// operate on (paper §IV-A). The prime admits a reduction using only
+// additions and shifts, which is what makes 64-bit modular multiplies
+// cheap both on CPUs and in NoCap's multiplier FU.
+//
+// The package also provides the root-of-unity machinery required by the
+// NTT (the multiplicative group has order p−1 = 2^32 · 3 · 5 · 17 · 257 ·
+// 65537, so radix-2 NTTs up to 2^32 points exist) and an optional 64-bit
+// multiply counter used by the paper's §III efficiency analysis.
+package field
+
+import (
+	"fmt"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Modulus is the Goldilocks prime p = 2^64 − 2^32 + 1.
+const Modulus uint64 = 0xFFFFFFFF00000001
+
+// epsilon = 2^64 mod p = 2^32 − 1. Adding 2^64 modulo p is adding epsilon.
+const epsilon uint64 = 0xFFFFFFFF
+
+// Generator is a generator of the full multiplicative group GF(p)*.
+const Generator uint64 = 7
+
+// TwoAdicity is the largest k with 2^k | p−1; NTT sizes up to 2^k exist.
+const TwoAdicity = 32
+
+// Element is a field element. The representation is canonical: always in
+// [0, p). The zero value is the field's zero.
+type Element uint64
+
+// mulCount counts 64-bit integer multiplies when counting is enabled.
+// It backs the §III "critical operation" analysis.
+var mulCount atomic.Uint64
+
+// countMuls gates instrumentation; it is toggled by EnableMulCount.
+var countMuls atomic.Bool
+
+// EnableMulCount turns the 64-bit multiply counter on or off and resets it.
+func EnableMulCount(on bool) {
+	countMuls.Store(on)
+	mulCount.Store(0)
+}
+
+// MulCount returns the number of 64-bit multiplies executed by Mul/Square
+// since the counter was last reset. Each Goldilocks multiply is one 64×64
+// full multiply (bits.Mul64), which is the unit the paper counts.
+func MulCount() uint64 { return mulCount.Load() }
+
+// AddMulCount adds n to the multiply counter; used by cost models that
+// account for multiplies performed outside this package (e.g. the Groth16
+// baseline's 381-bit limb products).
+func AddMulCount(n uint64) {
+	if countMuls.Load() {
+		mulCount.Add(n)
+	}
+}
+
+// New returns the element congruent to v mod p.
+func New(v uint64) Element {
+	if v >= Modulus {
+		v -= Modulus
+	}
+	return Element(v)
+}
+
+// Zero and One are the additive and multiplicative identities.
+const (
+	Zero Element = 0
+	One  Element = 1
+)
+
+// Uint64 returns the canonical representative in [0, p).
+func (e Element) Uint64() uint64 { return uint64(e) }
+
+// IsZero reports whether e is the additive identity.
+func (e Element) IsZero() bool { return e == 0 }
+
+// String implements fmt.Stringer.
+func (e Element) String() string { return fmt.Sprintf("%d", uint64(e)) }
+
+// Add returns a+b mod p.
+func Add(a, b Element) Element {
+	s, carry := bits.Add64(uint64(a), uint64(b), 0)
+	// a,b < p ≤ 2^64−2^32+1, so a+b < 2^65. If it overflowed, the true sum
+	// is s + 2^64 ≡ s + epsilon (mod p); s < 2·p − 2^64 < epsilon·... the
+	// addition of epsilon cannot overflow because s ≤ 2p−2−2^64 < 2^33.
+	if carry == 1 {
+		s += epsilon
+	}
+	if s >= Modulus {
+		s -= Modulus
+	}
+	return Element(s)
+}
+
+// Sub returns a−b mod p.
+func Sub(a, b Element) Element {
+	d, borrow := bits.Sub64(uint64(a), uint64(b), 0)
+	if borrow == 1 {
+		d -= epsilon // d + 2^64 ≡ d + epsilon; equivalently d -= epsilon wraps to d+p.
+	}
+	return Element(d)
+}
+
+// Neg returns −a mod p.
+func Neg(a Element) Element {
+	if a == 0 {
+		return 0
+	}
+	return Element(Modulus - uint64(a))
+}
+
+// Double returns 2a mod p.
+func Double(a Element) Element { return Add(a, a) }
+
+// reduce128 reduces hi·2^64 + lo modulo p.
+//
+// Using 2^64 ≡ 2^32 − 1 and 2^96 ≡ −1 (mod p): write hi = h1·2^32 + h0.
+// Then x ≡ lo − h1 + h0·(2^32 − 1) (mod p).
+func reduce128(hi, lo uint64) Element {
+	h0 := hi & 0xFFFFFFFF
+	h1 := hi >> 32
+	t, borrow := bits.Sub64(lo, h1, 0)
+	if borrow == 1 {
+		// t wrapped: true value is t + 2^64 ≡ t + epsilon... we instead
+		// subtract epsilon from the wrapped t, which equals (lo − h1) mod p
+		// because wrapping added 2^64 and 2^64 ≡ epsilon, so remove the
+		// excess 2^64 − p = epsilon − ... Standard identity: t -= epsilon.
+		t -= epsilon
+	}
+	m := h0 * epsilon // h0 < 2^32 so the product fits in 64 bits.
+	r, carry := bits.Add64(t, m, 0)
+	if carry == 1 {
+		r += epsilon
+	}
+	if r >= Modulus {
+		r -= Modulus
+	}
+	return Element(r)
+}
+
+// Mul returns a·b mod p.
+func Mul(a, b Element) Element {
+	if countMuls.Load() {
+		mulCount.Add(1)
+	}
+	hi, lo := bits.Mul64(uint64(a), uint64(b))
+	return reduce128(hi, lo)
+}
+
+// Square returns a² mod p.
+func Square(a Element) Element { return Mul(a, a) }
+
+// MulAdd returns a·b + c mod p.
+func MulAdd(a, b, c Element) Element { return Add(Mul(a, b), c) }
+
+// Exp returns a^e mod p by square-and-multiply.
+func Exp(a Element, e uint64) Element {
+	result := One
+	base := a
+	for e > 0 {
+		if e&1 == 1 {
+			result = Mul(result, base)
+		}
+		base = Square(base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a, or 0 if a is 0.
+// It uses Fermat's little theorem: a^(p−2).
+func Inv(a Element) Element {
+	if a == 0 {
+		return 0
+	}
+	return Exp(a, Modulus-2)
+}
+
+// Div returns a/b mod p; it panics if b is zero.
+func Div(a, b Element) Element {
+	if b == 0 {
+		panic("field: division by zero")
+	}
+	return Mul(a, Inv(b))
+}
+
+// BatchInv inverts all elements of vs in place using Montgomery's trick:
+// one inversion plus 3(n−1) multiplies. Zero entries are left as zero.
+func BatchInv(vs []Element) {
+	if len(vs) == 0 {
+		return
+	}
+	prefix := make([]Element, len(vs))
+	acc := One
+	for i, v := range vs {
+		prefix[i] = acc
+		if v != 0 {
+			acc = Mul(acc, v)
+		}
+	}
+	inv := Inv(acc)
+	for i := len(vs) - 1; i >= 0; i-- {
+		if vs[i] == 0 {
+			continue
+		}
+		tmp := Mul(inv, vs[i])
+		vs[i] = Mul(inv, prefix[i])
+		inv = tmp
+	}
+}
+
+// RootOfUnity returns a primitive 2^logN-th root of unity.
+// It panics if logN exceeds the field's two-adicity.
+func RootOfUnity(logN int) Element {
+	if logN < 0 || logN > TwoAdicity {
+		panic(fmt.Sprintf("field: no 2^%d-th root of unity", logN))
+	}
+	// Generator^((p−1)/2^32) is a primitive 2^32-nd root; square down.
+	root := Exp(Element(Generator), (Modulus-1)>>TwoAdicity)
+	for i := TwoAdicity; i > logN; i-- {
+		root = Square(root)
+	}
+	return root
+}
+
+// InnerProduct returns Σ a[i]·b[i]. The slices must have equal length.
+func InnerProduct(a, b []Element) Element {
+	if len(a) != len(b) {
+		panic("field: inner product length mismatch")
+	}
+	var acc Element
+	for i := range a {
+		acc = Add(acc, Mul(a[i], b[i]))
+	}
+	return acc
+}
+
+// VecAdd sets dst[i] = a[i] + b[i]. Slices must have equal length.
+func VecAdd(dst, a, b []Element) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("field: vector add length mismatch")
+	}
+	for i := range a {
+		dst[i] = Add(a[i], b[i])
+	}
+}
+
+// VecScaleAdd sets dst[i] = dst[i] + s·a[i].
+func VecScaleAdd(dst []Element, s Element, a []Element) {
+	if len(dst) != len(a) {
+		panic("field: vector scale-add length mismatch")
+	}
+	for i := range a {
+		dst[i] = Add(dst[i], Mul(s, a[i]))
+	}
+}
+
+// VecMul sets dst[i] = a[i] · b[i]. Slices must have equal length.
+func VecMul(dst, a, b []Element) {
+	if len(a) != len(b) || len(dst) != len(a) {
+		panic("field: vector mul length mismatch")
+	}
+	for i := range a {
+		dst[i] = Mul(a[i], b[i])
+	}
+}
+
+// FromBytes interprets an 8-byte little-endian value, reduced mod p.
+func FromBytes(b [8]byte) Element {
+	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+	// v < 2^64 = p + epsilon − 1 + ... reduce with at most two subtractions.
+	if v >= Modulus {
+		v -= Modulus
+	}
+	return Element(v)
+}
+
+// Bytes returns the canonical 8-byte little-endian encoding.
+func (e Element) Bytes() [8]byte {
+	v := uint64(e)
+	return [8]byte{
+		byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24),
+		byte(v >> 32), byte(v >> 40), byte(v >> 48), byte(v >> 56),
+	}
+}

@@ -1,0 +1,55 @@
+// Package hashfn provides the SHA3-256 hashing primitives of the NoCap
+// stack. The hash FU (paper §IV-B) is a 2-to-1 compressor: it "takes two
+// 256-bit values and outputs a 256-bit result" at 1 KB/cycle; Merkle
+// trees, Fiat–Shamir transcripts and leaf packing are all built from this
+// primitive, mirrored here in software.
+package hashfn
+
+import (
+	"crypto/sha3"
+	"encoding/binary"
+
+	"nocap/internal/field"
+)
+
+// Size is the digest size in bytes (256 bits).
+const Size = 32
+
+// Digest is a 256-bit SHA3 output.
+type Digest [Size]byte
+
+// Sum hashes an arbitrary byte string.
+func Sum(data []byte) Digest {
+	return Digest(sha3.Sum256(data))
+}
+
+// Hash2 is the hash FU's 2-to-1 compression: SHA3-256 of the
+// concatenation of two 256-bit inputs.
+func Hash2(a, b Digest) Digest {
+	var buf [2 * Size]byte
+	copy(buf[:Size], a[:])
+	copy(buf[Size:], b[:])
+	return Sum(buf[:])
+}
+
+// HashElems packs field elements into 64-bit little-endian words (four
+// elements per 256-bit hash input block, matching the FU's
+// reinterpretation of "each group of four consecutive 64-bit elements as
+// a 256-bit input") and hashes them.
+func HashElems(elems []field.Element) Digest {
+	buf := make([]byte, 8*len(elems))
+	for i, e := range elems {
+		binary.LittleEndian.PutUint64(buf[8*i:], e.Uint64())
+	}
+	return Sum(buf)
+}
+
+// ElemBytes returns the packed little-endian byte representation of a
+// field-element vector, as streamed into the hash FU.
+func ElemBytes(elems []field.Element) []byte {
+	buf := make([]byte, 8*len(elems))
+	for i, e := range elems {
+		binary.LittleEndian.PutUint64(buf[8*i:], e.Uint64())
+	}
+	return buf
+}

@@ -1,0 +1,53 @@
+package hashfn
+
+import (
+	"testing"
+
+	"nocap/internal/field"
+)
+
+func TestSumDeterministic(t *testing.T) {
+	a := Sum([]byte("hello"))
+	b := Sum([]byte("hello"))
+	if a != b {
+		t.Fatal("hash not deterministic")
+	}
+	if a == Sum([]byte("world")) {
+		t.Fatal("distinct inputs collide")
+	}
+}
+
+func TestHash2OrderMatters(t *testing.T) {
+	a := Sum([]byte("a"))
+	b := Sum([]byte("b"))
+	if Hash2(a, b) == Hash2(b, a) {
+		t.Fatal("Hash2 must not be commutative")
+	}
+	if Hash2(a, b) != Hash2(a, b) {
+		t.Fatal("Hash2 not deterministic")
+	}
+}
+
+func TestHashElemsPacking(t *testing.T) {
+	// HashElems must equal Sum over the little-endian packed bytes.
+	elems := []field.Element{field.New(1), field.New(1 << 40), field.New(field.Modulus - 1)}
+	if HashElems(elems) != Sum(ElemBytes(elems)) {
+		t.Fatal("HashElems disagrees with packed Sum")
+	}
+	if len(ElemBytes(elems)) != 24 {
+		t.Fatal("packing size wrong")
+	}
+	// Little-endian check.
+	b := ElemBytes([]field.Element{field.New(0x0102030405060708)})
+	if b[0] != 0x08 || b[7] != 0x01 {
+		t.Fatal("packing endianness wrong")
+	}
+}
+
+func TestHashElemsDistinguishesLayout(t *testing.T) {
+	a := HashElems([]field.Element{field.New(1), field.New(0)})
+	b := HashElems([]field.Element{field.New(1)})
+	if a == b {
+		t.Fatal("length not bound into hash")
+	}
+}

@@ -1,0 +1,98 @@
+package isa
+
+import "testing"
+
+func TestEmitAndCounts(t *testing.T) {
+	p := NewProgram("test")
+	p.Emit(OpVMul, 2048, 10)
+	p.Emit(OpVAdd, 128, 1)
+	p.Emit(OpLoad, 65536, 2)
+	p.Emit(OpStore, 128, 1)
+	if p.Elems(FUMul) != 20480 {
+		t.Fatalf("mul elems %d", p.Elems(FUMul))
+	}
+	if p.Elems(FUAdd) != 128 {
+		t.Fatalf("add elems %d", p.Elems(FUAdd))
+	}
+	if p.MemBytes() != 8*(2*65536+128) {
+		t.Fatalf("mem bytes %d", p.MemBytes())
+	}
+}
+
+func TestEmitElemsCoversExactly(t *testing.T) {
+	p := NewProgram("test")
+	p.EmitElems(OpVMul, 3*65536+5000)
+	got := p.Elems(FUMul)
+	// Full vectors exactly; remainder rounded up to a power-of-two vector.
+	if got < 3*65536+5000 || got > 3*65536+8192 {
+		t.Fatalf("covered %d elements", got)
+	}
+}
+
+func TestEmitElemsZeroAndNegative(t *testing.T) {
+	p := NewProgram("test")
+	p.EmitElems(OpVMul, 0)
+	p.EmitElems(OpVMul, -5)
+	if p.NumInstrs() != 0 {
+		t.Fatal("empty emits produced instructions")
+	}
+}
+
+func TestVectorLengthBounds(t *testing.T) {
+	for _, v := range []int{64, 100, 1 << 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("veclen %d: expected panic", v)
+				}
+			}()
+			NewProgram("x").Emit(OpVMul, v, 1)
+		}()
+	}
+	// Bounds themselves are legal (paper §IV-A: 2^7 … 2^16).
+	p := NewProgram("x")
+	p.Emit(OpVMul, MinVecLen, 1)
+	p.Emit(OpVMul, MaxVecLen, 1)
+}
+
+func TestDelay(t *testing.T) {
+	p := NewProgram("test")
+	p.Emit(OpDelay, 100, 3)
+	if p.DelayCycles(FUMul) != 300 {
+		t.Fatalf("delay cycles %d", p.DelayCycles(FUMul))
+	}
+	if p.Elems(FUMul) != 0 {
+		t.Fatal("delay counted as elements")
+	}
+}
+
+func TestFUAndOpStrings(t *testing.T) {
+	if FUMul.String() != "mul" || FUNTT.String() != "ntt" || FUMem.String() != "mem" {
+		t.Fatal("FU names wrong")
+	}
+	if OpVHash.String() != "vhash" || OpLoad.String() != "load" {
+		t.Fatal("op names wrong")
+	}
+}
+
+func TestCompactPrograms(t *testing.T) {
+	// A billion-element workload must compile to a handful of
+	// instructions (the paper's compact-code-size claim, §IV-A).
+	p := NewProgram("big")
+	p.EmitElems(OpVMul, 1<<33)
+	if p.NumInstrs() > 2 {
+		t.Fatalf("2^33 elements took %d instructions", p.NumInstrs())
+	}
+}
+
+func TestCodeBytes(t *testing.T) {
+	p := NewProgram("t")
+	p.Emit(OpVMul, 2048, 1000)
+	if p.CodeBytes() != 8 {
+		t.Fatalf("plain instruction %d bytes", p.CodeBytes())
+	}
+	p.Emit(OpVShuffle, 128, 1)
+	if p.CodeBytes() != 8+8+ShuffleControlBits/8 {
+		t.Fatalf("shuffle code size %d", p.CodeBytes())
+	}
+}

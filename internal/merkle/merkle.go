@@ -1,0 +1,104 @@
+// Package merkle implements the Merkle-tree commitment used by the Orion
+// polynomial commitment (paper §V-A): leaves are hashes of packed field
+// element vectors (one codeword column per leaf), interior nodes are the
+// 2-to-1 SHA3 compression of their children — the structure NoCap's hash
+// FU builds layer by layer with grouped interleavings.
+package merkle
+
+import (
+	"errors"
+	"math/bits"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+)
+
+// Tree is a full binary Merkle tree over a power-of-two number of leaves.
+type Tree struct {
+	// levels[0] is the leaf layer; levels[len-1] has a single root.
+	levels [][]hashfn.Digest
+}
+
+// LeafOfColumn hashes one matrix column (a field-element vector) into a
+// leaf digest, using the hash FU's packing of four 64-bit elements per
+// 256-bit block.
+func LeafOfColumn(col []field.Element) hashfn.Digest {
+	return hashfn.HashElems(col)
+}
+
+// New builds a tree over the given leaves. The number of leaves must be a
+// power of two and non-zero.
+func New(leaves []hashfn.Digest) *Tree {
+	n := len(leaves)
+	if n == 0 || n&(n-1) != 0 {
+		panic("merkle: leaf count must be a positive power of two")
+	}
+	depth := bits.TrailingZeros(uint(n))
+	levels := make([][]hashfn.Digest, depth+1)
+	levels[0] = append([]hashfn.Digest(nil), leaves...)
+	for d := 1; d <= depth; d++ {
+		prev := levels[d-1]
+		cur := make([]hashfn.Digest, len(prev)/2)
+		for i := range cur {
+			cur[i] = hashfn.Hash2(prev[2*i], prev[2*i+1])
+		}
+		levels[d] = cur
+	}
+	return &Tree{levels: levels}
+}
+
+// NumLeaves returns the leaf count.
+func (t *Tree) NumLeaves() int { return len(t.levels[0]) }
+
+// Depth returns log2(NumLeaves).
+func (t *Tree) Depth() int { return len(t.levels) - 1 }
+
+// Root returns the tree root.
+func (t *Tree) Root() hashfn.Digest { return t.levels[len(t.levels)-1][0] }
+
+// Path is an authentication path for one leaf: the sibling digests from
+// leaf level to just below the root.
+type Path struct {
+	Index    int
+	Siblings []hashfn.Digest
+}
+
+// Open returns the authentication path for leaf i.
+func (t *Tree) Open(i int) Path {
+	if i < 0 || i >= t.NumLeaves() {
+		panic("merkle: leaf index out of range")
+	}
+	siblings := make([]hashfn.Digest, t.Depth())
+	idx := i
+	for d := 0; d < t.Depth(); d++ {
+		siblings[d] = t.levels[d][idx^1]
+		idx >>= 1
+	}
+	return Path{Index: i, Siblings: siblings}
+}
+
+// SizeBytes returns the serialized size of the path (for proof-size
+// accounting).
+func (p Path) SizeBytes() int { return 8 + hashfn.Size*len(p.Siblings) }
+
+// ErrPathMismatch is returned when an authentication path does not lead
+// to the expected root.
+var ErrPathMismatch = errors.New("merkle: authentication path does not match root")
+
+// Verify checks that leaf sits at p.Index under root.
+func Verify(root hashfn.Digest, leaf hashfn.Digest, p Path) error {
+	h := leaf
+	idx := p.Index
+	for _, sib := range p.Siblings {
+		if idx&1 == 0 {
+			h = hashfn.Hash2(h, sib)
+		} else {
+			h = hashfn.Hash2(sib, h)
+		}
+		idx >>= 1
+	}
+	if h != root || idx != 0 {
+		return ErrPathMismatch
+	}
+	return nil
+}

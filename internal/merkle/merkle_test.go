@@ -1,0 +1,133 @@
+package merkle
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+)
+
+func randLeaves(n int, seed int64) []hashfn.Digest {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]hashfn.Digest, n)
+	for i := range out {
+		rng.Read(out[i][:])
+	}
+	return out
+}
+
+func TestBuildAndVerifyAllLeaves(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 64} {
+		leaves := randLeaves(n, int64(n))
+		tr := New(leaves)
+		if tr.NumLeaves() != n {
+			t.Fatalf("NumLeaves = %d", tr.NumLeaves())
+		}
+		for i := 0; i < n; i++ {
+			p := tr.Open(i)
+			if err := Verify(tr.Root(), leaves[i], p); err != nil {
+				t.Fatalf("n=%d leaf %d: %v", n, i, err)
+			}
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLeaf(t *testing.T) {
+	leaves := randLeaves(16, 3)
+	tr := New(leaves)
+	p := tr.Open(5)
+	bad := leaves[5]
+	bad[0] ^= 1
+	if Verify(tr.Root(), bad, p) == nil {
+		t.Fatal("accepted corrupted leaf")
+	}
+}
+
+func TestVerifyRejectsWrongIndex(t *testing.T) {
+	leaves := randLeaves(16, 4)
+	tr := New(leaves)
+	p := tr.Open(5)
+	p.Index = 6
+	if Verify(tr.Root(), leaves[5], p) == nil {
+		t.Fatal("accepted path under wrong index")
+	}
+}
+
+func TestVerifyRejectsTamperedSibling(t *testing.T) {
+	leaves := randLeaves(8, 5)
+	tr := New(leaves)
+	p := tr.Open(2)
+	p.Siblings[1][3] ^= 0xFF
+	if Verify(tr.Root(), leaves[2], p) == nil {
+		t.Fatal("accepted tampered path")
+	}
+}
+
+func TestVerifyRejectsOutOfRangeIndex(t *testing.T) {
+	leaves := randLeaves(8, 6)
+	tr := New(leaves)
+	p := tr.Open(0)
+	p.Index = 8 // beyond the tree; idx must not reduce to 0
+	if Verify(tr.Root(), leaves[0], p) == nil {
+		t.Fatal("accepted out-of-range index")
+	}
+}
+
+func TestRootChangesWithAnyLeaf(t *testing.T) {
+	leaves := randLeaves(32, 7)
+	root := New(leaves).Root()
+	for i := range leaves {
+		mod := append([]hashfn.Digest(nil), leaves...)
+		mod[i][31] ^= 1
+		if New(mod).Root() == root {
+			t.Fatalf("root insensitive to leaf %d", i)
+		}
+	}
+}
+
+func TestNonPowerOfTwoPanics(t *testing.T) {
+	for _, n := range []int{0, 3, 12} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("n=%d: expected panic", n)
+				}
+			}()
+			New(randLeaves(n, 8))
+		}()
+	}
+}
+
+func TestOpenOutOfRangePanics(t *testing.T) {
+	tr := New(randLeaves(4, 9))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Open(4)
+}
+
+func TestLeafOfColumn(t *testing.T) {
+	col := []field.Element{field.New(1), field.New(2)}
+	if LeafOfColumn(col) != hashfn.HashElems(col) {
+		t.Fatal("LeafOfColumn must hash packed elements")
+	}
+}
+
+func TestPathSizeBytes(t *testing.T) {
+	tr := New(randLeaves(16, 10))
+	p := tr.Open(0)
+	if p.SizeBytes() != 8+32*4 {
+		t.Fatalf("SizeBytes = %d", p.SizeBytes())
+	}
+}
+
+func BenchmarkBuild64k(b *testing.B) {
+	leaves := randLeaves(1<<16, 11)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		New(leaves)
+	}
+}

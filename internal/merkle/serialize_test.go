@@ -1,0 +1,53 @@
+package merkle
+
+import (
+	"testing"
+
+	"nocap/internal/wire"
+)
+
+func TestPathSerializeRoundTrip(t *testing.T) {
+	tr := New(randLeaves(16, 21))
+	for i := 0; i < 16; i++ {
+		p := tr.Open(i)
+		w := &wire.Writer{}
+		p.AppendTo(w)
+		got, err := ReadPath(wire.NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Index != p.Index || len(got.Siblings) != len(p.Siblings) {
+			t.Fatal("shape mismatch")
+		}
+		if err := Verify(tr.Root(), tr.levels[0][i], got); err != nil {
+			t.Fatalf("decoded path rejected: %v", err)
+		}
+	}
+}
+
+func TestReadPathErrors(t *testing.T) {
+	// Truncated header.
+	if _, err := ReadPath(wire.NewReader([]byte{1, 2})); err == nil {
+		t.Fatal("truncated index accepted")
+	}
+	// Index present, missing count.
+	w := &wire.Writer{}
+	w.U64(3)
+	if _, err := ReadPath(wire.NewReader(w.Bytes())); err == nil {
+		t.Fatal("missing count accepted")
+	}
+	// Excessive depth.
+	w = &wire.Writer{}
+	w.U64(0)
+	w.U64(1000)
+	if _, err := ReadPath(wire.NewReader(w.Bytes())); err == nil {
+		t.Fatal("excessive depth accepted")
+	}
+	// Count present, digests missing.
+	w = &wire.Writer{}
+	w.U64(0)
+	w.U64(2)
+	if _, err := ReadPath(wire.NewReader(w.Bytes())); err == nil {
+		t.Fatal("missing digests accepted")
+	}
+}

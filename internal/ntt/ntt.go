@@ -1,0 +1,201 @@
+// Package ntt implements number-theoretic transforms over the Goldilocks
+// field: the standard iterative radix-2 transform, and the four-step
+// (Bailey) algorithm that NoCap's 64-lane NTT functional unit executes for
+// vectors larger than its native 2^12-point capacity (paper §IV-B, §V-A).
+//
+// Transforms are cyclic: Forward evaluates a coefficient vector on the
+// powers of a primitive n-th root of unity (in natural order), and Inverse
+// interpolates back.
+package ntt
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nocap/internal/field"
+)
+
+// FUSize is the largest NTT NoCap's functional unit performs in a single
+// pass: 64×64 = 2^12 points (paper §IV-B).
+const FUSize = 1 << 12
+
+// FULanes is the element throughput per cycle of the NTT FU.
+const FULanes = 64
+
+// twiddleCache memoizes per-size twiddle tables. Sizes used in a process
+// are few (powers of two), so an eagerly grown slice indexed by log2(n)
+// is sufficient; access is not synchronized because provers are
+// constructed before concurrent use and tests exercise sizes up-front via
+// Prepare. Concurrent first use of a new size would race, so Prepare must
+// be called before sharing across goroutines.
+var twiddleCache [field.TwoAdicity + 1][]field.Element
+
+// Prepare precomputes the twiddle table for size 1<<logN so later calls
+// are allocation-free and safe for concurrent use at that size.
+func Prepare(logN int) {
+	twiddles(logN)
+}
+
+// twiddles returns [w^0, w^1, ..., w^(n/2-1)] for n = 1<<logN.
+func twiddles(logN int) []field.Element {
+	if t := twiddleCache[logN]; t != nil {
+		return t
+	}
+	n := 1 << logN
+	w := field.RootOfUnity(logN)
+	t := make([]field.Element, n/2)
+	t[0] = field.One
+	for i := 1; i < n/2; i++ {
+		t[i] = field.Mul(t[i-1], w)
+	}
+	twiddleCache[logN] = t
+	return t
+}
+
+// checkLen validates that len(v) is a supported power of two and returns
+// log2(len(v)).
+func checkLen(v []field.Element) int {
+	n := len(v)
+	if n == 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("ntt: length %d is not a power of two", n))
+	}
+	logN := bits.TrailingZeros(uint(n))
+	if logN > field.TwoAdicity {
+		panic(fmt.Sprintf("ntt: length 2^%d exceeds field two-adicity", logN))
+	}
+	return logN
+}
+
+// bitReverse permutes v into bit-reversed index order in place.
+func bitReverse(v []field.Element) {
+	n := len(v)
+	shift := 64 - uint(bits.TrailingZeros(uint(n)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			v[i], v[j] = v[j], v[i]
+		}
+	}
+}
+
+// Forward computes the in-place cyclic NTT of v: v[k] ← Σ_j v[j]·w^(jk)
+// with w a primitive len(v)-th root of unity. Output is in natural order.
+func Forward(v []field.Element) {
+	logN := checkLen(v)
+	if logN == 0 {
+		return
+	}
+	tw := twiddles(logN)
+	n := len(v)
+	// Decimation-in-time: bit-reverse input, butterflies in natural order.
+	bitReverse(v)
+	for s := 1; s <= logN; s++ {
+		m := 1 << s
+		half := m >> 1
+		stride := n / m // twiddle stride into the n/2-entry table
+		for base := 0; base < n; base += m {
+			for j := 0; j < half; j++ {
+				w := tw[j*stride]
+				lo := v[base+j]
+				hi := field.Mul(v[base+j+half], w)
+				v[base+j] = field.Add(lo, hi)
+				v[base+j+half] = field.Sub(lo, hi)
+			}
+		}
+	}
+}
+
+// Inverse computes the in-place inverse cyclic NTT of v, the inverse of
+// Forward (including the 1/n scaling).
+func Inverse(v []field.Element) {
+	logN := checkLen(v)
+	if logN == 0 {
+		return
+	}
+	n := len(v)
+	// Inverse NTT = forward NTT with w^{-1}; implemented by running the
+	// forward transform and reversing the non-fixed positions, then
+	// scaling by n^{-1}.
+	Forward(v)
+	for i, j := 1, n-1; i < j; i, j = i+1, j-1 {
+		v[i], v[j] = v[j], v[i]
+	}
+	nInv := field.Inv(field.New(uint64(n)))
+	for i := range v {
+		v[i] = field.Mul(v[i], nInv)
+	}
+}
+
+// FourStep computes the same transform as Forward using Bailey's four-step
+// algorithm: view v as a rows×cols matrix (row-major), transform columns,
+// scale by twiddle factors, transform rows, and transpose. This is the
+// decomposition NoCap uses to run arbitrarily large NTTs through its
+// 2^12-point FU (paper §V-A); functionally it must agree with Forward,
+// which the tests check. rows and cols must be powers of two with
+// rows*cols == len(v).
+func FourStep(v []field.Element, rows, cols int) {
+	n := len(v)
+	if rows*cols != n {
+		panic("ntt: four-step shape mismatch")
+	}
+	logN := checkLen(v)
+	w := field.RootOfUnity(logN)
+
+	// Step 1: NTT each column (stride-cols subvectors).
+	col := make([]field.Element, rows)
+	for c := 0; c < cols; c++ {
+		for r := 0; r < rows; r++ {
+			col[r] = v[r*cols+c]
+		}
+		Forward(col)
+		for r := 0; r < rows; r++ {
+			v[r*cols+c] = col[r]
+		}
+	}
+	// Step 2: multiply element (r,c) by w^(r*c).
+	wr := field.One // w^r
+	for r := 0; r < rows; r++ {
+		wrc := field.One // w^(r*c)
+		for c := 0; c < cols; c++ {
+			v[r*cols+c] = field.Mul(v[r*cols+c], wrc)
+			wrc = field.Mul(wrc, wr)
+		}
+		wr = field.Mul(wr, w)
+	}
+	// Step 3: NTT each row.
+	for r := 0; r < rows; r++ {
+		Forward(v[r*cols : (r+1)*cols])
+	}
+	// Step 4: transpose, so output index k = c*rows + r corresponds to
+	// frequency c + cols*r ... i.e. X[c*rows+r] currently at (r,c).
+	out := make([]field.Element, n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			out[c*rows+r] = v[r*cols+c]
+		}
+	}
+	copy(v, out)
+}
+
+// PolyMul returns the product of polynomials a and b (coefficient form,
+// arbitrary lengths) via NTT convolution, trimmed to the exact product
+// degree. This is the "polynomial arithmetic" task of paper §V-A.
+func PolyMul(a, b []field.Element) []field.Element {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	outLen := len(a) + len(b) - 1
+	n := 1
+	for n < outLen {
+		n <<= 1
+	}
+	fa := make([]field.Element, n)
+	fb := make([]field.Element, n)
+	copy(fa, a)
+	copy(fb, b)
+	Forward(fa)
+	Forward(fb)
+	field.VecMul(fa, fa, fb)
+	Inverse(fa)
+	return fa[:outLen]
+}

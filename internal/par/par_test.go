@@ -1,0 +1,117 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"nocap/internal/field"
+)
+
+func TestForCoversRange(t *testing.T) {
+	for _, n := range []int{0, 1, 100, 1 << 13, 1<<13 + 7} {
+		covered := make([]int32, max(n, 1))
+		For(n, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&covered[i], 1)
+			}
+		})
+		for i := 0; i < n; i++ {
+			if covered[i] != 1 {
+				t.Fatalf("n=%d: index %d covered %d times", n, i, covered[i])
+			}
+		}
+	}
+}
+
+func TestMapReduceSum(t *testing.T) {
+	n := 1<<13 + 3
+	want := field.Zero
+	for i := 0; i < n; i++ {
+		want = field.Add(want, field.New(uint64(i)))
+	}
+	got := MapReduce(n, func(lo, hi int) field.Element {
+		var acc field.Element
+		for i := lo; i < hi; i++ {
+			acc = field.Add(acc, field.New(uint64(i)))
+		}
+		return acc
+	}, field.Add)
+	if got != want {
+		t.Fatalf("parallel sum %v, want %v", got, want)
+	}
+}
+
+func TestMapReduceEmpty(t *testing.T) {
+	got := MapReduce(0, func(lo, hi int) int { return 1 }, func(a, b int) int { return a + b })
+	if got != 0 {
+		t.Fatalf("empty reduce = %d", got)
+	}
+}
+
+func TestMapReduceOrderPreserved(t *testing.T) {
+	// Combine with a non-commutative operation: string-like ordering via
+	// first-index tracking. Chunks must combine in index order.
+	n := 1 << 13
+	type span struct{ lo, hi int }
+	got := MapReduce(n, func(lo, hi int) []span {
+		return []span{{lo, hi}}
+	}, func(acc, v []span) []span {
+		return append(acc, v...)
+	})
+	prev := 0
+	for _, s := range got {
+		if s.lo != prev {
+			t.Fatalf("out-of-order chunk %v after %d", s, prev)
+		}
+		prev = s.hi
+	}
+	if prev != n {
+		t.Fatalf("coverage ends at %d", prev)
+	}
+}
+
+func TestWorkersBounds(t *testing.T) {
+	if Workers(10) != 1 {
+		t.Fatal("small jobs must stay serial")
+	}
+	if w := Workers(1 << 20); w < 1 || w > maxWorkers {
+		t.Fatalf("workers %d out of bounds", w)
+	}
+}
+
+func TestParallelPathsUnderMultiProc(t *testing.T) {
+	// Force the multi-worker branches even on single-CPU hosts.
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	if Workers(1<<16) < 2 {
+		t.Skip("cannot raise worker count on this host")
+	}
+	n := 1<<14 + 11
+	covered := make([]int32, n)
+	For(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&covered[i], 1)
+		}
+	})
+	for i, c := range covered {
+		if c != 1 {
+			t.Fatalf("index %d covered %d times", i, c)
+		}
+	}
+	want := field.Zero
+	for i := 0; i < n; i++ {
+		want = field.Add(want, field.New(uint64(i*3)))
+	}
+	got := MapReduce(n, func(lo, hi int) field.Element {
+		var acc field.Element
+		for i := lo; i < hi; i++ {
+			acc = field.Add(acc, field.New(uint64(i*3)))
+		}
+		return acc
+	}, field.Add)
+	if got != want {
+		t.Fatal("parallel MapReduce differs from serial")
+	}
+}

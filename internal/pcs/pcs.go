@@ -1,0 +1,479 @@
+// Package pcs implements the Orion polynomial commitment scheme in its
+// Shockwave/Brakedown form (paper §II-A, §V, §VII-A): the committed
+// multilinear polynomial's evaluations are arranged into a 128-row
+// matrix, each row is Reed-Solomon encoded (blowup 4), and a Merkle tree
+// is built over the encoded columns. Openings combine rows linearly and
+// spot-check 189 columns; four random proximity vectors establish that
+// the committed matrix is close to the code, and all linear checks share
+// one set of column openings (the optimization of [Brakedown] the paper
+// adopts, §VII-A).
+//
+// Zero knowledge (Orion protocol 5 intent) is provided by (a) appending
+// `Queries` random elements to every row before encoding, so any 189
+// opened codeword columns are jointly uniform, and (b) one committed mask
+// row per linear check, so the transmitted row combinations are uniform.
+package pcs
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math/bits"
+
+	"nocap/internal/code"
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+	"nocap/internal/merkle"
+	"nocap/internal/par"
+	"nocap/internal/poly"
+	"nocap/internal/transcript"
+)
+
+// Params configures the scheme.
+type Params struct {
+	// Rows is the matrix height; the paper uses 128 (§VII-A).
+	Rows int
+	// Code is the row code; production is Reed-Solomon blowup 4.
+	Code code.Code
+	// NumProximity is the number of random combination vectors in the
+	// proximity test; the paper uses 4 (§VII-A).
+	NumProximity int
+	// MaxPoints bounds the number of evaluation points one commitment can
+	// be opened at (mask rows are committed up front). Spartan with 3
+	// repetitions opens at 3 points.
+	MaxPoints int
+	// ZK enables the masking machinery.
+	ZK bool
+}
+
+// DefaultParams returns the paper's parameters (128 rows, RS-4, 4
+// proximity vectors) with zero knowledge enabled.
+func DefaultParams() Params {
+	return Params{Rows: 128, Code: code.NewReedSolomon(), NumProximity: 4, MaxPoints: 8, ZK: true}
+}
+
+func (p Params) numMasks() int {
+	if !p.ZK {
+		return 0
+	}
+	return p.NumProximity + p.MaxPoints
+}
+
+func (p Params) validate() error {
+	if p.Rows < 2 || p.Rows&(p.Rows-1) != 0 {
+		return errors.New("pcs: Rows must be a power of two ≥ 2")
+	}
+	if p.Code == nil || p.NumProximity < 1 {
+		return errors.New("pcs: missing code or proximity vectors")
+	}
+	return nil
+}
+
+// Commitment is the verifier's view of a committed polynomial.
+type Commitment struct {
+	Root hashfn.Digest
+	// NumVars is the arity of the committed multilinear polynomial.
+	NumVars int
+	// Rows and MsgLen fix the matrix geometry (MsgLen includes ZK tail
+	// and padding).
+	Rows, Cols, MsgLen int
+}
+
+// SizeBytes returns the serialized commitment size.
+func (c *Commitment) SizeBytes() int { return hashfn.Size + 4*8 }
+
+// ProverState retains what the prover needs to open a commitment.
+type ProverState struct {
+	params  Params
+	comm    *Commitment
+	rows    [][]field.Element // Rows × MsgLen (data ‖ zk tail ‖ zero pad)
+	masks   [][]field.Element // numMasks × MsgLen, random
+	encoded [][]field.Element // (Rows+numMasks) × MsgLen·blowup
+	tree    *merkle.Tree
+}
+
+// Commitment returns the public commitment.
+func (s *ProverState) Commitment() *Commitment { return s.comm }
+
+// randElems samples uniform field elements from crypto/rand.
+func randElems(n int) []field.Element {
+	buf := make([]byte, 8)
+	out := make([]field.Element, n)
+	for i := range out {
+		for {
+			if _, err := rand.Read(buf); err != nil {
+				panic("pcs: crypto/rand failure: " + err.Error())
+			}
+			v := binary.LittleEndian.Uint64(buf)
+			if v < field.Modulus {
+				out[i] = field.Element(v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Commit commits to the multilinear polynomial with the given evaluation
+// vector (length a power of two ≥ Rows).
+func Commit(params Params, vec []field.Element) (*ProverState, error) {
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	n := len(vec)
+	if n < params.Rows || n&(n-1) != 0 {
+		return nil, fmt.Errorf("pcs: vector length %d must be a power of two ≥ %d rows", n, params.Rows)
+	}
+	cols := n / params.Rows
+	msgLen := cols
+	if params.ZK {
+		msgLen = cols + params.Code.Queries()
+	}
+	// Round msgLen to a power of two for the row code.
+	for msgLen&(msgLen-1) != 0 {
+		msgLen++
+	}
+
+	rows := make([][]field.Element, params.Rows)
+	for r := range rows {
+		row := make([]field.Element, msgLen)
+		copy(row[:cols], vec[r*cols:(r+1)*cols])
+		if params.ZK {
+			copy(row[cols:cols+params.Code.Queries()], randElems(params.Code.Queries()))
+		}
+		rows[r] = row
+	}
+	masks := make([][]field.Element, params.numMasks())
+	for i := range masks {
+		masks[i] = randElems(msgLen)
+	}
+
+	total := params.Rows + len(masks)
+	all := make([][]field.Element, 0, total)
+	all = append(all, rows...)
+	all = append(all, masks...)
+	encoded := make([][]field.Element, total)
+	// Encode the first row serially to warm size-dependent caches
+	// (twiddle tables, expander graphs), then fan out: row encodes are
+	// independent (the parallel CPU baseline of §III).
+	encoded[0] = params.Code.Encode(all[0])
+	par.For(total-1, func(lo, hi int) {
+		for r := lo + 1; r < hi+1; r++ {
+			encoded[r] = params.Code.Encode(all[r])
+		}
+	})
+
+	encLen := msgLen * params.Code.Blowup()
+	leaves := make([]hashfn.Digest, encLen)
+	par.For(encLen, func(lo, hi int) {
+		col := make([]field.Element, total)
+		for j := lo; j < hi; j++ {
+			for r := 0; r < total; r++ {
+				col[r] = encoded[r][j]
+			}
+			leaves[j] = merkle.LeafOfColumn(col)
+		}
+	})
+	tree := merkle.New(leaves)
+
+	state := &ProverState{
+		params:  params,
+		rows:    rows,
+		masks:   masks,
+		encoded: encoded,
+		tree:    tree,
+		comm: &Commitment{
+			Root:    tree.Root(),
+			NumVars: bits.TrailingZeros(uint(n)),
+			Rows:    params.Rows,
+			Cols:    cols,
+			MsgLen:  msgLen,
+		},
+	}
+	return state, nil
+}
+
+// OpeningProof proves evaluations of a committed polynomial at one or
+// more points.
+type OpeningProof struct {
+	// ProxVectors are the γᵀM (+mask) row combinations of the proximity
+	// test, each MsgLen long.
+	ProxVectors [][]field.Element
+	// EvalVectors are the q_rowᵀM (+mask) combinations, one per point.
+	EvalVectors [][]field.Element
+	// MaskCorrections holds ⟨mask_i[:Cols], q_col_i⟩ per point (ZK only).
+	MaskCorrections []field.Element
+	// Columns are the opened encoded columns, Queries × (Rows+numMasks).
+	Columns [][]field.Element
+	// Paths authenticate the columns against the Merkle root.
+	Paths []merkle.Path
+}
+
+// SizeBytes returns the serialized proof size; this is what dominates the
+// megabyte-scale Spartan+Orion proofs of paper Table III.
+func (p *OpeningProof) SizeBytes() int {
+	n := 0
+	for _, v := range p.ProxVectors {
+		n += 8 * len(v)
+	}
+	for _, v := range p.EvalVectors {
+		n += 8 * len(v)
+	}
+	n += 8 * len(p.MaskCorrections)
+	for _, c := range p.Columns {
+		n += 8 * len(c)
+	}
+	for _, path := range p.Paths {
+		n += path.SizeBytes()
+	}
+	return n
+}
+
+// splitPoint separates an evaluation point into its row part (first
+// log2(Rows) variables) and column part.
+func splitPoint(comm *Commitment, point []field.Element) (rowPart, colPart []field.Element, err error) {
+	if len(point) != comm.NumVars {
+		return nil, nil, fmt.Errorf("pcs: point has %d vars, commitment has %d", len(point), comm.NumVars)
+	}
+	logRows := bits.TrailingZeros(uint(comm.Rows))
+	return point[:logRows], point[logRows:], nil
+}
+
+// combineRows returns coeffsᵀ·rows (+ mask if non-nil), over MsgLen.
+func combineRows(rows [][]field.Element, coeffs []field.Element, mask []field.Element, msgLen int) []field.Element {
+	out := make([]field.Element, msgLen)
+	if mask != nil {
+		copy(out, mask)
+	}
+	for r, c := range coeffs {
+		if c.IsZero() {
+			continue
+		}
+		field.VecScaleAdd(out, c, rows[r])
+	}
+	return out
+}
+
+// Open proves the evaluations of the committed polynomial at points.
+// It returns the proof and the evaluation values. The transcript binds
+// the commitment, points, and values before challenges are squeezed.
+func (s *ProverState) Open(tr *transcript.Transcript, points [][]field.Element) (*OpeningProof, []field.Element, error) {
+	if len(points) == 0 {
+		return nil, nil, errors.New("pcs: no evaluation points")
+	}
+	if s.params.ZK && len(points) > s.params.MaxPoints {
+		return nil, nil, fmt.Errorf("pcs: %d points exceeds MaxPoints %d", len(points), s.params.MaxPoints)
+	}
+	comm := s.comm
+	tr.AppendDigest("pcs/root", comm.Root)
+	tr.AppendUint64("pcs/points", uint64(len(points)))
+
+	values := make([]field.Element, len(points))
+	qCols := make([][]field.Element, len(points))
+	qRows := make([][]field.Element, len(points))
+	for i, pt := range points {
+		rowPart, colPart, err := splitPoint(comm, pt)
+		if err != nil {
+			return nil, nil, err
+		}
+		qRows[i] = poly.EqTable(rowPart)
+		qCols[i] = poly.EqTable(colPart)
+		// value = q_rowᵀ M q_col over the data region.
+		var v field.Element
+		for r := 0; r < comm.Rows; r++ {
+			v = field.Add(v, field.Mul(qRows[i][r], field.InnerProduct(s.rows[r][:comm.Cols], qCols[i])))
+		}
+		values[i] = v
+		tr.AppendElems("pcs/point", pt)
+		tr.AppendElems("pcs/value", []field.Element{v})
+	}
+
+	proof := &OpeningProof{}
+
+	// Proximity test: random row combinations.
+	for j := 0; j < s.params.NumProximity; j++ {
+		gamma := tr.Challenges(fmt.Sprintf("pcs/gamma%d", j), comm.Rows)
+		var mask []field.Element
+		if s.params.ZK {
+			mask = s.masks[j]
+		}
+		u := combineRows(s.rows, gamma, mask, comm.MsgLen)
+		proof.ProxVectors = append(proof.ProxVectors, u)
+		tr.AppendElems("pcs/prox", u)
+	}
+
+	// Evaluation combinations.
+	for i := range points {
+		var mask []field.Element
+		if s.params.ZK {
+			mask = s.masks[s.params.NumProximity+i]
+			proof.MaskCorrections = append(proof.MaskCorrections,
+				field.InnerProduct(mask[:comm.Cols], qCols[i]))
+		}
+		u := combineRows(s.rows, qRows[i], mask, comm.MsgLen)
+		proof.EvalVectors = append(proof.EvalVectors, u)
+		tr.AppendElems("pcs/eval", u)
+	}
+	if s.params.ZK {
+		tr.AppendElems("pcs/corrections", proof.MaskCorrections)
+	}
+
+	// Shared column openings.
+	encLen := comm.MsgLen * s.params.Code.Blowup()
+	idxs := tr.ChallengeIndices("pcs/columns", s.params.Code.Queries(), encLen)
+	total := comm.Rows + s.params.numMasks()
+	for _, j := range idxs {
+		col := make([]field.Element, total)
+		for r := 0; r < total; r++ {
+			col[r] = s.encoded[r][j]
+		}
+		proof.Columns = append(proof.Columns, col)
+		proof.Paths = append(proof.Paths, s.tree.Open(j))
+	}
+	return proof, values, nil
+}
+
+// Errors returned by Verify.
+var (
+	ErrProximity  = errors.New("pcs: proximity check failed")
+	ErrEvalCheck  = errors.New("pcs: evaluation consistency check failed")
+	ErrValue      = errors.New("pcs: claimed value mismatch")
+	ErrColumnAuth = errors.New("pcs: column authentication failed")
+	ErrMalformed  = errors.New("pcs: malformed proof")
+)
+
+// Verify checks an opening proof for the claimed values at points. The
+// params must match the committer's.
+func Verify(params Params, comm *Commitment, tr *transcript.Transcript,
+	points [][]field.Element, values []field.Element, proof *OpeningProof) error {
+
+	if err := params.validate(); err != nil {
+		return err
+	}
+	if len(points) != len(values) || len(points) == 0 {
+		return fmt.Errorf("%w: %d points, %d values", ErrMalformed, len(points), len(values))
+	}
+	if len(proof.ProxVectors) != params.NumProximity ||
+		len(proof.EvalVectors) != len(points) ||
+		len(proof.Columns) != params.Code.Queries() ||
+		len(proof.Paths) != params.Code.Queries() {
+		return fmt.Errorf("%w: wrong vector/column counts", ErrMalformed)
+	}
+	if params.ZK && len(proof.MaskCorrections) != len(points) {
+		return fmt.Errorf("%w: wrong mask correction count", ErrMalformed)
+	}
+	// Pin the commitment geometry to the agreed parameters: the prover
+	// must not choose its own matrix shape.
+	if comm.Rows != params.Rows {
+		return fmt.Errorf("%w: commitment has %d rows, params say %d", ErrMalformed, comm.Rows, params.Rows)
+	}
+	if comm.NumVars < 1 || comm.NumVars > 40 || comm.Cols*comm.Rows != 1<<uint(comm.NumVars) {
+		return fmt.Errorf("%w: inconsistent commitment geometry", ErrMalformed)
+	}
+	wantMsg := comm.Cols
+	if params.ZK {
+		wantMsg += params.Code.Queries()
+	}
+	for wantMsg&(wantMsg-1) != 0 {
+		wantMsg++
+	}
+	if comm.MsgLen != wantMsg {
+		return fmt.Errorf("%w: message length %d, expected %d", ErrMalformed, comm.MsgLen, wantMsg)
+	}
+
+	tr.AppendDigest("pcs/root", comm.Root)
+	tr.AppendUint64("pcs/points", uint64(len(points)))
+
+	qCols := make([][]field.Element, len(points))
+	qRows := make([][]field.Element, len(points))
+	for i, pt := range points {
+		rowPart, colPart, err := splitPoint(comm, pt)
+		if err != nil {
+			return err
+		}
+		qRows[i] = poly.EqTable(rowPart)
+		qCols[i] = poly.EqTable(colPart)
+		tr.AppendElems("pcs/point", pt)
+		tr.AppendElems("pcs/value", []field.Element{values[i]})
+	}
+
+	// Re-derive challenges in transcript order.
+	gammas := make([][]field.Element, params.NumProximity)
+	for j := 0; j < params.NumProximity; j++ {
+		gammas[j] = tr.Challenges(fmt.Sprintf("pcs/gamma%d", j), comm.Rows)
+		if len(proof.ProxVectors[j]) != comm.MsgLen {
+			return fmt.Errorf("%w: proximity vector length", ErrMalformed)
+		}
+		tr.AppendElems("pcs/prox", proof.ProxVectors[j])
+	}
+	for i := range points {
+		if len(proof.EvalVectors[i]) != comm.MsgLen {
+			return fmt.Errorf("%w: eval vector length", ErrMalformed)
+		}
+		tr.AppendElems("pcs/eval", proof.EvalVectors[i])
+	}
+	if params.ZK {
+		tr.AppendElems("pcs/corrections", proof.MaskCorrections)
+	}
+
+	// Value checks: ⟨u'_i[:Cols], q_col⟩ (− correction) == claimed value.
+	for i := range points {
+		got := field.InnerProduct(proof.EvalVectors[i][:comm.Cols], qCols[i])
+		if params.ZK {
+			got = field.Sub(got, proof.MaskCorrections[i])
+		}
+		if got != values[i] {
+			return fmt.Errorf("%w (point %d)", ErrValue, i)
+		}
+	}
+
+	// Encode every transmitted combination once.
+	encProx := make([][]field.Element, len(proof.ProxVectors))
+	for j, u := range proof.ProxVectors {
+		encProx[j] = params.Code.Encode(u)
+	}
+	encEval := make([][]field.Element, len(proof.EvalVectors))
+	for i, u := range proof.EvalVectors {
+		encEval[i] = params.Code.Encode(u)
+	}
+
+	// Column checks at shared query positions.
+	encLen := comm.MsgLen * params.Code.Blowup()
+	idxs := tr.ChallengeIndices("pcs/columns", params.Code.Queries(), encLen)
+	total := comm.Rows + params.numMasks()
+	for q, j := range idxs {
+		col := proof.Columns[q]
+		if len(col) != total {
+			return fmt.Errorf("%w: column height", ErrMalformed)
+		}
+		path := proof.Paths[q]
+		if path.Index != j {
+			return fmt.Errorf("%w: column %d opened at %d, expected %d", ErrColumnAuth, q, path.Index, j)
+		}
+		if err := merkle.Verify(comm.Root, merkle.LeafOfColumn(col), path); err != nil {
+			return fmt.Errorf("%w: column %d: %v", ErrColumnAuth, q, err)
+		}
+		// Proximity: Enc(γᵀM + mask_j)[j] == γᵀ·col_data + col_mask_j.
+		for pj, gamma := range gammas {
+			want := field.InnerProduct(gamma, col[:comm.Rows])
+			if params.ZK {
+				want = field.Add(want, col[comm.Rows+pj])
+			}
+			if encProx[pj][j] != want {
+				return fmt.Errorf("%w (vector %d, column %d)", ErrProximity, pj, j)
+			}
+		}
+		// Evaluation combinations.
+		for i := range points {
+			want := field.InnerProduct(qRows[i], col[:comm.Rows])
+			if params.ZK {
+				want = field.Add(want, col[comm.Rows+params.NumProximity+i])
+			}
+			if encEval[i][j] != want {
+				return fmt.Errorf("%w (point %d, column %d)", ErrEvalCheck, i, j)
+			}
+		}
+	}
+	return nil
+}

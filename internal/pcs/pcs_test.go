@@ -1,0 +1,272 @@
+package pcs
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"nocap/internal/code"
+	"nocap/internal/field"
+	"nocap/internal/poly"
+	"nocap/internal/transcript"
+)
+
+func testParams(zk bool) Params {
+	p := DefaultParams()
+	p.Rows = 8 // keep tests small; paper value 128 exercised separately
+	p.ZK = zk
+	return p
+}
+
+func randVec(n int, seed int64) []field.Element {
+	rng := rand.New(rand.NewSource(seed))
+	v := make([]field.Element, n)
+	for i := range v {
+		v[i] = field.New(rng.Uint64())
+	}
+	return v
+}
+
+func randPoint(n int, seed int64) []field.Element {
+	return randVec(n, seed)
+}
+
+func roundTrip(t *testing.T, params Params, vec []field.Element, points [][]field.Element) (*Commitment, []field.Element) {
+	t.Helper()
+	st, err := Commit(params, vec)
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	proof, values, err := st.Open(transcript.New("pcs-test"), points)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Values must be the true MLE evaluations.
+	m := poly.NewMLE(vec)
+	for i, pt := range points {
+		if want := m.Evaluate(pt); values[i] != want {
+			t.Fatalf("point %d: value %v, want %v", i, values[i], want)
+		}
+	}
+	if err := Verify(params, st.Commitment(), transcript.New("pcs-test"), points, values, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	return st.Commitment(), values
+}
+
+func TestRoundTripNonZK(t *testing.T) {
+	vec := randVec(1<<8, 1)
+	roundTrip(t, testParams(false), vec, [][]field.Element{randPoint(8, 2)})
+}
+
+func TestRoundTripZK(t *testing.T) {
+	vec := randVec(1<<8, 3)
+	roundTrip(t, testParams(true), vec, [][]field.Element{randPoint(8, 4)})
+}
+
+func TestMultiPointSharedColumns(t *testing.T) {
+	vec := randVec(1<<9, 5)
+	points := [][]field.Element{randPoint(9, 6), randPoint(9, 7), randPoint(9, 8)}
+	for _, zk := range []bool{false, true} {
+		st, err := Commit(testParams(zk), vec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proof, values, err := st.Open(transcript.New("pcs-test"), points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Column openings must be shared: exactly Queries() of them
+		// regardless of the point count (paper §VII-A).
+		if len(proof.Columns) != testParams(zk).Code.Queries() {
+			t.Fatalf("columns not shared: %d", len(proof.Columns))
+		}
+		if err := Verify(testParams(zk), st.Commitment(), transcript.New("pcs-test"), points, values, proof); err != nil {
+			t.Fatalf("zk=%v: %v", zk, err)
+		}
+	}
+}
+
+func TestPaperRows128(t *testing.T) {
+	params := DefaultParams()
+	params.ZK = false
+	vec := randVec(1<<10, 9)
+	roundTrip(t, params, vec, [][]field.Element{randPoint(10, 10)})
+}
+
+func TestExpanderCodeVariant(t *testing.T) {
+	params := testParams(false)
+	params.Code = code.NewExpander(17)
+	vec := randVec(1<<8, 11)
+	roundTrip(t, params, vec, [][]field.Element{randPoint(8, 12)})
+}
+
+func TestRejectsWrongValue(t *testing.T) {
+	params := testParams(false)
+	vec := randVec(1<<8, 13)
+	st, _ := Commit(params, vec)
+	points := [][]field.Element{randPoint(8, 14)}
+	proof, values, _ := st.Open(transcript.New("pcs-test"), points)
+	values[0] = field.Add(values[0], field.One)
+	err := Verify(params, st.Commitment(), transcript.New("pcs-test"), points, values, proof)
+	if err == nil {
+		t.Fatal("wrong value accepted")
+	}
+}
+
+func TestRejectsTamperedEvalVector(t *testing.T) {
+	params := testParams(false)
+	vec := randVec(1<<8, 15)
+	st, _ := Commit(params, vec)
+	points := [][]field.Element{randPoint(8, 16)}
+	proof, values, _ := st.Open(transcript.New("pcs-test"), points)
+	proof.EvalVectors[0][3] = field.Add(proof.EvalVectors[0][3], field.One)
+	if Verify(params, st.Commitment(), transcript.New("pcs-test"), points, values, proof) == nil {
+		t.Fatal("tampered eval vector accepted")
+	}
+}
+
+func TestRejectsTamperedColumn(t *testing.T) {
+	params := testParams(false)
+	vec := randVec(1<<8, 17)
+	st, _ := Commit(params, vec)
+	points := [][]field.Element{randPoint(8, 18)}
+	proof, values, _ := st.Open(transcript.New("pcs-test"), points)
+	proof.Columns[0][0] = field.Add(proof.Columns[0][0], field.One)
+	err := Verify(params, st.Commitment(), transcript.New("pcs-test"), points, values, proof)
+	if !errors.Is(err, ErrColumnAuth) && err == nil {
+		t.Fatal("tampered column accepted")
+	}
+}
+
+func TestRejectsForeignCommitment(t *testing.T) {
+	params := testParams(false)
+	vecA, vecB := randVec(1<<8, 19), randVec(1<<8, 20)
+	stA, _ := Commit(params, vecA)
+	stB, _ := Commit(params, vecB)
+	points := [][]field.Element{randPoint(8, 21)}
+	proof, values, _ := stA.Open(transcript.New("pcs-test"), points)
+	if Verify(params, stB.Commitment(), transcript.New("pcs-test"), points, values, proof) == nil {
+		t.Fatal("proof accepted under foreign commitment")
+	}
+}
+
+func TestRejectsWrongPoint(t *testing.T) {
+	params := testParams(false)
+	vec := randVec(1<<8, 22)
+	st, _ := Commit(params, vec)
+	points := [][]field.Element{randPoint(8, 23)}
+	proof, values, _ := st.Open(transcript.New("pcs-test"), points)
+	other := [][]field.Element{randPoint(8, 24)}
+	if Verify(params, st.Commitment(), transcript.New("pcs-test"), other, values, proof) == nil {
+		t.Fatal("proof accepted for a different point")
+	}
+}
+
+func TestZKVectorsAreMasked(t *testing.T) {
+	// With ZK, the transmitted eval vector must not equal the raw row
+	// combination of the data: two commits to the same data produce
+	// different opening vectors (fresh randomness).
+	params := testParams(true)
+	vec := randVec(1<<8, 25)
+	points := [][]field.Element{randPoint(8, 26)}
+	st1, _ := Commit(params, vec)
+	st2, _ := Commit(params, vec)
+	p1, v1, _ := st1.Open(transcript.New("pcs-test"), points)
+	p2, v2, _ := st2.Open(transcript.New("pcs-test"), points)
+	if v1[0] != v2[0] {
+		t.Fatal("same polynomial, different values")
+	}
+	same := true
+	for i := range p1.EvalVectors[0] {
+		if p1.EvalVectors[0][i] != p2.EvalVectors[0][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("ZK eval vectors identical across fresh commitments")
+	}
+}
+
+func TestMaxPointsEnforced(t *testing.T) {
+	params := testParams(true)
+	params.MaxPoints = 2
+	st, _ := Commit(params, randVec(1<<8, 27))
+	pts := [][]field.Element{randPoint(8, 28), randPoint(8, 29), randPoint(8, 30)}
+	if _, _, err := st.Open(transcript.New("pcs-test"), pts); err == nil {
+		t.Fatal("MaxPoints not enforced")
+	}
+}
+
+func TestCommitErrors(t *testing.T) {
+	params := testParams(false)
+	if _, err := Commit(params, randVec(4, 31)); err == nil {
+		t.Fatal("vector shorter than Rows accepted")
+	}
+	if _, err := Commit(params, randVec(100, 32)); err == nil {
+		t.Fatal("non-power-of-two vector accepted")
+	}
+	bad := params
+	bad.Rows = 3
+	if _, err := Commit(bad, randVec(1<<8, 33)); err == nil {
+		t.Fatal("bad Rows accepted")
+	}
+}
+
+func TestVerifyMalformedShapes(t *testing.T) {
+	params := testParams(false)
+	vec := randVec(1<<8, 34)
+	st, _ := Commit(params, vec)
+	points := [][]field.Element{randPoint(8, 35)}
+	proof, values, _ := st.Open(transcript.New("pcs-test"), points)
+
+	cut := *proof
+	cut.Columns = cut.Columns[:10]
+	if err := Verify(params, st.Commitment(), transcript.New("pcs-test"), points, values, &cut); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("truncated columns: %v", err)
+	}
+	if err := Verify(params, st.Commitment(), transcript.New("pcs-test"), points, nil, proof); !errors.Is(err, ErrMalformed) {
+		t.Fatal("missing values accepted")
+	}
+}
+
+func TestProofSizeAccounting(t *testing.T) {
+	params := testParams(false)
+	vec := randVec(1<<8, 36)
+	st, _ := Commit(params, vec)
+	points := [][]field.Element{randPoint(8, 37)}
+	proof, _, _ := st.Open(transcript.New("pcs-test"), points)
+	if proof.SizeBytes() <= 0 {
+		t.Fatal("proof size not accounted")
+	}
+	if st.Commitment().SizeBytes() != 32+32 {
+		t.Fatalf("commitment size = %d", st.Commitment().SizeBytes())
+	}
+}
+
+func BenchmarkCommit64k(b *testing.B) {
+	params := DefaultParams()
+	params.ZK = false
+	vec := randVec(1<<16, 38)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Commit(params, vec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOpen64k(b *testing.B) {
+	params := DefaultParams()
+	params.ZK = false
+	vec := randVec(1<<16, 39)
+	st, _ := Commit(params, vec)
+	points := [][]field.Element{randPoint(16, 40)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := st.Open(transcript.New("pcs-bench"), points); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

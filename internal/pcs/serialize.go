@@ -1,0 +1,102 @@
+package pcs
+
+import (
+	"fmt"
+
+	"nocap/internal/field"
+	"nocap/internal/merkle"
+	"nocap/internal/wire"
+)
+
+// AppendTo serializes the commitment.
+func (c *Commitment) AppendTo(w *wire.Writer) {
+	w.Digest(c.Root)
+	w.U64(uint64(c.NumVars))
+	w.U64(uint64(c.Rows))
+	w.U64(uint64(c.Cols))
+	w.U64(uint64(c.MsgLen))
+}
+
+// ReadCommitment decodes a commitment.
+func ReadCommitment(r *wire.Reader) (*Commitment, error) {
+	root, err := r.Digest()
+	if err != nil {
+		return nil, err
+	}
+	vals := make([]int, 4)
+	for i := range vals {
+		v, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		if v > 1<<40 {
+			return nil, fmt.Errorf("pcs: implausible geometry field %d", v)
+		}
+		vals[i] = int(v)
+	}
+	return &Commitment{Root: root, NumVars: vals[0], Rows: vals[1], Cols: vals[2], MsgLen: vals[3]}, nil
+}
+
+// appendVecs writes a length-prefixed list of element vectors.
+func appendVecs(w *wire.Writer, vs [][]field.Element) {
+	w.U64(uint64(len(vs)))
+	for _, v := range vs {
+		w.Elems(v)
+	}
+}
+
+// readVecs decodes a list of element vectors.
+func readVecs(r *wire.Reader) ([][]field.Element, error) {
+	n, err := r.Count()
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]field.Element, n)
+	for i := range out {
+		if out[i], err = r.Elems(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// AppendTo serializes an opening proof.
+func (p *OpeningProof) AppendTo(w *wire.Writer) {
+	appendVecs(w, p.ProxVectors)
+	appendVecs(w, p.EvalVectors)
+	w.Elems(p.MaskCorrections)
+	appendVecs(w, p.Columns)
+	w.U64(uint64(len(p.Paths)))
+	for _, path := range p.Paths {
+		path.AppendTo(w)
+	}
+}
+
+// ReadOpeningProof decodes an opening proof.
+func ReadOpeningProof(r *wire.Reader) (*OpeningProof, error) {
+	p := &OpeningProof{}
+	var err error
+	if p.ProxVectors, err = readVecs(r); err != nil {
+		return nil, err
+	}
+	if p.EvalVectors, err = readVecs(r); err != nil {
+		return nil, err
+	}
+	if p.MaskCorrections, err = r.Elems(); err != nil {
+		return nil, err
+	}
+	if p.Columns, err = readVecs(r); err != nil {
+		return nil, err
+	}
+	n, err := r.Count()
+	if err != nil {
+		return nil, err
+	}
+	p.Paths = make([]merkle.Path, n)
+	for i := range p.Paths {
+		if p.Paths[i], err = merkle.ReadPath(r); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

@@ -1,0 +1,90 @@
+package pcs
+
+import (
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/transcript"
+	"nocap/internal/wire"
+)
+
+func TestCommitmentSerializeRoundTrip(t *testing.T) {
+	st, err := Commit(testParams(false), randVec(1<<8, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &wire.Writer{}
+	st.Commitment().AppendTo(w)
+	got, err := ReadCommitment(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *got != *st.Commitment() {
+		t.Fatalf("round trip: %+v vs %+v", got, st.Commitment())
+	}
+}
+
+func TestReadCommitmentErrors(t *testing.T) {
+	if _, err := ReadCommitment(wire.NewReader([]byte{1})); err == nil {
+		t.Fatal("truncated digest accepted")
+	}
+	w := &wire.Writer{}
+	w.Digest([32]byte{})
+	w.U64(1 << 50) // implausible geometry
+	w.U64(0)
+	w.U64(0)
+	w.U64(0)
+	if _, err := ReadCommitment(wire.NewReader(w.Bytes())); err == nil {
+		t.Fatal("implausible geometry accepted")
+	}
+	w = &wire.Writer{}
+	w.Digest([32]byte{})
+	w.U64(8) // then truncate
+	if _, err := ReadCommitment(wire.NewReader(w.Bytes())); err == nil {
+		t.Fatal("truncated geometry accepted")
+	}
+}
+
+func TestOpeningProofSerializeRoundTrip(t *testing.T) {
+	for _, zk := range []bool{false, true} {
+		params := testParams(zk)
+		st, err := Commit(params, randVec(1<<8, 51))
+		if err != nil {
+			t.Fatal(err)
+		}
+		points := [][]field.Element{randPoint(8, 52), randPoint(8, 53)}
+		proof, values, err := st.Open(transcript.New("ser"), points)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := &wire.Writer{}
+		proof.AppendTo(w)
+		got, err := ReadOpeningProof(wire.NewReader(w.Bytes()))
+		if err != nil {
+			t.Fatalf("zk=%v decode: %v", zk, err)
+		}
+		// The decoded proof must verify.
+		if err := Verify(params, st.Commitment(), transcript.New("ser"), points, values, got); err != nil {
+			t.Fatalf("zk=%v: decoded proof rejected: %v", zk, err)
+		}
+	}
+}
+
+func TestReadOpeningProofTruncations(t *testing.T) {
+	st, err := Commit(testParams(true), randVec(1<<8, 54))
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof, _, err := st.Open(transcript.New("ser"), [][]field.Element{randPoint(8, 55)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &wire.Writer{}
+	proof.AppendTo(w)
+	data := w.Bytes()
+	for _, cut := range []int{0, 4, 16, len(data) / 3, len(data) - 3} {
+		if _, err := ReadOpeningProof(wire.NewReader(data[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}

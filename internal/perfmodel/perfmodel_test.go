@@ -1,0 +1,107 @@
+package perfmodel
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPaddedLog2(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want int
+	}{
+		{1, 0}, {2, 1}, {3, 2}, {16_000_000, 24}, {32_000_000, 25},
+		{98_000_000, 27}, {268_400_000, 28}, {550_000_000, 30},
+	}
+	for _, c := range cases {
+		if got := PaddedLog2(c.n); got != c.want {
+			t.Errorf("PaddedLog2(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestCPUSecondsMatchesTableIV(t *testing.T) {
+	cases := []struct {
+		constraints int64
+		want        float64
+	}{
+		{16_000_000, 94.2},
+		{32_000_000, 188.4},
+		{98_000_000, 753.6},
+		{268_400_000, 1507.2},
+		{550_000_000, 6028.8}, // 1.7h ≈ 6120s; model gives 64×94.2
+	}
+	for _, c := range cases {
+		got := CPUSeconds(c.constraints)
+		if math.Abs(got-c.want)/c.want > 0.02 {
+			t.Errorf("CPU(%d) = %.1fs, want %.1fs", c.constraints, got, c.want)
+		}
+	}
+}
+
+func TestProofSizeFit(t *testing.T) {
+	// The O(log²N) fit must reproduce Table III within 3%.
+	for _, row := range tableIII {
+		got := ProofMB(int64(1) << uint(row.logN))
+		if math.Abs(got-row.proofMB)/row.proofMB > 0.03 {
+			t.Errorf("ProofMB(2^%d) = %.2f, paper %.2f", row.logN, got, row.proofMB)
+		}
+	}
+}
+
+func TestVerifyTimeFit(t *testing.T) {
+	for _, row := range tableIII {
+		got := VerifySeconds(int64(1)<<uint(row.logN)) * 1e3
+		if math.Abs(got-row.verifyMS)/row.verifyMS > 0.04 {
+			t.Errorf("Verify(2^%d) = %.1fms, paper %.1fms", row.logN, got, row.verifyMS)
+		}
+	}
+}
+
+func TestSendSeconds(t *testing.T) {
+	// Table I: 8.1 MB over a 10 MB/s link = 0.81 s.
+	if math.Abs(SendSeconds(8.1)-0.81) > 1e-9 {
+		t.Fatal("link model wrong")
+	}
+}
+
+func TestEndToEndComposition(t *testing.T) {
+	e := NoCapEndToEnd(0.15, 16_000_000)
+	if e.Prover != 0.15 {
+		t.Fatal("prover time not preserved")
+	}
+	// Table I: total ≈ 1.09 s at 16M.
+	if math.Abs(e.Total()-1.09) > 0.05 {
+		t.Fatalf("Table I total %.2f, want ≈1.09", e.Total())
+	}
+}
+
+func TestCPUSlowdownVsGroth16(t *testing.T) {
+	// §III: 4.66/4.94/(2.7/5.0) = 1.74×.
+	if math.Abs(CPUSlowdownVsGroth16()-1.74) > 0.01 {
+		t.Fatalf("slowdown %.3f, paper derives 1.74", CPUSlowdownVsGroth16())
+	}
+	// Cross-check against the Table I times: 94.2/53.99 = 1.74.
+	if math.Abs(94.2/53.99-CPUSlowdownVsGroth16()) > 0.01 {
+		t.Fatal("§III accounting inconsistent with Table I")
+	}
+}
+
+func TestCPUTaskSharesSumToOne(t *testing.T) {
+	sum := 0.0
+	for _, v := range CPUTaskShares {
+		sum += v
+	}
+	if math.Abs(sum-1.0) > 1e-9 {
+		t.Fatalf("CPU task shares sum to %f", sum)
+	}
+}
+
+func TestUnoptimizedCPU(t *testing.T) {
+	// §VII: the Goldilocks + Reed-Solomon optimizations improve the CPU
+	// baseline by over 2×.
+	ratio := CPUSecondsUnoptimized(16_000_000) / CPUSeconds(16_000_000)
+	if ratio < 2.0 || ratio > 2.2 {
+		t.Fatalf("optimization factor %.2f, paper says ~2.1", ratio)
+	}
+}

@@ -1,0 +1,111 @@
+// Package power implements NoCap's area and power models. Areas are the
+// 14nm synthesis results of paper Table II, scaled with configuration
+// for design-space exploration (Fig. 8). Power combines per-event
+// energies with the simulator's activity factors (paper §VII: "The
+// simulator also collects activity factors for all units, which we then
+// combine with per-event energies from RTL synthesis to compute power"),
+// with the per-event energies calibrated to the published breakdown
+// (Fig. 5: 62 W total; 13% FUs, 44% register file, 42% HBM).
+package power
+
+import (
+	"nocap/internal/isa"
+	"nocap/internal/sim"
+)
+
+// Per-event energies (picojoules), calibrated to Fig. 5 (see package doc).
+const (
+	EnergyMulPJ       = 4.0  // per 64-bit modular multiply
+	EnergyAddPJ       = 0.5  // per modular add
+	EnergyHashPJPerB  = 15.0 // per byte through the SHA3 unit
+	EnergyNTTPJ       = 24.0 // per element-pass through the NTT pipeline
+	EnergyShufflePJ   = 2.0  // per element through the Beneš network
+	EnergyHBMPJPerB   = 30.1 // per byte of HBM traffic (HBM2E-class)
+	EnergyRFPJPerB    = 0.47 // per byte of register-file access
+	RFBytesPerMul     = 24   // two operand reads + one writeback
+	RFBytesPerAdd     = 16   // second operand often forwarded
+	RFBytesPerSpecial = 16   // hash/NTT/shuffle element staging
+)
+
+// AreaBreakdown is Table II, in mm².
+type AreaBreakdown struct {
+	NTT, Mul, Add, Hash     float64
+	RegFile, Benes, MemPHYs float64
+}
+
+// Compute returns the total compute (FU) area.
+func (a AreaBreakdown) Compute() float64 { return a.NTT + a.Mul + a.Add + a.Hash }
+
+// MemorySystem returns the total memory-system area.
+func (a AreaBreakdown) MemorySystem() float64 { return a.RegFile + a.Benes + a.MemPHYs }
+
+// Total returns the full chip area.
+func (a AreaBreakdown) Total() float64 { return a.Compute() + a.MemorySystem() }
+
+// Area returns the die area for a configuration. At sim.DefaultConfig it
+// reproduces Table II: 45.87 mm² (1.80 NTT, 6.34 mul, 0.96 add, 0.84
+// hash, 6.01 register file, 0.11 Beneš, 29.80 for two HBM PHYs).
+func Area(cfg sim.Config) AreaBreakdown {
+	return AreaBreakdown{
+		NTT:     1.80 * float64(cfg.NTTLanes) / 64,
+		Mul:     6.34 * float64(cfg.MulLanes) / 2048,
+		Add:     0.96 * float64(cfg.AddLanes) / 2048,
+		Hash:    0.84 * float64(cfg.HashLanes) / 128,
+		RegFile: 6.01 * float64(cfg.RegFileBytes) / float64(8<<20),
+		Benes:   0.11 * float64(cfg.ShuffleLanes) / 128,
+		MemPHYs: 29.80 * cfg.MemBytesPerCycle / 1024,
+	}
+}
+
+// PowerBreakdown reports average power in watts by component class
+// (Fig. 5).
+type PowerBreakdown struct {
+	FU, RegFile, HBM float64
+}
+
+// Total returns total average power.
+func (p PowerBreakdown) Total() float64 { return p.FU + p.RegFile + p.HBM }
+
+// FUShare returns the FU fraction of total power.
+func (p PowerBreakdown) FUShare() float64 { return p.FU / p.Total() }
+
+// RegFileShare returns the register-file fraction.
+func (p PowerBreakdown) RegFileShare() float64 { return p.RegFile / p.Total() }
+
+// HBMShare returns the HBM fraction.
+func (p PowerBreakdown) HBMShare() float64 { return p.HBM / p.Total() }
+
+// Estimate computes average power for a simulated run: per-event
+// energies × activity ÷ time.
+func Estimate(r sim.Result) PowerBreakdown {
+	seconds := r.Seconds()
+	if seconds == 0 {
+		return PowerBreakdown{}
+	}
+	memBytes := float64(r.MemBytes)
+	// Activity comes from per-FU element counts: recover them from busy
+	// cycles × lanes (streams are fully packed by EmitElems, so this is
+	// exact up to the final partial vector).
+	muls := float64(r.FUBusy[isa.FUMul]) * float64(r.Config.MulLanes)
+	adds := float64(r.FUBusy[isa.FUAdd]) * float64(r.Config.AddLanes)
+	hashElems := float64(r.FUBusy[isa.FUHash]) * float64(r.Config.HashLanes)
+	nttElems := float64(r.FUBusy[isa.FUNTT]) * float64(r.Config.NTTLanes)
+	shufElems := float64(r.FUBusy[isa.FUShuffle]) * float64(r.Config.ShuffleLanes)
+
+	fuEnergy := muls*EnergyMulPJ +
+		adds*EnergyAddPJ +
+		hashElems*8*EnergyHashPJPerB +
+		nttElems*EnergyNTTPJ +
+		shufElems*EnergyShufflePJ
+	rfBytes := muls*RFBytesPerMul + adds*RFBytesPerAdd +
+		(hashElems+nttElems+shufElems)*RFBytesPerSpecial + 2*memBytes
+	rfEnergy := rfBytes * EnergyRFPJPerB
+	hbmEnergy := memBytes * EnergyHBMPJPerB
+
+	const pJ = 1e-12
+	return PowerBreakdown{
+		FU:      fuEnergy * pJ / seconds,
+		RegFile: rfEnergy * pJ / seconds,
+		HBM:     hbmEnergy * pJ / seconds,
+	}
+}

@@ -1,0 +1,87 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"nocap/internal/sim"
+	"nocap/internal/tasks"
+)
+
+func TestAreaMatchesTableII(t *testing.T) {
+	a := Area(sim.DefaultConfig())
+	checks := []struct {
+		name string
+		got  float64
+		want float64
+	}{
+		{"NTT", a.NTT, 1.80},
+		{"Mul", a.Mul, 6.34},
+		{"Add", a.Add, 0.96},
+		{"Hash", a.Hash, 0.84},
+		{"RegFile", a.RegFile, 6.01},
+		{"Benes", a.Benes, 0.11},
+		{"MemPHYs", a.MemPHYs, 29.80},
+		{"Compute", a.Compute(), 9.95},
+		{"MemSystem", a.MemorySystem(), 35.92},
+	}
+	for _, c := range checks {
+		if math.Abs(c.got-c.want) > 0.011 {
+			t.Errorf("%s area %.3f, Table II says %.2f", c.name, c.got, c.want)
+		}
+	}
+	if math.Abs(a.Total()-45.87) > 0.02 {
+		t.Errorf("total area %.3f, Table II says 45.87", a.Total())
+	}
+}
+
+func TestAreaScalesWithConfig(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	cfg.MulLanes *= 2
+	cfg.MemBytesPerCycle *= 2
+	a := Area(cfg)
+	if math.Abs(a.Mul-12.68) > 0.01 || math.Abs(a.MemPHYs-59.6) > 0.01 {
+		t.Fatalf("area scaling wrong: mul %.2f phy %.2f", a.Mul, a.MemPHYs)
+	}
+}
+
+func TestPowerMatchesFig5(t *testing.T) {
+	// Fig. 5: 62 W total at a 16M-constraint statement; 13% FU, 44%
+	// register file, 42% HBM.
+	res := sim.Prover(sim.DefaultConfig(), 24, tasks.DefaultOptions())
+	p := Estimate(res)
+	t.Logf("power: FU %.1fW (%.0f%%), RF %.1fW (%.0f%%), HBM %.1fW (%.0f%%), total %.1fW",
+		p.FU, 100*p.FUShare(), p.RegFile, 100*p.RegFileShare(), p.HBM, 100*p.HBMShare(), p.Total())
+	if math.Abs(p.Total()-62) > 62*0.08 {
+		t.Errorf("total power %.1fW, paper says 62W", p.Total())
+	}
+	if math.Abs(p.FUShare()-0.13) > 0.04 {
+		t.Errorf("FU share %.2f, paper says 0.13", p.FUShare())
+	}
+	if math.Abs(p.RegFileShare()-0.44) > 0.05 {
+		t.Errorf("register-file share %.2f, paper says 0.44", p.RegFileShare())
+	}
+	if math.Abs(p.HBMShare()-0.42) > 0.05 {
+		t.Errorf("HBM share %.2f, paper says 0.42", p.HBMShare())
+	}
+}
+
+func TestPowerStableAcrossSizes(t *testing.T) {
+	// §VIII-B: "the breakdown and total power are essentially identical
+	// across benchmarks" for 2^20..2^30 constraints.
+	var prev PowerBreakdown
+	for i, logN := range []int{20, 24, 28, 30} {
+		p := Estimate(sim.Prover(sim.DefaultConfig(), logN, tasks.DefaultOptions()))
+		if i > 0 && math.Abs(p.Total()-prev.Total()) > 3 {
+			t.Fatalf("power not stable: %.1fW at 2^%d vs %.1fW before", p.Total(), logN, prev.Total())
+		}
+		prev = p
+	}
+}
+
+func TestZeroRunPower(t *testing.T) {
+	p := Estimate(sim.Result{Config: sim.DefaultConfig()})
+	if p.Total() != 0 {
+		t.Fatal("zero run has nonzero power")
+	}
+}

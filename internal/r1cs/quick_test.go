@@ -1,0 +1,88 @@
+package r1cs
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocap/internal/field"
+)
+
+// TestQuickLCAlgebra: linear-combination operations agree with direct
+// field arithmetic on the evaluation.
+func TestQuickLCAlgebra(t *testing.T) {
+	f := func(a, b, s, va, vb uint64) bool {
+		bld := NewBuilder()
+		x := bld.Secret(field.New(va))
+		y := bld.Secret(field.New(vb))
+		lcA := AddLC(ScaleLC(field.New(a), FromVar(x)), Const(field.New(s)))
+		lcB := ScaleLC(field.New(b), FromVar(y))
+		sum := bld.Eval(AddLC(lcA, lcB))
+		diff := bld.Eval(SubLC(lcA, lcB))
+		wantSum := field.Add(
+			field.Add(field.Mul(field.New(a), field.New(va)), field.New(s)),
+			field.Mul(field.New(b), field.New(vb)))
+		wantDiff := field.Sub(
+			field.Add(field.Mul(field.New(a), field.New(va)), field.New(s)),
+			field.Mul(field.New(b), field.New(vb)))
+		return sum == wantSum && diff == wantDiff
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMulGadget: the Mul gadget's wire always carries the product
+// and the built instance is always satisfied.
+func TestQuickMulGadget(t *testing.T) {
+	f := func(va, vb uint64) bool {
+		bld := NewBuilder()
+		x := bld.Secret(field.New(va))
+		y := bld.Secret(field.New(vb))
+		z := bld.Mul(FromVar(x), FromVar(y))
+		if bld.Value(z) != field.Mul(field.New(va), field.New(vb)) {
+			return false
+		}
+		inst, io, w := bld.Build()
+		ok, _ := inst.Satisfied(inst.AssembleZ(io, w))
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickSpMVLinearity: M(x + c·y) = Mx + c·My for random banded
+// matrices.
+func TestQuickSpMVLinearity(t *testing.T) {
+	f := func(seed int64, c uint64) bool {
+		m := NewSparseMatrix(8, 8)
+		s := seed
+		next := func() uint64 {
+			s = s*6364136223846793005 + 1442695040888963407
+			return uint64(s)
+		}
+		for i := 0; i < 16; i++ {
+			m.Add(int(next()%8), int(next()%8), field.New(next()))
+		}
+		x := make([]field.Element, 8)
+		y := make([]field.Element, 8)
+		for i := range x {
+			x[i], y[i] = field.New(next()), field.New(next())
+		}
+		cc := field.New(c)
+		comb := make([]field.Element, 8)
+		for i := range comb {
+			comb[i] = field.Add(x[i], field.Mul(cc, y[i]))
+		}
+		mx, my, mc := m.Mul(x), m.Mul(y), m.Mul(comb)
+		for i := range mc {
+			if mc[i] != field.Add(mx[i], field.Mul(cc, my[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package r1cs implements the rank-1 constraint system arithmetization
+// (paper §II-B): sparse matrices A, B, C such that a wire-value vector z
+// satisfies (Az) ∘ (Bz) = (Cz), together with the sparse matrix-vector
+// products Spartan performs (the SpMV task of §V-A) and the sparse
+// multilinear-extension evaluations the verifier needs.
+//
+// Layout convention (used throughout the repo): z = u ‖ w with |u| = |w| =
+// NumVars/2; u = (1, io…, 0 pad) is public and w is the witness. The MLE
+// of z splits on the top variable: z̃(y) = (1−y₀)·ũ(y') + y₀·w̃(y').
+package r1cs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+	"nocap/internal/par"
+	"nocap/internal/poly"
+)
+
+// Entry is one nonzero of a sparse matrix row.
+type Entry struct {
+	Col int
+	Val field.Element
+}
+
+// SparseMatrix is a row-major sparse matrix. R1CS matrices are usually
+// permutation-like: O(1) nonzeros per row, banded around the diagonal
+// (paper §V-A), which is what makes output-stationary SpMV effective.
+type SparseMatrix struct {
+	NumRows, NumCols int
+	Rows             [][]Entry
+}
+
+// NewSparseMatrix returns an empty rows×cols matrix.
+func NewSparseMatrix(rows, cols int) *SparseMatrix {
+	return &SparseMatrix{NumRows: rows, NumCols: cols, Rows: make([][]Entry, rows)}
+}
+
+// Add accumulates v at (r, c).
+func (m *SparseMatrix) Add(r, c int, v field.Element) {
+	if r < 0 || r >= m.NumRows || c < 0 || c >= m.NumCols {
+		panic(fmt.Sprintf("r1cs: entry (%d,%d) out of %dx%d", r, c, m.NumRows, m.NumCols))
+	}
+	if v.IsZero() {
+		return
+	}
+	for i, e := range m.Rows[r] {
+		if e.Col == c {
+			m.Rows[r][i].Val = field.Add(e.Val, v)
+			return
+		}
+	}
+	m.Rows[r] = append(m.Rows[r], Entry{Col: c, Val: v})
+}
+
+// NNZ returns the number of stored nonzeros.
+func (m *SparseMatrix) NNZ() int {
+	n := 0
+	for _, r := range m.Rows {
+		n += len(r)
+	}
+	return n
+}
+
+// Mul computes y = M·x (the SpMV task, paper §V-A), parallelized across
+// output rows (output-stationary, like NoCap's dataflow).
+func (m *SparseMatrix) Mul(x []field.Element) []field.Element {
+	if len(x) != m.NumCols {
+		panic("r1cs: SpMV dimension mismatch")
+	}
+	y := make([]field.Element, m.NumRows)
+	par.For(m.NumRows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			var acc field.Element
+			for _, e := range m.Rows[r] {
+				acc = field.Add(acc, field.Mul(e.Val, x[e.Col]))
+			}
+			y[r] = acc
+		}
+	})
+	return y
+}
+
+// MLEEvalWithTables evaluates the matrix's multilinear extension at the
+// point whose row/column eq-tables are given: Σ M[i,j]·eqRow[i]·eqCol[j].
+// The verifier uses this for the final Spartan check; it is O(nnz).
+func (m *SparseMatrix) MLEEvalWithTables(eqRow, eqCol []field.Element) field.Element {
+	if len(eqRow) < m.NumRows || len(eqCol) < m.NumCols {
+		panic("r1cs: eq table too small")
+	}
+	var acc field.Element
+	for r, row := range m.Rows {
+		if len(row) == 0 {
+			continue
+		}
+		var rowAcc field.Element
+		for _, e := range row {
+			rowAcc = field.Add(rowAcc, field.Mul(e.Val, eqCol[e.Col]))
+		}
+		acc = field.Add(acc, field.Mul(eqRow[r], rowAcc))
+	}
+	return acc
+}
+
+// Bandwidth returns the maximum |col − row| over nonzeros: the matrix
+// band the paper's SpMV scheduling exploits.
+func (m *SparseMatrix) Bandwidth() int {
+	maxBand := 0
+	for r, row := range m.Rows {
+		for _, e := range row {
+			d := e.Col - r
+			if d < 0 {
+				d = -d
+			}
+			if d > maxBand {
+				maxBand = d
+			}
+		}
+	}
+	return maxBand
+}
+
+// Instance is a padded R1CS statement: matrices over 2^logM rows and
+// 2^logN columns, with the public half of z fixed by (1, PublicInputs).
+type Instance struct {
+	A, B, C *SparseMatrix
+	// NumPublic is the number of io elements (excluding the leading 1).
+	NumPublic int
+
+	digest     hashfn.Digest
+	digestDone bool
+}
+
+// Digest returns a structural hash of the instance (shapes and all matrix
+// entries), used to bind proofs to the circuit being proven. The result
+// is cached.
+func (in *Instance) Digest() hashfn.Digest {
+	if in.digestDone {
+		return in.digest
+	}
+	var buf []byte
+	put := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		buf = append(buf, b[:]...)
+	}
+	put(uint64(in.NumConstraints()))
+	put(uint64(in.NumVars()))
+	put(uint64(in.NumPublic))
+	for _, mat := range []*SparseMatrix{in.A, in.B, in.C} {
+		for r, row := range mat.Rows {
+			for _, e := range row {
+				put(uint64(r))
+				put(uint64(e.Col))
+				put(e.Val.Uint64())
+			}
+		}
+	}
+	in.digest = hashfn.Sum(buf)
+	in.digestDone = true
+	return in.digest
+}
+
+// NumConstraints returns the (padded) number of rows.
+func (in *Instance) NumConstraints() int { return in.A.NumRows }
+
+// NumVars returns the (padded) length of z.
+func (in *Instance) NumVars() int { return in.A.NumCols }
+
+// LogConstraints returns log2 of the padded constraint count.
+func (in *Instance) LogConstraints() int {
+	return bits.TrailingZeros(uint(in.NumConstraints()))
+}
+
+// LogVars returns log2 of the padded z length.
+func (in *Instance) LogVars() int { return bits.TrailingZeros(uint(in.NumVars())) }
+
+// validateShape panics if the instance is not power-of-two padded or the
+// matrices disagree.
+func (in *Instance) validateShape() {
+	m, n := in.A.NumRows, in.A.NumCols
+	if m == 0 || m&(m-1) != 0 || n < 2 || n&(n-1) != 0 {
+		panic("r1cs: instance not power-of-two padded")
+	}
+	for _, mat := range []*SparseMatrix{in.B, in.C} {
+		if mat.NumRows != m || mat.NumCols != n {
+			panic("r1cs: matrix shapes disagree")
+		}
+	}
+	if 1+in.NumPublic > n/2 {
+		panic("r1cs: public inputs exceed the public half of z")
+	}
+}
+
+// PublicVector returns u = (1, io, 0…) of length NumVars/2.
+func (in *Instance) PublicVector(io []field.Element) []field.Element {
+	if len(io) != in.NumPublic {
+		panic("r1cs: wrong public input count")
+	}
+	u := make([]field.Element, in.NumVars()/2)
+	u[0] = field.One
+	copy(u[1:], io)
+	return u
+}
+
+// AssembleZ concatenates the public vector and witness into z.
+// len(witness) must be NumVars/2.
+func (in *Instance) AssembleZ(io, witness []field.Element) []field.Element {
+	half := in.NumVars() / 2
+	if len(witness) != half {
+		panic("r1cs: witness must fill the private half of z")
+	}
+	z := make([]field.Element, in.NumVars())
+	copy(z, in.PublicVector(io))
+	copy(z[half:], witness)
+	return z
+}
+
+// Satisfied reports whether (Az) ∘ (Bz) = (Cz) and returns the index of
+// the first violated constraint (or -1).
+func (in *Instance) Satisfied(z []field.Element) (bool, int) {
+	in.validateShape()
+	az, bz, cz := in.A.Mul(z), in.B.Mul(z), in.C.Mul(z)
+	for i := range az {
+		if field.Mul(az[i], bz[i]) != cz[i] {
+			return false, i
+		}
+	}
+	return true, -1
+}
+
+// MatrixEvals evaluates Ã, B̃, C̃ at (rx, ry) — the verifier's final
+// Spartan check (our substitution for the Spark sparse commitment,
+// DESIGN.md §3.4). len(rx) = LogConstraints, len(ry) = LogVars.
+func (in *Instance) MatrixEvals(rx, ry []field.Element) (va, vb, vc field.Element) {
+	eqRow := poly.EqTable(rx)
+	eqCol := poly.EqTable(ry)
+	va = in.A.MLEEvalWithTables(eqRow, eqCol)
+	vb = in.B.MLEEvalWithTables(eqRow, eqCol)
+	vc = in.C.MLEEvalWithTables(eqRow, eqCol)
+	return va, vb, vc
+}
+
+// Stats summarizes an instance for benchmarking output.
+type Stats struct {
+	Constraints int
+	Vars        int
+	NNZ         int
+	MaxBand     int
+}
+
+// Stats returns instance statistics.
+func (in *Instance) Stats() Stats {
+	band := in.A.Bandwidth()
+	if b := in.B.Bandwidth(); b > band {
+		band = b
+	}
+	if b := in.C.Bandwidth(); b > band {
+		band = b
+	}
+	return Stats{
+		Constraints: in.NumConstraints(),
+		Vars:        in.NumVars(),
+		NNZ:         in.A.NNZ() + in.B.NNZ() + in.C.NNZ(),
+		MaxBand:     band,
+	}
+}

@@ -1,0 +1,214 @@
+// Package sched implements NoCap's static instruction scheduler (paper
+// §IV-A): "each instruction has a fixed latency, which is exposed to the
+// compiler. The compiler schedules instructions at the appropriate
+// cycles to respect data dependencies and avoid structural hazards."
+//
+// A Kernel is a dependency DAG of vector instructions. Compile performs
+// list scheduling onto the per-FU streams of the distributed-control
+// machine: every functional unit issues its own stream strictly in
+// order, so the schedule materializes as per-FU instruction sequences
+// with explicit delay instructions (§IV-A's "delay instructions allow
+// waiting for a specified number of cycles"), which replay
+// cycle-accurately without any runtime arbitration. Validate replays
+// the emitted program and checks every dependency.
+package sched
+
+import (
+	"fmt"
+
+	"nocap/internal/isa"
+	"nocap/internal/sim"
+)
+
+// NodeID identifies a kernel node.
+type NodeID int
+
+// Node is one vector instruction in the dependency DAG.
+type Node struct {
+	Op     isa.Op
+	VecLen int
+	Deps   []NodeID
+}
+
+// Kernel is a DAG of vector instructions.
+type Kernel struct {
+	Nodes []Node
+}
+
+// Add appends a node depending on deps and returns its ID. Nodes must be
+// added in topological order (deps already present).
+func (k *Kernel) Add(op isa.Op, vecLen int, deps ...NodeID) NodeID {
+	id := NodeID(len(k.Nodes))
+	for _, d := range deps {
+		if d < 0 || d >= id {
+			panic(fmt.Sprintf("sched: dep %d out of range for node %d", d, id))
+		}
+	}
+	k.Nodes = append(k.Nodes, Node{Op: op, VecLen: vecLen, Deps: deps})
+	return id
+}
+
+// PipelineDepth is the fixed result latency of each unit beyond its
+// issue occupancy: cycles from first operand in to first result out.
+// The hash unit's depth is the 24 Keccak-f rounds; the shuffle unit's
+// the 13 Beneš stages; the NTT unit is a deep four-step pipeline
+// (paper §IV-B).
+var PipelineDepth = map[isa.FU]int64{
+	isa.FUMul:     5,
+	isa.FUAdd:     2,
+	isa.FUHash:    24,
+	isa.FUShuffle: 13,
+	isa.FUNTT:     48,
+	isa.FUMem:     100, // worst-case HBM latency the static schedule assumes (§IV-A)
+}
+
+// fuOf mirrors the ISA's opcode→unit mapping for scheduling.
+func fuOf(op isa.Op) isa.FU {
+	switch op {
+	case isa.OpVMul:
+		return isa.FUMul
+	case isa.OpVAdd:
+		return isa.FUAdd
+	case isa.OpVHash:
+		return isa.FUHash
+	case isa.OpVShuffle:
+		return isa.FUShuffle
+	case isa.OpVNTT, isa.OpVINTT:
+		return isa.FUNTT
+	case isa.OpLoad, isa.OpStore:
+		return isa.FUMem
+	}
+	panic("sched: unschedulable opcode")
+}
+
+// lanes returns per-cycle element throughput for a unit under cfg.
+func lanes(cfg sim.Config, fu isa.FU) int64 {
+	switch fu {
+	case isa.FUMul:
+		return int64(cfg.MulLanes)
+	case isa.FUAdd:
+		return int64(cfg.AddLanes)
+	case isa.FUHash:
+		return int64(cfg.HashLanes)
+	case isa.FUShuffle:
+		return int64(cfg.ShuffleLanes)
+	case isa.FUNTT:
+		return int64(cfg.NTTLanes)
+	case isa.FUMem:
+		return int64(cfg.MemBytesPerCycle) / 8
+	}
+	return 1
+}
+
+// Schedule is a compiled kernel: exact issue/finish cycles per node and
+// the realizing per-FU program.
+type Schedule struct {
+	Start, Finish []int64
+	Makespan      int64
+	Program       *isa.Program
+	// order[fu] lists node IDs in their stream issue order.
+	order [isa.NumFU][]NodeID
+}
+
+// Compile list-schedules the kernel onto cfg's units. Nodes issue in ID
+// order on their unit (in-order streams, like the hardware); each node
+// starts at the later of its unit's next-free cycle and its
+// dependencies' finish cycles.
+func Compile(k *Kernel, cfg sim.Config) (*Schedule, error) {
+	n := len(k.Nodes)
+	s := &Schedule{
+		Start:   make([]int64, n),
+		Finish:  make([]int64, n),
+		Program: isa.NewProgram("kernel"),
+	}
+	fuFree := [isa.NumFU]int64{}
+	for id, node := range k.Nodes {
+		if node.VecLen < isa.MinVecLen || node.VecLen > isa.MaxVecLen ||
+			node.VecLen&(node.VecLen-1) != 0 {
+			return nil, fmt.Errorf("sched: node %d vector length %d invalid", id, node.VecLen)
+		}
+		fu := fuOf(node.Op)
+		ready := fuFree[fu]
+		for _, d := range node.Deps {
+			if s.Finish[d] > ready {
+				ready = s.Finish[d]
+			}
+		}
+		occupancy := (int64(node.VecLen) + lanes(cfg, fu) - 1) / lanes(cfg, fu)
+		s.Start[id] = ready
+		s.Finish[id] = ready + occupancy + PipelineDepth[fu]
+		// Materialize the stream: delay to close the gap, then issue.
+		if gap := ready - fuFree[fu]; gap > 0 {
+			s.Program.EmitDelay(fu, gap)
+		}
+		s.Program.Emit(node.Op, node.VecLen, 1)
+		fuFree[fu] = ready + occupancy
+		s.order[fu] = append(s.order[fu], NodeID(id))
+		if s.Finish[id] > s.Makespan {
+			s.Makespan = s.Finish[id]
+		}
+	}
+	return s, nil
+}
+
+// Validate replays the compiled per-FU streams — in order, honoring only
+// the embedded delays, with no runtime dependency tracking — and checks
+// that every node still starts at its scheduled cycle and after all of
+// its dependencies' results. This is the guarantee that makes
+// distributed control safe (§IV-A).
+func (s *Schedule) Validate(k *Kernel, cfg sim.Config) error {
+	replayStart := make([]int64, len(k.Nodes))
+	for fu := isa.FU(0); fu < isa.NumFU; fu++ {
+		var cursor int64
+		idx := 0
+		for _, in := range s.Program.Streams[fu] {
+			if in.Op == isa.OpDelay {
+				cursor += int64(in.VecLen) * in.Repeat
+				continue
+			}
+			id := s.order[fu][idx]
+			idx++
+			replayStart[id] = cursor
+			cursor += (int64(in.VecLen) + lanes(cfg, fu) - 1) / lanes(cfg, fu)
+		}
+		if idx != len(s.order[fu]) {
+			return fmt.Errorf("sched: stream %v issues %d of %d nodes", fu, idx, len(s.order[fu]))
+		}
+	}
+	for id, node := range k.Nodes {
+		if replayStart[id] != s.Start[id] {
+			return fmt.Errorf("sched: node %d replays at %d, scheduled %d", id, replayStart[id], s.Start[id])
+		}
+		for _, d := range node.Deps {
+			if replayStart[id] < s.Finish[d] {
+				return fmt.Errorf("sched: node %d starts at %d before dep %d finishes at %d",
+					id, replayStart[id], d, s.Finish[d])
+			}
+		}
+	}
+	return nil
+}
+
+// SumcheckRound builds the kernel for one sumcheck DP round over
+// `arrays` input arrays of `size` elements (paper Listing 1): per array,
+// load → fold multiply → accumulate adds; then the reduction tree
+// (shuffle-rotate + add per level) and the round hash whose output gates
+// the next round.
+func SumcheckRound(arrays, size int) *Kernel {
+	k := &Kernel{}
+	var partials []NodeID
+	for a := 0; a < arrays; a++ {
+		ld := k.Add(isa.OpLoad, size)
+		mul := k.Add(isa.OpVMul, size, ld)
+		add := k.Add(isa.OpVAdd, size, mul)
+		partials = append(partials, add)
+	}
+	// Reduction: rotate + add halving levels down to one vector.
+	cur := k.Add(isa.OpVAdd, size, partials...)
+	for width := size; width > isa.MinVecLen; width /= 2 {
+		rot := k.Add(isa.OpVShuffle, width, cur)
+		cur = k.Add(isa.OpVAdd, width/2, rot)
+	}
+	k.Add(isa.OpVHash, isa.MinVecLen, cur)
+	return k
+}

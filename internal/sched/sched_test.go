@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"testing"
+
+	"nocap/internal/isa"
+	"nocap/internal/sim"
+)
+
+func TestChainRespectsLatency(t *testing.T) {
+	// load → mul → add chain: each stage waits for the previous result.
+	cfg := sim.DefaultConfig()
+	k := &Kernel{}
+	ld := k.Add(isa.OpLoad, 1<<10)
+	mul := k.Add(isa.OpVMul, 1<<10, ld)
+	add := k.Add(isa.OpVAdd, 1<<10, mul)
+	s, err := Compile(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Start[mul] != s.Finish[ld] {
+		t.Fatalf("mul starts at %d, load finishes at %d", s.Start[mul], s.Finish[ld])
+	}
+	if s.Start[add] != s.Finish[mul] {
+		t.Fatal("add does not wait for mul")
+	}
+	// Load: ceil(1024/128)=8 occupancy + 100 latency = 108.
+	if s.Finish[ld] != 108 {
+		t.Fatalf("load finish %d", s.Finish[ld])
+	}
+	if err := s.Validate(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIndependentNodesOverlap(t *testing.T) {
+	// Two independent muls share the FU back-to-back (structural hazard
+	// honored); independent ops on different FUs start together.
+	cfg := sim.DefaultConfig()
+	k := &Kernel{}
+	m1 := k.Add(isa.OpVMul, 1<<12)
+	m2 := k.Add(isa.OpVMul, 1<<12)
+	h := k.Add(isa.OpVHash, 1<<12)
+	s, err := Compile(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	occ := int64(1<<12) / int64(cfg.MulLanes)
+	if s.Start[m1] != 0 || s.Start[m2] != occ {
+		t.Fatalf("mul issue cycles %d, %d; want 0, %d", s.Start[m1], s.Start[m2], occ)
+	}
+	if s.Start[h] != 0 {
+		t.Fatal("hash should issue immediately on its own unit")
+	}
+	if err := s.Validate(k, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDelaysEmittedForGaps(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	k := &Kernel{}
+	ld := k.Add(isa.OpLoad, 1<<10)
+	k.Add(isa.OpVMul, 1<<10, ld)
+	s, err := Compile(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The mul stream must begin with a delay covering the load's latency.
+	mulStream := s.Program.Streams[isa.FUMul]
+	if len(mulStream) != 2 || mulStream[0].Op != isa.OpDelay {
+		t.Fatalf("expected delay+mul, got %v", mulStream)
+	}
+	if got := int64(mulStream[0].VecLen); got != s.Finish[ld] {
+		t.Fatalf("delay %d, want %d", got, s.Finish[ld])
+	}
+}
+
+func TestSumcheckRoundKernel(t *testing.T) {
+	cfg := sim.DefaultConfig()
+	for _, size := range []int{1 << 10, 1 << 16} {
+		k := SumcheckRound(4, size)
+		s, err := Compile(k, cfg)
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if err := s.Validate(k, cfg); err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		// Makespan is dominated by the serial reduce+hash tail after the
+		// parallel streaming phase; it must exceed the pure streaming time
+		// but stay within a small multiple of it plus the tail latencies.
+		stream := 4 * int64(size) / int64(cfg.MemBytesPerCycle/8)
+		if s.Makespan <= stream {
+			t.Fatalf("size %d: makespan %d ≤ streaming %d", size, s.Makespan, stream)
+		}
+		if s.Makespan > stream+4000 {
+			t.Fatalf("size %d: makespan %d far exceeds streaming %d + tail", size, s.Makespan, stream)
+		}
+	}
+}
+
+func TestRoundLatencyTailMatchesListing1(t *testing.T) {
+	// Listing 1's per-round serialization: the hash depends on the whole
+	// reduction, so the last node must be the hash and its start must be
+	// after every other finish except its own.
+	cfg := sim.DefaultConfig()
+	k := SumcheckRound(2, 1<<12)
+	s, err := Compile(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := len(k.Nodes) - 1
+	if k.Nodes[last].Op != isa.OpVHash {
+		t.Fatal("last node is not the round hash")
+	}
+	if s.Finish[last] != s.Makespan {
+		t.Fatal("round hash does not close the round")
+	}
+}
+
+func TestCompileRejectsBadVecLen(t *testing.T) {
+	k := &Kernel{}
+	k.Add(isa.OpVMul, 100)
+	if _, err := Compile(k, sim.DefaultConfig()); err == nil {
+		t.Fatal("invalid vector length accepted")
+	}
+}
+
+func TestAddPanicsOnForwardDep(t *testing.T) {
+	k := &Kernel{}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	k.Add(isa.OpVMul, 128, 0) // self/forward reference
+}
+
+func TestScheduleScalesWithLanes(t *testing.T) {
+	// Halving multiplier lanes must push dependent issue cycles out.
+	k := &Kernel{}
+	m := k.Add(isa.OpVMul, 1<<16)
+	k.Add(isa.OpVAdd, 1<<16, m)
+	wide, err := Compile(k, sim.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	narrowCfg := sim.DefaultConfig()
+	narrowCfg.MulLanes /= 2
+	narrow, err := Compile(k, narrowCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if narrow.Makespan <= wide.Makespan {
+		t.Fatal("narrower multiplier did not lengthen the schedule")
+	}
+}

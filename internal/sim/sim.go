@@ -1,0 +1,201 @@
+// Package sim is the cycle-level NoCap simulator (paper §VII: "A
+// simulator executes this program, keeping track of the FU and memory
+// bandwidth usage of each task … models the timing of each task by using
+// timing models for the functional units and main memory").
+//
+// Tasks run one at a time (§V). Within a task, NoCap's static schedule
+// and decoupled data orchestration overlap every functional unit with
+// memory, so task time is the occupancy of its bottleneck resource:
+// per-FU cycles are stream elements divided by lane throughput, memory
+// cycles are traffic divided by HBM bandwidth, and a small startup
+// constant covers instruction prefetch into the on-chip buffers
+// (§IV-A). Register-file pressure is modeled explicitly: tasks whose
+// working set exceeds the register file spill intermediates to HBM,
+// inflating traffic (the drastic degradation of paper Fig. 7).
+package sim
+
+import (
+	"fmt"
+
+	"nocap/internal/isa"
+	"nocap/internal/tasks"
+)
+
+// Config describes a NoCap hardware configuration (paper §IV/Table II).
+type Config struct {
+	// FreqGHz is the clock (1 GHz in the paper).
+	FreqGHz float64
+	// Lane counts per FU (paper §IV-B: heterogeneous widths).
+	MulLanes, AddLanes, HashLanes, ShuffleLanes, NTTLanes int
+	// RegFileBytes is the on-chip register file capacity (8 MB).
+	RegFileBytes int64
+	// MemBytesPerCycle is HBM bandwidth per cycle (1 TB/s at 1 GHz =
+	// 1024 B/cycle, "i.e., 128 elements/cycle" §IV-B).
+	MemBytesPerCycle float64
+	// TaskStartupCycles covers per-task instruction prefetch/drain.
+	TaskStartupCycles int64
+	// SpillPenalty scales the extra HBM traffic per byte of working set
+	// beyond the register file (Fig. 7's drastic degradation).
+	SpillPenalty float64
+}
+
+// DefaultConfig returns the paper's NoCap configuration.
+func DefaultConfig() Config {
+	return Config{
+		FreqGHz:           1.0,
+		MulLanes:          2048,
+		AddLanes:          2048,
+		HashLanes:         128,
+		ShuffleLanes:      128,
+		NTTLanes:          64,
+		RegFileBytes:      8 << 20,
+		MemBytesPerCycle:  1024,
+		TaskStartupCycles: 2000,
+		SpillPenalty:      1.5,
+	}
+}
+
+// lanes returns the lane count for a functional unit.
+func (c Config) lanes(fu isa.FU) int {
+	switch fu {
+	case isa.FUMul:
+		return c.MulLanes
+	case isa.FUAdd:
+		return c.AddLanes
+	case isa.FUHash:
+		return c.HashLanes
+	case isa.FUShuffle:
+		return c.ShuffleLanes
+	case isa.FUNTT:
+		return c.NTTLanes
+	}
+	return 1
+}
+
+// TaskTiming is the simulator's accounting for one task.
+type TaskTiming struct {
+	Name       string
+	Kind       tasks.Kind
+	Cycles     int64
+	Bottleneck string
+	// FUCycles is per-unit occupancy (busy cycles).
+	FUCycles [isa.NumFU]int64
+	// MemBytes is HBM traffic including spill inflation.
+	MemBytes int64
+	// Spilled reports whether the working set exceeded the register file.
+	Spilled bool
+}
+
+// Result is a full prover-run simulation.
+type Result struct {
+	Config Config
+	Tasks  []TaskTiming
+	// Cycles is total execution time in cycles.
+	Cycles int64
+	// MemBytes is total HBM traffic.
+	MemBytes int64
+	// FUBusy sums per-unit busy cycles across tasks.
+	FUBusy [isa.NumFU]int64
+}
+
+// Seconds converts total cycles to wall-clock time.
+func (r Result) Seconds() float64 {
+	return float64(r.Cycles) / (r.Config.FreqGHz * 1e9)
+}
+
+// Utilization returns busy fraction for one unit over the whole run.
+func (r Result) Utilization(fu isa.FU) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.FUBusy[fu]) / float64(r.Cycles)
+}
+
+// TaskShare returns the runtime fraction of one task kind (Fig. 6a).
+func (r Result) TaskShare(kind tasks.Kind) float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	var c int64
+	for _, t := range r.Tasks {
+		if t.Kind == kind {
+			c += t.Cycles
+		}
+	}
+	return float64(c) / float64(r.Cycles)
+}
+
+// TrafficShare returns the HBM-traffic fraction of one task kind (Fig. 6b).
+func (r Result) TrafficShare(kind tasks.Kind) float64 {
+	if r.MemBytes == 0 {
+		return 0
+	}
+	var b int64
+	for _, t := range r.Tasks {
+		if t.Kind == kind {
+			b += t.MemBytes
+		}
+	}
+	return float64(b) / float64(r.MemBytes)
+}
+
+// Run simulates the serial execution of a task list on a configuration.
+func Run(cfg Config, taskList []tasks.Task) Result {
+	res := Result{Config: cfg, Tasks: make([]TaskTiming, 0, len(taskList))}
+	for _, t := range taskList {
+		tt := runTask(cfg, t)
+		res.Cycles += tt.Cycles
+		res.MemBytes += tt.MemBytes
+		for fu := isa.FU(0); fu < isa.NumFU; fu++ {
+			res.FUBusy[fu] += tt.FUCycles[fu]
+		}
+		res.Tasks = append(res.Tasks, tt)
+	}
+	return res
+}
+
+// runTask times one task: bottleneck-resource occupancy under the static
+// schedule, with register-file spill inflation.
+func runTask(cfg Config, t tasks.Task) TaskTiming {
+	p := t.Program
+	tt := TaskTiming{Name: p.Name, Kind: t.Kind}
+
+	memBytes := p.MemBytes()
+	if ws := p.WorkingSetBytes; ws > cfg.RegFileBytes && cfg.RegFileBytes > 0 {
+		// Working set exceeds on-chip storage: intermediates spill.
+		over := float64(ws)/float64(cfg.RegFileBytes) - 1
+		memBytes = int64(float64(memBytes) * (1 + cfg.SpillPenalty*over))
+		tt.Spilled = true
+	}
+	tt.MemBytes = memBytes
+
+	memCycles := int64(float64(memBytes) / cfg.MemBytesPerCycle)
+	best, bottleneck := memCycles, "mem"
+	for fu := isa.FU(0); fu < isa.FUMem; fu++ {
+		elems := p.Elems(fu)
+		if elems == 0 {
+			continue
+		}
+		cycles := (elems + int64(cfg.lanes(fu)) - 1) / int64(cfg.lanes(fu))
+		cycles += p.DelayCycles(fu)
+		tt.FUCycles[fu] = cycles
+		if cycles > best {
+			best, bottleneck = cycles, fu.String()
+		}
+	}
+	tt.Cycles = best + cfg.TaskStartupCycles
+	tt.Bottleneck = bottleneck
+	return tt
+}
+
+// Prover simulates a full Spartan+Orion proof for a 2^logN-constraint
+// statement with the paper's protocol options.
+func Prover(cfg Config, logN int, opts tasks.Options) Result {
+	return Run(cfg, tasks.Inventory(logN, opts))
+}
+
+// String summarizes a result for logs.
+func (r Result) String() string {
+	return fmt.Sprintf("%.3f ms, %d tasks, %.1f GB traffic",
+		r.Seconds()*1e3, len(r.Tasks), float64(r.MemBytes)/1e9)
+}

@@ -1,0 +1,232 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"nocap/internal/isa"
+	"nocap/internal/tasks"
+)
+
+// paperTableIV holds the published NoCap proving times (Table IV) with
+// the padded log2 sizes the CPU baseline's power-of-two scaling implies.
+var paperTableIV = []struct {
+	name    string
+	logN    int
+	seconds float64
+}{
+	{"AES", 24, 0.1513},
+	{"SHA", 25, 0.3110},
+	{"RSA", 27, 1.3},
+	{"Litmus", 28, 2.6},
+	{"Auction", 30, 10.8},
+}
+
+// TestTableIVCalibration is the model's anchor test: simulated proving
+// times must stay within 3% of the paper's Table IV.
+func TestTableIVCalibration(t *testing.T) {
+	cfg := DefaultConfig()
+	for _, row := range paperTableIV {
+		res := Prover(cfg, row.logN, tasks.DefaultOptions())
+		rel := math.Abs(res.Seconds()-row.seconds) / row.seconds
+		t.Logf("%-8s 2^%d: %8.1f ms (paper %8.1f ms, %+.1f%%)",
+			row.name, row.logN, res.Seconds()*1e3, row.seconds*1e3, 100*(res.Seconds()/row.seconds-1))
+		if rel > 0.03 {
+			t.Errorf("%s: %.4fs vs paper %.4fs (%.1f%% off)", row.name, res.Seconds(), row.seconds, rel*100)
+		}
+	}
+}
+
+func TestSumcheckDominatesRuntime(t *testing.T) {
+	// Fig. 6a: ~70% of NoCap runtime in sumcheck; SpMV tiny but present.
+	res := Prover(DefaultConfig(), 24, tasks.DefaultOptions())
+	sc := res.TaskShare(tasks.Sumcheck)
+	if sc < 0.6 || sc > 0.8 {
+		t.Fatalf("sumcheck runtime share %.2f outside [0.6, 0.8]", sc)
+	}
+	if s := res.TaskShare(tasks.SpMV); s <= 0 || s > 0.02 {
+		t.Fatalf("spmv share %.4f implausible", s)
+	}
+	if s := res.TaskShare(tasks.RSEncode); s < 0.05 || s > 0.15 {
+		t.Fatalf("rs share %.3f outside Fig. 6a range", s)
+	}
+}
+
+func TestTrafficDominatedBySumcheck(t *testing.T) {
+	// Fig. 6b: sumcheck traffic dominant, poly-arith second.
+	res := Prover(DefaultConfig(), 24, tasks.DefaultOptions())
+	sc := res.TrafficShare(tasks.Sumcheck)
+	pa := res.TrafficShare(tasks.PolyArith)
+	if sc < 0.5 {
+		t.Fatalf("sumcheck traffic share %.2f < 0.5", sc)
+	}
+	if pa <= res.TrafficShare(tasks.Merkle) {
+		t.Fatal("poly-arith traffic not second-largest")
+	}
+}
+
+func TestRecomputationAblation(t *testing.T) {
+	// §VIII-C: recomputation reduces sumcheck traffic ~31% and improves
+	// NoCap's end-to-end performance.
+	cfg := DefaultConfig()
+	on := Prover(cfg, 24, tasks.Options{Recompute: true, Reps: 3})
+	off := Prover(cfg, 24, tasks.Options{Recompute: false, Reps: 3})
+	if on.Cycles >= off.Cycles {
+		t.Fatalf("recomputation did not help: %d vs %d cycles", on.Cycles, off.Cycles)
+	}
+	speedup := float64(off.Cycles) / float64(on.Cycles)
+	if speedup < 1.05 || speedup > 1.35 {
+		t.Fatalf("recompute speedup %.2f outside [1.05, 1.35] (paper: 1.1×)", speedup)
+	}
+	var scOn, scOff int64
+	for _, tt := range on.Tasks {
+		if tt.Kind == tasks.Sumcheck {
+			scOn = tt.MemBytes
+		}
+	}
+	for _, tt := range off.Tasks {
+		if tt.Kind == tasks.Sumcheck {
+			scOff = tt.MemBytes
+		}
+	}
+	saved := 1 - float64(scOn)/float64(scOff)
+	if math.Abs(saved-0.31) > 0.03 {
+		t.Fatalf("sumcheck traffic reduction %.2f, paper says 0.31", saved)
+	}
+}
+
+func TestArithmeticMostSensitive(t *testing.T) {
+	// Fig. 7: performance is most sensitive to raw arithmetic throughput.
+	base := Prover(DefaultConfig(), 24, tasks.DefaultOptions()).Cycles
+
+	halfMul := DefaultConfig()
+	halfMul.MulLanes /= 2
+	halfMul.AddLanes /= 2
+	mulSlow := float64(Prover(halfMul, 24, tasks.DefaultOptions()).Cycles) / float64(base)
+
+	halfMem := DefaultConfig()
+	halfMem.MemBytesPerCycle /= 2
+	memSlow := float64(Prover(halfMem, 24, tasks.DefaultOptions()).Cycles) / float64(base)
+
+	halfHash := DefaultConfig()
+	halfHash.HashLanes /= 2
+	hashSlow := float64(Prover(halfHash, 24, tasks.DefaultOptions()).Cycles) / float64(base)
+
+	if mulSlow <= memSlow || mulSlow <= hashSlow {
+		t.Fatalf("arithmetic not most sensitive: mul %.2f mem %.2f hash %.2f",
+			mulSlow, memSlow, hashSlow)
+	}
+	if mulSlow < 1.2 {
+		t.Fatalf("halving arithmetic barely hurt (%.2f); model broken", mulSlow)
+	}
+}
+
+func TestScalingUpBringsSmallBenefit(t *testing.T) {
+	// Fig. 7: "scaling any one building block brings small benefits".
+	base := Prover(DefaultConfig(), 24, tasks.DefaultOptions()).Cycles
+	for name, mut := range map[string]func(*Config){
+		"mul":  func(c *Config) { c.MulLanes *= 2; c.AddLanes *= 2 },
+		"mem":  func(c *Config) { c.MemBytesPerCycle *= 2 },
+		"hash": func(c *Config) { c.HashLanes *= 2 },
+		"ntt":  func(c *Config) { c.NTTLanes *= 2 },
+		"rf":   func(c *Config) { c.RegFileBytes *= 2 },
+	} {
+		cfg := DefaultConfig()
+		mut(&cfg)
+		got := Prover(cfg, 24, tasks.DefaultOptions()).Cycles
+		gain := float64(base) / float64(got)
+		if gain > 1.35 {
+			t.Fatalf("doubling %s gave %.2fx — should be a small benefit", name, gain)
+		}
+		if gain < 0.999 {
+			t.Fatalf("doubling %s hurt performance", name)
+		}
+	}
+}
+
+func TestRegisterFileSpill(t *testing.T) {
+	// Fig. 7: decreasing register file size leads sumcheck intermediates
+	// to spill, drastically degrading performance; increasing it is
+	// negligible.
+	base := Prover(DefaultConfig(), 24, tasks.DefaultOptions()).Cycles
+
+	small := DefaultConfig()
+	small.RegFileBytes = 2 << 20
+	spilled := Prover(small, 24, tasks.DefaultOptions())
+	if float64(spilled.Cycles)/float64(base) < 1.3 {
+		t.Fatalf("2MB register file only %.2fx slower; spill model broken",
+			float64(spilled.Cycles)/float64(base))
+	}
+	anySpill := false
+	for _, tt := range spilled.Tasks {
+		if tt.Spilled {
+			anySpill = true
+		}
+	}
+	if !anySpill {
+		t.Fatal("no task reported spilling")
+	}
+
+	big := DefaultConfig()
+	big.RegFileBytes = 32 << 20
+	if got := Prover(big, 24, tasks.DefaultOptions()).Cycles; got != base {
+		t.Fatalf("larger register file changed cycles: %d vs %d", got, base)
+	}
+}
+
+func TestUtilizationPlausible(t *testing.T) {
+	// §VIII-B: overall compute utilization ~60%; the multiplier is the
+	// busiest unit.
+	res := Prover(DefaultConfig(), 24, tasks.DefaultOptions())
+	mul := res.Utilization(isa.FUMul)
+	if mul < 0.5 || mul > 0.85 {
+		t.Fatalf("mul utilization %.2f outside [0.5, 0.85]", mul)
+	}
+	if res.Utilization(isa.FUNTT) > mul {
+		t.Fatal("NTT busier than multiplier")
+	}
+}
+
+func TestMemoryBandwidthUtilization(t *testing.T) {
+	// The prover must be a heavy HBM user but not exceed the bandwidth.
+	res := Prover(DefaultConfig(), 24, tasks.DefaultOptions())
+	bw := float64(res.MemBytes) / res.Seconds() / 1e9 // GB/s
+	if bw > 1100 {
+		t.Fatalf("model exceeds HBM bandwidth: %.0f GB/s", bw)
+	}
+	if bw < 300 {
+		t.Fatalf("implausibly low bandwidth use: %.0f GB/s", bw)
+	}
+}
+
+func TestRepsScaling(t *testing.T) {
+	// Dropping from 3 repetitions to 1 must cut the repetition-scaled
+	// work roughly 3×, but not affect SpMV (performed once).
+	three := Prover(DefaultConfig(), 24, tasks.Options{Recompute: true, Reps: 3})
+	one := Prover(DefaultConfig(), 24, tasks.Options{Recompute: true, Reps: 1})
+	ratio := float64(three.Cycles) / float64(one.Cycles)
+	if ratio < 2.5 || ratio > 3.2 {
+		t.Fatalf("3-rep/1-rep ratio %.2f", ratio)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := Prover(DefaultConfig(), 20, tasks.DefaultOptions())
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRunEmptyTaskList(t *testing.T) {
+	res := Run(DefaultConfig(), nil)
+	if res.Cycles != 0 || len(res.Tasks) != 0 {
+		t.Fatal("empty run not empty")
+	}
+}
+
+func BenchmarkSimulate2to30(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		Prover(cfg, 30, tasks.DefaultOptions())
+	}
+}

@@ -1,0 +1,145 @@
+package spartan
+
+import (
+	"testing"
+
+	"nocap/internal/field"
+)
+
+// FuzzUnmarshalProof ensures arbitrary bytes never panic the decoder
+// and that valid proofs survive mutation detection (either decode error
+// or verification failure — never acceptance of a corrupted statement).
+func FuzzUnmarshalProof(f *testing.F) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		f.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := UnmarshalProof(b)
+		if err != nil {
+			return
+		}
+		// Decoded fine: verification must be a pure function (no panic).
+		_ = Verify(TestParams(), inst, io, p)
+	})
+}
+
+func TestVerifyRejectsParamsMismatch(t *testing.T) {
+	inst, io, w := buildFibonacci(20, 3, 4)
+	params := TestParams()
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Different PCS geometry: commitment checks must fail.
+	other := params
+	other.PCS.Rows = 4
+	if Verify(other, inst, io, proof) == nil {
+		t.Fatal("proof accepted under different PCS geometry")
+	}
+	// ZK flag mismatch changes mask accounting.
+	other = params
+	other.PCS.ZK = !params.PCS.ZK
+	if Verify(other, inst, io, proof) == nil {
+		t.Fatal("proof accepted under flipped ZK mode")
+	}
+}
+
+func TestVerifyRejectsSwappedRepetitions(t *testing.T) {
+	params := TestParams()
+	params.Reps = 2
+	inst, io, w := buildFibonacci(15, 2, 3)
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Reps[0], proof.Reps[1] = proof.Reps[1], proof.Reps[0]
+	if Verify(params, inst, io, proof) == nil {
+		t.Fatal("repetition swap accepted (transcript must order them)")
+	}
+}
+
+func TestVerifyRejectsSwappedOpeningVectors(t *testing.T) {
+	params := TestParams()
+	params.Reps = 2
+	inst, io, w := buildFibonacci(15, 2, 3)
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := proof.Opening.EvalVectors
+	if len(ev) == 2 {
+		ev[0], ev[1] = ev[1], ev[0]
+		if Verify(params, inst, io, proof) == nil {
+			t.Fatal("opening-vector swap accepted")
+		}
+	}
+}
+
+func TestVerifyRejectsZeroedWitnessCommitment(t *testing.T) {
+	inst, io, w := buildFibonacci(15, 2, 3)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Commitment.Root = [32]byte{}
+	if Verify(TestParams(), inst, io, proof) == nil {
+		t.Fatal("zeroed commitment accepted")
+	}
+}
+
+func TestProveIsDeterministicGivenRandomness(t *testing.T) {
+	// With ZK off, proving is fully deterministic: identical proofs.
+	params := TestParams()
+	params.PCS.ZK = false
+	inst, io, w := buildFibonacci(12, 5, 6)
+	p1, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := p1.MarshalBinary()
+	b2, _ := p2.MarshalBinary()
+	if string(b1) != string(b2) {
+		t.Fatal("non-ZK proving is not deterministic")
+	}
+	_ = field.Zero
+}
+
+func TestRecomputeProverByteIdentical(t *testing.T) {
+	// §V-A recomputation must not change the proof at all (non-ZK mode
+	// makes proving deterministic).
+	inst, io, w := buildFibonacci(30, 4, 9)
+	base := TestParams()
+	base.PCS.ZK = false
+	recompute := base
+	recompute.Recompute = true
+
+	p1, err := Prove(base, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Prove(recompute, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := p1.MarshalBinary()
+	b2, _ := p2.MarshalBinary()
+	if string(b1) != string(b2) {
+		t.Fatal("recomputation changed the proof")
+	}
+	if err := Verify(base, inst, io, p2); err != nil {
+		t.Fatalf("recomputed proof rejected: %v", err)
+	}
+}

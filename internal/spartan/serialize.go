@@ -1,0 +1,97 @@
+package spartan
+
+import (
+	"fmt"
+
+	"nocap/internal/pcs"
+	"nocap/internal/sumcheck"
+	"nocap/internal/wire"
+)
+
+// proofMagic and proofVersion identify the serialized format.
+const (
+	proofMagic   = 0x6e6f4361702d7631 // "noCap-v1"
+	proofVersion = 1
+	maxReps      = 64
+)
+
+// MarshalBinary serializes the proof into the compact wire format the
+// prover ships across the 10 MB/s link of the paper's end-to-end model.
+func (p *Proof) MarshalBinary() ([]byte, error) {
+	w := &wire.Writer{}
+	w.U64(proofMagic)
+	w.U64(proofVersion)
+	p.Commitment.AppendTo(w)
+	w.U64(uint64(len(p.Reps)))
+	for _, rp := range p.Reps {
+		rp.Outer.AppendTo(w)
+		w.Elem(rp.VA)
+		w.Elem(rp.VB)
+		w.Elem(rp.VC)
+		rp.Inner.AppendTo(w)
+	}
+	w.Elems(p.WEvals)
+	p.Opening.AppendTo(w)
+	return w.Bytes(), nil
+}
+
+// UnmarshalProof decodes a proof, validating framing and field-element
+// canonicality. It does NOT validate the proof cryptographically; use
+// Verify for that.
+func UnmarshalProof(data []byte) (*Proof, error) {
+	r := wire.NewReader(data)
+	magic, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	if magic != proofMagic {
+		return nil, fmt.Errorf("spartan: bad proof magic %#x", magic)
+	}
+	version, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	if version != proofVersion {
+		return nil, fmt.Errorf("spartan: unsupported proof version %d", version)
+	}
+	p := &Proof{}
+	if p.Commitment, err = pcs.ReadCommitment(r); err != nil {
+		return nil, err
+	}
+	nReps, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	if nReps == 0 || nReps > maxReps {
+		return nil, fmt.Errorf("spartan: %d repetitions out of range", nReps)
+	}
+	p.Reps = make([]RepProof, nReps)
+	for i := range p.Reps {
+		rp := &p.Reps[i]
+		if rp.Outer, err = sumcheck.ReadProof(r); err != nil {
+			return nil, err
+		}
+		if rp.VA, err = r.Elem(); err != nil {
+			return nil, err
+		}
+		if rp.VB, err = r.Elem(); err != nil {
+			return nil, err
+		}
+		if rp.VC, err = r.Elem(); err != nil {
+			return nil, err
+		}
+		if rp.Inner, err = sumcheck.ReadProof(r); err != nil {
+			return nil, err
+		}
+	}
+	if p.WEvals, err = r.Elems(); err != nil {
+		return nil, err
+	}
+	if p.Opening, err = pcs.ReadOpeningProof(r); err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

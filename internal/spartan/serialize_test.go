@@ -1,0 +1,123 @@
+package spartan
+
+import (
+	"bytes"
+	"testing"
+)
+
+func marshalledProof(t *testing.T) (*Proof, []byte) {
+	t.Helper()
+	inst, io, w := buildFibonacci(25, 3, 4)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return proof, data
+}
+
+func TestProofRoundTrip(t *testing.T) {
+	inst, io, w := buildFibonacci(25, 3, 4)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := UnmarshalProof(data)
+	if err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	// The decoded proof must verify against the original statement.
+	if err := Verify(TestParams(), inst, io, decoded); err != nil {
+		t.Fatalf("decoded proof rejected: %v", err)
+	}
+	// Re-encoding must be byte-identical (deterministic format).
+	data2, err := decoded.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, data2) {
+		t.Fatal("re-encoding differs")
+	}
+}
+
+func TestUnmarshalRejectsBadMagic(t *testing.T) {
+	_, data := marshalledProof(t)
+	data[0] ^= 0xFF
+	if _, err := UnmarshalProof(data); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestUnmarshalRejectsBadVersion(t *testing.T) {
+	_, data := marshalledProof(t)
+	data[8] = 99
+	if _, err := UnmarshalProof(data); err == nil {
+		t.Fatal("bad version accepted")
+	}
+}
+
+func TestUnmarshalRejectsTruncation(t *testing.T) {
+	_, data := marshalledProof(t)
+	for _, cut := range []int{1, 8, 40, len(data) / 2, len(data) - 1} {
+		if _, err := UnmarshalProof(data[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestUnmarshalRejectsTrailingBytes(t *testing.T) {
+	_, data := marshalledProof(t)
+	if _, err := UnmarshalProof(append(data, 0)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestUnmarshalRejectsNonCanonicalElements(t *testing.T) {
+	_, data := marshalledProof(t)
+	// Overwrite every 8-byte word in the middle of the buffer with an
+	// out-of-field value and expect a decode error somewhere.
+	rejected := false
+	for off := 16; off+8 < len(data); off += 8 {
+		mod := append([]byte(nil), data...)
+		for i := 0; i < 8; i++ {
+			mod[off+i] = 0xFF
+		}
+		if _, err := UnmarshalProof(mod); err != nil {
+			rejected = true
+			break
+		}
+	}
+	if !rejected {
+		t.Fatal("no corruption detected across the buffer")
+	}
+}
+
+func TestUnmarshalFuzzGarbage(t *testing.T) {
+	// Random garbage must never panic, only error.
+	for seed := byte(0); seed < 50; seed++ {
+		buf := make([]byte, int(seed)*13)
+		for i := range buf {
+			buf[i] = seed * byte(i+1)
+		}
+		if _, err := UnmarshalProof(buf); err == nil && len(buf) > 0 {
+			t.Fatalf("garbage of len %d accepted", len(buf))
+		}
+	}
+}
+
+func TestSerializedSizeMatchesSizeBytes(t *testing.T) {
+	proof, data := marshalledProof(t)
+	// The wire encoding adds framing (length prefixes, magic); it must
+	// stay within ~15% of the SizeBytes accounting used for Table III.
+	ratio := float64(len(data)) / float64(proof.SizeBytes())
+	if ratio < 0.9 || ratio > 1.20 {
+		t.Fatalf("wire size %d vs accounted %d (ratio %.2f)", len(data), proof.SizeBytes(), ratio)
+	}
+}

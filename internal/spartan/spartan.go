@@ -1,0 +1,339 @@
+// Package spartan implements the Spartan+Orion zk-SNARK — the novel
+// combination the paper builds NoCap around (§II-A): the R1CS
+// arithmetization, the Spartan polynomial IOP (two sumchecks), and the
+// Orion polynomial commitment on the witness, all over Goldilocks-64 and
+// made non-interactive by Fiat–Shamir.
+//
+// Protocol outline (per repetition; the whole IOP is repeated Reps times
+// — the paper runs all sumchecks 3× to reach 128-bit soundness over the
+// 64-bit field, §VII-A):
+//
+//  1. The prover commits to the witness MLE w̃ (Orion PCS).
+//  2. Outer sumcheck: 0 = Σ_x eq(τ,x)·(Ãz(x)·B̃z(x) − C̃z(x)), degree 3,
+//     over log(m) variables; yields rx and claims vA, vB, vC.
+//  3. Inner sumcheck: rA·vA+rB·vB+rC·vC = Σ_y M(y)·z̃(y) with
+//     M(y) = rA·Ã(rx,y)+rB·B̃(rx,y)+rC·C̃(rx,y), degree 2, over log(n)
+//     variables; yields ry.
+//  4. The verifier evaluates Ã,B̃,C̃(rx,ry) directly from the matrices
+//     (the Spark substitution of DESIGN.md §3.4) and ũ(ry₁…) from the
+//     public inputs; w̃(ry₁…) comes from one shared Orion opening across
+//     all repetitions.
+package spartan
+
+import (
+	"errors"
+	"fmt"
+
+	"nocap/internal/field"
+	"nocap/internal/pcs"
+	"nocap/internal/poly"
+	"nocap/internal/r1cs"
+	"nocap/internal/sumcheck"
+	"nocap/internal/transcript"
+)
+
+// Params configures the SNARK.
+type Params struct {
+	// PCS configures the Orion commitment (rows, code, proximity, ZK).
+	PCS pcs.Params
+	// Reps is the soundness-amplification repetition count; the paper
+	// uses 3 (§VII-A).
+	Reps int
+	// Recompute selects the §V-A recomputation prover for the outer
+	// sumcheck: DP inputs are re-derived from the matrices and z every
+	// round (sumcheck.ProveStreamed) instead of folding stored arrays.
+	// Proofs are byte-identical either way; on NoCap the recomputation
+	// variant trades multiplier throughput for 31% less memory traffic,
+	// while on CPUs it is slightly slower (§VIII-C) — hence off by
+	// default in this software prover.
+	Recompute bool
+}
+
+// DefaultParams returns the paper's configuration: 3 repetitions,
+// 128-row Orion matrix, Reed-Solomon blowup 4, 189 queries, ZK on.
+func DefaultParams() Params {
+	p := pcs.DefaultParams()
+	return Params{PCS: p, Reps: 3}
+}
+
+// TestParams returns a configuration sized for unit tests: 1 repetition
+// and a small commitment matrix.
+func TestParams() Params {
+	p := pcs.DefaultParams()
+	p.Rows = 8
+	p.ZK = true
+	return Params{PCS: p, Reps: 1}
+}
+
+// RepProof holds one repetition's IOP messages.
+type RepProof struct {
+	Outer      *sumcheck.Proof
+	VA, VB, VC field.Element
+	Inner      *sumcheck.Proof
+}
+
+// Proof is a complete non-interactive Spartan+Orion proof.
+type Proof struct {
+	Commitment *pcs.Commitment
+	Reps       []RepProof
+	// WEvals[i] is w̃(ry_i[1:]) for repetition i, proven by Opening.
+	WEvals  []field.Element
+	Opening *pcs.OpeningProof
+}
+
+// SizeBytes returns the serialized proof size.
+func (p *Proof) SizeBytes() int {
+	n := p.Commitment.SizeBytes()
+	for _, rp := range p.Reps {
+		n += rp.Outer.SizeBytes() + rp.Inner.SizeBytes() + 3*8
+	}
+	n += 8 * len(p.WEvals)
+	n += p.Opening.SizeBytes()
+	return n
+}
+
+// effective returns the PCS params with Rows shrunk to fit small
+// witnesses (test-scale instances); geometry stays a deterministic
+// function of params and instance shape, so prover and verifier agree.
+func (pp Params) effective(witnessLen int) pcs.Params {
+	p := pp.PCS
+	if p.Rows > witnessLen {
+		p.Rows = witnessLen
+	}
+	if pp.Reps > p.MaxPoints {
+		p.MaxPoints = pp.Reps
+	}
+	return p
+}
+
+// outerCombine is eq·(a·b − c).
+func outerCombine(v []field.Element) field.Element {
+	return field.Mul(v[0], field.Sub(field.Mul(v[1], v[2]), v[3]))
+}
+
+// innerCombine is m·z.
+func innerCombine(v []field.Element) field.Element {
+	return field.Mul(v[0], v[1])
+}
+
+// bindStatement absorbs everything both parties know up front.
+func bindStatement(tr *transcript.Transcript, inst *r1cs.Instance, io []field.Element, params Params) {
+	tr.AppendDigest("instance", inst.Digest())
+	tr.AppendElems("io", io)
+	tr.AppendUint64("reps", uint64(params.Reps))
+}
+
+// publicEval computes ũ(r) for u = (1, io, 0…) of length 2^len(r):
+// Σ_{i<1+|io|} u[i]·eq(r, bits(i)), O(|io|·len(r)).
+func publicEval(io []field.Element, r []field.Element) field.Element {
+	eval := func(idx int) field.Element {
+		acc := field.One
+		for k, rk := range r {
+			bit := (idx >> (len(r) - 1 - k)) & 1
+			if bit == 1 {
+				acc = field.Mul(acc, rk)
+			} else {
+				acc = field.Mul(acc, field.Sub(field.One, rk))
+			}
+		}
+		return acc
+	}
+	out := eval(0) // u[0] = 1
+	for i, v := range io {
+		if v.IsZero() {
+			continue
+		}
+		out = field.Add(out, field.Mul(v, eval(i+1)))
+	}
+	return out
+}
+
+// Prove generates a proof that the prover knows a witness satisfying the
+// instance with the given public inputs.
+func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (*Proof, error) {
+	if params.Reps < 1 {
+		return nil, errors.New("spartan: Reps must be ≥ 1")
+	}
+	half := inst.NumVars() / 2
+	if len(witness) != half {
+		return nil, fmt.Errorf("spartan: witness length %d, want %d", len(witness), half)
+	}
+	z := inst.AssembleZ(io, witness)
+	if ok, i := inst.Satisfied(z); !ok {
+		return nil, fmt.Errorf("spartan: witness does not satisfy constraint %d", i)
+	}
+
+	tr := transcript.New("spartan-orion")
+	bindStatement(tr, inst, io, params)
+
+	// 1. Commit to the witness.
+	pcsParams := params.effective(half)
+	st, err := pcs.Commit(pcsParams, witness)
+	if err != nil {
+		return nil, fmt.Errorf("spartan: commit: %w", err)
+	}
+	comm := st.Commitment()
+	tr.AppendDigest("witness-commitment", comm.Root)
+
+	// SpMV: the three sparse matrix-vector products (paper §V-A). With
+	// recomputation on, products are re-derived on demand instead.
+	var az, bz, cz []field.Element
+	if !params.Recompute {
+		az, bz, cz = inst.A.Mul(z), inst.B.Mul(z), inst.C.Mul(z)
+	}
+	rowDot := func(mat *r1cs.SparseMatrix, i int) field.Element {
+		var acc field.Element
+		for _, e := range mat.Rows[i] {
+			acc = field.Add(acc, field.Mul(e.Val, z[e.Col]))
+		}
+		return acc
+	}
+
+	logM := inst.LogConstraints()
+	proof := &Proof{Commitment: comm, Reps: make([]RepProof, params.Reps)}
+	openPoints := make([][]field.Element, params.Reps)
+
+	for rep := 0; rep < params.Reps; rep++ {
+		lbl := fmt.Sprintf("rep%d", rep)
+		tau := tr.Challenges(lbl+"/tau", logM)
+
+		// Outer sumcheck over x ∈ {0,1}^logM.
+		var outer *sumcheck.Proof
+		var rx, finals []field.Element
+		if params.Recompute {
+			eqTau := poly.EqTable(tau)
+			src := func(k, i int) field.Element {
+				switch k {
+				case 0:
+					return eqTau[i]
+				case 1:
+					return rowDot(inst.A, i)
+				case 2:
+					return rowDot(inst.B, i)
+				}
+				return rowDot(inst.C, i)
+			}
+			// 2^20 elements = the 8 MB register-file capacity (§V-A).
+			outer, rx, finals = sumcheck.ProveStreamed(tr, lbl+"/outer", field.Zero, 4, logM, src, 3, outerCombine, 1<<20)
+		} else {
+			arrays := []*poly.MLE{
+				poly.NewMLE(poly.EqTable(tau)),
+				poly.NewMLE(append([]field.Element(nil), az...)),
+				poly.NewMLE(append([]field.Element(nil), bz...)),
+				poly.NewMLE(append([]field.Element(nil), cz...)),
+			}
+			outer, rx, finals = sumcheck.Prove(tr, lbl+"/outer", field.Zero, arrays, 3, outerCombine)
+		}
+		va, vb, vc := finals[1], finals[2], finals[3]
+		tr.AppendElems(lbl+"/claims", []field.Element{va, vb, vc})
+
+		rABC := tr.Challenges(lbl+"/rabc", 3)
+		claim := field.Add(field.Add(
+			field.Mul(rABC[0], va), field.Mul(rABC[1], vb)), field.Mul(rABC[2], vc))
+
+		// Build M(y) = Σ_i eq(rx,i)·(rA·A[i,y]+rB·B[i,y]+rC·C[i,y]).
+		eqRx := poly.EqTable(rx)
+		my := make([]field.Element, inst.NumVars())
+		accumulate := func(mat *r1cs.SparseMatrix, coeff field.Element) {
+			for i, row := range mat.Rows {
+				if len(row) == 0 {
+					continue
+				}
+				w := field.Mul(coeff, eqRx[i])
+				for _, e := range row {
+					my[e.Col] = field.Add(my[e.Col], field.Mul(w, e.Val))
+				}
+			}
+		}
+		accumulate(inst.A, rABC[0])
+		accumulate(inst.B, rABC[1])
+		accumulate(inst.C, rABC[2])
+
+		inner, ry, _ := sumcheck.Prove(tr, lbl+"/inner",
+			claim,
+			[]*poly.MLE{poly.NewMLE(my), poly.NewMLE(append([]field.Element(nil), z...))},
+			2, innerCombine)
+
+		proof.Reps[rep] = RepProof{Outer: outer, VA: va, VB: vb, VC: vc, Inner: inner}
+		openPoints[rep] = ry[1:]
+	}
+
+	// 2. One shared Orion opening for all repetitions' w̃ evaluations.
+	opening, wEvals, err := st.Open(tr, openPoints)
+	if err != nil {
+		return nil, fmt.Errorf("spartan: open: %w", err)
+	}
+	proof.Opening = opening
+	proof.WEvals = wEvals
+	return proof, nil
+}
+
+// Verification errors.
+var (
+	ErrOuterFinal = errors.New("spartan: outer sumcheck final check failed")
+	ErrInnerFinal = errors.New("spartan: inner sumcheck final check failed")
+	ErrShape      = errors.New("spartan: malformed proof")
+)
+
+// Verify checks a proof against the instance and public inputs.
+func Verify(params Params, inst *r1cs.Instance, io []field.Element, proof *Proof) error {
+	if params.Reps < 1 || len(proof.Reps) != params.Reps || len(proof.WEvals) != params.Reps {
+		return fmt.Errorf("%w: repetition count", ErrShape)
+	}
+	half := inst.NumVars() / 2
+	pcsParams := params.effective(half)
+
+	tr := transcript.New("spartan-orion")
+	bindStatement(tr, inst, io, params)
+	tr.AppendDigest("witness-commitment", proof.Commitment.Root)
+
+	logM := inst.LogConstraints()
+	logN := inst.LogVars()
+	openPoints := make([][]field.Element, params.Reps)
+
+	for rep := 0; rep < params.Reps; rep++ {
+		lbl := fmt.Sprintf("rep%d", rep)
+		tau := tr.Challenges(lbl+"/tau", logM)
+		rp := proof.Reps[rep]
+
+		rx, outerFinal, err := sumcheck.Verify(tr, lbl+"/outer", field.Zero, logM, 3, rp.Outer)
+		if err != nil {
+			return fmt.Errorf("spartan: rep %d outer: %w", rep, err)
+		}
+		// g(rx) must equal eq(τ,rx)·(vA·vB − vC).
+		eqTauRx := poly.EqEval(tau, rx)
+		want := field.Mul(eqTauRx, field.Sub(field.Mul(rp.VA, rp.VB), rp.VC))
+		if outerFinal != want {
+			return fmt.Errorf("%w (rep %d)", ErrOuterFinal, rep)
+		}
+		tr.AppendElems(lbl+"/claims", []field.Element{rp.VA, rp.VB, rp.VC})
+
+		rABC := tr.Challenges(lbl+"/rabc", 3)
+		claim := field.Add(field.Add(
+			field.Mul(rABC[0], rp.VA), field.Mul(rABC[1], rp.VB)), field.Mul(rABC[2], rp.VC))
+
+		ry, innerFinal, err := sumcheck.Verify(tr, lbl+"/inner", claim, logN, 2, rp.Inner)
+		if err != nil {
+			return fmt.Errorf("spartan: rep %d inner: %w", rep, err)
+		}
+
+		// Final inner check: M̃(ry)·z̃(ry).
+		va2, vb2, vc2 := inst.MatrixEvals(rx, ry)
+		mv := field.Add(field.Add(
+			field.Mul(rABC[0], va2), field.Mul(rABC[1], vb2)), field.Mul(rABC[2], vc2))
+		uEval := publicEval(io, ry[1:])
+		zv := field.Add(
+			field.Mul(field.Sub(field.One, ry[0]), uEval),
+			field.Mul(ry[0], proof.WEvals[rep]))
+		if innerFinal != field.Mul(mv, zv) {
+			return fmt.Errorf("%w (rep %d)", ErrInnerFinal, rep)
+		}
+		openPoints[rep] = ry[1:]
+	}
+
+	// Check the shared Orion opening of w̃ at all repetition points.
+	if err := pcs.Verify(pcsParams, proof.Commitment, tr, openPoints, proof.WEvals, proof.Opening); err != nil {
+		return fmt.Errorf("spartan: opening: %w", err)
+	}
+	return nil
+}

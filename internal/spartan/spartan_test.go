@@ -1,0 +1,305 @@
+package spartan
+
+import (
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/r1cs"
+)
+
+// buildFibonacci builds a chain circuit: x_{i+1} = x_i² + x_{i-1},
+// proving knowledge of a seed pair reaching a public final value.
+func buildFibonacci(steps int, a, b uint64) (*r1cs.Instance, []field.Element, []field.Element) {
+	bd := r1cs.NewBuilder()
+	prev := bd.Secret(field.New(a))
+	cur := bd.Secret(field.New(b))
+	for i := 0; i < steps; i++ {
+		sq := bd.Square(r1cs.FromVar(cur))
+		next := bd.Secret(bd.Eval(r1cs.AddLC(r1cs.FromVar(sq), r1cs.FromVar(prev))))
+		bd.AssertEq(r1cs.AddLC(r1cs.FromVar(sq), r1cs.FromVar(prev)), r1cs.FromVar(next))
+		prev, cur = cur, next
+	}
+	out := bd.Public(bd.Value(cur))
+	bd.AssertEq(r1cs.FromVar(cur), r1cs.FromVar(out))
+	return bd.Build()
+}
+
+func TestProveVerifyRoundTrip(t *testing.T) {
+	inst, io, w := buildFibonacci(20, 3, 4)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := Verify(TestParams(), inst, io, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestThreeRepetitions(t *testing.T) {
+	params := TestParams()
+	params.Reps = 3 // the paper's soundness amplification
+	inst, io, w := buildFibonacci(30, 5, 6)
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if len(proof.Reps) != 3 || len(proof.WEvals) != 3 {
+		t.Fatal("repetition structure wrong")
+	}
+	if err := Verify(params, inst, io, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestNonZKMode(t *testing.T) {
+	params := TestParams()
+	params.PCS.ZK = false
+	inst, io, w := buildFibonacci(10, 1, 2)
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := Verify(params, inst, io, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestRejectsWrongPublicInput(t *testing.T) {
+	inst, io, w := buildFibonacci(20, 3, 4)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := append([]field.Element(nil), io...)
+	bad[0] = field.Add(bad[0], field.One)
+	if Verify(TestParams(), inst, bad, proof) == nil {
+		t.Fatal("proof accepted for wrong public input")
+	}
+}
+
+func TestRejectsUnsatisfiedWitness(t *testing.T) {
+	inst, io, w := buildFibonacci(20, 3, 4)
+	w[0] = field.Add(w[0], field.One)
+	if _, err := Prove(TestParams(), inst, io, w); err == nil {
+		t.Fatal("prover accepted bad witness")
+	}
+}
+
+func TestRejectsForeignProof(t *testing.T) {
+	instA, ioA, wA := buildFibonacci(20, 3, 4)
+	instB, _, _ := buildFibonacci(21, 3, 4) // different circuit, same shape class
+	proof, err := Prove(TestParams(), instA, ioA, wA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The instance digest is bound into the transcript: a proof for
+	// circuit A must not verify against circuit B.
+	if Verify(TestParams(), instB, ioA, proof) == nil {
+		t.Fatal("proof accepted under different circuit")
+	}
+}
+
+func TestRejectsTamperedClaims(t *testing.T) {
+	inst, io, w := buildFibonacci(15, 2, 3)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Reps[0].VA = field.Add(proof.Reps[0].VA, field.One)
+	if Verify(TestParams(), inst, io, proof) == nil {
+		t.Fatal("tampered vA accepted")
+	}
+}
+
+func TestRejectsTamperedWEval(t *testing.T) {
+	inst, io, w := buildFibonacci(15, 2, 3)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.WEvals[0] = field.Add(proof.WEvals[0], field.One)
+	if Verify(TestParams(), inst, io, proof) == nil {
+		t.Fatal("tampered witness evaluation accepted")
+	}
+}
+
+func TestRejectsTamperedSumcheck(t *testing.T) {
+	inst, io, w := buildFibonacci(15, 2, 3)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Reps[0].Inner.RoundPolys[0][0] =
+		field.Add(proof.Reps[0].Inner.RoundPolys[0][0], field.One)
+	if Verify(TestParams(), inst, io, proof) == nil {
+		t.Fatal("tampered inner sumcheck accepted")
+	}
+}
+
+func TestRejectsShapeMismatch(t *testing.T) {
+	inst, io, w := buildFibonacci(15, 2, 3)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := TestParams()
+	params.Reps = 2
+	if Verify(params, inst, io, proof) == nil {
+		t.Fatal("wrong repetition count accepted")
+	}
+}
+
+func TestProveRejectsBadWitnessLength(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 1)
+	if _, err := Prove(TestParams(), inst, io, w[:len(w)-1]); err == nil {
+		t.Fatal("short witness accepted")
+	}
+}
+
+func TestZeroKnowledgeProofsDiffer(t *testing.T) {
+	// Two proofs of the same statement must differ (fresh PCS randomness).
+	inst, io, w := buildFibonacci(10, 1, 2)
+	p1, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1.Commitment.Root == p2.Commitment.Root {
+		t.Fatal("ZK commitments identical across proofs")
+	}
+}
+
+func TestProofSizeReported(t *testing.T) {
+	inst, io, w := buildFibonacci(20, 3, 4)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof.SizeBytes() < 1000 {
+		t.Fatalf("implausible proof size %d", proof.SizeBytes())
+	}
+}
+
+func TestLargerInstance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	inst, io, w := buildFibonacci(1000, 9, 11)
+	params := TestParams()
+	params.PCS.Rows = 32
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := Verify(params, inst, io, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestPublicEvalMatchesMLE(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	io := make([]field.Element, 5)
+	for i := range io {
+		io[i] = field.New(rng.Uint64())
+	}
+	u := make([]field.Element, 16)
+	u[0] = field.One
+	copy(u[1:], io)
+	r := make([]field.Element, 4)
+	for i := range r {
+		r[i] = field.New(rng.Uint64())
+	}
+	want := evalDense(u, r)
+	if got := publicEval(io, r); got != want {
+		t.Fatalf("publicEval = %v, want %v", got, want)
+	}
+}
+
+// evalDense is a reference MLE evaluation used only in tests.
+func evalDense(v []field.Element, r []field.Element) field.Element {
+	cur := append([]field.Element(nil), v...)
+	for _, ri := range r {
+		half := len(cur) / 2
+		next := make([]field.Element, half)
+		for i := range next {
+			next[i] = field.Add(field.Mul(cur[i], field.Sub(field.One, ri)), field.Mul(cur[i+half], ri))
+		}
+		cur = next
+	}
+	return cur[0]
+}
+
+func BenchmarkProveFib200(b *testing.B) {
+	inst, io, w := buildFibonacci(200, 3, 4)
+	params := TestParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Prove(params, inst, io, w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkVerifyFib200(b *testing.B) {
+	inst, io, w := buildFibonacci(200, 3, 4)
+	params := TestParams()
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Verify(params, inst, io, proof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPaperParameterProof runs the full paper configuration (3
+// repetitions, 128 Orion rows, ZK on) on a 2^14-constraint instance —
+// the closest laptop-scale approximation of a production proof.
+func TestPaperParameterProof(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-parameter proof is slow")
+	}
+	bd := r1cs.NewBuilder()
+	prev := bd.Secret(field.New(3))
+	cur := bd.Secret(field.New(4))
+	for i := 0; i < 1<<13; i++ {
+		sq := bd.Square(r1cs.FromVar(cur))
+		next := bd.Secret(bd.Eval(r1cs.AddLC(r1cs.FromVar(sq), r1cs.FromVar(prev))))
+		bd.AssertEq(r1cs.AddLC(r1cs.FromVar(sq), r1cs.FromVar(prev)), r1cs.FromVar(next))
+		prev, cur = cur, next
+	}
+	out := bd.Public(bd.Value(cur))
+	bd.AssertEq(r1cs.FromVar(cur), r1cs.FromVar(out))
+	inst, io, w := bd.Build()
+
+	params := DefaultParams() // the real thing: 3 reps, 128 rows, ZK
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := Verify(params, inst, io, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	t.Logf("paper-parameter proof at 2^%d constraints: %.2f MB",
+		inst.LogConstraints(), float64(proof.SizeBytes())/1e6)
+
+	// Serialization survives at production parameters too.
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := UnmarshalProof(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(params, inst, io, dec); err != nil {
+		t.Fatalf("decoded: %v", err)
+	}
+}

@@ -1,0 +1,38 @@
+package sumcheck
+
+import (
+	"fmt"
+
+	"nocap/internal/field"
+	"nocap/internal/wire"
+)
+
+// maxRounds bounds decoded proofs (the field's two-adicity bounds any
+// instance this library can prove).
+const maxRounds = 64
+
+// AppendTo serializes the proof.
+func (p *Proof) AppendTo(w *wire.Writer) {
+	w.U64(uint64(len(p.RoundPolys)))
+	for _, rp := range p.RoundPolys {
+		w.Elems(rp)
+	}
+}
+
+// ReadProof decodes a sumcheck proof.
+func ReadProof(r *wire.Reader) (*Proof, error) {
+	n, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRounds {
+		return nil, fmt.Errorf("sumcheck: %d rounds too many", n)
+	}
+	p := &Proof{RoundPolys: make([][]field.Element, n)}
+	for i := range p.RoundPolys {
+		if p.RoundPolys[i], err = r.Elems(); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}

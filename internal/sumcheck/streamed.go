@@ -1,0 +1,132 @@
+package sumcheck
+
+import (
+	"fmt"
+
+	"nocap/internal/field"
+	"nocap/internal/poly"
+	"nocap/internal/transcript"
+)
+
+// Source produces the original (round-0) value of oracle array k at
+// hypercube index idx. ProveStreamed re-reads sources instead of storing
+// folded DP arrays.
+type Source func(k int, idx int) field.Element
+
+// ProveStreamed is the recomputation variant of the sumcheck prover
+// (paper §V-A): instead of materializing and folding the DP arrays
+// (which at NoCap's scale means streaming them from HBM every round), it
+// recomputes every folded value from the sources on demand using the
+// challenge prefix — "we use the values of rx[1], rx[2], …, rx[i−1] to
+// fast-forward to the needed values of A for iteration i directly,
+// without requiring additional memory accesses". The folded value at
+// index b after i rounds is Σ_c eq(rx[:i], c)·orig[c·2^(L−i) + b].
+//
+// The recomputation phase ends once the folded arrays fit the on-chip
+// scratchpad (materializeBelow elements, the role of NoCap's 8 MB
+// register file, §V-A: "This recomputation uses many intermediates,
+// which is why NoCap requires an 8 MB scratchpad"): from there the
+// arrays are materialized once and folded in place like Prove.
+//
+// It produces a transcript (and therefore a proof) byte-identical to
+// Prove on the same inputs: bounded extra memory, at the cost of
+// re-reading sources in the early rounds — compute traded for memory,
+// exactly the accelerator's trade.
+func ProveStreamed(tr *transcript.Transcript, label string, claim field.Element,
+	numArrays, numVars int, src Source, degree int, combine Combiner,
+	materializeBelow int) (*Proof, []field.Element, []field.Element) {
+
+	if numArrays < 1 {
+		panic("sumcheck: no oracle sources")
+	}
+	if numVars < 1 {
+		panic("sumcheck: zero-variable sum")
+	}
+	tr.AppendUint64("sumcheck/"+label+"/vars", uint64(numVars))
+	tr.AppendElems("sumcheck/"+label+"/claim", []field.Element{claim})
+
+	proof := &Proof{RoundPolys: make([][]field.Element, numVars)}
+	challenges := make([]field.Element, 0, numVars)
+
+	// folded(k, idx, size) recomputes the current DP value: idx indexes
+	// the size-element folded array; the eq weights of the challenge
+	// prefix select the original entries.
+	fullSize := 1 << uint(numVars)
+	var prefixEq []field.Element // eq table over challenges so far
+	folded := func(k, idx, size int) field.Element {
+		if len(challenges) == 0 {
+			return src(k, idx)
+		}
+		var acc field.Element
+		for c, w := range prefixEq {
+			acc = field.Add(acc, field.Mul(w, src(k, c*size+idx)))
+		}
+		return acc
+	}
+
+	// materialize builds the current folded arrays in scratchpad memory.
+	materialize := func(size int) []*poly.MLE {
+		out := make([]*poly.MLE, numArrays)
+		for k := 0; k < numArrays; k++ {
+			evals := make([]field.Element, size)
+			for b := 0; b < size; b++ {
+				evals[b] = folded(k, b, size)
+			}
+			out[k] = poly.NewMLE(evals)
+		}
+		return out
+	}
+
+	vals := make([]field.Element, numArrays)
+	deltas := make([]field.Element, numArrays)
+	var scratch []*poly.MLE // non-nil once the arrays fit the scratchpad
+	size := fullSize
+	for round := 0; round < numVars; round++ {
+		if scratch == nil && size <= materializeBelow {
+			scratch = materialize(size)
+		}
+		half := size / 2
+		evals := make([]field.Element, degree+1)
+		for b := 0; b < half; b++ {
+			for k := 0; k < numArrays; k++ {
+				var lo, hi field.Element
+				if scratch != nil {
+					lo, hi = scratch[k].At(b), scratch[k].At(b+half)
+				} else {
+					lo, hi = folded(k, b, size), folded(k, b+half, size)
+				}
+				vals[k] = lo
+				deltas[k] = field.Sub(hi, lo)
+			}
+			evals[0] = field.Add(evals[0], combine(vals))
+			for t := 1; t <= degree; t++ {
+				for k := range vals {
+					vals[k] = field.Add(vals[k], deltas[k])
+				}
+				evals[t] = field.Add(evals[t], combine(vals))
+			}
+		}
+		proof.RoundPolys[round] = evals
+		tr.AppendElems(fmt.Sprintf("sumcheck/%s/round%d", label, round), evals)
+		r := tr.Challenge(fmt.Sprintf("sumcheck/%s/r%d", label, round))
+		challenges = append(challenges, r)
+		if scratch != nil {
+			for _, m := range scratch {
+				m.Fold(r)
+			}
+		} else {
+			prefixEq = poly.EqTable(challenges)
+		}
+		size = half
+	}
+
+	finals := make([]field.Element, numArrays)
+	for k := range finals {
+		if scratch != nil {
+			finals[k] = scratch[k].At(0)
+		} else {
+			finals[k] = folded(k, 0, 1)
+		}
+	}
+	return proof, challenges, finals
+}

@@ -1,0 +1,200 @@
+// Package sumcheck implements the sumcheck protocol, the dominant task of
+// Spartan+Orion proof generation (~70% of runtime, paper Fig. 6). The
+// prover runs the dynamic-programming algorithm of paper Listing 1,
+// generalized to a product-combination of several multilinear arrays with
+// per-round degree d: in round i the 2^(L−i+1)-entry DP arrays are folded
+// at the verifier challenge, and the round polynomial is produced by
+// evaluating the combination at t = 0…d across the hypercube.
+//
+// The protocol is made non-interactive with the transcript package: round
+// polynomials are absorbed and challenges squeezed, exactly the
+// result→HASH→rx loop of Listing 1.
+package sumcheck
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nocap/internal/field"
+	"nocap/internal/poly"
+	"nocap/internal/transcript"
+)
+
+// Combiner combines the values of the oracle MLEs at one point into the
+// summand. For Spartan's outer sumcheck it is eq·(a·b−c); for the inner,
+// m·z.
+type Combiner func(vals []field.Element) field.Element
+
+// Proof is the prover's messages: one round polynomial per variable, each
+// given by its degree+1 evaluations at t = 0…degree.
+type Proof struct {
+	// RoundPolys[i][t] = g_i(t).
+	RoundPolys [][]field.Element
+}
+
+// SizeBytes returns the serialized proof size (8 bytes per element).
+func (p *Proof) SizeBytes() int {
+	n := 0
+	for _, rp := range p.RoundPolys {
+		n += 8 * len(rp)
+	}
+	return n
+}
+
+// parallelThreshold is the per-round size above which the evaluation loop
+// fans out across CPUs.
+const parallelThreshold = 1 << 14
+
+// Prove runs the sumcheck prover for Σ_b combine(mles[0][b], …) = claim.
+// All MLEs must have the same number of variables L ≥ 1. The MLEs are
+// folded in place (clone first to retain them). It returns the proof, the
+// challenge point r ∈ F^L, and the final values mles[k](r).
+func Prove(tr *transcript.Transcript, label string, claim field.Element,
+	mles []*poly.MLE, degree int, combine Combiner) (*Proof, []field.Element, []field.Element) {
+
+	if len(mles) == 0 {
+		panic("sumcheck: no oracle polynomials")
+	}
+	numVars := mles[0].NumVars()
+	if numVars == 0 {
+		panic("sumcheck: zero-variable sum")
+	}
+	for _, m := range mles {
+		if m.NumVars() != numVars {
+			panic("sumcheck: oracle dimension mismatch")
+		}
+	}
+	tr.AppendUint64("sumcheck/"+label+"/vars", uint64(numVars))
+	tr.AppendElems("sumcheck/"+label+"/claim", []field.Element{claim})
+
+	proof := &Proof{RoundPolys: make([][]field.Element, numVars)}
+	challenges := make([]field.Element, numVars)
+
+	for round := 0; round < numVars; round++ {
+		half := mles[0].Len() / 2
+		evals := roundEvals(mles, half, degree, combine)
+		proof.RoundPolys[round] = evals
+		tr.AppendElems(fmt.Sprintf("sumcheck/%s/round%d", label, round), evals)
+		r := tr.Challenge(fmt.Sprintf("sumcheck/%s/r%d", label, round))
+		challenges[round] = r
+		for _, m := range mles {
+			m.Fold(r)
+		}
+	}
+	finals := make([]field.Element, len(mles))
+	for k, m := range mles {
+		finals[k] = m.At(0)
+	}
+	return proof, challenges, finals
+}
+
+// roundEvals computes [g(0), …, g(degree)] for the current round, where
+// g(t) = Σ_{b<half} combine over the arrays evaluated at (t, b): each
+// array contributes lo[b] + t·(hi[b]−lo[b]).
+func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.Element {
+	numWorkers := 1
+	if half >= parallelThreshold {
+		numWorkers = runtime.GOMAXPROCS(0)
+		if numWorkers > 8 {
+			numWorkers = 8
+		}
+	}
+	partial := make([][]field.Element, numWorkers)
+	var wg sync.WaitGroup
+	chunk := (half + numWorkers - 1) / numWorkers
+	for w := 0; w < numWorkers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > half {
+			hi = half
+		}
+		if lo >= hi {
+			partial[w] = make([]field.Element, degree+1)
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sums := make([]field.Element, degree+1)
+			vals := make([]field.Element, len(mles))
+			deltas := make([]field.Element, len(mles))
+			for b := lo; b < hi; b++ {
+				for k, m := range mles {
+					ev := m.Evals()
+					vals[k] = ev[b]
+					deltas[k] = field.Sub(ev[b+half], ev[b])
+				}
+				sums[0] = field.Add(sums[0], combine(vals))
+				for t := 1; t <= degree; t++ {
+					for k := range vals {
+						vals[k] = field.Add(vals[k], deltas[k])
+					}
+					sums[t] = field.Add(sums[t], combine(vals))
+				}
+			}
+			partial[w] = sums
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	evals := make([]field.Element, degree+1)
+	for _, sums := range partial {
+		for t := range evals {
+			evals[t] = field.Add(evals[t], sums[t])
+		}
+	}
+	return evals
+}
+
+// ErrRoundSum indicates g_i(0)+g_i(1) ≠ running claim.
+var ErrRoundSum = errors.New("sumcheck: round polynomial inconsistent with claim")
+
+// ErrShape indicates a malformed proof.
+var ErrShape = errors.New("sumcheck: malformed proof")
+
+// Verify replays the verifier side: it checks every round polynomial
+// against the running claim and returns the challenge point and the final
+// reduced claim, which the caller must check against the combined oracle
+// values at that point.
+func Verify(tr *transcript.Transcript, label string, claim field.Element,
+	numVars, degree int, proof *Proof) (challenges []field.Element, finalClaim field.Element, err error) {
+
+	if len(proof.RoundPolys) != numVars {
+		return nil, field.Zero, fmt.Errorf("%w: %d rounds, want %d", ErrShape, len(proof.RoundPolys), numVars)
+	}
+	tr.AppendUint64("sumcheck/"+label+"/vars", uint64(numVars))
+	tr.AppendElems("sumcheck/"+label+"/claim", []field.Element{claim})
+
+	challenges = make([]field.Element, numVars)
+	running := claim
+	for round := 0; round < numVars; round++ {
+		evals := proof.RoundPolys[round]
+		if len(evals) != degree+1 {
+			return nil, field.Zero, fmt.Errorf("%w: round %d has %d evals, want %d",
+				ErrShape, round, len(evals), degree+1)
+		}
+		if field.Add(evals[0], evals[1]) != running {
+			return nil, field.Zero, fmt.Errorf("%w (round %d)", ErrRoundSum, round)
+		}
+		tr.AppendElems(fmt.Sprintf("sumcheck/%s/round%d", label, round), evals)
+		r := tr.Challenge(fmt.Sprintf("sumcheck/%s/r%d", label, round))
+		challenges[round] = r
+		running = poly.InterpolateEval(evals, r)
+	}
+	return challenges, running, nil
+}
+
+// SumOverHypercube computes Σ_b combine(values at b) directly — O(2^L),
+// used by callers to form initial claims and by tests as the reference.
+func SumOverHypercube(mles []*poly.MLE, combine Combiner) field.Element {
+	n := mles[0].Len()
+	vals := make([]field.Element, len(mles))
+	var acc field.Element
+	for b := 0; b < n; b++ {
+		for k, m := range mles {
+			vals[k] = m.At(b)
+		}
+		acc = field.Add(acc, combine(vals))
+	}
+	return acc
+}

@@ -1,0 +1,129 @@
+package tasks
+
+import (
+	"math"
+	"testing"
+
+	"nocap/internal/isa"
+)
+
+func TestInventoryStructure(t *testing.T) {
+	inv := Inventory(24, DefaultOptions())
+	if len(inv) != int(NumKinds) {
+		t.Fatalf("inventory has %d tasks, want %d", len(inv), NumKinds)
+	}
+	seen := map[Kind]bool{}
+	for _, task := range inv {
+		if task.Program == nil {
+			t.Fatalf("%s has no program", task.Kind)
+		}
+		seen[task.Kind] = true
+	}
+	for k := Kind(0); k < NumKinds; k++ {
+		if !seen[k] {
+			t.Fatalf("missing task %s", k)
+		}
+	}
+}
+
+func TestWorkScalesWithN(t *testing.T) {
+	small := Inventory(20, DefaultOptions())
+	large := Inventory(24, DefaultOptions())
+	for i := range small {
+		ms, ml := small[i].Program.MemBytes(), large[i].Program.MemBytes()
+		if ml < 15*ms || ml > 18*ms {
+			t.Fatalf("%s traffic scaling %d→%d not ~16x", small[i].Kind, ms, ml)
+		}
+	}
+}
+
+func TestSumcheckLogGrowth(t *testing.T) {
+	// The recomputation workload grows with L (§V-A: each round
+	// re-derives inputs), producing Table IV's mild super-linearity.
+	perN := func(logN int) float64 {
+		inv := Inventory(logN, DefaultOptions())
+		for _, task := range inv {
+			if task.Kind == Sumcheck {
+				return float64(task.Program.Elems(isa.FUMul)) / float64(int64(1)<<uint(logN))
+			}
+		}
+		return 0
+	}
+	if perN(30) <= perN(24) {
+		t.Fatal("sumcheck multiplies per constraint must grow with L")
+	}
+	ratio := perN(30) / perN(24)
+	if ratio < 1.05 || ratio > 1.25 {
+		t.Fatalf("L-growth ratio %.3f outside expected band", ratio)
+	}
+}
+
+func TestRecomputeTradesComputeForMemory(t *testing.T) {
+	on := Inventory(24, Options{Recompute: true, Reps: 3})
+	off := Inventory(24, Options{Recompute: false, Reps: 3})
+	var scOn, scOff Task
+	for i := range on {
+		if on[i].Kind == Sumcheck {
+			scOn, scOff = on[i], off[i]
+		}
+	}
+	if scOn.Program.Elems(isa.FUMul) <= scOff.Program.Elems(isa.FUMul) {
+		t.Fatal("recompute must increase multiplies")
+	}
+	if scOn.Program.MemBytes() >= scOff.Program.MemBytes() {
+		t.Fatal("recompute must decrease traffic")
+	}
+	saved := 1 - float64(scOn.Program.MemBytes())/float64(scOff.Program.MemBytes())
+	if math.Abs(saved-SumcheckTrafficReduction()) > 0.01 {
+		t.Fatalf("traffic saving %.3f disagrees with constant %.3f", saved, SumcheckTrafficReduction())
+	}
+	if math.Abs(SumcheckTrafficReduction()-0.31) > 0.01 {
+		t.Fatalf("modeled reduction %.3f, paper says 0.31", SumcheckTrafficReduction())
+	}
+}
+
+func TestSumcheckWorkingSetIs8MB(t *testing.T) {
+	// §V-A: "This recomputation uses many intermediates, which is why
+	// NoCap requires an 8 MB scratchpad."
+	for _, task := range Inventory(24, DefaultOptions()) {
+		if task.Kind == Sumcheck && task.Program.WorkingSetBytes != 8<<20 {
+			t.Fatalf("sumcheck working set %d", task.Program.WorkingSetBytes)
+		}
+	}
+}
+
+func TestProgramsAreCompact(t *testing.T) {
+	// Static scheduling with trip-counted branches keeps code small even
+	// at 2^30 constraints (paper §IV-A).
+	for _, task := range Inventory(30, DefaultOptions()) {
+		if n := task.Program.NumInstrs(); n > 64 {
+			t.Fatalf("%s compiled to %d instructions", task.Kind, n)
+		}
+	}
+}
+
+func TestInvalidArgsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"low logN":  func() { Inventory(5, DefaultOptions()) },
+		"high logN": func() { Inventory(50, DefaultOptions()) },
+		"zero reps": func() { Inventory(24, Options{Reps: 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := []string{"spmv", "sumcheck", "rs-encode", "merkle", "poly-arith"}
+	for k := Kind(0); k < NumKinds; k++ {
+		if k.String() != want[k] {
+			t.Fatalf("Kind(%d) = %q", k, k.String())
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Package transcript implements the Fiat–Shamir transcript that makes the
+// Spartan+Orion argument non-interactive. Every prover message is
+// absorbed; verifier challenges are squeezed deterministically, so prover
+// and verifier derive identical randomness from identical transcripts.
+//
+// Challenges are sampled by rejection so field elements are uniform in
+// [0, p) with no modular bias.
+package transcript
+
+import (
+	"encoding/binary"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+)
+
+// Transcript is a running Fiat–Shamir state. The zero value is not
+// usable; construct with New.
+type Transcript struct {
+	state   hashfn.Digest
+	counter uint64
+}
+
+// New creates a transcript domain-separated by label.
+func New(label string) *Transcript {
+	return &Transcript{state: hashfn.Sum([]byte("nocap/v1/" + label))}
+}
+
+// absorb mixes labeled data into the state.
+func (t *Transcript) absorb(label string, data []byte) {
+	h := hashfn.Sum(append(append([]byte(label), 0), data...))
+	t.state = hashfn.Hash2(t.state, h)
+	t.counter = 0
+}
+
+// AppendBytes absorbs a labeled byte string.
+func (t *Transcript) AppendBytes(label string, data []byte) {
+	t.absorb(label, data)
+}
+
+// AppendDigest absorbs a 256-bit digest (e.g. a Merkle root).
+func (t *Transcript) AppendDigest(label string, d hashfn.Digest) {
+	t.absorb(label, d[:])
+}
+
+// AppendElems absorbs a vector of field elements.
+func (t *Transcript) AppendElems(label string, elems []field.Element) {
+	t.absorb(label, hashfn.ElemBytes(elems))
+}
+
+// AppendUint64 absorbs an integer (e.g. instance sizes, so that
+// differently-shaped statements cannot share transcripts).
+func (t *Transcript) AppendUint64(label string, v uint64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	t.absorb(label, buf[:])
+}
+
+// next squeezes the next 32 bytes of challenge stream.
+func (t *Transcript) next() hashfn.Digest {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], t.counter)
+	t.counter++
+	return hashfn.Hash2(t.state, hashfn.Sum(buf[:]))
+}
+
+// Challenge returns one uniform field element.
+func (t *Transcript) Challenge(label string) field.Element {
+	t.absorb("challenge/"+label, nil)
+	for {
+		d := t.next()
+		v := binary.LittleEndian.Uint64(d[:8])
+		if v < field.Modulus {
+			return field.Element(v)
+		}
+	}
+}
+
+// Challenges returns n uniform field elements.
+func (t *Transcript) Challenges(label string, n int) []field.Element {
+	t.absorb("challenges/"+label, nil)
+	out := make([]field.Element, 0, n)
+	for len(out) < n {
+		d := t.next()
+		for off := 0; off+8 <= len(d) && len(out) < n; off += 8 {
+			v := binary.LittleEndian.Uint64(d[off : off+8])
+			if v < field.Modulus {
+				out = append(out, field.Element(v))
+			}
+		}
+	}
+	return out
+}
+
+// ChallengeIndices returns n indices uniform in [0, bound). Used for the
+// Orion column queries (189 of them, paper §VII-A). bound must be a
+// power of two, which makes masking exact.
+func (t *Transcript) ChallengeIndices(label string, n, bound int) []int {
+	if bound <= 0 || bound&(bound-1) != 0 {
+		panic("transcript: index bound must be a positive power of two")
+	}
+	t.absorb("indices/"+label, nil)
+	mask := uint64(bound - 1)
+	out := make([]int, 0, n)
+	for len(out) < n {
+		d := t.next()
+		for off := 0; off+8 <= len(d) && len(out) < n; off += 8 {
+			v := binary.LittleEndian.Uint64(d[off : off+8])
+			out = append(out, int(v&mask))
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package transcript
+
+import (
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+)
+
+func TestDeterminism(t *testing.T) {
+	mk := func() *Transcript {
+		tr := New("test")
+		tr.AppendUint64("n", 42)
+		tr.AppendElems("v", []field.Element{field.New(1), field.New(2)})
+		tr.AppendDigest("d", hashfn.Sum([]byte("x")))
+		return tr
+	}
+	a, b := mk(), mk()
+	if a.Challenge("c") != b.Challenge("c") {
+		t.Fatal("identical transcripts give different challenges")
+	}
+}
+
+func TestOrderSensitivity(t *testing.T) {
+	a := New("test")
+	a.AppendUint64("x", 1)
+	a.AppendUint64("y", 2)
+	b := New("test")
+	b.AppendUint64("y", 2)
+	b.AppendUint64("x", 1)
+	if a.Challenge("c") == b.Challenge("c") {
+		t.Fatal("absorb order must matter")
+	}
+}
+
+func TestLabelSeparation(t *testing.T) {
+	a := New("proto-a")
+	b := New("proto-b")
+	if a.Challenge("c") == b.Challenge("c") {
+		t.Fatal("domain labels must separate transcripts")
+	}
+}
+
+func TestChallengesCountAndRange(t *testing.T) {
+	tr := New("test")
+	cs := tr.Challenges("many", 1000)
+	if len(cs) != 1000 {
+		t.Fatalf("got %d challenges", len(cs))
+	}
+	seen := map[field.Element]bool{}
+	for _, c := range cs {
+		if c.Uint64() >= field.Modulus {
+			t.Fatal("challenge out of range")
+		}
+		seen[c] = true
+	}
+	if len(seen) < 990 {
+		t.Fatalf("challenges look non-uniform: %d distinct of 1000", len(seen))
+	}
+}
+
+func TestSuccessiveChallengesDiffer(t *testing.T) {
+	tr := New("test")
+	if tr.Challenge("a") == tr.Challenge("a") {
+		t.Fatal("successive challenges identical")
+	}
+}
+
+func TestChallengeIndices(t *testing.T) {
+	tr := New("test")
+	idx := tr.ChallengeIndices("cols", 189, 1<<10)
+	if len(idx) != 189 {
+		t.Fatalf("got %d indices", len(idx))
+	}
+	for _, i := range idx {
+		if i < 0 || i >= 1<<10 {
+			t.Fatalf("index %d out of range", i)
+		}
+	}
+}
+
+func TestChallengeIndicesBadBound(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two bound")
+		}
+	}()
+	New("test").ChallengeIndices("x", 1, 100)
+}
+
+func TestAbsorbChangesChallenges(t *testing.T) {
+	a := New("test")
+	b := New("test")
+	b.AppendBytes("extra", []byte{1})
+	if a.Challenge("c") == b.Challenge("c") {
+		t.Fatal("absorbed data did not affect challenge")
+	}
+}

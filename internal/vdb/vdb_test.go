@@ -1,0 +1,167 @@
+package vdb
+
+import (
+	"testing"
+
+	"nocap/internal/circuits"
+	"nocap/internal/field"
+	"nocap/internal/spartan"
+)
+
+func newDB(t *testing.T) (*DB, []uint64) {
+	t.Helper()
+	genesis := []uint64{1000, 500, 0, 250}
+	db, err := New(spartan.TestParams(), genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, genesis
+}
+
+func TestSubmitAndBalances(t *testing.T) {
+	db, _ := newDB(t)
+	if err := db.Submit(circuits.Transfer{From: 0, To: 2, Amount: 300}); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := db.Balance(0); b != 700 {
+		t.Fatalf("balance 0 = %d", b)
+	}
+	if b, _ := db.Balance(2); b != 300 {
+		t.Fatalf("balance 2 = %d", b)
+	}
+	if db.Pending() != 1 {
+		t.Fatal("pending count wrong")
+	}
+}
+
+func TestSubmitRejectsInvalid(t *testing.T) {
+	db, _ := newDB(t)
+	cases := []circuits.Transfer{
+		{From: 0, To: 0, Amount: 1},    // self transfer
+		{From: -1, To: 1, Amount: 1},   // bad account
+		{From: 0, To: 9, Amount: 1},    // bad account
+		{From: 2, To: 0, Amount: 1},    // insolvent (account 2 empty)
+		{From: 0, To: 1, Amount: 1001}, // insolvent
+	}
+	for i, c := range cases {
+		if err := db.Submit(c); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+	if db.Pending() != 0 {
+		t.Fatal("rejected transfers queued")
+	}
+}
+
+func TestCommitAndVerify(t *testing.T) {
+	db, genesis := newDB(t)
+	for _, tr := range []circuits.Transfer{
+		{From: 0, To: 2, Amount: 100},
+		{From: 1, To: 3, Amount: 50},
+		{From: 2, To: 1, Amount: 25},
+	} {
+		if err := db.Submit(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp, err := db.Commit()
+	if err != nil {
+		t.Fatalf("commit: %v", err)
+	}
+	if err := VerifyBatch(spartan.TestParams(), genesis, nil, bp); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	want := []uint64{900, 475, 75, 300}
+	got := bp.FinalBalances()
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("final balance %d = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBatchChain(t *testing.T) {
+	db, genesis := newDB(t)
+	params := spartan.TestParams()
+
+	if err := db.Submit(circuits.Transfer{From: 0, To: 1, Amount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	b0, err := db.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Submit(circuits.Transfer{From: 1, To: 3, Amount: 200}); err != nil {
+		t.Fatal(err)
+	}
+	b1, err := db.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := VerifyBatch(params, genesis, nil, b0); err != nil {
+		t.Fatalf("batch 0: %v", err)
+	}
+	if err := VerifyBatch(params, genesis, b0, b1); err != nil {
+		t.Fatalf("batch 1: %v", err)
+	}
+	// Out-of-order / unchained verification must fail.
+	if VerifyBatch(params, genesis, nil, b1) == nil {
+		t.Fatal("batch 1 verified without its predecessor")
+	}
+	if VerifyBatch(params, genesis, b1, b0) == nil {
+		t.Fatal("reversed chain accepted")
+	}
+}
+
+func TestTamperedBatchRejected(t *testing.T) {
+	db, genesis := newDB(t)
+	if err := db.Submit(circuits.Transfer{From: 0, To: 1, Amount: 10}); err != nil {
+		t.Fatal(err)
+	}
+	bp, err := db.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inflate a final balance in the statement.
+	bp.IO[bp.NumAccounts] = field.Add(bp.IO[bp.NumAccounts], field.One)
+	if VerifyBatch(spartan.TestParams(), genesis, nil, bp) == nil {
+		t.Fatal("tampered final balance accepted")
+	}
+}
+
+func TestCommitEmptyFails(t *testing.T) {
+	db, _ := newDB(t)
+	if _, err := db.Commit(); err == nil {
+		t.Fatal("empty commit accepted")
+	}
+}
+
+func TestAccumulatorMatchesReference(t *testing.T) {
+	db, _ := newDB(t)
+	txns := []circuits.Transfer{
+		{From: 0, To: 1, Amount: 7},
+		{From: 3, To: 2, Amount: 9},
+	}
+	for _, tr := range txns {
+		if err := db.Submit(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bp, err := db.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bp.Accumulator() != circuits.LitmusAccumulator(txns) {
+		t.Fatal("audit accumulator mismatch")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(spartan.TestParams(), []uint64{1}); err == nil {
+		t.Fatal("single account accepted")
+	}
+	if _, err := New(spartan.TestParams(), []uint64{1, 1 << 40}); err == nil {
+		t.Fatal("out-of-range balance accepted")
+	}
+}

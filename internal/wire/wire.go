@@ -1,0 +1,145 @@
+// Package wire implements the binary serialization primitives shared by
+// proof encoding: length-prefixed little-endian encoding of integers,
+// field elements, digests, and their vectors. Proofs must cross the
+// prover-verifier link (the 10 MB/s channel of the paper's end-to-end
+// analysis), so the format is compact and deterministic: fixed 8-byte
+// words, no varints, no reflection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+)
+
+// ErrTruncated indicates the buffer ended before the structure did.
+var ErrTruncated = errors.New("wire: truncated input")
+
+// ErrOversized indicates a length prefix exceeding sane bounds.
+var ErrOversized = errors.New("wire: implausible length prefix")
+
+// MaxVecLen bounds any single decoded vector (1 GiB of elements) to
+// keep hostile inputs from driving allocations.
+const MaxVecLen = 1 << 27
+
+// Writer accumulates an encoded byte stream. The zero value is ready to
+// use.
+type Writer struct {
+	buf []byte
+}
+
+// Bytes returns the encoded stream.
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the current encoded size.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U64 appends one little-endian word.
+func (w *Writer) U64(v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	w.buf = append(w.buf, b[:]...)
+}
+
+// Elem appends one field element.
+func (w *Writer) Elem(e field.Element) { w.U64(e.Uint64()) }
+
+// Elems appends a length-prefixed element vector.
+func (w *Writer) Elems(v []field.Element) {
+	w.U64(uint64(len(v)))
+	for _, e := range v {
+		w.Elem(e)
+	}
+}
+
+// Digest appends a 32-byte digest.
+func (w *Writer) Digest(d hashfn.Digest) { w.buf = append(w.buf, d[:]...) }
+
+// Reader decodes a stream produced by Writer.
+type Reader struct {
+	buf []byte
+	off int
+}
+
+// NewReader wraps a buffer.
+func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// Done returns an error unless the stream was fully consumed.
+func (r *Reader) Done() error {
+	if r.off != len(r.buf) {
+		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return nil
+}
+
+// U64 reads one word.
+func (r *Reader) U64() (uint64, error) {
+	if r.Remaining() < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+// Elem reads one field element, validating canonical range.
+func (r *Reader) Elem() (field.Element, error) {
+	v, err := r.U64()
+	if err != nil {
+		return 0, err
+	}
+	if v >= field.Modulus {
+		return 0, fmt.Errorf("wire: non-canonical field element %d", v)
+	}
+	return field.Element(v), nil
+}
+
+// Elems reads a length-prefixed element vector.
+func (r *Reader) Elems() ([]field.Element, error) {
+	n, err := r.U64()
+	if err != nil {
+		return nil, err
+	}
+	// The elements must actually be present: bound allocations by the
+	// remaining buffer, so hostile prefixes cannot demand gigabytes.
+	if n > MaxVecLen || n > uint64(r.Remaining())/8 {
+		return nil, ErrOversized
+	}
+	out := make([]field.Element, n)
+	for i := range out {
+		if out[i], err = r.Elem(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Digest reads a 32-byte digest.
+func (r *Reader) Digest() (hashfn.Digest, error) {
+	var d hashfn.Digest
+	if r.Remaining() < len(d) {
+		return d, ErrTruncated
+	}
+	copy(d[:], r.buf[r.off:])
+	r.off += len(d)
+	return d, nil
+}
+
+// Count reads a length prefix bounded by MaxVecLen and by the remaining
+// buffer (every counted item occupies at least 8 bytes).
+func (r *Reader) Count() (int, error) {
+	n, err := r.U64()
+	if err != nil {
+		return 0, err
+	}
+	if n > MaxVecLen || n > uint64(r.Remaining())/8 {
+		return 0, ErrOversized
+	}
+	return int(n), nil
+}

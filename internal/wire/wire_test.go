@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+)
+
+func TestRoundTrip(t *testing.T) {
+	w := &Writer{}
+	w.U64(42)
+	w.Elem(field.New(7))
+	w.Elems([]field.Element{field.New(1), field.New(2), field.New(3)})
+	d := hashfn.Sum([]byte("x"))
+	w.Digest(d)
+
+	r := NewReader(w.Bytes())
+	if v, _ := r.U64(); v != 42 {
+		t.Fatal("u64 mismatch")
+	}
+	if e, _ := r.Elem(); e != field.New(7) {
+		t.Fatal("elem mismatch")
+	}
+	es, err := r.Elems()
+	if err != nil || len(es) != 3 || es[2] != field.New(3) {
+		t.Fatalf("elems mismatch: %v %v", es, err)
+	}
+	if got, _ := r.Digest(); got != d {
+		t.Fatal("digest mismatch")
+	}
+	if err := r.Done(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoneDetectsTrailing(t *testing.T) {
+	w := &Writer{}
+	w.U64(1)
+	w.U64(2)
+	r := NewReader(w.Bytes())
+	if _, err := r.U64(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Done(); err == nil {
+		t.Fatal("trailing bytes undetected")
+	}
+}
+
+func TestTruncation(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3})
+	if _, err := r.U64(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := r.Digest(); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestNonCanonicalElementRejected(t *testing.T) {
+	w := &Writer{}
+	w.U64(field.Modulus) // not a canonical element
+	if _, err := NewReader(w.Bytes()).Elem(); err == nil {
+		t.Fatal("non-canonical element accepted")
+	}
+}
+
+func TestOversizedVectorRejected(t *testing.T) {
+	w := &Writer{}
+	w.U64(MaxVecLen + 1)
+	if _, err := NewReader(w.Bytes()).Elems(); !errors.Is(err, ErrOversized) {
+		t.Fatal("oversized length accepted")
+	}
+	w2 := &Writer{}
+	w2.U64(MaxVecLen + 1)
+	if _, err := NewReader(w2.Bytes()).Count(); !errors.Is(err, ErrOversized) {
+		t.Fatal("oversized count accepted")
+	}
+}
+
+func TestQuickElemsRoundTrip(t *testing.T) {
+	f := func(raw []uint64) bool {
+		v := make([]field.Element, len(raw))
+		for i, x := range raw {
+			v[i] = field.New(x)
+		}
+		w := &Writer{}
+		w.Elems(v)
+		got, err := NewReader(w.Bytes()).Elems()
+		if err != nil || len(got) != len(v) {
+			return false
+		}
+		for i := range v {
+			if got[i] != v[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,192 @@
+// Package nocap is a reproduction of "Accelerating Zero-Knowledge Proofs
+// Through Hardware-Algorithm Co-Design" (MICRO 2024): the Spartan+Orion
+// hash-based zk-SNARK over the Goldilocks-64 field, together with a
+// cycle-level model of the NoCap accelerator, its power/area models, the
+// baselines it is compared against, and generators for every table and
+// figure in the paper's evaluation.
+//
+// The package is a facade over the internal implementation:
+//
+//   - Build R1CS circuits with NewBuilder (or the prebuilt benchmark
+//     circuits: AES, SHA256, RSA, Auction, Litmus, Synthetic).
+//   - Prove and Verify run the real Spartan+Orion zk-SNARK.
+//   - Simulate runs the NoCap cycle-level model for full-scale
+//     statements; Power and Area report the hardware models.
+//   - The Experiment generators regenerate the paper's evaluation.
+//
+// Quickstart:
+//
+//	b := nocap.NewBuilder()
+//	x := b.Secret(nocap.NewElement(3))
+//	sq := b.Square(nocap.FromVar(x))
+//	pub := b.Public(b.Value(sq))
+//	b.AssertEq(nocap.FromVar(sq), nocap.FromVar(pub))
+//	inst, io, w := b.Build()
+//	proof, err := nocap.Prove(nocap.TestParams(), inst, io, w)
+//	...
+//	err = nocap.Verify(nocap.TestParams(), inst, io, proof)
+package nocap
+
+import (
+	"io"
+
+	"nocap/internal/circuits"
+	"nocap/internal/experiments"
+	"nocap/internal/field"
+	"nocap/internal/power"
+	"nocap/internal/r1cs"
+	"nocap/internal/sim"
+	"nocap/internal/spartan"
+	"nocap/internal/tasks"
+)
+
+// Element is a Goldilocks-64 field element (p = 2^64 − 2^32 + 1).
+type Element = field.Element
+
+// NewElement returns the field element congruent to v.
+func NewElement(v uint64) Element { return field.New(v) }
+
+// Circuit construction (R1CS arithmetization, paper §II-B).
+type (
+	// Builder constructs an R1CS circuit and its witness together.
+	Builder = r1cs.Builder
+	// Instance is a padded R1CS statement.
+	Instance = r1cs.Instance
+	// Variable is a wire handle; LC a linear combination of wires.
+	Variable = r1cs.Variable
+	// LC is a linear combination of circuit wires.
+	LC = r1cs.LC
+)
+
+// NewBuilder returns an empty circuit builder.
+func NewBuilder() *Builder { return r1cs.NewBuilder() }
+
+// FromVar, Const and the LC combinators re-export the builder algebra.
+func FromVar(v Variable) LC      { return r1cs.FromVar(v) }
+func Const(v Element) LC         { return r1cs.Const(v) }
+func AddLC(a, b LC) LC           { return r1cs.AddLC(a, b) }
+func SubLC(a, b LC) LC           { return r1cs.SubLC(a, b) }
+func ScaleLC(s Element, a LC) LC { return r1cs.ScaleLC(s, a) }
+
+// Proving (the Spartan+Orion zk-SNARK, paper §II/§V).
+type (
+	// Params configures the SNARK (repetitions, Orion geometry, ZK).
+	Params = spartan.Params
+	// Proof is a non-interactive Spartan+Orion proof.
+	Proof = spartan.Proof
+)
+
+// DefaultParams is the paper's configuration: 3 repetitions, 128-row
+// Orion matrix, Reed-Solomon blowup 4 with 189 queries, zero-knowledge
+// masking on.
+func DefaultParams() Params { return spartan.DefaultParams() }
+
+// TestParams is a small configuration for tests and examples.
+func TestParams() Params { return spartan.TestParams() }
+
+// Prove generates a proof that the witness satisfies the instance.
+func Prove(p Params, inst *Instance, io, witness []Element) (*Proof, error) {
+	return spartan.Prove(p, inst, io, witness)
+}
+
+// Verify checks a proof against an instance and public inputs.
+func Verify(p Params, inst *Instance, io []Element, proof *Proof) error {
+	return spartan.Verify(p, inst, io, proof)
+}
+
+// MarshalProof serializes a proof into the compact wire format.
+func MarshalProof(proof *Proof) ([]byte, error) { return proof.MarshalBinary() }
+
+// UnmarshalProof decodes a serialized proof (format validation only;
+// call Verify for cryptographic checking).
+func UnmarshalProof(data []byte) (*Proof, error) { return spartan.UnmarshalProof(data) }
+
+// Benchmark circuits (paper §VII-B).
+type Benchmark = circuits.Benchmark
+
+// AES builds the AES-128 benchmark circuit (secret key).
+func AES(key [16]byte, plaintext []byte) *Benchmark { return circuits.AES(key, plaintext) }
+
+// SHA256 builds the SHA-256 benchmark circuit (secret preimage blocks).
+func SHA256(paddedBlocks []byte) *Benchmark { return circuits.SHA256(paddedBlocks) }
+
+// RSA builds the repeated-modular-squaring benchmark circuit.
+func RSA(squarings, numLimbs int, seed int64) *Benchmark {
+	return circuits.RSA(squarings, numLimbs, seed)
+}
+
+// Auction builds the sealed-bid second-price auction circuit.
+func Auction(bids []uint64) *Benchmark { return circuits.Auction(bids) }
+
+// Litmus builds the verifiable-database transaction-batch circuit.
+func Litmus(numTxns, numAccounts int, seed int64) *Benchmark {
+	return circuits.Litmus(numTxns, numAccounts, seed)
+}
+
+// Synthetic builds a banded multiply-accumulate chain of about the given
+// number of constraints (for scaling studies).
+func Synthetic(constraints int) *Benchmark { return circuits.Synthetic(constraints) }
+
+// Hardware model (paper §IV, §VI, §VII).
+type (
+	// HardwareConfig is a NoCap configuration (lanes, register file, HBM).
+	HardwareConfig = sim.Config
+	// SimResult is a cycle-level simulation outcome.
+	SimResult = sim.Result
+	// ProtocolOptions selects prover variants (recomputation,
+	// repetitions).
+	ProtocolOptions = tasks.Options
+	// AreaBreakdown is the Table II area model.
+	AreaBreakdown = power.AreaBreakdown
+	// PowerBreakdown is the Fig. 5 power model.
+	PowerBreakdown = power.PowerBreakdown
+)
+
+// DefaultHardware returns the paper's NoCap configuration (Table II).
+func DefaultHardware() HardwareConfig { return sim.DefaultConfig() }
+
+// DefaultProtocol returns the paper's protocol options (recomputation
+// on, 3 repetitions).
+func DefaultProtocol() ProtocolOptions { return tasks.DefaultOptions() }
+
+// Simulate runs the cycle-level NoCap model for a 2^logN-constraint
+// Spartan+Orion proof.
+func Simulate(cfg HardwareConfig, logN int, opts ProtocolOptions) SimResult {
+	return sim.Prover(cfg, logN, opts)
+}
+
+// Area evaluates the die-area model for a configuration.
+func Area(cfg HardwareConfig) AreaBreakdown { return power.Area(cfg) }
+
+// Power evaluates the power model on a simulation result.
+func Power(r SimResult) PowerBreakdown { return power.Estimate(r) }
+
+// WriteEvaluation regenerates the paper's full evaluation — every table
+// and figure plus the §III/§VIII-C analyses and use cases — to w.
+func WriteEvaluation(w io.Writer) error {
+	sections := []string{
+		experiments.TableI().Render(),
+		experiments.TableII().Render(),
+		experiments.TableIII().Render(),
+		experiments.TableIV().Render(),
+		experiments.TableV().Render(),
+		experiments.Figure5().Render(),
+		experiments.Figure6().Render(),
+		experiments.Figure7().Render(),
+		experiments.Figure8().Render(),
+		experiments.MultiplyAnalysis(12).Render(),
+		experiments.Ablations(12).Render(),
+		experiments.Platforms().Render(),
+		experiments.ProofComposition().Render(),
+		experiments.HostInterface().Render(),
+		experiments.RackScaleStudy(550_000_000).Render(),
+		experiments.DatabaseThroughput().Render(),
+		experiments.PhotoEdit().Render(),
+	}
+	for _, s := range sections {
+		if _, err := io.WriteString(w, s+"\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

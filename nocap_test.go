@@ -1,0 +1,79 @@
+package nocap_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"nocap"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	// The doc-comment quickstart must work verbatim.
+	b := nocap.NewBuilder()
+	x := b.Secret(nocap.NewElement(3))
+	sq := b.Square(nocap.FromVar(x))
+	pub := b.Public(b.Value(sq))
+	b.AssertEq(nocap.FromVar(sq), nocap.FromVar(pub))
+	inst, io, w := b.Build()
+	proof, err := nocap.Prove(nocap.TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := nocap.Verify(nocap.TestParams(), inst, io, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestBenchmarkCircuitsThroughFacade(t *testing.T) {
+	bm := nocap.Auction([]uint64{10, 50, 20})
+	proof, err := nocap.Prove(nocap.TestParams(), bm.Inst, bm.IO, bm.Witness)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	if err := nocap.Verify(nocap.TestParams(), bm.Inst, bm.IO, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+}
+
+func TestSimulateAndModels(t *testing.T) {
+	res := nocap.Simulate(nocap.DefaultHardware(), 24, nocap.DefaultProtocol())
+	if sec := res.Seconds(); sec < 0.14 || sec > 0.16 {
+		t.Fatalf("simulated 2^24 proof %.3fs, expected ≈0.151", sec)
+	}
+	if a := nocap.Area(nocap.DefaultHardware()).Total(); a < 45 || a > 47 {
+		t.Fatalf("area %.2f", a)
+	}
+	if p := nocap.Power(res).Total(); p < 55 || p > 68 {
+		t.Fatalf("power %.1f", p)
+	}
+}
+
+func TestWriteEvaluation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation is slow")
+	}
+	var buf bytes.Buffer
+	if err := nocap.WriteEvaluation(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table I", "Table II", "Table III", "Table IV", "Table V",
+		"Figure 5", "Figure 6", "Figure 7", "Figure 8", "multiply-count",
+		"protocol optimizations", "verifiable database", "photo"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("evaluation missing %q", want)
+		}
+	}
+}
+
+func TestLCAlgebraFacade(t *testing.T) {
+	b := nocap.NewBuilder()
+	x := b.Secret(nocap.NewElement(5))
+	lc := nocap.AddLC(
+		nocap.ScaleLC(nocap.NewElement(3), nocap.FromVar(x)),
+		nocap.SubLC(nocap.Const(nocap.NewElement(10)), nocap.FromVar(x)))
+	if b.Eval(lc) != nocap.NewElement(3*5+10-5) {
+		t.Fatalf("LC algebra broken: %v", b.Eval(lc))
+	}
+}
