@@ -1,0 +1,41 @@
+GO ?= go
+FUZZTIME ?= 10s
+
+FUZZ_TARGETS = \
+	./internal/spartan:FuzzUnmarshalProof \
+	./internal/pcs:FuzzReadOpeningProof \
+	./internal/pcs:FuzzReadCommitment \
+	./internal/merkle:FuzzReadPath \
+	./internal/wire:FuzzReader \
+	./internal/cstream:FuzzDecode
+
+.PHONY: all build test vet race fuzz-smoke corpus ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# Run each fuzz target for $(FUZZTIME) from its seeded corpus. A finding
+# is written to the package's testdata/fuzz directory and fails the run.
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%%:*}; fn=$${t##*:}; \
+		echo "fuzz $$pkg $$fn ($(FUZZTIME))"; \
+		$(GO) test $$pkg -run='^$$' -fuzz="^$$fn$$" -fuzztime=$(FUZZTIME); \
+	done
+
+# Regenerate the seed fuzz corpora (deterministic).
+corpus:
+	$(GO) run ./internal/advtest/gencorpus
+
+ci: vet build test race fuzz-smoke

@@ -9,18 +9,24 @@
 //	nocap-prove -circuit synthetic -n 65536 -reps 3
 //	nocap-prove -circuit rsa -out proof.bin      # save the proof
 //	nocap-prove -circuit rsa -in proof.bin       # verify a saved proof
+//
+// Exit codes follow the error taxonomy (DESIGN.md §7): 0 success,
+// 2 usage, 3 malformed proof, 4 soundness failure, 5 resource limit,
+// 6 internal error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"nocap"
+	"nocap/internal/zkerr"
 )
 
-func buildCircuit(name string, n int) *nocap.Benchmark {
+func buildCircuit(name string, n int) (*nocap.Benchmark, error) {
 	switch name {
 	case "aes":
 		key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
@@ -33,7 +39,7 @@ func buildCircuit(name string, n int) *nocap.Benchmark {
 		for i := range pt {
 			pt[i] = byte(i)
 		}
-		return nocap.AES(key, pt)
+		return nocap.AES(key, pt), nil
 	case "sha":
 		blocks := n
 		if blocks < 1 {
@@ -43,28 +49,32 @@ func buildCircuit(name string, n int) *nocap.Benchmark {
 		for i := range data {
 			data[i] = byte(i * 3)
 		}
-		return nocap.SHA256(data)
+		return nocap.SHA256(data), nil
 	case "rsa":
 		sq := n
 		if sq < 1 {
 			sq = 4
 		}
-		return nocap.RSA(sq, 8, 42)
+		return nocap.RSA(sq, 8, 42), nil
 	case "auction":
 		bids := make([]uint64, max(n, 4))
 		for i := range bids {
 			bids[i] = uint64((i*2654435761 + 12345) % (1 << 20))
 		}
-		return nocap.Auction(bids)
+		return nocap.Auction(bids), nil
 	case "litmus":
-		return nocap.Litmus(max(n, 4), 8, 42)
+		return nocap.Litmus(max(n, 4), 8, 42), nil
 	case "synthetic":
-		return nocap.Synthetic(max(n, 64))
+		return nocap.Synthetic(max(n, 64)), nil
 	}
-	return nil
+	return nil, zkerr.Usagef("unknown circuit %q (want aes|sha|rsa|auction|litmus|synthetic)", name)
 }
 
-func main() {
+func run() (err error) {
+	// A bug anywhere below must exit with a typed internal error, not a
+	// stack trace on the user's terminal.
+	defer zkerr.RecoverTo(&err, "nocap-prove")
+
 	circuit := flag.String("circuit", "auction", "aes|sha|rsa|auction|litmus|synthetic")
 	n := flag.Int("n", 16, "circuit size parameter (blocks/bids/txns/constraints)")
 	reps := flag.Int("reps", 1, "soundness repetitions (paper uses 3)")
@@ -72,12 +82,22 @@ func main() {
 	recompute := flag.Bool("recompute", false, "use the §V-A recomputation prover (identical proofs, different memory profile)")
 	out := flag.String("out", "", "write the serialized proof to this file")
 	in := flag.String("in", "", "verify a serialized proof from this file instead of proving")
+	maxMB := flag.Int("max-proof-mb", 0, "reject serialized proofs larger than this many MB (0 = default limits)")
 	flag.Parse()
 
-	bm := buildCircuit(*circuit, *n)
-	if bm == nil {
-		fmt.Fprintf(os.Stderr, "unknown circuit %q\n", *circuit)
-		os.Exit(1)
+	if *reps < 1 || *reps > 64 {
+		return zkerr.Usagef("-reps must be in [1,64], got %d", *reps)
+	}
+	if *n < 0 {
+		return zkerr.Usagef("-n must be non-negative, got %d", *n)
+	}
+	if *maxMB < 0 {
+		return zkerr.Usagef("-max-proof-mb must be non-negative, got %d", *maxMB)
+	}
+
+	bm, err := buildCircuit(*circuit, *n)
+	if err != nil {
+		return err
 	}
 	stats := bm.Inst.Stats()
 	fmt.Printf("circuit %s: %d constraints, %d variables, %d nonzeros\n",
@@ -94,27 +114,27 @@ func main() {
 	if *in != "" {
 		data, err := os.ReadFile(*in)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "read proof: %v\n", err)
-			os.Exit(1)
+			return zkerr.Usagef("read proof: %v", err)
 		}
-		proof, err := nocap.UnmarshalProof(data)
+		limits := nocap.DefaultDecodeLimits()
+		if *maxMB > 0 {
+			limits.MaxProofBytes = *maxMB << 20
+		}
+		proof, err := nocap.UnmarshalProofLimits(data, limits)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "decode proof: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("decode proof: %w", err)
 		}
 		if err := nocap.Verify(params, bm.Inst, bm.IO, proof); err != nil {
-			fmt.Fprintf(os.Stderr, "verify: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("verify: %w", err)
 		}
 		fmt.Printf("proof from %s verified (%d bytes)\n", *in, len(data))
-		return
+		return nil
 	}
 
 	start := time.Now()
 	proof, err := nocap.Prove(params, bm.Inst, bm.IO, bm.Witness)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "prove: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("prove: %w", err)
 	}
 	fmt.Printf("proved in %v, proof %.2f MB\n", time.Since(start).Round(time.Millisecond),
 		float64(proof.SizeBytes())/1e6)
@@ -122,20 +142,28 @@ func main() {
 	if *out != "" {
 		data, err := nocap.MarshalProof(proof)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "marshal: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("marshal: %w", err)
 		}
 		if err := os.WriteFile(*out, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "write: %v\n", err)
-			os.Exit(1)
+			return fmt.Errorf("write: %w", err)
 		}
 		fmt.Printf("proof written to %s (%d bytes)\n", *out, len(data))
 	}
 
 	start = time.Now()
 	if err := nocap.Verify(params, bm.Inst, bm.IO, proof); err != nil {
-		fmt.Fprintf(os.Stderr, "verify: %v\n", err)
-		os.Exit(1)
+		return fmt.Errorf("verify: %w", err)
 	}
 	fmt.Printf("verified in %v\n", time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "nocap-prove: %v\n", err)
+		if errors.Is(err, zkerr.ErrUsage) {
+			fmt.Fprintln(os.Stderr, "run with -h for usage")
+		}
+		os.Exit(zkerr.ExitCode(err))
+	}
 }

@@ -7,17 +7,27 @@
 //	nocap-sim -logn 24
 //	nocap-sim -logn 30 -reps 3 -recompute=false
 //	nocap-sim -logn 24 -mul-lanes 1024 -hbm 0.5
+//
+// Exit codes follow the error taxonomy (DESIGN.md §7): 0 success,
+// 2 usage, 6 internal error.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"os"
 
 	"nocap"
 	"nocap/internal/isa"
+	"nocap/internal/zkerr"
 )
 
-func main() {
+func run() (err error) {
+	// Model bugs must surface as a typed internal error, never a stack
+	// trace on the user's terminal.
+	defer zkerr.RecoverTo(&err, "nocap-sim")
+
 	logN := flag.Int("logn", 24, "log2 of padded constraint count")
 	reps := flag.Int("reps", 3, "soundness repetitions")
 	recompute := flag.Bool("recompute", true, "sumcheck recomputation optimization")
@@ -27,6 +37,23 @@ func main() {
 	rfMB := flag.Float64("rf-mb", 8, "register file size in MB")
 	hbm := flag.Float64("hbm", 1.0, "HBM bandwidth in TB/s")
 	flag.Parse()
+
+	switch {
+	case *logN < 4 || *logN > 40:
+		return zkerr.Usagef("-logn must be in [4,40], got %d", *logN)
+	case *reps < 1 || *reps > 64:
+		return zkerr.Usagef("-reps must be in [1,64], got %d", *reps)
+	case *mulLanes < 1:
+		return zkerr.Usagef("-mul-lanes must be positive, got %d", *mulLanes)
+	case *hashLanes < 1:
+		return zkerr.Usagef("-hash-lanes must be positive, got %d", *hashLanes)
+	case *nttLanes < 1:
+		return zkerr.Usagef("-ntt-lanes must be positive, got %d", *nttLanes)
+	case *rfMB <= 0:
+		return zkerr.Usagef("-rf-mb must be positive, got %g", *rfMB)
+	case *hbm <= 0:
+		return zkerr.Usagef("-hbm must be positive, got %g", *hbm)
+	}
 
 	cfg := nocap.DefaultHardware()
 	cfg.MulLanes, cfg.AddLanes = *mulLanes, *mulLanes
@@ -69,4 +96,15 @@ func main() {
 		p.Total(), p.FU, p.RegFile, p.HBM)
 	fmt.Printf("area:  %.2f mm² (compute %.2f, memory system %.2f)\n",
 		a.Total(), a.Compute(), a.MemorySystem())
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "nocap-sim: %v\n", err)
+		if errors.Is(err, zkerr.ErrUsage) {
+			fmt.Fprintln(os.Stderr, "run with -h for usage")
+		}
+		os.Exit(zkerr.ExitCode(err))
+	}
 }

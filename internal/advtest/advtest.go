@@ -1,0 +1,162 @@
+// Package advtest is the adversarial-input test harness for the proof
+// wire format: a deterministic proof-mutation engine that turns one valid
+// serialized proof into a stream of hostile variants. The verifier
+// boundary contract — reject with a typed zkerr error, never panic,
+// never allocate beyond DecodeLimits — is asserted against these streams
+// by the decoder test suites and seeded into the fuzz corpora.
+//
+// Mutation kinds cover the classes of corruption a hostile or faulty
+// prover-side link can produce (paper §V ships proofs over a constrained
+// channel): single-bit flips, truncations and extensions, length-prefix
+// inflation, non-canonical field elements (≥ p), word swaps that model
+// transcript-label/message reordering, zero-fill windows, and random
+// splices.
+package advtest
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Goldilocks modulus, duplicated here to keep the package dependency-free
+// (it must be importable by every decoder's tests without cycles).
+const modulus uint64 = 0xFFFFFFFF00000001
+
+// Kind identifies a mutation class, for failure reporting.
+type Kind int
+
+const (
+	// KindBitFlip flips one random bit.
+	KindBitFlip Kind = iota
+	// KindByteSet overwrites one byte with a random value.
+	KindByteSet
+	// KindTruncate cuts the message at a random offset.
+	KindTruncate
+	// KindExtend appends random bytes.
+	KindExtend
+	// KindInflateLen overwrites an aligned 8-byte word with a huge value,
+	// modeling a hostile length prefix demanding gigabytes.
+	KindInflateLen
+	// KindNonCanonical overwrites an aligned word with a value ≥ p,
+	// modeling a non-canonical field element encoding.
+	KindNonCanonical
+	// KindSwapWords swaps two aligned 8-byte words (reordered messages /
+	// transcript-label confusion).
+	KindSwapWords
+	// KindZeroWindow zero-fills a random window.
+	KindZeroWindow
+	// KindSplice copies a random window over another offset.
+	KindSplice
+	numKinds
+)
+
+// String names the mutation class.
+func (k Kind) String() string {
+	switch k {
+	case KindBitFlip:
+		return "bit-flip"
+	case KindByteSet:
+		return "byte-set"
+	case KindTruncate:
+		return "truncate"
+	case KindExtend:
+		return "extend"
+	case KindInflateLen:
+		return "inflate-length"
+	case KindNonCanonical:
+		return "non-canonical-element"
+	case KindSwapWords:
+		return "swap-words"
+	case KindZeroWindow:
+		return "zero-window"
+	case KindSplice:
+		return "splice"
+	}
+	return "unknown"
+}
+
+// Mutation is one hostile variant of a valid message.
+type Mutation struct {
+	Kind Kind
+	Data []byte
+}
+
+// Mutator produces a deterministic stream of mutations of one valid
+// message. The same seed yields the same stream, so failures reproduce.
+type Mutator struct {
+	valid []byte
+	rng   *rand.Rand
+}
+
+// NewMutator returns a mutator over a copy of valid.
+func NewMutator(valid []byte, seed int64) *Mutator {
+	return &Mutator{
+		valid: append([]byte(nil), valid...),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Next returns the next mutation. Every call copies the valid message
+// first, so mutations never compound.
+func (m *Mutator) Next() Mutation {
+	kind := Kind(m.rng.Intn(int(numKinds)))
+	return Mutation{Kind: kind, Data: m.Apply(kind)}
+}
+
+// Apply produces one mutation of the given kind.
+func (m *Mutator) Apply(kind Kind) []byte {
+	buf := append([]byte(nil), m.valid...)
+	n := len(buf)
+	if n == 0 {
+		return buf
+	}
+	switch kind {
+	case KindBitFlip:
+		i := m.rng.Intn(n)
+		buf[i] ^= 1 << uint(m.rng.Intn(8))
+	case KindByteSet:
+		buf[m.rng.Intn(n)] = byte(m.rng.Intn(256))
+	case KindTruncate:
+		buf = buf[:m.rng.Intn(n)]
+	case KindExtend:
+		extra := make([]byte, 1+m.rng.Intn(64))
+		m.rng.Read(extra)
+		buf = append(buf, extra...)
+	case KindInflateLen:
+		if n >= 8 {
+			off := 8 * m.rng.Intn(n/8)
+			// Large values spanning "plausible but huge" through "absurd":
+			// 2^20+δ up to nearly 2^63.
+			v := uint64(1)<<uint(20+m.rng.Intn(43)) + uint64(m.rng.Intn(1<<16))
+			binary.LittleEndian.PutUint64(buf[off:], v)
+		}
+	case KindNonCanonical:
+		if n >= 8 {
+			off := 8 * m.rng.Intn(n/8)
+			v := modulus + uint64(m.rng.Int63n(int64(^uint64(0)-modulus)))
+			binary.LittleEndian.PutUint64(buf[off:], v)
+		}
+	case KindSwapWords:
+		if n >= 16 {
+			a := 8 * m.rng.Intn(n/8)
+			b := 8 * m.rng.Intn(n/8)
+			for k := 0; k < 8; k++ {
+				buf[a+k], buf[b+k] = buf[b+k], buf[a+k]
+			}
+		}
+	case KindZeroWindow:
+		lo := m.rng.Intn(n)
+		hi := lo + 1 + m.rng.Intn(n-lo)
+		for i := lo; i < hi; i++ {
+			buf[i] = 0
+		}
+	case KindSplice:
+		if n >= 2 {
+			w := 1 + m.rng.Intn(n/2)
+			src := m.rng.Intn(n - w + 1)
+			dst := m.rng.Intn(n - w + 1)
+			copy(buf[dst:dst+w], m.valid[src:src+w])
+		}
+	}
+	return buf
+}

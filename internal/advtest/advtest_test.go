@@ -1,0 +1,48 @@
+package advtest
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMutatorIsDeterministic(t *testing.T) {
+	valid := make([]byte, 256)
+	for i := range valid {
+		valid[i] = byte(i)
+	}
+	a, b := NewMutator(valid, 42), NewMutator(valid, 42)
+	for i := 0; i < 200; i++ {
+		ma, mb := a.Next(), b.Next()
+		if ma.Kind != mb.Kind || !bytes.Equal(ma.Data, mb.Data) {
+			t.Fatalf("streams diverge at %d", i)
+		}
+	}
+}
+
+func TestMutationsDoNotCompound(t *testing.T) {
+	valid := make([]byte, 128)
+	m := NewMutator(valid, 7)
+	for i := 0; i < 100; i++ {
+		m.Next()
+	}
+	if !bytes.Equal(m.valid, make([]byte, 128)) {
+		t.Fatal("mutator corrupted its reference copy")
+	}
+}
+
+func TestEveryKindProducesOutput(t *testing.T) {
+	valid := make([]byte, 64)
+	for i := range valid {
+		valid[i] = byte(i * 7)
+	}
+	m := NewMutator(valid, 3)
+	for k := Kind(0); k < numKinds; k++ {
+		out := m.Apply(k)
+		if k != KindTruncate && len(out) == 0 {
+			t.Fatalf("kind %v produced empty output", k)
+		}
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+// Command gencorpus (re)generates the seed fuzz corpora under each
+// decoder package's testdata/fuzz directory: one valid encoding per
+// target plus a handful of adversarial mutations from the shared
+// mutation engine, so `go test -fuzz` starts from structurally
+// interesting inputs instead of empty bytes. Run from the repo root:
+//
+//	go run ./internal/advtest/gencorpus
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"nocap/internal/advtest"
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+	"nocap/internal/merkle"
+	"nocap/internal/pcs"
+	"nocap/internal/r1cs"
+	"nocap/internal/spartan"
+	"nocap/internal/transcript"
+	"nocap/internal/wire"
+)
+
+// writeSeed writes one go-fuzz v1 corpus entry; each argument becomes a
+// []byte(...) line.
+func writeSeed(dir, name string, args ...[]byte) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	body := "go test fuzz v1\n"
+	for _, a := range args {
+		body += "[]byte(" + strconv.Quote(string(a)) + ")\n"
+	}
+	return os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644)
+}
+
+// seeds returns the valid encoding plus deterministic mutations of it.
+func seeds(valid []byte) [][]byte {
+	out := [][]byte{valid}
+	mut := advtest.NewMutator(valid, 2024)
+	for k := advtest.KindBitFlip; k <= advtest.KindSplice; k++ {
+		out = append(out, mut.Apply(k))
+	}
+	return out
+}
+
+func randVec(n int, seed uint64) []field.Element {
+	v := make([]field.Element, n)
+	x := seed
+	for i := range v {
+		x = x*6364136223846793005 + 1442695040888963407
+		v[i] = field.New(x)
+	}
+	return v
+}
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "gencorpus:", err)
+			os.Exit(1)
+		}
+	}
+
+	// spartan: a real proof over a squaring-chain toy circuit.
+	bd := r1cs.NewBuilder()
+	prev, cur := bd.Secret(field.New(1)), bd.Secret(field.New(2))
+	for i := 0; i < 10; i++ {
+		sq := bd.Square(r1cs.FromVar(cur))
+		next := bd.Secret(bd.Eval(r1cs.AddLC(r1cs.FromVar(sq), r1cs.FromVar(prev))))
+		bd.AssertEq(r1cs.AddLC(r1cs.FromVar(sq), r1cs.FromVar(prev)), r1cs.FromVar(next))
+		prev, cur = cur, next
+	}
+	out := bd.Public(bd.Value(cur))
+	bd.AssertEq(r1cs.FromVar(cur), r1cs.FromVar(out))
+	inst, io, w := bd.Build()
+	proof, err := spartan.Prove(spartan.TestParams(), inst, io, w)
+	die(err)
+	proofBytes, err := proof.MarshalBinary()
+	die(err)
+	dir := filepath.Join(root, "internal/spartan/testdata/fuzz/FuzzUnmarshalProof")
+	for i, s := range seeds(proofBytes) {
+		die(writeSeed(dir, fmt.Sprintf("seed-%02d", i), s))
+	}
+
+	// pcs: commitment + opening proof.
+	params := pcs.DefaultParams()
+	params.Rows = 8
+	st, err := pcs.Commit(params, randVec(1<<8, 9))
+	die(err)
+	point := randVec(8, 10)
+	opening, _, err := st.Open(transcript.New("corpus"), [][]field.Element{point})
+	die(err)
+	ww := &wire.Writer{}
+	opening.AppendTo(ww)
+	dir = filepath.Join(root, "internal/pcs/testdata/fuzz/FuzzReadOpeningProof")
+	for i, s := range seeds(ww.Bytes()) {
+		die(writeSeed(dir, fmt.Sprintf("seed-%02d", i), s))
+	}
+	ww = &wire.Writer{}
+	st.Commitment().AppendTo(ww)
+	dir = filepath.Join(root, "internal/pcs/testdata/fuzz/FuzzReadCommitment")
+	for i, s := range seeds(ww.Bytes()) {
+		die(writeSeed(dir, fmt.Sprintf("seed-%02d", i), s))
+	}
+
+	// merkle: an authentication path.
+	leaves := make([]hashfn.Digest, 32)
+	for i := range leaves {
+		leaves[i] = merkle.LeafOfColumn(randVec(4, uint64(i)))
+	}
+	tree := merkle.New(leaves)
+	ww = &wire.Writer{}
+	tree.Open(13).AppendTo(ww)
+	dir = filepath.Join(root, "internal/merkle/testdata/fuzz/FuzzReadPath")
+	for i, s := range seeds(ww.Bytes()) {
+		die(writeSeed(dir, fmt.Sprintf("seed-%02d", i), s))
+	}
+
+	// wire: op-stream + data pairs.
+	ww = &wire.Writer{}
+	ww.Elems(randVec(16, 77))
+	ww.U64(5)
+	dir = filepath.Join(root, "internal/wire/testdata/fuzz/FuzzReader")
+	die(writeSeed(dir, "seed-00", []byte{2, 0, 4}, ww.Bytes()))
+	die(writeSeed(dir, "seed-01", []byte{0, 1, 2, 3, 4}, ww.Bytes()))
+	mut := advtest.NewMutator(ww.Bytes(), 7)
+	for i := 0; i < 4; i++ {
+		m := mut.Next()
+		die(writeSeed(dir, fmt.Sprintf("seed-%02d", i+2), []byte{byte(i), 2, 3}, m.Data))
+	}
+
+	fmt.Println("fuzz corpora regenerated")
+}

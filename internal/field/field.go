@@ -59,12 +59,26 @@ func AddMulCount(n uint64) {
 	}
 }
 
-// New returns the element congruent to v mod p.
+// New returns the element congruent to v mod p. It silently reduces
+// non-canonical values and is therefore for trusted, internal use only;
+// untrusted wire input must go through FromCanonical so that two distinct
+// byte strings never decode to the same element.
 func New(v uint64) Element {
 	if v >= Modulus {
 		v -= Modulus
 	}
 	return Element(v)
+}
+
+// FromCanonical validates that v is a canonical representative in [0, p)
+// and returns it as an element. It is the required entry point for
+// attacker-controlled encodings: ok is false for v ≥ p, and callers must
+// reject the input rather than reduce it.
+func FromCanonical(v uint64) (Element, bool) {
+	if v >= Modulus {
+		return 0, false
+	}
+	return Element(v), true
 }
 
 // Zero and One are the additive and multiplicative identities.
@@ -271,6 +285,8 @@ func VecMul(dst, a, b []Element) {
 }
 
 // FromBytes interprets an 8-byte little-endian value, reduced mod p.
+// Like New it silently reduces non-canonical values, so it must not be
+// used on untrusted wire input — use FromCanonical there.
 func FromBytes(b [8]byte) Element {
 	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
 		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56

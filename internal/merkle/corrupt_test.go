@@ -1,0 +1,118 @@
+package merkle
+
+import (
+	"errors"
+	"testing"
+
+	"nocap/internal/advtest"
+	"nocap/internal/wire"
+	"nocap/internal/zkerr"
+)
+
+// TestReadPathCorruptionTable mirrors the spartan corruption tests:
+// every named corruption of a valid encoded path must yield a taxonomy
+// error (or, for content-preserving corruptions, a path that fails
+// Verify), and never a panic.
+func TestReadPathCorruptionTable(t *testing.T) {
+	tr := New(randLeaves(32, 99))
+	p := tr.Open(13)
+	w := &wire.Writer{}
+	p.AppendTo(w)
+	valid := w.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncate-header", func(b []byte) []byte { return b[:7] }},
+		{"truncate-count", func(b []byte) []byte { return b[:12] }},
+		{"truncate-digests", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"depth-inflation", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			for k := 0; k < 8; k++ {
+				out[8+k] = 0xff // depth = 2^64-1, far past maxDepth
+			}
+			return out
+		}},
+		{"depth-over-max", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[8] = maxDepth + 1
+			for k := 1; k < 8; k++ {
+				out[8+k] = 0
+			}
+			return out
+		}},
+		{"index-out-of-tree", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			out[0], out[1] = 0xff, 0xff // index 65535 in a depth-5 tree
+			for k := 2; k < 8; k++ {
+				out[k] = 0
+			}
+			return out
+		}},
+		{"trailing-garbage-depth", func(b []byte) []byte {
+			// Depth claims more digests than the buffer holds.
+			out := append([]byte(nil), b...)
+			out[8] = byte(len(p.Siblings) + 1)
+			return out
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadPath(wire.NewReader(c.mutate(valid)))
+			if err == nil {
+				t.Fatal("corruption accepted")
+			}
+			if !zkerr.InTaxonomy(err) {
+				t.Fatalf("error outside taxonomy: %v", err)
+			}
+		})
+	}
+}
+
+// TestReadPathAdversarialStream runs the shared mutation engine over an
+// encoded path: decode must never panic, and any decoded path must fail
+// Verify unless the bytes were untouched.
+func TestReadPathAdversarialStream(t *testing.T) {
+	tr := New(randLeaves(64, 123))
+	p := tr.Open(29)
+	w := &wire.Writer{}
+	p.AppendTo(w)
+	valid := w.Bytes()
+	leaf := tr.levels[0][29]
+
+	mut := advtest.NewMutator(valid, 5)
+	n := 3000
+	if testing.Short() {
+		n = 500
+	}
+	for i := 0; i < n; i++ {
+		m := mut.Next()
+		got, err := ReadPath(wire.NewReader(m.Data))
+		if err != nil {
+			if !zkerr.InTaxonomy(err) {
+				t.Fatalf("mutation %d (%v): error outside taxonomy: %v", i, m.Kind, err)
+			}
+			continue
+		}
+		// Decoded: verification is the next line of defense. Trailing
+		// bytes are the reader's Done() concern, not ReadPath's.
+		if err := Verify(tr.Root(), leaf, got); err != nil &&
+			!errors.Is(err, zkerr.ErrSoundnessCheckFailed) {
+			t.Fatalf("mutation %d (%v): verify error outside taxonomy: %v", i, m.Kind, err)
+		}
+	}
+}
+
+func TestPathBudgetCharged(t *testing.T) {
+	tr := New(randLeaves(32, 7))
+	w := &wire.Writer{}
+	tr.Open(0).AppendTo(w)
+	r, err := wire.NewReaderLimits(w.Bytes(), wire.Limits{MaxTotalAlloc: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadPath(r); !errors.Is(err, zkerr.ErrResourceLimit) {
+		t.Fatalf("sibling allocation not budgeted: %v", err)
+	}
+}

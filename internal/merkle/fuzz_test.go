@@ -1,0 +1,38 @@
+package merkle
+
+import (
+	"errors"
+	"testing"
+
+	"nocap/internal/wire"
+	"nocap/internal/zkerr"
+)
+
+// FuzzReadPath ensures arbitrary bytes never panic the path decoder and
+// that every decoded path can be verified (accept or typed reject)
+// against a real tree without crashing.
+func FuzzReadPath(f *testing.F) {
+	tr := New(randLeaves(32, 31))
+	w := &wire.Writer{}
+	tr.Open(7).AppendTo(w)
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8})
+	leaf := tr.levels[0][7]
+	root := tr.Root()
+	f.Fuzz(func(t *testing.T, b []byte) {
+		p, err := ReadPath(wire.NewReader(b))
+		if err != nil {
+			if !zkerr.InTaxonomy(err) {
+				t.Fatalf("decode error outside taxonomy: %v", err)
+			}
+			return
+		}
+		if p.Index < 0 {
+			t.Fatalf("decoder produced negative index: %+v", p)
+		}
+		if err := Verify(root, leaf, p); err != nil && !errors.Is(err, zkerr.ErrSoundnessCheckFailed) {
+			t.Fatalf("verify error outside taxonomy: %v", err)
+		}
+	})
+}

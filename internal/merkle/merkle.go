@@ -6,11 +6,11 @@
 package merkle
 
 import (
-	"errors"
 	"math/bits"
 
 	"nocap/internal/field"
 	"nocap/internal/hashfn"
+	"nocap/internal/zkerr"
 )
 
 // Tree is a full binary Merkle tree over a power-of-two number of leaves.
@@ -82,8 +82,10 @@ func (t *Tree) Open(i int) Path {
 func (p Path) SizeBytes() int { return 8 + hashfn.Size*len(p.Siblings) }
 
 // ErrPathMismatch is returned when an authentication path does not lead
-// to the expected root.
-var ErrPathMismatch = errors.New("merkle: authentication path does not match root")
+// to the expected root. It is a soundness failure in the taxonomy: the
+// path parsed fine but does not authenticate.
+var ErrPathMismatch = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed,
+	"merkle: authentication path does not match root")
 
 // Verify checks that leaf sits at p.Index under root.
 func Verify(root hashfn.Digest, leaf hashfn.Digest, p Path) error {

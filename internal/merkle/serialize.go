@@ -1,10 +1,9 @@
 package merkle
 
 import (
-	"fmt"
-
 	"nocap/internal/hashfn"
 	"nocap/internal/wire"
+	"nocap/internal/zkerr"
 )
 
 // maxDepth bounds decoded path depth (2^64 leaves is far beyond any
@@ -20,7 +19,9 @@ func (p Path) AppendTo(w *wire.Writer) {
 	}
 }
 
-// ReadPath decodes a path.
+// ReadPath decodes a path from untrusted bytes: the depth prefix is
+// bounded both by maxDepth and by the digests actually remaining in the
+// buffer, and the sibling allocation is charged to the reader's budget.
 func ReadPath(r *wire.Reader) (Path, error) {
 	idx, err := r.U64()
 	if err != nil {
@@ -31,7 +32,19 @@ func ReadPath(r *wire.Reader) (Path, error) {
 		return Path{}, err
 	}
 	if n > maxDepth {
-		return Path{}, fmt.Errorf("merkle: path depth %d too large", n)
+		return Path{}, zkerr.Malformedf("merkle: path depth %d too large", n)
+	}
+	// The leaf index must address a leaf of a depth-n tree and must fit
+	// a non-negative int (idx>>n is 0 for any idx when n is 64, but such
+	// depths are rejected by the remaining-bytes check long before then).
+	if idx>>n != 0 || idx > 1<<62 {
+		return Path{}, zkerr.Malformedf("merkle: leaf index %d out of range for depth %d", idx, n)
+	}
+	if uint64(r.Remaining()) < n*hashfn.Size {
+		return Path{}, wire.ErrTruncated
+	}
+	if err := r.Grant(int64(n) * hashfn.Size); err != nil {
+		return Path{}, err
 	}
 	p := Path{Index: int(idx), Siblings: make([]hashfn.Digest, n)}
 	for i := range p.Siblings {

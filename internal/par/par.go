@@ -5,11 +5,22 @@
 // CPU, with deterministic results: chunk outputs are combined in index
 // order and field arithmetic is exact, so parallel and serial execution
 // produce identical bytes.
+//
+// Fault containment: a panic inside a worker goroutine would normally
+// kill the whole process, which is unacceptable for a proving service.
+// Every helper here recovers worker panics and re-raises them (with the
+// failing chunk's range and the worker stack) on the caller's goroutine,
+// where the prover's top-level recover converts them to a typed error.
+// ForErr additionally propagates ordinary errors, first chunk wins.
 package par
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
+
+	"nocap/internal/zkerr"
 )
 
 // minParallel is the work size below which fan-out costs more than it
@@ -35,9 +46,70 @@ func Workers(n int) int {
 	return w
 }
 
+// WorkerPanic is the value re-raised on the caller goroutine when a worker
+// panicked. It unwraps to zkerr.ErrInternal so that a top-level
+// zkerr.RecoverTo classifies it, and it keeps the chunk range and worker
+// stack for diagnosis.
+type WorkerPanic struct {
+	// Lo, Hi is the chunk the failing worker was processing.
+	Lo, Hi int
+	// Value is the original panic value.
+	Value any
+	// Stack is the failing worker's stack at recovery time.
+	Stack []byte
+}
+
+func (p *WorkerPanic) Error() string {
+	return fmt.Sprintf("par: worker panic on chunk [%d,%d): %v", p.Lo, p.Hi, p.Value)
+}
+
+// Unwrap places worker panics in the error taxonomy.
+func (p *WorkerPanic) Unwrap() error { return zkerr.ErrInternal }
+
+// Collector captures the first worker panic so it can be re-raised (or
+// returned) on the caller's goroutine after the pool drains. It is
+// exported for code that manages its own goroutines (e.g. the sumcheck
+// round-evaluation loop) but wants the same containment behavior.
+type Collector struct {
+	mu sync.Mutex
+	p  *WorkerPanic
+}
+
+// Recover is deferred inside each worker goroutine; it converts a panic
+// into a recorded WorkerPanic (first one wins).
+func (c *Collector) Recover(lo, hi int) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.p == nil {
+		c.p = &WorkerPanic{Lo: lo, Hi: hi, Value: r, Stack: debug.Stack()}
+	}
+}
+
+// Repanic re-raises the recorded panic on the calling goroutine, if any.
+// Called after the WaitGroup drains, so the panic crosses back onto a
+// stack the caller's deferred recover can see.
+func (c *Collector) Repanic() {
+	if c.p != nil {
+		panic(c.p)
+	}
+}
+
+// Err returns the recorded panic as an error, or nil.
+func (c *Collector) Err() error {
+	if c.p == nil {
+		return nil
+	}
+	return c.p
+}
+
 // For runs fn(lo, hi) over a partition of [0, n) across workers and
 // waits for completion. fn must not assume any particular chunk
-// geometry.
+// geometry. A panic in any worker is re-raised on the caller's goroutine
+// as a *WorkerPanic once all workers have stopped.
 func For(n int, fn func(lo, hi int)) {
 	workers := Workers(n)
 	if workers == 1 {
@@ -48,6 +120,7 @@ func For(n int, fn func(lo, hi int)) {
 	}
 	chunk := (n + workers - 1) / workers
 	var wg sync.WaitGroup
+	var rec Collector
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > n {
@@ -59,14 +132,66 @@ func For(n int, fn func(lo, hi int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer rec.Recover(lo, hi)
 			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	rec.Repanic()
+}
+
+// ForErr runs fn(lo, hi) over a partition of [0, n) and returns the error
+// of the lowest-indexed failing chunk (deterministic under races).
+// Worker panics are recovered and returned as a *WorkerPanic error
+// instead of crashing the process, so Prove fails cleanly on internal
+// faults.
+func ForErr(n int, fn func(lo, hi int) error) error {
+	workers := Workers(n)
+	if workers == 1 {
+		if n > 0 {
+			return protect(0, n, fn)
+		}
+		return nil
+	}
+	chunk := (n + workers - 1) / workers
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			errs[w] = protect(lo, hi, fn)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// protect runs one chunk, converting a panic into a *WorkerPanic error.
+func protect(lo, hi int, fn func(lo, hi int) error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &WorkerPanic{Lo: lo, Hi: hi, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(lo, hi)
 }
 
 // MapReduce computes a per-chunk result and combines them in chunk-index
-// order (deterministic for non-commutative combines).
+// order (deterministic for non-commutative combines). Worker panics are
+// re-raised on the caller's goroutine like For.
 func MapReduce[T any](n int, mapChunk func(lo, hi int) T, combine func(acc, v T) T) T {
 	workers := Workers(n)
 	var zero T
@@ -80,6 +205,7 @@ func MapReduce[T any](n int, mapChunk func(lo, hi int) T, combine func(acc, v T)
 	results := make([]T, workers)
 	used := make([]bool, workers)
 	var wg sync.WaitGroup
+	var rec Collector
 	for w := 0; w < workers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
 		if hi > n {
@@ -92,10 +218,12 @@ func MapReduce[T any](n int, mapChunk func(lo, hi int) T, combine func(acc, v T)
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer rec.Recover(lo, hi)
 			results[w] = mapChunk(lo, hi)
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	rec.Repanic()
 	acc := zero
 	for w := range results {
 		if used[w] {

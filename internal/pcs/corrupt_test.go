@@ -1,0 +1,191 @@
+package pcs
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"nocap/internal/advtest"
+	"nocap/internal/field"
+	"nocap/internal/transcript"
+	"nocap/internal/wire"
+	"nocap/internal/zkerr"
+)
+
+// encodeOpening returns a valid serialized opening proof plus its
+// context, shared by the corruption tables below.
+func encodeOpening(t *testing.T, zk bool) (data []byte, params Params, comm *Commitment,
+	points [][]field.Element, values []field.Element) {
+	t.Helper()
+	params = testParams(zk)
+	st, err := Commit(params, randVec(1<<8, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	points = [][]field.Element{randPoint(8, 62)}
+	proof, values, err := st.Open(transcript.New("corrupt"), points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &wire.Writer{}
+	proof.AppendTo(w)
+	return w.Bytes(), params, st.Commitment(), points, values
+}
+
+// TestReadOpeningProofCorruptionTable mirrors the spartan corruption
+// tests for the pcs layer: every named corruption must produce a
+// taxonomy error at decode, or a decoded proof that Verify rejects with
+// a taxonomy error. Length-prefix inflation on every repeated structure
+// (prox vectors, eval vectors, corrections, columns, paths) is bounded.
+func TestReadOpeningProofCorruptionTable(t *testing.T) {
+	data, _, _, _, _ := encodeOpening(t, true)
+
+	inflate := func(off int) func([]byte) []byte {
+		return func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint64(out[off:], 1<<40)
+			return out
+		}
+	}
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"truncate-mid", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncate-tail", func(b []byte) []byte { return b[:len(b)-1] }},
+		// Offset 0 is the prox-vector count: the first repeated structure.
+		{"inflate-prox-count", inflate(0)},
+		// Offset 8 is the first prox vector's element count.
+		{"inflate-first-vec-len", inflate(8)},
+		{"non-canonical-elem", func(b []byte) []byte {
+			out := append([]byte(nil), b...)
+			binary.LittleEndian.PutUint64(out[16:], field.Modulus+7)
+			return out
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadOpeningProof(wire.NewReader(c.mutate(data)))
+			if err == nil {
+				t.Fatal("corruption accepted")
+			}
+			if !zkerr.InTaxonomy(err) {
+				t.Fatalf("error outside taxonomy: %v", err)
+			}
+		})
+	}
+}
+
+// TestOpeningProofAdversarialStream: the shared mutation engine over a
+// full opening proof. Decode + Verify must never panic and must reject
+// every content-altering mutation with a taxonomy error.
+func TestOpeningProofAdversarialStream(t *testing.T) {
+	for _, zk := range []bool{false, true} {
+		data, params, comm, points, values := encodeOpening(t, zk)
+		mut := advtest.NewMutator(data, 11)
+		n := 2000
+		if testing.Short() {
+			n = 400
+		}
+		for i := 0; i < n; i++ {
+			m := mut.Next()
+			got, err := ReadOpeningProof(wire.NewReader(m.Data))
+			if err != nil {
+				if !zkerr.InTaxonomy(err) {
+					t.Fatalf("zk=%v mutation %d (%v): decode error outside taxonomy: %v", zk, i, m.Kind, err)
+				}
+				continue
+			}
+			if err := Verify(params, comm, transcript.New("corrupt"), points, values, got); err != nil {
+				if !zkerr.InTaxonomy(err) {
+					t.Fatalf("zk=%v mutation %d (%v): verify error outside taxonomy: %v", zk, i, m.Kind, err)
+				}
+			}
+			// Acceptance is fine here: mutations that only touch trailing
+			// bytes not consumed by ReadOpeningProof leave the decoded
+			// structure identical; the spartan-level Done() check owns
+			// trailing-byte rejection.
+		}
+	}
+}
+
+// TestReadOpeningProofHonorsMaxOpenings bounds the repeated column/path
+// structures by the caller-configured limit.
+func TestReadOpeningProofHonorsMaxOpenings(t *testing.T) {
+	data, _, _, _, _ := encodeOpening(t, false)
+	lim := wire.DefaultLimits()
+	lim.MaxOpenings = 2 // testParams opens more columns than this
+	r, err := wire.NewReaderLimits(data, lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadOpeningProof(r); !errors.Is(err, zkerr.ErrResourceLimit) {
+		t.Fatalf("openings above limit accepted: %v", err)
+	}
+}
+
+// TestReadCommitmentCorruptionTable: geometry bounds on the commitment
+// header, classified as bad-commitment.
+func TestReadCommitmentCorruptionTable(t *testing.T) {
+	st, err := Commit(testParams(false), randVec(1<<8, 63))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &wire.Writer{}
+	st.Commitment().AppendTo(w)
+	valid := w.Bytes()
+
+	for _, c := range []struct {
+		name string
+		off  int
+		val  uint64
+		want error
+	}{
+		{"numvars-huge", 32, 1 << 50, zkerr.ErrBadCommitment},
+		{"rows-huge", 40, 1<<40 + 1, zkerr.ErrBadCommitment},
+		{"cols-huge", 48, 1 << 63, zkerr.ErrBadCommitment},
+		{"msglen-huge", 56, ^uint64(0), zkerr.ErrBadCommitment},
+	} {
+		t.Run(c.name, func(t *testing.T) {
+			out := append([]byte(nil), valid...)
+			binary.LittleEndian.PutUint64(out[c.off:], c.val)
+			_, err := ReadCommitment(wire.NewReader(out))
+			if !errors.Is(err, c.want) {
+				t.Fatalf("want %v, got %v", c.want, err)
+			}
+		})
+	}
+}
+
+// TestVerifyRejectsGeometryLies: a decoded commitment whose geometry
+// disagrees with the agreed parameters must be rejected as
+// ErrBadCommitment before any cryptographic work.
+func TestVerifyRejectsGeometryLies(t *testing.T) {
+	data, params, comm, points, values := encodeOpening(t, true)
+	proof, err := ReadOpeningProof(wire.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lies := []func(c Commitment) Commitment{
+		func(c Commitment) Commitment { c.Rows *= 2; return c },
+		func(c Commitment) Commitment { c.NumVars = 0; return c },
+		func(c Commitment) Commitment { c.NumVars = 41; return c },
+		func(c Commitment) Commitment { c.Cols = 0; return c },
+		func(c Commitment) Commitment { c.Cols *= 4; return c },
+		func(c Commitment) Commitment { c.MsgLen += 1; return c },
+	}
+	for i, lie := range lies {
+		bad := lie(*comm)
+		err := Verify(params, &bad, transcript.New("corrupt"), points, values, proof)
+		if !errors.Is(err, zkerr.ErrBadCommitment) {
+			t.Fatalf("lie %d: want ErrBadCommitment, got %v", i, err)
+		}
+	}
+	if err := Verify(params, nil, transcript.New("corrupt"), points, values, proof); !errors.Is(err, zkerr.ErrMalformedProof) {
+		t.Fatalf("nil commitment: %v", err)
+	}
+	if err := Verify(params, comm, transcript.New("corrupt"), points, values, nil); !errors.Is(err, zkerr.ErrMalformedProof) {
+		t.Fatalf("nil proof: %v", err)
+	}
+}

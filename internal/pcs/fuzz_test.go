@@ -1,0 +1,70 @@
+package pcs
+
+import (
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/transcript"
+	"nocap/internal/wire"
+	"nocap/internal/zkerr"
+)
+
+// FuzzReadOpeningProof ensures arbitrary bytes never panic the opening
+// decoder, that every rejection is a taxonomy error, and that anything
+// which decodes can be fed to Verify without crashing.
+func FuzzReadOpeningProof(f *testing.F) {
+	params := testParams(true)
+	st, err := Commit(params, randVec(1<<8, 71))
+	if err != nil {
+		f.Fatal(err)
+	}
+	points := [][]field.Element{randPoint(8, 72)}
+	proof, values, err := st.Open(transcript.New("fuzz"), points)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w := &wire.Writer{}
+	proof.AppendTo(w)
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	comm := st.Commitment()
+	f.Fuzz(func(t *testing.T, b []byte) {
+		got, err := ReadOpeningProof(wire.NewReader(b))
+		if err != nil {
+			if !zkerr.InTaxonomy(err) {
+				t.Fatalf("decode error outside taxonomy: %v", err)
+			}
+			return
+		}
+		if err := Verify(params, comm, transcript.New("fuzz"), points, values, got); err != nil &&
+			!zkerr.InTaxonomy(err) {
+			t.Fatalf("verify error outside taxonomy: %v", err)
+		}
+	})
+}
+
+// FuzzReadCommitment ensures the commitment header decoder is total:
+// typed error or bounded-geometry commitment, never a panic.
+func FuzzReadCommitment(f *testing.F) {
+	st, err := Commit(testParams(false), randVec(1<<8, 73))
+	if err != nil {
+		f.Fatal(err)
+	}
+	w := &wire.Writer{}
+	st.Commitment().AppendTo(w)
+	f.Add(w.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		c, err := ReadCommitment(wire.NewReader(b))
+		if err != nil {
+			if !zkerr.InTaxonomy(err) {
+				t.Fatalf("error outside taxonomy: %v", err)
+			}
+			return
+		}
+		if c.NumVars < 0 || c.Rows < 0 || c.Cols < 0 || c.MsgLen < 0 {
+			t.Fatalf("decoder produced negative geometry: %+v", c)
+		}
+	})
+}

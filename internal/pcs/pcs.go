@@ -28,6 +28,7 @@ import (
 	"nocap/internal/par"
 	"nocap/internal/poly"
 	"nocap/internal/transcript"
+	"nocap/internal/zkerr"
 )
 
 // Params configures the scheme.
@@ -156,17 +157,22 @@ func Commit(params Params, vec []field.Element) (*ProverState, error) {
 	encoded := make([][]field.Element, total)
 	// Encode the first row serially to warm size-dependent caches
 	// (twiddle tables, expander graphs), then fan out: row encodes are
-	// independent (the parallel CPU baseline of §III).
+	// independent (the parallel CPU baseline of §III). ForErr contains
+	// worker faults: an encode panic becomes an error from Commit (and
+	// thus Prove) instead of killing the serving process.
 	encoded[0] = params.Code.Encode(all[0])
-	par.For(total-1, func(lo, hi int) {
+	if err := par.ForErr(total-1, func(lo, hi int) error {
 		for r := lo + 1; r < hi+1; r++ {
 			encoded[r] = params.Code.Encode(all[r])
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("pcs: row encode: %w", err)
+	}
 
 	encLen := msgLen * params.Code.Blowup()
 	leaves := make([]hashfn.Digest, encLen)
-	par.For(encLen, func(lo, hi int) {
+	if err := par.ForErr(encLen, func(lo, hi int) error {
 		col := make([]field.Element, total)
 		for j := lo; j < hi; j++ {
 			for r := 0; r < total; r++ {
@@ -174,7 +180,10 @@ func Commit(params Params, vec []field.Element) (*ProverState, error) {
 			}
 			leaves[j] = merkle.LeafOfColumn(col)
 		}
-	})
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("pcs: column hash: %w", err)
+	}
 	tree := merkle.New(leaves)
 
 	state := &ProverState{
@@ -334,22 +343,32 @@ func (s *ProverState) Open(tr *transcript.Transcript, points [][]field.Element) 
 	return proof, values, nil
 }
 
-// Errors returned by Verify.
+// Errors returned by Verify, each anchored in the zkerr taxonomy:
+// ErrMalformed is structural (shape/counts), ErrGeometry means the
+// commitment disagrees with the agreed parameters, and the rest are
+// soundness failures on structurally valid proofs.
 var (
-	ErrProximity  = errors.New("pcs: proximity check failed")
-	ErrEvalCheck  = errors.New("pcs: evaluation consistency check failed")
-	ErrValue      = errors.New("pcs: claimed value mismatch")
-	ErrColumnAuth = errors.New("pcs: column authentication failed")
-	ErrMalformed  = errors.New("pcs: malformed proof")
+	ErrProximity  = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed, "pcs: proximity check failed")
+	ErrEvalCheck  = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed, "pcs: evaluation consistency check failed")
+	ErrValue      = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed, "pcs: claimed value mismatch")
+	ErrColumnAuth = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed, "pcs: column authentication failed")
+	ErrMalformed  = zkerr.Wrap(zkerr.ErrMalformedProof, "pcs: malformed proof")
+	ErrGeometry   = zkerr.Wrap(zkerr.ErrBadCommitment, "pcs: commitment geometry")
 )
 
 // Verify checks an opening proof for the claimed values at points. The
-// params must match the committer's.
+// params must match the committer's. Verify never panics on hostile
+// (comm, proof) contents: structural faults return typed errors and any
+// internal invariant violation is contained as zkerr.ErrInternal.
 func Verify(params Params, comm *Commitment, tr *transcript.Transcript,
-	points [][]field.Element, values []field.Element, proof *OpeningProof) error {
+	points [][]field.Element, values []field.Element, proof *OpeningProof) (err error) {
 
+	defer zkerr.RecoverTo(&err, "pcs.Verify")
 	if err := params.validate(); err != nil {
 		return err
+	}
+	if comm == nil || proof == nil {
+		return fmt.Errorf("%w: nil commitment or proof", ErrMalformed)
 	}
 	if len(points) != len(values) || len(points) == 0 {
 		return fmt.Errorf("%w: %d points, %d values", ErrMalformed, len(points), len(values))
@@ -366,10 +385,11 @@ func Verify(params Params, comm *Commitment, tr *transcript.Transcript,
 	// Pin the commitment geometry to the agreed parameters: the prover
 	// must not choose its own matrix shape.
 	if comm.Rows != params.Rows {
-		return fmt.Errorf("%w: commitment has %d rows, params say %d", ErrMalformed, comm.Rows, params.Rows)
+		return fmt.Errorf("%w: commitment has %d rows, params say %d", ErrGeometry, comm.Rows, params.Rows)
 	}
-	if comm.NumVars < 1 || comm.NumVars > 40 || comm.Cols*comm.Rows != 1<<uint(comm.NumVars) {
-		return fmt.Errorf("%w: inconsistent commitment geometry", ErrMalformed)
+	if comm.NumVars < 1 || comm.NumVars > 40 || comm.Cols < 1 || comm.Cols > 1<<40 ||
+		comm.Cols*comm.Rows != 1<<uint(comm.NumVars) {
+		return fmt.Errorf("%w: inconsistent commitment geometry", ErrGeometry)
 	}
 	wantMsg := comm.Cols
 	if params.ZK {
@@ -379,7 +399,7 @@ func Verify(params Params, comm *Commitment, tr *transcript.Transcript,
 		wantMsg++
 	}
 	if comm.MsgLen != wantMsg {
-		return fmt.Errorf("%w: message length %d, expected %d", ErrMalformed, comm.MsgLen, wantMsg)
+		return fmt.Errorf("%w: message length %d, expected %d", ErrGeometry, comm.MsgLen, wantMsg)
 	}
 
 	tr.AppendDigest("pcs/root", comm.Root)
@@ -390,7 +410,7 @@ func Verify(params Params, comm *Commitment, tr *transcript.Transcript,
 	for i, pt := range points {
 		rowPart, colPart, err := splitPoint(comm, pt)
 		if err != nil {
-			return err
+			return fmt.Errorf("%w: %v", ErrGeometry, err)
 		}
 		qRows[i] = poly.EqTable(rowPart)
 		qCols[i] = poly.EqTable(colPart)

@@ -1,11 +1,10 @@
 package pcs
 
 import (
-	"fmt"
-
 	"nocap/internal/field"
 	"nocap/internal/merkle"
 	"nocap/internal/wire"
+	"nocap/internal/zkerr"
 )
 
 // AppendTo serializes the commitment.
@@ -17,7 +16,10 @@ func (c *Commitment) AppendTo(w *wire.Writer) {
 	w.U64(uint64(c.MsgLen))
 }
 
-// ReadCommitment decodes a commitment.
+// ReadCommitment decodes a commitment from untrusted bytes. Geometry
+// fields are bounded so that downstream arithmetic (Rows·Cols products,
+// 1<<NumVars) cannot overflow, but full consistency against the agreed
+// parameters is Verify's job.
 func ReadCommitment(r *wire.Reader) (*Commitment, error) {
 	root, err := r.Digest()
 	if err != nil {
@@ -30,7 +32,7 @@ func ReadCommitment(r *wire.Reader) (*Commitment, error) {
 			return nil, err
 		}
 		if v > 1<<40 {
-			return nil, fmt.Errorf("pcs: implausible geometry field %d", v)
+			return nil, zkerr.BadCommitmentf("pcs: implausible geometry field %d", v)
 		}
 		vals[i] = int(v)
 	}
@@ -49,6 +51,9 @@ func appendVecs(w *wire.Writer, vs [][]field.Element) {
 func readVecs(r *wire.Reader) ([][]field.Element, error) {
 	n, err := r.Count()
 	if err != nil {
+		return nil, err
+	}
+	if err := r.Grant(int64(n) * 24); err != nil {
 		return nil, err
 	}
 	out := make([][]field.Element, n)
@@ -72,7 +77,9 @@ func (p *OpeningProof) AppendTo(w *wire.Writer) {
 	}
 }
 
-// ReadOpeningProof decodes an opening proof.
+// ReadOpeningProof decodes an opening proof. The column and path counts
+// are bounded by the reader's MaxOpenings limit (the paper opens 189
+// columns; a hostile prefix cannot demand more than the configured cap).
 func ReadOpeningProof(r *wire.Reader) (*OpeningProof, error) {
 	p := &OpeningProof{}
 	var err error
@@ -88,8 +95,18 @@ func ReadOpeningProof(r *wire.Reader) (*OpeningProof, error) {
 	if p.Columns, err = readVecs(r); err != nil {
 		return nil, err
 	}
+	if len(p.Columns) > r.Limits().MaxOpenings {
+		return nil, zkerr.Resourcef("pcs: %d opened columns exceeds limit %d",
+			len(p.Columns), r.Limits().MaxOpenings)
+	}
 	n, err := r.Count()
 	if err != nil {
+		return nil, err
+	}
+	if n > r.Limits().MaxOpenings {
+		return nil, zkerr.Resourcef("pcs: %d opening paths exceeds limit %d", n, r.Limits().MaxOpenings)
+	}
+	if err := r.Grant(int64(n) * 32); err != nil {
 		return nil, err
 	}
 	p.Paths = make([]merkle.Path, n)

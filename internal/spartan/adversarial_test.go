@@ -1,0 +1,212 @@
+package spartan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"nocap/internal/advtest"
+	"nocap/internal/wire"
+	"nocap/internal/zkerr"
+)
+
+// TestAdversarialMutations is the acceptance harness for the hardened
+// verifier boundary: across ≥ 10,000 mutated proofs, UnmarshalProof +
+// Verify must never panic, never allocate beyond DecodeLimits (the
+// reader's budget is charged before every untrusted-size allocation), and
+// every rejection must carry a zkerr taxonomy sentinel. A mutation may
+// only be accepted if it left the bytes identical to the valid proof.
+func TestAdversarialMutations(t *testing.T) {
+	params := TestParams()
+	inst, io, w := buildFibonacci(12, 1, 2)
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Limits sized to the valid proof: anything demanding much more is a
+	// resource violation, not a legitimate decode.
+	limits := wire.DefaultLimits()
+	limits.MaxProofBytes = 2 * len(valid)
+	limits.MaxTotalAlloc = int64(8 * len(valid))
+
+	n := 10000
+	if testing.Short() {
+		n = 1500
+	}
+	mut := advtest.NewMutator(valid, 1)
+	kindCounts := make(map[advtest.Kind]int)
+	accepted, rejectedDecode, rejectedVerify := 0, 0, 0
+	for i := 0; i < n; i++ {
+		m := mut.Next()
+		kindCounts[m.Kind]++
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("mutation %d (%v) panicked through the boundary: %v", i, m.Kind, r)
+				}
+			}()
+			p, err := UnmarshalProofLimits(m.Data, limits)
+			if err != nil {
+				if !zkerr.InTaxonomy(err) {
+					t.Fatalf("mutation %d (%v): decode error outside taxonomy: %v", i, m.Kind, err)
+				}
+				rejectedDecode++
+				return
+			}
+			if err := Verify(params, inst, io, p); err != nil {
+				if !zkerr.InTaxonomy(err) {
+					t.Fatalf("mutation %d (%v): verify error outside taxonomy: %v", i, m.Kind, err)
+				}
+				rejectedVerify++
+				return
+			}
+			// Accepted: only legitimate if the mutation was a no-op.
+			if !bytes.Equal(m.Data, valid) {
+				t.Fatalf("mutation %d (%v) altered the proof yet verified", i, m.Kind)
+			}
+			accepted++
+		}()
+	}
+	t.Logf("%d mutations: %d rejected at decode, %d at verify, %d no-op accepts",
+		n, rejectedDecode, rejectedVerify, accepted)
+	for k, c := range kindCounts {
+		if c == 0 {
+			t.Errorf("mutation kind %v never exercised", k)
+		}
+	}
+	if rejectedDecode == 0 || rejectedVerify == 0 {
+		t.Fatal("harness did not exercise both rejection layers")
+	}
+}
+
+// TestDecodeLimitsBoundAllocation pins the resource-bound contract: tiny
+// hostile messages must be rejected with a typed error before any
+// multi-gigabyte allocation can happen.
+func TestDecodeLimitsBoundAllocation(t *testing.T) {
+	// A valid header followed by a zeroed commitment and nothing else: the
+	// decoder must fail on the missing body, not trust any prefix.
+	w := &wire.Writer{}
+	w.U64(proofMagic)
+	w.U64(proofVersion)
+	hostile := append(w.Bytes(), make([]byte, 64)...)
+
+	limits := wire.Limits{MaxProofBytes: 1 << 16, MaxTotalAlloc: 1 << 16}
+	if _, err := UnmarshalProofLimits(hostile, limits); err == nil {
+		t.Fatal("hostile header accepted")
+	} else if !zkerr.InTaxonomy(err) {
+		t.Fatalf("error outside taxonomy: %v", err)
+	}
+
+	// Whole-message cap applies before parsing.
+	big := make([]byte, 1<<12)
+	if _, err := UnmarshalProofLimits(big, wire.Limits{MaxProofBytes: 256}); !errors.Is(err, zkerr.ErrResourceLimit) {
+		t.Fatalf("oversized message not resource-limited: %v", err)
+	}
+}
+
+// TestUnmarshalRejectsRepInflation checks the MaxReps decode limit
+// specifically: a valid prefix with the repetition count rewritten huge
+// must fail with a typed error.
+func TestUnmarshalRejectsRepInflation(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Layout: magic(8) version(8) commitment(32+4*8) reps-count(8).
+	repOff := 8 + 8 + 32 + 4*8
+	for _, reps := range []uint64{0, 65, 1 << 30, 1 << 62} {
+		mutated := append([]byte(nil), data...)
+		for k := 0; k < 8; k++ {
+			mutated[repOff+k] = byte(reps >> (8 * uint(k)))
+		}
+		_, err := UnmarshalProof(mutated)
+		if !errors.Is(err, zkerr.ErrMalformedProof) && !errors.Is(err, zkerr.ErrResourceLimit) {
+			t.Fatalf("reps=%d: want malformed/resource error, got %v", reps, err)
+		}
+	}
+	// Tight caller limit rejects even the legitimate count.
+	lim := wire.DefaultLimits()
+	lim.MaxReps = 1
+	params2 := TestParams()
+	params2.Reps = 2
+	proof2, err := Prove(params2, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data2, err := proof2.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalProofLimits(data2, lim); !errors.Is(err, zkerr.ErrMalformedProof) {
+		t.Fatalf("MaxReps=1 did not reject 2-rep proof: %v", err)
+	}
+}
+
+// TestVerifyRejectsNilComponents ensures hand-constructed proofs with
+// missing parts produce ErrShape, not a nil-pointer panic.
+func TestVerifyRejectsNilComponents(t *testing.T) {
+	params := TestParams()
+	inst, io, w := buildFibonacci(10, 1, 2)
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(p Proof) *Proof{
+		func(p Proof) *Proof { return nil },
+		func(p Proof) *Proof { p.Commitment = nil; return &p },
+		func(p Proof) *Proof { p.Opening = nil; return &p },
+		func(p Proof) *Proof {
+			p.Reps = append([]RepProof(nil), p.Reps...)
+			p.Reps[0].Outer = nil
+			return &p
+		},
+		func(p Proof) *Proof {
+			p.Reps = append([]RepProof(nil), p.Reps...)
+			p.Reps[0].Inner = nil
+			return &p
+		},
+	}
+	for i, mutate := range cases {
+		err := Verify(params, inst, io, mutate(*proof))
+		if !errors.Is(err, zkerr.ErrMalformedProof) {
+			t.Fatalf("case %d: want ErrMalformedProof, got %v", i, err)
+		}
+	}
+}
+
+// TestProveContainsWorkerPanic injects a fault that detonates inside a
+// par worker goroutine (an out-of-range column index in the sparse
+// matrix, hit during the parallel SpMV) and checks it surfaces as a typed
+// error from Prove instead of crashing the process.
+func TestProveContainsWorkerPanic(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+	// Corrupt a matrix entry: the SpMV worker indexes z out of range.
+	corrupted := false
+	for i := range inst.A.Rows {
+		if len(inst.A.Rows[i]) > 0 {
+			inst.A.Rows[i][0].Col = 1 << 30
+			corrupted = true
+			break
+		}
+	}
+	if !corrupted {
+		t.Fatal("no matrix entry to corrupt")
+	}
+	_, err := Prove(TestParams(), inst, io, w)
+	if err == nil {
+		t.Fatal("corrupted instance proved successfully")
+	}
+	if !errors.Is(err, zkerr.ErrInternal) {
+		t.Fatalf("want ErrInternal from contained panic, got %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nocap/internal/field"
+	"nocap/internal/zkerr"
 )
 
 // FuzzUnmarshalProof ensures arbitrary bytes never panic the decoder
@@ -25,10 +26,16 @@ func FuzzUnmarshalProof(f *testing.F) {
 	f.Fuzz(func(t *testing.T, b []byte) {
 		p, err := UnmarshalProof(b)
 		if err != nil {
+			if !zkerr.InTaxonomy(err) {
+				t.Fatalf("decode error outside taxonomy: %v", err)
+			}
 			return
 		}
-		// Decoded fine: verification must be a pure function (no panic).
-		_ = Verify(TestParams(), inst, io, p)
+		// Decoded fine: verification must be a pure function (no panic)
+		// and every rejection must carry a taxonomy sentinel.
+		if err := Verify(TestParams(), inst, io, p); err != nil && !zkerr.InTaxonomy(err) {
+			t.Fatalf("verify error outside taxonomy: %v", err)
+		}
 	})
 }
 

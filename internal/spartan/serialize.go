@@ -1,11 +1,10 @@
 package spartan
 
 import (
-	"fmt"
-
 	"nocap/internal/pcs"
 	"nocap/internal/sumcheck"
 	"nocap/internal/wire"
+	"nocap/internal/zkerr"
 )
 
 // proofMagic and proofVersion identify the serialized format.
@@ -35,26 +34,40 @@ func (p *Proof) MarshalBinary() ([]byte, error) {
 	return w.Bytes(), nil
 }
 
-// UnmarshalProof decodes a proof, validating framing and field-element
-// canonicality. It does NOT validate the proof cryptographically; use
-// Verify for that.
+// UnmarshalProof decodes a proof under wire.DefaultLimits. It does NOT
+// validate the proof cryptographically; use Verify for that.
 func UnmarshalProof(data []byte) (*Proof, error) {
-	r := wire.NewReader(data)
+	return UnmarshalProofLimits(data, wire.DefaultLimits())
+}
+
+// UnmarshalProofLimits decodes a proof from untrusted bytes under
+// caller-configured DecodeLimits. Guarantees on hostile input: it never
+// panics (internal faults are contained as zkerr.ErrInternal), it never
+// allocates beyond the limits' budget, and every rejection carries a
+// zkerr taxonomy sentinel reachable through errors.Is. Framing and
+// field-element canonicality are validated; cryptographic validity is
+// Verify's job.
+func UnmarshalProofLimits(data []byte, limits wire.Limits) (p *Proof, err error) {
+	defer zkerr.RecoverTo(&err, "spartan.UnmarshalProof")
+	r, err := wire.NewReaderLimits(data, limits)
+	if err != nil {
+		return nil, err
+	}
 	magic, err := r.U64()
 	if err != nil {
 		return nil, err
 	}
 	if magic != proofMagic {
-		return nil, fmt.Errorf("spartan: bad proof magic %#x", magic)
+		return nil, zkerr.Malformedf("spartan: bad proof magic %#x", magic)
 	}
 	version, err := r.U64()
 	if err != nil {
 		return nil, err
 	}
 	if version != proofVersion {
-		return nil, fmt.Errorf("spartan: unsupported proof version %d", version)
+		return nil, zkerr.Malformedf("spartan: unsupported proof version %d", version)
 	}
-	p := &Proof{}
+	p = &Proof{}
 	if p.Commitment, err = pcs.ReadCommitment(r); err != nil {
 		return nil, err
 	}
@@ -62,8 +75,15 @@ func UnmarshalProof(data []byte) (*Proof, error) {
 	if err != nil {
 		return nil, err
 	}
-	if nReps == 0 || nReps > maxReps {
-		return nil, fmt.Errorf("spartan: %d repetitions out of range", nReps)
+	repCap := uint64(maxReps)
+	if lim := uint64(r.Limits().MaxReps); lim < repCap {
+		repCap = lim
+	}
+	if nReps == 0 || nReps > repCap {
+		return nil, zkerr.Malformedf("spartan: %d repetitions out of range (limit %d)", nReps, repCap)
+	}
+	if err := r.Grant(int64(nReps) * 64); err != nil {
+		return nil, err
 	}
 	p.Reps = make([]RepProof, nReps)
 	for i := range p.Reps {

@@ -30,6 +30,7 @@ import (
 	"nocap/internal/r1cs"
 	"nocap/internal/sumcheck"
 	"nocap/internal/transcript"
+	"nocap/internal/zkerr"
 )
 
 // Params configures the SNARK.
@@ -150,7 +151,13 @@ func publicEval(io []field.Element, r []field.Element) field.Element {
 
 // Prove generates a proof that the prover knows a witness satisfying the
 // instance with the given public inputs.
-func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (*Proof, error) {
+//
+// Fault containment: any panic during proving — including panics in
+// worker goroutines, which internal/par re-raises on this goroutine — is
+// converted to a zkerr.ErrInternal error, so one bad proving job cannot
+// crash a process serving many.
+func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (proof *Proof, err error) {
+	defer zkerr.RecoverTo(&err, "spartan.Prove")
 	if params.Reps < 1 {
 		return nil, errors.New("spartan: Reps must be ≥ 1")
 	}
@@ -190,7 +197,7 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (*Pr
 	}
 
 	logM := inst.LogConstraints()
-	proof := &Proof{Commitment: comm, Reps: make([]RepProof, params.Reps)}
+	proof = &Proof{Commitment: comm, Reps: make([]RepProof, params.Reps)}
 	openPoints := make([][]field.Element, params.Reps)
 
 	for rep := 0; rep < params.Reps; rep++ {
@@ -268,17 +275,32 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (*Pr
 	return proof, nil
 }
 
-// Verification errors.
+// Verification errors, anchored in the zkerr taxonomy: final-check
+// failures are soundness rejections of structurally valid proofs, while
+// ErrShape is structural.
 var (
-	ErrOuterFinal = errors.New("spartan: outer sumcheck final check failed")
-	ErrInnerFinal = errors.New("spartan: inner sumcheck final check failed")
-	ErrShape      = errors.New("spartan: malformed proof")
+	ErrOuterFinal = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed, "spartan: outer sumcheck final check failed")
+	ErrInnerFinal = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed, "spartan: inner sumcheck final check failed")
+	ErrShape      = zkerr.Wrap(zkerr.ErrMalformedProof, "spartan: malformed proof")
 )
 
-// Verify checks a proof against the instance and public inputs.
-func Verify(params Params, inst *r1cs.Instance, io []field.Element, proof *Proof) error {
+// Verify checks a proof against the instance and public inputs. The proof
+// is untrusted: Verify never panics on hostile contents (all rejection
+// paths return taxonomy errors, and any internal invariant violation is
+// contained as zkerr.ErrInternal) and performs the cheap structural
+// checks before any cryptographic work.
+func Verify(params Params, inst *r1cs.Instance, io []field.Element, proof *Proof) (err error) {
+	defer zkerr.RecoverTo(&err, "spartan.Verify")
+	if proof == nil || proof.Commitment == nil || proof.Opening == nil {
+		return fmt.Errorf("%w: missing proof component", ErrShape)
+	}
 	if params.Reps < 1 || len(proof.Reps) != params.Reps || len(proof.WEvals) != params.Reps {
 		return fmt.Errorf("%w: repetition count", ErrShape)
+	}
+	for i := range proof.Reps {
+		if proof.Reps[i].Outer == nil || proof.Reps[i].Inner == nil {
+			return fmt.Errorf("%w: repetition %d missing sumcheck", ErrShape, i)
+		}
 	}
 	half := inst.NumVars() / 2
 	pcsParams := params.effective(half)

@@ -1,10 +1,9 @@
 package sumcheck
 
 import (
-	"fmt"
-
 	"nocap/internal/field"
 	"nocap/internal/wire"
+	"nocap/internal/zkerr"
 )
 
 // maxRounds bounds decoded proofs (the field's two-adicity bounds any
@@ -19,14 +18,22 @@ func (p *Proof) AppendTo(w *wire.Writer) {
 	}
 }
 
-// ReadProof decodes a sumcheck proof.
+// ReadProof decodes a sumcheck proof from untrusted bytes, bounding the
+// round count and charging the round-slice allocation to the reader's
+// budget before it happens.
 func ReadProof(r *wire.Reader) (*Proof, error) {
 	n, err := r.U64()
 	if err != nil {
 		return nil, err
 	}
 	if n > maxRounds {
-		return nil, fmt.Errorf("sumcheck: %d rounds too many", n)
+		return nil, zkerr.Malformedf("sumcheck: %d rounds too many", n)
+	}
+	if uint64(r.Remaining())/8 < n {
+		return nil, wire.ErrTruncated
+	}
+	if err := r.Grant(int64(n) * 24); err != nil {
+		return nil, err
 	}
 	p := &Proof{RoundPolys: make([][]field.Element, n)}
 	for i := range p.RoundPolys {

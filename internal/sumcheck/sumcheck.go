@@ -12,14 +12,15 @@
 package sumcheck
 
 import (
-	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"nocap/internal/field"
+	"nocap/internal/par"
 	"nocap/internal/poly"
 	"nocap/internal/transcript"
+	"nocap/internal/zkerr"
 )
 
 // Combiner combines the values of the oracle MLEs at one point into the
@@ -103,6 +104,7 @@ func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.El
 	}
 	partial := make([][]field.Element, numWorkers)
 	var wg sync.WaitGroup
+	var rec par.Collector
 	chunk := (half + numWorkers - 1) / numWorkers
 	for w := 0; w < numWorkers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -116,6 +118,7 @@ func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.El
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
+			defer rec.Recover(lo, hi)
 			sums := make([]field.Element, degree+1)
 			vals := make([]field.Element, len(mles))
 			deltas := make([]field.Element, len(mles))
@@ -137,6 +140,10 @@ func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.El
 		}(w, lo, hi)
 	}
 	wg.Wait()
+	// A worker panic (an internal invariant failure) re-raises here, on
+	// the prover's own goroutine, where Prove's recover converts it to a
+	// typed error instead of crashing the process.
+	rec.Repanic()
 	evals := make([]field.Element, degree+1)
 	for _, sums := range partial {
 		for t := range evals {
@@ -146,11 +153,13 @@ func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.El
 	return evals
 }
 
-// ErrRoundSum indicates g_i(0)+g_i(1) ≠ running claim.
-var ErrRoundSum = errors.New("sumcheck: round polynomial inconsistent with claim")
+// ErrRoundSum indicates g_i(0)+g_i(1) ≠ running claim — a soundness
+// failure on a structurally valid proof.
+var ErrRoundSum = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed,
+	"sumcheck: round polynomial inconsistent with claim")
 
 // ErrShape indicates a malformed proof.
-var ErrShape = errors.New("sumcheck: malformed proof")
+var ErrShape = zkerr.Wrap(zkerr.ErrMalformedProof, "sumcheck: malformed proof")
 
 // Verify replays the verifier side: it checks every round polynomial
 // against the running claim and returns the challenge point and the final
@@ -159,6 +168,9 @@ var ErrShape = errors.New("sumcheck: malformed proof")
 func Verify(tr *transcript.Transcript, label string, claim field.Element,
 	numVars, degree int, proof *Proof) (challenges []field.Element, finalClaim field.Element, err error) {
 
+	if proof == nil {
+		return nil, field.Zero, fmt.Errorf("%w: nil proof", ErrShape)
+	}
 	if len(proof.RoundPolys) != numVars {
 		return nil, field.Zero, fmt.Errorf("%w: %d rounds, want %d", ErrShape, len(proof.RoundPolys), numVars)
 	}

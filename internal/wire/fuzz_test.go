@@ -1,0 +1,57 @@
+package wire
+
+import (
+	"testing"
+
+	"nocap/internal/zkerr"
+)
+
+// FuzzReader drives the reader primitives with an op-stream interpreted
+// from the input's first byte(s): whatever the sequence, every failure
+// must be a taxonomy error, allocation must stay within the budget, and
+// nothing may panic.
+func FuzzReader(f *testing.F) {
+	w := &Writer{}
+	w.U64(3)
+	w.U64(1)
+	w.U64(2)
+	w.U64(3)
+	f.Add([]byte{0}, w.Bytes())
+	f.Add([]byte{1, 2, 3, 0}, []byte{})
+	f.Add([]byte{3, 0, 1}, w.Bytes())
+	f.Fuzz(func(t *testing.T, ops, data []byte) {
+		lim := Limits{MaxProofBytes: 1 << 20, MaxTotalAlloc: 1 << 16}
+		r, err := NewReaderLimits(data, lim)
+		if err != nil {
+			if !zkerr.InTaxonomy(err) {
+				t.Fatalf("constructor error outside taxonomy: %v", err)
+			}
+			return
+		}
+		for _, op := range ops {
+			var err error
+			switch op % 5 {
+			case 0:
+				_, err = r.U64()
+			case 1:
+				_, err = r.Elem()
+			case 2:
+				_, err = r.Elems()
+			case 3:
+				_, err = r.Digest()
+			case 4:
+				_, err = r.Count()
+			}
+			if err != nil {
+				if !zkerr.InTaxonomy(err) {
+					t.Fatalf("op %d error outside taxonomy: %v", op, err)
+				}
+				return
+			}
+			if r.Granted() > lim.MaxTotalAlloc {
+				t.Fatalf("budget exceeded without error: %d > %d", r.Granted(), lim.MaxTotalAlloc)
+			}
+		}
+		_ = r.Done()
+	})
+}

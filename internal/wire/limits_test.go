@@ -1,0 +1,134 @@
+package wire
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/zkerr"
+)
+
+func TestDefaultLimitsPopulated(t *testing.T) {
+	l := DefaultLimits()
+	if l.MaxProofBytes <= 0 || l.MaxVecLen <= 0 || l.MaxReps <= 0 ||
+		l.MaxOpenings <= 0 || l.MaxTotalAlloc <= 0 {
+		t.Fatalf("default limits have zero fields: %+v", l)
+	}
+}
+
+func TestLimitsNormalization(t *testing.T) {
+	// A partially-filled Limits must never mean "unlimited".
+	r, err := NewReaderLimits(nil, Limits{MaxReps: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := r.Limits()
+	if l.MaxReps != 3 {
+		t.Fatalf("explicit field overwritten: %+v", l)
+	}
+	if l.MaxProofBytes != DefaultLimits().MaxProofBytes || l.MaxTotalAlloc != DefaultLimits().MaxTotalAlloc {
+		t.Fatalf("zero fields not defaulted: %+v", l)
+	}
+}
+
+func TestMaxProofBytesRejectsWholeMessage(t *testing.T) {
+	_, err := NewReaderLimits(make([]byte, 100), Limits{MaxProofBytes: 64})
+	if !errors.Is(err, zkerr.ErrResourceLimit) {
+		t.Fatalf("oversized message: got %v", err)
+	}
+}
+
+func TestGrantBudget(t *testing.T) {
+	r, err := NewReaderLimits(nil, Limits{MaxTotalAlloc: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Grant(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Grant(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Grant(1); !errors.Is(err, zkerr.ErrResourceLimit) {
+		t.Fatalf("budget overrun not detected: %v", err)
+	}
+	if err := r.Grant(-1); err == nil {
+		t.Fatal("negative grant accepted")
+	}
+	if r.Granted() < 100 {
+		t.Fatalf("granted counter wrong: %d", r.Granted())
+	}
+}
+
+func TestElemsChargesBudget(t *testing.T) {
+	v := make([]field.Element, 64)
+	w := &Writer{}
+	w.Elems(v)
+	r, err := NewReaderLimits(w.Bytes(), Limits{MaxTotalAlloc: 8 * 63})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Elems(); !errors.Is(err, zkerr.ErrResourceLimit) {
+		t.Fatalf("vector exceeding budget decoded: %v", err)
+	}
+}
+
+func TestCountHonorsMaxVecLen(t *testing.T) {
+	w := &Writer{}
+	w.U64(11)
+	// Pad so the remaining-bytes bound does not fire first.
+	for i := 0; i < 16; i++ {
+		w.U64(0)
+	}
+	r, err := NewReaderLimits(w.Bytes(), Limits{MaxVecLen: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Count(); !errors.Is(err, ErrOversized) {
+		t.Fatalf("count above MaxVecLen accepted: %v", err)
+	}
+}
+
+func TestCountFailsFastOnRemaining(t *testing.T) {
+	// Declared count of 1000 elements with only 2 words of payload: the
+	// shared fail-fast fix all three serialize layers build on.
+	w := &Writer{}
+	w.U64(1000)
+	w.U64(1)
+	w.U64(2)
+	r := NewReader(w.Bytes())
+	if _, err := r.Count(); !errors.Is(err, ErrOversized) {
+		t.Fatalf("count beyond remaining bytes accepted: %v", err)
+	}
+	// Same through Elems.
+	r2 := NewReader(w.Bytes())
+	if _, err := r2.Elems(); !errors.Is(err, ErrOversized) {
+		t.Fatalf("Elems beyond remaining bytes accepted: %v", err)
+	}
+}
+
+func TestWireErrorsInTaxonomy(t *testing.T) {
+	for _, err := range []error{ErrTruncated, ErrOversized, ErrNonCanonical} {
+		if !errors.Is(err, zkerr.ErrMalformedProof) {
+			t.Fatalf("%v not classified as malformed proof", err)
+		}
+	}
+	if !errors.Is(ErrBudget, zkerr.ErrResourceLimit) {
+		t.Fatal("ErrBudget not classified as resource limit")
+	}
+}
+
+func TestElemNonCanonicalIsMalformed(t *testing.T) {
+	for _, v := range []uint64{field.Modulus, field.Modulus + 1, ^uint64(0)} {
+		w := &Writer{}
+		w.U64(v)
+		_, err := NewReader(w.Bytes()).Elem()
+		if !errors.Is(err, zkerr.ErrMalformedProof) {
+			t.Fatalf("value %d: got %v", v, err)
+		}
+		if !strings.Contains(err.Error(), "non-canonical") {
+			t.Fatalf("value %d: unhelpful error %v", v, err)
+		}
+	}
+}

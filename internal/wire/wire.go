@@ -4,26 +4,92 @@
 // prover-verifier link (the 10 MB/s channel of the paper's end-to-end
 // analysis), so the format is compact and deterministic: fixed 8-byte
 // words, no varints, no reflection.
+//
+// The Reader side is an untrusted-input boundary: every length prefix is
+// validated against the bytes actually remaining before anything is
+// allocated, and a caller-configurable Limits budget caps total decoded
+// allocation, so a 16-byte hostile message can never demand gigabytes.
 package wire
 
 import (
-	"encoding/binary"
-	"errors"
-	"fmt"
-
 	"nocap/internal/field"
 	"nocap/internal/hashfn"
+	"nocap/internal/zkerr"
 )
 
 // ErrTruncated indicates the buffer ended before the structure did.
-var ErrTruncated = errors.New("wire: truncated input")
+var ErrTruncated = zkerr.Wrap(zkerr.ErrMalformedProof, "wire: truncated input")
 
-// ErrOversized indicates a length prefix exceeding sane bounds.
-var ErrOversized = errors.New("wire: implausible length prefix")
+// ErrOversized indicates a length prefix exceeding sane bounds or the
+// bytes remaining in the message.
+var ErrOversized = zkerr.Wrap(zkerr.ErrMalformedProof, "wire: implausible length prefix")
 
-// MaxVecLen bounds any single decoded vector (1 GiB of elements) to
-// keep hostile inputs from driving allocations.
+// ErrNonCanonical indicates a field element encoding ≥ the modulus. Such
+// values are rejected, never silently reduced: two distinct byte strings
+// must never decode to the same proof.
+var ErrNonCanonical = zkerr.Wrap(zkerr.ErrMalformedProof, "wire: non-canonical field element")
+
+// ErrBudget indicates the cumulative decoded allocation exceeded
+// Limits.MaxTotalAlloc.
+var ErrBudget = zkerr.Wrap(zkerr.ErrResourceLimit, "wire: decode allocation budget exceeded")
+
+// MaxVecLen is the default per-vector element bound (1 GiB of elements).
 const MaxVecLen = 1 << 27
+
+// Limits bounds what a decoder will do on behalf of an untrusted message.
+// It is the caller-configurable `DecodeLimits` of the public API: a
+// serving layer sets these from its per-request memory envelope. The zero
+// value of any field means "use the package default" (see DefaultLimits).
+type Limits struct {
+	// MaxProofBytes rejects whole messages larger than this before any
+	// parsing. Default 256 MiB (paper-scale proofs are single-digit MB).
+	MaxProofBytes int
+	// MaxVecLen bounds any single decoded vector, in elements.
+	MaxVecLen int
+	// MaxReps bounds the Spartan soundness-repetition count (the paper
+	// uses 3; 64 leaves generous headroom).
+	MaxReps int
+	// MaxOpenings bounds the number of opened columns/Merkle paths in one
+	// PCS opening proof (the paper opens 189 columns).
+	MaxOpenings int
+	// MaxTotalAlloc bounds the cumulative bytes of memory a decode may
+	// allocate across all vectors and structures. Default 1 GiB.
+	MaxTotalAlloc int64
+}
+
+// DefaultLimits returns the package defaults, generous enough for any
+// proof this library produces at paper scale.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxProofBytes: 256 << 20,
+		MaxVecLen:     MaxVecLen,
+		MaxReps:       64,
+		MaxOpenings:   4096,
+		MaxTotalAlloc: 1 << 30,
+	}
+}
+
+// normalized fills zero fields with defaults so a partially-populated
+// Limits is never accidentally "no limit at all".
+func (l Limits) normalized() Limits {
+	d := DefaultLimits()
+	if l.MaxProofBytes <= 0 {
+		l.MaxProofBytes = d.MaxProofBytes
+	}
+	if l.MaxVecLen <= 0 {
+		l.MaxVecLen = d.MaxVecLen
+	}
+	if l.MaxReps <= 0 {
+		l.MaxReps = d.MaxReps
+	}
+	if l.MaxOpenings <= 0 {
+		l.MaxOpenings = d.MaxOpenings
+	}
+	if l.MaxTotalAlloc <= 0 {
+		l.MaxTotalAlloc = d.MaxTotalAlloc
+	}
+	return l
+}
 
 // Writer accumulates an encoded byte stream. The zero value is ready to
 // use.
@@ -39,9 +105,9 @@ func (w *Writer) Len() int { return len(w.buf) }
 
 // U64 appends one little-endian word.
 func (w *Writer) U64(v uint64) {
-	var b [8]byte
-	binary.LittleEndian.PutUint64(b[:], v)
-	w.buf = append(w.buf, b[:]...)
+	w.buf = append(w.buf,
+		byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
 }
 
 // Elem appends one field element.
@@ -58,14 +124,51 @@ func (w *Writer) Elems(v []field.Element) {
 // Digest appends a 32-byte digest.
 func (w *Writer) Digest(d hashfn.Digest) { w.buf = append(w.buf, d[:]...) }
 
-// Reader decodes a stream produced by Writer.
+// Reader decodes a stream produced by Writer. Construct with NewReader
+// (default limits) or NewReaderLimits.
 type Reader struct {
-	buf []byte
-	off int
+	buf    []byte
+	off    int
+	limits Limits
+	alloc  int64 // cumulative granted allocation, bytes
 }
 
-// NewReader wraps a buffer.
-func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+// NewReader wraps a buffer with DefaultLimits.
+func NewReader(b []byte) *Reader {
+	return &Reader{buf: b, limits: DefaultLimits()}
+}
+
+// NewReaderLimits wraps a buffer with caller-supplied limits (zero fields
+// fall back to defaults). It fails up front if the message itself exceeds
+// MaxProofBytes, before any parsing happens.
+func NewReaderLimits(b []byte, l Limits) (*Reader, error) {
+	l = l.normalized()
+	if len(b) > l.MaxProofBytes {
+		return nil, zkerr.Resourcef("wire: message is %d bytes, limit %d", len(b), l.MaxProofBytes)
+	}
+	return &Reader{buf: b, limits: l}, nil
+}
+
+// Limits returns the reader's normalized limits, for decoders that apply
+// structure-specific bounds (MaxReps, MaxOpenings).
+func (r *Reader) Limits() Limits { return r.limits }
+
+// Grant charges n bytes against the decode allocation budget. Decoders
+// call it before every make() whose size derives from untrusted input, so
+// hostile prefixes hit ErrBudget instead of the allocator.
+func (r *Reader) Grant(n int64) error {
+	if n < 0 {
+		return ErrOversized
+	}
+	r.alloc += n
+	if r.alloc > r.limits.MaxTotalAlloc {
+		return ErrBudget
+	}
+	return nil
+}
+
+// Granted returns the cumulative allocation charged so far (test hook).
+func (r *Reader) Granted() int64 { return r.alloc }
 
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
@@ -73,7 +176,7 @@ func (r *Reader) Remaining() int { return len(r.buf) - r.off }
 // Done returns an error unless the stream was fully consumed.
 func (r *Reader) Done() error {
 	if r.off != len(r.buf) {
-		return fmt.Errorf("wire: %d trailing bytes", len(r.buf)-r.off)
+		return zkerr.Malformedf("wire: %d trailing bytes", len(r.buf)-r.off)
 	}
 	return nil
 }
@@ -83,33 +186,37 @@ func (r *Reader) U64() (uint64, error) {
 	if r.Remaining() < 8 {
 		return 0, ErrTruncated
 	}
-	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	b := r.buf[r.off:]
+	v := uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
 	r.off += 8
 	return v, nil
 }
 
-// Elem reads one field element, validating canonical range.
+// Elem reads one field element, rejecting non-canonical encodings (≥ p).
 func (r *Reader) Elem() (field.Element, error) {
 	v, err := r.U64()
 	if err != nil {
 		return 0, err
 	}
-	if v >= field.Modulus {
-		return 0, fmt.Errorf("wire: non-canonical field element %d", v)
+	e, ok := field.FromCanonical(v)
+	if !ok {
+		return 0, ErrNonCanonical
 	}
-	return field.Element(v), nil
+	return e, nil
 }
 
-// Elems reads a length-prefixed element vector.
+// Elems reads a length-prefixed element vector. The declared count is
+// validated against the bytes remaining (fail fast: the elements must
+// actually be present) and charged against the allocation budget before
+// the vector is allocated.
 func (r *Reader) Elems() ([]field.Element, error) {
-	n, err := r.U64()
+	n, err := r.Count()
 	if err != nil {
 		return nil, err
 	}
-	// The elements must actually be present: bound allocations by the
-	// remaining buffer, so hostile prefixes cannot demand gigabytes.
-	if n > MaxVecLen || n > uint64(r.Remaining())/8 {
-		return nil, ErrOversized
+	if err := r.Grant(8 * int64(n)); err != nil {
+		return nil, err
 	}
 	out := make([]field.Element, n)
 	for i := range out {
@@ -132,13 +239,14 @@ func (r *Reader) Digest() (hashfn.Digest, error) {
 }
 
 // Count reads a length prefix bounded by MaxVecLen and by the remaining
-// buffer (every counted item occupies at least 8 bytes).
+// buffer (every counted item occupies at least 8 bytes), so the declared
+// count can never exceed what the message could possibly contain.
 func (r *Reader) Count() (int, error) {
 	n, err := r.U64()
 	if err != nil {
 		return 0, err
 	}
-	if n > MaxVecLen || n > uint64(r.Remaining())/8 {
+	if n > uint64(r.limits.MaxVecLen) || n > uint64(r.Remaining())/8 {
 		return 0, ErrOversized
 	}
 	return int(n), nil

@@ -1,0 +1,177 @@
+// Package zkerr defines the structured error taxonomy for the untrusted
+// verifier boundary. Proof bytes arrive over the paper's §V prover→verifier
+// link from parties that may be hostile, so every failure on the decode and
+// verify paths maps to one of a small set of stable sentinel errors that
+// callers match with errors.Is. The taxonomy separates four very different
+// conditions a serving layer must distinguish:
+//
+//   - ErrMalformedProof: the bytes fail structural validation (framing,
+//     truncation, non-canonical field elements). Cheap to detect, safe to
+//     reject before any cryptographic work.
+//   - ErrBadCommitment: commitment geometry is internally inconsistent or
+//     disagrees with the agreed parameters.
+//   - ErrSoundnessCheckFailed: the proof parses but a cryptographic check
+//     (sumcheck round, Merkle path, proximity test, final evaluation)
+//     rejects it.
+//   - ErrResourceLimit: the input demands more memory or repetition than
+//     the caller-configured DecodeLimits allow; decoding stops before the
+//     allocation happens.
+//   - ErrInternal: an invariant violation (recovered panic) inside the
+//     library. Never caused by well-behaved inputs; always a bug, but it
+//     must surface as an error, not a crash, when triggered by attacker
+//     bytes.
+//   - ErrUsage: invalid command-line or API usage (bad flags, impossible
+//     parameter combinations) in the cmd/ front ends.
+//
+// The package is a leaf: it imports only the standard library, so every
+// layer (wire, merkle, pcs, sumcheck, spartan, cmd) can depend on it
+// without cycles.
+package zkerr
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// Sentinel errors. Match with errors.Is; wrap with the helper
+// constructors so the chain stays intact.
+var (
+	ErrMalformedProof       = errors.New("zkerr: malformed proof")
+	ErrBadCommitment        = errors.New("zkerr: bad commitment")
+	ErrSoundnessCheckFailed = errors.New("zkerr: soundness check failed")
+	ErrResourceLimit        = errors.New("zkerr: resource limit exceeded")
+	ErrInternal             = errors.New("zkerr: internal error")
+	ErrUsage                = errors.New("zkerr: usage error")
+)
+
+// codedError carries a sentinel plus a human-readable detail message. The
+// detail comes first in Error() so logs read naturally; Unwrap exposes the
+// sentinel for errors.Is/As.
+type codedError struct {
+	sentinel error
+	msg      string
+}
+
+func (e *codedError) Error() string { return e.msg }
+func (e *codedError) Unwrap() error { return e.sentinel }
+
+// Wrap attaches a sentinel to a detail message.
+func Wrap(sentinel error, msg string) error {
+	return &codedError{sentinel: sentinel, msg: msg}
+}
+
+// Malformedf returns an ErrMalformedProof with formatted detail.
+func Malformedf(format string, args ...any) error {
+	return Wrap(ErrMalformedProof, fmt.Sprintf(format, args...))
+}
+
+// BadCommitmentf returns an ErrBadCommitment with formatted detail.
+func BadCommitmentf(format string, args ...any) error {
+	return Wrap(ErrBadCommitment, fmt.Sprintf(format, args...))
+}
+
+// Soundnessf returns an ErrSoundnessCheckFailed with formatted detail.
+func Soundnessf(format string, args ...any) error {
+	return Wrap(ErrSoundnessCheckFailed, fmt.Sprintf(format, args...))
+}
+
+// Resourcef returns an ErrResourceLimit with formatted detail.
+func Resourcef(format string, args ...any) error {
+	return Wrap(ErrResourceLimit, fmt.Sprintf(format, args...))
+}
+
+// Internalf returns an ErrInternal with formatted detail.
+func Internalf(format string, args ...any) error {
+	return Wrap(ErrInternal, fmt.Sprintf(format, args...))
+}
+
+// Usagef returns an ErrUsage with formatted detail.
+func Usagef(format string, args ...any) error {
+	return Wrap(ErrUsage, fmt.Sprintf(format, args...))
+}
+
+// Code returns the stable string code for an error's taxonomy class, or
+// "" if the error does not belong to the taxonomy. Codes are part of the
+// public surface: log pipelines and clients key on them.
+func Code(err error) string {
+	switch {
+	case err == nil:
+		return ""
+	case errors.Is(err, ErrMalformedProof):
+		return "malformed-proof"
+	case errors.Is(err, ErrBadCommitment):
+		return "bad-commitment"
+	case errors.Is(err, ErrSoundnessCheckFailed):
+		return "soundness-check-failed"
+	case errors.Is(err, ErrResourceLimit):
+		return "resource-limit"
+	case errors.Is(err, ErrInternal):
+		return "internal"
+	case errors.Is(err, ErrUsage):
+		return "usage"
+	}
+	return ""
+}
+
+// ExitCode maps an error to a process exit code for the cmd/ front ends:
+// distinct classes get distinct codes so scripts can branch on them.
+func ExitCode(err error) int {
+	switch Code(err) {
+	case "":
+		if err == nil {
+			return 0
+		}
+		return 1
+	case "usage":
+		return 2
+	case "malformed-proof", "bad-commitment":
+		return 3
+	case "soundness-check-failed":
+		return 4
+	case "resource-limit":
+		return 5
+	case "internal":
+		return 6
+	}
+	return 1
+}
+
+// InTaxonomy reports whether err maps to a defined sentinel.
+func InTaxonomy(err error) bool { return Code(err) != "" }
+
+// RecoverTo is the panic-containment hook for the trust boundary: deferred
+// at the top of Verify/UnmarshalProof (and Prove), it converts any panic —
+// including worker panics re-raised by internal/par — into an ErrInternal
+// stored in *err, so attacker bytes can never crash the process. The stack
+// is captured into the error detail for diagnosis but callers print only
+// err.Error() unless they opt into the full text.
+func RecoverTo(err *error, op string) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	// If the panic value already carries a taxonomy error (e.g. a decoder
+	// deliberately aborting through panic), keep its class.
+	if e, ok := r.(error); ok && InTaxonomy(e) {
+		*err = e
+		return
+	}
+	*err = &panicError{
+		codedError: codedError{
+			sentinel: ErrInternal,
+			msg:      fmt.Sprintf("%s: recovered panic: %v", op, r),
+		},
+		stack: debug.Stack(),
+	}
+}
+
+// panicError retains the recovered stack for diagnostics without printing
+// it by default.
+type panicError struct {
+	codedError
+	stack []byte
+}
+
+// Stack returns the goroutine stack captured at recovery time.
+func (e *panicError) Stack() []byte { return e.stack }

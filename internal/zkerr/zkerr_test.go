@@ -1,0 +1,124 @@
+package zkerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSentinelsAreDistinct(t *testing.T) {
+	sentinels := []error{
+		ErrMalformedProof, ErrBadCommitment, ErrSoundnessCheckFailed,
+		ErrResourceLimit, ErrInternal, ErrUsage,
+	}
+	for i, a := range sentinels {
+		for j, b := range sentinels {
+			if (i == j) != errors.Is(a, b) {
+				t.Fatalf("sentinel identity broken: %v vs %v", a, b)
+			}
+		}
+	}
+}
+
+func TestWrappersSatisfyIs(t *testing.T) {
+	cases := []struct {
+		err  error
+		want error
+		code string
+	}{
+		{Malformedf("bad magic %#x", 7), ErrMalformedProof, "malformed-proof"},
+		{BadCommitmentf("rows %d", 3), ErrBadCommitment, "bad-commitment"},
+		{Soundnessf("round %d", 2), ErrSoundnessCheckFailed, "soundness-check-failed"},
+		{Resourcef("%d bytes", 999), ErrResourceLimit, "resource-limit"},
+		{Internalf("oops"), ErrInternal, "internal"},
+		{Usagef("flag -n"), ErrUsage, "usage"},
+	}
+	for _, c := range cases {
+		if !errors.Is(c.err, c.want) {
+			t.Fatalf("%v does not match %v", c.err, c.want)
+		}
+		if Code(c.err) != c.code {
+			t.Fatalf("Code(%v) = %q, want %q", c.err, Code(c.err), c.code)
+		}
+		if !InTaxonomy(c.err) {
+			t.Fatalf("%v not in taxonomy", c.err)
+		}
+		// A further fmt.Errorf wrap must keep the chain intact.
+		deep := fmt.Errorf("outer: %w", c.err)
+		if !errors.Is(deep, c.want) || Code(deep) != c.code {
+			t.Fatalf("wrap of %v lost its class", c.err)
+		}
+	}
+}
+
+func TestCodeOutsideTaxonomy(t *testing.T) {
+	if Code(nil) != "" || Code(errors.New("plain")) != "" {
+		t.Fatal("non-taxonomy errors must map to empty code")
+	}
+	if InTaxonomy(errors.New("plain")) {
+		t.Fatal("plain error claimed to be in taxonomy")
+	}
+}
+
+func TestExitCodes(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("plain"), 1},
+		{Usagef("x"), 2},
+		{Malformedf("x"), 3},
+		{BadCommitmentf("x"), 3},
+		{Soundnessf("x"), 4},
+		{Resourcef("x"), 5},
+		{Internalf("x"), 6},
+	}
+	for _, c := range cases {
+		if got := ExitCode(c.err); got != c.want {
+			t.Fatalf("ExitCode(%v) = %d, want %d", c.err, got, c.want)
+		}
+	}
+}
+
+func TestRecoverToConvertsPanic(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverTo(&err, "test.op")
+		panic("boom")
+	}
+	err := run()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("recovered panic should be ErrInternal, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "boom") || !strings.Contains(err.Error(), "test.op") {
+		t.Fatalf("panic detail lost: %v", err)
+	}
+	var pe *panicError
+	if !errors.As(err, &pe) || len(pe.Stack()) == 0 {
+		t.Fatal("stack not captured")
+	}
+	if strings.Contains(err.Error(), "goroutine") {
+		t.Fatal("stack trace must not leak into Error()")
+	}
+}
+
+func TestRecoverToPreservesTaxonomyPanics(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverTo(&err, "test.op")
+		panic(Malformedf("already typed"))
+	}
+	if err := run(); !errors.Is(err, ErrMalformedProof) {
+		t.Fatalf("typed panic reclassified: %v", err)
+	}
+}
+
+func TestRecoverToNoPanicIsNoop(t *testing.T) {
+	run := func() (err error) {
+		defer RecoverTo(&err, "test.op")
+		return nil
+	}
+	if err := run(); err != nil {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

@@ -38,6 +38,32 @@ import (
 	"nocap/internal/sim"
 	"nocap/internal/spartan"
 	"nocap/internal/tasks"
+	"nocap/internal/wire"
+	"nocap/internal/zkerr"
+)
+
+// Error taxonomy (trust boundary, DESIGN.md §7). Every rejection from
+// Verify, UnmarshalProof, or Prove matches exactly one of these
+// sentinels under errors.Is; callers branch on the category, never on
+// message text.
+var (
+	// ErrMalformedProof: the byte stream or proof structure is invalid
+	// (truncation, bad magic, shape mismatch, non-canonical field
+	// element).
+	ErrMalformedProof = zkerr.ErrMalformedProof
+	// ErrBadCommitment: the commitment declares impossible or
+	// mismatched geometry.
+	ErrBadCommitment = zkerr.ErrBadCommitment
+	// ErrSoundnessCheckFailed: well-formed but cryptographically
+	// invalid — a soundness check (sum-check, proximity, Merkle path,
+	// final evaluation) rejected.
+	ErrSoundnessCheckFailed = zkerr.ErrSoundnessCheckFailed
+	// ErrResourceLimit: decoding would exceed the configured
+	// DecodeLimits.
+	ErrResourceLimit = zkerr.ErrResourceLimit
+	// ErrInternal: an invariant broke inside the library (contained
+	// panic); never caused by proof bytes alone.
+	ErrInternal = zkerr.ErrInternal
 )
 
 // Element is a Goldilocks-64 field element (p = 2^64 − 2^32 + 1).
@@ -98,8 +124,24 @@ func Verify(p Params, inst *Instance, io []Element, proof *Proof) error {
 func MarshalProof(proof *Proof) ([]byte, error) { return proof.MarshalBinary() }
 
 // UnmarshalProof decodes a serialized proof (format validation only;
-// call Verify for cryptographic checking).
+// call Verify for cryptographic checking). It applies
+// DefaultDecodeLimits; use UnmarshalProofLimits to tighten them.
 func UnmarshalProof(data []byte) (*Proof, error) { return spartan.UnmarshalProof(data) }
+
+// DecodeLimits bounds the resources an untrusted proof may claim while
+// being decoded: total input size, per-vector length, repetition count,
+// opened-column count, and the cumulative allocation budget. The zero
+// value of any field means "use the default".
+type DecodeLimits = wire.Limits
+
+// DefaultDecodeLimits returns the limits UnmarshalProof applies.
+func DefaultDecodeLimits() DecodeLimits { return wire.DefaultLimits() }
+
+// UnmarshalProofLimits decodes a serialized proof under caller-chosen
+// resource limits; violations are reported as ErrResourceLimit.
+func UnmarshalProofLimits(data []byte, limits DecodeLimits) (*Proof, error) {
+	return spartan.UnmarshalProofLimits(data, limits)
+}
 
 // Benchmark circuits (paper §VII-B).
 type Benchmark = circuits.Benchmark
