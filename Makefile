@@ -9,7 +9,7 @@ FUZZ_TARGETS = \
 	./internal/wire:FuzzReader \
 	./internal/cstream:FuzzDecode
 
-.PHONY: all build test vet race fuzz-smoke corpus ci
+.PHONY: all build test vet race chaos fuzz-smoke corpus ci
 
 all: build test
 
@@ -25,6 +25,14 @@ vet:
 race:
 	$(GO) test -race ./...
 
+# Fault-injection chaos matrix under the race detector: every injection
+# point × {error, panic} with leak checking and clean-retry assertions,
+# plus the cancellation-timing sweeps and the pool/injector/leakcheck
+# unit tests (DESIGN.md §8).
+chaos:
+	$(GO) test -race -run 'TestChaos|TestCancel' .
+	$(GO) test -race ./internal/par ./internal/faultinject ./internal/leakcheck
+
 # Run each fuzz target for $(FUZZTIME) from its seeded corpus. A finding
 # is written to the package's testdata/fuzz directory and fails the run.
 fuzz-smoke:
@@ -38,4 +46,4 @@ fuzz-smoke:
 corpus:
 	$(GO) run ./internal/advtest/gencorpus
 
-ci: vet build test race fuzz-smoke
+ci: vet build test race chaos fuzz-smoke

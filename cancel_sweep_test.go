@@ -1,0 +1,227 @@
+// Cancellation-timing sweep (ISSUE satellite): cancel ProveCtx at ~20
+// distinct points — half chosen by wall-clock fraction of a measured
+// clean prove, half pinned to exact injection points via faultinject
+// Hook plans — and assert the chaos invariants each time: the error (if
+// the prove didn't already finish) is context.Canceled or
+// context.DeadlineExceeded, the prover returns promptly after the
+// cancellation, no goroutines leak, and a clean retry succeeds.
+package nocap_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"nocap"
+	"nocap/internal/faultinject"
+	"nocap/internal/leakcheck"
+	"nocap/internal/zkerr"
+)
+
+// cancelReturnBudget bounds how long ProveCtx may keep running after its
+// context is cancelled. The checkpoint policy (DESIGN.md §8) targets
+// ≤100ms between checks at full scale; the bound here is looser only to
+// absorb scheduler noise on loaded CI runners.
+const cancelReturnBudget = 250 * time.Millisecond
+
+// sweepBench is a larger instance than the chaos matrix uses, so a
+// clean prove spans enough wall-clock time for fractional cancellation
+// to land at different stages.
+func sweepBench() (*nocap.Benchmark, nocap.Params) {
+	bm := nocap.Synthetic(1 << 13)
+	params := nocap.TestParams()
+	params.Reps = 2
+	if half := bm.Inst.NumVars() / 2; params.PCS.Rows > half {
+		params.PCS.Rows = half
+	}
+	return bm, params
+}
+
+func TestCancelSweepTimeBased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is not short")
+	}
+	bm, params := sweepBench()
+	prove := func(ctx context.Context) error {
+		_, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness)
+		return err
+	}
+
+	start := time.Now()
+	if err := prove(context.Background()); err != nil {
+		t.Fatalf("clean prove: %v", err)
+	}
+	cleanDur := time.Since(start)
+	t.Logf("clean prove: %v", cleanDur)
+
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10; i++ {
+		frac := rng.Float64()
+		delay := time.Duration(frac * float64(cleanDur))
+		snap := leakcheck.Take()
+		ctx, cancel := context.WithCancel(context.Background())
+		var cancelledAt time.Time
+		timer := time.AfterFunc(delay, func() {
+			cancelledAt = time.Now()
+			cancel()
+		})
+		err := prove(ctx)
+		returned := time.Now()
+		timer.Stop()
+		cancel()
+
+		if err != nil {
+			// The cancel beat the prove; it must surface as the raw
+			// context error, and the prover must have returned within the
+			// checkpoint budget of the cancellation instant.
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("sweep %d (%.0f%%): wrong error class: %v", i, 100*frac, err)
+			}
+			if lag := returned.Sub(cancelledAt); lag > cancelReturnBudget {
+				t.Fatalf("sweep %d (%.0f%%): prover ran %v past cancellation (budget %v)", i, 100*frac, lag, cancelReturnBudget)
+			}
+		}
+		snap.Check(t)
+	}
+
+	// Deadline flavor: a deadline shorter than the clean prove must
+	// surface DeadlineExceeded, and the overrun past the deadline must
+	// stay within the checkpoint budget.
+	for i := 0; i < 5; i++ {
+		frac := 0.1 + 0.15*float64(i)
+		deadline := time.Duration(frac * float64(cleanDur))
+		if deadline <= 0 {
+			deadline = time.Millisecond
+		}
+		snap := leakcheck.Take()
+		ctx, cancel := context.WithTimeout(context.Background(), deadline)
+		startRun := time.Now()
+		err := prove(ctx)
+		overrun := time.Since(startRun) - deadline
+		cancel()
+		if err == nil {
+			// The prove finished under the deadline (timing noise on a
+			// fast machine); nothing to assert beyond no-leak.
+			snap.Check(t)
+			continue
+		}
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("deadline sweep %d: wrong error class: %v", i, err)
+		}
+		if overrun > cancelReturnBudget {
+			t.Fatalf("deadline sweep %d: prover ran %v past its deadline (budget %v)", i, overrun, cancelReturnBudget)
+		}
+		snap.Check(t)
+	}
+
+	// Containment: after the whole sweep, a clean prove still succeeds.
+	if err := prove(context.Background()); err != nil {
+		t.Fatalf("clean prove after sweep failed: %v", err)
+	}
+}
+
+// TestCancelSweepInjectionPointBased pins cancellation to exact pipeline
+// positions: a Hook plan cancels the context at the Nth hit of a
+// recorded injection point, then the pipeline runs on to its next
+// cooperative checkpoint and must return context.Canceled. Seeds drive
+// faultinject.RandomPlan, so each seed deterministically selects the
+// same {point, hit}.
+func TestCancelSweepInjectionPointBased(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep is not short")
+	}
+	bm, params := sweepBench()
+	prove := func(ctx context.Context) error {
+		_, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness)
+		return err
+	}
+	trace := recordPoints(t, func() error { return prove(context.Background()) })
+
+	for seed := int64(0); seed < 10; seed++ {
+		plan := faultinject.RandomPlan(seed, trace, []faultinject.Kind{faultinject.Hook})
+		t.Run(plan.Point, func(t *testing.T) {
+			defer faultinject.Disarm()
+			snap := leakcheck.Take()
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			var cancelledAt time.Time
+			plan.Hook = func() error {
+				cancelledAt = time.Now()
+				cancel()
+				return nil
+			}
+			faultinject.Arm(plan)
+			err := prove(ctx)
+			returned := time.Now()
+			if !faultinject.Fired() {
+				t.Fatalf("hook at %s (hit %d) never fired", plan.Point, plan.Trigger)
+			}
+			faultinject.Disarm()
+			// The hook may land on the final checkpoint of the run, in
+			// which case the prove legitimately completes; otherwise the
+			// cancellation must surface raw and promptly.
+			if err != nil {
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("wrong error class after hook cancel: %v", err)
+				}
+				if lag := returned.Sub(cancelledAt); lag > cancelReturnBudget {
+					t.Fatalf("prover ran %v past cancellation at %s (budget %v)", lag, plan.Point, cancelReturnBudget)
+				}
+			}
+			snap.Check(t)
+			if err := prove(context.Background()); err != nil {
+				t.Fatalf("clean retry after hook cancel failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestCancelDelayWithDeadline combines the Delay fault kind with a
+// context deadline: the injected stall at a chosen stage makes the
+// deadline expire mid-pipeline, and the next checkpoint must surface
+// DeadlineExceeded.
+func TestCancelDelayWithDeadline(t *testing.T) {
+	bm, params := chaosBench()
+	for _, point := range []string{"spartan.prove.spmv", "pcs.commit.leaves", "sumcheck.prove.round"} {
+		t.Run(point, func(t *testing.T) {
+			defer faultinject.Disarm()
+			snap := leakcheck.Take()
+			faultinject.Arm(faultinject.Plan{Point: point, Kind: faultinject.Delay, Sleep: 80 * time.Millisecond})
+			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			defer cancel()
+			_, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("want DeadlineExceeded after injected stall at %s, got %v", point, err)
+			}
+			if !faultinject.Fired() {
+				t.Fatal("delay plan never fired")
+			}
+			faultinject.Disarm()
+			snap.Check(t)
+			if _, err := nocap.ProveCtx(context.Background(), params, bm.Inst, bm.IO, bm.Witness); err != nil {
+				t.Fatalf("clean retry failed: %v", err)
+			}
+		})
+	}
+}
+
+// TestCancelExitCodeMapping pins the CLI-facing contract: a cancelled or
+// timed-out run maps to the resource-limit exit code (5), matching the
+// -timeout documentation in cmd/nocap-prove.
+func TestCancelExitCodeMapping(t *testing.T) {
+	bm, params := chaosBench()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled prove: %v", err)
+	}
+	if code := zkerr.ExitCode(err); code != 5 {
+		t.Fatalf("cancelled prove maps to exit code %d, want 5 (resource limit)", code)
+	}
+	if code := zkerr.ExitCode(context.DeadlineExceeded); code != 5 {
+		t.Fatalf("deadline expiry maps to exit code %d, want 5", code)
+	}
+}

@@ -10,16 +10,25 @@
 //	nocap-bench -analysis       # §III multiply counts + §VIII-C ablations
 //	nocap-bench -usecases       # §I/§VIII use cases
 //	nocap-bench -measured 14    # run the real prover at 2^14 constraints
+//	nocap-bench -measured 18 -timeout 1m   # bound a long measured run
+//
+// SIGINT/SIGTERM (and -timeout expiry) cancel an in-flight -measured run
+// at its next cooperative checkpoint; the process then exits with the
+// resource-limit code (5) from the error taxonomy (DESIGN.md §7).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
+	"syscall"
 
 	"nocap/internal/experiments"
+	"nocap/internal/zkerr"
 )
 
 // writeBundle regenerates the whole evaluation into files.
@@ -66,7 +75,24 @@ func writeBundle(dir string) error {
 	return writeCSV("table4.csv", func(w io.Writer) error { return experiments.TableIV().WriteCSV(w) })
 }
 
+// measuredRun runs the real prover at 2^logN constraints under ctx and
+// prints the result, or reports the cancellation/fault error.
+func measuredRun(ctx context.Context, logN, reps int) error {
+	res, err := experiments.MeasuredCtx(ctx, logN, reps)
+	if err != nil {
+		return err
+	}
+	fmt.Print(res.Render())
+	return nil
+}
+
 func main() {
+	// Only the -measured path does open-ended work; the model-based tables
+	// and figures finish in milliseconds. A signal or -timeout cancels the
+	// measured prover at its next cooperative checkpoint.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	table := flag.Int("table", 0, "print one table (1-5)")
 	figure := flag.Int("figure", 0, "print one figure (5-8)")
 	analysis := flag.Bool("analysis", false, "print the §III and §VIII-C analyses")
@@ -76,7 +102,18 @@ func main() {
 	csv := flag.String("csv", "", "emit plot-ready CSV: figure7|figure8|table4")
 	outDir := flag.String("out", "", "write the full evaluation bundle (text + CSVs) to this directory")
 	reps := flag.Int("reps", 1, "soundness repetitions for -measured")
+	timeout := flag.Duration("timeout", 0, "abandon a -measured run after this duration (0 = no limit)")
 	flag.Parse()
+
+	if *timeout < 0 {
+		fmt.Fprintf(os.Stderr, "nocap-bench: -timeout must be non-negative, got %v\n", *timeout)
+		os.Exit(zkerr.ExitCode(zkerr.ErrUsage))
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	specific := *table != 0 || *figure != 0 || *analysis || *analysisProofs || *usecases || *measured != 0 || *csv != "" || *outDir != ""
 
@@ -122,7 +159,10 @@ func main() {
 		fmt.Println()
 		fmt.Print(experiments.PhotoEdit().Render())
 	case *measured != 0:
-		fmt.Print(experiments.Measured(*measured, *reps).Render())
+		if err := measuredRun(ctx, *measured, *reps); err != nil {
+			fmt.Fprintf(os.Stderr, "nocap-bench: %v\n", err)
+			os.Exit(zkerr.ExitCode(err))
+		}
 	case *csv != "":
 		var err error
 		switch *csv {
@@ -174,5 +214,8 @@ func main() {
 	fmt.Println()
 	fmt.Print(experiments.PhotoEdit().Render())
 	fmt.Println()
-	fmt.Print(experiments.Measured(14, 1).Render())
+	if err := measuredRun(ctx, 14, 1); err != nil {
+		fmt.Fprintf(os.Stderr, "nocap-bench: %v\n", err)
+		os.Exit(zkerr.ExitCode(err))
+	}
 }

@@ -9,17 +9,25 @@
 //	nocap-prove -circuit synthetic -n 65536 -reps 3
 //	nocap-prove -circuit rsa -out proof.bin      # save the proof
 //	nocap-prove -circuit rsa -in proof.bin       # verify a saved proof
+//	nocap-prove -circuit rsa -timeout 30s        # bound the whole run
 //
 // Exit codes follow the error taxonomy (DESIGN.md §7): 0 success,
-// 2 usage, 3 malformed proof, 4 soundness failure, 5 resource limit,
-// 6 internal error.
+// 2 usage, 3 malformed proof, 4 soundness failure, 5 resource limit
+// (including -timeout expiry and SIGINT/SIGTERM cancellation), 6
+// internal error. A cancelled run exits cleanly: the in-flight proof is
+// abandoned at its next checkpoint and -out never sees a partial file
+// (proofs are written to a temp file and renamed into place).
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"nocap"
@@ -70,7 +78,43 @@ func buildCircuit(name string, n int) (*nocap.Benchmark, error) {
 	return nil, zkerr.Usagef("unknown circuit %q (want aes|sha|rsa|auction|litmus|synthetic)", name)
 }
 
-func run() (err error) {
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus an atomic rename, so a crash, fault, or cancellation
+// mid-write never leaves a truncated proof at path.
+func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, mode); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return nil
+}
+
+func run(ctx context.Context) (err error) {
 	// A bug anywhere below must exit with a typed internal error, not a
 	// stack trace on the user's terminal.
 	defer zkerr.RecoverTo(&err, "nocap-prove")
@@ -83,6 +127,7 @@ func run() (err error) {
 	out := flag.String("out", "", "write the serialized proof to this file")
 	in := flag.String("in", "", "verify a serialized proof from this file instead of proving")
 	maxMB := flag.Int("max-proof-mb", 0, "reject serialized proofs larger than this many MB (0 = default limits)")
+	timeout := flag.Duration("timeout", 0, "abandon the run after this duration (0 = no limit)")
 	flag.Parse()
 
 	if *reps < 1 || *reps > 64 {
@@ -93,6 +138,14 @@ func run() (err error) {
 	}
 	if *maxMB < 0 {
 		return zkerr.Usagef("-max-proof-mb must be non-negative, got %d", *maxMB)
+	}
+	if *timeout < 0 {
+		return zkerr.Usagef("-timeout must be non-negative, got %v", *timeout)
+	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	bm, err := buildCircuit(*circuit, *n)
@@ -124,7 +177,7 @@ func run() (err error) {
 		if err != nil {
 			return fmt.Errorf("decode proof: %w", err)
 		}
-		if err := nocap.Verify(params, bm.Inst, bm.IO, proof); err != nil {
+		if err := nocap.VerifyCtx(ctx, params, bm.Inst, bm.IO, proof); err != nil {
 			return fmt.Errorf("verify: %w", err)
 		}
 		fmt.Printf("proof from %s verified (%d bytes)\n", *in, len(data))
@@ -132,7 +185,7 @@ func run() (err error) {
 	}
 
 	start := time.Now()
-	proof, err := nocap.Prove(params, bm.Inst, bm.IO, bm.Witness)
+	proof, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness)
 	if err != nil {
 		return fmt.Errorf("prove: %w", err)
 	}
@@ -144,14 +197,14 @@ func run() (err error) {
 		if err != nil {
 			return fmt.Errorf("marshal: %w", err)
 		}
-		if err := os.WriteFile(*out, data, 0o644); err != nil {
+		if err := writeFileAtomic(*out, data, 0o644); err != nil {
 			return fmt.Errorf("write: %w", err)
 		}
 		fmt.Printf("proof written to %s (%d bytes)\n", *out, len(data))
 	}
 
 	start = time.Now()
-	if err := nocap.Verify(params, bm.Inst, bm.IO, proof); err != nil {
+	if err := nocap.VerifyCtx(ctx, params, bm.Inst, bm.IO, proof); err != nil {
 		return fmt.Errorf("verify: %w", err)
 	}
 	fmt.Printf("verified in %v\n", time.Since(start).Round(time.Millisecond))
@@ -159,10 +212,20 @@ func run() (err error) {
 }
 
 func main() {
-	if err := run(); err != nil {
+	// SIGINT/SIGTERM cancel the context: the in-flight prove/verify is
+	// abandoned at its next cooperative checkpoint and the process exits
+	// with the resource-limit code instead of being killed mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "nocap-prove: %v\n", err)
-		if errors.Is(err, zkerr.ErrUsage) {
+		switch {
+		case errors.Is(err, zkerr.ErrUsage):
 			fmt.Fprintln(os.Stderr, "run with -h for usage")
+		case errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintln(os.Stderr, "run abandoned: -timeout expired")
+		case errors.Is(err, context.Canceled):
+			fmt.Fprintln(os.Stderr, "run abandoned: interrupted")
 		}
 		os.Exit(zkerr.ExitCode(err))
 	}

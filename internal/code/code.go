@@ -12,6 +12,7 @@
 package code
 
 import (
+	"context"
 	"math/rand"
 
 	"nocap/internal/field"
@@ -60,6 +61,23 @@ func (c *ReedSolomon) Encode(msg []field.Element) []field.Element {
 	copy(cw, msg)
 	ntt.Forward(cw)
 	return cw
+}
+
+// EncodeCtx is Encode with cooperative cancellation, checked inside the
+// underlying NTT between butterfly stages. The PCS prefers this variant
+// when a code provides it (see pcs.encodeCtx) so long row encodes stop
+// promptly when a proving context is cancelled.
+func (c *ReedSolomon) EncodeCtx(ctx context.Context, msg []field.Element) ([]field.Element, error) {
+	n := len(msg)
+	if n == 0 || n&(n-1) != 0 {
+		panic("code: message length must be a positive power of two")
+	}
+	cw := make([]field.Element, n*c.BlowupFactor)
+	copy(cw, msg)
+	if err := ntt.ForwardCtx(ctx, cw); err != nil {
+		return nil, err
+	}
+	return cw, nil
 }
 
 // Blowup implements Code.

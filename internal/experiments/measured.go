@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -33,6 +34,17 @@ type MeasuredResult struct {
 // proves and verifies it with the real Spartan+Orion implementation, and
 // times the underlying tasks individually.
 func Measured(logN, reps int) MeasuredResult {
+	res, err := MeasuredCtx(context.Background(), logN, reps)
+	if err != nil {
+		panic("experiments: measured run failed: " + err.Error())
+	}
+	return res
+}
+
+// MeasuredCtx is Measured under a context: a long measured run (the CLI
+// allows 2^20+ constraints) can be abandoned via -timeout or SIGINT,
+// with the in-flight prove cancelled at its next checkpoint.
+func MeasuredCtx(ctx context.Context, logN, reps int) (MeasuredResult, error) {
 	bm := circuits.Synthetic(1 << uint(logN))
 	params := spartan.DefaultParams()
 	params.Reps = reps
@@ -43,14 +55,17 @@ func Measured(logN, reps int) MeasuredResult {
 	}
 
 	start := time.Now()
-	proof, err := spartan.Prove(params, bm.Inst, bm.IO, bm.Witness)
+	proof, err := spartan.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness)
 	proveSec := time.Since(start).Seconds()
 	if err != nil {
-		panic("experiments: measured prove failed: " + err.Error())
+		return MeasuredResult{}, fmt.Errorf("experiments: measured prove: %w", err)
 	}
 	start = time.Now()
-	verr := spartan.Verify(params, bm.Inst, bm.IO, proof)
+	verr := spartan.VerifyCtx(ctx, params, bm.Inst, bm.IO, proof)
 	verifySec := time.Since(start).Seconds()
+	if verr != nil && ctx.Err() != nil {
+		return MeasuredResult{}, fmt.Errorf("experiments: measured verify: %w", verr)
+	}
 
 	res := MeasuredResult{
 		LogN:              logN,
@@ -68,9 +83,18 @@ func Measured(logN, reps int) MeasuredResult {
 	z := bm.Inst.AssembleZ(bm.IO, bm.Witness)
 
 	start = time.Now()
-	az := bm.Inst.A.Mul(z)
-	bz := bm.Inst.B.Mul(z)
-	cz := bm.Inst.C.Mul(z)
+	az, err := bm.Inst.A.MulCtx(ctx, z)
+	if err != nil {
+		return MeasuredResult{}, err
+	}
+	bz, err := bm.Inst.B.MulCtx(ctx, z)
+	if err != nil {
+		return MeasuredResult{}, err
+	}
+	cz, err := bm.Inst.C.MulCtx(ctx, z)
+	if err != nil {
+		return MeasuredResult{}, err
+	}
 	res.TaskSeconds["spmv"] = time.Since(start).Seconds()
 
 	// Sumcheck: the outer degree-3 protocol, per repetition.
@@ -84,9 +108,11 @@ func Measured(logN, reps int) MeasuredResult {
 			poly.NewMLE(append([]field.Element(nil), bz...)),
 			poly.NewMLE(append([]field.Element(nil), cz...)),
 		}
-		sumcheck.Prove(tr, "outer", field.Zero, arrays, 3, func(v []field.Element) field.Element {
+		if _, _, _, err := sumcheck.ProveCtx(ctx, tr, "outer", field.Zero, arrays, 3, func(v []field.Element) field.Element {
 			return field.Mul(v[0], field.Sub(field.Mul(v[1], v[2]), v[3]))
-		})
+		}); err != nil {
+			return MeasuredResult{}, err
+		}
 	}
 	res.TaskSeconds["sumcheck"] = time.Since(start).Seconds()
 
@@ -105,8 +131,8 @@ func Measured(logN, reps int) MeasuredResult {
 	res.TaskSeconds["rs-encode"] = time.Since(start).Seconds()
 
 	start = time.Now()
-	if _, err := pcs.Commit(pp, witness); err != nil {
-		panic("experiments: commit failed: " + err.Error())
+	if _, err := pcs.CommitCtx(ctx, pp, witness); err != nil {
+		return MeasuredResult{}, fmt.Errorf("experiments: measured commit: %w", err)
 	}
 	commitSec := time.Since(start).Seconds()
 	merkleSec := commitSec - res.TaskSeconds["rs-encode"]
@@ -132,7 +158,7 @@ func Measured(logN, reps int) MeasuredResult {
 	for k, v := range res.TaskSeconds {
 		res.TaskShares[k] = v / total
 	}
-	return res
+	return res, nil
 }
 
 // Render prints the measured run.

@@ -1,0 +1,235 @@
+// Package faultinject is a deterministic, seedable fault-injection
+// registry for chaos-testing the proving pipeline. Long-running stages
+// (sumcheck rounds, row encodes, Merkle builds, SpMV, worker-pool chunk
+// bodies) call Check with a stable point name at each stage boundary;
+// when a test has armed a Plan naming that point, the Nth hit fires an
+// injected error, a panic, an artificial delay, or an arbitrary hook
+// (used by cancellation-timing tests to cancel a context at an exact
+// pipeline position).
+//
+// When nothing is armed, Check is a single atomic pointer load and a
+// nil comparison — the production build pays no measurable cost, and
+// injection points are only placed at chunk/stage granularity, never
+// inside per-element arithmetic loops.
+//
+// Determinism: triggers are count-based ("the Nth time execution
+// reaches point P"), not time- or scheduler-based, so a given
+// {point, kind, trigger} cell of a chaos matrix fails the pipeline at
+// the same logical position every run. RandomPlan derives a Plan from
+// an integer seed for sweep tests. The registry is process-global
+// (matching the pipeline's package-level entry points), so tests that
+// arm it must not run in parallel with each other.
+package faultinject
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nocap/internal/zkerr"
+)
+
+// Kind selects what an armed Plan does when it fires.
+type Kind uint8
+
+const (
+	// Error makes Check return Plan.Err (or a default
+	// zkerr.ErrInternal-wrapped error) from the injection point.
+	Error Kind = iota + 1
+	// Panic makes Check panic with Plan.PanicValue (or a default
+	// string), exercising the pipeline's panic-containment layers.
+	Panic
+	// Delay makes Check sleep for Plan.Sleep and then continue,
+	// simulating a stalled stage (combine with a context deadline to
+	// force DeadlineExceeded at a chosen point).
+	Delay
+	// Hook makes Check call Plan.Hook and return its error. Hooks that
+	// cancel a context and return nil cancel the pipeline at an exact
+	// injection point while letting it run to its next checkpoint.
+	Hook
+)
+
+// String names the kind for subtest labels.
+func (k Kind) String() string {
+	switch k {
+	case Error:
+		return "error"
+	case Panic:
+		return "panic"
+	case Delay:
+		return "delay"
+	case Hook:
+		return "hook"
+	}
+	return "none"
+}
+
+// Plan describes one fault: fire Kind at the Trigger-th hit of Point.
+type Plan struct {
+	// Point is the injection-point name to fire at.
+	Point string
+	// Kind is what happens when the plan fires.
+	Kind Kind
+	// Trigger is the 1-based hit count of Point on which to fire; 0
+	// means 1 (the first hit).
+	Trigger uint64
+	// Err is returned for Kind == Error; nil selects a default error
+	// wrapping zkerr.ErrInternal.
+	Err error
+	// PanicValue is the panic argument for Kind == Panic; nil selects a
+	// default string naming the point.
+	PanicValue any
+	// Sleep is the stall duration for Kind == Delay.
+	Sleep time.Duration
+	// Hook runs for Kind == Hook; its error (possibly nil) is returned
+	// from Check.
+	Hook func() error
+}
+
+// injector is the armed state: either a recording session or one Plan.
+type injector struct {
+	mu        sync.Mutex
+	plan      Plan
+	counts    map[string]uint64
+	recording bool
+	trace     []string
+	fired     bool
+}
+
+var active atomic.Pointer[injector]
+
+// Arm installs the plan, replacing any armed plan or recording session.
+// Hit counters restart from zero.
+func Arm(plan Plan) {
+	active.Store(&injector{plan: plan, counts: make(map[string]uint64)})
+}
+
+// Disarm removes any armed plan or recording session, restoring the
+// zero-cost path.
+func Disarm() {
+	active.Store(nil)
+}
+
+// Fired reports whether the armed plan has fired. False if nothing is
+// armed. Chaos tests assert it after a run so a cell whose point was
+// never reached (e.g. a verify-path point during prove) fails loudly
+// instead of passing vacuously.
+func Fired() bool {
+	inj := active.Load()
+	if inj == nil {
+		return false
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.fired
+}
+
+// StartRecording arms a recorder: every Check hit is appended to a
+// trace instead of firing anything.
+func StartRecording() {
+	active.Store(&injector{recording: true, counts: make(map[string]uint64)})
+}
+
+// StopRecording disarms the recorder and returns the ordered list of
+// point names hit since StartRecording (one entry per hit, so
+// duplicates give per-point hit counts). Returns nil if no recorder was
+// armed.
+func StopRecording() []string {
+	inj := active.Swap(nil)
+	if inj == nil || !inj.recording {
+		return nil
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.trace
+}
+
+// HitCounts aggregates a StopRecording trace into per-point totals.
+func HitCounts(trace []string) map[string]uint64 {
+	counts := make(map[string]uint64)
+	for _, p := range trace {
+		counts[p]++
+	}
+	return counts
+}
+
+// Check is the injection point. It is called with a stable name at
+// every stage boundary; with nothing armed it returns nil after one
+// atomic load. With a plan armed it counts the hit and fires the
+// plan's fault if this is the trigger hit.
+func Check(point string) error {
+	inj := active.Load()
+	if inj == nil {
+		return nil
+	}
+	return inj.check(point)
+}
+
+func (inj *injector) check(point string) error {
+	inj.mu.Lock()
+	inj.counts[point]++
+	n := inj.counts[point]
+	if inj.recording {
+		inj.trace = append(inj.trace, point)
+		inj.mu.Unlock()
+		return nil
+	}
+	p := inj.plan
+	trigger := p.Trigger
+	if trigger == 0 {
+		trigger = 1
+	}
+	if inj.fired || p.Point != point || n != trigger {
+		inj.mu.Unlock()
+		return nil
+	}
+	inj.fired = true
+	inj.mu.Unlock()
+
+	switch p.Kind {
+	case Error:
+		if p.Err != nil {
+			return p.Err
+		}
+		return zkerr.Internalf("faultinject: injected error at %s (hit %d)", point, n)
+	case Panic:
+		v := p.PanicValue
+		if v == nil {
+			v = "faultinject: injected panic at " + point
+		}
+		panic(v)
+	case Delay:
+		time.Sleep(p.Sleep)
+	case Hook:
+		if p.Hook != nil {
+			return p.Hook()
+		}
+	}
+	return nil
+}
+
+// RandomPlan derives a deterministic Plan from seed: a point drawn from
+// points, a kind from kinds, and a trigger in [1, counts[point]]. The
+// same (seed, trace) always yields the same plan, so sweep tests can
+// enumerate seeds and stay reproducible.
+func RandomPlan(seed int64, trace []string, kinds []Kind) Plan {
+	counts := HitCounts(trace)
+	points := make([]string, 0, len(counts))
+	for p := range counts {
+		points = append(points, p)
+	}
+	// Map iteration order is random; sort for determinism.
+	for i := 1; i < len(points); i++ {
+		for j := i; j > 0 && points[j] < points[j-1]; j-- {
+			points[j], points[j-1] = points[j-1], points[j]
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	point := points[rng.Intn(len(points))]
+	return Plan{
+		Point:   point,
+		Kind:    kinds[rng.Intn(len(kinds))],
+		Trigger: 1 + uint64(rng.Int63n(int64(counts[point]))),
+	}
+}

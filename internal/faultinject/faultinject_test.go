@@ -1,0 +1,183 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nocap/internal/zkerr"
+)
+
+func TestUnarmedCheckIsNil(t *testing.T) {
+	Disarm()
+	for i := 0; i < 100; i++ {
+		if err := Check("any.point"); err != nil {
+			t.Fatalf("unarmed Check returned %v", err)
+		}
+	}
+	if Fired() {
+		t.Fatal("Fired true with nothing armed")
+	}
+}
+
+func TestErrorKindFiresExactlyOnTrigger(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "stage.a", Kind: Error, Trigger: 3})
+	for i := 1; i <= 5; i++ {
+		// A different point never fires regardless of hit count.
+		if err := Check("stage.b"); err != nil {
+			t.Fatalf("wrong point fired on hit %d: %v", i, err)
+		}
+		err := Check("stage.a")
+		if i == 3 {
+			if err == nil {
+				t.Fatalf("hit %d: trigger did not fire", i)
+			}
+			if !errors.Is(err, zkerr.ErrInternal) {
+				t.Fatalf("default injected error not ErrInternal: %v", err)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d fired unexpectedly: %v", i, err)
+		}
+	}
+	if !Fired() {
+		t.Fatal("Fired false after the trigger hit")
+	}
+}
+
+func TestErrorKindCustomError(t *testing.T) {
+	defer Disarm()
+	boom := errors.New("custom boom")
+	Arm(Plan{Point: "p", Kind: Error, Err: boom}) // Trigger 0 means first hit
+	if err := Check("p"); !errors.Is(err, boom) {
+		t.Fatalf("want custom error, got %v", err)
+	}
+}
+
+func TestPanicKind(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "p", Kind: Panic, PanicValue: "detonate"})
+	caught := func() (v any) {
+		defer func() { v = recover() }()
+		Check("p")
+		return nil
+	}()
+	if caught != "detonate" {
+		t.Fatalf("want injected panic value, got %v", caught)
+	}
+	if !Fired() {
+		t.Fatal("panic plan not marked fired")
+	}
+}
+
+func TestDelayKind(t *testing.T) {
+	defer Disarm()
+	Arm(Plan{Point: "p", Kind: Delay, Sleep: 30 * time.Millisecond})
+	start := time.Now()
+	if err := Check("p"); err != nil {
+		t.Fatalf("delay returned error: %v", err)
+	}
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("delay fired for only %v", d)
+	}
+	// Subsequent hits are free: the plan fires once.
+	start = time.Now()
+	Check("p")
+	if d := time.Since(start); d > 10*time.Millisecond {
+		t.Fatalf("second hit stalled %v after the plan already fired", d)
+	}
+}
+
+func TestHookKind(t *testing.T) {
+	defer Disarm()
+	called := 0
+	Arm(Plan{Point: "p", Kind: Hook, Trigger: 2, Hook: func() error {
+		called++
+		return nil
+	}})
+	Check("p")
+	Check("p")
+	Check("p")
+	if called != 1 {
+		t.Fatalf("hook called %d times, want exactly 1", called)
+	}
+}
+
+func TestRecordingTraceAndHitCounts(t *testing.T) {
+	StartRecording()
+	Check("a")
+	Check("b")
+	Check("a")
+	trace := StopRecording()
+	want := []string{"a", "b", "a"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace %v, want %v", trace, want)
+		}
+	}
+	counts := HitCounts(trace)
+	if counts["a"] != 2 || counts["b"] != 1 {
+		t.Fatalf("counts %v", counts)
+	}
+	// While recording, nothing fires and Check never errors.
+	if Fired() {
+		t.Fatal("recording session reported fired")
+	}
+	if got := StopRecording(); got != nil {
+		t.Fatalf("second StopRecording returned %v", got)
+	}
+}
+
+func TestRandomPlanDeterministicAndInRange(t *testing.T) {
+	trace := []string{"x", "y", "x", "z", "x", "y"}
+	counts := HitCounts(trace)
+	kinds := []Kind{Error, Panic, Hook}
+	for seed := int64(0); seed < 50; seed++ {
+		p1 := RandomPlan(seed, trace, kinds)
+		p2 := RandomPlan(seed, trace, kinds)
+		if p1.Point != p2.Point || p1.Kind != p2.Kind || p1.Trigger != p2.Trigger {
+			t.Fatalf("seed %d not deterministic: %+v vs %+v", seed, p1, p2)
+		}
+		if counts[p1.Point] == 0 {
+			t.Fatalf("seed %d chose point %q not in trace", seed, p1.Point)
+		}
+		if p1.Trigger < 1 || p1.Trigger > counts[p1.Point] {
+			t.Fatalf("seed %d trigger %d outside [1,%d] for %q", seed, p1.Trigger, counts[p1.Point], p1.Point)
+		}
+		found := false
+		for _, k := range kinds {
+			if p1.Kind == k {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("seed %d chose kind %v outside the requested set", seed, p1.Kind)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Error: "error", Panic: "panic", Delay: "delay", Hook: "hook", Kind(0): "none"} {
+		if got := k.String(); got != want {
+			t.Fatalf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestArmReplacesAndDisarmRestoresFastPath(t *testing.T) {
+	Arm(Plan{Point: "p", Kind: Error})
+	Arm(Plan{Point: "q", Kind: Error})
+	if err := Check("p"); err != nil {
+		t.Fatalf("replaced plan still fired: %v", err)
+	}
+	if err := Check("q"); err == nil {
+		t.Fatal("re-armed plan did not fire")
+	}
+	Disarm()
+	if err := Check("q"); err != nil {
+		t.Fatalf("disarmed Check returned %v", err)
+	}
+}

@@ -1,0 +1,175 @@
+// Package leakcheck is a snapshot-diff goroutine-leak checker for the
+// chaos test suite. A cancelled or faulted Prove must hand back every
+// worker goroutine it started: tests take a Snapshot before the
+// operation and call Check after it, which fails the test if goroutines
+// that were not running at snapshot time are still running once a
+// grace period expires.
+//
+// Goroutines are compared by a normalized stack signature (function
+// names only — no goroutine ids, argument values, or addresses), so
+// two idle workers parked at the same select are the same signature
+// and pre-existing runtime/testing goroutines never count as leaks.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is the set of goroutine stack signatures at a point in time.
+type Snapshot struct {
+	counts map[string]int
+}
+
+// TB is the subset of testing.TB the checker needs (kept local so the
+// package stays importable from non-test helpers).
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Take captures the current goroutines.
+func Take() *Snapshot {
+	return &Snapshot{counts: signatures()}
+}
+
+// defaultGrace is how long Check waits for goroutines to drain before
+// declaring a leak. Cancellation is asynchronous: workers observe a
+// cancelled context at their next checkpoint, so a short settle time is
+// expected and is not a leak.
+const defaultGrace = 2 * time.Second
+
+// Check fails t if goroutines not present in the snapshot are still
+// running after the default grace period.
+func (s *Snapshot) Check(t TB) {
+	t.Helper()
+	s.CheckTimeout(t, defaultGrace)
+}
+
+// CheckTimeout is Check with an explicit grace period.
+func (s *Snapshot) CheckTimeout(t TB, grace time.Duration) {
+	t.Helper()
+	leaked := s.wait(grace)
+	if len(leaked) == 0 {
+		return
+	}
+	var b strings.Builder
+	for _, sig := range leaked {
+		fmt.Fprintf(&b, "  %s\n", sig)
+	}
+	t.Errorf("leakcheck: %d leaked goroutine signature(s) after %v:\n%s", len(leaked), grace, b.String())
+}
+
+// Leaked returns the leaked signatures after the grace period (empty if
+// clean); exported for tests of the checker itself.
+func (s *Snapshot) Leaked(grace time.Duration) []string {
+	return s.wait(grace)
+}
+
+// wait polls until no new goroutines remain or the grace period ends,
+// returning the still-leaked signatures (sorted, with counts).
+func (s *Snapshot) wait(grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		leaked := s.diff()
+		if len(leaked) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			sort.Strings(leaked)
+			return leaked
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// diff returns signatures running now that exceed their snapshot count.
+func (s *Snapshot) diff() []string {
+	now := signatures()
+	var leaked []string
+	for sig, n := range now {
+		if extra := n - s.counts[sig]; extra > 0 {
+			leaked = append(leaked, fmt.Sprintf("%s ×%d", sig, extra))
+		}
+	}
+	return leaked
+}
+
+// signatures captures all goroutine stacks and aggregates them by
+// normalized signature, skipping runtime/testing infrastructure and the
+// calling goroutine.
+func signatures() map[string]int {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	counts := make(map[string]int)
+	for i, g := range strings.Split(string(buf), "\n\n") {
+		sig, ok := normalize(g)
+		if !ok || i == 0 { // goroutine 0 of the dump is the caller
+			continue
+		}
+		counts[sig]++
+	}
+	return counts
+}
+
+// normalize reduces one goroutine dump to a stable signature: the
+// chain of function names from innermost frame to creation site.
+// It reports ok=false for goroutines that should never count as leaks.
+func normalize(g string) (string, bool) {
+	lines := strings.Split(strings.TrimSpace(g), "\n")
+	if len(lines) < 2 || !strings.HasPrefix(lines[0], "goroutine ") {
+		return "", false
+	}
+	var funcs []string
+	for _, line := range lines[1:] {
+		if strings.HasPrefix(line, "\t") { // file:line frame detail
+			continue
+		}
+		name := line
+		if i := strings.LastIndex(name, "("); i > 0 {
+			name = name[:i]
+		}
+		name = strings.TrimPrefix(name, "created by ")
+		name = strings.TrimSpace(name)
+		if j := strings.Index(name, " in goroutine"); j > 0 {
+			name = name[:j]
+		}
+		if name != "" {
+			funcs = append(funcs, name)
+		}
+	}
+	if len(funcs) == 0 {
+		return "", false
+	}
+	sig := strings.Join(funcs, " <- ")
+	for _, skip := range []string{
+		"testing.RunTests",
+		"testing.(*T).Run",
+		"testing.(*M).",
+		"testing.tRunner",
+		"testing.runFuzzing",
+		"runtime.gc",
+		"runtime.bgsweep",
+		"runtime.bgscavenge",
+		"runtime.forcegchelper",
+		"runtime.runfinq",
+		"runtime.ReadTrace",
+		"os/signal.signal_recv",
+		"os/signal.loop",
+	} {
+		if strings.Contains(sig, skip) {
+			return "", false
+		}
+	}
+	return sig, true
+}

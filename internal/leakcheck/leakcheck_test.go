@@ -1,0 +1,86 @@
+package leakcheck
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCleanSnapshotHasNoLeaks(t *testing.T) {
+	snap := Take()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+	if leaked := snap.Leaked(time.Second); len(leaked) != 0 {
+		t.Fatalf("finished goroutines reported as leaks: %v", leaked)
+	}
+}
+
+func TestDetectsBlockedGoroutine(t *testing.T) {
+	snap := Take()
+	release := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	leaked := snap.Leaked(50 * time.Millisecond)
+	if len(leaked) == 0 {
+		t.Fatal("blocked goroutine not detected as a leak")
+	}
+	found := false
+	for _, sig := range leaked {
+		if strings.Contains(sig, "leakcheck") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("leak signature does not name the leaking package: %v", leaked)
+	}
+	close(release)
+	// Once released, the same snapshot drains clean within the grace period.
+	if leaked := snap.Leaked(time.Second); len(leaked) != 0 {
+		t.Fatalf("released goroutine still reported: %v", leaked)
+	}
+}
+
+func TestGracePeriodAbsorbsSlowExits(t *testing.T) {
+	snap := Take()
+	go func() { time.Sleep(50 * time.Millisecond) }()
+	// The goroutine outlives the operation but exits within the grace
+	// period, so it is settling, not leaking.
+	if leaked := snap.Leaked(time.Second); len(leaked) != 0 {
+		t.Fatalf("slow-exiting goroutine reported as a leak: %v", leaked)
+	}
+}
+
+// errorfRecorder lets the test observe Check's failure path without
+// failing itself.
+type errorfRecorder struct {
+	calls int
+}
+
+func (r *errorfRecorder) Helper()                           {}
+func (r *errorfRecorder) Errorf(format string, args ...any) { r.calls++ }
+
+func TestCheckReportsThroughTB(t *testing.T) {
+	snap := Take()
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		<-release
+	}()
+	<-started
+	var rec errorfRecorder
+	snap.CheckTimeout(&rec, 20*time.Millisecond)
+	if rec.calls != 1 {
+		t.Fatalf("CheckTimeout reported %d failures, want 1", rec.calls)
+	}
+}

@@ -6,8 +6,10 @@
 package merkle
 
 import (
+	"context"
 	"math/bits"
 
+	"nocap/internal/faultinject"
 	"nocap/internal/field"
 	"nocap/internal/hashfn"
 	"nocap/internal/zkerr"
@@ -27,8 +29,27 @@ func LeafOfColumn(col []field.Element) hashfn.Digest {
 }
 
 // New builds a tree over the given leaves. The number of leaves must be a
-// power of two and non-zero.
+// power of two and non-zero. An injected fault (chaos tests only)
+// escapes as a panic contained by the caller's zkerr boundary;
+// context-aware callers use NewCtx.
 func New(leaves []hashfn.Digest) *Tree {
+	t, err := NewCtx(context.Background(), leaves)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ctxCheckInterval is how many interior-node hashes a tree build does
+// between context checks: coarse enough to be free, fine enough that a
+// cancelled multi-million-leaf build stops within a few thousand hashes.
+const ctxCheckInterval = 1 << 12
+
+// NewCtx is New with cooperative cancellation: the build checks the
+// context every ctxCheckInterval hashes within each level and passes
+// through the "merkle.build.level" fault-injection point once per
+// level.
+func NewCtx(ctx context.Context, leaves []hashfn.Digest) (*Tree, error) {
 	n := len(leaves)
 	if n == 0 || n&(n-1) != 0 {
 		panic("merkle: leaf count must be a positive power of two")
@@ -37,14 +58,25 @@ func New(leaves []hashfn.Digest) *Tree {
 	levels := make([][]hashfn.Digest, depth+1)
 	levels[0] = append([]hashfn.Digest(nil), leaves...)
 	for d := 1; d <= depth; d++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := faultinject.Check("merkle.build.level"); err != nil {
+			return nil, err
+		}
 		prev := levels[d-1]
 		cur := make([]hashfn.Digest, len(prev)/2)
 		for i := range cur {
+			if i&(ctxCheckInterval-1) == 0 && i > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			cur[i] = hashfn.Hash2(prev[2*i], prev[2*i+1])
 		}
 		levels[d] = cur
 	}
-	return &Tree{levels: levels}
+	return &Tree{levels: levels}, nil
 }
 
 // NumLeaves returns the leaf count.

@@ -9,9 +9,11 @@
 package ntt
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
+	"nocap/internal/faultinject"
 	"nocap/internal/field"
 )
 
@@ -80,16 +82,37 @@ func bitReverse(v []field.Element) {
 
 // Forward computes the in-place cyclic NTT of v: v[k] ← Σ_j v[j]·w^(jk)
 // with w a primitive len(v)-th root of unity. Output is in natural order.
+// An injected fault (chaos tests only) escapes as a panic and is
+// contained by the caller's zkerr boundary; context-aware callers use
+// ForwardCtx instead.
 func Forward(v []field.Element) {
+	if err := ForwardCtx(context.Background(), v); err != nil {
+		panic(err)
+	}
+}
+
+// ForwardCtx is Forward with cooperative cancellation: the transform
+// checks the context between butterfly stages (each stage is O(n), so a
+// cancelled 2^20-point transform stops within a fraction of a
+// millisecond of work) and passes through the "ntt.forward" fault
+// injection point on entry. On cancellation v is left partially
+// transformed and must be discarded.
+func ForwardCtx(ctx context.Context, v []field.Element) error {
 	logN := checkLen(v)
 	if logN == 0 {
-		return
+		return nil
+	}
+	if err := faultinject.Check("ntt.forward"); err != nil {
+		return err
 	}
 	tw := twiddles(logN)
 	n := len(v)
 	// Decimation-in-time: bit-reverse input, butterflies in natural order.
 	bitReverse(v)
 	for s := 1; s <= logN; s++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		m := 1 << s
 		half := m >> 1
 		stride := n / m // twiddle stride into the n/2-entry table
@@ -103,6 +126,7 @@ func Forward(v []field.Element) {
 			}
 		}
 	}
+	return nil
 }
 
 // Inverse computes the in-place inverse cyclic NTT of v, the inverse of

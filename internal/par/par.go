@@ -1,25 +1,36 @@
 // Package par provides the worker-pool helpers that parallelize the CPU
 // prover (the paper's software baseline is "vectorized and parallelized",
 // §III; its 32-core parallel speedup is part of the efficiency analysis).
-// Work is divided into contiguous chunks, one goroutine per available
-// CPU, with deterministic results: chunk outputs are combined in index
-// order and field arithmetic is exact, so parallel and serial execution
-// produce identical bytes.
+// Work is divided into contiguous chunks distributed to one goroutine per
+// available CPU, with deterministic results: chunk outputs are combined in
+// index order and field arithmetic is exact, so parallel and serial
+// execution produce identical bytes.
 //
 // Fault containment: a panic inside a worker goroutine would normally
 // kill the whole process, which is unacceptable for a proving service.
 // Every helper here recovers worker panics and re-raises them (with the
 // failing chunk's range and the worker stack) on the caller's goroutine,
 // where the prover's top-level recover converts them to a typed error.
-// ForErr additionally propagates ordinary errors, first chunk wins.
+// ForErr additionally propagates ordinary errors.
+//
+// Cancellation: the Ctx variants stop dispatching new chunks as soon as
+// the context is cancelled or any chunk fails, then drain the already
+// running workers before returning — a cancelled caller always gets its
+// goroutines back, never a leak. Chunks are oversubscribed (several per
+// worker) so "stop dispatching" takes effect mid-range rather than after
+// the full range has run.
 package par
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
+	"nocap/internal/faultinject"
 	"nocap/internal/zkerr"
 )
 
@@ -30,6 +41,12 @@ const minParallel = 1 << 12
 // maxWorkers caps the pool (diminishing returns past this, and tests
 // stay predictable on large machines).
 const maxWorkers = 32
+
+// chunksPerWorker oversubscribes the chunk count so early errors and
+// cancellation can skip undispatched chunks: workers pull chunks from a
+// shared counter, and once a chunk fails (or the context is cancelled)
+// no further chunks start.
+const chunksPerWorker = 4
 
 // Workers returns the number of workers used for a job of size n.
 func Workers(n int) int {
@@ -140,35 +157,83 @@ func For(n int, fn func(lo, hi int)) {
 	rec.Repanic()
 }
 
-// ForErr runs fn(lo, hi) over a partition of [0, n) and returns the error
-// of the lowest-indexed failing chunk (deterministic under races).
-// Worker panics are recovered and returned as a *WorkerPanic error
-// instead of crashing the process, so Prove fails cleanly on internal
-// faults.
+// ForCtx is For with cooperative cancellation: between chunks the pool
+// checks ctx and stops dispatching once it is cancelled, draining the
+// running workers before returning ctx.Err(). Worker panics re-raise on
+// the caller's goroutine exactly like For.
+func ForCtx(ctx context.Context, n int, fn func(lo, hi int)) error {
+	err := ForErrCtx(ctx, n, func(lo, hi int) error {
+		fn(lo, hi)
+		return nil
+	})
+	var wp *WorkerPanic
+	if errors.As(err, &wp) {
+		panic(wp)
+	}
+	return err
+}
+
+// ForErr runs fn(lo, hi) over a partition of [0, n) and returns the
+// error of the lowest-indexed chunk that ran and failed. The first error
+// stops dispatch: chunks not yet started are skipped (the pool is
+// oversubscribed chunksPerWorker× so most of the range is undispatched
+// when an early chunk fails), and already running chunks are drained
+// before ForErr returns. Worker panics are recovered and returned as a
+// *WorkerPanic error instead of crashing the process, so Prove fails
+// cleanly on internal faults.
 func ForErr(n int, fn func(lo, hi int) error) error {
+	return ForErrCtx(context.Background(), n, fn)
+}
+
+// ForErrCtx is ForErr under a context: cancellation stops dispatch the
+// same way an error does, running workers drain (no goroutine ever
+// outlives the call), and the context's error is returned if no chunk
+// failed first. Each dispatched chunk also passes through the
+// "par.worker" fault-injection point.
+func ForErrCtx(ctx context.Context, n int, fn func(lo, hi int) error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	workers := Workers(n)
 	if workers == 1 {
 		if n > 0 {
-			return protect(0, n, fn)
+			if err := runChunk(0, n, fn); err != nil {
+				return err
+			}
 		}
-		return nil
+		return ctx.Err()
 	}
-	chunk := (n + workers - 1) / workers
-	errs := make([]error, workers)
+	numChunks := workers * chunksPerWorker
+	chunk := (n + numChunks - 1) / numChunks
+	numChunks = (n + chunk - 1) / chunk
+
+	errs := make([]error, numChunks)
+	var next atomic.Int64
+	var stop atomic.Bool
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
-		lo, hi := w*chunk, (w+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
-		go func(w, lo, hi int) {
+		go func() {
 			defer wg.Done()
-			errs[w] = protect(lo, hi, fn)
-		}(w, lo, hi)
+			for {
+				if stop.Load() || ctx.Err() != nil {
+					return
+				}
+				c := int(next.Add(1)) - 1
+				if c >= numChunks {
+					return
+				}
+				lo, hi := c*chunk, (c+1)*chunk
+				if hi > n {
+					hi = n
+				}
+				if err := runChunk(lo, hi, fn); err != nil {
+					errs[c] = err
+					stop.Store(true)
+					return
+				}
+			}
+		}()
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -176,7 +241,16 @@ func ForErr(n int, fn func(lo, hi int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
+}
+
+// runChunk runs one chunk through the fault-injection point with panic
+// containment.
+func runChunk(lo, hi int, fn func(lo, hi int) error) error {
+	if err := faultinject.Check("par.worker"); err != nil {
+		return err
+	}
+	return protect(lo, hi, fn)
 }
 
 // protect runs one chunk, converting a panic into a *WorkerPanic error.

@@ -15,6 +15,7 @@
 package pcs
 
 import (
+	"context"
 	"crypto/rand"
 	"encoding/binary"
 	"errors"
@@ -22,6 +23,7 @@ import (
 	"math/bits"
 
 	"nocap/internal/code"
+	"nocap/internal/faultinject"
 	"nocap/internal/field"
 	"nocap/internal/hashfn"
 	"nocap/internal/merkle"
@@ -30,6 +32,24 @@ import (
 	"nocap/internal/transcript"
 	"nocap/internal/zkerr"
 )
+
+// ctxEncoder is the optional context-aware face of a code.Code; the
+// production Reed-Solomon code implements it. encodeCtx falls back to
+// the plain Encode for codes that do not (the expander baseline).
+type ctxEncoder interface {
+	EncodeCtx(ctx context.Context, msg []field.Element) ([]field.Element, error)
+}
+
+// encodeCtx encodes one row under ctx when the code supports it.
+func encodeCtx(ctx context.Context, c code.Code, msg []field.Element) ([]field.Element, error) {
+	if ce, ok := c.(ctxEncoder); ok {
+		return ce.EncodeCtx(ctx, msg)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return c.Encode(msg), nil
+}
 
 // Params configures the scheme.
 type Params struct {
@@ -119,7 +139,20 @@ func randElems(n int) []field.Element {
 // Commit commits to the multilinear polynomial with the given evaluation
 // vector (length a power of two ≥ Rows).
 func Commit(params Params, vec []field.Element) (*ProverState, error) {
+	return CommitCtx(context.Background(), params, vec)
+}
+
+// CommitCtx is Commit with cooperative cancellation: the context is
+// threaded into the parallel row encodes (inside the NTT), the parallel
+// column hashing, and the Merkle build, and the pool stops dispatching
+// chunks once it is cancelled. Fault-injection points cover each stage
+// boundary ("pcs.commit.encode", "pcs.commit.leaves",
+// "pcs.commit.tree").
+func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*ProverState, error) {
 	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	n := len(vec)
@@ -157,22 +190,35 @@ func Commit(params Params, vec []field.Element) (*ProverState, error) {
 	encoded := make([][]field.Element, total)
 	// Encode the first row serially to warm size-dependent caches
 	// (twiddle tables, expander graphs), then fan out: row encodes are
-	// independent (the parallel CPU baseline of §III). ForErr contains
-	// worker faults: an encode panic becomes an error from Commit (and
-	// thus Prove) instead of killing the serving process.
-	encoded[0] = params.Code.Encode(all[0])
-	if err := par.ForErr(total-1, func(lo, hi int) error {
+	// independent (the parallel CPU baseline of §III). ForErrCtx contains
+	// worker faults — an encode panic becomes an error from Commit (and
+	// thus Prove) instead of killing the serving process — and stops
+	// dispatching rows once ctx is cancelled.
+	if err := faultinject.Check("pcs.commit.encode"); err != nil {
+		return nil, fmt.Errorf("pcs: row encode: %w", err)
+	}
+	var err error
+	if encoded[0], err = encodeCtx(ctx, params.Code, all[0]); err != nil {
+		return nil, fmt.Errorf("pcs: row encode: %w", err)
+	}
+	if err := par.ForErrCtx(ctx, total-1, func(lo, hi int) error {
 		for r := lo + 1; r < hi+1; r++ {
-			encoded[r] = params.Code.Encode(all[r])
+			var err error
+			if encoded[r], err = encodeCtx(ctx, params.Code, all[r]); err != nil {
+				return err
+			}
 		}
 		return nil
 	}); err != nil {
 		return nil, fmt.Errorf("pcs: row encode: %w", err)
 	}
 
+	if err := faultinject.Check("pcs.commit.leaves"); err != nil {
+		return nil, fmt.Errorf("pcs: column hash: %w", err)
+	}
 	encLen := msgLen * params.Code.Blowup()
 	leaves := make([]hashfn.Digest, encLen)
-	if err := par.ForErr(encLen, func(lo, hi int) error {
+	if err := par.ForErrCtx(ctx, encLen, func(lo, hi int) error {
 		col := make([]field.Element, total)
 		for j := lo; j < hi; j++ {
 			for r := 0; r < total; r++ {
@@ -184,7 +230,13 @@ func Commit(params Params, vec []field.Element) (*ProverState, error) {
 	}); err != nil {
 		return nil, fmt.Errorf("pcs: column hash: %w", err)
 	}
-	tree := merkle.New(leaves)
+	if err := faultinject.Check("pcs.commit.tree"); err != nil {
+		return nil, fmt.Errorf("pcs: merkle build: %w", err)
+	}
+	tree, err := merkle.NewCtx(ctx, leaves)
+	if err != nil {
+		return nil, fmt.Errorf("pcs: merkle build: %w", err)
+	}
 
 	state := &ProverState{
 		params:  params,
@@ -268,8 +320,22 @@ func combineRows(rows [][]field.Element, coeffs []field.Element, mask []field.El
 // It returns the proof and the evaluation values. The transcript binds
 // the commitment, points, and values before challenges are squeezed.
 func (s *ProverState) Open(tr *transcript.Transcript, points [][]field.Element) (*OpeningProof, []field.Element, error) {
+	return s.OpenCtx(context.Background(), tr, points)
+}
+
+// OpenCtx is Open with cooperative cancellation (checked between the
+// per-point evaluation, proximity, and column stages) and
+// fault-injection points at each stage boundary ("pcs.open.eval",
+// "pcs.open.prox", "pcs.open.columns").
+func (s *ProverState) OpenCtx(ctx context.Context, tr *transcript.Transcript, points [][]field.Element) (*OpeningProof, []field.Element, error) {
 	if len(points) == 0 {
 		return nil, nil, errors.New("pcs: no evaluation points")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := faultinject.Check("pcs.open.eval"); err != nil {
+		return nil, nil, err
 	}
 	if s.params.ZK && len(points) > s.params.MaxPoints {
 		return nil, nil, fmt.Errorf("pcs: %d points exceeds MaxPoints %d", len(points), s.params.MaxPoints)
@@ -301,6 +367,12 @@ func (s *ProverState) Open(tr *transcript.Transcript, points [][]field.Element) 
 	proof := &OpeningProof{}
 
 	// Proximity test: random row combinations.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := faultinject.Check("pcs.open.prox"); err != nil {
+		return nil, nil, err
+	}
 	for j := 0; j < s.params.NumProximity; j++ {
 		gamma := tr.Challenges(fmt.Sprintf("pcs/gamma%d", j), comm.Rows)
 		var mask []field.Element
@@ -329,6 +401,12 @@ func (s *ProverState) Open(tr *transcript.Transcript, points [][]field.Element) 
 	}
 
 	// Shared column openings.
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	if err := faultinject.Check("pcs.open.columns"); err != nil {
+		return nil, nil, err
+	}
 	encLen := comm.MsgLen * s.params.Code.Blowup()
 	idxs := tr.ChallengeIndices("pcs/columns", s.params.Code.Queries(), encLen)
 	total := comm.Rows + s.params.numMasks()
@@ -361,10 +439,23 @@ var (
 // (comm, proof) contents: structural faults return typed errors and any
 // internal invariant violation is contained as zkerr.ErrInternal.
 func Verify(params Params, comm *Commitment, tr *transcript.Transcript,
+	points [][]field.Element, values []field.Element, proof *OpeningProof) error {
+	return VerifyCtx(context.Background(), params, comm, tr, points, values, proof)
+}
+
+// VerifyCtx is Verify with cooperative cancellation: the context is
+// checked before the codeword re-encodes (the expensive part of
+// verification) and every few columns of the spot-check loop, with
+// fault-injection points at both boundaries ("pcs.verify.encode",
+// "pcs.verify.columns").
+func VerifyCtx(ctx context.Context, params Params, comm *Commitment, tr *transcript.Transcript,
 	points [][]field.Element, values []field.Element, proof *OpeningProof) (err error) {
 
 	defer zkerr.RecoverTo(&err, "pcs.Verify")
 	if err := params.validate(); err != nil {
+		return err
+	}
+	if err := ctx.Err(); err != nil {
 		return err
 	}
 	if comm == nil || proof == nil {
@@ -449,20 +540,35 @@ func Verify(params Params, comm *Commitment, tr *transcript.Transcript,
 	}
 
 	// Encode every transmitted combination once.
+	if err := faultinject.Check("pcs.verify.encode"); err != nil {
+		return err
+	}
 	encProx := make([][]field.Element, len(proof.ProxVectors))
 	for j, u := range proof.ProxVectors {
-		encProx[j] = params.Code.Encode(u)
+		if encProx[j], err = encodeCtx(ctx, params.Code, u); err != nil {
+			return err
+		}
 	}
 	encEval := make([][]field.Element, len(proof.EvalVectors))
 	for i, u := range proof.EvalVectors {
-		encEval[i] = params.Code.Encode(u)
+		if encEval[i], err = encodeCtx(ctx, params.Code, u); err != nil {
+			return err
+		}
 	}
 
 	// Column checks at shared query positions.
+	if err := faultinject.Check("pcs.verify.columns"); err != nil {
+		return err
+	}
 	encLen := comm.MsgLen * params.Code.Blowup()
 	idxs := tr.ChallengeIndices("pcs/columns", params.Code.Queries(), encLen)
 	total := comm.Rows + params.numMasks()
 	for q, j := range idxs {
+		if q&63 == 0 && q > 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		col := proof.Columns[q]
 		if len(col) != total {
 			return fmt.Errorf("%w: column height", ErrMalformed)

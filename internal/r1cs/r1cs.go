@@ -10,6 +10,7 @@
 package r1cs
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math/bits"
@@ -68,11 +69,22 @@ func (m *SparseMatrix) NNZ() int {
 // Mul computes y = M·x (the SpMV task, paper §V-A), parallelized across
 // output rows (output-stationary, like NoCap's dataflow).
 func (m *SparseMatrix) Mul(x []field.Element) []field.Element {
+	y, err := m.MulCtx(context.Background(), x)
+	if err != nil {
+		panic(err)
+	}
+	return y
+}
+
+// MulCtx is Mul with cooperative cancellation: the row fan-out stops
+// dispatching chunks once ctx is cancelled and drains its workers
+// before returning.
+func (m *SparseMatrix) MulCtx(ctx context.Context, x []field.Element) ([]field.Element, error) {
 	if len(x) != m.NumCols {
 		panic("r1cs: SpMV dimension mismatch")
 	}
 	y := make([]field.Element, m.NumRows)
-	par.For(m.NumRows, func(lo, hi int) {
+	if err := par.ForCtx(ctx, m.NumRows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			var acc field.Element
 			for _, e := range m.Rows[r] {
@@ -80,8 +92,10 @@ func (m *SparseMatrix) Mul(x []field.Element) []field.Element {
 			}
 			y[r] = acc
 		}
-	})
-	return y
+	}); err != nil {
+		return nil, err
+	}
+	return y, nil
 }
 
 // MLEEvalWithTables evaluates the matrix's multilinear extension at the

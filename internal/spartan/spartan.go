@@ -21,9 +21,11 @@
 package spartan
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
+	"nocap/internal/faultinject"
 	"nocap/internal/field"
 	"nocap/internal/pcs"
 	"nocap/internal/poly"
@@ -156,14 +158,42 @@ func publicEval(io []field.Element, r []field.Element) field.Element {
 // worker goroutines, which internal/par re-raises on this goroutine — is
 // converted to a zkerr.ErrInternal error, so one bad proving job cannot
 // crash a process serving many.
-func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (proof *Proof, err error) {
+func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (*Proof, error) {
+	return ProveCtx(context.Background(), params, inst, io, witness)
+}
+
+// checkpoint is the cooperative cancellation + fault-injection gate
+// placed at every stage boundary of the pipeline: cancellation wins,
+// then an armed chaos fault may fire at the named point.
+func checkpoint(ctx context.Context, point string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return faultinject.Check(point)
+}
+
+// ProveCtx is Prove under a context: cancelling ctx (or passing one
+// with an expired deadline) abandons the proof at the next cooperative
+// checkpoint — between stages here, between sumcheck rounds, every few
+// thousand points inside round evaluations, between worker-pool chunks,
+// and between NTT butterfly stages — and returns an error satisfying
+// errors.Is(err, context.Canceled) or context.DeadlineExceeded. All
+// worker goroutines are drained before ProveCtx returns: a cancelled
+// caller gets its goroutines and memory back immediately.
+func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witness []field.Element) (proof *Proof, err error) {
 	defer zkerr.RecoverTo(&err, "spartan.Prove")
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if params.Reps < 1 {
 		return nil, errors.New("spartan: Reps must be ≥ 1")
 	}
 	half := inst.NumVars() / 2
 	if len(witness) != half {
 		return nil, fmt.Errorf("spartan: witness length %d, want %d", len(witness), half)
+	}
+	if err := checkpoint(ctx, "spartan.prove.assemble"); err != nil {
+		return nil, err
 	}
 	z := inst.AssembleZ(io, witness)
 	if ok, i := inst.Satisfied(z); !ok {
@@ -174,8 +204,11 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (pro
 	bindStatement(tr, inst, io, params)
 
 	// 1. Commit to the witness.
+	if err := checkpoint(ctx, "spartan.prove.commit"); err != nil {
+		return nil, err
+	}
 	pcsParams := params.effective(half)
-	st, err := pcs.Commit(pcsParams, witness)
+	st, err := pcs.CommitCtx(ctx, pcsParams, witness)
 	if err != nil {
 		return nil, fmt.Errorf("spartan: commit: %w", err)
 	}
@@ -184,9 +217,20 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (pro
 
 	// SpMV: the three sparse matrix-vector products (paper §V-A). With
 	// recomputation on, products are re-derived on demand instead.
+	if err := checkpoint(ctx, "spartan.prove.spmv"); err != nil {
+		return nil, err
+	}
 	var az, bz, cz []field.Element
 	if !params.Recompute {
-		az, bz, cz = inst.A.Mul(z), inst.B.Mul(z), inst.C.Mul(z)
+		if az, err = inst.A.MulCtx(ctx, z); err != nil {
+			return nil, fmt.Errorf("spartan: spmv: %w", err)
+		}
+		if bz, err = inst.B.MulCtx(ctx, z); err != nil {
+			return nil, fmt.Errorf("spartan: spmv: %w", err)
+		}
+		if cz, err = inst.C.MulCtx(ctx, z); err != nil {
+			return nil, fmt.Errorf("spartan: spmv: %w", err)
+		}
 	}
 	rowDot := func(mat *r1cs.SparseMatrix, i int) field.Element {
 		var acc field.Element
@@ -205,6 +249,9 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (pro
 		tau := tr.Challenges(lbl+"/tau", logM)
 
 		// Outer sumcheck over x ∈ {0,1}^logM.
+		if err := checkpoint(ctx, "spartan.prove.outer"); err != nil {
+			return nil, err
+		}
 		var outer *sumcheck.Proof
 		var rx, finals []field.Element
 		if params.Recompute {
@@ -221,7 +268,7 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (pro
 				return rowDot(inst.C, i)
 			}
 			// 2^20 elements = the 8 MB register-file capacity (§V-A).
-			outer, rx, finals = sumcheck.ProveStreamed(tr, lbl+"/outer", field.Zero, 4, logM, src, 3, outerCombine, 1<<20)
+			outer, rx, finals, err = sumcheck.ProveStreamedCtx(ctx, tr, lbl+"/outer", field.Zero, 4, logM, src, 3, outerCombine, 1<<20)
 		} else {
 			arrays := []*poly.MLE{
 				poly.NewMLE(poly.EqTable(tau)),
@@ -229,7 +276,10 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (pro
 				poly.NewMLE(append([]field.Element(nil), bz...)),
 				poly.NewMLE(append([]field.Element(nil), cz...)),
 			}
-			outer, rx, finals = sumcheck.Prove(tr, lbl+"/outer", field.Zero, arrays, 3, outerCombine)
+			outer, rx, finals, err = sumcheck.ProveCtx(ctx, tr, lbl+"/outer", field.Zero, arrays, 3, outerCombine)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("spartan: outer sumcheck: %w", err)
 		}
 		va, vb, vc := finals[1], finals[2], finals[3]
 		tr.AppendElems(lbl+"/claims", []field.Element{va, vb, vc})
@@ -239,10 +289,18 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (pro
 			field.Mul(rABC[0], va), field.Mul(rABC[1], vb)), field.Mul(rABC[2], vc))
 
 		// Build M(y) = Σ_i eq(rx,i)·(rA·A[i,y]+rB·B[i,y]+rC·C[i,y]).
+		if err := checkpoint(ctx, "spartan.prove.inner"); err != nil {
+			return nil, err
+		}
 		eqRx := poly.EqTable(rx)
 		my := make([]field.Element, inst.NumVars())
-		accumulate := func(mat *r1cs.SparseMatrix, coeff field.Element) {
+		accumulate := func(mat *r1cs.SparseMatrix, coeff field.Element) error {
 			for i, row := range mat.Rows {
+				if i&8191 == 0 && i > 0 {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+				}
 				if len(row) == 0 {
 					continue
 				}
@@ -251,22 +309,35 @@ func Prove(params Params, inst *r1cs.Instance, io, witness []field.Element) (pro
 					my[e.Col] = field.Add(my[e.Col], field.Mul(w, e.Val))
 				}
 			}
+			return nil
 		}
-		accumulate(inst.A, rABC[0])
-		accumulate(inst.B, rABC[1])
-		accumulate(inst.C, rABC[2])
+		if err := accumulate(inst.A, rABC[0]); err != nil {
+			return nil, err
+		}
+		if err := accumulate(inst.B, rABC[1]); err != nil {
+			return nil, err
+		}
+		if err := accumulate(inst.C, rABC[2]); err != nil {
+			return nil, err
+		}
 
-		inner, ry, _ := sumcheck.Prove(tr, lbl+"/inner",
+		inner, ry, _, err := sumcheck.ProveCtx(ctx, tr, lbl+"/inner",
 			claim,
 			[]*poly.MLE{poly.NewMLE(my), poly.NewMLE(append([]field.Element(nil), z...))},
 			2, innerCombine)
+		if err != nil {
+			return nil, fmt.Errorf("spartan: inner sumcheck: %w", err)
+		}
 
 		proof.Reps[rep] = RepProof{Outer: outer, VA: va, VB: vb, VC: vc, Inner: inner}
 		openPoints[rep] = ry[1:]
 	}
 
 	// 2. One shared Orion opening for all repetitions' w̃ evaluations.
-	opening, wEvals, err := st.Open(tr, openPoints)
+	if err := checkpoint(ctx, "spartan.prove.open"); err != nil {
+		return nil, err
+	}
+	opening, wEvals, err := st.OpenCtx(ctx, tr, openPoints)
 	if err != nil {
 		return nil, fmt.Errorf("spartan: open: %w", err)
 	}
@@ -289,8 +360,18 @@ var (
 // paths return taxonomy errors, and any internal invariant violation is
 // contained as zkerr.ErrInternal) and performs the cheap structural
 // checks before any cryptographic work.
-func Verify(params Params, inst *r1cs.Instance, io []field.Element, proof *Proof) (err error) {
+func Verify(params Params, inst *r1cs.Instance, io []field.Element, proof *Proof) error {
+	return VerifyCtx(context.Background(), params, inst, io, proof)
+}
+
+// VerifyCtx is Verify under a context, with cooperative checkpoints per
+// repetition (the matrix MLE evaluations and the PCS opening dominate)
+// and fault-injection points at each verification stage.
+func VerifyCtx(ctx context.Context, params Params, inst *r1cs.Instance, io []field.Element, proof *Proof) (err error) {
 	defer zkerr.RecoverTo(&err, "spartan.Verify")
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if proof == nil || proof.Commitment == nil || proof.Opening == nil {
 		return fmt.Errorf("%w: missing proof component", ErrShape)
 	}
@@ -314,6 +395,9 @@ func Verify(params Params, inst *r1cs.Instance, io []field.Element, proof *Proof
 	openPoints := make([][]field.Element, params.Reps)
 
 	for rep := 0; rep < params.Reps; rep++ {
+		if err := checkpoint(ctx, "spartan.verify.rep"); err != nil {
+			return err
+		}
 		lbl := fmt.Sprintf("rep%d", rep)
 		tau := tr.Challenges(lbl+"/tau", logM)
 		rp := proof.Reps[rep]
@@ -340,6 +424,9 @@ func Verify(params Params, inst *r1cs.Instance, io []field.Element, proof *Proof
 		}
 
 		// Final inner check: M̃(ry)·z̃(ry).
+		if err := checkpoint(ctx, "spartan.verify.matrixevals"); err != nil {
+			return err
+		}
 		va2, vb2, vc2 := inst.MatrixEvals(rx, ry)
 		mv := field.Add(field.Add(
 			field.Mul(rABC[0], va2), field.Mul(rABC[1], vb2)), field.Mul(rABC[2], vc2))
@@ -354,7 +441,10 @@ func Verify(params Params, inst *r1cs.Instance, io []field.Element, proof *Proof
 	}
 
 	// Check the shared Orion opening of w̃ at all repetition points.
-	if err := pcs.Verify(pcsParams, proof.Commitment, tr, openPoints, proof.WEvals, proof.Opening); err != nil {
+	if err := checkpoint(ctx, "spartan.verify.opening"); err != nil {
+		return err
+	}
+	if err := pcs.VerifyCtx(ctx, pcsParams, proof.Commitment, tr, openPoints, proof.WEvals, proof.Opening); err != nil {
 		return fmt.Errorf("spartan: opening: %w", err)
 	}
 	return nil

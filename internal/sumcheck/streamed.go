@@ -1,8 +1,10 @@
 package sumcheck
 
 import (
+	"context"
 	"fmt"
 
+	"nocap/internal/faultinject"
 	"nocap/internal/field"
 	"nocap/internal/poly"
 	"nocap/internal/transcript"
@@ -35,6 +37,26 @@ type Source func(k int, idx int) field.Element
 func ProveStreamed(tr *transcript.Transcript, label string, claim field.Element,
 	numArrays, numVars int, src Source, degree int, combine Combiner,
 	materializeBelow int) (*Proof, []field.Element, []field.Element) {
+
+	proof, challenges, finals, err := ProveStreamedCtx(context.Background(), tr, label, claim,
+		numArrays, numVars, src, degree, combine, materializeBelow)
+	if err != nil {
+		// Only an injected chaos fault can reach here under a background
+		// context; escape as a panic for the caller's zkerr boundary.
+		panic(err)
+	}
+	return proof, challenges, finals
+}
+
+// ProveStreamedCtx is ProveStreamed with cooperative cancellation: the
+// context is checked between rounds and every ctxCheckInterval points of
+// the per-round evaluation loop (the recomputation rounds are the most
+// expensive part of the §V-A prover, so intra-round checkpoints matter),
+// and the "sumcheck.streamed.round" fault-injection point fires once
+// per round.
+func ProveStreamedCtx(ctx context.Context, tr *transcript.Transcript, label string, claim field.Element,
+	numArrays, numVars int, src Source, degree int, combine Combiner,
+	materializeBelow int) (*Proof, []field.Element, []field.Element, error) {
 
 	if numArrays < 1 {
 		panic("sumcheck: no oracle sources")
@@ -82,12 +104,23 @@ func ProveStreamed(tr *transcript.Transcript, label string, claim field.Element,
 	var scratch []*poly.MLE // non-nil once the arrays fit the scratchpad
 	size := fullSize
 	for round := 0; round < numVars; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := faultinject.Check("sumcheck.streamed.round"); err != nil {
+			return nil, nil, nil, err
+		}
 		if scratch == nil && size <= materializeBelow {
 			scratch = materialize(size)
 		}
 		half := size / 2
 		evals := make([]field.Element, degree+1)
 		for b := 0; b < half; b++ {
+			if b&(ctxCheckInterval-1) == 0 && b > 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, nil, nil, err
+				}
+			}
 			for k := 0; k < numArrays; k++ {
 				var lo, hi field.Element
 				if scratch != nil {
@@ -128,5 +161,5 @@ func ProveStreamed(tr *transcript.Transcript, label string, claim field.Element,
 			finals[k] = folded(k, 0, 1)
 		}
 	}
-	return proof, challenges, finals
+	return proof, challenges, finals, nil
 }

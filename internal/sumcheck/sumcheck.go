@@ -12,10 +12,12 @@
 package sumcheck
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
+	"nocap/internal/faultinject"
 	"nocap/internal/field"
 	"nocap/internal/par"
 	"nocap/internal/poly"
@@ -48,12 +50,37 @@ func (p *Proof) SizeBytes() int {
 // fans out across CPUs.
 const parallelThreshold = 1 << 14
 
+// ctxCheckInterval is how many hypercube points a round-evaluation
+// worker processes between context checks. At ~10ns per point the
+// interval costs well under a millisecond, so the check itself stays
+// unmeasurable while a cancelled round stops within ~4k points.
+const ctxCheckInterval = 1 << 12
+
 // Prove runs the sumcheck prover for Σ_b combine(mles[0][b], …) = claim.
 // All MLEs must have the same number of variables L ≥ 1. The MLEs are
 // folded in place (clone first to retain them). It returns the proof, the
 // challenge point r ∈ F^L, and the final values mles[k](r).
+//
+// Prove never fails on its own: it is ProveCtx under a background
+// context, and the only possible error — an injected fault in a chaos
+// test — escapes as a panic for the caller's zkerr boundary to contain.
 func Prove(tr *transcript.Transcript, label string, claim field.Element,
 	mles []*poly.MLE, degree int, combine Combiner) (*Proof, []field.Element, []field.Element) {
+
+	proof, challenges, finals, err := ProveCtx(context.Background(), tr, label, claim, mles, degree, combine)
+	if err != nil {
+		panic(err)
+	}
+	return proof, challenges, finals
+}
+
+// ProveCtx is the context-aware sumcheck prover: the context is checked
+// between rounds and every ctxCheckInterval points inside the parallel
+// round evaluation, and the "sumcheck.prove.round" fault-injection
+// point fires once per round. On cancellation the MLEs are left
+// partially folded and must be discarded.
+func ProveCtx(ctx context.Context, tr *transcript.Transcript, label string, claim field.Element,
+	mles []*poly.MLE, degree int, combine Combiner) (*Proof, []field.Element, []field.Element, error) {
 
 	if len(mles) == 0 {
 		panic("sumcheck: no oracle polynomials")
@@ -74,8 +101,17 @@ func Prove(tr *transcript.Transcript, label string, claim field.Element,
 	challenges := make([]field.Element, numVars)
 
 	for round := 0; round < numVars; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
+		}
+		if err := faultinject.Check("sumcheck.prove.round"); err != nil {
+			return nil, nil, nil, err
+		}
 		half := mles[0].Len() / 2
-		evals := roundEvals(mles, half, degree, combine)
+		evals, err := roundEvals(ctx, mles, half, degree, combine)
+		if err != nil {
+			return nil, nil, nil, err
+		}
 		proof.RoundPolys[round] = evals
 		tr.AppendElems(fmt.Sprintf("sumcheck/%s/round%d", label, round), evals)
 		r := tr.Challenge(fmt.Sprintf("sumcheck/%s/r%d", label, round))
@@ -88,13 +124,15 @@ func Prove(tr *transcript.Transcript, label string, claim field.Element,
 	for k, m := range mles {
 		finals[k] = m.At(0)
 	}
-	return proof, challenges, finals
+	return proof, challenges, finals, nil
 }
 
 // roundEvals computes [g(0), …, g(degree)] for the current round, where
 // g(t) = Σ_{b<half} combine over the arrays evaluated at (t, b): each
-// array contributes lo[b] + t·(hi[b]−lo[b]).
-func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.Element {
+// array contributes lo[b] + t·(hi[b]−lo[b]). Workers bail out at the
+// next interval boundary once ctx is cancelled; all workers are drained
+// before the function returns.
+func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine Combiner) ([]field.Element, error) {
 	numWorkers := 1
 	if half >= parallelThreshold {
 		numWorkers = runtime.GOMAXPROCS(0)
@@ -105,6 +143,8 @@ func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.El
 	partial := make([][]field.Element, numWorkers)
 	var wg sync.WaitGroup
 	var rec par.Collector
+	var workerErr error
+	var errMu sync.Mutex
 	chunk := (half + numWorkers - 1) / numWorkers
 	for w := 0; w < numWorkers; w++ {
 		lo, hi := w*chunk, (w+1)*chunk
@@ -119,10 +159,21 @@ func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.El
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			defer rec.Recover(lo, hi)
+			if err := faultinject.Check("sumcheck.round.worker"); err != nil {
+				errMu.Lock()
+				if workerErr == nil {
+					workerErr = err
+				}
+				errMu.Unlock()
+				return
+			}
 			sums := make([]field.Element, degree+1)
 			vals := make([]field.Element, len(mles))
 			deltas := make([]field.Element, len(mles))
 			for b := lo; b < hi; b++ {
+				if b&(ctxCheckInterval-1) == 0 && ctx.Err() != nil {
+					return // partial sums discarded with the round
+				}
 				for k, m := range mles {
 					ev := m.Evals()
 					vals[k] = ev[b]
@@ -144,13 +195,19 @@ func roundEvals(mles []*poly.MLE, half, degree int, combine Combiner) []field.El
 	// the prover's own goroutine, where Prove's recover converts it to a
 	// typed error instead of crashing the process.
 	rec.Repanic()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if workerErr != nil {
+		return nil, workerErr
+	}
 	evals := make([]field.Element, degree+1)
 	for _, sums := range partial {
 		for t := range evals {
 			evals[t] = field.Add(evals[t], sums[t])
 		}
 	}
-	return evals
+	return evals, nil
 }
 
 // ErrRoundSum indicates g_i(0)+g_i(1) ≠ running claim — a soundness

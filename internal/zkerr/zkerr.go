@@ -29,6 +29,7 @@
 package zkerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime/debug"
@@ -116,11 +117,17 @@ func Code(err error) string {
 
 // ExitCode maps an error to a process exit code for the cmd/ front ends:
 // distinct classes get distinct codes so scripts can branch on them.
+// A cancelled or timed-out run (context.Canceled / DeadlineExceeded from
+// ProveCtx/VerifyCtx, e.g. a -timeout expiry or SIGINT) exhausted its
+// time budget and maps to the resource-limit code.
 func ExitCode(err error) int {
 	switch Code(err) {
 	case "":
 		if err == nil {
 			return 0
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			return 5 // resource-limit: the time budget
 		}
 		return 1
 	case "usage":

@@ -28,6 +28,7 @@
 package nocap
 
 import (
+	"context"
 	"io"
 
 	"nocap/internal/circuits"
@@ -115,9 +116,27 @@ func Prove(p Params, inst *Instance, io, witness []Element) (*Proof, error) {
 	return spartan.Prove(p, inst, io, witness)
 }
 
+// ProveCtx is Prove under a context (DESIGN.md §8): cancelling ctx or
+// letting its deadline expire abandons the in-flight proof at the next
+// cooperative checkpoint (between stages, between sumcheck rounds, and
+// every few thousand points inside the parallel loops), drains every
+// worker goroutine the prover started, and returns an error satisfying
+// errors.Is(err, context.Canceled) or context.DeadlineExceeded. A
+// subsequent ProveCtx on the same inputs succeeds: abandonment never
+// corrupts shared state.
+func ProveCtx(ctx context.Context, p Params, inst *Instance, io, witness []Element) (*Proof, error) {
+	return spartan.ProveCtx(ctx, p, inst, io, witness)
+}
+
 // Verify checks a proof against an instance and public inputs.
 func Verify(p Params, inst *Instance, io []Element, proof *Proof) error {
 	return spartan.Verify(p, inst, io, proof)
+}
+
+// VerifyCtx is Verify under a context, with the same cancellation
+// guarantees as ProveCtx.
+func VerifyCtx(ctx context.Context, p Params, inst *Instance, io []Element, proof *Proof) error {
+	return spartan.VerifyCtx(ctx, p, inst, io, proof)
 }
 
 // MarshalProof serializes a proof into the compact wire format.
