@@ -9,7 +9,7 @@ FUZZ_TARGETS = \
 	./internal/wire:FuzzReader \
 	./internal/cstream:FuzzDecode
 
-.PHONY: all build test vet race chaos fuzz-smoke corpus ci
+.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus ci
 
 all: build test
 
@@ -22,6 +22,15 @@ test:
 vet:
 	$(GO) vet ./...
 
+# Static analysis beyond vet. Skips gracefully when staticcheck is not on
+# PATH (local dev boxes); CI installs it and gets the full gate.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
+
 race:
 	$(GO) test -race ./...
 
@@ -32,6 +41,16 @@ race:
 chaos:
 	$(GO) test -race -run 'TestChaos|TestCancel' .
 	$(GO) test -race ./internal/par ./internal/faultinject ./internal/leakcheck
+
+# One-iteration pass over the prover benchmarks: catches benchmarks that
+# no longer compile or crash without paying for a full measurement run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench Prove -benchtime 1x .
+
+# Machine-readable end-to-end prove measurements (ns/op, allocs/op, B/op,
+# per-stage kernel counters, arena hit rates) for trend tracking.
+bench-json:
+	$(GO) test -run TestProveBenchJSON -benchjson BENCH_prove.json .
 
 # Run each fuzz target for $(FUZZTIME) from its seeded corpus. A finding
 # is written to the package's testdata/fuzz directory and fails the run.
@@ -46,4 +65,4 @@ fuzz-smoke:
 corpus:
 	$(GO) run ./internal/advtest/gencorpus
 
-ci: vet build test race chaos fuzz-smoke
+ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke

@@ -15,6 +15,7 @@ import (
 // BenchmarkTableI regenerates the end-to-end comparison at 16M
 // constraints and reports NoCap's total seconds.
 func BenchmarkTableI(b *testing.B) {
+	b.ReportAllocs()
 	var total float64
 	for i := 0; i < b.N; i++ {
 		res := experiments.TableI()
@@ -25,6 +26,7 @@ func BenchmarkTableI(b *testing.B) {
 
 // BenchmarkTableII evaluates the area model.
 func BenchmarkTableII(b *testing.B) {
+	b.ReportAllocs()
 	var area float64
 	for i := 0; i < b.N; i++ {
 		area = experiments.TableII().Area.Total()
@@ -35,6 +37,7 @@ func BenchmarkTableII(b *testing.B) {
 // BenchmarkTableIII evaluates the proof-size/verify-time models across
 // the benchmark suite.
 func BenchmarkTableIII(b *testing.B) {
+	b.ReportAllocs()
 	var mb float64
 	for i := 0; i < b.N; i++ {
 		rows := experiments.TableIII().Rows
@@ -46,6 +49,7 @@ func BenchmarkTableIII(b *testing.B) {
 // BenchmarkTableIV runs the full proving-time comparison (five
 // simulated NoCap runs + baselines) and reports the gmean speedups.
 func BenchmarkTableIV(b *testing.B) {
+	b.ReportAllocs()
 	var res experiments.TableIVResult
 	for i := 0; i < b.N; i++ {
 		res = experiments.TableIV()
@@ -56,6 +60,7 @@ func BenchmarkTableIV(b *testing.B) {
 
 // BenchmarkTableV runs the end-to-end comparison.
 func BenchmarkTableV(b *testing.B) {
+	b.ReportAllocs()
 	var res experiments.TableVResult
 	for i := 0; i < b.N; i++ {
 		res = experiments.TableV()
@@ -65,6 +70,7 @@ func BenchmarkTableV(b *testing.B) {
 
 // BenchmarkFigure5 evaluates the power model.
 func BenchmarkFigure5(b *testing.B) {
+	b.ReportAllocs()
 	var w float64
 	for i := 0; i < b.N; i++ {
 		w = experiments.Figure5().Power.Total()
@@ -74,6 +80,7 @@ func BenchmarkFigure5(b *testing.B) {
 
 // BenchmarkFigure6 computes the runtime/traffic breakdowns.
 func BenchmarkFigure6(b *testing.B) {
+	b.ReportAllocs()
 	var share float64
 	for i := 0; i < b.N; i++ {
 		share = experiments.Figure6().Rows[0].NoCapShare
@@ -84,6 +91,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkFigure7 runs the full sensitivity sweep (25 simulated
 // configurations × 5 benchmarks).
 func BenchmarkFigure7(b *testing.B) {
+	b.ReportAllocs()
 	var n int
 	for i := 0; i < b.N; i++ {
 		n = len(experiments.Figure7().Points)
@@ -93,6 +101,7 @@ func BenchmarkFigure7(b *testing.B) {
 
 // BenchmarkFigure8 explores the design space and Pareto frontier.
 func BenchmarkFigure8(b *testing.B) {
+	b.ReportAllocs()
 	var n int
 	for i := 0; i < b.N; i++ {
 		n = len(experiments.Figure8().Points)
@@ -103,6 +112,7 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkMultiplyAnalysis measures the §III multiply-count ratio on a
 // real (2^10) proof.
 func BenchmarkMultiplyAnalysis(b *testing.B) {
+	b.ReportAllocs()
 	var ratio float64
 	for i := 0; i < b.N; i++ {
 		ratio = experiments.MultiplyAnalysis(10).Ratio
@@ -113,6 +123,7 @@ func BenchmarkMultiplyAnalysis(b *testing.B) {
 // BenchmarkAblations runs the §VIII-C protocol-optimization study,
 // including the measured RS-vs-expander encode ratio.
 func BenchmarkAblations(b *testing.B) {
+	b.ReportAllocs()
 	var speedup float64
 	for i := 0; i < b.N; i++ {
 		speedup = experiments.Ablations(12).NoCapRecomputeSpeedup
@@ -123,6 +134,7 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkUseCases evaluates the database-throughput and photo use
 // cases.
 func BenchmarkUseCases(b *testing.B) {
+	b.ReportAllocs()
 	var tx int
 	for i := 0; i < b.N; i++ {
 		tx = experiments.DatabaseThroughput().NoCapTxPerSec
@@ -134,12 +146,14 @@ func BenchmarkUseCases(b *testing.B) {
 // BenchmarkProverAblationRecompute is the DESIGN.md §6 ablation bench:
 // simulated NoCap prover with and without sumcheck recomputation.
 func BenchmarkProverAblationRecompute(b *testing.B) {
+	b.ReportAllocs()
 	for _, recompute := range []bool{true, false} {
 		name := "off"
 		if recompute {
 			name = "on"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			opts := nocap.DefaultProtocol()
 			opts.Recompute = recompute
 			var sec float64
@@ -154,8 +168,10 @@ func BenchmarkProverAblationRecompute(b *testing.B) {
 // BenchmarkRealProver measures this repository's actual Go Spartan+Orion
 // prover at laptop scale (the "measured" companion to Table IV).
 func BenchmarkRealProver(b *testing.B) {
+	b.ReportAllocs()
 	for _, logN := range []int{10, 12, 14} {
 		b.Run(string(rune('0'+logN/10))+string(rune('0'+logN%10)), func(b *testing.B) {
+			b.ReportAllocs()
 			bm := nocap.Synthetic(1 << uint(logN))
 			params := nocap.TestParams()
 			b.ResetTimer()
@@ -170,6 +186,7 @@ func BenchmarkRealProver(b *testing.B) {
 
 // BenchmarkRealVerifier measures verification at laptop scale.
 func BenchmarkRealVerifier(b *testing.B) {
+	b.ReportAllocs()
 	bm := nocap.Synthetic(1 << 12)
 	params := nocap.TestParams()
 	proof, err := nocap.Prove(params, bm.Inst, bm.IO, bm.Witness)

@@ -1,0 +1,102 @@
+package nocap_test
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"testing"
+
+	"nocap"
+)
+
+// benchJSON names the file TestProveBenchJSON writes machine-readable
+// end-to-end prove measurements to, e.g.
+//
+//	go test -run TestProveBenchJSON -benchjson BENCH_prove.json
+//
+// Without the flag the test is skipped, so the ordinary suite stays fast.
+var benchJSON = flag.String("benchjson", "", "write prove benchmark results to this JSON file")
+
+// proveBenchEntry is one benchmarked prove configuration.
+type proveBenchEntry struct {
+	Name     string  `json:"name"`
+	LogN     int     `json:"log_n"`
+	Iters    int     `json:"iters"`
+	NsPerOp  int64   `json:"ns_per_op"`
+	AllocsOp int64   `json:"allocs_per_op"`
+	BytesOp  int64   `json:"bytes_per_op"`
+	MBPerSec float64 `json:"-"`
+
+	// Per-stage kernel counters, averaged per prove.
+	Stages map[string]stageJSON `json:"stages"`
+	// Arena behavior, averaged per prove.
+	Arena arenaJSON `json:"arena"`
+}
+
+type stageJSON struct {
+	Calls  int64 `json:"calls"`
+	Elems  int64 `json:"elems"`
+	WallNs int64 `json:"wall_ns"`
+}
+
+type arenaJSON struct {
+	Gets   int64 `json:"gets"`
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
+// TestProveBenchJSON measures the real prover end to end and emits
+// BENCH_prove.json-style output for CI trend tracking.
+func TestProveBenchJSON(t *testing.T) {
+	if *benchJSON == "" {
+		t.Skip("-benchjson not set")
+	}
+	params := nocap.TestParams()
+	var entries []proveBenchEntry
+	for _, logN := range []int{10, 12, 14} {
+		bm := nocap.Synthetic(1 << uint(logN))
+		before := nocap.ReadProveStats()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := nocap.Prove(params, bm.Inst, bm.IO, bm.Witness); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		run := nocap.ReadProveStats().Delta(before)
+		n := int64(res.N)
+		stages := make(map[string]stageJSON, 5)
+		for name, ss := range run.Stages.Named() {
+			stages[name] = stageJSON{
+				Calls:  ss.Calls / n,
+				Elems:  ss.Elems / n,
+				WallNs: int64(ss.Wall) / n,
+			}
+		}
+		entries = append(entries, proveBenchEntry{
+			Name:     "Prove/synthetic",
+			LogN:     logN,
+			Iters:    res.N,
+			NsPerOp:  res.NsPerOp(),
+			AllocsOp: res.AllocsPerOp(),
+			BytesOp:  res.AllocedBytesPerOp(),
+			Stages:   stages,
+			Arena: arenaJSON{
+				Gets:   run.Arena.Gets / n,
+				Hits:   run.Arena.Hits / n,
+				Misses: run.Arena.Misses / n,
+			},
+		})
+		t.Logf("logN=%d: %d ns/op, %d allocs/op, %d B/op",
+			logN, res.NsPerOp(), res.AllocsPerOp(), res.AllocedBytesPerOp())
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

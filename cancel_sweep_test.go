@@ -188,8 +188,13 @@ func TestCancelDelayWithDeadline(t *testing.T) {
 		t.Run(point, func(t *testing.T) {
 			defer faultinject.Disarm()
 			snap := leakcheck.Take()
-			faultinject.Arm(faultinject.Plan{Point: point, Kind: faultinject.Delay, Sleep: 80 * time.Millisecond})
-			ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+			// The deadline must be long enough that the prover reliably
+			// reaches the armed point first (a chaos-scale prove under
+			// -race takes ~30ms on a loaded runner; 150ms gives 5×
+			// headroom), and the stall long enough that the deadline
+			// always expires inside it.
+			faultinject.Arm(faultinject.Plan{Point: point, Kind: faultinject.Delay, Sleep: 500 * time.Millisecond})
+			ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 			defer cancel()
 			_, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness)
 			if !errors.Is(err, context.DeadlineExceeded) {

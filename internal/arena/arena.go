@@ -1,0 +1,183 @@
+// Package arena is a size-classed, race-safe pool of []field.Element
+// scratch buffers with checkout/return discipline and leak accounting —
+// the software analogue of NoCap's explicitly managed register-file
+// banks: hot-loop operands live in recycled, known-size buffers instead
+// of being allocated (and garbage-collected) per kernel call.
+//
+// Discipline:
+//
+//   - Get/GetUninit check a buffer out; Put returns it. The caller that
+//     checks a buffer out owns it and is responsible for exactly one Put.
+//   - Buffers must never be Put while still referenced — returned memory
+//     is recycled and will be overwritten by the next checkout.
+//   - Put accepts the original slice or any prefix reslice of it (the
+//     sumcheck fold halves slices in place); ownership is keyed on the
+//     backing array's base pointer.
+//   - Memory that escapes into long-lived values (proofs, commitments)
+//     must come from plain make, never from the arena.
+//
+// Misuse is detected, not trusted: a Put of a slice that is not checked
+// out (double return, foreign slice) is dropped and counted in
+// Stats.DoubleReturns rather than poisoning the pool, and
+// Stats.Outstanding exposes the live-checkout count so tests can assert
+// leak-freedom around a proving run.
+package arena
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"nocap/internal/field"
+)
+
+// numClasses covers every power-of-two capacity addressable on a 64-bit
+// machine; classes large enough to matter simply fail in make like any
+// other allocation.
+const numClasses = 64
+
+// checkout records one live buffer: the boxed full-capacity slice to
+// recycle on return (boxed so Put re-pools the same pointer without
+// allocating), its size class, and the checked-out length for element
+// accounting.
+type checkout struct {
+	box   *[]field.Element
+	class int
+	n     int
+}
+
+// Arena is one pool instance. The zero value is not usable; call New.
+// All methods are safe for concurrent use.
+type Arena struct {
+	pools [numClasses]sync.Pool // each stores *[]field.Element with len == cap == 1<<class
+
+	mu   sync.Mutex
+	live map[*field.Element]checkout
+
+	gets, puts, hits, misses, doubleReturns atomic.Int64
+	outstandingElems                        atomic.Int64
+}
+
+// New returns an empty arena.
+func New() *Arena {
+	return &Arena{live: make(map[*field.Element]checkout)}
+}
+
+// Default is the process-wide arena the prover packages share.
+var Default = New()
+
+// Get checks out a zeroed buffer of length n (nil if n == 0).
+func (a *Arena) Get(n int) []field.Element {
+	s := a.GetUninit(n)
+	clear(s)
+	return s
+}
+
+// GetUninit checks out a buffer of length n with arbitrary contents —
+// for callers that overwrite every entry before reading any. Capacity is
+// the size class (next power of two ≥ n).
+func (a *Arena) GetUninit(n int) []field.Element {
+	if n <= 0 {
+		return nil
+	}
+	a.gets.Add(1)
+	a.outstandingElems.Add(int64(n))
+	class := bits.Len(uint(n - 1)) // ceil(log2 n); n=1 → class 0
+	var box *[]field.Element
+	if v := a.pools[class].Get(); v != nil {
+		a.hits.Add(1)
+		box = v.(*[]field.Element)
+	} else {
+		a.misses.Add(1)
+		full := make([]field.Element, 1<<class)
+		box = &full
+	}
+	s := (*box)[:n]
+	a.mu.Lock()
+	a.live[&s[0]] = checkout{box: box, class: class, n: n}
+	a.mu.Unlock()
+	return s
+}
+
+// Put returns a checked-out buffer (or any prefix reslice of one) to the
+// pool. Put(nil) is a no-op, so unconditional deferred returns of
+// possibly-empty checkouts are fine. Returning a slice the arena does
+// not currently track — a double return or a foreign slice — increments
+// DoubleReturns and is otherwise ignored.
+func (a *Arena) Put(s []field.Element) {
+	if len(s) == 0 {
+		return
+	}
+	key := &s[0]
+	a.mu.Lock()
+	co, ok := a.live[key]
+	if ok {
+		delete(a.live, key)
+	}
+	a.mu.Unlock()
+	if !ok {
+		a.doubleReturns.Add(1)
+		return
+	}
+	a.puts.Add(1)
+	a.outstandingElems.Add(-int64(co.n))
+	a.pools[co.class].Put(co.box)
+}
+
+// Stats is a snapshot of the arena's cumulative accounting counters.
+type Stats struct {
+	// Gets and Puts count successful checkouts and returns.
+	Gets, Puts int64
+	// Hits and Misses split Gets by whether the pool had a recycled
+	// buffer of the right class.
+	Hits, Misses int64
+	// DoubleReturns counts rejected Puts (double return or foreign
+	// slice). Always zero in a correct program.
+	DoubleReturns int64
+	// Outstanding is the number of live checkouts (Gets − Puts);
+	// OutstandingElems is their total element count. Both return to
+	// their pre-run values when a proving run leaks nothing.
+	Outstanding      int64
+	OutstandingElems int64
+}
+
+// Stats reads the current counters.
+func (a *Arena) Stats() Stats {
+	gets := a.gets.Load()
+	puts := a.puts.Load()
+	return Stats{
+		Gets:             gets,
+		Puts:             puts,
+		Hits:             a.hits.Load(),
+		Misses:           a.misses.Load(),
+		DoubleReturns:    a.doubleReturns.Load(),
+		Outstanding:      gets - puts,
+		OutstandingElems: a.outstandingElems.Load(),
+	}
+}
+
+// Sub returns the counter difference s − o, for attributing arena
+// activity to one run bracketed by two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Gets:             s.Gets - o.Gets,
+		Puts:             s.Puts - o.Puts,
+		Hits:             s.Hits - o.Hits,
+		Misses:           s.Misses - o.Misses,
+		DoubleReturns:    s.DoubleReturns - o.DoubleReturns,
+		Outstanding:      s.Outstanding - o.Outstanding,
+		OutstandingElems: s.OutstandingElems - o.OutstandingElems,
+	}
+}
+
+// Get checks a zeroed buffer out of the Default arena.
+func Get(n int) []field.Element { return Default.Get(n) }
+
+// GetUninit checks an uninitialized buffer out of the Default arena.
+func GetUninit(n int) []field.Element { return Default.GetUninit(n) }
+
+// Put returns a buffer to the Default arena.
+func Put(s []field.Element) { Default.Put(s) }
+
+// ReadStats reads the Default arena's counters.
+func ReadStats() Stats { return Default.Stats() }

@@ -16,7 +16,7 @@ import (
 	"math/rand"
 
 	"nocap/internal/field"
-	"nocap/internal/ntt"
+	"nocap/internal/kernel"
 )
 
 // Code is a linear error-correcting code over the Goldilocks field.
@@ -53,13 +53,10 @@ func NewReedSolomon() *ReedSolomon {
 
 // Encode implements Code.
 func (c *ReedSolomon) Encode(msg []field.Element) []field.Element {
-	n := len(msg)
-	if n == 0 || n&(n-1) != 0 {
-		panic("code: message length must be a positive power of two")
+	cw, err := c.EncodeCtx(context.Background(), msg)
+	if err != nil {
+		panic(err)
 	}
-	cw := make([]field.Element, n*c.BlowupFactor)
-	copy(cw, msg)
-	ntt.Forward(cw)
 	return cw
 }
 
@@ -68,16 +65,26 @@ func (c *ReedSolomon) Encode(msg []field.Element) []field.Element {
 // when a code provides it (see pcs.encodeCtx) so long row encodes stop
 // promptly when a proving context is cancelled.
 func (c *ReedSolomon) EncodeCtx(ctx context.Context, msg []field.Element) ([]field.Element, error) {
+	cw := make([]field.Element, len(msg)*c.BlowupFactor)
+	if err := c.EncodeIntoCtx(ctx, cw, msg); err != nil {
+		return nil, err
+	}
+	return cw, nil
+}
+
+// EncodeIntoCtx encodes msg into caller-owned scratch dst (length must
+// be exactly Blowup()×len(msg); contents may be arbitrary). This is the
+// allocation-free entry point the PCS uses with arena buffers; on error
+// dst must be discarded.
+func (c *ReedSolomon) EncodeIntoCtx(ctx context.Context, dst, msg []field.Element) error {
 	n := len(msg)
 	if n == 0 || n&(n-1) != 0 {
 		panic("code: message length must be a positive power of two")
 	}
-	cw := make([]field.Element, n*c.BlowupFactor)
-	copy(cw, msg)
-	if err := ntt.ForwardCtx(ctx, cw); err != nil {
-		return nil, err
+	if len(dst) != n*c.BlowupFactor {
+		panic("code: codeword buffer length mismatch")
 	}
-	return cw, nil
+	return kernel.RSEncodeCtx(ctx, dst, msg)
 }
 
 // Blowup implements Code.
@@ -109,18 +116,15 @@ type Expander struct {
 	NumQueries int
 
 	base *ReedSolomon
-	// graphs caches the sparse maps per (rows, cols, level tag).
-	graphs map[graphKey][][]graphEdge
+	// graphs caches the sparse maps per (rows, cols, level tag), in the
+	// kernel's shared sparse-row layout so encoding runs on the same
+	// SpMV kernel as the R1CS matrices.
+	graphs map[graphKey][][]kernel.Entry
 }
 
 type graphKey struct {
 	rows, cols int
 	tag        byte
-}
-
-type graphEdge struct {
-	col   int
-	coeff field.Element
 }
 
 // baseSize is the message size at which the recursion switches to RS.
@@ -134,25 +138,25 @@ func NewExpander(seed int64) *Expander {
 		RowWeight:  8,
 		NumQueries: 1222,
 		base:       NewReedSolomon(),
-		graphs:     make(map[graphKey][][]graphEdge),
+		graphs:     make(map[graphKey][][]kernel.Entry),
 	}
 }
 
 // graph returns (building if needed) the sparse rows×cols map for one
 // recursion level.
-func (c *Expander) graph(rows, cols int, tag byte) [][]graphEdge {
+func (c *Expander) graph(rows, cols int, tag byte) [][]kernel.Entry {
 	key := graphKey{rows, cols, tag}
 	if g, ok := c.graphs[key]; ok {
 		return g
 	}
 	rng := rand.New(rand.NewSource(c.Seed ^ int64(rows)<<32 ^ int64(cols)<<8 ^ int64(tag)))
-	g := make([][]graphEdge, rows)
+	g := make([][]kernel.Entry, rows)
 	for r := range g {
-		edges := make([]graphEdge, c.RowWeight)
+		edges := make([]kernel.Entry, c.RowWeight)
 		for e := range edges {
-			edges[e] = graphEdge{
-				col:   rng.Intn(cols),
-				coeff: field.New(rng.Uint64()),
+			edges[e] = kernel.Entry{
+				Col: rng.Intn(cols),
+				Val: field.New(rng.Uint64()),
 			}
 		}
 		g[r] = edges
@@ -165,13 +169,7 @@ func (c *Expander) graph(rows, cols int, tag byte) [][]graphEdge {
 func (c *Expander) spmv(rows int, x []field.Element, tag byte) []field.Element {
 	g := c.graph(rows, len(x), tag)
 	out := make([]field.Element, rows)
-	for r, edges := range g {
-		var acc field.Element
-		for _, e := range edges {
-			acc = field.Add(acc, field.Mul(e.coeff, x[e.col]))
-		}
-		out[r] = acc
-	}
+	kernel.SpMVSerial(out, g, x)
 	return out
 }
 

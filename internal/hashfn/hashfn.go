@@ -44,12 +44,20 @@ func HashElems(elems []field.Element) Digest {
 	return Sum(buf)
 }
 
+// AppendElems appends the packed little-endian representation of elems to
+// dst and returns the extended slice. Callers that hash many vectors
+// reuse one byte buffer (dst[:0]) instead of allocating per vector.
+func AppendElems(dst []byte, elems []field.Element) []byte {
+	for _, e := range elems {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], e.Uint64())
+		dst = append(dst, b[:]...)
+	}
+	return dst
+}
+
 // ElemBytes returns the packed little-endian byte representation of a
 // field-element vector, as streamed into the hash FU.
 func ElemBytes(elems []field.Element) []byte {
-	buf := make([]byte, 8*len(elems))
-	for i, e := range elems {
-		binary.LittleEndian.PutUint64(buf[8*i:], e.Uint64())
-	}
-	return buf
+	return AppendElems(make([]byte, 0, 8*len(elems)), elems)
 }

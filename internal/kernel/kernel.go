@@ -1,0 +1,227 @@
+// Package kernel holds the in-place, scratch-taking implementations of
+// the five task-taxonomy kernels the paper schedules onto NoCap's
+// functional units (§V-A): sumcheck DP folds, Reed-Solomon encode,
+// Merkle hashing, sparse matrix-vector products, and MLE/polynomial
+// arithmetic. The higher layers (ntt, code, merkle, pcs, sumcheck,
+// spartan, poly) route their hot loops through this package so that
+//
+//   - destination buffers are caller-owned (typically arena checkouts),
+//     so the steady-state prover performs no per-call allocation, and
+//   - every invocation is attributed to a stage counter (stats.go),
+//     making the prover's stage breakdown observable the way the paper's
+//     per-kernel tables are.
+//
+// Kernels never retain or return internal references to their arguments;
+// ownership of dst stays with the caller. Ctx variants poll cancellation
+// at bounded intervals and return the context error with dst in an
+// unspecified partially-written state.
+package kernel
+
+import (
+	"context"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+	"nocap/internal/ntt"
+	"nocap/internal/par"
+)
+
+// ctxCheckInterval is how many output elements a serial kernel processes
+// between context polls; 2^12 elements is well under a millisecond of
+// work on any target, matching the checkpoint policy of DESIGN.md §8.
+const ctxCheckInterval = 1 << 12
+
+// Entry is one nonzero of a sparse-matrix row: column index and value.
+// r1cs.SparseMatrix and the expander-code graphs share this layout so a
+// single SpMV kernel serves both.
+type Entry struct {
+	Col int
+	Val field.Element
+}
+
+// Fold performs one sumcheck DP fold in place:
+//
+//	evals'[i] = evals[i] + r·(evals[i+half] − evals[i])
+//
+// and returns the halved prefix evals[:half], which aliases the input's
+// backing array (so an arena checkout can still be returned via the
+// original slice). len(evals) must be even and non-zero.
+func Fold(evals []field.Element, r field.Element) []field.Element {
+	sp := Begin(StageSumcheck)
+	half := len(evals) / 2
+	lo, hi := evals[:half], evals[half:]
+	for i := range lo {
+		lo[i] = field.Add(lo[i], field.Mul(r, field.Sub(hi[i], lo[i])))
+	}
+	sp.End(half)
+	return lo
+}
+
+// EqExpand fills table with the multilinear equality polynomial's
+// evaluations eq(r, x) over all x ∈ {0,1}^len(r), in lexicographic order
+// with x[0] as the high bit. len(table) must be exactly 1<<len(r). Every
+// entry is written, so uninitialized (arena GetUninit) scratch is safe.
+func EqExpand(table []field.Element, r []field.Element) {
+	if len(table) != 1<<len(r) {
+		panic("kernel: eq table size mismatch")
+	}
+	sp := Begin(StagePoly)
+	table[0] = field.One
+	size := 1
+	for _, rk := range r {
+		// Split each current entry t into t·(1−rk) and t·rk.
+		for i := size - 1; i >= 0; i-- {
+			t := table[i]
+			hi := field.Mul(t, rk)
+			table[2*i] = field.Sub(t, hi)
+			table[2*i+1] = hi
+		}
+		size <<= 1
+	}
+	sp.End(len(table))
+}
+
+// VecCombine accumulates dst += Σ_r coeffs[r]·rows[r]. dst must already
+// hold the base vector (e.g. a ZK mask, or zeros). Every rows[r] must
+// have length ≥ len(dst); only the first len(dst) entries participate.
+func VecCombine(dst []field.Element, coeffs []field.Element, rows [][]field.Element) {
+	sp := Begin(StagePoly)
+	n := 0
+	for r, c := range coeffs {
+		if c.IsZero() {
+			continue
+		}
+		field.VecScaleAdd(dst, c, rows[r][:len(dst)])
+		n += len(dst)
+	}
+	sp.End(n)
+}
+
+// RSEncodeCtx writes the Reed-Solomon codeword of msg into dst: msg is
+// copied, the tail is zero-padded (dst may be dirty arena scratch), and
+// the whole buffer is NTT-transformed in place. len(dst) must be the
+// codeword length (a power of two ≥ len(msg)). On error dst must be
+// discarded.
+func RSEncodeCtx(ctx context.Context, dst, msg []field.Element) error {
+	if len(msg) > len(dst) {
+		panic("kernel: rs-encode message longer than codeword")
+	}
+	sp := Begin(StageEncode)
+	copy(dst, msg)
+	clear(dst[len(msg):])
+	err := ntt.ForwardCtx(ctx, dst)
+	sp.End(len(dst))
+	return err
+}
+
+// MerkleLevelCtx compresses one Merkle level: dst[i] = H(prev[2i] ‖
+// prev[2i+1]). len(prev) must be 2·len(dst). Cancellation is polled
+// every ctxCheckInterval nodes.
+func MerkleLevelCtx(ctx context.Context, dst, prev []hashfn.Digest) error {
+	if len(prev) != 2*len(dst) {
+		panic("kernel: merkle level size mismatch")
+	}
+	sp := Begin(StageMerkle)
+	for i := range dst {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				sp.End(i)
+				return err
+			}
+		}
+		dst[i] = hashfn.Hash2(prev[2*i], prev[2*i+1])
+	}
+	sp.End(len(dst))
+	return nil
+}
+
+// ColumnLeavesCtx hashes every column of the row-major matrix rows into
+// leaves: leaves[j] = H(rows[0][j] ‖ rows[1][j] ‖ …). Every rows[r] must
+// have length ≥ len(leaves). Columns fan out across the worker pool;
+// each worker reuses one gather buffer and one byte buffer for its whole
+// chunk, so the loop allocates O(workers), not O(columns).
+func ColumnLeavesCtx(ctx context.Context, leaves []hashfn.Digest, rows [][]field.Element) error {
+	sp := Begin(StageMerkle)
+	depth := len(rows)
+	err := par.ForErrCtx(ctx, len(leaves), func(lo, hi int) error {
+		col := make([]field.Element, depth)
+		buf := make([]byte, 0, 8*depth)
+		for j := lo; j < hi; j++ {
+			for r, row := range rows {
+				col[r] = row[j]
+			}
+			buf = hashfn.AppendElems(buf[:0], col)
+			leaves[j] = hashfn.Sum(buf)
+		}
+		return nil
+	})
+	sp.End(len(leaves) * depth)
+	return err
+}
+
+// SpMVCtx computes the sparse matrix-vector product dst[i] = rows[i]·x
+// across the worker pool. Worker panics re-raise on the calling
+// goroutine (par.ForCtx semantics), so callers keep their existing
+// zkerr containment behavior.
+func SpMVCtx(ctx context.Context, dst []field.Element, rows [][]Entry, x []field.Element) error {
+	if len(dst) != len(rows) {
+		panic("kernel: spmv output size mismatch")
+	}
+	sp := Begin(StageSpMV)
+	err := par.ForCtx(ctx, len(rows), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var acc field.Element
+			for _, e := range rows[i] {
+				acc = field.Add(acc, field.Mul(e.Val, x[e.Col]))
+			}
+			dst[i] = acc
+		}
+	})
+	sp.End(len(rows))
+	return err
+}
+
+// SpMVSerial is SpMV on the calling goroutine, for small systems and
+// recursive encoders where fan-out costs more than it saves.
+func SpMVSerial(dst []field.Element, rows [][]Entry, x []field.Element) {
+	if len(dst) != len(rows) {
+		panic("kernel: spmv output size mismatch")
+	}
+	sp := Begin(StageSpMV)
+	for i, row := range rows {
+		var acc field.Element
+		for _, e := range row {
+			acc = field.Add(acc, field.Mul(e.Val, x[e.Col]))
+		}
+		dst[i] = acc
+	}
+	sp.End(len(rows))
+}
+
+// SpMVTCtx accumulates the scaled transpose product
+//
+//	dst[e.Col] += scale·y[i]·e.Val   for every entry e of rows[i]
+//
+// serially (the column scatter would race under fan-out). This is the
+// Mᵀ·y shape of Spartan's inner sumcheck assembly. len(y) must be
+// ≥ len(rows); dst must span every referenced column.
+func SpMVTCtx(ctx context.Context, dst []field.Element, rows [][]Entry, y []field.Element, scale field.Element) error {
+	sp := Begin(StageSpMV)
+	for i, row := range rows {
+		if i%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				sp.End(i)
+				return err
+			}
+		}
+		w := field.Mul(scale, y[i])
+		if w.IsZero() {
+			continue
+		}
+		for _, e := range row {
+			dst[e.Col] = field.Add(dst[e.Col], field.Mul(w, e.Val))
+		}
+	}
+	sp.End(len(rows))
+	return nil
+}

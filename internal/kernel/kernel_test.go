@@ -1,0 +1,311 @@
+package kernel
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+	"nocap/internal/hashfn"
+	"nocap/internal/ntt"
+	"nocap/internal/tasks"
+)
+
+func randElems(t *testing.T, rng *rand.Rand, n int) []field.Element {
+	t.Helper()
+	out := make([]field.Element, n)
+	for i := range out {
+		out[i] = field.New(rng.Uint64())
+	}
+	return out
+}
+
+func TestFoldMatchesReferenceAndAliases(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	evals := randElems(t, rng, 64)
+	r := field.New(rng.Uint64())
+
+	want := make([]field.Element, 32)
+	for i := range want {
+		want[i] = field.Add(evals[i], field.Mul(r, field.Sub(evals[i+32], evals[i])))
+	}
+
+	base := &evals[0]
+	got := Fold(evals, r)
+	if len(got) != 32 {
+		t.Fatalf("folded length = %d, want 32", len(got))
+	}
+	if &got[0] != base {
+		t.Fatal("Fold must return a prefix of its input (arena Put is keyed on the base pointer)")
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fold[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// eqRef evaluates eq(r, x) = Π_k (r_k·x_k + (1−r_k)(1−x_k)) directly.
+func eqRef(r []field.Element, x int) field.Element {
+	acc := field.One
+	for k, rk := range r {
+		bit := (x >> (len(r) - 1 - k)) & 1
+		if bit == 1 {
+			acc = field.Mul(acc, rk)
+		} else {
+			acc = field.Mul(acc, field.Sub(field.One, rk))
+		}
+	}
+	return acc
+}
+
+func TestEqExpandMatchesProductFormula(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	r := randElems(t, rng, 5)
+	table := make([]field.Element, 1<<5)
+	// Pre-dirty: EqExpand must overwrite every entry.
+	for i := range table {
+		table[i] = field.New(^uint64(0) >> 1)
+	}
+	EqExpand(table, r)
+	for x := range table {
+		if want := eqRef(r, x); table[x] != want {
+			t.Fatalf("eq table[%d] = %v, want %v", x, table[x], want)
+		}
+	}
+}
+
+func TestEqExpandSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on table/point size mismatch")
+		}
+	}()
+	EqExpand(make([]field.Element, 7), make([]field.Element, 3))
+}
+
+func TestVecCombineMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	rows := [][]field.Element{
+		randElems(t, rng, 20),
+		randElems(t, rng, 16),
+		randElems(t, rng, 16),
+	}
+	coeffs := []field.Element{field.New(rng.Uint64()), field.Zero, field.New(rng.Uint64())}
+	base := randElems(t, rng, 16)
+
+	want := append([]field.Element(nil), base...)
+	for r, c := range coeffs {
+		for i := range want {
+			want[i] = field.Add(want[i], field.Mul(c, rows[r][i]))
+		}
+	}
+
+	dst := append([]field.Element(nil), base...)
+	VecCombine(dst, coeffs, rows)
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestRSEncodeCtxOverwritesDirtyScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	msg := randElems(t, rng, 16)
+
+	want := make([]field.Element, 64)
+	copy(want, msg)
+	ntt.Forward(want)
+
+	// Arena scratch arrives with arbitrary contents; the kernel must
+	// zero-pad the tail itself or codewords depend on stale memory.
+	dst := randElems(t, rng, 64)
+	if err := RSEncodeCtx(context.Background(), dst, msg); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("codeword[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestMerkleLevelCtxMatchesHash2(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	prev := make([]hashfn.Digest, 16)
+	for i := range prev {
+		prev[i] = hashfn.HashElems(randElems(t, rng, 2))
+	}
+	dst := make([]hashfn.Digest, 8)
+	if err := MerkleLevelCtx(context.Background(), dst, prev); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst {
+		if want := hashfn.Hash2(prev[2*i], prev[2*i+1]); dst[i] != want {
+			t.Fatalf("level[%d] mismatch", i)
+		}
+	}
+}
+
+func TestColumnLeavesCtxMatchesHashElems(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const depth, cols = 5, 33
+	rows := make([][]field.Element, depth)
+	for r := range rows {
+		rows[r] = randElems(t, rng, cols)
+	}
+	leaves := make([]hashfn.Digest, cols)
+	if err := ColumnLeavesCtx(context.Background(), leaves, rows); err != nil {
+		t.Fatal(err)
+	}
+	col := make([]field.Element, depth)
+	for j := 0; j < cols; j++ {
+		for r := range rows {
+			col[r] = rows[r][j]
+		}
+		if want := hashfn.HashElems(col); leaves[j] != want {
+			t.Fatalf("leaf %d mismatch", j)
+		}
+	}
+}
+
+func spmvRef(rows [][]Entry, x []field.Element) []field.Element {
+	out := make([]field.Element, len(rows))
+	for i, row := range rows {
+		for _, e := range row {
+			out[i] = field.Add(out[i], field.Mul(e.Val, x[e.Col]))
+		}
+	}
+	return out
+}
+
+func randSparse(rng *rand.Rand, numRows, numCols int) [][]Entry {
+	rows := make([][]Entry, numRows)
+	for i := range rows {
+		for k := 0; k < rng.Intn(4); k++ {
+			rows[i] = append(rows[i], Entry{Col: rng.Intn(numCols), Val: field.New(rng.Uint64())})
+		}
+	}
+	return rows
+}
+
+func TestSpMVVariantsMatchReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	rows := randSparse(rng, 200, 64)
+	x := randElems(t, rng, 64)
+	want := spmvRef(rows, x)
+
+	dst := randElems(t, rng, 200) // dirty: kernels overwrite, not accumulate
+	if err := SpMVCtx(context.Background(), dst, rows, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SpMVCtx[%d] mismatch", i)
+		}
+	}
+
+	dst2 := randElems(t, rng, 200)
+	SpMVSerial(dst2, rows, x)
+	for i := range want {
+		if dst2[i] != want[i] {
+			t.Fatalf("SpMVSerial[%d] mismatch", i)
+		}
+	}
+}
+
+func TestSpMVTCtxMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	rows := randSparse(rng, 64, 48)
+	y := randElems(t, rng, 64)
+	scale := field.New(rng.Uint64())
+
+	want := make([]field.Element, 48)
+	for i, row := range rows {
+		w := field.Mul(scale, y[i])
+		for _, e := range row {
+			want[e.Col] = field.Add(want[e.Col], field.Mul(w, e.Val))
+		}
+	}
+
+	dst := make([]field.Element, 48) // zeroed: SpMVT accumulates
+	if err := SpMVTCtx(context.Background(), dst, rows, y, scale); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("SpMVT[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestCtxKernelsHonorCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(9))
+
+	if err := RSEncodeCtx(ctx, make([]field.Element, 64), randElems(t, rng, 16)); err == nil {
+		t.Error("RSEncodeCtx ignored cancelled context")
+	}
+	if err := MerkleLevelCtx(ctx, make([]hashfn.Digest, 4), make([]hashfn.Digest, 8)); err == nil {
+		t.Error("MerkleLevelCtx ignored cancelled context")
+	}
+	if err := SpMVCtx(ctx, make([]field.Element, 8), randSparse(rng, 8, 8), randElems(t, rng, 8)); err == nil {
+		t.Error("SpMVCtx ignored cancelled context")
+	}
+	if err := SpMVTCtx(ctx, make([]field.Element, 8), randSparse(rng, 8, 8), randElems(t, rng, 8), field.One); err == nil {
+		t.Error("SpMVTCtx ignored cancelled context")
+	}
+	if err := ColumnLeavesCtx(ctx, make([]hashfn.Digest, 8), [][]field.Element{randElems(t, rng, 8)}); err == nil {
+		t.Error("ColumnLeavesCtx ignored cancelled context")
+	}
+}
+
+func TestStageNamesMatchTaskTaxonomy(t *testing.T) {
+	// The stage labels must stay in lockstep with internal/tasks so that
+	// ProveStats breakdowns line up with the simulator's task families.
+	pairs := []struct {
+		stage Stage
+		kind  tasks.Kind
+	}{
+		{StageSumcheck, tasks.Sumcheck},
+		{StageEncode, tasks.RSEncode},
+		{StageMerkle, tasks.Merkle},
+		{StageSpMV, tasks.SpMV},
+		{StagePoly, tasks.PolyArith},
+	}
+	for _, p := range pairs {
+		if p.stage.String() != p.kind.String() {
+			t.Errorf("stage %d = %q, tasks kind = %q", p.stage, p.stage, p.kind)
+		}
+	}
+}
+
+func TestSpansCreditCounters(t *testing.T) {
+	before := Snapshot()
+	rng := rand.New(rand.NewSource(10))
+	Fold(randElems(t, rng, 16), field.One)
+	d := Snapshot().Sub(before)
+	if d.Sumcheck.Calls != 1 {
+		t.Fatalf("sumcheck calls delta = %d, want 1", d.Sumcheck.Calls)
+	}
+	if d.Sumcheck.Elems != 8 {
+		t.Fatalf("sumcheck elems delta = %d, want 8 (the folded half)", d.Sumcheck.Elems)
+	}
+	if d.Sumcheck.Wall <= 0 {
+		t.Fatalf("sumcheck wall delta = %v, want > 0", d.Sumcheck.Wall)
+	}
+}
+
+func TestNamedCoversAllStages(t *testing.T) {
+	named := Snapshot().Named()
+	for _, want := range []string{"sumcheck", "rs-encode", "merkle", "spmv", "poly-arith"} {
+		if _, ok := named[want]; !ok {
+			t.Errorf("Named() missing stage %q", want)
+		}
+	}
+	if len(named) != 5 {
+		t.Errorf("Named() has %d entries, want 5", len(named))
+	}
+}

@@ -1,0 +1,164 @@
+// Per-stage execution counters for the kernel layer.
+//
+// Every kernel entry point records wall time, elements processed, and
+// call counts against one of the five task-taxonomy stages. Counters are
+// cumulative atomics: concurrent provers add to the same counters, and
+// callers take before/after snapshots (Snapshot + Stats.Sub) to attribute
+// work to one proving run. Instrumentation is always on — a span is two
+// monotonic-clock reads and three atomic adds, far below the cost of any
+// kernel invocation it wraps.
+//
+// Note on concurrency: kernels that fan out across a worker pool time the
+// whole fan-out from the coordinating goroutine, so Wall is wall-clock
+// time, not CPU time summed over workers.
+package kernel
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Stage identifies one of the five task-taxonomy kernels (paper §V-A).
+// The names match internal/tasks' task kinds.
+type Stage int
+
+const (
+	// StageSumcheck is the sumcheck dynamic-programming kernel: DP-array
+	// folds and round-polynomial evaluations (paper Listing 1).
+	StageSumcheck Stage = iota
+	// StageEncode is the Reed-Solomon encode kernel (zero-extend + NTT).
+	StageEncode
+	// StageMerkle is the Merkle hashing kernel: column leaf packing and
+	// 2-to-1 level compression.
+	StageMerkle
+	// StageSpMV is the sparse matrix-vector product kernel.
+	StageSpMV
+	// StagePoly is the MLE / polynomial arithmetic kernel: eq-table
+	// expansion and row combinations.
+	StagePoly
+
+	numStages
+)
+
+var stageNames = [numStages]string{"sumcheck", "rs-encode", "merkle", "spmv", "poly-arith"}
+
+// String returns the taxonomy name of the stage.
+func (s Stage) String() string {
+	if s < 0 || s >= numStages {
+		return fmt.Sprintf("stage(%d)", int(s))
+	}
+	return stageNames[s]
+}
+
+// stageCounters is one stage's cumulative counters.
+type stageCounters struct {
+	calls atomic.Int64
+	elems atomic.Int64
+	ns    atomic.Int64
+}
+
+var perStage [numStages]stageCounters
+
+// Span is an in-flight timing measurement begun with Begin.
+type Span struct {
+	stage Stage
+	start time.Time
+}
+
+// Begin starts timing one kernel invocation for the given stage.
+func Begin(stage Stage) Span {
+	return Span{stage: stage, start: time.Now()}
+}
+
+// End finishes the span, crediting the stage with one call, the given
+// number of processed elements, and the elapsed wall time.
+func (sp Span) End(elems int) {
+	c := &perStage[sp.stage]
+	c.calls.Add(1)
+	c.elems.Add(int64(elems))
+	c.ns.Add(int64(time.Since(sp.start)))
+}
+
+// StageStats is a snapshot of one stage's cumulative counters.
+type StageStats struct {
+	// Calls is the number of kernel invocations.
+	Calls int64
+	// Elems is the total number of elements processed.
+	Elems int64
+	// Wall is the cumulative wall time spent inside the kernel.
+	Wall time.Duration
+}
+
+// Sub returns the counter difference s − o.
+func (s StageStats) Sub(o StageStats) StageStats {
+	return StageStats{Calls: s.Calls - o.Calls, Elems: s.Elems - o.Elems, Wall: s.Wall - o.Wall}
+}
+
+// Stats is a snapshot of every stage's counters.
+type Stats struct {
+	Sumcheck StageStats
+	Encode   StageStats
+	Merkle   StageStats
+	SpMV     StageStats
+	Poly     StageStats
+}
+
+// Snapshot reads the current cumulative counters for all stages.
+func Snapshot() Stats {
+	read := func(st Stage) StageStats {
+		c := &perStage[st]
+		return StageStats{
+			Calls: c.calls.Load(),
+			Elems: c.elems.Load(),
+			Wall:  time.Duration(c.ns.Load()),
+		}
+	}
+	return Stats{
+		Sumcheck: read(StageSumcheck),
+		Encode:   read(StageEncode),
+		Merkle:   read(StageMerkle),
+		SpMV:     read(StageSpMV),
+		Poly:     read(StagePoly),
+	}
+}
+
+// Sub returns the per-stage difference s − o, used to attribute counters
+// to one proving run bracketed by two snapshots.
+func (s Stats) Sub(o Stats) Stats {
+	return Stats{
+		Sumcheck: s.Sumcheck.Sub(o.Sumcheck),
+		Encode:   s.Encode.Sub(o.Encode),
+		Merkle:   s.Merkle.Sub(o.Merkle),
+		SpMV:     s.SpMV.Sub(o.SpMV),
+		Poly:     s.Poly.Sub(o.Poly),
+	}
+}
+
+// Named returns the stages keyed by their taxonomy names, for JSON
+// emission and generic reporting.
+func (s Stats) Named() map[string]StageStats {
+	return map[string]StageStats{
+		StageSumcheck.String(): s.Sumcheck,
+		StageEncode.String():   s.Encode,
+		StageMerkle.String():   s.Merkle,
+		StageSpMV.String():     s.SpMV,
+		StagePoly.String():     s.Poly,
+	}
+}
+
+// String renders the snapshot as an aligned table (one row per stage).
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %12s %16s %14s\n", "stage", "calls", "elems", "wall")
+	row := func(st Stage, ss StageStats) {
+		fmt.Fprintf(&b, "%-10s %12d %16d %14s\n", st, ss.Calls, ss.Elems, ss.Wall)
+	}
+	row(StageSumcheck, s.Sumcheck)
+	row(StageEncode, s.Encode)
+	row(StageMerkle, s.Merkle)
+	row(StageSpMV, s.SpMV)
+	row(StagePoly, s.Poly)
+	return b.String()
+}

@@ -12,6 +12,7 @@ import (
 	"nocap/internal/faultinject"
 	"nocap/internal/field"
 	"nocap/internal/hashfn"
+	"nocap/internal/kernel"
 	"nocap/internal/zkerr"
 )
 
@@ -40,23 +41,22 @@ func New(leaves []hashfn.Digest) *Tree {
 	return t
 }
 
-// ctxCheckInterval is how many interior-node hashes a tree build does
-// between context checks: coarse enough to be free, fine enough that a
-// cancelled multi-million-leaf build stops within a few thousand hashes.
-const ctxCheckInterval = 1 << 12
-
-// NewCtx is New with cooperative cancellation: the build checks the
-// context every ctxCheckInterval hashes within each level and passes
-// through the "merkle.build.level" fault-injection point once per
-// level.
+// NewCtx is New with cooperative cancellation: each level passes
+// through the "merkle.build.level" fault-injection point, and the
+// level-compression kernel polls the context at bounded intervals
+// within a level. All 2n−1 nodes live in one backing allocation rather
+// than one slice per level.
 func NewCtx(ctx context.Context, leaves []hashfn.Digest) (*Tree, error) {
 	n := len(leaves)
 	if n == 0 || n&(n-1) != 0 {
 		panic("merkle: leaf count must be a positive power of two")
 	}
 	depth := bits.TrailingZeros(uint(n))
+	nodes := make([]hashfn.Digest, 2*n-1)
 	levels := make([][]hashfn.Digest, depth+1)
-	levels[0] = append([]hashfn.Digest(nil), leaves...)
+	levels[0] = nodes[:n]
+	copy(levels[0], leaves)
+	off := n
 	for d := 1; d <= depth; d++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -65,14 +65,10 @@ func NewCtx(ctx context.Context, leaves []hashfn.Digest) (*Tree, error) {
 			return nil, err
 		}
 		prev := levels[d-1]
-		cur := make([]hashfn.Digest, len(prev)/2)
-		for i := range cur {
-			if i&(ctxCheckInterval-1) == 0 && i > 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			cur[i] = hashfn.Hash2(prev[2*i], prev[2*i+1])
+		cur := nodes[off : off+len(prev)/2]
+		off += len(cur)
+		if err := kernel.MerkleLevelCtx(ctx, cur, prev); err != nil {
+			return nil, err
 		}
 		levels[d] = cur
 	}

@@ -10,8 +10,9 @@ import (
 // commitment this library produces).
 const maxDepth = 64
 
-// AppendTo serializes the path.
+// AppendTo serializes the path with one buffer growth at most.
 func (p Path) AppendTo(w *wire.Writer) {
+	w.Grow(16 + hashfn.Size*len(p.Siblings))
 	w.U64(uint64(p.Index))
 	w.U64(uint64(len(p.Siblings)))
 	for _, s := range p.Siblings {

@@ -22,10 +22,12 @@ import (
 	"fmt"
 	"math/bits"
 
+	"nocap/internal/arena"
 	"nocap/internal/code"
 	"nocap/internal/faultinject"
 	"nocap/internal/field"
 	"nocap/internal/hashfn"
+	"nocap/internal/kernel"
 	"nocap/internal/merkle"
 	"nocap/internal/par"
 	"nocap/internal/poly"
@@ -40,6 +42,12 @@ type ctxEncoder interface {
 	EncodeCtx(ctx context.Context, msg []field.Element) ([]field.Element, error)
 }
 
+// intoEncoder is the allocation-free face: the codeword is written into
+// caller-owned scratch of length Blowup()×len(msg).
+type intoEncoder interface {
+	EncodeIntoCtx(ctx context.Context, dst, msg []field.Element) error
+}
+
 // encodeCtx encodes one row under ctx when the code supports it.
 func encodeCtx(ctx context.Context, c code.Code, msg []field.Element) ([]field.Element, error) {
 	if ce, ok := c.(ctxEncoder); ok {
@@ -49,6 +57,20 @@ func encodeCtx(ctx context.Context, c code.Code, msg []field.Element) ([]field.E
 		return nil, err
 	}
 	return c.Encode(msg), nil
+}
+
+// encodeInto encodes one row into dst, using the code's in-place entry
+// point when it has one and copying from a temporary codeword otherwise.
+func encodeInto(ctx context.Context, c code.Code, dst, msg []field.Element) error {
+	if ie, ok := c.(intoEncoder); ok {
+		return ie.EncodeIntoCtx(ctx, dst, msg)
+	}
+	cw, err := encodeCtx(ctx, c, msg)
+	if err != nil {
+		return err
+	}
+	copy(dst, cw)
+	return nil
 }
 
 // Params configures the scheme.
@@ -104,36 +126,66 @@ type Commitment struct {
 // SizeBytes returns the serialized commitment size.
 func (c *Commitment) SizeBytes() int { return hashfn.Size + 4*8 }
 
-// ProverState retains what the prover needs to open a commitment.
+// ProverState retains what the prover needs to open a commitment. The
+// row, mask, and codeword matrices live in three arena checkouts
+// (rowsBuf/masksBuf/encBuf back the per-row subslices), so a state must
+// be Closed once its openings are done to return the scratch.
 type ProverState struct {
 	params  Params
 	comm    *Commitment
 	rows    [][]field.Element // Rows × MsgLen (data ‖ zk tail ‖ zero pad)
 	masks   [][]field.Element // numMasks × MsgLen, random
 	encoded [][]field.Element // (Rows+numMasks) × MsgLen·blowup
-	tree    *merkle.Tree
+
+	rowsBuf, masksBuf, encBuf []field.Element
+	tree                      *merkle.Tree
+	closed                    bool
 }
 
 // Commitment returns the public commitment.
 func (s *ProverState) Commitment() *Commitment { return s.comm }
 
-// randElems samples uniform field elements from crypto/rand.
-func randElems(n int) []field.Element {
-	buf := make([]byte, 8)
-	out := make([]field.Element, n)
-	for i := range out {
-		for {
-			if _, err := rand.Read(buf); err != nil {
-				panic("pcs: crypto/rand failure: " + err.Error())
-			}
-			v := binary.LittleEndian.Uint64(buf)
+// Close returns the state's scratch buffers to the arena. The state must
+// not be opened afterwards (the Commitment remains valid). Idempotent
+// and nil-safe, so `defer st.Close()` is always correct.
+func (s *ProverState) Close() {
+	if s == nil || s.closed {
+		return
+	}
+	s.closed = true
+	arena.Put(s.rowsBuf)
+	arena.Put(s.masksBuf)
+	arena.Put(s.encBuf)
+	s.rowsBuf, s.masksBuf, s.encBuf = nil, nil, nil
+	s.rows, s.masks, s.encoded = nil, nil, nil
+	s.tree = nil
+}
+
+// randFill fills dst with uniform field elements from crypto/rand,
+// reading in batches with rejection sampling (rejection probability per
+// draw is ~2⁻³², so retries are vanishingly rare).
+func randFill(dst []field.Element) {
+	if len(dst) == 0 {
+		return
+	}
+	const batch = 64
+	buf := make([]byte, 8*batch)
+	for i := 0; i < len(dst); {
+		n := len(dst) - i
+		if n > batch {
+			n = batch
+		}
+		if _, err := rand.Read(buf[:8*n]); err != nil {
+			panic("pcs: crypto/rand failure: " + err.Error())
+		}
+		for j := 0; j < n; j++ {
+			v := binary.LittleEndian.Uint64(buf[8*j:])
 			if v < field.Modulus {
-				out[i] = field.Element(v)
-				break
+				dst[i] = field.Element(v)
+				i++
 			}
 		}
 	}
-	return out
 }
 
 // Commit commits to the multilinear polynomial with the given evaluation
@@ -169,25 +221,50 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 		msgLen++
 	}
 
+	// The row, mask, and codeword matrices are subslices of three arena
+	// checkouts, owned by the ProverState until Close. rowsBuf is zeroed
+	// (the pad region past data+ZK tail must be zero); the other two are
+	// fully overwritten before use.
+	zkTail := 0
+	if params.ZK {
+		zkTail = params.Code.Queries()
+	}
+	rowsBuf := arena.Get(params.Rows * msgLen)
+	masksBuf := arena.GetUninit(params.numMasks() * msgLen)
+	var encBuf []field.Element
+	committed := false
+	defer func() {
+		if !committed {
+			arena.Put(rowsBuf)
+			arena.Put(masksBuf)
+			arena.Put(encBuf)
+		}
+	}()
+
 	rows := make([][]field.Element, params.Rows)
 	for r := range rows {
-		row := make([]field.Element, msgLen)
+		row := rowsBuf[r*msgLen : (r+1)*msgLen]
 		copy(row[:cols], vec[r*cols:(r+1)*cols])
-		if params.ZK {
-			copy(row[cols:cols+params.Code.Queries()], randElems(params.Code.Queries()))
-		}
+		randFill(row[cols : cols+zkTail])
 		rows[r] = row
 	}
 	masks := make([][]field.Element, params.numMasks())
 	for i := range masks {
-		masks[i] = randElems(msgLen)
+		m := masksBuf[i*msgLen : (i+1)*msgLen]
+		randFill(m)
+		masks[i] = m
 	}
 
 	total := params.Rows + len(masks)
 	all := make([][]field.Element, 0, total)
 	all = append(all, rows...)
 	all = append(all, masks...)
+	encLen := msgLen * params.Code.Blowup()
+	encBuf = arena.GetUninit(total * encLen)
 	encoded := make([][]field.Element, total)
+	for r := range encoded {
+		encoded[r] = encBuf[r*encLen : (r+1)*encLen]
+	}
 	// Encode the first row serially to warm size-dependent caches
 	// (twiddle tables, expander graphs), then fan out: row encodes are
 	// independent (the parallel CPU baseline of §III). ForErrCtx contains
@@ -197,14 +274,12 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 	if err := faultinject.Check("pcs.commit.encode"); err != nil {
 		return nil, fmt.Errorf("pcs: row encode: %w", err)
 	}
-	var err error
-	if encoded[0], err = encodeCtx(ctx, params.Code, all[0]); err != nil {
+	if err := encodeInto(ctx, params.Code, encoded[0], all[0]); err != nil {
 		return nil, fmt.Errorf("pcs: row encode: %w", err)
 	}
 	if err := par.ForErrCtx(ctx, total-1, func(lo, hi int) error {
 		for r := lo + 1; r < hi+1; r++ {
-			var err error
-			if encoded[r], err = encodeCtx(ctx, params.Code, all[r]); err != nil {
+			if err := encodeInto(ctx, params.Code, encoded[r], all[r]); err != nil {
 				return err
 			}
 		}
@@ -216,18 +291,8 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 	if err := faultinject.Check("pcs.commit.leaves"); err != nil {
 		return nil, fmt.Errorf("pcs: column hash: %w", err)
 	}
-	encLen := msgLen * params.Code.Blowup()
 	leaves := make([]hashfn.Digest, encLen)
-	if err := par.ForErrCtx(ctx, encLen, func(lo, hi int) error {
-		col := make([]field.Element, total)
-		for j := lo; j < hi; j++ {
-			for r := 0; r < total; r++ {
-				col[r] = encoded[r][j]
-			}
-			leaves[j] = merkle.LeafOfColumn(col)
-		}
-		return nil
-	}); err != nil {
+	if err := kernel.ColumnLeavesCtx(ctx, leaves, encoded); err != nil {
 		return nil, fmt.Errorf("pcs: column hash: %w", err)
 	}
 	if err := faultinject.Check("pcs.commit.tree"); err != nil {
@@ -238,12 +303,16 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 		return nil, fmt.Errorf("pcs: merkle build: %w", err)
 	}
 
+	committed = true
 	state := &ProverState{
-		params:  params,
-		rows:    rows,
-		masks:   masks,
-		encoded: encoded,
-		tree:    tree,
+		params:   params,
+		rows:     rows,
+		masks:    masks,
+		encoded:  encoded,
+		rowsBuf:  rowsBuf,
+		masksBuf: masksBuf,
+		encBuf:   encBuf,
+		tree:     tree,
 		comm: &Commitment{
 			Root:    tree.Root(),
 			NumVars: bits.TrailingZeros(uint(n)),
@@ -302,17 +371,14 @@ func splitPoint(comm *Commitment, point []field.Element) (rowPart, colPart []fie
 }
 
 // combineRows returns coeffsᵀ·rows (+ mask if non-nil), over MsgLen.
+// The result escapes into the proof, so it is plain-allocated, never
+// arena scratch.
 func combineRows(rows [][]field.Element, coeffs []field.Element, mask []field.Element, msgLen int) []field.Element {
 	out := make([]field.Element, msgLen)
 	if mask != nil {
 		copy(out, mask)
 	}
-	for r, c := range coeffs {
-		if c.IsZero() {
-			continue
-		}
-		field.VecScaleAdd(out, c, rows[r])
-	}
+	kernel.VecCombine(out, coeffs, rows)
 	return out
 }
 
@@ -344,21 +410,35 @@ func (s *ProverState) OpenCtx(ctx context.Context, tr *transcript.Transcript, po
 	tr.AppendDigest("pcs/root", comm.Root)
 	tr.AppendUint64("pcs/points", uint64(len(points)))
 
+	// The eq-tables are opening-local scratch; returned to the arena on
+	// every exit path below.
 	values := make([]field.Element, len(points))
 	qCols := make([][]field.Element, len(points))
 	qRows := make([][]field.Element, len(points))
+	defer func() {
+		for _, q := range qRows {
+			arena.Put(q)
+		}
+		for _, q := range qCols {
+			arena.Put(q)
+		}
+	}()
 	for i, pt := range points {
 		rowPart, colPart, err := splitPoint(comm, pt)
 		if err != nil {
 			return nil, nil, err
 		}
-		qRows[i] = poly.EqTable(rowPart)
-		qCols[i] = poly.EqTable(colPart)
+		qRows[i] = arena.GetUninit(1 << len(rowPart))
+		poly.EqTableInto(qRows[i], rowPart)
+		qCols[i] = arena.GetUninit(1 << len(colPart))
+		poly.EqTableInto(qCols[i], colPart)
 		// value = q_rowᵀ M q_col over the data region.
+		sp := kernel.Begin(kernel.StagePoly)
 		var v field.Element
 		for r := 0; r < comm.Rows; r++ {
 			v = field.Add(v, field.Mul(qRows[i][r], field.InnerProduct(s.rows[r][:comm.Cols], qCols[i])))
 		}
+		sp.End(comm.Rows * comm.Cols)
 		values[i] = v
 		tr.AppendElems("pcs/point", pt)
 		tr.AppendElems("pcs/value", []field.Element{v})

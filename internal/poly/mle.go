@@ -16,6 +16,7 @@ import (
 	"math/bits"
 
 	"nocap/internal/field"
+	"nocap/internal/kernel"
 )
 
 // MLE is a dense multilinear extension: the evaluations of an L-variate
@@ -68,18 +69,13 @@ func (m *MLE) Clone() *MLE {
 // returning the receiver. This is the DP array update of paper Listing 1:
 // A[b] = A[b]·(1−rx) + A[b+s]·rx.
 func (m *MLE) Fold(r field.Element) *MLE {
-	n := len(m.evals)
-	if n == 1 {
+	if len(m.evals) == 1 {
 		panic("poly: cannot fold a 0-variable MLE")
 	}
-	half := n / 2
-	lo := m.evals[:half]
-	hi := m.evals[half:]
-	for i := range lo {
-		// lo + r·(hi − lo) = lo·(1−r) + hi·r, one multiply per element.
-		lo[i] = field.Add(lo[i], field.Mul(r, field.Sub(hi[i], lo[i])))
-	}
-	m.evals = lo
+	// kernel.Fold reslices in place, keeping the original backing array
+	// (and base pointer), so arena-owned evaluation slices can still be
+	// returned by whoever checked them out.
+	m.evals = kernel.Fold(m.evals, r)
 	return m
 }
 
@@ -104,21 +100,15 @@ func (m *MLE) Evaluate(r []field.Element) field.Element {
 // the index. Row i of the table is the Lagrange basis weight of hypercube
 // vertex i at point r; Σ_i table[i]·f(i) = f̃(r).
 func EqTable(r []field.Element) []field.Element {
-	n := 1 << len(r)
-	table := make([]field.Element, n)
-	table[0] = field.One
-	size := 1
-	for _, rk := range r {
-		// Append variable as new LSB: processed earlier ⇒ more significant.
-		for i := size - 1; i >= 0; i-- {
-			t := table[i]
-			hi := field.Mul(t, rk)
-			table[2*i+1] = hi
-			table[2*i] = field.Sub(t, hi)
-		}
-		size *= 2
-	}
+	table := make([]field.Element, 1<<len(r))
+	kernel.EqExpand(table, r)
 	return table
+}
+
+// EqTableInto fills table (length exactly 2^len(r), typically arena
+// scratch) with the same expansion as EqTable, without allocating.
+func EqTableInto(table []field.Element, r []field.Element) {
+	kernel.EqExpand(table, r)
 }
 
 // EqEval returns eq(a, b) for two points of equal dimension.

@@ -17,15 +17,13 @@ import (
 
 	"nocap/internal/field"
 	"nocap/internal/hashfn"
-	"nocap/internal/par"
+	"nocap/internal/kernel"
 	"nocap/internal/poly"
 )
 
-// Entry is one nonzero of a sparse matrix row.
-type Entry struct {
-	Col int
-	Val field.Element
-}
+// Entry is one nonzero of a sparse matrix row. It is the kernel layer's
+// shared sparse-row layout, so matrices feed kernel.SpMVCtx directly.
+type Entry = kernel.Entry
 
 // SparseMatrix is a row-major sparse matrix. R1CS matrices are usually
 // permutation-like: O(1) nonzeros per row, banded around the diagonal
@@ -80,22 +78,24 @@ func (m *SparseMatrix) Mul(x []field.Element) []field.Element {
 // dispatching chunks once ctx is cancelled and drains its workers
 // before returning.
 func (m *SparseMatrix) MulCtx(ctx context.Context, x []field.Element) ([]field.Element, error) {
-	if len(x) != m.NumCols {
-		panic("r1cs: SpMV dimension mismatch")
-	}
 	y := make([]field.Element, m.NumRows)
-	if err := par.ForCtx(ctx, m.NumRows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			var acc field.Element
-			for _, e := range m.Rows[r] {
-				acc = field.Add(acc, field.Mul(e.Val, x[e.Col]))
-			}
-			y[r] = acc
-		}
-	}); err != nil {
+	if err := m.MulIntoCtx(ctx, y, x); err != nil {
 		return nil, err
 	}
 	return y, nil
+}
+
+// MulIntoCtx computes y = M·x into caller-owned scratch (typically an
+// arena checkout; len(y) must be NumRows, contents may be arbitrary).
+// On error y must be discarded.
+func (m *SparseMatrix) MulIntoCtx(ctx context.Context, y, x []field.Element) error {
+	if len(x) != m.NumCols {
+		panic("r1cs: SpMV dimension mismatch")
+	}
+	if len(y) != m.NumRows {
+		panic("r1cs: SpMV output length mismatch")
+	}
+	return kernel.SpMVCtx(ctx, y, m.Rows, x)
 }
 
 // MLEEvalWithTables evaluates the matrix's multilinear extension at the
@@ -223,14 +223,28 @@ func (in *Instance) PublicVector(io []field.Element) []field.Element {
 // AssembleZ concatenates the public vector and witness into z.
 // len(witness) must be NumVars/2.
 func (in *Instance) AssembleZ(io, witness []field.Element) []field.Element {
+	z := make([]field.Element, in.NumVars())
+	in.AssembleZInto(z, io, witness)
+	return z
+}
+
+// AssembleZInto assembles z = (1, io, 0…) ‖ witness into caller-owned
+// scratch (len(z) must be NumVars, contents may be arbitrary).
+func (in *Instance) AssembleZInto(z, io, witness []field.Element) {
 	half := in.NumVars() / 2
+	if len(z) != in.NumVars() {
+		panic("r1cs: z length mismatch")
+	}
 	if len(witness) != half {
 		panic("r1cs: witness must fill the private half of z")
 	}
-	z := make([]field.Element, in.NumVars())
-	copy(z, in.PublicVector(io))
+	if len(io) != in.NumPublic {
+		panic("r1cs: wrong public input count")
+	}
+	clear(z[:half])
+	z[0] = field.One
+	copy(z[1:], io)
 	copy(z[half:], witness)
-	return z
 }
 
 // Satisfied reports whether (Az) ∘ (Bz) = (Cz) and returns the index of

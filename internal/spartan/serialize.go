@@ -17,7 +17,9 @@ const (
 // MarshalBinary serializes the proof into the compact wire format the
 // prover ships across the 10 MB/s link of the paper's end-to-end model.
 func (p *Proof) MarshalBinary() ([]byte, error) {
-	w := &wire.Writer{}
+	// SizeBytes undercounts by the framing words (~2% of the stream), so
+	// pad slightly and encode without intermediate growth.
+	w := wire.NewWriter(p.SizeBytes() + p.SizeBytes()/4 + 64)
 	w.U64(proofMagic)
 	w.U64(proofVersion)
 	p.Commitment.AppendTo(w)

@@ -25,8 +25,10 @@ import (
 	"errors"
 	"fmt"
 
+	"nocap/internal/arena"
 	"nocap/internal/faultinject"
 	"nocap/internal/field"
+	"nocap/internal/kernel"
 	"nocap/internal/pcs"
 	"nocap/internal/poly"
 	"nocap/internal/r1cs"
@@ -195,13 +197,55 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	if err := checkpoint(ctx, "spartan.prove.assemble"); err != nil {
 		return nil, err
 	}
-	z := inst.AssembleZ(io, witness)
-	if ok, i := inst.Satisfied(z); !ok {
-		return nil, fmt.Errorf("spartan: witness does not satisfy constraint %d", i)
-	}
+	z := arena.GetUninit(inst.NumVars())
+	defer arena.Put(z)
+	inst.AssembleZInto(z, io, witness)
 
 	tr := transcript.New("spartan-orion")
 	bindStatement(tr, inst, io, params)
+
+	// SpMV: the three sparse matrix-vector products (paper §V-A),
+	// computed once into arena scratch and reused both for the witness
+	// satisfaction check ((Az)∘(Bz) = Cz directly on the products — no
+	// separate Satisfied pass) and, copied, as every repetition's outer
+	// DP arrays. With recomputation on, products are re-derived on demand
+	// instead. The transcript is untouched here, so running this stage
+	// before the commitment leaves proof bytes unchanged.
+	if err := checkpoint(ctx, "spartan.prove.spmv"); err != nil {
+		return nil, err
+	}
+	numCons := inst.NumConstraints()
+	var az, bz, cz []field.Element
+	if !params.Recompute {
+		az = arena.GetUninit(numCons)
+		bz = arena.GetUninit(numCons)
+		cz = arena.GetUninit(numCons)
+		defer arena.Put(az)
+		defer arena.Put(bz)
+		defer arena.Put(cz)
+		for _, p := range []struct {
+			mat *r1cs.SparseMatrix
+			dst []field.Element
+		}{{inst.A, az}, {inst.B, bz}, {inst.C, cz}} {
+			if err := p.mat.MulIntoCtx(ctx, p.dst, z); err != nil {
+				return nil, fmt.Errorf("spartan: spmv: %w", err)
+			}
+		}
+		for i := range az {
+			if field.Mul(az[i], bz[i]) != cz[i] {
+				return nil, fmt.Errorf("spartan: witness does not satisfy constraint %d", i)
+			}
+		}
+	} else if ok, i := inst.Satisfied(z); !ok {
+		return nil, fmt.Errorf("spartan: witness does not satisfy constraint %d", i)
+	}
+	rowDot := func(mat *r1cs.SparseMatrix, i int) field.Element {
+		var acc field.Element
+		for _, e := range mat.Rows[i] {
+			acc = field.Add(acc, field.Mul(e.Val, z[e.Col]))
+		}
+		return acc
+	}
 
 	// 1. Commit to the witness.
 	if err := checkpoint(ctx, "spartan.prove.commit"); err != nil {
@@ -212,125 +256,108 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	if err != nil {
 		return nil, fmt.Errorf("spartan: commit: %w", err)
 	}
+	defer st.Close()
 	comm := st.Commitment()
 	tr.AppendDigest("witness-commitment", comm.Root)
-
-	// SpMV: the three sparse matrix-vector products (paper §V-A). With
-	// recomputation on, products are re-derived on demand instead.
-	if err := checkpoint(ctx, "spartan.prove.spmv"); err != nil {
-		return nil, err
-	}
-	var az, bz, cz []field.Element
-	if !params.Recompute {
-		if az, err = inst.A.MulCtx(ctx, z); err != nil {
-			return nil, fmt.Errorf("spartan: spmv: %w", err)
-		}
-		if bz, err = inst.B.MulCtx(ctx, z); err != nil {
-			return nil, fmt.Errorf("spartan: spmv: %w", err)
-		}
-		if cz, err = inst.C.MulCtx(ctx, z); err != nil {
-			return nil, fmt.Errorf("spartan: spmv: %w", err)
-		}
-	}
-	rowDot := func(mat *r1cs.SparseMatrix, i int) field.Element {
-		var acc field.Element
-		for _, e := range mat.Rows[i] {
-			acc = field.Add(acc, field.Mul(e.Val, z[e.Col]))
-		}
-		return acc
-	}
 
 	logM := inst.LogConstraints()
 	proof = &Proof{Commitment: comm, Reps: make([]RepProof, params.Reps)}
 	openPoints := make([][]field.Element, params.Reps)
 
 	for rep := 0; rep < params.Reps; rep++ {
-		lbl := fmt.Sprintf("rep%d", rep)
-		tau := tr.Challenges(lbl+"/tau", logM)
+		// Each repetition's DP arrays are rep-local arena scratch; the
+		// closure scopes their deferred returns to the iteration.
+		rp, point, repErr := func() (RepProof, []field.Element, error) {
+			lbl := fmt.Sprintf("rep%d", rep)
+			tau := tr.Challenges(lbl+"/tau", logM)
 
-		// Outer sumcheck over x ∈ {0,1}^logM.
-		if err := checkpoint(ctx, "spartan.prove.outer"); err != nil {
-			return nil, err
-		}
-		var outer *sumcheck.Proof
-		var rx, finals []field.Element
-		if params.Recompute {
-			eqTau := poly.EqTable(tau)
-			src := func(k, i int) field.Element {
-				switch k {
-				case 0:
-					return eqTau[i]
-				case 1:
-					return rowDot(inst.A, i)
-				case 2:
-					return rowDot(inst.B, i)
-				}
-				return rowDot(inst.C, i)
+			// Outer sumcheck over x ∈ {0,1}^logM.
+			if err := checkpoint(ctx, "spartan.prove.outer"); err != nil {
+				return RepProof{}, nil, err
 			}
-			// 2^20 elements = the 8 MB register-file capacity (§V-A).
-			outer, rx, finals, err = sumcheck.ProveStreamedCtx(ctx, tr, lbl+"/outer", field.Zero, 4, logM, src, 3, outerCombine, 1<<20)
-		} else {
-			arrays := []*poly.MLE{
-				poly.NewMLE(poly.EqTable(tau)),
-				poly.NewMLE(append([]field.Element(nil), az...)),
-				poly.NewMLE(append([]field.Element(nil), bz...)),
-				poly.NewMLE(append([]field.Element(nil), cz...)),
-			}
-			outer, rx, finals, err = sumcheck.ProveCtx(ctx, tr, lbl+"/outer", field.Zero, arrays, 3, outerCombine)
-		}
-		if err != nil {
-			return nil, fmt.Errorf("spartan: outer sumcheck: %w", err)
-		}
-		va, vb, vc := finals[1], finals[2], finals[3]
-		tr.AppendElems(lbl+"/claims", []field.Element{va, vb, vc})
-
-		rABC := tr.Challenges(lbl+"/rabc", 3)
-		claim := field.Add(field.Add(
-			field.Mul(rABC[0], va), field.Mul(rABC[1], vb)), field.Mul(rABC[2], vc))
-
-		// Build M(y) = Σ_i eq(rx,i)·(rA·A[i,y]+rB·B[i,y]+rC·C[i,y]).
-		if err := checkpoint(ctx, "spartan.prove.inner"); err != nil {
-			return nil, err
-		}
-		eqRx := poly.EqTable(rx)
-		my := make([]field.Element, inst.NumVars())
-		accumulate := func(mat *r1cs.SparseMatrix, coeff field.Element) error {
-			for i, row := range mat.Rows {
-				if i&8191 == 0 && i > 0 {
-					if err := ctx.Err(); err != nil {
-						return err
+			var outer *sumcheck.Proof
+			var rx, finals []field.Element
+			var err error
+			if params.Recompute {
+				eqTau := poly.EqTable(tau)
+				src := func(k, i int) field.Element {
+					switch k {
+					case 0:
+						return eqTau[i]
+					case 1:
+						return rowDot(inst.A, i)
+					case 2:
+						return rowDot(inst.B, i)
 					}
+					return rowDot(inst.C, i)
 				}
-				if len(row) == 0 {
-					continue
+				// 2^20 elements = the 8 MB register-file capacity (§V-A).
+				outer, rx, finals, err = sumcheck.ProveStreamedCtx(ctx, tr, lbl+"/outer", field.Zero, 4, logM, src, 3, outerCombine, 1<<20)
+			} else {
+				// The sumcheck folds its arrays in place, so eq(τ,·)
+				// expands straight into scratch and az/bz/cz are copied.
+				eqTau := arena.GetUninit(1 << logM)
+				azc := arena.GetUninit(numCons)
+				bzc := arena.GetUninit(numCons)
+				czc := arena.GetUninit(numCons)
+				defer arena.Put(eqTau)
+				defer arena.Put(azc)
+				defer arena.Put(bzc)
+				defer arena.Put(czc)
+				poly.EqTableInto(eqTau, tau)
+				copy(azc, az)
+				copy(bzc, bz)
+				copy(czc, cz)
+				arrays := []*poly.MLE{
+					poly.NewMLE(eqTau), poly.NewMLE(azc), poly.NewMLE(bzc), poly.NewMLE(czc),
 				}
-				w := field.Mul(coeff, eqRx[i])
-				for _, e := range row {
-					my[e.Col] = field.Add(my[e.Col], field.Mul(w, e.Val))
+				outer, rx, finals, err = sumcheck.ProveCtx(ctx, tr, lbl+"/outer", field.Zero, arrays, 3, outerCombine)
+			}
+			if err != nil {
+				return RepProof{}, nil, fmt.Errorf("spartan: outer sumcheck: %w", err)
+			}
+			va, vb, vc := finals[1], finals[2], finals[3]
+			tr.AppendElems(lbl+"/claims", []field.Element{va, vb, vc})
+
+			rABC := tr.Challenges(lbl+"/rabc", 3)
+			claim := field.Add(field.Add(
+				field.Mul(rABC[0], va), field.Mul(rABC[1], vb)), field.Mul(rABC[2], vc))
+
+			// Build M(y) = Σ_i eq(rx,i)·(rA·A[i,y]+rB·B[i,y]+rC·C[i,y]):
+			// three transpose SpMVs accumulating into zeroed scratch.
+			if err := checkpoint(ctx, "spartan.prove.inner"); err != nil {
+				return RepProof{}, nil, err
+			}
+			eqRx := arena.GetUninit(1 << len(rx))
+			defer arena.Put(eqRx)
+			poly.EqTableInto(eqRx, rx)
+			my := arena.Get(inst.NumVars())
+			defer arena.Put(my)
+			zc := arena.GetUninit(len(z))
+			defer arena.Put(zc)
+			copy(zc, z)
+			for _, p := range []struct {
+				mat   *r1cs.SparseMatrix
+				coeff field.Element
+			}{{inst.A, rABC[0]}, {inst.B, rABC[1]}, {inst.C, rABC[2]}} {
+				if err := kernel.SpMVTCtx(ctx, my, p.mat.Rows, eqRx, p.coeff); err != nil {
+					return RepProof{}, nil, err
 				}
 			}
-			return nil
-		}
-		if err := accumulate(inst.A, rABC[0]); err != nil {
-			return nil, err
-		}
-		if err := accumulate(inst.B, rABC[1]); err != nil {
-			return nil, err
-		}
-		if err := accumulate(inst.C, rABC[2]); err != nil {
-			return nil, err
-		}
 
-		inner, ry, _, err := sumcheck.ProveCtx(ctx, tr, lbl+"/inner",
-			claim,
-			[]*poly.MLE{poly.NewMLE(my), poly.NewMLE(append([]field.Element(nil), z...))},
-			2, innerCombine)
-		if err != nil {
-			return nil, fmt.Errorf("spartan: inner sumcheck: %w", err)
-		}
+			inner, ry, _, err := sumcheck.ProveCtx(ctx, tr, lbl+"/inner",
+				claim, []*poly.MLE{poly.NewMLE(my), poly.NewMLE(zc)}, 2, innerCombine)
+			if err != nil {
+				return RepProof{}, nil, fmt.Errorf("spartan: inner sumcheck: %w", err)
+			}
 
-		proof.Reps[rep] = RepProof{Outer: outer, VA: va, VB: vb, VC: vc, Inner: inner}
-		openPoints[rep] = ry[1:]
+			return RepProof{Outer: outer, VA: va, VB: vb, VC: vc, Inner: inner}, ry[1:], nil
+		}()
+		if repErr != nil {
+			return nil, repErr
+		}
+		proof.Reps[rep] = rp
+		openPoints[rep] = point
 	}
 
 	// 2. One shared Orion opening for all repetitions' w̃ evaluations.

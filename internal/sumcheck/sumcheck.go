@@ -17,8 +17,10 @@ import (
 	"runtime"
 	"sync"
 
+	"nocap/internal/arena"
 	"nocap/internal/faultinject"
 	"nocap/internal/field"
+	"nocap/internal/kernel"
 	"nocap/internal/par"
 	"nocap/internal/poly"
 	"nocap/internal/transcript"
@@ -140,8 +142,19 @@ func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine
 			numWorkers = 8
 		}
 	}
+	// Per-worker partial sums are arena checkouts assigned up front, so
+	// one deferred sweep returns them on every exit path (error, cancel,
+	// repanic); evals itself escapes into the proof and stays plain.
 	partial := make([][]field.Element, numWorkers)
 	var wg sync.WaitGroup
+	sp := kernel.Begin(kernel.StageSumcheck)
+	defer func() {
+		for _, sums := range partial {
+			arena.Put(sums)
+		}
+		sp.End(half * (degree + 1))
+	}()
+	defer wg.Wait() // runs before the Put sweep: never recycle a buffer a live worker holds
 	var rec par.Collector
 	var workerErr error
 	var errMu sync.Mutex
@@ -151,8 +164,8 @@ func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine
 		if hi > half {
 			hi = half
 		}
+		partial[w] = arena.Get(degree + 1)
 		if lo >= hi {
-			partial[w] = make([]field.Element, degree+1)
 			continue
 		}
 		wg.Add(1)
@@ -167,9 +180,11 @@ func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine
 				errMu.Unlock()
 				return
 			}
-			sums := make([]field.Element, degree+1)
-			vals := make([]field.Element, len(mles))
-			deltas := make([]field.Element, len(mles))
+			sums := partial[w]
+			vals := arena.GetUninit(len(mles))
+			deltas := arena.GetUninit(len(mles))
+			defer arena.Put(vals)
+			defer arena.Put(deltas)
 			for b := lo; b < hi; b++ {
 				if b&(ctxCheckInterval-1) == 0 && ctx.Err() != nil {
 					return // partial sums discarded with the round
@@ -187,7 +202,6 @@ func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine
 					sums[t] = field.Add(sums[t], combine(vals))
 				}
 			}
-			partial[w] = sums
 		}(w, lo, hi)
 	}
 	wg.Wait()

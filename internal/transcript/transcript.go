@@ -19,6 +19,11 @@ import (
 type Transcript struct {
 	state   hashfn.Digest
 	counter uint64
+	// absorb scratch, reused across calls: a transcript absorbs hundreds
+	// of labeled messages per proof, and rebuilding label‖0‖data each
+	// time dominated the package's allocation profile.
+	buf  []byte
+	ebuf []byte
 }
 
 // New creates a transcript domain-separated by label.
@@ -26,9 +31,13 @@ func New(label string) *Transcript {
 	return &Transcript{state: hashfn.Sum([]byte("nocap/v1/" + label))}
 }
 
-// absorb mixes labeled data into the state.
+// absorb mixes labeled data into the state. The hashed bytes are exactly
+// label ‖ 0 ‖ data — the layout is load-bearing for proof compatibility.
 func (t *Transcript) absorb(label string, data []byte) {
-	h := hashfn.Sum(append(append([]byte(label), 0), data...))
+	t.buf = append(t.buf[:0], label...)
+	t.buf = append(t.buf, 0)
+	t.buf = append(t.buf, data...)
+	h := hashfn.Sum(t.buf)
 	t.state = hashfn.Hash2(t.state, h)
 	t.counter = 0
 }
@@ -45,7 +54,8 @@ func (t *Transcript) AppendDigest(label string, d hashfn.Digest) {
 
 // AppendElems absorbs a vector of field elements.
 func (t *Transcript) AppendElems(label string, elems []field.Element) {
-	t.absorb(label, hashfn.ElemBytes(elems))
+	t.ebuf = hashfn.AppendElems(t.ebuf[:0], elems)
+	t.absorb(label, t.ebuf)
 }
 
 // AppendUint64 absorbs an integer (e.g. instance sizes, so that

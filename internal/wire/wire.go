@@ -97,6 +97,23 @@ type Writer struct {
 	buf []byte
 }
 
+// NewWriter returns a writer whose buffer is presized to capacity bytes,
+// so encoders that know their output size (every proof type exposes
+// SizeBytes) serialize with a single allocation.
+func NewWriter(capacity int) *Writer {
+	return &Writer{buf: make([]byte, 0, capacity)}
+}
+
+// Grow ensures space for n more bytes without reallocation.
+func (w *Writer) Grow(n int) {
+	if n <= cap(w.buf)-len(w.buf) {
+		return
+	}
+	grown := make([]byte, len(w.buf), len(w.buf)+n)
+	copy(grown, w.buf)
+	w.buf = grown
+}
+
 // Bytes returns the encoded stream.
 func (w *Writer) Bytes() []byte { return w.buf }
 

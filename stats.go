@@ -1,0 +1,48 @@
+package nocap
+
+import (
+	"nocap/internal/arena"
+	"nocap/internal/kernel"
+)
+
+// StageStats is one kernel stage's counters: invocation count, elements
+// processed, and cumulative wall time inside the kernel.
+type StageStats = kernel.StageStats
+
+// KernelStats breaks the prover's work down by the paper's five-task
+// taxonomy (§V-A): sumcheck DP, Reed-Solomon encode, Merkle hashing,
+// SpMV, and MLE/polynomial arithmetic.
+type KernelStats = kernel.Stats
+
+// ArenaStats reports the scratch-buffer pool's behavior: checkout/return
+// counts, pool hit/miss split, double returns (always a bug), and the
+// live-checkout balance, which returns to its starting value when every
+// prover run cleans up after itself.
+type ArenaStats = arena.Stats
+
+// ProveStats is a snapshot of the prover's cumulative execution
+// counters: per-stage kernel work plus arena scratch-pool behavior.
+// Counters are process-global and monotone; bracket a run with two
+// ReadProveStats calls and Delta to attribute work to that run:
+//
+//	before := nocap.ReadProveStats()
+//	proof, err := nocap.Prove(params, inst, io, witness)
+//	run := nocap.ReadProveStats().Delta(before)
+//	fmt.Print(run.Stages)     // per-stage calls / elems / wall table
+//	fmt.Println(run.Arena.Outstanding) // 0: no leaked scratch
+type ProveStats struct {
+	// Stages holds the per-kernel-stage counters.
+	Stages KernelStats
+	// Arena holds the scratch-pool counters.
+	Arena ArenaStats
+}
+
+// ReadProveStats snapshots the process-wide prover counters.
+func ReadProveStats() ProveStats {
+	return ProveStats{Stages: kernel.Snapshot(), Arena: arena.ReadStats()}
+}
+
+// Delta returns the counter change since an earlier snapshot.
+func (s ProveStats) Delta(prev ProveStats) ProveStats {
+	return ProveStats{Stages: s.Stages.Sub(prev.Stages), Arena: s.Arena.Sub(prev.Arena)}
+}

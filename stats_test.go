@@ -1,0 +1,78 @@
+package nocap_test
+
+import (
+	"testing"
+	"time"
+
+	"nocap"
+	"nocap/internal/leakcheck"
+)
+
+// TestProveStatsCoversAllStages proves a real statement and asserts that
+// every one of the paper's five kernel stages did attributable work, and
+// that the run returned all of its arena scratch.
+func TestProveStatsCoversAllStages(t *testing.T) {
+	snap := leakcheck.Take()
+	bm := nocap.Synthetic(1 << 10)
+
+	before := nocap.ReadProveStats()
+	proof, err := nocap.Prove(nocap.TestParams(), bm.Inst, bm.IO, bm.Witness)
+	if err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	run := nocap.ReadProveStats().Delta(before)
+
+	if err := nocap.Verify(nocap.TestParams(), bm.Inst, bm.IO, proof); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+
+	for name, ss := range run.Stages.Named() {
+		if ss.Calls <= 0 {
+			t.Errorf("stage %q: %d calls, want > 0", name, ss.Calls)
+		}
+		if ss.Elems <= 0 {
+			t.Errorf("stage %q: %d elems, want > 0", name, ss.Elems)
+		}
+		if ss.Wall <= 0 {
+			t.Errorf("stage %q: wall %v, want > 0", name, ss.Wall)
+		}
+	}
+
+	if run.Arena.Gets == 0 {
+		t.Error("prove performed no arena checkouts; hot paths are not routed through the arena")
+	}
+	if run.Arena.Outstanding != 0 || run.Arena.OutstandingElems != 0 {
+		t.Errorf("prove leaked arena scratch: %d checkouts (%d elems) outstanding",
+			run.Arena.Outstanding, run.Arena.OutstandingElems)
+	}
+	if run.Arena.DoubleReturns != 0 {
+		t.Errorf("prove double-returned %d buffers", run.Arena.DoubleReturns)
+	}
+	snap.CheckTimeout(t, 2*time.Second)
+}
+
+// TestProveStatsArenaReuse proves twice and asserts the second run hits
+// the warm pool instead of allocating fresh buffers.
+func TestProveStatsArenaReuse(t *testing.T) {
+	bm := nocap.Synthetic(1 << 9)
+	if _, err := nocap.Prove(nocap.TestParams(), bm.Inst, bm.IO, bm.Witness); err != nil {
+		t.Fatalf("warmup prove: %v", err)
+	}
+
+	before := nocap.ReadProveStats()
+	if _, err := nocap.Prove(nocap.TestParams(), bm.Inst, bm.IO, bm.Witness); err != nil {
+		t.Fatalf("prove: %v", err)
+	}
+	run := nocap.ReadProveStats().Delta(before)
+
+	if run.Arena.Hits == 0 {
+		t.Error("warm second prove had zero pool hits")
+	}
+	// Identical shapes: nearly every checkout should find a recycled
+	// buffer. GC may drop pooled buffers between runs, so only require a
+	// majority rather than an exact count.
+	if run.Arena.Hits < run.Arena.Misses {
+		t.Errorf("warm prove: %d hits < %d misses; pool reuse is not effective",
+			run.Arena.Hits, run.Arena.Misses)
+	}
+}
