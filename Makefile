@@ -9,7 +9,7 @@ FUZZ_TARGETS = \
 	./internal/wire:FuzzReader \
 	./internal/cstream:FuzzDecode
 
-.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus ci
+.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus serve-smoke stats-race ci
 
 all: build test
 
@@ -65,4 +65,18 @@ fuzz-smoke:
 corpus:
 	$(GO) run ./internal/advtest/gencorpus
 
-ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke
+# End-to-end smoke of the proving service: an in-process nocap-serve
+# hammered by nocap-loadgen with mixed prove/verify/malformed/oversized/
+# cancel traffic, asserting typed responses, bounded-queue 429s, zero
+# goroutine leaks, and a clean arena balance after drain (DESIGN.md §10).
+serve-smoke:
+	$(GO) run ./cmd/nocap-loadgen -requests 64 -clients 8 -n 256
+
+# Per-run stats attribution under the race detector: concurrent proves
+# with per-request collectors must partition the process aggregate
+# exactly (DESIGN.md §10), plus the server's mixed-traffic hammer.
+stats-race:
+	$(GO) test -race -run 'TestConcurrentProveAttribution' -count=1 .
+	$(GO) test -race ./internal/server
+
+ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke

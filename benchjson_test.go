@@ -1,6 +1,7 @@
 package nocap_test
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"os"
@@ -45,8 +46,46 @@ type arenaJSON struct {
 	Misses int64 `json:"misses"`
 }
 
+// benchEntry converts one measured configuration to its JSON row,
+// dividing the counters for iters proves by iters.
+func benchEntry(logN int, res testing.BenchmarkResult, run nocap.ProveStats, iters int) proveBenchEntry {
+	n := int64(iters)
+	stages := make(map[string]stageJSON, 5)
+	for name, ss := range run.Stages.Named() {
+		stages[name] = stageJSON{
+			Calls:  ss.Calls / n,
+			Elems:  ss.Elems / n,
+			WallNs: int64(ss.Wall) / n,
+		}
+	}
+	return proveBenchEntry{
+		Name:     "Prove/synthetic",
+		LogN:     logN,
+		Iters:    iters,
+		NsPerOp:  res.NsPerOp(),
+		AllocsOp: res.AllocsPerOp(),
+		BytesOp:  res.AllocedBytesPerOp(),
+		Stages:   stages,
+		Arena: arenaJSON{
+			Gets:   run.Arena.Gets / n,
+			Hits:   run.Arena.Hits / n,
+			Misses: run.Arena.Misses / n,
+		},
+	}
+}
+
 // TestProveBenchJSON measures the real prover end to end and emits
 // BENCH_prove.json-style output for CI trend tracking.
+//
+// Counters are gathered with a per-invocation Collector inside the
+// testing.Benchmark closure, not by bracketing the whole Benchmark call
+// with process-global snapshots: testing.Benchmark probes with small b.N
+// rounds before the timed run, and a single outer bracket would fold
+// those probe rounds' work into a delta divided by only the final
+// round's N, inflating every per-op counter. The closure runs once per
+// round with a fresh collector, so the last round's snapshot — the pair
+// (run, iters) left behind when Benchmark returns — covers exactly
+// iters proves. TestProveBenchPerOpInvariant pins this.
 func TestProveBenchJSON(t *testing.T) {
 	if *benchJSON == "" {
 		t.Skip("-benchjson not set")
@@ -55,39 +94,21 @@ func TestProveBenchJSON(t *testing.T) {
 	var entries []proveBenchEntry
 	for _, logN := range []int{10, 12, 14} {
 		bm := nocap.Synthetic(1 << uint(logN))
-		before := nocap.ReadProveStats()
+		var run nocap.ProveStats
+		var iters int
 		res := testing.Benchmark(func(b *testing.B) {
+			col := nocap.NewCollector()
+			ctx := col.Attach(context.Background())
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := nocap.Prove(params, bm.Inst, bm.IO, bm.Witness); err != nil {
+				if _, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness); err != nil {
 					b.Fatal(err)
 				}
 			}
+			run = col.Stats()
+			iters = b.N
 		})
-		run := nocap.ReadProveStats().Delta(before)
-		n := int64(res.N)
-		stages := make(map[string]stageJSON, 5)
-		for name, ss := range run.Stages.Named() {
-			stages[name] = stageJSON{
-				Calls:  ss.Calls / n,
-				Elems:  ss.Elems / n,
-				WallNs: int64(ss.Wall) / n,
-			}
-		}
-		entries = append(entries, proveBenchEntry{
-			Name:     "Prove/synthetic",
-			LogN:     logN,
-			Iters:    res.N,
-			NsPerOp:  res.NsPerOp(),
-			AllocsOp: res.AllocsPerOp(),
-			BytesOp:  res.AllocedBytesPerOp(),
-			Stages:   stages,
-			Arena: arenaJSON{
-				Gets:   run.Arena.Gets / n,
-				Hits:   run.Arena.Hits / n,
-				Misses: run.Arena.Misses / n,
-			},
-		})
+		entries = append(entries, benchEntry(logN, res, run, iters))
 		t.Logf("logN=%d: %d ns/op, %d allocs/op, %d B/op",
 			logN, res.NsPerOp(), res.AllocsPerOp(), res.AllocedBytesPerOp())
 	}
@@ -98,5 +119,50 @@ func TestProveBenchJSON(t *testing.T) {
 	data = append(data, '\n')
 	if err := os.WriteFile(*benchJSON, data, 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestProveBenchPerOpInvariant is the regression test for the probe-round
+// accounting bug: per-op counters must not depend on how many iterations
+// the measurement loop ran. It measures the same circuit with 1 and with
+// 3 iterations through the same per-invocation-collector path the JSON
+// emitter uses and requires identical per-op deterministic counters
+// (Calls, Elems, Gets, Puts — hit/miss split and wall time legitimately
+// vary with pool state and scheduling).
+func TestProveBenchPerOpInvariant(t *testing.T) {
+	params := nocap.TestParams()
+	bm := nocap.Synthetic(1 << 10)
+	perOp := func(iters int) nocap.ProveStats {
+		col := nocap.NewCollector()
+		ctx := col.Attach(context.Background())
+		for i := 0; i < iters; i++ {
+			if _, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := col.Stats()
+		n := int64(iters)
+		for _, ss := range []*nocap.StageStats{
+			&out.Stages.Sumcheck, &out.Stages.Encode, &out.Stages.Merkle,
+			&out.Stages.SpMV, &out.Stages.Poly,
+		} {
+			ss.Calls /= n
+			ss.Elems /= n
+			ss.Wall = 0
+		}
+		out.Arena.Gets /= n
+		out.Arena.Puts /= n
+		out.Arena.Hits, out.Arena.Misses = 0, 0
+		out.Arena.Outstanding, out.Arena.OutstandingElems = 0, 0
+		out.Arena.DoubleReturns = 0
+		return out
+	}
+	one := perOp(1)
+	three := perOp(3)
+	if one != three {
+		t.Errorf("per-op counters depend on iteration count:\n 1 iter: %+v\n 3 iters: %+v", one, three)
+	}
+	if got := perOp(1); got != one {
+		t.Errorf("per-op counters not reproducible across runs:\n first: %+v\n again: %+v", one, got)
 	}
 }

@@ -1,0 +1,382 @@
+// Command nocap-loadgen hammers a nocap-serve instance with mixed
+// traffic — proves, valid verifies, corrupt proofs, malformed JSON,
+// oversized bodies, and client-cancelled requests — and checks that
+// every answer is a complete, correctly-typed response: 200 with per-
+// request stats, 400/413 with a taxonomy code, 429 when the admission
+// queue sheds load. Anything else (an untyped error, a 5xx, a proof
+// accepted that should not be) counts as a protocol violation and fails
+// the run.
+//
+// With -addr pointing at a running server it is a plain load generator.
+// With -addr "" (the default) it starts an in-process server, runs the
+// same traffic over loopback, drains it, and additionally asserts the
+// process-level invariants only visible from inside: zero leaked
+// goroutines (internal/leakcheck) and the arena checkout balance back
+// at its baseline. That self-contained mode is what `make serve-smoke`
+// runs in CI.
+//
+// Usage:
+//
+//	nocap-loadgen                          # in-process smoke, 8 clients, 15s cap
+//	nocap-loadgen -requests 64 -clients 8
+//	nocap-loadgen -addr 127.0.0.1:8080 -duration 30s
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"nocap"
+	"nocap/internal/leakcheck"
+	"nocap/internal/server"
+)
+
+// outcome tallies one traffic kind's results.
+type outcome struct {
+	sent, ok, shed, violations int64
+}
+
+type harness struct {
+	base   string
+	client *http.Client
+	n      int
+
+	mu       sync.Mutex
+	outcomes map[string]*outcome
+	problems []string
+}
+
+func (h *harness) record(kind string, shed, violated bool, detail string) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	o := h.outcomes[kind]
+	if o == nil {
+		o = &outcome{}
+		h.outcomes[kind] = o
+	}
+	o.sent++
+	switch {
+	case violated:
+		o.violations++
+		if len(h.problems) < 20 {
+			h.problems = append(h.problems, fmt.Sprintf("%s: %s", kind, detail))
+		}
+	case shed:
+		o.shed++
+	default:
+		o.ok++
+	}
+}
+
+func (h *harness) post(path string, body []byte) (*http.Response, []byte, error) {
+	resp, err := h.client.Post(h.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+// typedError reports whether a non-2xx body carries a taxonomy code.
+func typedError(body []byte) bool {
+	var er server.ErrorResponse
+	return json.Unmarshal(body, &er) == nil && er.Code != ""
+}
+
+// fire sends one request of the given kind and records the outcome.
+func (h *harness) fire(kind string, seedProof string) {
+	switch kind {
+	case "prove":
+		body, _ := json.Marshal(server.ProveRequest{Circuit: "synthetic", N: h.n})
+		resp, data, err := h.post("/prove", body)
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var pr server.ProveResponse
+			if json.Unmarshal(data, &pr) != nil || pr.ProofB64 == "" {
+				h.record(kind, false, true, "200 without a complete proof body")
+				return
+			}
+			if pr.Stats.Arena.Outstanding != 0 {
+				h.record(kind, false, true, fmt.Sprintf("request leaked %d arena checkouts", pr.Stats.Arena.Outstanding))
+				return
+			}
+			h.record(kind, false, false, "")
+		case http.StatusTooManyRequests:
+			h.record(kind, true, !typedError(data), "untyped 429")
+		default:
+			h.record(kind, false, true, fmt.Sprintf("status %d: %.120s", resp.StatusCode, data))
+		}
+	case "verify":
+		body, _ := json.Marshal(server.VerifyRequest{Circuit: "synthetic", N: h.n, ProofB64: seedProof})
+		resp, data, err := h.post("/verify", body)
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var vr server.VerifyResponse
+			if json.Unmarshal(data, &vr) != nil || !vr.Valid {
+				h.record(kind, false, true, fmt.Sprintf("valid proof not accepted: %.120s", data))
+				return
+			}
+			h.record(kind, false, false, "")
+		case http.StatusTooManyRequests:
+			h.record(kind, true, !typedError(data), "untyped 429")
+		default:
+			h.record(kind, false, true, fmt.Sprintf("status %d: %.120s", resp.StatusCode, data))
+		}
+	case "corrupt":
+		c := []byte(seedProof)
+		i := len(c) / 2
+		if c[i] == 'A' {
+			c[i] = 'B'
+		} else {
+			c[i] = 'A'
+		}
+		body, _ := json.Marshal(server.VerifyRequest{Circuit: "synthetic", N: h.n, ProofB64: string(c)})
+		resp, data, err := h.post("/verify", body)
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			var vr server.VerifyResponse
+			if json.Unmarshal(data, &vr) != nil || vr.Valid || vr.Code == "" {
+				h.record(kind, false, true, fmt.Sprintf("corrupt proof mishandled: %.120s", data))
+				return
+			}
+			h.record(kind, false, false, "")
+		case http.StatusBadRequest:
+			// Corruption may break framing instead of a soundness check.
+			h.record(kind, false, !typedError(data), "untyped 400")
+		case http.StatusTooManyRequests:
+			h.record(kind, true, !typedError(data), "untyped 429")
+		default:
+			h.record(kind, false, true, fmt.Sprintf("status %d: %.120s", resp.StatusCode, data))
+		}
+	case "malformed":
+		resp, data, err := h.post("/prove", []byte("{definitely not json"))
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		if resp.StatusCode != http.StatusBadRequest || !typedError(data) {
+			h.record(kind, false, true, fmt.Sprintf("status %d: %.120s", resp.StatusCode, data))
+			return
+		}
+		h.record(kind, false, false, "")
+	case "oversized":
+		big := `{"circuit":"synthetic","n":64,"proof_b64":"` + strings.Repeat("A", 9<<20) + `"}`
+		resp, data, err := h.post("/verify", []byte(big))
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		if resp.StatusCode != http.StatusRequestEntityTooLarge || !typedError(data) {
+			h.record(kind, false, true, fmt.Sprintf("status %d: %.120s", resp.StatusCode, data))
+			return
+		}
+		h.record(kind, false, false, "")
+	case "cancel":
+		ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)
+		defer cancel()
+		body, _ := json.Marshal(server.ProveRequest{Circuit: "synthetic", N: 4 * h.n})
+		req, _ := http.NewRequestWithContext(ctx, "POST", h.base+"/prove", bytes.NewReader(body))
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := h.client.Do(req)
+		if err == nil {
+			resp.Body.Close() // finished before the cancel landed; fine
+		}
+		// Either way the server must survive; violations show up as
+		// failures in the other kinds or the final invariants.
+		h.record(kind, false, false, "")
+	}
+}
+
+var trafficMix = []string{
+	"prove", "prove", "verify", "verify", "corrupt", "malformed", "oversized", "cancel",
+}
+
+func run() (failed bool, err error) {
+	addr := flag.String("addr", "", "server address; empty starts an in-process server")
+	clients := flag.Int("clients", 8, "concurrent client goroutines")
+	requests := flag.Int("requests", 64, "total requests to send (0 = until -duration)")
+	duration := flag.Duration("duration", 15*time.Second, "time budget for the run")
+	n := flag.Int("n", 256, "circuit size parameter for prove/verify traffic")
+	workers := flag.Int("workers", 4, "in-process mode: proving workers")
+	queue := flag.Int("queue", 4, "in-process mode: admission queue depth")
+	flag.Parse()
+
+	var snap *leakcheck.Snapshot
+	var arenaBefore nocap.ArenaStats
+	var srv *server.Server
+	base := *addr
+	if base == "" {
+		snap = leakcheck.Take()
+		arenaBefore = nocap.ReadProveStats().Arena
+		srv = server.New(server.Config{
+			Addr:           "127.0.0.1:0",
+			Workers:        *workers,
+			QueueDepth:     *queue,
+			MemoryBudgetMB: 8,
+			Params:         nocap.TestParams(),
+		})
+		bound, lerr := srv.Listen()
+		if lerr != nil {
+			return true, lerr
+		}
+		go srv.Serve()
+		base = bound.String()
+		fmt.Printf("nocap-loadgen: in-process server on %s (%d workers, queue %d)\n",
+			base, *workers, *queue)
+	}
+
+	h := &harness{
+		base:     "http://" + base,
+		client:   &http.Client{Timeout: 2 * time.Minute},
+		n:        *n,
+		outcomes: make(map[string]*outcome),
+	}
+
+	// One seed proof for the verify traffic.
+	body, _ := json.Marshal(server.ProveRequest{Circuit: "synthetic", N: *n})
+	resp, data, err := h.post("/prove", body)
+	if err != nil {
+		return true, fmt.Errorf("seed prove: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return true, fmt.Errorf("seed prove: status %d: %.200s", resp.StatusCode, data)
+	}
+	var seed server.ProveResponse
+	if err := json.Unmarshal(data, &seed); err != nil {
+		return true, fmt.Errorf("seed prove response: %w", err)
+	}
+
+	deadline := time.Now().Add(*duration)
+	var next int64
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	take := func() (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if *requests > 0 && next >= int64(*requests) {
+			return "", false
+		}
+		if time.Now().After(deadline) {
+			return "", false
+		}
+		kind := trafficMix[next%int64(len(trafficMix))]
+		next++
+		return kind, true
+	}
+	start := time.Now()
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for {
+				kind, ok := take()
+				if !ok {
+					return
+				}
+				h.fire(kind, seed.ProofB64)
+				if rng.Intn(4) == 0 {
+					time.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	if srv != nil {
+		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(drainCtx); err != nil {
+			return true, fmt.Errorf("drain: %w", err)
+		}
+	}
+
+	kinds := make([]string, 0, len(h.outcomes))
+	for k := range h.outcomes {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	var sent, violations int64
+	fmt.Printf("nocap-loadgen: %d clients, %v\n", *clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("%-10s %6s %6s %6s %10s\n", "kind", "sent", "ok", "shed", "violations")
+	for _, k := range kinds {
+		o := h.outcomes[k]
+		fmt.Printf("%-10s %6d %6d %6d %10d\n", k, o.sent, o.ok, o.shed, o.violations)
+		sent += o.sent
+		violations += o.violations
+	}
+	for _, p := range h.problems {
+		fmt.Printf("  violation: %s\n", p)
+	}
+
+	if srv != nil {
+		// In-process invariants: every goroutine the service and the runs
+		// started is gone, and no scratch is stranded.
+		if leaked := snap.Leaked(5 * time.Second); len(leaked) > 0 {
+			failed = true
+			fmt.Printf("FAIL: %d leaked goroutine signature(s):\n", len(leaked))
+			for _, sig := range leaked {
+				fmt.Printf("  %s\n", sig)
+			}
+		}
+		arenaAfter := nocap.ReadProveStats().Arena
+		if arenaAfter.Outstanding != arenaBefore.Outstanding ||
+			arenaAfter.OutstandingElems != arenaBefore.OutstandingElems {
+			failed = true
+			fmt.Printf("FAIL: arena checkouts leaked: %d outstanding (%d elems) vs baseline %d (%d)\n",
+				arenaAfter.Outstanding, arenaAfter.OutstandingElems,
+				arenaBefore.Outstanding, arenaBefore.OutstandingElems)
+		}
+		if arenaAfter.DoubleReturns != arenaBefore.DoubleReturns {
+			failed = true
+			fmt.Printf("FAIL: %d arena double returns during the run\n",
+				arenaAfter.DoubleReturns-arenaBefore.DoubleReturns)
+		}
+	}
+	if violations > 0 {
+		failed = true
+	}
+	fmt.Printf("nocap-loadgen: %d requests, %d violations\n", sent, violations)
+	return failed, nil
+}
+
+func main() {
+	failed, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "nocap-loadgen: %v\n", err)
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "nocap-loadgen: FAIL")
+		os.Exit(1)
+	}
+	fmt.Println("nocap-loadgen: PASS")
+}

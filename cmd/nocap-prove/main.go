@@ -34,50 +34,6 @@ import (
 	"nocap/internal/zkerr"
 )
 
-func buildCircuit(name string, n int) (*nocap.Benchmark, error) {
-	switch name {
-	case "aes":
-		key := [16]byte{0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
-			0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c}
-		blocks := n
-		if blocks < 1 {
-			blocks = 1
-		}
-		pt := make([]byte, 16*blocks)
-		for i := range pt {
-			pt[i] = byte(i)
-		}
-		return nocap.AES(key, pt), nil
-	case "sha":
-		blocks := n
-		if blocks < 1 {
-			blocks = 1
-		}
-		data := make([]byte, 64*blocks)
-		for i := range data {
-			data[i] = byte(i * 3)
-		}
-		return nocap.SHA256(data), nil
-	case "rsa":
-		sq := n
-		if sq < 1 {
-			sq = 4
-		}
-		return nocap.RSA(sq, 8, 42), nil
-	case "auction":
-		bids := make([]uint64, max(n, 4))
-		for i := range bids {
-			bids[i] = uint64((i*2654435761 + 12345) % (1 << 20))
-		}
-		return nocap.Auction(bids), nil
-	case "litmus":
-		return nocap.Litmus(max(n, 4), 8, 42), nil
-	case "synthetic":
-		return nocap.Synthetic(max(n, 64)), nil
-	}
-	return nil, zkerr.Usagef("unknown circuit %q (want aes|sha|rsa|auction|litmus|synthetic)", name)
-}
-
 // writeFileAtomic writes data to path via a temp file in the same
 // directory plus an atomic rename, so a crash, fault, or cancellation
 // mid-write never leaves a truncated proof at path.
@@ -148,7 +104,10 @@ func run(ctx context.Context) (err error) {
 		defer cancel()
 	}
 
-	bm, err := buildCircuit(*circuit, *n)
+	// Circuit lookup, size clamping included, is shared with the serving
+	// layer (internal/circuits.ByName): the CLI and the service agree on
+	// what every (circuit, n) pair means.
+	bm, err := nocap.CircuitByName(*circuit, *n)
 	if err != nil {
 		return err
 	}
@@ -165,9 +124,13 @@ func run(ctx context.Context) (err error) {
 	}
 
 	if *in != "" {
+		// A file the OS can't read is an environment failure, not a usage
+		// error: the flags were well-formed. Leave it untyped so it exits
+		// with the generic failure code (1), distinct from usage (2) and
+		// from the verifier taxonomy (3-6).
 		data, err := os.ReadFile(*in)
 		if err != nil {
-			return zkerr.Usagef("read proof: %v", err)
+			return fmt.Errorf("read proof: %w", err)
 		}
 		limits := nocap.DefaultDecodeLimits()
 		if *maxMB > 0 {

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// buildBinary compiles nocap-prove once per test run and returns its path.
+var buildBinary = sync.OnceValues(func() (string, error) {
+	dir, err := os.MkdirTemp("", "nocap-prove-test-*")
+	if err != nil {
+		return "", err
+	}
+	bin := filepath.Join(dir, "nocap-prove")
+	out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput()
+	if err != nil {
+		return "", &exec.Error{Name: string(out), Err: err}
+	}
+	return bin, nil
+})
+
+// runCLI executes the built binary and returns its exit code and stderr.
+func runCLI(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	bin, err := buildBinary()
+	if err != nil {
+		t.Fatalf("build nocap-prove: %v", err)
+	}
+	var stderr bytes.Buffer
+	cmd := exec.Command(bin, args...)
+	cmd.Stderr = &stderr
+	err = cmd.Run()
+	if err == nil {
+		return 0, stderr.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), stderr.String()
+	}
+	t.Fatalf("run nocap-prove %v: %v", args, err)
+	return -1, ""
+}
+
+// TestExitCodeTaxonomy pins the CLI's exit codes against the taxonomy
+// (DESIGN.md §7): bad flags are usage (2); an unreadable -in file is an
+// environment failure (generic 1), NOT a usage error — the flags were
+// fine, the filesystem wasn't; a corrupt proof is malformed (3).
+func TestExitCodeTaxonomy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	t.Run("unknown circuit is usage", func(t *testing.T) {
+		code, stderr := runCLI(t, "-circuit", "nope")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2 (usage); stderr: %s", code, stderr)
+		}
+	})
+	t.Run("bad reps is usage", func(t *testing.T) {
+		code, _ := runCLI(t, "-circuit", "synthetic", "-reps", "99")
+		if code != 2 {
+			t.Fatalf("exit %d, want 2 (usage)", code)
+		}
+	})
+	t.Run("missing -in file is environment failure not usage", func(t *testing.T) {
+		code, stderr := runCLI(t, "-circuit", "synthetic", "-in",
+			filepath.Join(t.TempDir(), "does-not-exist.bin"))
+		if code != 1 {
+			t.Fatalf("exit %d, want 1 (generic failure); stderr: %s", code, stderr)
+		}
+	})
+	t.Run("corrupt proof is malformed", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "garbage.bin")
+		if err := os.WriteFile(path, []byte("not a proof"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		code, stderr := runCLI(t, "-circuit", "synthetic", "-in", path)
+		if code != 3 {
+			t.Fatalf("exit %d, want 3 (malformed); stderr: %s", code, stderr)
+		}
+	})
+}
+
+// TestProveRoundTripCLI proves a tiny circuit, writes the proof, and
+// verifies it back through -in, exercising the full CLI happy path and
+// the unified size clamping (n below every circuit floor still works).
+func TestProveRoundTripCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns subprocesses")
+	}
+	proof := filepath.Join(t.TempDir(), "proof.bin")
+	if code, stderr := runCLI(t, "-circuit", "synthetic", "-n", "0", "-out", proof); code != 0 {
+		t.Fatalf("prove exited %d; stderr: %s", code, stderr)
+	}
+	if code, stderr := runCLI(t, "-circuit", "synthetic", "-n", "0", "-in", proof); code != 0 {
+		t.Fatalf("verify exited %d; stderr: %s", code, stderr)
+	}
+}

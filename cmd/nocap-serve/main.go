@@ -1,0 +1,117 @@
+// Command nocap-serve runs the multi-session proving service: an HTTP
+// front end over the library prover with bounded admission (429 when the
+// queue is full), per-request deadlines and decode limits, per-request
+// stats attribution, and graceful drain on SIGINT/SIGTERM.
+//
+// Usage:
+//
+//	nocap-serve -addr 127.0.0.1:8080 -workers 4 -queue 8
+//	nocap-serve -addr :8080 -timeout 60s -mem-mb 128 -drain 30s
+//
+// Endpoints:
+//
+//	POST /prove    {"circuit":"synthetic","n":1024,"reps":1}
+//	POST /verify   {"circuit":"synthetic","n":1024,"proof_b64":"..."}
+//	GET  /healthz  liveness + queue occupancy (503 while draining)
+//	GET  /metrics  Prometheus text: admission/latency counters, the
+//	               five-stage kernel breakdown, arena behavior
+//
+// On SIGINT/SIGTERM the server stops admitting (503), lets queued and
+// in-flight requests finish (cancelling them if -drain expires), then
+// exits. Exit codes follow the taxonomy (DESIGN.md §7): 0 clean, 2
+// usage, otherwise 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nocap"
+	"nocap/internal/server"
+	"nocap/internal/zkerr"
+)
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address")
+	workers := flag.Int("workers", 2, "concurrent proving workers")
+	queue := flag.Int("queue", 0, "admission queue depth (0 = 2×workers)")
+	timeout := flag.Duration("timeout", 2*time.Minute, "per-request proving deadline cap")
+	memMB := flag.Int("mem-mb", 64, "per-request memory envelope, MB (bodies and decoded proofs)")
+	maxN := flag.Int("max-n", 1<<16, "largest circuit size parameter a request may ask for")
+	reps := flag.Int("reps", 0, "default soundness repetitions (0 = library default)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+	flag.Parse()
+
+	if *workers < 1 {
+		return zkerr.Usagef("-workers must be positive, got %d", *workers)
+	}
+	if *queue < 0 {
+		return zkerr.Usagef("-queue must be non-negative, got %d", *queue)
+	}
+	if *timeout <= 0 || *drain <= 0 {
+		return zkerr.Usagef("-timeout and -drain must be positive")
+	}
+	if *reps < 0 || *reps > 64 {
+		return zkerr.Usagef("-reps must be in [0,64], got %d", *reps)
+	}
+
+	params := nocap.DefaultParams()
+	if *reps > 0 {
+		params.Reps = *reps
+	}
+	s := server.New(server.Config{
+		Addr:           *addr,
+		Workers:        *workers,
+		QueueDepth:     *queue,
+		RequestTimeout: *timeout,
+		MemoryBudgetMB: *memMB,
+		MaxN:           *maxN,
+		Params:         params,
+	})
+	bound, err := s.Listen()
+	if err != nil {
+		return fmt.Errorf("listen %s: %w", *addr, err)
+	}
+	log.Printf("nocap-serve: listening on %s (%d workers, queue %d, timeout %v, mem %d MB)",
+		bound, *workers, *queue, *timeout, *memMB)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- s.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("nocap-serve: draining (budget %v)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := s.Shutdown(drainCtx); err != nil {
+		log.Printf("nocap-serve: drain budget expired; in-flight runs were cancelled")
+	}
+	if err := <-serveErr; err != nil {
+		return err
+	}
+	log.Printf("nocap-serve: drained cleanly")
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "nocap-serve: %v\n", err)
+		if errors.Is(err, zkerr.ErrUsage) {
+			fmt.Fprintln(os.Stderr, "run with -h for usage")
+		}
+		os.Exit(zkerr.ExitCode(err))
+	}
+}

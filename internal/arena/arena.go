@@ -10,9 +10,11 @@
 //     checks a buffer out owns it and is responsible for exactly one Put.
 //   - Buffers must never be Put while still referenced — returned memory
 //     is recycled and will be overwritten by the next checkout.
-//   - Put accepts the original slice or any prefix reslice of it (the
-//     sumcheck fold halves slices in place); ownership is keyed on the
-//     backing array's base pointer.
+//   - Put accepts the original slice or any prefix reslice of it — down
+//     to and including a zero-length prefix (the sumcheck fold halves
+//     slices in place, and a fold can reach length zero); ownership is
+//     keyed on the backing array's base pointer, which a prefix reslice
+//     preserves.
 //   - Memory that escapes into long-lived values (proofs, commitments)
 //     must come from plain make, never from the arena.
 //
@@ -21,12 +23,21 @@
 // Stats.DoubleReturns rather than poisoning the pool, and
 // Stats.Outstanding exposes the live-checkout count so tests can assert
 // leak-freedom around a proving run.
+//
+// Attribution under concurrency: counters accumulate in the arena's own
+// aggregate sink and, when a checkout is made through GetCtx/GetUninitCtx
+// with a Collector attached to the context (WithCollector), in that
+// per-run collector too. The collector is recorded on the checkout, so
+// the matching Put credits the same run no matter which goroutine or
+// context performs it.
 package arena
 
 import (
+	"context"
 	"math/bits"
 	"sync"
 	"sync/atomic"
+	"unsafe"
 
 	"nocap/internal/field"
 )
@@ -36,14 +47,59 @@ import (
 // other allocation.
 const numClasses = 64
 
+// Collector accumulates one run's checkout/return counters. The zero
+// value is ready to use; all methods are safe for concurrent use.
+type Collector struct {
+	gets, puts, hits, misses atomic.Int64
+	outstandingElems         atomic.Int64
+}
+
+// Snapshot reads the collector's current cumulative counters.
+// DoubleReturns is always zero in a per-run collector: a rejected Put
+// has no checkout record, so it cannot be attributed to any run and is
+// counted only in the arena's aggregate Stats.
+func (c *Collector) Snapshot() Stats {
+	gets := c.gets.Load()
+	puts := c.puts.Load()
+	return Stats{
+		Gets:             gets,
+		Puts:             puts,
+		Hits:             c.hits.Load(),
+		Misses:           c.misses.Load(),
+		Outstanding:      gets - puts,
+		OutstandingElems: c.outstandingElems.Load(),
+	}
+}
+
+// collectorKey carries a *Collector in a context.
+type collectorKey struct{}
+
+// WithCollector returns a context that attributes all arena checkouts
+// made under it (via GetCtx/GetUninitCtx) — and their eventual returns —
+// to c, in addition to the arena's aggregate counters.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	return context.WithValue(ctx, collectorKey{}, c)
+}
+
+// FromContext returns the collector attached to ctx, or nil.
+func FromContext(ctx context.Context) *Collector {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(collectorKey{}).(*Collector)
+	return c
+}
+
 // checkout records one live buffer: the boxed full-capacity slice to
 // recycle on return (boxed so Put re-pools the same pointer without
-// allocating), its size class, and the checked-out length for element
-// accounting.
+// allocating), its size class, the checked-out length for element
+// accounting, and the per-run collector to credit on return (nil for
+// unattributed checkouts).
 type checkout struct {
 	box   *[]field.Element
 	class int
 	n     int
+	col   *Collector
 }
 
 // Arena is one pool instance. The zero value is not usable; call New.
@@ -68,7 +124,13 @@ var Default = New()
 
 // Get checks out a zeroed buffer of length n (nil if n == 0).
 func (a *Arena) Get(n int) []field.Element {
-	s := a.GetUninit(n)
+	return a.GetCtx(context.Background(), n)
+}
+
+// GetCtx is Get with per-run attribution: the checkout (and its eventual
+// return) is credited to the collector carried by ctx, if any.
+func (a *Arena) GetCtx(ctx context.Context, n int) []field.Element {
+	s := a.GetUninitCtx(ctx, n)
 	clear(s)
 	return s
 }
@@ -77,38 +139,63 @@ func (a *Arena) Get(n int) []field.Element {
 // for callers that overwrite every entry before reading any. Capacity is
 // the size class (next power of two ≥ n).
 func (a *Arena) GetUninit(n int) []field.Element {
+	return a.GetUninitCtx(context.Background(), n)
+}
+
+// GetUninitCtx is GetUninit with per-run attribution via the context's
+// collector.
+func (a *Arena) GetUninitCtx(ctx context.Context, n int) []field.Element {
 	if n <= 0 {
 		return nil
 	}
+	col := FromContext(ctx)
 	a.gets.Add(1)
 	a.outstandingElems.Add(int64(n))
+	if col != nil {
+		col.gets.Add(1)
+		col.outstandingElems.Add(int64(n))
+	}
 	class := bits.Len(uint(n - 1)) // ceil(log2 n); n=1 → class 0
 	var box *[]field.Element
 	if v := a.pools[class].Get(); v != nil {
 		a.hits.Add(1)
+		if col != nil {
+			col.hits.Add(1)
+		}
 		box = v.(*[]field.Element)
 	} else {
 		a.misses.Add(1)
+		if col != nil {
+			col.misses.Add(1)
+		}
 		full := make([]field.Element, 1<<class)
 		box = &full
 	}
 	s := (*box)[:n]
 	a.mu.Lock()
-	a.live[&s[0]] = checkout{box: box, class: class, n: n}
+	a.live[&s[0]] = checkout{box: box, class: class, n: n, col: col}
 	a.mu.Unlock()
 	return s
 }
 
-// Put returns a checked-out buffer (or any prefix reslice of one) to the
-// pool. Put(nil) is a no-op, so unconditional deferred returns of
+// Put returns a checked-out buffer (or any prefix reslice of one, down
+// to length zero) to the pool. Ownership is keyed on the backing array's
+// base pointer, which survives prefix reslicing even to s[:0], so a
+// caller that folds its scratch to empty still releases the checkout.
+// Put(nil) is a no-op, so unconditional deferred returns of
 // possibly-empty checkouts are fine. Returning a slice the arena does
 // not currently track — a double return or a foreign slice — increments
 // DoubleReturns and is otherwise ignored.
 func (a *Arena) Put(s []field.Element) {
-	if len(s) == 0 {
+	if cap(s) == 0 {
+		// nil, or a zero-capacity slice: no backing array, so nothing
+		// can have been checked out through it.
 		return
 	}
-	key := &s[0]
+	// unsafe.SliceData returns the base pointer of the backing array even
+	// for a zero-length prefix (where &s[0] would panic); for len(s) > 0
+	// it is identical to &s[0], the key GetUninitCtx stored.
+	key := unsafe.SliceData(s)
 	a.mu.Lock()
 	co, ok := a.live[key]
 	if ok {
@@ -121,6 +208,10 @@ func (a *Arena) Put(s []field.Element) {
 	}
 	a.puts.Add(1)
 	a.outstandingElems.Add(-int64(co.n))
+	if co.col != nil {
+		co.col.puts.Add(1)
+		co.col.outstandingElems.Add(-int64(co.n))
+	}
 	a.pools[co.class].Put(co.box)
 }
 
@@ -132,7 +223,9 @@ type Stats struct {
 	// buffer of the right class.
 	Hits, Misses int64
 	// DoubleReturns counts rejected Puts (double return or foreign
-	// slice). Always zero in a correct program.
+	// slice). Always zero in a correct program, and always zero in
+	// per-run Collector snapshots (rejected Puts have no checkout to
+	// attribute).
 	DoubleReturns int64
 	// Outstanding is the number of live checkouts (Gets − Puts);
 	// OutstandingElems is their total element count. Both return to
@@ -170,11 +263,33 @@ func (s Stats) Sub(o Stats) Stats {
 	}
 }
 
+// Add returns the counter sum s + o, for combining per-run collectors
+// when checking them against the aggregate sink.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Gets:             s.Gets + o.Gets,
+		Puts:             s.Puts + o.Puts,
+		Hits:             s.Hits + o.Hits,
+		Misses:           s.Misses + o.Misses,
+		DoubleReturns:    s.DoubleReturns + o.DoubleReturns,
+		Outstanding:      s.Outstanding + o.Outstanding,
+		OutstandingElems: s.OutstandingElems + o.OutstandingElems,
+	}
+}
+
 // Get checks a zeroed buffer out of the Default arena.
 func Get(n int) []field.Element { return Default.Get(n) }
 
+// GetCtx checks a zeroed buffer out of the Default arena, attributed to
+// the context's collector.
+func GetCtx(ctx context.Context, n int) []field.Element { return Default.GetCtx(ctx, n) }
+
 // GetUninit checks an uninitialized buffer out of the Default arena.
 func GetUninit(n int) []field.Element { return Default.GetUninit(n) }
+
+// GetUninitCtx checks an uninitialized buffer out of the Default arena,
+// attributed to the context's collector.
+func GetUninitCtx(ctx context.Context, n int) []field.Element { return Default.GetUninitCtx(ctx, n) }
 
 // Put returns a buffer to the Default arena.
 func Put(s []field.Element) { Default.Put(s) }

@@ -166,30 +166,53 @@ func (c *Expander) graph(rows, cols int, tag byte) [][]kernel.Entry {
 }
 
 // spmv applies a cached sparse graph to x.
-func (c *Expander) spmv(rows int, x []field.Element, tag byte) []field.Element {
+func (c *Expander) spmv(ctx context.Context, rows int, x []field.Element, tag byte) ([]field.Element, error) {
 	g := c.graph(rows, len(x), tag)
 	out := make([]field.Element, rows)
-	kernel.SpMVSerial(out, g, x)
-	return out
+	if err := kernel.SpMVSerialCtx(ctx, out, g, x); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Encode implements Code.
 func (c *Expander) Encode(msg []field.Element) []field.Element {
+	cw, err := c.EncodeCtx(context.Background(), msg)
+	if err != nil {
+		panic(err) // unreachable: background context never cancels
+	}
+	return cw
+}
+
+// EncodeCtx is Encode with cooperative cancellation (polled inside the
+// graph SpMVs and the Reed-Solomon base case) and per-run stats
+// attribution via the context's collector. The PCS prefers this variant
+// when a code provides it (see pcs.encodeCtx).
+func (c *Expander) EncodeCtx(ctx context.Context, msg []field.Element) ([]field.Element, error) {
 	n := len(msg)
 	if n == 0 || n&(n-1) != 0 {
 		panic("code: message length must be a positive power of two")
 	}
 	if n <= baseSize {
-		return c.base.Encode(msg)
+		return c.base.EncodeCtx(ctx, msg)
 	}
-	y := c.spmv(n/2, msg, 'A') // n/2 intermediate symbols
-	z := c.Encode(y)           // recursively encoded to 2n
-	u := c.spmv(n, z, 'B')     // n check symbols
+	y, err := c.spmv(ctx, n/2, msg, 'A') // n/2 intermediate symbols
+	if err != nil {
+		return nil, err
+	}
+	z, err := c.EncodeCtx(ctx, y) // recursively encoded to 2n
+	if err != nil {
+		return nil, err
+	}
+	u, err := c.spmv(ctx, n, z, 'B') // n check symbols
+	if err != nil {
+		return nil, err
+	}
 	cw := make([]field.Element, 0, 4*n)
 	cw = append(cw, msg...)
 	cw = append(cw, z...)
 	cw = append(cw, u...)
-	return cw
+	return cw, nil
 }
 
 // Blowup implements Code.

@@ -47,7 +47,14 @@ type Entry struct {
 // backing array (so an arena checkout can still be returned via the
 // original slice). len(evals) must be even and non-zero.
 func Fold(evals []field.Element, r field.Element) []field.Element {
-	sp := Begin(StageSumcheck)
+	return FoldCtx(context.Background(), evals, r)
+}
+
+// FoldCtx is Fold attributed to the per-run collector carried by ctx.
+// The fold itself is not cancellable (it is short and in-place); the
+// context is used for stats attribution only.
+func FoldCtx(ctx context.Context, evals []field.Element, r field.Element) []field.Element {
+	sp := BeginCtx(ctx, StageSumcheck)
 	half := len(evals) / 2
 	lo, hi := evals[:half], evals[half:]
 	for i := range lo {
@@ -62,10 +69,16 @@ func Fold(evals []field.Element, r field.Element) []field.Element {
 // with x[0] as the high bit. len(table) must be exactly 1<<len(r). Every
 // entry is written, so uninitialized (arena GetUninit) scratch is safe.
 func EqExpand(table []field.Element, r []field.Element) {
+	EqExpandCtx(context.Background(), table, r)
+}
+
+// EqExpandCtx is EqExpand attributed to the per-run collector carried by
+// ctx (stats attribution only; the expansion is not cancellable).
+func EqExpandCtx(ctx context.Context, table []field.Element, r []field.Element) {
 	if len(table) != 1<<len(r) {
 		panic("kernel: eq table size mismatch")
 	}
-	sp := Begin(StagePoly)
+	sp := BeginCtx(ctx, StagePoly)
 	table[0] = field.One
 	size := 1
 	for _, rk := range r {
@@ -85,7 +98,13 @@ func EqExpand(table []field.Element, r []field.Element) {
 // hold the base vector (e.g. a ZK mask, or zeros). Every rows[r] must
 // have length ≥ len(dst); only the first len(dst) entries participate.
 func VecCombine(dst []field.Element, coeffs []field.Element, rows [][]field.Element) {
-	sp := Begin(StagePoly)
+	VecCombineCtx(context.Background(), dst, coeffs, rows)
+}
+
+// VecCombineCtx is VecCombine attributed to the per-run collector
+// carried by ctx (stats attribution only).
+func VecCombineCtx(ctx context.Context, dst []field.Element, coeffs []field.Element, rows [][]field.Element) {
+	sp := BeginCtx(ctx, StagePoly)
 	n := 0
 	for r, c := range coeffs {
 		if c.IsZero() {
@@ -106,7 +125,7 @@ func RSEncodeCtx(ctx context.Context, dst, msg []field.Element) error {
 	if len(msg) > len(dst) {
 		panic("kernel: rs-encode message longer than codeword")
 	}
-	sp := Begin(StageEncode)
+	sp := BeginCtx(ctx, StageEncode)
 	copy(dst, msg)
 	clear(dst[len(msg):])
 	err := ntt.ForwardCtx(ctx, dst)
@@ -121,7 +140,7 @@ func MerkleLevelCtx(ctx context.Context, dst, prev []hashfn.Digest) error {
 	if len(prev) != 2*len(dst) {
 		panic("kernel: merkle level size mismatch")
 	}
-	sp := Begin(StageMerkle)
+	sp := BeginCtx(ctx, StageMerkle)
 	for i := range dst {
 		if i%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {
@@ -141,7 +160,7 @@ func MerkleLevelCtx(ctx context.Context, dst, prev []hashfn.Digest) error {
 // each worker reuses one gather buffer and one byte buffer for its whole
 // chunk, so the loop allocates O(workers), not O(columns).
 func ColumnLeavesCtx(ctx context.Context, leaves []hashfn.Digest, rows [][]field.Element) error {
-	sp := Begin(StageMerkle)
+	sp := BeginCtx(ctx, StageMerkle)
 	depth := len(rows)
 	err := par.ForErrCtx(ctx, len(leaves), func(lo, hi int) error {
 		col := make([]field.Element, depth)
@@ -167,7 +186,7 @@ func SpMVCtx(ctx context.Context, dst []field.Element, rows [][]Entry, x []field
 	if len(dst) != len(rows) {
 		panic("kernel: spmv output size mismatch")
 	}
-	sp := Begin(StageSpMV)
+	sp := BeginCtx(ctx, StageSpMV)
 	err := par.ForCtx(ctx, len(rows), func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			var acc field.Element
@@ -184,11 +203,25 @@ func SpMVCtx(ctx context.Context, dst []field.Element, rows [][]Entry, x []field
 // SpMVSerial is SpMV on the calling goroutine, for small systems and
 // recursive encoders where fan-out costs more than it saves.
 func SpMVSerial(dst []field.Element, rows [][]Entry, x []field.Element) {
+	if err := SpMVSerialCtx(context.Background(), dst, rows, x); err != nil {
+		panic(err) // unreachable: background context never cancels
+	}
+}
+
+// SpMVSerialCtx is SpMVSerial with per-run stats attribution and
+// cooperative cancellation polled every ctxCheckInterval rows.
+func SpMVSerialCtx(ctx context.Context, dst []field.Element, rows [][]Entry, x []field.Element) error {
 	if len(dst) != len(rows) {
 		panic("kernel: spmv output size mismatch")
 	}
-	sp := Begin(StageSpMV)
+	sp := BeginCtx(ctx, StageSpMV)
 	for i, row := range rows {
+		if i%ctxCheckInterval == 0 && i > 0 {
+			if err := ctx.Err(); err != nil {
+				sp.End(i)
+				return err
+			}
+		}
 		var acc field.Element
 		for _, e := range row {
 			acc = field.Add(acc, field.Mul(e.Val, x[e.Col]))
@@ -196,6 +229,7 @@ func SpMVSerial(dst []field.Element, rows [][]Entry, x []field.Element) {
 		dst[i] = acc
 	}
 	sp.End(len(rows))
+	return nil
 }
 
 // SpMVTCtx accumulates the scaled transpose product
@@ -206,7 +240,7 @@ func SpMVSerial(dst []field.Element, rows [][]Entry, x []field.Element) {
 // Mᵀ·y shape of Spartan's inner sumcheck assembly. len(y) must be
 // ≥ len(rows); dst must span every referenced column.
 func SpMVTCtx(ctx context.Context, dst []field.Element, rows [][]Entry, y []field.Element, scale field.Element) error {
-	sp := Begin(StageSpMV)
+	sp := BeginCtx(ctx, StageSpMV)
 	for i, row := range rows {
 		if i%ctxCheckInterval == 0 {
 			if err := ctx.Err(); err != nil {

@@ -1,19 +1,24 @@
 // Per-stage execution counters for the kernel layer.
 //
 // Every kernel entry point records wall time, elements processed, and
-// call counts against one of the five task-taxonomy stages. Counters are
-// cumulative atomics: concurrent provers add to the same counters, and
-// callers take before/after snapshots (Snapshot + Stats.Sub) to attribute
-// work to one proving run. Instrumentation is always on — a span is two
-// monotonic-clock reads and three atomic adds, far below the cost of any
-// kernel invocation it wraps.
+// call counts against one of the five task-taxonomy stages. Counters
+// live in Collectors: the package-level aggregate sink (Snapshot) is
+// always credited, and a per-run Collector carried in the context
+// (WithCollector) is credited as well, so two concurrent proving runs
+// each observe exactly their own work while the process-wide totals
+// stay monotone for /metrics-style reporting. Instrumentation is always
+// on — a span is two monotonic-clock reads and a handful of atomic
+// adds, far below the cost of any kernel invocation it wraps.
 //
-// Note on concurrency: kernels that fan out across a worker pool time the
-// whole fan-out from the coordinating goroutine, so Wall is wall-clock
-// time, not CPU time summed over workers.
+// Note on concurrency: kernels that fan out across a worker pool time
+// the whole fan-out from the coordinating goroutine, so their Wall is
+// wall-clock time. The one exception is the Reed-Solomon encode, whose
+// per-row spans run on the pool workers themselves; its Wall approaches
+// CPU time summed over workers and may exceed the run's elapsed time.
 package kernel
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -59,26 +64,92 @@ type stageCounters struct {
 	ns    atomic.Int64
 }
 
-var perStage [numStages]stageCounters
+// Collector accumulates per-stage counters. The zero value is ready to
+// use; all methods are safe for concurrent use. One Collector per
+// proving run, attached to the run's context with WithCollector, gives
+// that run its own truthful stage breakdown regardless of what other
+// runs do concurrently.
+type Collector struct {
+	perStage [numStages]stageCounters
+}
 
-// Span is an in-flight timing measurement begun with Begin.
+// add credits one finished span to the collector.
+func (c *Collector) add(stage Stage, elems int, ns int64) {
+	sc := &c.perStage[stage]
+	sc.calls.Add(1)
+	sc.elems.Add(int64(elems))
+	sc.ns.Add(ns)
+}
+
+// Snapshot reads the collector's current cumulative counters.
+func (c *Collector) Snapshot() Stats {
+	read := func(st Stage) StageStats {
+		sc := &c.perStage[st]
+		return StageStats{
+			Calls: sc.calls.Load(),
+			Elems: sc.elems.Load(),
+			Wall:  time.Duration(sc.ns.Load()),
+		}
+	}
+	return Stats{
+		Sumcheck: read(StageSumcheck),
+		Encode:   read(StageEncode),
+		Merkle:   read(StageMerkle),
+		SpMV:     read(StageSpMV),
+		Poly:     read(StagePoly),
+	}
+}
+
+// global is the process-wide aggregate sink: every span is credited
+// here in addition to the run's own collector (if any).
+var global Collector
+
+// collectorKey carries a *Collector in a context.
+type collectorKey struct{}
+
+// WithCollector returns a context that attributes all kernel spans begun
+// under it (via BeginCtx or the ...Ctx kernels) to c, in addition to the
+// process-wide aggregate.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	return context.WithValue(ctx, collectorKey{}, c)
+}
+
+// FromContext returns the collector attached to ctx, or nil.
+func FromContext(ctx context.Context) *Collector {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(collectorKey{}).(*Collector)
+	return c
+}
+
+// Span is an in-flight timing measurement begun with Begin or BeginCtx.
 type Span struct {
 	stage Stage
 	start time.Time
+	c     *Collector // per-run collector, nil when unattributed
 }
 
-// Begin starts timing one kernel invocation for the given stage.
+// Begin starts timing one kernel invocation for the given stage,
+// credited to the aggregate sink only.
 func Begin(stage Stage) Span {
 	return Span{stage: stage, start: time.Now()}
+}
+
+// BeginCtx starts timing one kernel invocation, credited to the
+// aggregate sink and to the per-run collector carried by ctx (if any).
+func BeginCtx(ctx context.Context, stage Stage) Span {
+	return Span{stage: stage, start: time.Now(), c: FromContext(ctx)}
 }
 
 // End finishes the span, crediting the stage with one call, the given
 // number of processed elements, and the elapsed wall time.
 func (sp Span) End(elems int) {
-	c := &perStage[sp.stage]
-	c.calls.Add(1)
-	c.elems.Add(int64(elems))
-	c.ns.Add(int64(time.Since(sp.start)))
+	ns := int64(time.Since(sp.start))
+	global.add(sp.stage, elems, ns)
+	if sp.c != nil {
+		sp.c.add(sp.stage, elems, ns)
+	}
 }
 
 // StageStats is a snapshot of one stage's cumulative counters.
@@ -96,6 +167,11 @@ func (s StageStats) Sub(o StageStats) StageStats {
 	return StageStats{Calls: s.Calls - o.Calls, Elems: s.Elems - o.Elems, Wall: s.Wall - o.Wall}
 }
 
+// Add returns the counter sum s + o.
+func (s StageStats) Add(o StageStats) StageStats {
+	return StageStats{Calls: s.Calls + o.Calls, Elems: s.Elems + o.Elems, Wall: s.Wall + o.Wall}
+}
+
 // Stats is a snapshot of every stage's counters.
 type Stats struct {
 	Sumcheck StageStats
@@ -105,23 +181,10 @@ type Stats struct {
 	Poly     StageStats
 }
 
-// Snapshot reads the current cumulative counters for all stages.
+// Snapshot reads the current cumulative process-wide counters (the
+// aggregate sink).
 func Snapshot() Stats {
-	read := func(st Stage) StageStats {
-		c := &perStage[st]
-		return StageStats{
-			Calls: c.calls.Load(),
-			Elems: c.elems.Load(),
-			Wall:  time.Duration(c.ns.Load()),
-		}
-	}
-	return Stats{
-		Sumcheck: read(StageSumcheck),
-		Encode:   read(StageEncode),
-		Merkle:   read(StageMerkle),
-		SpMV:     read(StageSpMV),
-		Poly:     read(StagePoly),
-	}
+	return global.Snapshot()
 }
 
 // Sub returns the per-stage difference s − o, used to attribute counters
@@ -133,6 +196,18 @@ func (s Stats) Sub(o Stats) Stats {
 		Merkle:   s.Merkle.Sub(o.Merkle),
 		SpMV:     s.SpMV.Sub(o.SpMV),
 		Poly:     s.Poly.Sub(o.Poly),
+	}
+}
+
+// Add returns the per-stage sum s + o, used to combine per-run
+// collectors when checking them against the aggregate sink.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Sumcheck: s.Sumcheck.Add(o.Sumcheck),
+		Encode:   s.Encode.Add(o.Encode),
+		Merkle:   s.Merkle.Add(o.Merkle),
+		SpMV:     s.SpMV.Add(o.SpMV),
+		Poly:     s.Poly.Add(o.Poly),
 	}
 }
 

@@ -229,8 +229,8 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 	if params.ZK {
 		zkTail = params.Code.Queries()
 	}
-	rowsBuf := arena.Get(params.Rows * msgLen)
-	masksBuf := arena.GetUninit(params.numMasks() * msgLen)
+	rowsBuf := arena.GetCtx(ctx, params.Rows*msgLen)
+	masksBuf := arena.GetUninitCtx(ctx, params.numMasks()*msgLen)
 	var encBuf []field.Element
 	committed := false
 	defer func() {
@@ -260,7 +260,7 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 	all = append(all, rows...)
 	all = append(all, masks...)
 	encLen := msgLen * params.Code.Blowup()
-	encBuf = arena.GetUninit(total * encLen)
+	encBuf = arena.GetUninitCtx(ctx, total*encLen)
 	encoded := make([][]field.Element, total)
 	for r := range encoded {
 		encoded[r] = encBuf[r*encLen : (r+1)*encLen]
@@ -373,12 +373,12 @@ func splitPoint(comm *Commitment, point []field.Element) (rowPart, colPart []fie
 // combineRows returns coeffsᵀ·rows (+ mask if non-nil), over MsgLen.
 // The result escapes into the proof, so it is plain-allocated, never
 // arena scratch.
-func combineRows(rows [][]field.Element, coeffs []field.Element, mask []field.Element, msgLen int) []field.Element {
+func combineRows(ctx context.Context, rows [][]field.Element, coeffs []field.Element, mask []field.Element, msgLen int) []field.Element {
 	out := make([]field.Element, msgLen)
 	if mask != nil {
 		copy(out, mask)
 	}
-	kernel.VecCombine(out, coeffs, rows)
+	kernel.VecCombineCtx(ctx, out, coeffs, rows)
 	return out
 }
 
@@ -428,12 +428,12 @@ func (s *ProverState) OpenCtx(ctx context.Context, tr *transcript.Transcript, po
 		if err != nil {
 			return nil, nil, err
 		}
-		qRows[i] = arena.GetUninit(1 << len(rowPart))
-		poly.EqTableInto(qRows[i], rowPart)
-		qCols[i] = arena.GetUninit(1 << len(colPart))
-		poly.EqTableInto(qCols[i], colPart)
+		qRows[i] = arena.GetUninitCtx(ctx, 1<<len(rowPart))
+		poly.EqTableIntoCtx(ctx, qRows[i], rowPart)
+		qCols[i] = arena.GetUninitCtx(ctx, 1<<len(colPart))
+		poly.EqTableIntoCtx(ctx, qCols[i], colPart)
 		// value = q_rowᵀ M q_col over the data region.
-		sp := kernel.Begin(kernel.StagePoly)
+		sp := kernel.BeginCtx(ctx, kernel.StagePoly)
 		var v field.Element
 		for r := 0; r < comm.Rows; r++ {
 			v = field.Add(v, field.Mul(qRows[i][r], field.InnerProduct(s.rows[r][:comm.Cols], qCols[i])))
@@ -459,7 +459,7 @@ func (s *ProverState) OpenCtx(ctx context.Context, tr *transcript.Transcript, po
 		if s.params.ZK {
 			mask = s.masks[j]
 		}
-		u := combineRows(s.rows, gamma, mask, comm.MsgLen)
+		u := combineRows(ctx, s.rows, gamma, mask, comm.MsgLen)
 		proof.ProxVectors = append(proof.ProxVectors, u)
 		tr.AppendElems("pcs/prox", u)
 	}
@@ -472,7 +472,7 @@ func (s *ProverState) OpenCtx(ctx context.Context, tr *transcript.Transcript, po
 			proof.MaskCorrections = append(proof.MaskCorrections,
 				field.InnerProduct(mask[:comm.Cols], qCols[i]))
 		}
-		u := combineRows(s.rows, qRows[i], mask, comm.MsgLen)
+		u := combineRows(ctx, s.rows, qRows[i], mask, comm.MsgLen)
 		proof.EvalVectors = append(proof.EvalVectors, u)
 		tr.AppendElems("pcs/eval", u)
 	}

@@ -12,6 +12,7 @@
 package poly
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 
@@ -69,13 +70,19 @@ func (m *MLE) Clone() *MLE {
 // returning the receiver. This is the DP array update of paper Listing 1:
 // A[b] = A[b]·(1−rx) + A[b+s]·rx.
 func (m *MLE) Fold(r field.Element) *MLE {
+	return m.FoldCtx(context.Background(), r)
+}
+
+// FoldCtx is Fold with the fold's work attributed to the per-run stats
+// collector carried by ctx (see kernel.WithCollector).
+func (m *MLE) FoldCtx(ctx context.Context, r field.Element) *MLE {
 	if len(m.evals) == 1 {
 		panic("poly: cannot fold a 0-variable MLE")
 	}
 	// kernel.Fold reslices in place, keeping the original backing array
 	// (and base pointer), so arena-owned evaluation slices can still be
 	// returned by whoever checked them out.
-	m.evals = kernel.Fold(m.evals, r)
+	m.evals = kernel.FoldCtx(ctx, m.evals, r)
 	return m
 }
 
@@ -105,10 +112,24 @@ func EqTable(r []field.Element) []field.Element {
 	return table
 }
 
+// EqTableCtx is EqTable with the expansion's work attributed to the
+// per-run stats collector carried by ctx.
+func EqTableCtx(ctx context.Context, r []field.Element) []field.Element {
+	table := make([]field.Element, 1<<len(r))
+	kernel.EqExpandCtx(ctx, table, r)
+	return table
+}
+
 // EqTableInto fills table (length exactly 2^len(r), typically arena
 // scratch) with the same expansion as EqTable, without allocating.
 func EqTableInto(table []field.Element, r []field.Element) {
 	kernel.EqExpand(table, r)
+}
+
+// EqTableIntoCtx is EqTableInto with the expansion's work attributed to
+// the per-run stats collector carried by ctx.
+func EqTableIntoCtx(ctx context.Context, table []field.Element, r []field.Element) {
+	kernel.EqExpandCtx(ctx, table, r)
 }
 
 // EqEval returns eq(a, b) for two points of equal dimension.

@@ -1,0 +1,121 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"nocap"
+)
+
+// metrics is the server's own counter set: admission, outcome, and
+// latency. Kernel-stage and arena counters are not duplicated here —
+// /metrics reads them from the process-wide aggregate (ReadProveStats),
+// which every request's collector also feeds.
+type metrics struct {
+	proveRequests     atomic.Int64
+	verifyRequests    atomic.Int64
+	provesOK          atomic.Int64
+	verifiesOK        atomic.Int64
+	verifiesRejected  atomic.Int64
+	clientErrors      atomic.Int64
+	serverErrors      atomic.Int64
+	rejectedQueueFull atomic.Int64
+	rejectedDraining  atomic.Int64
+	queueWaitNs       atomic.Int64
+	proveNs           atomic.Int64
+	verifyNs          atomic.Int64
+}
+
+// MetricsSnapshot is the server-counter part of /metrics, for tests and
+// embedding callers.
+type MetricsSnapshot struct {
+	ProveRequests     int64
+	VerifyRequests    int64
+	ProvesOK          int64
+	VerifiesOK        int64
+	VerifiesRejected  int64
+	ClientErrors      int64
+	ServerErrors      int64
+	RejectedQueueFull int64
+	RejectedDraining  int64
+}
+
+// Metrics snapshots the server counters.
+func (s *Server) Metrics() MetricsSnapshot {
+	return MetricsSnapshot{
+		ProveRequests:     s.metrics.proveRequests.Load(),
+		VerifyRequests:    s.metrics.verifyRequests.Load(),
+		ProvesOK:          s.metrics.provesOK.Load(),
+		VerifiesOK:        s.metrics.verifiesOK.Load(),
+		VerifiesRejected:  s.metrics.verifiesRejected.Load(),
+		ClientErrors:      s.metrics.clientErrors.Load(),
+		ServerErrors:      s.metrics.serverErrors.Load(),
+		RejectedQueueFull: s.metrics.rejectedQueueFull.Load(),
+		RejectedDraining:  s.metrics.rejectedDraining.Load(),
+	}
+}
+
+// renderMetrics emits Prometheus text-format gauges and counters: the
+// server's admission/latency counters, the five-stage kernel breakdown,
+// and the arena's checkout behavior.
+func (s *Server) renderMetrics() string {
+	var b strings.Builder
+	m := &s.metrics
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+
+	counter("nocap_prove_requests_total", "POST /prove requests received", m.proveRequests.Load())
+	counter("nocap_verify_requests_total", "POST /verify requests received", m.verifyRequests.Load())
+	counter("nocap_proves_ok_total", "proofs generated successfully", m.provesOK.Load())
+	counter("nocap_verifies_ok_total", "proofs verified valid", m.verifiesOK.Load())
+	counter("nocap_verifies_rejected_total", "proofs examined and rejected", m.verifiesRejected.Load())
+	counter("nocap_client_errors_total", "requests answered 4xx", m.clientErrors.Load())
+	counter("nocap_server_errors_total", "requests answered 5xx", m.serverErrors.Load())
+	counter("nocap_rejected_queue_full_total", "requests shed with 429", m.rejectedQueueFull.Load())
+	counter("nocap_rejected_draining_total", "requests refused during drain", m.rejectedDraining.Load())
+	counter("nocap_queue_wait_ns_total", "nanoseconds requests spent queued (sum)", m.queueWaitNs.Load())
+	counter("nocap_prove_ns_total", "nanoseconds spent proving (sum over completed proves)", m.proveNs.Load())
+	counter("nocap_verify_ns_total", "nanoseconds spent verifying (sum over completed verifies)", m.verifyNs.Load())
+
+	gauge("nocap_queue_depth", "requests admitted and waiting for a worker", int64(len(s.jobs)))
+	gauge("nocap_queue_capacity", "admission queue bound", int64(cap(s.jobs)))
+	gauge("nocap_inflight", "requests currently proving or verifying", s.inflight.Load())
+	gauge("nocap_workers", "proving worker pool size", int64(s.cfg.Workers))
+
+	// Process-wide kernel and arena aggregates (every request's collector
+	// feeds these too; per-request numbers live in the responses).
+	agg := nocap.ReadProveStats()
+	names := make([]string, 0, 5)
+	stages := agg.Stages.Named()
+	for name := range stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	b.WriteString("# HELP nocap_kernel_calls_total kernel invocations by stage (process aggregate)\n# TYPE nocap_kernel_calls_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "nocap_kernel_calls_total{stage=%q} %d\n", name, stages[name].Calls)
+	}
+	b.WriteString("# HELP nocap_kernel_elems_total elements processed by stage (process aggregate)\n# TYPE nocap_kernel_elems_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "nocap_kernel_elems_total{stage=%q} %d\n", name, stages[name].Elems)
+	}
+	b.WriteString("# HELP nocap_kernel_wall_ns_total wall nanoseconds inside kernels by stage (process aggregate)\n# TYPE nocap_kernel_wall_ns_total counter\n")
+	for _, name := range names {
+		fmt.Fprintf(&b, "nocap_kernel_wall_ns_total{stage=%q} %d\n", name, int64(stages[name].Wall))
+	}
+
+	counter("nocap_arena_gets_total", "arena checkouts (process aggregate)", agg.Arena.Gets)
+	counter("nocap_arena_puts_total", "arena returns (process aggregate)", agg.Arena.Puts)
+	counter("nocap_arena_hits_total", "arena pool hits (process aggregate)", agg.Arena.Hits)
+	counter("nocap_arena_misses_total", "arena pool misses (process aggregate)", agg.Arena.Misses)
+	counter("nocap_arena_double_returns_total", "arena double returns, always a bug", agg.Arena.DoubleReturns)
+	gauge("nocap_arena_outstanding", "live arena checkouts", agg.Arena.Outstanding)
+	gauge("nocap_arena_outstanding_elems", "elements in live arena checkouts", agg.Arena.OutstandingElems)
+	return b.String()
+}

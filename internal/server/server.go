@@ -1,0 +1,609 @@
+// Package server implements the multi-session proving service: an HTTP
+// front end over the library's ProveCtx/VerifyCtx with the admission
+// control a shared prover needs. Proving is seconds of CPU and hundreds
+// of megabytes of scratch per request, so the server never lets HTTP
+// concurrency become proving concurrency: a fixed worker pool executes
+// the cryptographic work and a bounded queue in front of it sheds load
+// with 429 the moment the backlog is full, instead of stacking requests
+// until the process dies.
+//
+// Per-request accounting rides on the stats Collector (nocap.Collector):
+// each request attaches its own collector to the proving context, so the
+// five-stage kernel breakdown and arena behavior returned in responses
+// describe exactly that request's work even when eight proves overlap —
+// the process-global counters stay what they are, an aggregate across
+// all runs, and /metrics exposes them as such.
+//
+// Error taxonomy (DESIGN.md §7) maps onto HTTP status codes:
+//
+//	usage                  → 400
+//	malformed-proof        → 400
+//	bad-commitment         → 400
+//	resource-limit         → 413 (request bounds) or 504 (deadline)
+//	internal               → 500
+//	queue full             → 429 (Retry-After set)
+//	draining               → 503
+//
+// A proof that parses but fails verification is not a transport error:
+// POST /verify answers 200 with {"valid": false} and the taxonomy code.
+package server
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nocap"
+	"nocap/internal/zkerr"
+)
+
+// Config parameterizes the service. The zero value of any field means
+// "use the default" (see Normalize).
+type Config struct {
+	// Addr is the listen address, e.g. "127.0.0.1:8080".
+	Addr string
+	// Workers bounds concurrent proving/verification runs. Default 2.
+	Workers int
+	// QueueDepth bounds requests admitted but not yet running; beyond it
+	// the server answers 429. Default 2×Workers.
+	QueueDepth int
+	// RequestTimeout caps every request's proving deadline; a request's
+	// own timeout_ms may shorten it but never extend it. Default 2m.
+	RequestTimeout time.Duration
+	// MemoryBudgetMB is the per-request decode envelope: request bodies
+	// and decoded proofs may not exceed it. Default 64 MB.
+	MemoryBudgetMB int
+	// MaxN caps the circuit size parameter a request may ask for.
+	// Default 1 << 16.
+	MaxN int
+	// Params are the proving parameters (Reps is overridden per request
+	// when the request sets reps). Default nocap.DefaultParams().
+	Params nocap.Params
+}
+
+// Normalize fills zero fields with defaults.
+func (c Config) Normalize() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:0"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 2 * c.Workers
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	if c.MemoryBudgetMB <= 0 {
+		c.MemoryBudgetMB = 64
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 1 << 16
+	}
+	var zero nocap.Params
+	if c.Params == zero {
+		c.Params = nocap.DefaultParams()
+	}
+	return c
+}
+
+// decodeLimits derives the per-request DecodeLimits from the memory
+// envelope: no decode may allocate more than the budget, and no proof
+// larger than the budget is even parsed.
+func (c Config) decodeLimits() nocap.DecodeLimits {
+	budget := int64(c.MemoryBudgetMB) << 20
+	l := nocap.DefaultDecodeLimits()
+	l.MaxTotalAlloc = budget
+	if int64(l.MaxProofBytes) > budget {
+		l.MaxProofBytes = int(budget)
+	}
+	return l
+}
+
+// job is one admitted request waiting for a worker. The handler
+// goroutine blocks on done until the worker has written the response, so
+// a response is never half-written when the handler returns (the drain
+// guarantee rides on this: http.Server.Shutdown waits for handlers,
+// handlers wait for workers).
+type job struct {
+	run      func()
+	done     chan struct{}
+	enqueued time.Time
+}
+
+// Server is the proving service. Create with New, start with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	limits   nocap.DecodeLimits
+	mux      *http.ServeMux
+	http     *http.Server
+	jobs     chan *job
+	draining atomic.Bool
+	inflight atomic.Int64
+	metrics  metrics
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	workerWG sync.WaitGroup
+	quit     chan struct{}
+
+	listenerMu sync.Mutex
+	listener   net.Listener
+}
+
+// New returns an unstarted server.
+func New(cfg Config) *Server {
+	cfg = cfg.Normalize()
+	s := &Server{
+		cfg:    cfg,
+		limits: cfg.decodeLimits(),
+		mux:    http.NewServeMux(),
+		jobs:   make(chan *job, cfg.QueueDepth),
+		quit:   make(chan struct{}),
+	}
+	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
+	s.mux.HandleFunc("POST /prove", s.handleProve)
+	s.mux.HandleFunc("POST /verify", s.handleVerify)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.http = &http.Server{
+		Addr:    cfg.Addr,
+		Handler: s.mux,
+		BaseContext: func(net.Listener) context.Context {
+			// Request contexts descend from baseCtx so a drain deadline can
+			// cancel every in-flight prove at once.
+			return s.baseCtx
+		},
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP handler, for tests driving the server through
+// httptest without a listener.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Listen binds the configured address and returns it, so callers (and
+// tests using port 0) learn the concrete address before serving.
+func (s *Server) Listen() (net.Addr, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	s.listenerMu.Lock()
+	s.listener = ln
+	s.listenerMu.Unlock()
+	return ln.Addr(), nil
+}
+
+// Serve accepts connections on the listener bound by Listen until
+// Shutdown. It returns nil after a clean shutdown.
+func (s *Server) Serve() error {
+	s.listenerMu.Lock()
+	ln := s.listener
+	s.listenerMu.Unlock()
+	if ln == nil {
+		return zkerr.Internalf("server: Serve before Listen")
+	}
+	err := s.http.Serve(ln)
+	if errors.Is(err, http.ErrServerClosed) {
+		return nil
+	}
+	return err
+}
+
+// Shutdown drains the server: stop admitting (new requests get 503),
+// wait for queued and in-flight requests to finish, then stop the
+// workers. If ctx expires first, every in-flight proving context is
+// cancelled — the provers abandon work at their next checkpoint and the
+// handlers still write complete (error) responses before exiting.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	err := s.http.Shutdown(ctx)
+	if err != nil {
+		// Drain deadline hit: cancel all request contexts and collect the
+		// (now fast) stragglers.
+		s.cancelBase()
+		err = s.http.Shutdown(context.Background())
+	}
+	close(s.quit)
+	s.workerWG.Wait()
+	s.cancelBase()
+	return err
+}
+
+// worker executes admitted jobs one at a time until quit closes.
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for {
+		select {
+		case j := <-s.jobs:
+			s.metrics.queueWaitNs.Add(time.Since(j.enqueued).Nanoseconds())
+			j.run()
+			close(j.done)
+		case <-s.quit:
+			return
+		}
+	}
+}
+
+// admit enqueues work for the pool and blocks until it has run, or
+// rejects it (writing the response itself) when the server is draining
+// or the queue is full.
+func (s *Server) admit(w http.ResponseWriter, run func()) bool {
+	if s.draining.Load() {
+		s.metrics.rejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
+		return false
+	}
+	j := &job{run: run, done: make(chan struct{}), enqueued: time.Now()}
+	select {
+	case s.jobs <- j:
+	default:
+		s.metrics.rejectedQueueFull.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue is full", "queue-full")
+		return false
+	}
+	<-j.done
+	return true
+}
+
+// ProveRequest is the POST /prove body.
+type ProveRequest struct {
+	// Circuit is a benchmark name (see nocap.CircuitNames).
+	Circuit string `json:"circuit"`
+	// N is the circuit size parameter; clamped to the circuit minimum,
+	// bounded above by the server's MaxN.
+	N int `json:"n"`
+	// Reps is the soundness repetition count (default 1).
+	Reps int `json:"reps,omitempty"`
+	// TimeoutMS shortens (never extends) the server's request timeout.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// StageJSON is one kernel stage's per-request counters.
+type StageJSON struct {
+	Calls  int64 `json:"calls"`
+	Elems  int64 `json:"elems"`
+	WallNs int64 `json:"wall_ns"`
+}
+
+// StatsJSON is the per-request execution breakdown, measured by the
+// request's own collector (truthful under concurrency).
+type StatsJSON struct {
+	Stages map[string]StageJSON `json:"stages"`
+	Arena  struct {
+		Gets        int64 `json:"gets"`
+		Puts        int64 `json:"puts"`
+		Hits        int64 `json:"hits"`
+		Misses      int64 `json:"misses"`
+		Outstanding int64 `json:"outstanding"`
+	} `json:"arena"`
+}
+
+func statsJSON(run nocap.ProveStats) StatsJSON {
+	var out StatsJSON
+	out.Stages = make(map[string]StageJSON, 5)
+	for name, ss := range run.Stages.Named() {
+		out.Stages[name] = StageJSON{Calls: ss.Calls, Elems: ss.Elems, WallNs: int64(ss.Wall)}
+	}
+	out.Arena.Gets = run.Arena.Gets
+	out.Arena.Puts = run.Arena.Puts
+	out.Arena.Hits = run.Arena.Hits
+	out.Arena.Misses = run.Arena.Misses
+	out.Arena.Outstanding = run.Arena.Outstanding
+	return out
+}
+
+// ProveResponse is the POST /prove success body.
+type ProveResponse struct {
+	Circuit    string    `json:"circuit"`
+	N          int       `json:"n"`
+	ProofB64   string    `json:"proof_b64"`
+	ProofBytes int       `json:"proof_bytes"`
+	ElapsedMS  float64   `json:"elapsed_ms"`
+	QueueMS    float64   `json:"queue_ms"`
+	Stats      StatsJSON `json:"stats"`
+}
+
+// VerifyRequest is the POST /verify body.
+type VerifyRequest struct {
+	Circuit   string `json:"circuit"`
+	N         int    `json:"n"`
+	Reps      int    `json:"reps,omitempty"`
+	ProofB64  string `json:"proof_b64"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// VerifyResponse is the POST /verify body for any proof that was
+// structurally decodable: Valid reports the cryptographic outcome, and
+// on rejection Code carries the taxonomy class.
+type VerifyResponse struct {
+	Valid     bool      `json:"valid"`
+	Code      string    `json:"code,omitempty"`
+	Error     string    `json:"error,omitempty"`
+	ElapsedMS float64   `json:"elapsed_ms"`
+	Stats     StatsJSON `json:"stats"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	Code  string `json:"code"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg, code string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+// statusFor maps a taxonomy-classified error to an HTTP status.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away or the drain deadline fired; the status is
+		// for the log line more than the (likely absent) reader.
+		return http.StatusServiceUnavailable
+	}
+	switch zkerr.Code(err) {
+	case "usage", "malformed-proof", "bad-commitment":
+		return http.StatusBadRequest
+	case "resource-limit":
+		return http.StatusRequestEntityTooLarge
+	case "soundness-check-failed":
+		return http.StatusUnprocessableEntity
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeTaxonomyError(w http.ResponseWriter, err error) {
+	status := statusFor(err)
+	if status >= 500 {
+		s.metrics.serverErrors.Add(1)
+	} else {
+		s.metrics.clientErrors.Add(1)
+	}
+	code := zkerr.Code(err)
+	if code == "" {
+		switch {
+		case errors.Is(err, context.DeadlineExceeded):
+			code = "deadline"
+		case errors.Is(err, context.Canceled):
+			code = "canceled"
+		default:
+			code = "error"
+		}
+	}
+	writeError(w, status, err.Error(), code)
+}
+
+// decodeBody reads and unmarshals a JSON request body bounded by the
+// memory envelope.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, int64(s.cfg.MemoryBudgetMB)<<20)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			return zkerr.Resourcef("request body exceeds %d MB envelope", s.cfg.MemoryBudgetMB)
+		}
+		return zkerr.Usagef("decode request: %v", err)
+	}
+	return nil
+}
+
+// requestSetup validates the shared (circuit, n, reps, timeout) fields,
+// builds nothing yet, and returns the per-request params and deadline.
+func (s *Server) requestSetup(circuit string, n, reps int, timeoutMS int64) (nocap.Params, time.Duration, error) {
+	if n > s.cfg.MaxN {
+		return nocap.Params{}, 0, zkerr.Resourcef("n=%d exceeds server max %d", n, s.cfg.MaxN)
+	}
+	if reps == 0 {
+		reps = 1
+	}
+	if reps < 1 || reps > 64 {
+		return nocap.Params{}, 0, zkerr.Usagef("reps must be in [1,64], got %d", reps)
+	}
+	if _, ok := nocapCircuitOK(circuit); !ok {
+		return nocap.Params{}, 0, zkerr.Usagef("unknown circuit %q (want one of %v)", circuit, nocap.CircuitNames())
+	}
+	params := s.cfg.Params
+	params.Reps = reps
+	timeout := s.cfg.RequestTimeout
+	if timeoutMS > 0 {
+		if d := time.Duration(timeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	return params, timeout, nil
+}
+
+// nocapCircuitOK reports whether name is a known benchmark without
+// building it.
+func nocapCircuitOK(name string) (string, bool) {
+	for _, n := range nocap.CircuitNames() {
+		if n == name {
+			return n, true
+		}
+	}
+	return "", false
+}
+
+// buildFor constructs the benchmark and fits the PCS geometry to it,
+// exactly as cmd/nocap-prove does.
+func buildFor(params nocap.Params, circuit string, n int) (*nocap.Benchmark, nocap.Params, error) {
+	bm, err := nocap.CircuitByName(circuit, n)
+	if err != nil {
+		return nil, params, err
+	}
+	if half := bm.Inst.NumVars() / 2; params.PCS.Rows > half {
+		params.PCS.Rows = half
+	}
+	return bm, params, nil
+}
+
+func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
+	s.metrics.proveRequests.Add(1)
+	var req ProveRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	params, timeout, err := s.requestSetup(req.Circuit, req.N, req.Reps, req.TimeoutMS)
+	if err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	admitted := time.Now()
+	s.admit(w, func() {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		bm, params, err := buildFor(params, req.Circuit, req.N)
+		if err != nil {
+			s.writeTaxonomyError(w, err)
+			return
+		}
+		col := nocap.NewCollector()
+		start := time.Now()
+		proof, err := nocap.ProveCtx(col.Attach(ctx), params, bm.Inst, bm.IO, bm.Witness)
+		elapsed := time.Since(start)
+		if err != nil {
+			s.writeTaxonomyError(w, err)
+			return
+		}
+		data, err := nocap.MarshalProof(proof)
+		if err != nil {
+			s.writeTaxonomyError(w, err)
+			return
+		}
+		s.metrics.provesOK.Add(1)
+		s.metrics.proveNs.Add(elapsed.Nanoseconds())
+		writeJSON(w, http.StatusOK, ProveResponse{
+			Circuit:    req.Circuit,
+			N:          req.N,
+			ProofB64:   base64.StdEncoding.EncodeToString(data),
+			ProofBytes: len(data),
+			ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+			QueueMS:    float64(start.Sub(admitted)) / float64(time.Millisecond),
+			Stats:      statsJSON(col.Stats()),
+		})
+	})
+}
+
+func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
+	s.metrics.verifyRequests.Add(1)
+	var req VerifyRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	params, timeout, err := s.requestSetup(req.Circuit, req.N, req.Reps, req.TimeoutMS)
+	if err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	raw, err := base64.StdEncoding.DecodeString(req.ProofB64)
+	if err != nil {
+		s.writeTaxonomyError(w, zkerr.Malformedf("proof_b64: %v", err))
+		return
+	}
+	s.admit(w, func() {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		defer cancel()
+
+		// Structural decode under the memory envelope happens before the
+		// expensive circuit build: hostile bytes are rejected at the cost
+		// of parsing, not proving.
+		proof, err := nocap.UnmarshalProofLimits(raw, s.limits)
+		if err != nil {
+			s.writeTaxonomyError(w, err)
+			return
+		}
+		bm, params, err := buildFor(params, req.Circuit, req.N)
+		if err != nil {
+			s.writeTaxonomyError(w, err)
+			return
+		}
+		col := nocap.NewCollector()
+		start := time.Now()
+		verr := nocap.VerifyCtx(col.Attach(ctx), params, bm.Inst, bm.IO, proof)
+		elapsed := time.Since(start)
+		resp := VerifyResponse{
+			Valid:     verr == nil,
+			ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+			Stats:     statsJSON(col.Stats()),
+		}
+		switch {
+		case verr == nil:
+			s.metrics.verifiesOK.Add(1)
+		case errors.Is(verr, context.Canceled) || errors.Is(verr, context.DeadlineExceeded):
+			s.writeTaxonomyError(w, verr)
+			return
+		default:
+			// The proof was examined and rejected: that is a completed
+			// verification, answered 200 with the taxonomy class, not a
+			// transport failure.
+			s.metrics.verifiesRejected.Add(1)
+			resp.Code = zkerr.Code(verr)
+			resp.Error = verr.Error()
+		}
+		s.metrics.verifyNs.Add(elapsed.Nanoseconds())
+		writeJSON(w, http.StatusOK, resp)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":         status,
+		"workers":        s.cfg.Workers,
+		"queue_depth":    len(s.jobs),
+		"queue_capacity": cap(s.jobs),
+		"inflight":       s.inflight.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	fmt.Fprint(w, s.renderMetrics())
+}
+
+// Queue reports current backlog and in-flight counts (test hook).
+func (s *Server) Queue() (depth, capacity, inflight int) {
+	return len(s.jobs), cap(s.jobs), int(s.inflight.Load())
+}

@@ -197,7 +197,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	if err := checkpoint(ctx, "spartan.prove.assemble"); err != nil {
 		return nil, err
 	}
-	z := arena.GetUninit(inst.NumVars())
+	z := arena.GetUninitCtx(ctx, inst.NumVars())
 	defer arena.Put(z)
 	inst.AssembleZInto(z, io, witness)
 
@@ -217,9 +217,9 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	numCons := inst.NumConstraints()
 	var az, bz, cz []field.Element
 	if !params.Recompute {
-		az = arena.GetUninit(numCons)
-		bz = arena.GetUninit(numCons)
-		cz = arena.GetUninit(numCons)
+		az = arena.GetUninitCtx(ctx, numCons)
+		bz = arena.GetUninitCtx(ctx, numCons)
+		cz = arena.GetUninitCtx(ctx, numCons)
 		defer arena.Put(az)
 		defer arena.Put(bz)
 		defer arena.Put(cz)
@@ -279,7 +279,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 			var rx, finals []field.Element
 			var err error
 			if params.Recompute {
-				eqTau := poly.EqTable(tau)
+				eqTau := poly.EqTableCtx(ctx, tau)
 				src := func(k, i int) field.Element {
 					switch k {
 					case 0:
@@ -296,15 +296,15 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 			} else {
 				// The sumcheck folds its arrays in place, so eq(τ,·)
 				// expands straight into scratch and az/bz/cz are copied.
-				eqTau := arena.GetUninit(1 << logM)
-				azc := arena.GetUninit(numCons)
-				bzc := arena.GetUninit(numCons)
-				czc := arena.GetUninit(numCons)
+				eqTau := arena.GetUninitCtx(ctx, 1<<logM)
+				azc := arena.GetUninitCtx(ctx, numCons)
+				bzc := arena.GetUninitCtx(ctx, numCons)
+				czc := arena.GetUninitCtx(ctx, numCons)
 				defer arena.Put(eqTau)
 				defer arena.Put(azc)
 				defer arena.Put(bzc)
 				defer arena.Put(czc)
-				poly.EqTableInto(eqTau, tau)
+				poly.EqTableIntoCtx(ctx, eqTau, tau)
 				copy(azc, az)
 				copy(bzc, bz)
 				copy(czc, cz)
@@ -328,12 +328,12 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 			if err := checkpoint(ctx, "spartan.prove.inner"); err != nil {
 				return RepProof{}, nil, err
 			}
-			eqRx := arena.GetUninit(1 << len(rx))
+			eqRx := arena.GetUninitCtx(ctx, 1<<len(rx))
 			defer arena.Put(eqRx)
-			poly.EqTableInto(eqRx, rx)
-			my := arena.Get(inst.NumVars())
+			poly.EqTableIntoCtx(ctx, eqRx, rx)
+			my := arena.GetCtx(ctx, inst.NumVars())
 			defer arena.Put(my)
-			zc := arena.GetUninit(len(z))
+			zc := arena.GetUninitCtx(ctx, len(z))
 			defer arena.Put(zc)
 			copy(zc, z)
 			for _, p := range []struct {

@@ -145,10 +145,10 @@ func ProveStreamedCtx(ctx context.Context, tr *transcript.Transcript, label stri
 		challenges = append(challenges, r)
 		if scratch != nil {
 			for _, m := range scratch {
-				m.Fold(r)
+				m.FoldCtx(ctx, r)
 			}
 		} else {
-			prefixEq = poly.EqTable(challenges)
+			prefixEq = poly.EqTableCtx(ctx, challenges)
 		}
 		size = half
 	}

@@ -119,7 +119,7 @@ func ProveCtx(ctx context.Context, tr *transcript.Transcript, label string, clai
 		r := tr.Challenge(fmt.Sprintf("sumcheck/%s/r%d", label, round))
 		challenges[round] = r
 		for _, m := range mles {
-			m.Fold(r)
+			m.FoldCtx(ctx, r)
 		}
 	}
 	finals := make([]field.Element, len(mles))
@@ -147,7 +147,7 @@ func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine
 	// repanic); evals itself escapes into the proof and stays plain.
 	partial := make([][]field.Element, numWorkers)
 	var wg sync.WaitGroup
-	sp := kernel.Begin(kernel.StageSumcheck)
+	sp := kernel.BeginCtx(ctx, kernel.StageSumcheck)
 	defer func() {
 		for _, sums := range partial {
 			arena.Put(sums)
@@ -164,7 +164,7 @@ func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine
 		if hi > half {
 			hi = half
 		}
-		partial[w] = arena.Get(degree + 1)
+		partial[w] = arena.GetCtx(ctx, degree+1)
 		if lo >= hi {
 			continue
 		}
@@ -181,8 +181,8 @@ func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine
 				return
 			}
 			sums := partial[w]
-			vals := arena.GetUninit(len(mles))
-			deltas := arena.GetUninit(len(mles))
+			vals := arena.GetUninitCtx(ctx, len(mles))
+			deltas := arena.GetUninitCtx(ctx, len(mles))
 			defer arena.Put(vals)
 			defer arena.Put(deltas)
 			for b := lo; b < hi; b++ {

@@ -1,0 +1,59 @@
+package wire
+
+import "testing"
+
+// TestGrowAmortized asserts Grow's geometric growth policy: many small
+// Grow+append cycles must reallocate O(log n) times, not once per cycle.
+// The old grow-to-exactly-len+n policy reallocated (and copied the whole
+// buffer) on nearly every cycle, which is quadratic in total.
+func TestGrowAmortized(t *testing.T) {
+	w := &Writer{}
+	reallocs := 0
+	lastCap := cap(w.buf)
+	const cycles = 4096
+	for i := 0; i < cycles; i++ {
+		w.Grow(8)
+		w.U64(uint64(i))
+		if c := cap(w.buf); c != lastCap {
+			reallocs++
+			lastCap = c
+		}
+	}
+	if w.Len() != 8*cycles {
+		t.Fatalf("wrote %d bytes, want %d", w.Len(), 8*cycles)
+	}
+	// Doubling from 0 to 32 KiB takes ~16 reallocations; leave headroom
+	// for the first append's small-size ramp.
+	if reallocs > 24 {
+		t.Errorf("%d reallocations across %d Grow+append cycles; growth is not geometric", reallocs, cycles)
+	}
+}
+
+// TestGrowPreservesContents asserts Grow keeps the written prefix intact
+// and never shrinks available capacity.
+func TestGrowPreservesContents(t *testing.T) {
+	w := NewWriter(8)
+	w.U64(0xdeadbeef)
+	w.Grow(1 << 16)
+	if cap(w.buf)-w.Len() < 1<<16 {
+		t.Fatalf("Grow(64KiB) left only %d spare bytes", cap(w.buf)-w.Len())
+	}
+	r := NewReader(w.Bytes())
+	if v, err := r.U64(); err != nil || v != 0xdeadbeef {
+		t.Fatalf("prefix corrupted after Grow: %v %v", v, err)
+	}
+}
+
+// BenchmarkGrowAppendCycles guards the amortized cost of the
+// Grow+append pattern proof serializers use; a regression to quadratic
+// copying shows up as a large jump in ns/op and B/op here.
+func BenchmarkGrowAppendCycles(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := &Writer{}
+		for j := 0; j < 1024; j++ {
+			w.Grow(8)
+			w.U64(uint64(j))
+		}
+	}
+}

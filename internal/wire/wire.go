@@ -104,12 +104,16 @@ func NewWriter(capacity int) *Writer {
 	return &Writer{buf: make([]byte, 0, capacity)}
 }
 
-// Grow ensures space for n more bytes without reallocation.
+// Grow ensures space for n more bytes without reallocation. Capacity at
+// least doubles on every reallocation, so repeated Grow+append cycles
+// cost amortized O(1) per byte instead of the quadratic copying that
+// growing to exactly len+n would cause.
 func (w *Writer) Grow(n int) {
 	if n <= cap(w.buf)-len(w.buf) {
 		return
 	}
-	grown := make([]byte, len(w.buf), len(w.buf)+n)
+	newCap := max(2*cap(w.buf), len(w.buf)+n)
+	grown := make([]byte, len(w.buf), newCap)
 	copy(grown, w.buf)
 	w.buf = grown
 }

@@ -65,6 +65,9 @@ var (
 	// ErrInternal: an invariant broke inside the library (contained
 	// panic); never caused by proof bytes alone.
 	ErrInternal = zkerr.ErrInternal
+	// ErrUsage: invalid API usage (e.g. an unknown benchmark name in
+	// CircuitByName or impossible parameters).
+	ErrUsage = zkerr.ErrUsage
 )
 
 // Element is a Goldilocks-64 field element (p = 2^64 − 2^32 + 1).
@@ -187,6 +190,17 @@ func Litmus(numTxns, numAccounts int, seed int64) *Benchmark {
 // Synthetic builds a banded multiply-accumulate chain of about the given
 // number of constraints (for scaling studies).
 func Synthetic(constraints int) *Benchmark { return circuits.Synthetic(constraints) }
+
+// CircuitByName builds the named benchmark circuit at size parameter n
+// (blocks, bids, squarings, transactions, or constraints, per circuit),
+// clamped to the circuit's minimum meaningful size. It is the single
+// untrusted-name entry point shared by the CLI and the proving service;
+// unknown names return an ErrUsage-classified error. CircuitNames lists
+// the accepted names.
+func CircuitByName(name string, n int) (*Benchmark, error) { return circuits.ByName(name, n) }
+
+// CircuitNames returns the benchmark names CircuitByName accepts.
+func CircuitNames() []string { return circuits.Names() }
 
 // Hardware model (paper §IV, §VI, §VII).
 type (

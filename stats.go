@@ -1,6 +1,8 @@
 package nocap
 
 import (
+	"context"
+
 	"nocap/internal/arena"
 	"nocap/internal/kernel"
 )
@@ -20,16 +22,37 @@ type KernelStats = kernel.Stats
 // prover run cleans up after itself.
 type ArenaStats = arena.Stats
 
-// ProveStats is a snapshot of the prover's cumulative execution
-// counters: per-stage kernel work plus arena scratch-pool behavior.
-// Counters are process-global and monotone; bracket a run with two
-// ReadProveStats calls and Delta to attribute work to that run:
+// ProveStats is a snapshot of prover execution counters: per-stage
+// kernel work plus arena scratch-pool behavior.
+//
+// Two owners exist for these counters, with different contracts:
+//
+//   - The process-wide aggregate (ReadProveStats) is monotone and shared
+//     by every run in the process. Bracketing one run with two
+//     ReadProveStats calls and Delta is only truthful while nothing else
+//     proves or verifies concurrently — overlapping runs all add to the
+//     same counters, so the bracketed delta attributes their work to
+//     this run too.
+//   - A per-run Collector attributes exactly one run's work, no matter
+//     what else the process is doing. Attach it to the context passed to
+//     ProveCtx/VerifyCtx; every kernel span and arena checkout under
+//     that context (and the checkouts' eventual returns, from any
+//     goroutine) is credited to it as well as to the aggregate.
+//
+// Single-run bracketing, still correct when nothing overlaps:
 //
 //	before := nocap.ReadProveStats()
 //	proof, err := nocap.Prove(params, inst, io, witness)
 //	run := nocap.ReadProveStats().Delta(before)
-//	fmt.Print(run.Stages)     // per-stage calls / elems / wall table
-//	fmt.Println(run.Arena.Outstanding) // 0: no leaked scratch
+//
+// Per-run attribution, correct under concurrency (the serving layer's
+// per-request accounting):
+//
+//	col := nocap.NewCollector()
+//	proof, err := nocap.ProveCtx(col.Attach(ctx), params, inst, io, witness)
+//	run := col.Stats()
+//	fmt.Print(run.Stages)              // this run's calls / elems / wall
+//	fmt.Println(run.Arena.Outstanding) // 0: this run leaked no scratch
 type ProveStats struct {
 	// Stages holds the per-kernel-stage counters.
 	Stages KernelStats
@@ -37,7 +60,8 @@ type ProveStats struct {
 	Arena ArenaStats
 }
 
-// ReadProveStats snapshots the process-wide prover counters.
+// ReadProveStats snapshots the process-wide prover counters (the
+// aggregate sink every run adds to).
 func ReadProveStats() ProveStats {
 	return ProveStats{Stages: kernel.Snapshot(), Arena: arena.ReadStats()}
 }
@@ -45,4 +69,46 @@ func ReadProveStats() ProveStats {
 // Delta returns the counter change since an earlier snapshot.
 func (s ProveStats) Delta(prev ProveStats) ProveStats {
 	return ProveStats{Stages: s.Stages.Sub(prev.Stages), Arena: s.Arena.Sub(prev.Arena)}
+}
+
+// Plus returns the counter sum s + o, for combining per-run collector
+// snapshots (e.g. to check that concurrent runs' stats add up to the
+// aggregate delta).
+func (s ProveStats) Plus(o ProveStats) ProveStats {
+	return ProveStats{Stages: s.Stages.Add(o.Stages), Arena: s.Arena.Add(o.Arena)}
+}
+
+// Collector owns one run's execution counters. Create one per proving
+// or verification run (per request, in a serving layer), Attach it to
+// the run's context, and read Stats when the run completes. The zero
+// value is ready to use; all methods are safe for concurrent use, so a
+// monitoring goroutine may read Stats while the run is in flight.
+//
+// Counters credited to a Collector are also credited to the process
+// aggregate (ReadProveStats): the sum of all collectors' deltas plus
+// any unattributed work equals the aggregate delta over the same
+// window.
+type Collector struct {
+	kc kernel.Collector
+	ac arena.Collector
+}
+
+// NewCollector returns an empty per-run collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Attach returns a context carrying the collector; pass it to ProveCtx
+// or VerifyCtx. Every kernel span begun and every arena buffer checked
+// out under the returned context is attributed to this collector
+// (buffer returns follow the checkout, not the context, so scratch
+// returned after Stats is read still lands in the right run).
+func (c *Collector) Attach(ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return arena.WithCollector(kernel.WithCollector(ctx, &c.kc), &c.ac)
+}
+
+// Stats snapshots the counters attributed to this collector so far.
+func (c *Collector) Stats() ProveStats {
+	return ProveStats{Stages: c.kc.Snapshot(), Arena: c.ac.Snapshot()}
 }
