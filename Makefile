@@ -9,7 +9,7 @@ FUZZ_TARGETS = \
 	./internal/wire:FuzzReader \
 	./internal/cstream:FuzzDecode
 
-.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus serve-smoke stats-race ci
+.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus serve-smoke stats-race jobs-chaos ci
 
 all: build test
 
@@ -79,4 +79,12 @@ stats-race:
 	$(GO) test -race -run 'TestConcurrentProveAttribution' -count=1 .
 	$(GO) test -race ./internal/server
 
-ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke
+# Durable-jobs crash matrix under the race detector: journal torn-write
+# recovery, a hard SIGKILL of a child process mid-attempt followed by
+# replay, fault-injected retries/breaker trips, and the loadgen's
+# async-API pass with its crash-window journal corrupter (DESIGN.md §11).
+jobs-chaos:
+	$(GO) test -race -run 'TestCrash|TestChaos|TestTorn|TestParseJournal|TestOpen|TestShutdownReverts|TestJobs|TestReadyz|TestStatusCode' ./internal/jobs ./internal/server
+	$(GO) run -race ./cmd/nocap-loadgen -jobs -requests 40 -clients 8 -n 256
+
+ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos

@@ -140,7 +140,10 @@ func TestCancelSweepInjectionPointBased(t *testing.T) {
 	trace := recordPoints(t, func() error { return prove(context.Background()) })
 
 	for seed := int64(0); seed < 10; seed++ {
-		plan := faultinject.RandomPlan(seed, trace, []faultinject.Kind{faultinject.Hook})
+		plan, err := faultinject.RandomPlan(seed, trace, []faultinject.Kind{faultinject.Hook})
+	if err != nil {
+		t.Fatalf("RandomPlan(seed %d): %v", seed, err)
+	}
 		t.Run(plan.Point, func(t *testing.T) {
 			defer faultinject.Disarm()
 			snap := leakcheck.Take()
@@ -152,7 +155,7 @@ func TestCancelSweepInjectionPointBased(t *testing.T) {
 				cancel()
 				return nil
 			}
-			faultinject.Arm(plan)
+			faultinject.MustArm(plan)
 			err := prove(ctx)
 			returned := time.Now()
 			if !faultinject.Fired() {
@@ -193,7 +196,7 @@ func TestCancelDelayWithDeadline(t *testing.T) {
 			// -race takes ~30ms on a loaded runner; 150ms gives 5×
 			// headroom), and the stall long enough that the deadline
 			// always expires inside it.
-			faultinject.Arm(faultinject.Plan{Point: point, Kind: faultinject.Delay, Sleep: 500 * time.Millisecond})
+			faultinject.MustArm(faultinject.Plan{Point: point, Kind: faultinject.Delay, Sleep: 500 * time.Millisecond})
 			ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
 			defer cancel()
 			_, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness)

@@ -97,7 +97,7 @@ func TestChaosProveMatrix(t *testing.T) {
 				t.Run(name, func(t *testing.T) {
 					defer faultinject.Disarm()
 					snap := leakcheck.Take()
-					faultinject.Arm(faultinject.Plan{Point: point, Kind: kind, Trigger: trigger})
+					faultinject.MustArm(faultinject.Plan{Point: point, Kind: kind, Trigger: trigger})
 					err := prove()
 					assertContained(t, err, snap, prove)
 				})
@@ -134,7 +134,7 @@ func TestChaosVerifyMatrix(t *testing.T) {
 				t.Run(name, func(t *testing.T) {
 					defer faultinject.Disarm()
 					snap := leakcheck.Take()
-					faultinject.Arm(faultinject.Plan{Point: point, Kind: kind, Trigger: trigger})
+					faultinject.MustArm(faultinject.Plan{Point: point, Kind: kind, Trigger: trigger})
 					err := verify()
 					assertContained(t, err, snap, verify)
 				})

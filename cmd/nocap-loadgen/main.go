@@ -15,11 +15,20 @@
 // at its baseline. That self-contained mode is what `make serve-smoke`
 // runs in CI.
 //
+// With -jobs (in-process only) the traffic instead exercises the
+// durable async API: submit/poll/cancel over POST /jobs, plus a
+// crash-window pass that parks jobs in flight, drains the server,
+// tears the journal's final record in half the way a crash mid-append
+// would, restarts against the same data directory, and checks every
+// job lands in exactly one typed terminal state with no lost or
+// duplicated proofs. The same leak and arena invariants apply.
+//
 // Usage:
 //
 //	nocap-loadgen                          # in-process smoke, 8 clients, 15s cap
 //	nocap-loadgen -requests 64 -clients 8
 //	nocap-loadgen -addr 127.0.0.1:8080 -duration 30s
+//	nocap-loadgen -jobs -requests 40       # async-jobs + crash-recovery smoke
 package main
 
 import (
@@ -32,12 +41,14 @@ import (
 	"math/rand"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"nocap"
+	"nocap/internal/jobs"
 	"nocap/internal/leakcheck"
 	"nocap/internal/server"
 )
@@ -90,6 +101,82 @@ func (h *harness) post(path string, body []byte) (*http.Response, []byte, error)
 		return nil, nil, err
 	}
 	return resp, data, nil
+}
+
+func (h *harness) do(method, path string) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(method, h.base+path, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+func (h *harness) get(path string) (*http.Response, []byte, error) {
+	return h.do(http.MethodGet, path)
+}
+
+func (h *harness) del(path string) (*http.Response, []byte, error) {
+	return h.do(http.MethodDelete, path)
+}
+
+// submitJob posts one async job and returns its id. On shed (429) or a
+// protocol violation it records the outcome itself and reports ok=false.
+func (h *harness) submitJob(kind string, n int) (string, bool) {
+	body, _ := json.Marshal(server.ProveRequest{Circuit: "synthetic", N: n})
+	resp, data, err := h.post("/jobs", body)
+	if err != nil {
+		h.record(kind, false, true, err.Error())
+		return "", false
+	}
+	switch resp.StatusCode {
+	case http.StatusAccepted:
+		var jr server.JobResponse
+		if json.Unmarshal(data, &jr) != nil || jr.ID == "" {
+			h.record(kind, false, true, "202 without a job id")
+			return "", false
+		}
+		return jr.ID, true
+	case http.StatusTooManyRequests:
+		h.record(kind, true, !typedError(data), "untyped 429")
+		return "", false
+	default:
+		h.record(kind, false, true, fmt.Sprintf("submit status %d: %.120s", resp.StatusCode, data))
+		return "", false
+	}
+}
+
+// pollJob polls GET /jobs/{id} until the job reaches a terminal state.
+func (h *harness) pollJob(id string, budget time.Duration) (server.JobResponse, error) {
+	deadline := time.Now().Add(budget)
+	for {
+		resp, data, err := h.get("/jobs/" + id)
+		if err != nil {
+			return server.JobResponse{}, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return server.JobResponse{}, fmt.Errorf("poll %s: status %d: %.120s", id, resp.StatusCode, data)
+		}
+		var jr server.JobResponse
+		if err := json.Unmarshal(data, &jr); err != nil {
+			return server.JobResponse{}, fmt.Errorf("poll %s: %w", id, err)
+		}
+		if jobs.State(jr.State).Terminal() {
+			return jr, nil
+		}
+		if time.Now().After(deadline) {
+			return server.JobResponse{}, fmt.Errorf("job %s still %q after %v", id, jr.State, budget)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
 }
 
 // typedError reports whether a non-2xx body carries a taxonomy code.
@@ -211,11 +298,116 @@ func (h *harness) fire(kind string, seedProof string) {
 		// Either way the server must survive; violations show up as
 		// failures in the other kinds or the final invariants.
 		h.record(kind, false, false, "")
+	case "job-prove":
+		id, ok := h.submitJob(kind, h.n)
+		if !ok {
+			return
+		}
+		info, err := h.pollJob(id, time.Minute)
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		if info.State != string(jobs.StateDone) || info.ProofB64 == "" || info.Attempts < 1 {
+			h.record(kind, false, true, fmt.Sprintf("job %s ended %q (code %q), attempts %d",
+				id, info.State, info.Code, info.Attempts))
+			return
+		}
+		h.record(kind, false, false, "")
+	case "job-cancel":
+		id, ok := h.submitJob(kind, 4*h.n)
+		if !ok {
+			return
+		}
+		resp, data, err := h.del("/jobs/" + id)
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		// 202 means the cancel landed; 409 means the job raced to a
+		// terminal state first. Both are legal — anything else is not.
+		if resp.StatusCode != http.StatusAccepted &&
+			(resp.StatusCode != http.StatusConflict || !typedError(data)) {
+			h.record(kind, false, true, fmt.Sprintf("cancel status %d: %.120s", resp.StatusCode, data))
+			return
+		}
+		info, err := h.pollJob(id, time.Minute)
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		if info.State != string(jobs.StateCancelled) && info.State != string(jobs.StateDone) {
+			h.record(kind, false, true, fmt.Sprintf("cancelled job %s ended %q (code %q)",
+				id, info.State, info.Code))
+			return
+		}
+		h.record(kind, false, false, "")
+	case "job-bad":
+		resp, data, err := h.post("/jobs", []byte(`{"circuit":"no-such-circuit","n":64}`))
+		if err != nil {
+			h.record(kind, false, true, err.Error())
+			return
+		}
+		// Validation happens before the journal: a bad spec must be a
+		// synchronous typed 400, never an accepted job that later fails.
+		if resp.StatusCode != http.StatusBadRequest || !typedError(data) {
+			h.record(kind, false, true, fmt.Sprintf("status %d: %.120s", resp.StatusCode, data))
+			return
+		}
+		h.record(kind, false, false, "")
 	}
 }
 
 var trafficMix = []string{
 	"prove", "prove", "verify", "verify", "corrupt", "malformed", "oversized", "cancel",
+}
+
+// jobTrafficMix drives -jobs runs: mostly full submit→poll→done cycles,
+// with cancels and malformed submissions mixed in.
+var jobTrafficMix = []string{
+	"job-prove", "job-prove", "job-prove", "job-cancel", "job-bad",
+}
+
+// drive fans requests out over client goroutines until the request
+// count or the time budget runs out, and returns the elapsed wall time.
+func (h *harness) drive(clients, requests int, duration time.Duration, mix []string, seedProof string) time.Duration {
+	deadline := time.Now().Add(duration)
+	var next int64
+	var mu sync.Mutex
+	take := func() (string, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if requests > 0 && next >= int64(requests) {
+			return "", false
+		}
+		if time.Now().After(deadline) {
+			return "", false
+		}
+		kind := mix[next%int64(len(mix))]
+		next++
+		return kind, true
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c)))
+			for {
+				kind, ok := take()
+				if !ok {
+					return
+				}
+				h.fire(kind, seedProof)
+				if rng.Intn(4) == 0 {
+					time.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	return time.Since(start)
 }
 
 func run() (failed bool, err error) {
@@ -226,7 +418,15 @@ func run() (failed bool, err error) {
 	n := flag.Int("n", 256, "circuit size parameter for prove/verify traffic")
 	workers := flag.Int("workers", 4, "in-process mode: proving workers")
 	queue := flag.Int("queue", 4, "in-process mode: admission queue depth")
+	jobsMode := flag.Bool("jobs", false, "exercise the durable async /jobs API (in-process only), including a crash-window journal-tear restart")
 	flag.Parse()
+
+	if *jobsMode {
+		if *addr != "" {
+			return true, fmt.Errorf("-jobs mode is in-process only; drop -addr")
+		}
+		return runJobs(*clients, *requests, *duration, *n, *workers, *queue)
+	}
 
 	var snap *leakcheck.Snapshot
 	var arenaBefore nocap.ArenaStats
@@ -273,59 +473,32 @@ func run() (failed bool, err error) {
 		return true, fmt.Errorf("seed prove response: %w", err)
 	}
 
-	deadline := time.Now().Add(*duration)
-	var next int64
-	var wg sync.WaitGroup
-	var mu sync.Mutex
-	take := func() (string, bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		if *requests > 0 && next >= int64(*requests) {
-			return "", false
-		}
-		if time.Now().After(deadline) {
-			return "", false
-		}
-		kind := trafficMix[next%int64(len(trafficMix))]
-		next++
-		return kind, true
-	}
-	start := time.Now()
-	for c := 0; c < *clients; c++ {
-		wg.Add(1)
-		go func(c int) {
-			defer wg.Done()
-			rng := rand.New(rand.NewSource(int64(c)))
-			for {
-				kind, ok := take()
-				if !ok {
-					return
-				}
-				h.fire(kind, seed.ProofB64)
-				if rng.Intn(4) == 0 {
-					time.Sleep(time.Duration(rng.Intn(5)) * time.Millisecond)
-				}
-			}
-		}(c)
-	}
-	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := h.drive(*clients, *requests, *duration, trafficMix, seed.ProofB64)
 
 	if srv != nil {
-		drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-		defer cancel()
-		if err := srv.Shutdown(drainCtx); err != nil {
+		if err := drain(srv); err != nil {
 			return true, fmt.Errorf("drain: %w", err)
 		}
 	}
 
+	_, violations := report(h, *clients, elapsed)
+	if srv != nil {
+		failed = checkProcessInvariants(snap, arenaBefore)
+	}
+	if violations > 0 {
+		failed = true
+	}
+	return failed, nil
+}
+
+// report prints the per-kind outcome table and returns totals.
+func report(h *harness, clients int, elapsed time.Duration) (sent, violations int64) {
 	kinds := make([]string, 0, len(h.outcomes))
 	for k := range h.outcomes {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
-	var sent, violations int64
-	fmt.Printf("nocap-loadgen: %d clients, %v\n", *clients, elapsed.Round(time.Millisecond))
+	fmt.Printf("nocap-loadgen: %d clients, %v\n", clients, elapsed.Round(time.Millisecond))
 	fmt.Printf("%-10s %6s %6s %6s %10s\n", "kind", "sent", "ok", "shed", "violations")
 	for _, k := range kinds {
 		o := h.outcomes[k]
@@ -336,36 +509,245 @@ func run() (failed bool, err error) {
 	for _, p := range h.problems {
 		fmt.Printf("  violation: %s\n", p)
 	}
+	fmt.Printf("nocap-loadgen: %d requests, %d violations\n", sent, violations)
+	return sent, violations
+}
 
-	if srv != nil {
-		// In-process invariants: every goroutine the service and the runs
-		// started is gone, and no scratch is stranded.
-		if leaked := snap.Leaked(5 * time.Second); len(leaked) > 0 {
-			failed = true
-			fmt.Printf("FAIL: %d leaked goroutine signature(s):\n", len(leaked))
-			for _, sig := range leaked {
-				fmt.Printf("  %s\n", sig)
-			}
-		}
-		arenaAfter := nocap.ReadProveStats().Arena
-		if arenaAfter.Outstanding != arenaBefore.Outstanding ||
-			arenaAfter.OutstandingElems != arenaBefore.OutstandingElems {
-			failed = true
-			fmt.Printf("FAIL: arena checkouts leaked: %d outstanding (%d elems) vs baseline %d (%d)\n",
-				arenaAfter.Outstanding, arenaAfter.OutstandingElems,
-				arenaBefore.Outstanding, arenaBefore.OutstandingElems)
-		}
-		if arenaAfter.DoubleReturns != arenaBefore.DoubleReturns {
-			failed = true
-			fmt.Printf("FAIL: %d arena double returns during the run\n",
-				arenaAfter.DoubleReturns-arenaBefore.DoubleReturns)
+// checkProcessInvariants asserts the in-process end state: every
+// goroutine the service and the runs started is gone, and no scratch
+// is stranded in the arena.
+func checkProcessInvariants(snap *leakcheck.Snapshot, arenaBefore nocap.ArenaStats) (failed bool) {
+	if leaked := snap.Leaked(5 * time.Second); len(leaked) > 0 {
+		failed = true
+		fmt.Printf("FAIL: %d leaked goroutine signature(s):\n", len(leaked))
+		for _, sig := range leaked {
+			fmt.Printf("  %s\n", sig)
 		}
 	}
+	arenaAfter := nocap.ReadProveStats().Arena
+	if arenaAfter.Outstanding != arenaBefore.Outstanding ||
+		arenaAfter.OutstandingElems != arenaBefore.OutstandingElems {
+		failed = true
+		fmt.Printf("FAIL: arena checkouts leaked: %d outstanding (%d elems) vs baseline %d (%d)\n",
+			arenaAfter.Outstanding, arenaAfter.OutstandingElems,
+			arenaBefore.Outstanding, arenaBefore.OutstandingElems)
+	}
+	if arenaAfter.DoubleReturns != arenaBefore.DoubleReturns {
+		failed = true
+		fmt.Printf("FAIL: %d arena double returns during the run\n",
+			arenaAfter.DoubleReturns-arenaBefore.DoubleReturns)
+	}
+	return failed
+}
+
+func drain(srv *server.Server) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}
+
+// runJobs is the -jobs mode: an in-process server with a durable data
+// dir, async submit/poll/cancel traffic, then a crash-window pass that
+// parks jobs in flight, drains the server (crash-equivalent: interrupted
+// attempts leave no terminal record), tears the journal's final record
+// in half, restarts against the same directory, and checks every job
+// comes back with exactly one typed terminal state.
+func runJobs(clients, requests int, duration time.Duration, n, workers, queue int) (failed bool, err error) {
+	snap := leakcheck.Take()
+	arenaBefore := nocap.ReadProveStats().Arena
+	dir, err := os.MkdirTemp("", "nocap-loadgen-jobs-")
+	if err != nil {
+		return true, err
+	}
+	defer os.RemoveAll(dir)
+
+	boot := func() (*server.Server, string, error) {
+		srv := server.New(server.Config{
+			Addr:           "127.0.0.1:0",
+			Workers:        workers,
+			QueueDepth:     queue,
+			MemoryBudgetMB: 8,
+			Params:         nocap.TestParams(),
+			DataDir:        dir,
+			JobBackoffBase: 5 * time.Millisecond,
+			JobBackoffMax:  50 * time.Millisecond,
+		})
+		bound, err := srv.Listen()
+		if err != nil {
+			return nil, "", err
+		}
+		go srv.Serve()
+		base := "http://" + bound.String()
+		if err := waitReady(base, 10*time.Second); err != nil {
+			return nil, "", err
+		}
+		return srv, base, nil
+	}
+	srv, base, err := boot()
+	if err != nil {
+		return true, err
+	}
+	fmt.Printf("nocap-loadgen: in-process jobs server on %s (journal in %s)\n", base, dir)
+
+	h := &harness{
+		base:     base,
+		client:   &http.Client{Timeout: 2 * time.Minute},
+		n:        n,
+		outcomes: make(map[string]*outcome),
+	}
+	elapsed := h.drive(clients, requests, duration, jobTrafficMix, "")
+
+	// Crash window: park a few jobs in flight and drain mid-run. The
+	// drain is deliberately crash-equivalent — interrupted attempts
+	// revert in memory without terminal journal records — and the tear
+	// below adds the torn write a real crash can leave mid-append.
+	var crashIDs []string
+	for i := 0; i < 3; i++ {
+		if id, ok := h.submitJob("job-crash", 4*n); ok {
+			crashIDs = append(crashIDs, id)
+		}
+	}
+	if err := drain(srv); err != nil {
+		return true, fmt.Errorf("drain before crash window: %w", err)
+	}
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	if err := tearJournal(journalPath); err != nil {
+		return true, fmt.Errorf("tear journal: %w", err)
+	}
+
+	srv, base, err = boot()
+	if err != nil {
+		return true, fmt.Errorf("restart after crash window: %w", err)
+	}
+	h.base = base
+
+	// The restarted server must have noticed exactly the one tear.
+	if resp, data, merr := h.get("/metrics"); merr != nil || resp.StatusCode != http.StatusOK {
+		h.record("job-crash", false, true, fmt.Sprintf("metrics after restart: %v", merr))
+	} else if !strings.Contains(string(data), "nocap_jobs_torn_records_total 1") {
+		h.record("job-crash", false, true, "restarted server did not report exactly one torn journal record")
+	}
+
+	// Every crash-window job must land in exactly one typed terminal
+	// state: done (recovered and re-proved, or proved before the drain),
+	// or a typed 404 if the torn record was its own accepted record —
+	// tearing one record can lose at most one job.
+	notFound := 0
+	for _, id := range crashIDs {
+		resp, data, gerr := h.get("/jobs/" + id)
+		if gerr != nil {
+			h.record("job-crash", false, true, gerr.Error())
+			continue
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			if !typedError(data) {
+				h.record("job-crash", false, true, "untyped 404 after restart")
+				continue
+			}
+			notFound++
+			h.record("job-crash", false, false, "")
+			continue
+		}
+		info, perr := h.pollJob(id, time.Minute)
+		if perr != nil {
+			h.record("job-crash", false, true, perr.Error())
+			continue
+		}
+		if info.State != string(jobs.StateDone) || info.ProofB64 == "" {
+			h.record("job-crash", false, true, fmt.Sprintf("job %s ended %q (code %q) after recovery",
+				id, info.State, info.Code))
+			continue
+		}
+		h.record("job-crash", false, false, "")
+	}
+	if notFound > 1 {
+		h.record("job-crash", false, true,
+			fmt.Sprintf("%d jobs lost, but tearing one record can lose at most one", notFound))
+	}
+
+	if err := drain(srv); err != nil {
+		return true, fmt.Errorf("final drain: %w", err)
+	}
+
+	// With everything drained, the journal is the proof ledger: at most
+	// one terminal record per job, ever.
+	if msg := journalTerminalViolation(journalPath); msg != "" {
+		h.record("journal", false, true, msg)
+	}
+
+	_, violations := report(h, clients, elapsed)
+	failed = checkProcessInvariants(snap, arenaBefore)
 	if violations > 0 {
 		failed = true
 	}
-	fmt.Printf("nocap-loadgen: %d requests, %d violations\n", sent, violations)
 	return failed, nil
+}
+
+// waitReady polls /readyz until the server finishes journal recovery
+// and reports ready.
+func waitReady(base string, budget time.Duration) error {
+	client := &http.Client{Timeout: 2 * time.Second}
+	deadline := time.Now().Add(budget)
+	for {
+		resp, err := client.Get(base + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server not ready within %v", budget)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// tearJournal simulates a crash mid-append: it cuts the journal's final
+// record in half, leaving an unterminated JSON prefix with no newline.
+func tearJournal(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	trimmed := bytes.TrimSuffix(data, []byte("\n"))
+	idx := bytes.LastIndexByte(trimmed, '\n') + 1
+	last := trimmed[idx:]
+	if len(last) < 2 {
+		return fmt.Errorf("journal too small to tear (%d bytes)", len(data))
+	}
+	return os.Truncate(path, int64(idx+len(last)/2))
+}
+
+// journalTerminalViolation scans the journal for the exactly-once
+// ledger invariant: at most one done/failed/cancelled record per job.
+func journalTerminalViolation(path string) string {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Sprintf("read journal: %v", err)
+	}
+	terminal := make(map[string]int)
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var rec struct {
+			Job   string `json:"job"`
+			State string `json:"state"`
+		}
+		if json.Unmarshal(line, &rec) != nil {
+			continue // a torn tail is the parser's problem, not ours
+		}
+		if jobs.State(rec.State).Terminal() {
+			terminal[rec.Job]++
+		}
+	}
+	for job, count := range terminal {
+		if count > 1 {
+			return fmt.Sprintf("job %s has %d terminal journal records", job, count)
+		}
+	}
+	return ""
 }
 
 func main() {

@@ -10,11 +10,21 @@
 //
 // Endpoints:
 //
-//	POST /prove    {"circuit":"synthetic","n":1024,"reps":1}
-//	POST /verify   {"circuit":"synthetic","n":1024,"proof_b64":"..."}
-//	GET  /healthz  liveness + queue occupancy (503 while draining)
-//	GET  /metrics  Prometheus text: admission/latency counters, the
-//	               five-stage kernel breakdown, arena behavior
+//	POST   /prove     {"circuit":"synthetic","n":1024,"reps":1}
+//	POST   /verify    {"circuit":"synthetic","n":1024,"proof_b64":"..."}
+//	POST   /jobs      async prove (requires -data-dir) → 202 + job id
+//	GET    /jobs/{id} poll a job; proof + stats once done
+//	DELETE /jobs/{id} cancel a job
+//	GET    /healthz   liveness: 200 whenever the process is up
+//	GET    /readyz    readiness: 503 while recovering, draining, or the
+//	                  job breaker is open
+//	GET    /metrics   Prometheus text: admission/latency counters, the
+//	                  five-stage kernel breakdown, arena behavior, and
+//	                  (with -data-dir) job/journal/breaker gauges
+//
+// With -data-dir the server keeps a durable job journal there: jobs
+// accepted before a crash or restart are recovered and re-run on the
+// next start (DESIGN.md §11).
 //
 // On SIGINT/SIGTERM the server stops admitting (503), lets queued and
 // in-flight requests finish (cancelling them if -drain expires), then
@@ -47,6 +57,12 @@ func run() error {
 	maxN := flag.Int("max-n", 1<<16, "largest circuit size parameter a request may ask for")
 	reps := flag.Int("reps", 0, "default soundness repetitions (0 = library default)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+	dataDir := flag.String("data-dir", "", "durable job journal directory; enables the async /jobs API")
+	jobWorkers := flag.Int("job-workers", 0, "async job dispatchers (0 = jobs default)")
+	jobPending := flag.Int("job-pending", 0, "max non-terminal async jobs before 429 (0 = jobs default)")
+	jobAttempts := flag.Int("job-attempts", 0, "per-job attempt budget (0 = jobs default)")
+	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive internal failures that trip the job breaker (0 = jobs default)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 0, "job breaker open→half-open delay (0 = jobs default)")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -61,6 +77,18 @@ func run() error {
 	if *reps < 0 || *reps > 64 {
 		return zkerr.Usagef("-reps must be in [0,64], got %d", *reps)
 	}
+	if *jobWorkers < 0 || *jobPending < 0 || *jobAttempts < 0 || *breakerThreshold < 0 || *breakerCooldown < 0 {
+		return zkerr.Usagef("job flags must be non-negative")
+	}
+	if *dataDir != "" {
+		// Fail fast on an unusable data dir instead of serving 503s: the
+		// background open would only discover this after the listener is up.
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			return zkerr.Usagef("-data-dir %s: %v", *dataDir, err)
+		}
+	} else if *jobWorkers > 0 || *jobPending > 0 || *jobAttempts > 0 || *breakerThreshold > 0 || *breakerCooldown > 0 {
+		return zkerr.Usagef("job flags require -data-dir")
+	}
 
 	params := nocap.DefaultParams()
 	if *reps > 0 {
@@ -74,6 +102,13 @@ func run() error {
 		MemoryBudgetMB: *memMB,
 		MaxN:           *maxN,
 		Params:         params,
+
+		DataDir:             *dataDir,
+		JobWorkers:          *jobWorkers,
+		JobMaxPending:       *jobPending,
+		JobMaxAttempts:      *jobAttempts,
+		JobBreakerThreshold: *breakerThreshold,
+		JobBreakerCooldown:  *breakerCooldown,
 	})
 	bound, err := s.Listen()
 	if err != nil {
@@ -81,6 +116,9 @@ func run() error {
 	}
 	log.Printf("nocap-serve: listening on %s (%d workers, queue %d, timeout %v, mem %d MB)",
 		bound, *workers, *queue, *timeout, *memMB)
+	if *dataDir != "" {
+		log.Printf("nocap-serve: async jobs enabled, journal in %s", *dataDir)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

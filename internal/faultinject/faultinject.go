@@ -22,13 +22,65 @@
 package faultinject
 
 import (
+	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nocap/internal/zkerr"
 )
+
+// registry is the set of injection-point names declared by the
+// pipeline's packages. Arm and RandomPlan refuse points that are not in
+// it: a plan naming a point no Check call site can ever hit would
+// otherwise arm successfully and silently never fire, which is exactly
+// the failure mode that makes a chaos matrix rot (a renamed stage
+// checkpoint turns its cells vacuous instead of red).
+var registry = struct {
+	mu    sync.Mutex
+	names map[string]struct{}
+}{names: make(map[string]struct{})}
+
+// Register declares an injection-point name and returns it, so call
+// sites bind the registered name and the Check argument in one place:
+//
+//	var fiForward = faultinject.Register("ntt.forward")
+//	...
+//	if err := faultinject.Check(fiForward); err != nil { ... }
+//
+// Registration is idempotent. Empty names panic: they can never match a
+// Check call and would poison Points().
+func Register(name string) string {
+	if name == "" {
+		panic("faultinject: Register with empty point name")
+	}
+	registry.mu.Lock()
+	registry.names[name] = struct{}{}
+	registry.mu.Unlock()
+	return name
+}
+
+// Registered reports whether name was declared with Register.
+func Registered(name string) bool {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	_, ok := registry.names[name]
+	return ok
+}
+
+// Points returns the sorted list of registered injection-point names.
+func Points() []string {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	out := make([]string, 0, len(registry.names))
+	for name := range registry.names {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
 
 // Kind selects what an armed Plan does when it fires.
 type Kind uint8
@@ -100,9 +152,15 @@ type injector struct {
 var active atomic.Pointer[injector]
 
 // Arm installs the plan, replacing any armed plan or recording session.
-// Hit counters restart from zero.
-func Arm(plan Plan) {
+// Hit counters restart from zero. A plan naming a point that no package
+// registered is refused: it could never fire, and a chaos cell that
+// passes because its fault never happened is worse than one that fails.
+func Arm(plan Plan) error {
+	if !Registered(plan.Point) {
+		return zkerr.Usagef("faultinject: unknown injection point %q (registered points: %v)", plan.Point, Points())
+	}
 	active.Store(&injector{plan: plan, counts: make(map[string]uint64)})
+	return nil
 }
 
 // Disarm removes any armed plan or recording session, restoring the
@@ -212,24 +270,40 @@ func (inj *injector) check(point string) error {
 // RandomPlan derives a deterministic Plan from seed: a point drawn from
 // points, a kind from kinds, and a trigger in [1, counts[point]]. The
 // same (seed, trace) always yields the same plan, so sweep tests can
-// enumerate seeds and stay reproducible.
-func RandomPlan(seed int64, trace []string, kinds []Kind) Plan {
+// enumerate seeds and stay reproducible. Traces containing a point name
+// no package registered are refused outright — such a trace cannot have
+// come from a recording session against the current pipeline, so the
+// sweep it would drive is stale.
+func RandomPlan(seed int64, trace []string, kinds []Kind) (Plan, error) {
+	if len(trace) == 0 {
+		return Plan{}, zkerr.Usagef("faultinject: RandomPlan on an empty trace")
+	}
+	if len(kinds) == 0 {
+		return Plan{}, zkerr.Usagef("faultinject: RandomPlan with no kinds")
+	}
 	counts := HitCounts(trace)
 	points := make([]string, 0, len(counts))
 	for p := range counts {
+		if !Registered(p) {
+			return Plan{}, zkerr.Usagef("faultinject: trace names unknown injection point %q (registered points: %v)", p, Points())
+		}
 		points = append(points, p)
 	}
 	// Map iteration order is random; sort for determinism.
-	for i := 1; i < len(points); i++ {
-		for j := i; j > 0 && points[j] < points[j-1]; j-- {
-			points[j], points[j-1] = points[j-1], points[j]
-		}
-	}
+	sort.Strings(points)
 	rng := rand.New(rand.NewSource(seed))
 	point := points[rng.Intn(len(points))]
 	return Plan{
 		Point:   point,
 		Kind:    kinds[rng.Intn(len(kinds))],
 		Trigger: 1 + uint64(rng.Int63n(int64(counts[point]))),
+	}, nil
+}
+
+// MustArm is Arm for tests whose plans are built from registered
+// constants; it panics on the errors Arm would return.
+func MustArm(plan Plan) {
+	if err := Arm(plan); err != nil {
+		panic(fmt.Sprintf("faultinject: %v", err))
 	}
 }

@@ -8,6 +8,21 @@ import (
 	"nocap/internal/zkerr"
 )
 
+
+// Test points used by this file; registered once so Arm accepts them.
+func init() {
+	for _, p := range []string{"any.point", "stage.a", "stage.b", "p", "q"} {
+		Register(p)
+	}
+}
+
+func mustArm(t *testing.T, plan Plan) {
+	t.Helper()
+	if err := Arm(plan); err != nil {
+		t.Fatalf("Arm(%+v): %v", plan, err)
+	}
+}
+
 func TestUnarmedCheckIsNil(t *testing.T) {
 	Disarm()
 	for i := 0; i < 100; i++ {
@@ -22,7 +37,7 @@ func TestUnarmedCheckIsNil(t *testing.T) {
 
 func TestErrorKindFiresExactlyOnTrigger(t *testing.T) {
 	defer Disarm()
-	Arm(Plan{Point: "stage.a", Kind: Error, Trigger: 3})
+	mustArm(t, Plan{Point: "stage.a", Kind: Error, Trigger: 3})
 	for i := 1; i <= 5; i++ {
 		// A different point never fires regardless of hit count.
 		if err := Check("stage.b"); err != nil {
@@ -48,7 +63,7 @@ func TestErrorKindFiresExactlyOnTrigger(t *testing.T) {
 func TestErrorKindCustomError(t *testing.T) {
 	defer Disarm()
 	boom := errors.New("custom boom")
-	Arm(Plan{Point: "p", Kind: Error, Err: boom}) // Trigger 0 means first hit
+	mustArm(t, Plan{Point: "p", Kind: Error, Err: boom}) // Trigger 0 means first hit
 	if err := Check("p"); !errors.Is(err, boom) {
 		t.Fatalf("want custom error, got %v", err)
 	}
@@ -56,7 +71,7 @@ func TestErrorKindCustomError(t *testing.T) {
 
 func TestPanicKind(t *testing.T) {
 	defer Disarm()
-	Arm(Plan{Point: "p", Kind: Panic, PanicValue: "detonate"})
+	mustArm(t, Plan{Point: "p", Kind: Panic, PanicValue: "detonate"})
 	caught := func() (v any) {
 		defer func() { v = recover() }()
 		Check("p")
@@ -72,7 +87,7 @@ func TestPanicKind(t *testing.T) {
 
 func TestDelayKind(t *testing.T) {
 	defer Disarm()
-	Arm(Plan{Point: "p", Kind: Delay, Sleep: 30 * time.Millisecond})
+	mustArm(t, Plan{Point: "p", Kind: Delay, Sleep: 30 * time.Millisecond})
 	start := time.Now()
 	if err := Check("p"); err != nil {
 		t.Fatalf("delay returned error: %v", err)
@@ -91,7 +106,7 @@ func TestDelayKind(t *testing.T) {
 func TestHookKind(t *testing.T) {
 	defer Disarm()
 	called := 0
-	Arm(Plan{Point: "p", Kind: Hook, Trigger: 2, Hook: func() error {
+	mustArm(t, Plan{Point: "p", Kind: Hook, Trigger: 2, Hook: func() error {
 		called++
 		return nil
 	}})
@@ -133,11 +148,17 @@ func TestRecordingTraceAndHitCounts(t *testing.T) {
 
 func TestRandomPlanDeterministicAndInRange(t *testing.T) {
 	trace := []string{"x", "y", "x", "z", "x", "y"}
+	for _, p := range trace {
+		Register(p)
+	}
 	counts := HitCounts(trace)
 	kinds := []Kind{Error, Panic, Hook}
 	for seed := int64(0); seed < 50; seed++ {
-		p1 := RandomPlan(seed, trace, kinds)
-		p2 := RandomPlan(seed, trace, kinds)
+		p1, err1 := RandomPlan(seed, trace, kinds)
+		p2, err2 := RandomPlan(seed, trace, kinds)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("RandomPlan errored on a registered trace: %v / %v", err1, err2)
+		}
 		if p1.Point != p2.Point || p1.Kind != p2.Kind || p1.Trigger != p2.Trigger {
 			t.Fatalf("seed %d not deterministic: %+v vs %+v", seed, p1, p2)
 		}
@@ -168,8 +189,8 @@ func TestKindString(t *testing.T) {
 }
 
 func TestArmReplacesAndDisarmRestoresFastPath(t *testing.T) {
-	Arm(Plan{Point: "p", Kind: Error})
-	Arm(Plan{Point: "q", Kind: Error})
+	mustArm(t, Plan{Point: "p", Kind: Error})
+	mustArm(t, Plan{Point: "q", Kind: Error})
 	if err := Check("p"); err != nil {
 		t.Fatalf("replaced plan still fired: %v", err)
 	}
@@ -180,4 +201,75 @@ func TestArmReplacesAndDisarmRestoresFastPath(t *testing.T) {
 	if err := Check("q"); err != nil {
 		t.Fatalf("disarmed Check returned %v", err)
 	}
+}
+
+// TestPointsListsRegistrations pins the registry contract: Register is
+// idempotent, Points is sorted and contains every registered name, and
+// Registered distinguishes declared from undeclared points.
+func TestPointsListsRegistrations(t *testing.T) {
+	Register("zz.test.point")
+	Register("zz.test.point") // idempotent
+	if !Registered("zz.test.point") {
+		t.Fatal("registered point not reported as registered")
+	}
+	if Registered("zz.never.registered") {
+		t.Fatal("unregistered point reported as registered")
+	}
+	pts := Points()
+	found := false
+	for i, p := range pts {
+		if p == "zz.test.point" {
+			found = true
+		}
+		if i > 0 && pts[i-1] > p {
+			t.Fatalf("Points() not sorted: %q before %q", pts[i-1], p)
+		}
+	}
+	if !found {
+		t.Fatalf("Points() missing registered point: %v", pts)
+	}
+}
+
+// TestArmUnknownPointFailsFast is the regression test for the silent
+// never-fires bug: arming a plan at a point no package registered must
+// be refused, not accepted and ignored.
+func TestArmUnknownPointFailsFast(t *testing.T) {
+	defer Disarm()
+	err := Arm(Plan{Point: "no.such.point", Kind: Error})
+	if err == nil {
+		t.Fatal("Arm accepted an unknown injection point")
+	}
+	// The refused plan must not have been installed.
+	if Check("no.such.point") != nil {
+		t.Fatal("refused plan fired anyway")
+	}
+	if Fired() {
+		t.Fatal("refused plan reported fired")
+	}
+}
+
+// TestRandomPlanRejectsUnknownTracePoints: a trace naming a point that
+// was never registered cannot have come from the current pipeline, so
+// plan derivation must fail rather than build a vacuous plan.
+func TestRandomPlanRejectsUnknownTracePoints(t *testing.T) {
+	if _, err := RandomPlan(1, []string{"p", "no.such.point"}, []Kind{Error}); err == nil {
+		t.Fatal("RandomPlan accepted a trace with an unregistered point")
+	}
+	if _, err := RandomPlan(1, nil, []Kind{Error}); err == nil {
+		t.Fatal("RandomPlan accepted an empty trace")
+	}
+	if _, err := RandomPlan(1, []string{"p"}, nil); err == nil {
+		t.Fatal("RandomPlan accepted an empty kind set")
+	}
+}
+
+// TestMustArmPanicsOnUnknownPoint pins the test-helper contract.
+func TestMustArmPanicsOnUnknownPoint(t *testing.T) {
+	defer Disarm()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustArm did not panic on an unknown point")
+		}
+	}()
+	MustArm(Plan{Point: "still.not.registered", Kind: Error})
 }

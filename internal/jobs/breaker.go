@@ -1,0 +1,146 @@
+package jobs
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is the circuit breaker's externally visible state.
+type BreakerState int32
+
+const (
+	// BreakerClosed: normal operation, submissions and attempts flow.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: too many consecutive internal failures; submissions
+	// are shed with a typed 503 until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen: cooldown elapsed; exactly one probe attempt is
+	// allowed through. Success closes the breaker, failure re-opens it.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a consecutive-failure circuit breaker guarding the proving
+// backend. Only failures classified as internal (machinery faults, not
+// input faults) count; client errors and soundness rejections say
+// nothing about backend health and leave the streak untouched.
+//
+// The clock is injected so tests drive state transitions without
+// sleeping.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int           // consecutive internal failures to trip
+	cooldown  time.Duration // open → half-open delay
+	now       func() time.Time
+
+	state    BreakerState
+	failures int       // current consecutive internal-failure streak
+	openedAt time.Time // when the breaker last tripped
+	probing  bool      // a half-open probe is in flight
+	trips    int64     // lifetime count of closed/half-open → open
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// State reports the current state, promoting open → half-open when the
+// cooldown has elapsed.
+func (b *breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.stateLocked()
+}
+
+func (b *breaker) stateLocked() BreakerState {
+	if b.state == BreakerOpen && b.now().Sub(b.openedAt) >= b.cooldown {
+		b.state = BreakerHalfOpen
+		b.probing = false
+	}
+	return b.state
+}
+
+// AllowSubmit reports whether a new job submission should be admitted.
+// Half-open admits submissions (they queue behind the probe); only a
+// fully open breaker sheds load. The second return is the remaining
+// cooldown, for Retry-After hints.
+func (b *breaker) AllowSubmit() (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.stateLocked() == BreakerOpen {
+		return false, b.cooldown - b.now().Sub(b.openedAt)
+	}
+	return true, 0
+}
+
+// AllowAttempt reports whether a proving attempt may start now. In
+// half-open state only one probe is admitted at a time; everything else
+// waits for its verdict.
+func (b *breaker) AllowAttempt() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.stateLocked() {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Success records a completed attempt: any success proves the backend
+// healthy, resets the streak, and closes the breaker.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.state = BreakerClosed
+}
+
+// Failure records a failed attempt. internal says whether the failure
+// was an internal-class fault; only those advance the streak. A failed
+// half-open probe re-opens immediately regardless of threshold.
+func (b *breaker) Failure(internal bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.stateLocked()
+	if !internal {
+		// Client-caused failures end a half-open probe without a verdict
+		// on backend health: stay half-open and let the next probe run.
+		b.probing = false
+		return
+	}
+	b.failures++
+	if st == BreakerHalfOpen || b.failures >= b.threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+		b.trips++
+	}
+}
+
+// Trips returns the lifetime trip count (for metrics).
+func (b *breaker) Trips() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.trips
+}

@@ -1,0 +1,253 @@
+package jobs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nocap/internal/faultinject"
+	"nocap/internal/leakcheck"
+	"nocap/internal/zkerr"
+)
+
+// The hard-kill crash test re-execs the test binary as a child process
+// that opens a Manager, submits jobs, and stalls mid-attempt; the
+// parent SIGKILLs it — no deferred cleanup, no journal close, the real
+// thing — then reopens the same data directory and proves every
+// accepted job still reaches exactly one terminal state.
+
+const (
+	crashChildEnv = "NOCAP_JOBS_CRASH_CHILD"
+	crashDirEnv   = "NOCAP_JOBS_CRASH_DIR"
+)
+
+// TestCrashChildProcess is only meaningful as a re-exec target; it
+// skips itself in a normal test run.
+func TestCrashChildProcess(t *testing.T) {
+	if os.Getenv(crashChildEnv) != "1" {
+		t.Skip("crash-test child (driven by TestCrashKillAndRecover)")
+	}
+	dir := os.Getenv(crashDirEnv)
+	m, err := Open(Config{
+		Dir: dir,
+		// Attempts announce themselves with a marker file, then stall
+		// until the parent kills the process.
+		Exec: func(ctx context.Context, spec Spec) (Result, error) {
+			f, err := os.CreateTemp(dir, "attempt-marker-*")
+			if err == nil {
+				f.Close()
+			}
+			<-ctx.Done()
+			return Result{}, ctx.Err()
+		},
+		Workers:    2,
+		MaxPending: 16,
+	})
+	if err != nil {
+		t.Fatalf("child Open: %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := m.Submit(Spec{Payload: json.RawMessage(fmt.Sprintf("%d", i))}); err != nil {
+			t.Fatalf("child Submit %d: %v", i, err)
+		}
+	}
+	// Signal the parent that all submissions are durably journaled.
+	if err := os.WriteFile(filepath.Join(dir, "submitted"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Minute) // the parent's SIGKILL ends this
+}
+
+func TestCrashKillAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	snap := leakcheck.Take()
+
+	child := exec.Command(os.Args[0], "-test.run=^TestCrashChildProcess$", "-test.v")
+	child.Env = append(os.Environ(), crashChildEnv+"=1", crashDirEnv+"="+dir)
+	if err := child.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	reaped := false
+	defer func() {
+		if !reaped {
+			child.Process.Kill()
+			child.Wait()
+		}
+	}()
+
+	// Wait until the child has durably accepted its jobs AND at least
+	// one attempt is mid-flight, so the kill lands in the worst window.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, subErr := os.Stat(filepath.Join(dir, "submitted"))
+		markers, _ := filepath.Glob(filepath.Join(dir, "attempt-marker-*"))
+		if subErr == nil && len(markers) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never reached the kill window")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := child.Process.Kill(); err != nil { // SIGKILL: no cleanup runs
+		t.Fatalf("kill child: %v", err)
+	}
+	child.Wait()
+	reaped = true
+
+	// The journal must contain accepted records for all 4 jobs and no
+	// terminal records: the child died with everything in flight.
+	accepted := map[string]bool{}
+	for _, r := range journalRecords(t, dir) {
+		switch r.State {
+		case recAccepted:
+			accepted[r.Job] = true
+		case recDone, recFailed, recCancelled:
+			t.Fatalf("terminal record %+v journaled before the kill", r)
+		}
+	}
+	if len(accepted) != 4 {
+		t.Fatalf("%d accepted jobs survived the kill, want 4", len(accepted))
+	}
+
+	// Recovery: reopen the same directory with a working Exec.
+	m, err := Open(Config{
+		Dir: dir,
+		Exec: func(ctx context.Context, spec Spec) (Result, error) {
+			return Result{Proof: append([]byte("proof-"), spec.Payload...)}, nil
+		},
+		Workers:    2,
+		MaxPending: 16,
+	})
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	}()
+
+	mm := m.Metrics()
+	if mm.RecoveredJobs == 0 {
+		t.Fatal("no job was recovered from a mid-attempt crash")
+	}
+	for id := range accepted {
+		info := waitTerminal(t, m, id)
+		if info.State != StateDone {
+			t.Fatalf("job %s state %s (err %q), want done after crash recovery", id, info.State, info.Error)
+		}
+		// The crash-interrupted attempt is refunded: one clean attempt.
+		if info.Attempts != 1 {
+			t.Fatalf("job %s attempts %d, want 1", id, info.Attempts)
+		}
+		proof, err := m.Proof(id)
+		if err != nil {
+			t.Fatalf("Proof(%s): %v", id, err)
+		}
+		if len(proof) == 0 {
+			t.Fatalf("job %s has empty proof", id)
+		}
+	}
+	assertExactlyOneTerminal(t, dir)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	m.Close(ctx)
+	cancel()
+	snap.Check(t)
+}
+
+// TestChaosAttemptExecInjection drives the retry machinery through the
+// jobs-layer faultinject point with both error and panic kinds: the
+// armed fault fires exactly once, so attempt 1 fails, attempt 2
+// succeeds, and nothing leaks. The faultinject registry is process
+// global, so no t.Parallel here.
+func TestChaosAttemptExecInjection(t *testing.T) {
+	for _, kind := range []faultinject.Kind{faultinject.Error, faultinject.Panic} {
+		t.Run(kind.String(), func(t *testing.T) {
+			snap := leakcheck.Take()
+			defer faultinject.Disarm()
+			faultinject.MustArm(faultinject.Plan{
+				Point:      "jobs.attempt.exec",
+				Kind:       kind,
+				PanicValue: "injected attempt panic",
+			})
+			cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+				return Result{Proof: []byte("ok")}, nil
+			})
+			m := openManager(t, cfg)
+			id, err := m.Submit(Spec{})
+			if err != nil {
+				t.Fatalf("Submit: %v", err)
+			}
+			info := waitTerminal(t, m, id)
+			if info.State != StateDone {
+				t.Fatalf("state %s (err %q), want done after injected %s", info.State, info.Error, kind)
+			}
+			if info.Attempts != 2 {
+				t.Fatalf("attempts %d, want 2 (fault fired once, retry succeeded)", info.Attempts)
+			}
+			if !faultinject.Fired() {
+				t.Fatal("armed fault never fired")
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			m.Close(ctx)
+			cancel()
+			snap.Check(t)
+		})
+	}
+}
+
+// TestChaosJournalAppendFailureOnSubmit: a failing data disk at submit
+// time must refuse the job with a typed error and accept the next one
+// once the disk recovers — no half-accepted ghosts.
+func TestChaosJournalAppendFailureOnSubmit(t *testing.T) {
+	defer faultinject.Disarm()
+	faultinject.MustArm(faultinject.Plan{Point: "jobs.journal.append", Kind: faultinject.Error})
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{Proof: []byte("ok")}, nil
+	})
+	m := openManager(t, cfg)
+	if _, err := m.Submit(Spec{}); zkerr.Code(err) != "internal" {
+		t.Fatalf("Submit with failing journal: %v, want internal-class error", err)
+	}
+	if got := len(m.List()); got != 0 {
+		t.Fatalf("%d jobs tracked after refused submit, want 0", got)
+	}
+	// The fault fired once; the disk is healthy again.
+	id, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatalf("Submit after recovery: %v", err)
+	}
+	if info := waitTerminal(t, m, id); info.State != StateDone {
+		t.Fatalf("state %s, want done", info.State)
+	}
+	assertExactlyOneTerminal(t, cfg.Dir)
+}
+
+// TestChaosRecoveryDelayInjection pins that the jobs.recover.replay
+// point sits on the Open path (the server's /readyz test leans on it).
+func TestChaosRecoveryDelayInjection(t *testing.T) {
+	defer faultinject.Disarm()
+	faultinject.MustArm(faultinject.Plan{
+		Point: "jobs.recover.replay",
+		Kind:  faultinject.Delay,
+		Sleep: 50 * time.Millisecond,
+	})
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{}, nil
+	})
+	start := time.Now()
+	m := openManager(t, cfg)
+	if d := time.Since(start); d < 50*time.Millisecond {
+		t.Fatalf("Open returned in %v; the replay injection point is off the recovery path", d)
+	}
+	if !faultinject.Fired() {
+		t.Fatal("replay fault never fired")
+	}
+	_ = m
+}

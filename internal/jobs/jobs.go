@@ -1,0 +1,812 @@
+// Package jobs is the durable asynchronous job layer of the proving
+// service (DESIGN.md §11). A Manager accepts proving jobs, journals
+// every state transition to an append-only fsync'd JSONL file before
+// acknowledging it, executes attempts on a bounded worker pool (its own
+// or, via Gate, the HTTP server's), retries transient failures with
+// capped exponential backoff and full jitter, sheds load through a
+// consecutive-internal-failure circuit breaker, and — after a crash —
+// replays the journal so every job that was ever accepted still reaches
+// exactly one terminal state.
+//
+// The package deliberately does not import the prover: the Exec
+// callback produces the proof bytes, so the job machinery is testable
+// with synthetic workloads and the server wires in the real pipeline.
+package jobs
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"nocap/internal/faultinject"
+	"nocap/internal/zkerr"
+)
+
+// fiAttemptExec fires at the top of every proving attempt, inside the
+// panic-containment boundary; chaos tests use it to exercise the retry
+// machinery without involving the prover.
+var fiAttemptExec = faultinject.Register("jobs.attempt.exec")
+
+// Sentinel errors returned by the Manager API. The serving layer maps
+// them to HTTP statuses (breaker-open → 503 + Retry-After, queue-full →
+// 429 + Retry-After, unknown → 404, terminal → 409, closed → 503).
+var (
+	ErrClosed      = errors.New("jobs: manager closed")
+	ErrQueueFull   = errors.New("jobs: queue full")
+	ErrBreakerOpen = errors.New("jobs: circuit breaker open")
+	ErrUnknownJob  = errors.New("jobs: unknown job")
+	ErrTerminal    = errors.New("jobs: job already in a terminal state")
+)
+
+// State is a job's externally visible lifecycle state. A job moves
+// accepted → running → {done, failed, cancelled}; retries move it back
+// to accepted with the attempt counter advanced.
+type State string
+
+const (
+	StateAccepted  State = "accepted"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether s is one of the three terminal states.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Spec describes a job. Payload is caller-defined (the HTTP server
+// stores its ProveRequest here verbatim); the Manager persists it
+// opaquely in the journal's accepted record so recovery can re-run it.
+type Spec struct {
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Result is a successful attempt's output: the proof bytes (persisted
+// atomically under <dir>/proofs/) and optional caller-defined stats
+// JSON surfaced on GET and journaled with the done record.
+type Result struct {
+	Proof []byte
+	Stats json.RawMessage
+}
+
+// Exec runs one proving attempt. It must honour ctx cancellation; the
+// Manager wraps every call in zkerr.RecoverTo, so a panicking attempt
+// surfaces as a retryable internal error rather than a crash.
+type Exec func(ctx context.Context, spec Spec) (Result, error)
+
+// Gate, when non-nil, runs an attempt on an external worker pool: it
+// must execute run synchronously (blocking until run returns) or return
+// an error *without* having called run. The server's Gate enqueues into
+// its bounded HTTP worker pool so sync requests and async attempts
+// share the same concurrency budget.
+type Gate func(ctx context.Context, run func()) error
+
+// Config configures a Manager. Zero fields take the documented
+// defaults; Dir and Exec are required.
+type Config struct {
+	// Dir is the data directory holding journal.jsonl and proofs/.
+	Dir string
+	// Exec produces proofs; required.
+	Exec Exec
+	// Gate optionally routes attempts onto an external worker pool.
+	Gate Gate
+	// Workers is the number of dispatcher goroutines (default 2). With
+	// a Gate each dispatcher blocks inside the external pool, so this
+	// caps the Manager's concurrent demand on it.
+	Workers int
+	// MaxPending bounds non-terminal jobs; Submit beyond it returns
+	// ErrQueueFull (default 64).
+	MaxPending int
+	// MaxAttempts is the per-job attempt budget (default 4).
+	MaxAttempts int
+	// BackoffBase/BackoffMax shape retry backoff: the delay before
+	// attempt n+1 is uniform in (0, min(BackoffMax, BackoffBase·2^(n-1))]
+	// — capped exponential with full jitter (defaults 50ms / 2s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// BreakerThreshold consecutive internal failures trip the breaker
+	// (default 5); BreakerCooldown is the open → half-open delay
+	// (default 5s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+	// Seed seeds backoff jitter for deterministic tests (0 → time-based).
+	Seed int64
+	// Now overrides the breaker clock in tests.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Dir == "" {
+		return c, zkerr.Usagef("jobs: Config.Dir is required")
+	}
+	if c.Exec == nil {
+		return c, zkerr.Usagef("jobs: Config.Exec is required")
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.MaxPending <= 0 {
+		c.MaxPending = 64
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.BreakerThreshold <= 0 {
+		c.BreakerThreshold = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = time.Now().UnixNano()
+	}
+	return c, nil
+}
+
+// JobInfo is the externally visible snapshot of one job; its JSON form
+// is what GET /jobs/{id} returns.
+type JobInfo struct {
+	ID          string          `json:"id"`
+	State       State           `json:"state"`
+	Attempts    int             `json:"attempts"`
+	MaxAttempts int             `json:"max_attempts"`
+	Recovered   bool            `json:"recovered,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Code        string          `json:"code,omitempty"`
+	ProofBytes  int             `json:"proof_bytes,omitempty"`
+	Stats       json.RawMessage `json:"stats,omitempty"`
+}
+
+// Metrics is a point-in-time snapshot for the metrics endpoint.
+type Metrics struct {
+	Accepted            int64
+	Done                int64
+	Failed              int64
+	Cancelled           int64
+	Retries             int64
+	Active              int64
+	RecoveredJobs       int64
+	TornRecords         int64
+	JournalRecords      int64
+	JournalBytes        int64
+	JournalAppendErrors int64
+	BreakerState        BreakerState
+	BreakerTrips        int64
+}
+
+// jobRec is the Manager's in-memory view of one job.
+type jobRec struct {
+	id              string
+	spec            Spec
+	state           State
+	attempt         int
+	lastErr         string
+	lastCode        string
+	recovered       bool
+	cancelRequested bool
+	proofFile       string
+	proofBytes      int
+	stats           json.RawMessage
+	cancel          context.CancelFunc // set while an attempt runs
+	timer           *time.Timer        // pending retry / requeue timer
+	done            chan struct{}      // closed on terminal transition
+}
+
+func (j *jobRec) terminal() bool { return j.state.Terminal() }
+
+func (j *jobRec) info(maxAttempts int) JobInfo {
+	return JobInfo{
+		ID:          j.id,
+		State:       j.state,
+		Attempts:    j.attempt,
+		MaxAttempts: maxAttempts,
+		Recovered:   j.recovered,
+		Error:       j.lastErr,
+		Code:        j.lastCode,
+		ProofBytes:  j.proofBytes,
+		Stats:       j.stats,
+	}
+}
+
+// Manager is the durable job manager. Open constructs one; all methods
+// are safe for concurrent use.
+type Manager struct {
+	cfg        Config
+	journal    *journal
+	breaker    *breaker
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+	quit       chan struct{}
+	ready      chan *jobRec
+	wg         sync.WaitGroup
+
+	randMu sync.Mutex
+	rand   *rand.Rand
+
+	mu      sync.Mutex
+	byID    map[string]*jobRec
+	order   []*jobRec
+	closing bool
+
+	active      int64
+	accepted    int64
+	doneCount   int64
+	failedCount int64
+	cancelCount int64
+	retries     int64
+	recovered   int64
+	torn        int64
+	journalErrs int64
+}
+
+// Open opens (creating if absent) the data directory, replays the
+// journal — re-enqueueing every job that was accepted or running at the
+// last shutdown or crash — and starts the dispatcher pool.
+func Open(cfg Config) (*Manager, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	jl, info, err := openJournal(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+	baseCtx, cancelBase := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		journal:    jl,
+		breaker:    newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown, cfg.Now),
+		baseCtx:    baseCtx,
+		cancelBase: cancelBase,
+		quit:       make(chan struct{}),
+		ready:      make(chan *jobRec, 2*cfg.MaxPending+16),
+		rand:       rand.New(rand.NewSource(cfg.Seed)),
+		byID:       make(map[string]*jobRec),
+	}
+	m.torn = info.torn
+	if err := m.replay(info.records); err != nil {
+		jl.close()
+		cancelBase()
+		return nil, err
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	for _, j := range m.order {
+		if !j.terminal() {
+			m.enqueue(j)
+		}
+	}
+	return m, nil
+}
+
+// replay rebuilds the job table from journal records. Records are
+// applied in order, later states overriding earlier ones; a
+// non-accepted record for an unknown job means the journal lost its
+// accepted record mid-file, which parseJournal would have rejected —
+// so it is corruption, not tearing, and fails loudly.
+func (m *Manager) replay(recs []record) error {
+	for _, r := range recs {
+		j := m.byID[r.Job]
+		if j == nil {
+			if r.State != recAccepted {
+				return zkerr.Malformedf("jobs: journal seq %d: %s record for unknown job %s", r.Seq, r.State, r.Job)
+			}
+			j = &jobRec{id: r.Job, done: make(chan struct{})}
+			if r.Spec != nil {
+				j.spec = *r.Spec
+			}
+			m.byID[r.Job] = j
+			m.order = append(m.order, j)
+		}
+		switch r.State {
+		case recAccepted:
+			j.state = StateAccepted
+			j.attempt = r.Attempt
+		case recRunning:
+			j.state = StateRunning
+			j.attempt = r.Attempt
+		case recRetrying:
+			j.state = StateAccepted
+			j.attempt = r.Attempt
+			j.lastErr, j.lastCode = r.Error, r.Code
+			m.retries++
+		case recDone:
+			j.state = StateDone
+			j.attempt = r.Attempt
+			j.proofFile = r.ProofFile
+			j.proofBytes = r.ProofBytes
+			j.stats = r.Stats
+			j.lastErr, j.lastCode = "", ""
+		case recFailed:
+			j.state = StateFailed
+			j.attempt = r.Attempt
+			j.lastErr, j.lastCode = r.Error, r.Code
+		case recCancelled:
+			j.state = StateCancelled
+			j.attempt = r.Attempt
+			j.lastErr, j.lastCode = r.Error, r.Code
+		default:
+			return zkerr.Malformedf("jobs: journal seq %d: unknown state %q", r.Seq, r.State)
+		}
+	}
+	for _, j := range m.order {
+		m.accepted++
+		if j.state == StateRunning {
+			// The attempt was in flight at the crash: refund it so the
+			// interruption does not consume retry budget, and mark the
+			// job recovered for observability.
+			if j.attempt > 0 {
+				j.attempt--
+			}
+			j.state = StateAccepted
+			j.recovered = true
+			m.recovered++
+		}
+		switch j.state {
+		case StateDone:
+			m.doneCount++
+		case StateFailed:
+			m.failedCount++
+		case StateCancelled:
+			m.cancelCount++
+		}
+		if j.terminal() {
+			close(j.done)
+		} else {
+			m.active++
+		}
+	}
+	return nil
+}
+
+// newID returns a fresh job identifier.
+func newID() string {
+	var b [9]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("jobs: id entropy: %v", err))
+	}
+	return "j-" + hex.EncodeToString(b[:])
+}
+
+// Submit accepts a job, journaling (and fsyncing) its accepted record
+// before returning the id: an acknowledged job survives any crash. It
+// sheds with ErrBreakerOpen while the breaker is open and ErrQueueFull
+// when MaxPending non-terminal jobs already exist.
+func (m *Manager) Submit(spec Spec) (string, error) {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return "", ErrClosed
+	}
+	if ok, _ := m.breaker.AllowSubmit(); !ok {
+		m.mu.Unlock()
+		return "", ErrBreakerOpen
+	}
+	if m.active >= int64(m.cfg.MaxPending) {
+		m.mu.Unlock()
+		return "", ErrQueueFull
+	}
+	j := &jobRec{id: newID(), spec: spec, state: StateAccepted, done: make(chan struct{})}
+	if err := m.journal.append(record{Job: j.id, State: recAccepted, Spec: &j.spec}); err != nil {
+		m.journalErrs++
+		m.mu.Unlock()
+		return "", err
+	}
+	m.byID[j.id] = j
+	m.order = append(m.order, j)
+	m.active++
+	m.accepted++
+	m.mu.Unlock()
+	m.enqueue(j)
+	return j.id, nil
+}
+
+// Get returns a job's current snapshot.
+func (m *Manager) Get(id string) (JobInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.byID[id]
+	if j == nil {
+		return JobInfo{}, ErrUnknownJob
+	}
+	return j.info(m.cfg.MaxAttempts), nil
+}
+
+// List returns snapshots of every known job in submission order.
+func (m *Manager) List() []JobInfo {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobInfo, 0, len(m.order))
+	for _, j := range m.order {
+		out = append(out, j.info(m.cfg.MaxAttempts))
+	}
+	return out
+}
+
+// Proof returns the persisted proof bytes of a done job.
+func (m *Manager) Proof(id string) ([]byte, error) {
+	m.mu.Lock()
+	j := m.byID[id]
+	if j == nil {
+		m.mu.Unlock()
+		return nil, ErrUnknownJob
+	}
+	if j.state != StateDone {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("jobs: job %s is %s, not done", id, j.state)
+	}
+	path := j.proofFile
+	m.mu.Unlock()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, zkerr.Internalf("jobs: read proof for %s: %v", id, err)
+	}
+	return data, nil
+}
+
+// Wait blocks until the job reaches a terminal state or ctx expires.
+func (m *Manager) Wait(ctx context.Context, id string) (JobInfo, error) {
+	m.mu.Lock()
+	j := m.byID[id]
+	m.mu.Unlock()
+	if j == nil {
+		return JobInfo{}, ErrUnknownJob
+	}
+	select {
+	case <-j.done:
+		return m.Get(id)
+	case <-ctx.Done():
+		return JobInfo{}, ctx.Err()
+	}
+}
+
+// Cancel requests cancellation. A queued job terminalizes immediately;
+// a running job has its attempt context cancelled and terminalizes when
+// the attempt unwinds (unless the proof had already completed, in which
+// case done wins — cancellation is best-effort, not retroactive).
+func (m *Manager) Cancel(id string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j := m.byID[id]
+	if j == nil {
+		return ErrUnknownJob
+	}
+	if j.terminal() {
+		return ErrTerminal
+	}
+	j.cancelRequested = true
+	if j.state == StateRunning {
+		if j.cancel != nil {
+			j.cancel()
+		}
+		return nil
+	}
+	if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
+	m.terminalizeLocked(j, StateCancelled, "cancelled before execution", "")
+	return nil
+}
+
+// BreakerState returns the breaker's current state and, when open, the
+// remaining cooldown (for Retry-After hints).
+func (m *Manager) BreakerState() (BreakerState, time.Duration) {
+	if ok, remaining := m.breaker.AllowSubmit(); !ok {
+		return BreakerOpen, remaining
+	}
+	return m.breaker.State(), 0
+}
+
+// Metrics returns a consistent counter snapshot.
+func (m *Manager) Metrics() Metrics {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Metrics{
+		Accepted:            m.accepted,
+		Done:                m.doneCount,
+		Failed:              m.failedCount,
+		Cancelled:           m.cancelCount,
+		Retries:             m.retries,
+		Active:              m.active,
+		RecoveredJobs:       m.recovered,
+		TornRecords:         m.torn,
+		JournalRecords:      m.journal.records,
+		JournalBytes:        m.journal.bytes,
+		JournalAppendErrors: m.journalErrs,
+		BreakerState:        m.breaker.State(),
+		BreakerTrips:        m.breaker.Trips(),
+	}
+}
+
+// Close shuts the Manager down: no new submissions, pending retry
+// timers stopped, running attempts cancelled, dispatchers drained, the
+// journal closed. Attempts interrupted by Close are NOT journaled as
+// terminal — their last journal record stays "running"/"accepted", so
+// the next Open re-enqueues them; that is the crash-equivalence that
+// makes kill -9 and graceful shutdown recover identically.
+func (m *Manager) Close(ctx context.Context) error {
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return nil
+	}
+	m.closing = true
+	for _, j := range m.order {
+		if j.timer != nil {
+			j.timer.Stop()
+			j.timer = nil
+		}
+	}
+	m.mu.Unlock()
+
+	m.cancelBase()
+	close(m.quit)
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	var waitErr error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		waitErr = ctx.Err()
+	}
+	m.mu.Lock()
+	err := m.journal.close()
+	m.mu.Unlock()
+	if waitErr != nil {
+		return waitErr
+	}
+	return err
+}
+
+// enqueue places a job on the ready channel, deferring briefly if the
+// channel is momentarily full.
+func (m *Manager) enqueue(j *jobRec) {
+	m.mu.Lock()
+	if m.closing || j.terminal() {
+		m.mu.Unlock()
+		return
+	}
+	j.timer = nil
+	m.mu.Unlock()
+	select {
+	case m.ready <- j:
+	default:
+		t := time.AfterFunc(25*time.Millisecond, func() { m.enqueue(j) })
+		m.mu.Lock()
+		if m.closing || j.terminal() {
+			t.Stop()
+		} else {
+			j.timer = t
+		}
+		m.mu.Unlock()
+	}
+}
+
+// requeueAfter re-enqueues a job after d (breaker-denied dispatch).
+func (m *Manager) requeueAfter(j *jobRec, d time.Duration) {
+	m.mu.Lock()
+	if m.closing || j.terminal() {
+		m.mu.Unlock()
+		return
+	}
+	j.timer = time.AfterFunc(d, func() { m.enqueue(j) })
+	m.mu.Unlock()
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case j := <-m.ready:
+			m.dispatch(j)
+		}
+	}
+}
+
+func (m *Manager) dispatch(j *jobRec) {
+	if !m.breaker.AllowAttempt() {
+		d := m.cfg.BreakerCooldown / 4
+		if d < 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		if d > 500*time.Millisecond {
+			d = 500 * time.Millisecond
+		}
+		m.requeueAfter(j, d)
+		return
+	}
+	if m.cfg.Gate != nil {
+		if err := m.cfg.Gate(m.baseCtx, func() { m.runAttempt(j) }); err != nil {
+			// The external pool shed us without running the attempt: no
+			// budget consumed, try again shortly.
+			m.requeueAfter(j, 50*time.Millisecond)
+		}
+		return
+	}
+	m.runAttempt(j)
+}
+
+// runAttempt executes one attempt: journal running (fsync'd), run Exec
+// under panic containment, then classify the outcome.
+func (m *Manager) runAttempt(j *jobRec) {
+	m.mu.Lock()
+	if m.closing || j.terminal() || j.state == StateRunning {
+		m.mu.Unlock()
+		return
+	}
+	j.attempt++
+	if err := m.journal.append(record{Job: j.id, State: recRunning, Attempt: j.attempt}); err != nil {
+		m.journalErrs++
+		m.mu.Unlock()
+		m.finishAttempt(j, Result{}, err)
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.cancel = cancel
+	j.state = StateRunning
+	if j.cancelRequested {
+		cancel() // Cancel raced the dispatch; make the attempt a no-op.
+	}
+	m.mu.Unlock()
+	res, err := m.exec(ctx, j.spec)
+	cancel()
+	m.finishAttempt(j, res, err)
+}
+
+// exec is the panic-containment boundary around the caller's Exec.
+func (m *Manager) exec(ctx context.Context, spec Spec) (res Result, err error) {
+	defer zkerr.RecoverTo(&err, "jobs: attempt")
+	if ferr := faultinject.Check(fiAttemptExec); ferr != nil {
+		return Result{}, ferr
+	}
+	return m.cfg.Exec(ctx, spec)
+}
+
+// finishAttempt classifies an attempt's outcome and journals the
+// resulting transition. The proof file is written (atomically) before
+// the done record, so a done record always points at a complete proof.
+func (m *Manager) finishAttempt(j *jobRec, res Result, err error) {
+	var proofFile string
+	if err == nil {
+		proofFile = filepath.Join(m.cfg.Dir, proofsDirName, j.id+".bin")
+		if werr := writeFileAtomic(proofFile, res.Proof, 0o644); werr != nil {
+			err = zkerr.Internalf("jobs: persist proof for %s: %v", j.id, werr)
+		}
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.terminal() {
+		return
+	}
+	j.cancel = nil
+
+	if m.closing && err != nil && errors.Is(err, context.Canceled) && !j.cancelRequested {
+		// Shutdown interrupted the attempt: refund it and leave the
+		// journal untouched so the next Open re-enqueues from the
+		// running record, exactly as after a crash.
+		j.attempt--
+		j.state = StateAccepted
+		return
+	}
+
+	if err == nil {
+		m.breaker.Success()
+		j.proofFile = proofFile
+		j.proofBytes = len(res.Proof)
+		j.stats = res.Stats
+		j.lastErr, j.lastCode = "", ""
+		if jerr := m.journal.append(record{
+			Job: j.id, State: recDone, Attempt: j.attempt,
+			ProofFile: proofFile, ProofBytes: j.proofBytes, Stats: res.Stats,
+		}); jerr != nil {
+			m.journalErrs++
+		}
+		m.markTerminalLocked(j, StateDone)
+		return
+	}
+
+	code := zkerr.Code(err)
+	m.breaker.Failure(code == "internal")
+
+	if j.cancelRequested || errors.Is(err, context.Canceled) {
+		m.terminalizeLocked(j, StateCancelled, err.Error(), code)
+		return
+	}
+	if zkerr.Retryable(err) && j.attempt < m.cfg.MaxAttempts {
+		backoff := m.backoffFor(j.attempt)
+		j.state = StateAccepted
+		j.lastErr, j.lastCode = err.Error(), code
+		m.retries++
+		if jerr := m.journal.append(record{
+			Job: j.id, State: recRetrying, Attempt: j.attempt,
+			Error: err.Error(), Code: code, BackoffMS: backoff.Milliseconds(),
+		}); jerr != nil {
+			m.journalErrs++
+		}
+		if m.closing {
+			return
+		}
+		j.timer = time.AfterFunc(backoff, func() { m.enqueue(j) })
+		return
+	}
+	m.terminalizeLocked(j, StateFailed, err.Error(), code)
+}
+
+// terminalizeLocked journals and applies a terminal failure-side
+// transition. Caller holds m.mu.
+func (m *Manager) terminalizeLocked(j *jobRec, st State, msg, code string) {
+	j.lastErr, j.lastCode = msg, code
+	rs := recFailed
+	if st == StateCancelled {
+		rs = recCancelled
+	}
+	if err := m.journal.append(record{Job: j.id, State: rs, Attempt: j.attempt, Error: msg, Code: code}); err != nil {
+		m.journalErrs++
+	}
+	m.markTerminalLocked(j, st)
+}
+
+// markTerminalLocked applies the in-memory side of a terminal
+// transition exactly once. Caller holds m.mu and has already journaled.
+func (m *Manager) markTerminalLocked(j *jobRec, st State) {
+	j.state = st
+	if j.timer != nil {
+		j.timer.Stop()
+		j.timer = nil
+	}
+	m.active--
+	switch st {
+	case StateDone:
+		m.doneCount++
+	case StateFailed:
+		m.failedCount++
+	case StateCancelled:
+		m.cancelCount++
+	}
+	close(j.done)
+}
+
+// backoffFor returns the full-jitter backoff after the given number of
+// attempts: uniform in (0, min(BackoffMax, BackoffBase·2^(attempt-1))].
+func (m *Manager) backoffFor(attempt int) time.Duration {
+	d := m.cfg.BackoffBase
+	for i := 1; i < attempt && d < m.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > m.cfg.BackoffMax {
+		d = m.cfg.BackoffMax
+	}
+	m.randMu.Lock()
+	f := m.rand.Float64()
+	m.randMu.Unlock()
+	b := time.Duration(float64(d) * f)
+	if b <= 0 {
+		b = time.Millisecond
+	}
+	return b
+}

@@ -1,0 +1,240 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nocap/internal/faultinject"
+	"nocap/internal/zkerr"
+)
+
+// The journal is the durability backbone of the job layer: an
+// append-only JSONL file in the manager's data directory where every
+// state transition is written and fsync'd *before* the transition takes
+// effect for callers. A submission is acknowledged only after its
+// accepted record is on disk; a proof is reported done only after the
+// proof file has been atomically renamed into place and the done record
+// synced. Recovery is therefore a pure replay: the journal is the
+// truth, the in-memory table a cache of its suffix state.
+//
+// Torn writes: a crash can stop the kernel mid-append, leaving a final
+// record with no terminating newline (or a truncated JSON prefix).
+// Replay tolerates exactly that — the damaged final record is dropped
+// and the file truncated back to its last clean record, so the affected
+// job resumes from its previous journaled state. Damage anywhere
+// *before* the final record is not survivable tearing but corruption,
+// and fails recovery loudly rather than guessing.
+
+// journalName is the journal file's name inside the data directory.
+const journalName = "journal.jsonl"
+
+// proofsDirName is the subdirectory holding completed proof payloads.
+const proofsDirName = "proofs"
+
+// fiJournalAppend fires before every journal append; chaos tests use it
+// to simulate a failing data disk.
+var fiJournalAppend = faultinject.Register("jobs.journal.append")
+
+// fiRecoverReplay fires once at the start of journal replay; readiness
+// tests use a Delay plan here to hold the server in "recovering".
+var fiRecoverReplay = faultinject.Register("jobs.recover.replay")
+
+// recState is the journal-record state vocabulary. It is a superset of
+// the public State set: "retrying" marks a failed attempt whose job went
+// back to the queue with a backoff, which the public API reports as
+// StateAccepted with a non-zero attempt count.
+type recState string
+
+const (
+	recAccepted  recState = "accepted"
+	recRunning   recState = "running"
+	recRetrying  recState = "retrying"
+	recDone      recState = "done"
+	recFailed    recState = "failed"
+	recCancelled recState = "cancelled"
+)
+
+// record is one journal line.
+type record struct {
+	Seq     uint64   `json:"seq"`
+	Job     string   `json:"job"`
+	State   recState `json:"state"`
+	T       string   `json:"t,omitempty"`
+	Spec    *Spec    `json:"spec,omitempty"`
+	Attempt int      `json:"attempt,omitempty"`
+	Error   string   `json:"error,omitempty"`
+	Code    string   `json:"code,omitempty"`
+	// BackoffMS records the scheduled retry delay (informational; after
+	// a crash the job is re-enqueued immediately).
+	BackoffMS  int64           `json:"backoff_ms,omitempty"`
+	ProofFile  string          `json:"proof_file,omitempty"`
+	ProofBytes int             `json:"proof_bytes,omitempty"`
+	Stats      json.RawMessage `json:"stats,omitempty"`
+}
+
+// journal is the open append handle plus its counters.
+type journal struct {
+	path    string
+	f       *os.File
+	seq     uint64
+	records int64
+	bytes   int64
+}
+
+// replayInfo summarizes what recovery found.
+type replayInfo struct {
+	records []record
+	// torn is 1 if the final record was damaged and dropped.
+	torn int64
+}
+
+// openJournal reads (replaying) and opens (for append) the journal in
+// dir, creating the directory layout on first use.
+func openJournal(dir string) (*journal, replayInfo, error) {
+	if err := os.MkdirAll(filepath.Join(dir, proofsDirName), 0o755); err != nil {
+		return nil, replayInfo{}, fmt.Errorf("jobs: create data dir: %w", err)
+	}
+	path := filepath.Join(dir, journalName)
+	if err := faultinject.Check(fiRecoverReplay); err != nil {
+		return nil, replayInfo{}, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, replayInfo{}, fmt.Errorf("jobs: read journal: %w", err)
+	}
+	info, cleanLen, err := parseJournal(data)
+	if err != nil {
+		return nil, replayInfo{}, err
+	}
+	if cleanLen < int64(len(data)) {
+		// Drop the torn tail so the next append starts on a clean line.
+		if err := os.Truncate(path, cleanLen); err != nil {
+			return nil, replayInfo{}, fmt.Errorf("jobs: truncate torn journal tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, replayInfo{}, fmt.Errorf("jobs: open journal: %w", err)
+	}
+	jl := &journal{path: path, f: f, records: int64(len(info.records)), bytes: cleanLen}
+	for _, r := range info.records {
+		if r.Seq > jl.seq {
+			jl.seq = r.Seq
+		}
+	}
+	// Make the directory entries (journal file, proofs dir) durable too.
+	syncDir(dir)
+	return jl, info, nil
+}
+
+// parseJournal decodes the journal bytes, tolerating a torn final
+// record. It returns the decoded records and the byte length of the
+// clean prefix (everything before the torn tail, if any).
+func parseJournal(data []byte) (replayInfo, int64, error) {
+	var info replayInfo
+	offset := int64(0)
+	for len(data) > 0 {
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// Unterminated final line: a torn append. Drop it.
+			info.torn++
+			return info, offset, nil
+		}
+		line := data[:nl]
+		rest := data[nl+1:]
+		var r record
+		if err := json.Unmarshal(line, &r); err != nil || r.Job == "" || r.State == "" {
+			if len(rest) == 0 {
+				// Final record, terminated but undecodable: the newline
+				// landed and the payload did not. Same treatment.
+				info.torn++
+				return info, offset, nil
+			}
+			return replayInfo{}, 0, zkerr.Malformedf(
+				"jobs: journal corrupt at byte %d (mid-file record undecodable: %.80s)", offset, line)
+		}
+		info.records = append(info.records, r)
+		offset += int64(nl + 1)
+		data = rest
+	}
+	return info, offset, nil
+}
+
+// append writes one record and fsyncs it. The caller holds the manager
+// lock, which serializes seq assignment and file writes.
+func (jl *journal) append(r record) error {
+	if err := faultinject.Check(fiJournalAppend); err != nil {
+		return zkerr.Internalf("jobs: journal append: %v", err)
+	}
+	jl.seq++
+	r.Seq = jl.seq
+	r.T = time.Now().UTC().Format(time.RFC3339Nano)
+	line, err := json.Marshal(r)
+	if err != nil {
+		return zkerr.Internalf("jobs: marshal journal record: %v", err)
+	}
+	line = append(line, '\n')
+	if _, err := jl.f.Write(line); err != nil {
+		return fmt.Errorf("jobs: journal append: %w", err)
+	}
+	if err := jl.f.Sync(); err != nil {
+		return fmt.Errorf("jobs: journal fsync: %w", err)
+	}
+	jl.records++
+	jl.bytes += int64(len(line))
+	return nil
+}
+
+func (jl *journal) close() error { return jl.f.Close() }
+
+// syncDir fsyncs a directory so renames and creates inside it are
+// durable; errors are ignored (some filesystems refuse directory syncs,
+// and the data-loss window is the OS's, not ours).
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+}
+
+// writeFileAtomic writes data to path via a temp file in the same
+// directory plus an atomic rename — the same pattern nocap-prove uses
+// for -out — so a crash mid-write never leaves a truncated proof at
+// path.
+func writeFileAtomic(path string, data []byte, mode os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	cleanup := func(err error) error {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Chmod(tmpName, mode); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}

@@ -16,6 +16,10 @@ import (
 	"nocap/internal/zkerr"
 )
 
+// fiBuildLevel is the registered fault-injection point between tree
+// levels (chaos tests arm it by this name).
+var fiBuildLevel = faultinject.Register("merkle.build.level")
+
 // Tree is a full binary Merkle tree over a power-of-two number of leaves.
 type Tree struct {
 	// levels[0] is the leaf layer; levels[len-1] has a single root.
@@ -61,7 +65,7 @@ func NewCtx(ctx context.Context, leaves []hashfn.Digest) (*Tree, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		if err := faultinject.Check("merkle.build.level"); err != nil {
+		if err := faultinject.Check(fiBuildLevel); err != nil {
 			return nil, err
 		}
 		prev := levels[d-1]

@@ -17,6 +17,10 @@ import (
 	"nocap/internal/field"
 )
 
+// fiForward is the registered fault-injection point at transform entry
+// (chaos tests arm it by this name).
+var fiForward = faultinject.Register("ntt.forward")
+
 // FUSize is the largest NTT NoCap's functional unit performs in a single
 // pass: 64×64 = 2^12 points (paper §IV-B).
 const FUSize = 1 << 12
@@ -102,7 +106,7 @@ func ForwardCtx(ctx context.Context, v []field.Element) error {
 	if logN == 0 {
 		return nil
 	}
-	if err := faultinject.Check("ntt.forward"); err != nil {
+	if err := faultinject.Check(fiForward); err != nil {
 		return err
 	}
 	tw := twiddles(logN)

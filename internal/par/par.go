@@ -34,6 +34,10 @@ import (
 	"nocap/internal/zkerr"
 )
 
+// fiWorker is the registered fault-injection point inside every pool
+// chunk body (chaos tests arm it by this name).
+var fiWorker = faultinject.Register("par.worker")
+
 // minParallel is the work size below which fan-out costs more than it
 // saves.
 const minParallel = 1 << 12
@@ -247,7 +251,7 @@ func ForErrCtx(ctx context.Context, n int, fn func(lo, hi int) error) error {
 // runChunk runs one chunk through the fault-injection point with panic
 // containment.
 func runChunk(lo, hi int, fn func(lo, hi int) error) error {
-	if err := faultinject.Check("par.worker"); err != nil {
+	if err := faultinject.Check(fiWorker); err != nil {
 		return err
 	}
 	return protect(lo, hi, fn)

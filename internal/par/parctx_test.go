@@ -152,7 +152,7 @@ func TestForErrCtxFaultInjectionPoint(t *testing.T) {
 	old := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(old)
 	defer faultinject.Disarm()
-	faultinject.Arm(faultinject.Plan{Point: "par.worker", Kind: faultinject.Error, Trigger: 2})
+	faultinject.MustArm(faultinject.Plan{Point: "par.worker", Kind: faultinject.Error, Trigger: 2})
 	snap := leakcheck.Take()
 	err := ForErr(1<<14, func(lo, hi int) error { return nil })
 	if !errors.Is(err, zkerr.ErrInternal) {

@@ -35,6 +35,19 @@ import (
 	"nocap/internal/zkerr"
 )
 
+// Registered fault-injection points at the commit/open/verify stage
+// boundaries (chaos tests arm them by these names).
+var (
+	fiCommitEncode  = faultinject.Register("pcs.commit.encode")
+	fiCommitLeaves  = faultinject.Register("pcs.commit.leaves")
+	fiCommitTree    = faultinject.Register("pcs.commit.tree")
+	fiOpenEval      = faultinject.Register("pcs.open.eval")
+	fiOpenProx      = faultinject.Register("pcs.open.prox")
+	fiOpenColumns   = faultinject.Register("pcs.open.columns")
+	fiVerifyEncode  = faultinject.Register("pcs.verify.encode")
+	fiVerifyColumns = faultinject.Register("pcs.verify.columns")
+)
+
 // ctxEncoder is the optional context-aware face of a code.Code; the
 // production Reed-Solomon code implements it. encodeCtx falls back to
 // the plain Encode for codes that do not (the expander baseline).
@@ -271,7 +284,7 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 	// worker faults — an encode panic becomes an error from Commit (and
 	// thus Prove) instead of killing the serving process — and stops
 	// dispatching rows once ctx is cancelled.
-	if err := faultinject.Check("pcs.commit.encode"); err != nil {
+	if err := faultinject.Check(fiCommitEncode); err != nil {
 		return nil, fmt.Errorf("pcs: row encode: %w", err)
 	}
 	if err := encodeInto(ctx, params.Code, encoded[0], all[0]); err != nil {
@@ -288,14 +301,14 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 		return nil, fmt.Errorf("pcs: row encode: %w", err)
 	}
 
-	if err := faultinject.Check("pcs.commit.leaves"); err != nil {
+	if err := faultinject.Check(fiCommitLeaves); err != nil {
 		return nil, fmt.Errorf("pcs: column hash: %w", err)
 	}
 	leaves := make([]hashfn.Digest, encLen)
 	if err := kernel.ColumnLeavesCtx(ctx, leaves, encoded); err != nil {
 		return nil, fmt.Errorf("pcs: column hash: %w", err)
 	}
-	if err := faultinject.Check("pcs.commit.tree"); err != nil {
+	if err := faultinject.Check(fiCommitTree); err != nil {
 		return nil, fmt.Errorf("pcs: merkle build: %w", err)
 	}
 	tree, err := merkle.NewCtx(ctx, leaves)
@@ -400,7 +413,7 @@ func (s *ProverState) OpenCtx(ctx context.Context, tr *transcript.Transcript, po
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	if err := faultinject.Check("pcs.open.eval"); err != nil {
+	if err := faultinject.Check(fiOpenEval); err != nil {
 		return nil, nil, err
 	}
 	if s.params.ZK && len(points) > s.params.MaxPoints {
@@ -450,7 +463,7 @@ func (s *ProverState) OpenCtx(ctx context.Context, tr *transcript.Transcript, po
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	if err := faultinject.Check("pcs.open.prox"); err != nil {
+	if err := faultinject.Check(fiOpenProx); err != nil {
 		return nil, nil, err
 	}
 	for j := 0; j < s.params.NumProximity; j++ {
@@ -484,7 +497,7 @@ func (s *ProverState) OpenCtx(ctx context.Context, tr *transcript.Transcript, po
 	if err := ctx.Err(); err != nil {
 		return nil, nil, err
 	}
-	if err := faultinject.Check("pcs.open.columns"); err != nil {
+	if err := faultinject.Check(fiOpenColumns); err != nil {
 		return nil, nil, err
 	}
 	encLen := comm.MsgLen * s.params.Code.Blowup()
@@ -620,7 +633,7 @@ func VerifyCtx(ctx context.Context, params Params, comm *Commitment, tr *transcr
 	}
 
 	// Encode every transmitted combination once.
-	if err := faultinject.Check("pcs.verify.encode"); err != nil {
+	if err := faultinject.Check(fiVerifyEncode); err != nil {
 		return err
 	}
 	encProx := make([][]field.Element, len(proof.ProxVectors))
@@ -637,7 +650,7 @@ func VerifyCtx(ctx context.Context, params Params, comm *Commitment, tr *transcr
 	}
 
 	// Column checks at shared query positions.
-	if err := faultinject.Check("pcs.verify.columns"); err != nil {
+	if err := faultinject.Check(fiVerifyColumns); err != nil {
 		return err
 	}
 	encLen := comm.MsgLen * params.Code.Blowup()

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+
+	"nocap"
+	"nocap/internal/jobs"
+	"nocap/internal/zkerr"
+)
+
+// Async job API (DESIGN.md §11). When Config.DataDir is set the server
+// opens a durable jobs.Manager over it and exposes:
+//
+//	POST   /jobs       submit a ProveRequest for async execution → 202
+//	GET    /jobs/{id}  poll; proof + per-run stats once done
+//	DELETE /jobs/{id}  cancel (best-effort for running attempts)
+//	GET    /readyz     readiness: 503 while recovering, draining, or
+//	                   the breaker is open; /healthz stays liveness
+//
+// Journal recovery runs in the background so the listener can come up
+// immediately; /readyz answers 503 {"code":"recovering"} until replay
+// finishes, which is what a load balancer should gate traffic on.
+
+// JobResponse is the body of POST /jobs (202) and GET /jobs/{id} (200).
+type JobResponse struct {
+	ID          string          `json:"id"`
+	State       string          `json:"state"`
+	Attempts    int             `json:"attempts"`
+	MaxAttempts int             `json:"max_attempts"`
+	Recovered   bool            `json:"recovered,omitempty"`
+	Error       string          `json:"error,omitempty"`
+	Code        string          `json:"code,omitempty"`
+	ProofB64    string          `json:"proof_b64,omitempty"`
+	ProofBytes  int             `json:"proof_bytes,omitempty"`
+	Stats       json.RawMessage `json:"stats,omitempty"`
+}
+
+// openJobs opens the durable job manager over cfg.DataDir. It runs in a
+// background goroutine started by New so journal replay (which scales
+// with journal size) never delays the listener; /readyz reports 503
+// until it finishes.
+func (s *Server) openJobs() {
+	exec := s.cfg.JobsExec
+	if exec == nil {
+		exec = s.proveExec
+	}
+	mgr, err := jobs.Open(jobs.Config{
+		Dir:              s.cfg.DataDir,
+		Exec:             exec,
+		Gate:             s.jobGate,
+		Workers:          s.cfg.JobWorkers,
+		MaxPending:       s.cfg.JobMaxPending,
+		MaxAttempts:      s.cfg.JobMaxAttempts,
+		BackoffBase:      s.cfg.JobBackoffBase,
+		BackoffMax:       s.cfg.JobBackoffMax,
+		BreakerThreshold: s.cfg.JobBreakerThreshold,
+		BreakerCooldown:  s.cfg.JobBreakerCooldown,
+	})
+	s.jobsMu.Lock()
+	s.jobsMgr, s.jobsErr = mgr, err
+	s.jobsMu.Unlock()
+	s.recovering.Store(false)
+}
+
+// jobsManager returns the manager once recovery has finished.
+func (s *Server) jobsManager() (*jobs.Manager, error) {
+	s.jobsMu.Lock()
+	defer s.jobsMu.Unlock()
+	return s.jobsMgr, s.jobsErr
+}
+
+// jobGate routes an async proving attempt through the same bounded
+// worker pool that serves synchronous requests, so "workers" is one
+// concurrency budget no matter how work arrives. It either runs the
+// attempt to completion or returns an error without having run it (the
+// manager re-queues and tries again).
+func (s *Server) jobGate(ctx context.Context, run func()) error {
+	j := &job{run: run, done: make(chan struct{}), enqueued: time.Now()}
+	select {
+	case s.jobs <- j:
+	default:
+		return jobs.ErrQueueFull
+	}
+	// Once enqueued the attempt WILL run (a worker picks it up and the
+	// manager's own closing check makes late runs no-ops), so honour the
+	// Gate contract and wait for it rather than abandoning a job that
+	// might still execute.
+	<-j.done
+	return nil
+}
+
+// proveExec is the production Exec: one proving attempt for a journaled
+// ProveRequest, with the same validation, deadline, and per-run
+// collector accounting as the synchronous POST /prove path.
+func (s *Server) proveExec(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+	var req ProveRequest
+	if err := json.Unmarshal(spec.Payload, &req); err != nil {
+		return jobs.Result{}, zkerr.Usagef("jobs: decode journaled request: %v", err)
+	}
+	params, timeout, err := s.requestSetup(req.Circuit, req.N, req.Reps, req.TimeoutMS)
+	if err != nil {
+		return jobs.Result{}, err
+	}
+	bm, params, err := buildFor(params, req.Circuit, req.N)
+	if err != nil {
+		return jobs.Result{}, err
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	col := nocap.NewCollector()
+	proof, err := nocap.ProveCtx(col.Attach(ctx), params, bm.Inst, bm.IO, bm.Witness)
+	if err != nil {
+		return jobs.Result{}, err
+	}
+	data, err := nocap.MarshalProof(proof)
+	if err != nil {
+		return jobs.Result{}, err
+	}
+	statsRaw, err := json.Marshal(statsJSON(col.Stats()))
+	if err != nil {
+		return jobs.Result{}, zkerr.Internalf("jobs: marshal stats: %v", err)
+	}
+	return jobs.Result{Proof: data, Stats: statsRaw}, nil
+}
+
+// retryAfterJitter renders a Retry-After header value of at least min
+// seconds with up to spread extra seconds of jitter, so a shed client
+// herd does not reconverge on the same instant.
+func retryAfterJitter(min time.Duration, spread int) string {
+	secs := int(min / time.Second)
+	if min%time.Second != 0 || secs < 1 {
+		secs++
+	}
+	if spread > 0 {
+		secs += rand.Intn(spread + 1)
+	}
+	return strconv.Itoa(secs)
+}
+
+// jobsUnavailable writes the 503 for an endpoint that needs the manager
+// when it is not (yet, or at all) available. Returns true if it wrote.
+func (s *Server) jobsUnavailable(w http.ResponseWriter) bool {
+	if s.cfg.DataDir == "" {
+		writeError(w, http.StatusNotImplemented, "async jobs disabled: server started without -data-dir", "jobs-disabled")
+		return true
+	}
+	if s.recovering.Load() {
+		w.Header().Set("Retry-After", retryAfterJitter(time.Second, 2))
+		writeError(w, http.StatusServiceUnavailable, "journal recovery in progress", "recovering")
+		return true
+	}
+	if _, err := s.jobsManager(); err != nil {
+		s.metrics.serverErrors.Add(1)
+		writeError(w, http.StatusInternalServerError, fmt.Sprintf("job manager failed to open: %v", err), "jobs-init-failed")
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.jobSubmits.Add(1)
+	if s.jobsUnavailable(w) {
+		return
+	}
+	if s.draining.Load() {
+		s.metrics.rejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
+		return
+	}
+	var req ProveRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	// Validate before journaling: a request that could never prove gets
+	// its 400 now instead of an accepted job that fails permanently.
+	if _, _, err := s.requestSetup(req.Circuit, req.N, req.Reps, req.TimeoutMS); err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		s.writeTaxonomyError(w, zkerr.Internalf("encode job payload: %v", err))
+		return
+	}
+	mgr, _ := s.jobsManager()
+	id, err := mgr.Submit(jobs.Spec{Payload: payload})
+	switch {
+	case errors.Is(err, jobs.ErrBreakerOpen):
+		s.metrics.jobShedBreaker.Add(1)
+		_, remaining := mgr.BreakerState()
+		w.Header().Set("Retry-After", retryAfterJitter(remaining, 2))
+		writeError(w, http.StatusServiceUnavailable, "proving backend circuit breaker is open", "breaker-open")
+		return
+	case errors.Is(err, jobs.ErrQueueFull):
+		s.metrics.rejectedQueueFull.Add(1)
+		w.Header().Set("Retry-After", retryAfterJitter(time.Second, 2))
+		writeError(w, http.StatusTooManyRequests, "job queue is full", "queue-full")
+		return
+	case errors.Is(err, jobs.ErrClosed):
+		s.metrics.rejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
+		return
+	case err != nil:
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	w.Header().Set("Location", "/jobs/"+id)
+	resp := JobResponse{ID: id, State: string(jobs.StateAccepted)}
+	if info, err := mgr.Get(id); err == nil {
+		resp.State = string(info.State)
+		resp.Attempts = info.Attempts
+		resp.MaxAttempts = info.MaxAttempts
+	}
+	writeJSON(w, http.StatusAccepted, resp)
+}
+
+func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnavailable(w) {
+		return
+	}
+	mgr, _ := s.jobsManager()
+	info, err := mgr.Get(r.PathValue("id"))
+	if errors.Is(err, jobs.ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, err.Error(), "unknown-job")
+		return
+	}
+	resp := JobResponse{
+		ID:          info.ID,
+		State:       string(info.State),
+		Attempts:    info.Attempts,
+		MaxAttempts: info.MaxAttempts,
+		Recovered:   info.Recovered,
+		Error:       info.Error,
+		Code:        info.Code,
+		ProofBytes:  info.ProofBytes,
+		Stats:       info.Stats,
+	}
+	if info.State == jobs.StateDone {
+		proof, perr := mgr.Proof(info.ID)
+		if perr != nil {
+			s.writeTaxonomyError(w, perr)
+			return
+		}
+		resp.ProofB64 = base64.StdEncoding.EncodeToString(proof)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
+	if s.jobsUnavailable(w) {
+		return
+	}
+	mgr, _ := s.jobsManager()
+	id := r.PathValue("id")
+	err := mgr.Cancel(id)
+	switch {
+	case errors.Is(err, jobs.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, err.Error(), "unknown-job")
+		return
+	case errors.Is(err, jobs.ErrTerminal):
+		writeError(w, http.StatusConflict, err.Error(), "terminal")
+		return
+	case err != nil:
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	s.metrics.jobCancels.Add(1)
+	info, _ := mgr.Get(id)
+	writeJSON(w, http.StatusAccepted, JobResponse{ID: id, State: string(info.State), Attempts: info.Attempts})
+}
+
+// handleReadyz is the readiness probe: 200 only when the server should
+// receive traffic. Unlike /healthz (liveness: "the process is up"),
+// readiness goes false during graceful drain, while journal recovery is
+// still replaying, and while the proving backend's circuit breaker is
+// open — a load balancer should route around all three.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining", "code": "draining"})
+		return
+	}
+	if s.cfg.DataDir != "" {
+		if s.recovering.Load() {
+			w.Header().Set("Retry-After", retryAfterJitter(time.Second, 2))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "recovering", "code": "recovering"})
+			return
+		}
+		mgr, err := s.jobsManager()
+		if err != nil {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "jobs-init-failed", "code": "jobs-init-failed", "error": err.Error()})
+			return
+		}
+		if st, remaining := mgr.BreakerState(); st == jobs.BreakerOpen {
+			w.Header().Set("Retry-After", retryAfterJitter(remaining, 2))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "breaker-open", "code": "breaker-open"})
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
+}
+
+// JobsRecovering reports whether journal recovery is still running
+// (test hook).
+func (s *Server) JobsRecovering() bool { return s.recovering.Load() }
+
+// JobsMetrics snapshots the job manager's counters, or a zero snapshot
+// when jobs are disabled or still recovering (test hook).
+func (s *Server) JobsMetrics() jobs.Metrics {
+	if mgr, err := s.jobsManager(); err == nil && mgr != nil {
+		return mgr.Metrics()
+	}
+	return jobs.Metrics{}
+}
+
+// renderJobsMetrics appends the job/journal/breaker gauge set to the
+// Prometheus text exposition.
+func (s *Server) renderJobsMetrics(counter, gauge func(name, help string, v int64)) {
+	if s.cfg.DataDir == "" {
+		return
+	}
+	recovering := int64(0)
+	if s.recovering.Load() {
+		recovering = 1
+	}
+	gauge("nocap_jobs_recovering", "1 while journal recovery is replaying", recovering)
+	mgr, err := s.jobsManager()
+	if err != nil || mgr == nil {
+		return
+	}
+	m := mgr.Metrics()
+	counter("nocap_jobs_accepted_total", "jobs durably accepted", m.Accepted)
+	counter("nocap_jobs_done_total", "jobs completed with a proof", m.Done)
+	counter("nocap_jobs_failed_total", "jobs terminally failed", m.Failed)
+	counter("nocap_jobs_cancelled_total", "jobs cancelled", m.Cancelled)
+	counter("nocap_jobs_retries_total", "attempt retries scheduled", m.Retries)
+	counter("nocap_jobs_recovered_total", "jobs re-enqueued by crash recovery", m.RecoveredJobs)
+	counter("nocap_jobs_torn_records_total", "torn journal records dropped at recovery", m.TornRecords)
+	counter("nocap_jobs_journal_append_errors_total", "journal append failures", m.JournalAppendErrors)
+	counter("nocap_jobs_breaker_trips_total", "circuit breaker trips", m.BreakerTrips)
+	gauge("nocap_jobs_active", "jobs in a non-terminal state", m.Active)
+	gauge("nocap_jobs_journal_records", "records in the journal", m.JournalRecords)
+	gauge("nocap_jobs_journal_bytes", "journal size in bytes", m.JournalBytes)
+	gauge("nocap_jobs_breaker_state", "breaker state (0 closed, 1 open, 2 half-open)", int64(m.BreakerState))
+}

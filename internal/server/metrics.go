@@ -26,6 +26,9 @@ type metrics struct {
 	queueWaitNs       atomic.Int64
 	proveNs           atomic.Int64
 	verifyNs          atomic.Int64
+	jobSubmits        atomic.Int64
+	jobShedBreaker    atomic.Int64
+	jobCancels        atomic.Int64
 }
 
 // MetricsSnapshot is the server-counter part of /metrics, for tests and
@@ -82,6 +85,11 @@ func (s *Server) renderMetrics() string {
 	counter("nocap_queue_wait_ns_total", "nanoseconds requests spent queued (sum)", m.queueWaitNs.Load())
 	counter("nocap_prove_ns_total", "nanoseconds spent proving (sum over completed proves)", m.proveNs.Load())
 	counter("nocap_verify_ns_total", "nanoseconds spent verifying (sum over completed verifies)", m.verifyNs.Load())
+
+	counter("nocap_job_submits_total", "POST /jobs requests received", m.jobSubmits.Load())
+	counter("nocap_job_shed_breaker_total", "job submissions shed while the breaker was open", m.jobShedBreaker.Load())
+	counter("nocap_job_cancels_total", "jobs cancelled via DELETE /jobs", m.jobCancels.Load())
+	s.renderJobsMetrics(counter, gauge)
 
 	gauge("nocap_queue_depth", "requests admitted and waiting for a worker", int64(len(s.jobs)))
 	gauge("nocap_queue_capacity", "admission queue bound", int64(cap(s.jobs)))

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"nocap"
+	"nocap/internal/jobs"
 	"nocap/internal/zkerr"
 )
 
@@ -66,6 +67,24 @@ type Config struct {
 	// Params are the proving parameters (Reps is overridden per request
 	// when the request sets reps). Default nocap.DefaultParams().
 	Params nocap.Params
+
+	// DataDir enables the durable async job API (POST/GET/DELETE /jobs):
+	// the job journal and proof payloads live here and survive restarts.
+	// Empty disables the endpoints.
+	DataDir string
+	// JobWorkers / JobMaxPending / JobMaxAttempts / JobBackoffBase /
+	// JobBackoffMax / JobBreakerThreshold / JobBreakerCooldown tune the
+	// job manager; zero values take the jobs package defaults.
+	JobWorkers          int
+	JobMaxPending       int
+	JobMaxAttempts      int
+	JobBackoffBase      time.Duration
+	JobBackoffMax       time.Duration
+	JobBreakerThreshold int
+	JobBreakerCooldown  time.Duration
+	// JobsExec overrides the proving executor for async jobs (test hook;
+	// nil means the real ProveCtx pipeline).
+	JobsExec jobs.Exec
 }
 
 // Normalize fills zero fields with defaults.
@@ -137,6 +156,13 @@ type Server struct {
 	workerWG sync.WaitGroup
 	quit     chan struct{}
 
+	// Async job state: the manager opens in the background (journal
+	// replay can be slow) and recovering stays true until it is usable.
+	jobsMu     sync.Mutex
+	jobsMgr    *jobs.Manager
+	jobsErr    error
+	recovering atomic.Bool
+
 	listenerMu sync.Mutex
 	listener   net.Listener
 }
@@ -154,7 +180,11 @@ func New(cfg Config) *Server {
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /prove", s.handleProve)
 	s.mux.HandleFunc("POST /verify", s.handleVerify)
+	s.mux.HandleFunc("POST /jobs", s.handleJobCreate)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.http = &http.Server{
 		Addr:    cfg.Addr,
@@ -169,6 +199,10 @@ func New(cfg Config) *Server {
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
 		go s.worker()
+	}
+	if cfg.DataDir != "" {
+		s.recovering.Store(true)
+		go s.openJobs()
 	}
 	return s
 }
@@ -213,6 +247,17 @@ func (s *Server) Serve() error {
 // handlers still write complete (error) responses before exiting.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	// Stop the job manager first: it quits dispatching onto the worker
+	// pool and cancels in-flight attempts WITHOUT journaling terminal
+	// states, so interrupted jobs replay on the next start exactly as
+	// after a crash. Wait out a still-running recovery so the journal is
+	// closed cleanly when possible.
+	for s.cfg.DataDir != "" && s.recovering.Load() && ctx.Err() == nil {
+		time.Sleep(2 * time.Millisecond)
+	}
+	if mgr, _ := s.jobsManager(); mgr != nil {
+		_ = mgr.Close(ctx)
+	}
 	err := s.http.Shutdown(ctx)
 	if err != nil {
 		// Drain deadline hit: cancel all request contexts and collect the
@@ -255,7 +300,7 @@ func (s *Server) admit(w http.ResponseWriter, run func()) bool {
 	case s.jobs <- j:
 	default:
 		s.metrics.rejectedQueueFull.Add(1)
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", retryAfterJitter(time.Second, 2))
 		writeError(w, http.StatusTooManyRequests, "admission queue is full", "queue-full")
 		return false
 	}
@@ -582,15 +627,19 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleHealthz is the liveness probe: it answers 200 for as long as
+// the process can serve HTTP at all — including during graceful drain,
+// when the orchestrator must NOT restart the process (that would kill
+// the drain). Whether traffic should be routed here is /readyz's
+// question, not this one's.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	status := "ok"
-	code := http.StatusOK
 	if s.draining.Load() {
 		status = "draining"
-		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{
+	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         status,
+		"draining":       s.draining.Load(),
 		"workers":        s.cfg.Workers,
 		"queue_depth":    len(s.jobs),
 		"queue_capacity": cap(s.jobs),

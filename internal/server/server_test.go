@@ -410,6 +410,26 @@ func TestGracefulDrain(t *testing.T) {
 		t.Errorf("drain refusal not typed: %s", rec.Body.String())
 	}
 
+	// Probe ordering during the drain: liveness stays green (the process
+	// is healthy and must not be restarted mid-drain) while readiness
+	// goes red (no new traffic should be routed here).
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/healthz", nil))
+	if rec.Code != http.StatusOK {
+		t.Errorf("healthz during drain: status %d, want 200 (liveness)", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"draining":true`) {
+		t.Errorf("healthz during drain missing draining flag: %s", rec.Body.String())
+	}
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/readyz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("readyz during drain: status %d, want 503 (readiness)", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), `"code":"draining"`) {
+		t.Errorf("readyz during drain not typed: %s", rec.Body.String())
+	}
+
 	// The in-flight prove completes with a full, valid response.
 	res := <-inflight
 	if res.status != http.StatusOK {

@@ -37,6 +37,20 @@ import (
 	"nocap/internal/zkerr"
 )
 
+// Registered fault-injection points at the prover's and verifier's
+// stage boundaries (chaos tests arm them by these names).
+var (
+	fiProveAssemble     = faultinject.Register("spartan.prove.assemble")
+	fiProveSpMV         = faultinject.Register("spartan.prove.spmv")
+	fiProveCommit       = faultinject.Register("spartan.prove.commit")
+	fiProveOuter        = faultinject.Register("spartan.prove.outer")
+	fiProveInner        = faultinject.Register("spartan.prove.inner")
+	fiProveOpen         = faultinject.Register("spartan.prove.open")
+	fiVerifyRep         = faultinject.Register("spartan.verify.rep")
+	fiVerifyMatrixEvals = faultinject.Register("spartan.verify.matrixevals")
+	fiVerifyOpening     = faultinject.Register("spartan.verify.opening")
+)
+
 // Params configures the SNARK.
 type Params struct {
 	// PCS configures the Orion commitment (rows, code, proximity, ZK).
@@ -194,7 +208,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	if len(witness) != half {
 		return nil, fmt.Errorf("spartan: witness length %d, want %d", len(witness), half)
 	}
-	if err := checkpoint(ctx, "spartan.prove.assemble"); err != nil {
+	if err := checkpoint(ctx, fiProveAssemble); err != nil {
 		return nil, err
 	}
 	z := arena.GetUninitCtx(ctx, inst.NumVars())
@@ -211,7 +225,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	// DP arrays. With recomputation on, products are re-derived on demand
 	// instead. The transcript is untouched here, so running this stage
 	// before the commitment leaves proof bytes unchanged.
-	if err := checkpoint(ctx, "spartan.prove.spmv"); err != nil {
+	if err := checkpoint(ctx, fiProveSpMV); err != nil {
 		return nil, err
 	}
 	numCons := inst.NumConstraints()
@@ -248,7 +262,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	}
 
 	// 1. Commit to the witness.
-	if err := checkpoint(ctx, "spartan.prove.commit"); err != nil {
+	if err := checkpoint(ctx, fiProveCommit); err != nil {
 		return nil, err
 	}
 	pcsParams := params.effective(half)
@@ -272,7 +286,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 			tau := tr.Challenges(lbl+"/tau", logM)
 
 			// Outer sumcheck over x ∈ {0,1}^logM.
-			if err := checkpoint(ctx, "spartan.prove.outer"); err != nil {
+			if err := checkpoint(ctx, fiProveOuter); err != nil {
 				return RepProof{}, nil, err
 			}
 			var outer *sumcheck.Proof
@@ -325,7 +339,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 
 			// Build M(y) = Σ_i eq(rx,i)·(rA·A[i,y]+rB·B[i,y]+rC·C[i,y]):
 			// three transpose SpMVs accumulating into zeroed scratch.
-			if err := checkpoint(ctx, "spartan.prove.inner"); err != nil {
+			if err := checkpoint(ctx, fiProveInner); err != nil {
 				return RepProof{}, nil, err
 			}
 			eqRx := arena.GetUninitCtx(ctx, 1<<len(rx))
@@ -361,7 +375,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	}
 
 	// 2. One shared Orion opening for all repetitions' w̃ evaluations.
-	if err := checkpoint(ctx, "spartan.prove.open"); err != nil {
+	if err := checkpoint(ctx, fiProveOpen); err != nil {
 		return nil, err
 	}
 	opening, wEvals, err := st.OpenCtx(ctx, tr, openPoints)
@@ -422,7 +436,7 @@ func VerifyCtx(ctx context.Context, params Params, inst *r1cs.Instance, io []fie
 	openPoints := make([][]field.Element, params.Reps)
 
 	for rep := 0; rep < params.Reps; rep++ {
-		if err := checkpoint(ctx, "spartan.verify.rep"); err != nil {
+		if err := checkpoint(ctx, fiVerifyRep); err != nil {
 			return err
 		}
 		lbl := fmt.Sprintf("rep%d", rep)
@@ -451,7 +465,7 @@ func VerifyCtx(ctx context.Context, params Params, inst *r1cs.Instance, io []fie
 		}
 
 		// Final inner check: M̃(ry)·z̃(ry).
-		if err := checkpoint(ctx, "spartan.verify.matrixevals"); err != nil {
+		if err := checkpoint(ctx, fiVerifyMatrixEvals); err != nil {
 			return err
 		}
 		va2, vb2, vc2 := inst.MatrixEvals(rx, ry)
@@ -468,7 +482,7 @@ func VerifyCtx(ctx context.Context, params Params, inst *r1cs.Instance, io []fie
 	}
 
 	// Check the shared Orion opening of w̃ at all repetition points.
-	if err := checkpoint(ctx, "spartan.verify.opening"); err != nil {
+	if err := checkpoint(ctx, fiVerifyOpening); err != nil {
 		return err
 	}
 	if err := pcs.VerifyCtx(ctx, pcsParams, proof.Commitment, tr, openPoints, proof.WEvals, proof.Opening); err != nil {

@@ -10,6 +10,10 @@ import (
 	"nocap/internal/transcript"
 )
 
+// fiStreamedRound is the registered fault-injection point at the
+// streamed prover's round boundary (chaos tests arm it by this name).
+var fiStreamedRound = faultinject.Register("sumcheck.streamed.round")
+
 // Source produces the original (round-0) value of oracle array k at
 // hypercube index idx. ProveStreamed re-reads sources instead of storing
 // folded DP arrays.
@@ -107,7 +111,7 @@ func ProveStreamedCtx(ctx context.Context, tr *transcript.Transcript, label stri
 		if err := ctx.Err(); err != nil {
 			return nil, nil, nil, err
 		}
-		if err := faultinject.Check("sumcheck.streamed.round"); err != nil {
+		if err := faultinject.Check(fiStreamedRound); err != nil {
 			return nil, nil, nil, err
 		}
 		if scratch == nil && size <= materializeBelow {

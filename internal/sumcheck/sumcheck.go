@@ -27,6 +27,13 @@ import (
 	"nocap/internal/zkerr"
 )
 
+// Registered fault-injection points at the round boundary and inside
+// the round-evaluation workers (chaos tests arm them by these names).
+var (
+	fiProveRound  = faultinject.Register("sumcheck.prove.round")
+	fiRoundWorker = faultinject.Register("sumcheck.round.worker")
+)
+
 // Combiner combines the values of the oracle MLEs at one point into the
 // summand. For Spartan's outer sumcheck it is eq·(a·b−c); for the inner,
 // m·z.
@@ -106,7 +113,7 @@ func ProveCtx(ctx context.Context, tr *transcript.Transcript, label string, clai
 		if err := ctx.Err(); err != nil {
 			return nil, nil, nil, err
 		}
-		if err := faultinject.Check("sumcheck.prove.round"); err != nil {
+		if err := faultinject.Check(fiProveRound); err != nil {
 			return nil, nil, nil, err
 		}
 		half := mles[0].Len() / 2
@@ -172,7 +179,7 @@ func roundEvals(ctx context.Context, mles []*poly.MLE, half, degree int, combine
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			defer rec.Recover(lo, hi)
-			if err := faultinject.Check("sumcheck.round.worker"); err != nil {
+			if err := faultinject.Check(fiRoundWorker); err != nil {
 				errMu.Lock()
 				if workerErr == nil {
 					workerErr = err

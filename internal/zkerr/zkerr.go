@@ -147,6 +147,39 @@ func ExitCode(err error) int {
 // InTaxonomy reports whether err maps to a defined sentinel.
 func InTaxonomy(err error) bool { return Code(err) != "" }
 
+// Retryable classifies a failed proving attempt for a retrying job
+// layer (DESIGN.md §11):
+//
+//   - ErrInternal — including recovered panics, which RecoverTo wraps in
+//     ErrInternal — is a fault in the machinery, not the input; the same
+//     job may well succeed on a healthy retry.
+//   - context.DeadlineExceeded is a time budget the attempt exhausted;
+//     a later attempt under less load may fit.
+//   - Untyped errors (I/O failures around the prover, for example) are
+//     treated as transient: the retry budget bounds the damage of a
+//     wrong guess, while the reverse mistake — permanently failing a
+//     job over a transient disk hiccup — loses work.
+//
+// Everything deterministic about the input is permanent: malformed or
+// inconsistent bytes, soundness rejections, resource-limit refusals,
+// usage errors, and explicit cancellation (context.Canceled) — retrying
+// any of these reproduces the same outcome at full proving cost.
+func Retryable(err error) bool {
+	switch {
+	case err == nil:
+		return false
+	case errors.Is(err, context.DeadlineExceeded):
+		return true
+	case errors.Is(err, context.Canceled):
+		return false
+	}
+	switch Code(err) {
+	case "internal", "":
+		return true
+	}
+	return false
+}
+
 // RecoverTo is the panic-containment hook for the trust boundary: deferred
 // at the top of Verify/UnmarshalProof (and Prove), it converts any panic —
 // including worker panics re-raised by internal/par — into an ErrInternal

@@ -1,6 +1,7 @@
 package zkerr
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -120,5 +121,43 @@ func TestRecoverToNoPanicIsNoop(t *testing.T) {
 	}
 	if err := run(); err != nil {
 		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestRetryable pins the retry classification the durable job layer
+// builds on: internal faults (including recovered panics) and deadline
+// expiry are transient; everything caused by the input, plus explicit
+// cancellation, is permanent.
+func TestRetryable(t *testing.T) {
+	panicErr := func() (err error) {
+		defer RecoverTo(&err, "test")
+		panic("boom")
+	}()
+	if panicErr == nil {
+		t.Fatal("RecoverTo did not capture the panic")
+	}
+	cases := []struct {
+		name string
+		err  error
+		want bool
+	}{
+		{"nil", nil, false},
+		{"internal", Internalf("invariant violated"), true},
+		{"panic-recovered", panicErr, true},
+		{"deadline", context.DeadlineExceeded, true},
+		{"wrapped-deadline", fmt.Errorf("prove: %w", context.DeadlineExceeded), true},
+		{"untyped", errors.New("disk on fire"), true},
+		{"canceled", context.Canceled, false},
+		{"wrapped-canceled", fmt.Errorf("prove: %w", context.Canceled), false},
+		{"malformed", Malformedf("bad frame"), false},
+		{"bad-commitment", BadCommitmentf("geometry"), false},
+		{"soundness", Soundnessf("rejected"), false},
+		{"resource", Resourcef("too big"), false},
+		{"usage", Usagef("bad flag"), false},
+	}
+	for _, tc := range cases {
+		if got := Retryable(tc.err); got != tc.want {
+			t.Errorf("Retryable(%s) = %v, want %v", tc.name, got, tc.want)
+		}
 	}
 }
