@@ -155,6 +155,9 @@ func (h *harness) submitJob(kind string, n int) (string, bool) {
 }
 
 // pollJob polls GET /jobs/{id} until the job reaches a terminal state.
+// Status polls must come back payload-free (that contract is asserted
+// here on every poll); once done, the proof is fetched with ?proof=1
+// and the full response returned.
 func (h *harness) pollJob(id string, budget time.Duration) (server.JobResponse, error) {
 	deadline := time.Now().Add(budget)
 	for {
@@ -169,7 +172,23 @@ func (h *harness) pollJob(id string, budget time.Duration) (server.JobResponse, 
 		if err := json.Unmarshal(data, &jr); err != nil {
 			return server.JobResponse{}, fmt.Errorf("poll %s: %w", id, err)
 		}
+		if jr.ProofB64 != "" {
+			return server.JobResponse{}, fmt.Errorf("poll %s: status poll carried the proof payload", id)
+		}
 		if jobs.State(jr.State).Terminal() {
+			if jr.State != string(jobs.StateDone) {
+				return jr, nil
+			}
+			resp, data, err = h.get("/jobs/" + id + "?proof=1")
+			if err != nil {
+				return server.JobResponse{}, err
+			}
+			if resp.StatusCode != http.StatusOK {
+				return server.JobResponse{}, fmt.Errorf("fetch proof %s: status %d: %.120s", id, resp.StatusCode, data)
+			}
+			if err := json.Unmarshal(data, &jr); err != nil {
+				return server.JobResponse{}, fmt.Errorf("fetch proof %s: %w", id, err)
+			}
 			return jr, nil
 		}
 		if time.Now().After(deadline) {

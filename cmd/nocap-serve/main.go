@@ -13,7 +13,8 @@
 //	POST   /prove     {"circuit":"synthetic","n":1024,"reps":1}
 //	POST   /verify    {"circuit":"synthetic","n":1024,"proof_b64":"..."}
 //	POST   /jobs      async prove (requires -data-dir) → 202 + job id
-//	GET    /jobs/{id} poll a job; proof + stats once done
+//	GET    /jobs/{id} poll a job; stats + proof size once done, the
+//	                  proof payload itself only with ?proof=1
 //	DELETE /jobs/{id} cancel a job
 //	GET    /healthz   liveness: 200 whenever the process is up
 //	GET    /readyz    readiness: 503 while recovering, draining, or the

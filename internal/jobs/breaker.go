@@ -89,21 +89,34 @@ func (b *breaker) AllowSubmit() (bool, time.Duration) {
 
 // AllowAttempt reports whether a proving attempt may start now. In
 // half-open state only one probe is admitted at a time; everything else
-// waits for its verdict.
-func (b *breaker) AllowAttempt() bool {
+// waits for its verdict. probe reports whether this grant holds that
+// probe slot: a granted attempt that never reaches Success or Failure
+// (shed by the gate, job already terminal, manager closing) must hand
+// the slot back via abandonProbe — otherwise the breaker sits half-open
+// with its only probe leaked and no attempt ever runs again.
+func (b *breaker) AllowAttempt() (ok, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.stateLocked() {
 	case BreakerClosed:
-		return true
+		return true, false
 	case BreakerHalfOpen:
 		if b.probing {
-			return false
+			return false, false
 		}
 		b.probing = true
-		return true
+		return true, true
 	}
-	return false
+	return false, false
+}
+
+// abandonProbe returns a granted half-open probe slot without recording
+// a verdict: the attempt never actually ran, so backend health is still
+// unknown and the next dispatch may claim the probe.
+func (b *breaker) abandonProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
 }
 
 // Success records a completed attempt: any success proves the backend

@@ -162,11 +162,15 @@ func (c Config) withDefaults() (Config, error) {
 // JobInfo is the externally visible snapshot of one job; its JSON form
 // is what GET /jobs/{id} returns.
 type JobInfo struct {
-	ID          string          `json:"id"`
-	State       State           `json:"state"`
-	Attempts    int             `json:"attempts"`
-	MaxAttempts int             `json:"max_attempts"`
-	Recovered   bool            `json:"recovered,omitempty"`
+	ID          string `json:"id"`
+	State       State  `json:"state"`
+	Attempts    int    `json:"attempts"`
+	MaxAttempts int    `json:"max_attempts"`
+	Recovered   bool   `json:"recovered,omitempty"`
+	// JournalLost marks a terminal state that could not be journaled
+	// (persistent append failure): the state shown here is not durable,
+	// and a restart will replay the job from its last durable record.
+	JournalLost bool            `json:"journal_lost,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Code        string          `json:"code,omitempty"`
 	ProofBytes  int             `json:"proof_bytes,omitempty"`
@@ -186,6 +190,7 @@ type Metrics struct {
 	JournalRecords      int64
 	JournalBytes        int64
 	JournalAppendErrors int64
+	JournalLostJobs     int64
 	BreakerState        BreakerState
 	BreakerTrips        int64
 }
@@ -200,6 +205,7 @@ type jobRec struct {
 	lastCode        string
 	recovered       bool
 	cancelRequested bool
+	journalLost     bool
 	proofFile       string
 	proofBytes      int
 	stats           json.RawMessage
@@ -217,6 +223,7 @@ func (j *jobRec) info(maxAttempts int) JobInfo {
 		Attempts:    j.attempt,
 		MaxAttempts: maxAttempts,
 		Recovered:   j.recovered,
+		JournalLost: j.journalLost,
 		Error:       j.lastErr,
 		Code:        j.lastCode,
 		ProofBytes:  j.proofBytes,
@@ -253,6 +260,7 @@ type Manager struct {
 	recovered   int64
 	torn        int64
 	journalErrs int64
+	journalLost int64
 }
 
 // Open opens (creating if absent) the data directory, replays the
@@ -532,6 +540,7 @@ func (m *Manager) Metrics() Metrics {
 		JournalRecords:      m.journal.records,
 		JournalBytes:        m.journal.bytes,
 		JournalAppendErrors: m.journalErrs,
+		JournalLostJobs:     m.journalLost,
 		BreakerState:        m.breaker.State(),
 		BreakerTrips:        m.breaker.Trips(),
 	}
@@ -628,7 +637,8 @@ func (m *Manager) worker() {
 }
 
 func (m *Manager) dispatch(j *jobRec) {
-	if !m.breaker.AllowAttempt() {
+	ok, probe := m.breaker.AllowAttempt()
+	if !ok {
 		d := m.cfg.BreakerCooldown / 4
 		if d < 10*time.Millisecond {
 			d = 10 * time.Millisecond
@@ -640,29 +650,38 @@ func (m *Manager) dispatch(j *jobRec) {
 		return
 	}
 	if m.cfg.Gate != nil {
-		if err := m.cfg.Gate(m.baseCtx, func() { m.runAttempt(j) }); err != nil {
+		if err := m.cfg.Gate(m.baseCtx, func() { m.runAttempt(j, probe) }); err != nil {
 			// The external pool shed us without running the attempt: no
-			// budget consumed, try again shortly.
+			// budget consumed, the probe slot (if held) goes back, try
+			// again shortly.
+			if probe {
+				m.breaker.abandonProbe()
+			}
 			m.requeueAfter(j, 50*time.Millisecond)
 		}
 		return
 	}
-	m.runAttempt(j)
+	m.runAttempt(j, probe)
 }
 
 // runAttempt executes one attempt: journal running (fsync'd), run Exec
-// under panic containment, then classify the outcome.
-func (m *Manager) runAttempt(j *jobRec) {
+// under panic containment, then classify the outcome. probe says the
+// breaker grant holds the half-open probe slot; every exit must either
+// reach a Success/Failure verdict or abandon the probe.
+func (m *Manager) runAttempt(j *jobRec, probe bool) {
 	m.mu.Lock()
 	if m.closing || j.terminal() || j.state == StateRunning {
 		m.mu.Unlock()
+		if probe {
+			m.breaker.abandonProbe()
+		}
 		return
 	}
 	j.attempt++
 	if err := m.journal.append(record{Job: j.id, State: recRunning, Attempt: j.attempt}); err != nil {
 		m.journalErrs++
 		m.mu.Unlock()
-		m.finishAttempt(j, Result{}, err)
+		m.finishAttempt(j, Result{}, err, probe)
 		return
 	}
 	ctx, cancel := context.WithCancel(m.baseCtx)
@@ -674,7 +693,7 @@ func (m *Manager) runAttempt(j *jobRec) {
 	m.mu.Unlock()
 	res, err := m.exec(ctx, j.spec)
 	cancel()
-	m.finishAttempt(j, res, err)
+	m.finishAttempt(j, res, err, probe)
 }
 
 // exec is the panic-containment boundary around the caller's Exec.
@@ -689,7 +708,10 @@ func (m *Manager) exec(ctx context.Context, spec Spec) (res Result, err error) {
 // finishAttempt classifies an attempt's outcome and journals the
 // resulting transition. The proof file is written (atomically) before
 // the done record, so a done record always points at a complete proof.
-func (m *Manager) finishAttempt(j *jobRec, res Result, err error) {
+// probe, when true, is released by whichever breaker verdict
+// (Success/Failure) this attempt reaches, or abandoned on the paths
+// that reach neither.
+func (m *Manager) finishAttempt(j *jobRec, res Result, err error, probe bool) {
 	var proofFile string
 	if err == nil {
 		proofFile = filepath.Join(m.cfg.Dir, proofsDirName, j.id+".bin")
@@ -701,6 +723,9 @@ func (m *Manager) finishAttempt(j *jobRec, res Result, err error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if j.terminal() {
+		if probe {
+			m.breaker.abandonProbe()
+		}
 		return
 	}
 	j.cancel = nil
@@ -711,6 +736,9 @@ func (m *Manager) finishAttempt(j *jobRec, res Result, err error) {
 		// running record, exactly as after a crash.
 		j.attempt--
 		j.state = StateAccepted
+		if probe {
+			m.breaker.abandonProbe()
+		}
 		return
 	}
 
@@ -720,12 +748,10 @@ func (m *Manager) finishAttempt(j *jobRec, res Result, err error) {
 		j.proofBytes = len(res.Proof)
 		j.stats = res.Stats
 		j.lastErr, j.lastCode = "", ""
-		if jerr := m.journal.append(record{
+		m.appendTerminalLocked(j, record{
 			Job: j.id, State: recDone, Attempt: j.attempt,
 			ProofFile: proofFile, ProofBytes: j.proofBytes, Stats: res.Stats,
-		}); jerr != nil {
-			m.journalErrs++
-		}
+		})
 		m.markTerminalLocked(j, StateDone)
 		return
 	}
@@ -765,10 +791,32 @@ func (m *Manager) terminalizeLocked(j *jobRec, st State, msg, code string) {
 	if st == StateCancelled {
 		rs = recCancelled
 	}
-	if err := m.journal.append(record{Job: j.id, State: rs, Attempt: j.attempt, Error: msg, Code: code}); err != nil {
-		m.journalErrs++
-	}
+	m.appendTerminalLocked(j, record{Job: j.id, State: rs, Attempt: j.attempt, Error: msg, Code: code})
 	m.markTerminalLocked(j, st)
+}
+
+// appendTerminalLocked journals a terminal record, retrying once so a
+// transient fsync hiccup cannot split the durable and in-memory views.
+// If both tries fail the job is marked journalLost: its terminal state
+// is observable now but not journaled, so a restart will replay it from
+// its previous record and re-run it — a done job re-proves (benign, the
+// proof file is rewritten atomically), but a failed/cancelled job can
+// resurrect with a different outcome. GET surfaces journal_lost so
+// clients and operators can see exactly which jobs carry that hazard,
+// and the journal-lost counter makes a dying data disk alertable.
+// Caller holds m.mu.
+func (m *Manager) appendTerminalLocked(j *jobRec, r record) {
+	err := m.journal.append(r)
+	if err != nil {
+		m.journalErrs++
+		if err = m.journal.append(r); err != nil {
+			m.journalErrs++
+		}
+	}
+	if err != nil {
+		j.journalLost = true
+		m.journalLost++
+	}
 }
 
 // markTerminalLocked applies the in-memory side of a terminal

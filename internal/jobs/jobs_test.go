@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"nocap/internal/faultinject"
 	"nocap/internal/leakcheck"
 	"nocap/internal/zkerr"
 )
@@ -441,10 +442,11 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	if b.State() != BreakerHalfOpen {
 		t.Fatalf("state %s, want half-open", b.State())
 	}
-	if !b.AllowAttempt() {
-		t.Fatal("half-open refused the probe")
+	ok, probe := b.AllowAttempt()
+	if !ok || !probe {
+		t.Fatalf("half-open AllowAttempt = (%v, %v), want granted probe", ok, probe)
 	}
-	if b.AllowAttempt() {
+	if ok, _ := b.AllowAttempt(); ok {
 		t.Fatal("half-open admitted a second concurrent probe")
 	}
 	b.Failure(true)
@@ -453,6 +455,98 @@ func TestBreakerHalfOpenProbeFailureReopens(t *testing.T) {
 	}
 	if b.Trips() != 2 {
 		t.Fatalf("trips %d, want 2", b.Trips())
+	}
+}
+
+// TestBreakerAbandonedProbeReleasesSlot pins the fix for the half-open
+// wedge: a granted probe that never runs (the gate shed it, or the job
+// turned out to be terminal) must return its slot, or AllowAttempt
+// refuses every attempt forever while submissions keep being accepted.
+func TestBreakerAbandonedProbeReleasesSlot(t *testing.T) {
+	b := newBreaker(1, time.Minute, nil)
+	b.Failure(true)
+	b.mu.Lock()
+	b.openedAt = b.openedAt.Add(-2 * time.Minute)
+	b.mu.Unlock()
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state %s, want half-open", b.State())
+	}
+	ok, probe := b.AllowAttempt()
+	if !ok || !probe {
+		t.Fatalf("AllowAttempt = (%v, %v), want granted probe", ok, probe)
+	}
+	if ok, _ := b.AllowAttempt(); ok {
+		t.Fatal("second probe admitted while the first is outstanding")
+	}
+	b.abandonProbe()
+	ok, probe = b.AllowAttempt()
+	if !ok || !probe {
+		t.Fatalf("AllowAttempt after abandon = (%v, %v), want the slot back", ok, probe)
+	}
+	b.Success()
+	if b.State() != BreakerClosed {
+		t.Fatalf("state %s after successful probe, want closed", b.State())
+	}
+	// In closed state attempts are granted without holding the probe, so
+	// abandoning them must be a no-op for admission.
+	if ok, probe := b.AllowAttempt(); !ok || probe {
+		t.Fatalf("closed AllowAttempt = (%v, %v), want granted non-probe", ok, probe)
+	}
+}
+
+// TestHalfOpenProbeShedByGateDoesNotWedge is the manager-level wedge
+// regression: with the breaker half-open, the gate sheds the granted
+// probe attempt (external pool full). The probe slot must come back so
+// a later dispatch can run the probe — before the fix, probing stayed
+// true forever and every job stalled until restart while submissions
+// kept being accepted.
+func TestHalfOpenProbeShedByGateDoesNotWedge(t *testing.T) {
+	var failing atomic.Bool
+	failing.Store(true)
+	var shed atomic.Int64
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		if failing.Load() {
+			return Result{}, zkerr.Internalf("backend down")
+		}
+		return Result{Proof: []byte("ok")}, nil
+	})
+	cfg.Workers = 1
+	cfg.MaxAttempts = 50
+	cfg.BreakerThreshold = 1
+	cfg.BreakerCooldown = 40 * time.Millisecond
+	cfg.Gate = func(ctx context.Context, run func()) error {
+		if shed.Add(-1) >= 0 {
+			return errors.New("external pool full")
+		}
+		run()
+		return nil
+	}
+	m := openManager(t, cfg)
+	id, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Wait for the first (internal) failure to trip the breaker. While
+	// it is open no gate calls happen, so the next gate call after we
+	// arm the shed is exactly the half-open probe.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if st, _ := m.BreakerState(); st != BreakerClosed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("breaker never tripped")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	failing.Store(false)
+	shed.Store(1) // shed exactly the probe attempt
+	info := waitTerminal(t, m, id)
+	if info.State != StateDone {
+		t.Fatalf("state %s (err %q), want done after the shed probe is re-dispatched", info.State, info.Error)
+	}
+	if st, _ := m.BreakerState(); st != BreakerClosed {
+		t.Fatalf("breaker %s after successful probe, want closed", st)
 	}
 }
 
@@ -742,6 +836,96 @@ func TestManyJobsMixedOutcomesJournalInvariant(t *testing.T) {
 	defer cancel()
 	m.Close(ctx)
 	snap.Check(t)
+}
+
+// TestTerminalJournalAppendRetriedOnce: a single transient append
+// failure on a terminal record is absorbed by the in-place retry — the
+// journal still ends with the done record and the job is not split
+// between its durable and in-memory views.
+func TestTerminalJournalAppendRetriedOnce(t *testing.T) {
+	defer faultinject.Disarm()
+	// Hits for one clean job: accepted=1, running=2, done=3.
+	faultinject.MustArm(faultinject.Plan{Point: "jobs.journal.append", Kind: faultinject.Error, Trigger: 3})
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{Proof: []byte("ok")}, nil
+	})
+	m := openManager(t, cfg)
+	id, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	info := waitTerminal(t, m, id)
+	if info.State != StateDone {
+		t.Fatalf("state %s (err %q), want done", info.State, info.Error)
+	}
+	if info.JournalLost {
+		t.Fatal("job flagged journal_lost although the retry succeeded")
+	}
+	mm := m.Metrics()
+	if mm.JournalAppendErrors != 1 || mm.JournalLostJobs != 0 {
+		t.Fatalf("append errors %d / lost %d, want 1 / 0", mm.JournalAppendErrors, mm.JournalLostJobs)
+	}
+	if !faultinject.Fired() {
+		t.Fatal("injected append failure never fired")
+	}
+	assertExactlyOneTerminal(t, cfg.Dir)
+}
+
+// TestTerminalJournalLostSurfaced: when the terminal append fails
+// persistently (a data disk that stopped accepting writes), the job
+// still terminalizes in memory — but it is flagged journal_lost and
+// counted, so the contradiction between the observable outcome and
+// what a restart will replay is visible instead of silent.
+func TestTerminalJournalLostSurfaced(t *testing.T) {
+	release := make(chan struct{})
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		<-release
+		return Result{Proof: []byte("ok")}, nil
+	})
+	m := openManager(t, cfg)
+	id, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	// Wait for the attempt to be journaled as running, then kill the
+	// journal fd out from under the manager: every later append fails.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if info, _ := m.Get(id); info.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	m.mu.Lock()
+	m.journal.f.Close()
+	m.mu.Unlock()
+	close(release)
+
+	info := waitTerminal(t, m, id)
+	if info.State != StateDone {
+		t.Fatalf("state %s (err %q), want done", info.State, info.Error)
+	}
+	if !info.JournalLost {
+		t.Fatal("terminal state without a durable record not flagged journal_lost")
+	}
+	mm := m.Metrics()
+	if mm.JournalLostJobs != 1 {
+		t.Fatalf("journal-lost jobs %d, want 1", mm.JournalLostJobs)
+	}
+	if mm.JournalAppendErrors < 2 {
+		t.Fatalf("append errors %d, want both tries counted", mm.JournalAppendErrors)
+	}
+	// The durable journal must still parse and must NOT contain a
+	// terminal record: after a restart this job replays from "running",
+	// which is exactly what journal_lost warns about.
+	for _, r := range journalRecords(t, cfg.Dir) {
+		if r.State == recDone || r.State == recFailed || r.State == recCancelled {
+			t.Fatalf("journal unexpectedly holds terminal record %+v", r)
+		}
+	}
 }
 
 // TestProofFileNamedInDoneRecord pins the durability ordering: the done

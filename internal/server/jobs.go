@@ -30,12 +30,16 @@ import (
 // finishes, which is what a load balancer should gate traffic on.
 
 // JobResponse is the body of POST /jobs (202) and GET /jobs/{id} (200).
+// ProofB64 is populated only when the poll asks for it (?proof=1): a
+// status poll stays cheap instead of paying the full proof transfer on
+// every request once the job is done.
 type JobResponse struct {
 	ID          string          `json:"id"`
 	State       string          `json:"state"`
 	Attempts    int             `json:"attempts"`
 	MaxAttempts int             `json:"max_attempts"`
 	Recovered   bool            `json:"recovered,omitempty"`
+	JournalLost bool            `json:"journal_lost,omitempty"`
 	Error       string          `json:"error,omitempty"`
 	Code        string          `json:"code,omitempty"`
 	ProofB64    string          `json:"proof_b64,omitempty"`
@@ -83,17 +87,35 @@ func (s *Server) jobsManager() (*jobs.Manager, error) {
 // attempt to completion or returns an error without having run it (the
 // manager re-queues and tries again).
 func (s *Server) jobGate(ctx context.Context, run func()) error {
+	select {
+	case <-s.quit:
+		// The worker pool is stopping; shed rather than enqueue an entry
+		// nothing may ever pick up.
+		return jobs.ErrQueueFull
+	default:
+	}
 	j := &job{run: run, done: make(chan struct{}), enqueued: time.Now()}
 	select {
 	case s.jobs <- j:
 	default:
 		return jobs.ErrQueueFull
 	}
-	// Once enqueued the attempt WILL run (a worker picks it up and the
-	// manager's own closing check makes late runs no-ops), so honour the
-	// Gate contract and wait for it rather than abandoning a job that
-	// might still execute.
-	<-j.done
+	// Once enqueued the attempt normally runs (a worker picks it up and
+	// the manager's own closing check makes late runs no-ops), so honour
+	// the Gate contract and wait for it. The exception is shutdown after
+	// the drain deadline: the workers can exit with entries still queued,
+	// so when workersDone fires we sweep the queue ourselves — every
+	// stranded entry (possibly including this one) is completed without
+	// running, and dropped tells us the attempt was provably shed.
+	select {
+	case <-j.done:
+	case <-s.workersDone:
+		s.drainJobQueue()
+		<-j.done
+	}
+	if j.dropped {
+		return jobs.ErrQueueFull
+	}
 	return nil
 }
 
@@ -239,12 +261,15 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 		Attempts:    info.Attempts,
 		MaxAttempts: info.MaxAttempts,
 		Recovered:   info.Recovered,
+		JournalLost: info.JournalLost,
 		Error:       info.Error,
 		Code:        info.Code,
 		ProofBytes:  info.ProofBytes,
 		Stats:       info.Stats,
 	}
-	if info.State == jobs.StateDone {
+	// The proof payload is returned only on request: polls watch state
+	// (and proof_bytes) for free, then fetch the proof exactly once.
+	if wantProof := r.URL.Query().Get("proof"); (wantProof == "1" || wantProof == "true") && info.State == jobs.StateDone {
 		proof, perr := mgr.Proof(info.ID)
 		if perr != nil {
 			s.writeTaxonomyError(w, perr)
@@ -345,6 +370,7 @@ func (s *Server) renderJobsMetrics(counter, gauge func(name, help string, v int6
 	counter("nocap_jobs_recovered_total", "jobs re-enqueued by crash recovery", m.RecoveredJobs)
 	counter("nocap_jobs_torn_records_total", "torn journal records dropped at recovery", m.TornRecords)
 	counter("nocap_jobs_journal_append_errors_total", "journal append failures", m.JournalAppendErrors)
+	counter("nocap_jobs_journal_lost_total", "jobs whose terminal record could not be journaled", m.JournalLostJobs)
 	counter("nocap_jobs_breaker_trips_total", "circuit breaker trips", m.BreakerTrips)
 	gauge("nocap_jobs_active", "jobs in a non-terminal state", m.Active)
 	gauge("nocap_jobs_journal_records", "records in the journal", m.JournalRecords)

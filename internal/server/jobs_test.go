@@ -67,26 +67,42 @@ func submitJob(t *testing.T, client *http.Client, base string, req ProveRequest)
 	return jr.ID
 }
 
-// pollJob GETs /jobs/{id} until the job is terminal.
+// getJob GETs /jobs/{id} with the given query string ("" or "?proof=1")
+// and decodes the response.
+func getJob(t *testing.T, client *http.Client, base, id, query string) JobResponse {
+	t.Helper()
+	resp, err := client.Get(base + "/jobs/" + id + query)
+	if err != nil {
+		t.Fatalf("GET /jobs/%s%s: %v", id, query, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /jobs/%s%s: status %d: %s", id, query, resp.StatusCode, body)
+	}
+	var jr JobResponse
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("job body: %v: %s", err, body)
+	}
+	return jr
+}
+
+// pollJob GETs /jobs/{id} until the job is terminal. Status polls never
+// carry the proof payload (pinned here for every polling test); once
+// the job is done, the proof is fetched exactly once with ?proof=1 and
+// that full response is returned.
 func pollJob(t *testing.T, client *http.Client, base, id string) JobResponse {
 	t.Helper()
 	deadline := time.Now().Add(30 * time.Second)
 	for {
-		resp, err := client.Get(base + "/jobs/" + id)
-		if err != nil {
-			t.Fatalf("GET /jobs/%s: %v", id, err)
-		}
-		body, _ := io.ReadAll(resp.Body)
-		resp.Body.Close()
-		if resp.StatusCode != http.StatusOK {
-			t.Fatalf("GET /jobs/%s: status %d: %s", id, resp.StatusCode, body)
-		}
-		var jr JobResponse
-		if err := json.Unmarshal(body, &jr); err != nil {
-			t.Fatalf("job body: %v: %s", err, body)
+		jr := getJob(t, client, base, id, "")
+		if jr.ProofB64 != "" {
+			t.Fatalf("status poll for %s carried the proof payload (%d b64 bytes)", id, len(jr.ProofB64))
 		}
 		switch jr.State {
-		case "done", "failed", "cancelled":
+		case "done":
+			return getJob(t, client, base, id, "?proof=1")
+		case "failed", "cancelled":
 			return jr
 		}
 		if time.Now().After(deadline) {
@@ -132,6 +148,36 @@ func TestJobsAsyncLifecycle(t *testing.T) {
 		VerifyRequest{Circuit: "synthetic", N: 64, ProofB64: jr.ProofB64})
 	if status != http.StatusOK || !strings.Contains(string(body), `"valid":true`) {
 		t.Fatalf("async proof failed verification: %d %s", status, body)
+	}
+}
+
+// TestJobsProofOnDemand pins the poll/payload split: GET /jobs/{id}
+// answers status (state, attempts, proof_bytes) without the proof, and
+// only ?proof=1 (or ?proof=true) pays the base64 transfer.
+func TestJobsProofOnDemand(t *testing.T) {
+	_, base, _ := startServer(t, jobsConfig(t))
+	client := &http.Client{Timeout: time.Minute}
+	waitReady(t, client, base)
+
+	id := submitJob(t, client, base, ProveRequest{Circuit: "synthetic", N: 64})
+	jr := pollJob(t, client, base, id) // asserts polls are payload-free
+	if jr.State != "done" || jr.ProofB64 == "" {
+		t.Fatalf("job %s: state %s, proof present %v", id, jr.State, jr.ProofB64 != "")
+	}
+	// A plain GET after completion still omits the payload but keeps the
+	// metadata a poller needs.
+	plain := getJob(t, client, base, id, "")
+	if plain.ProofB64 != "" {
+		t.Fatalf("plain GET on done job returned the proof payload")
+	}
+	if plain.ProofBytes == 0 || plain.State != "done" {
+		t.Fatalf("plain GET lost job metadata: %+v", plain)
+	}
+	if withProof := getJob(t, client, base, id, "?proof=true"); withProof.ProofB64 != jr.ProofB64 {
+		t.Fatalf("?proof=true and ?proof=1 disagree")
+	}
+	if raw, err := base64.StdEncoding.DecodeString(jr.ProofB64); err != nil || len(raw) != jr.ProofBytes {
+		t.Fatalf("proof_b64 decode: %v (got %d bytes, proof_bytes %d)", err, len(jr.ProofB64), jr.ProofBytes)
 	}
 }
 
@@ -422,6 +468,68 @@ func TestJobsServerRestartRecovers(t *testing.T) {
 	if jr.ProofB64 != want {
 		t.Fatalf("recovered proof mismatch: %q", jr.ProofB64)
 	}
+}
+
+// TestShutdownDrainDeadlineDoesNotStrandJobGate reproduces the leak the
+// reviewer flagged: a shutdown whose drain deadline expires while async
+// attempts are still queued behind a busy worker lets the workers exit
+// with entries in s.jobs, and a manager dispatcher used to block in
+// jobGate on <-j.done forever (with Manager.Close's drain goroutine
+// pinned behind it). The shutdown sweep must release every waiter. The
+// worker's quit-vs-queue select is scheduler-random, so the scenario
+// runs several times to cover both arms.
+func TestShutdownDrainDeadlineDoesNotStrandJobGate(t *testing.T) {
+	snap := leakcheck.Take()
+	for i := 0; i < 6; i++ {
+		cfg := jobsConfig(t)
+		cfg.Workers = 1
+		cfg.QueueDepth = 2
+		cfg.JobWorkers = 2
+		started := make(chan struct{}, 4)
+		cfg.JobsExec = func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+			select {
+			case started <- struct{}{}:
+			default:
+			}
+			// Ignore cancellation long enough that the whole drain
+			// (manager close included) hits its deadline with the second
+			// attempt still parked in the admission queue.
+			time.Sleep(120 * time.Millisecond)
+			return jobs.Result{}, ctx.Err()
+		}
+		s := New(cfg)
+		deadline := time.Now().Add(10 * time.Second)
+		for s.JobsRecovering() {
+			if time.Now().After(deadline) {
+				t.Fatal("jobs manager never finished recovery")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		mgr, err := s.jobsManager()
+		if err != nil {
+			t.Fatalf("jobs manager: %v", err)
+		}
+		for n := 0; n < 2; n++ {
+			if _, err := mgr.Submit(jobs.Spec{Payload: json.RawMessage(`{}`)}); err != nil {
+				t.Fatalf("Submit %d: %v", n, err)
+			}
+		}
+		select {
+		case <-started:
+		case <-time.After(10 * time.Second):
+			t.Fatal("first attempt never reached the worker")
+		}
+		for depth, _, _ := s.Queue(); depth == 0; depth, _, _ = s.Queue() {
+			if time.Now().After(deadline) {
+				t.Fatal("second attempt never queued")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		_ = s.Shutdown(ctx) // deadline error is the point of the scenario
+		cancel()
+	}
+	snap.CheckTimeout(t, 10*time.Second)
 }
 
 // TestStatusCodeTaxonomy is the satellite's table: every zkerr class

@@ -136,6 +136,10 @@ type job struct {
 	run      func()
 	done     chan struct{}
 	enqueued time.Time
+	// dropped is set (before done closes) when the shutdown sweep
+	// completed this entry without running it; jobGate reads it after
+	// <-done to tell "ran" from "provably shed".
+	dropped bool
 }
 
 // Server is the proving service. Create with New, start with Serve or
@@ -155,6 +159,9 @@ type Server struct {
 
 	workerWG sync.WaitGroup
 	quit     chan struct{}
+	// workersDone closes after the last worker exits; anything still in
+	// s.jobs at that point will never run and must be swept.
+	workersDone chan struct{}
 
 	// Async job state: the manager opens in the background (journal
 	// replay can be slow) and recovering stays true until it is usable.
@@ -174,8 +181,9 @@ func New(cfg Config) *Server {
 		cfg:    cfg,
 		limits: cfg.decodeLimits(),
 		mux:    http.NewServeMux(),
-		jobs:   make(chan *job, cfg.QueueDepth),
-		quit:   make(chan struct{}),
+		jobs:        make(chan *job, cfg.QueueDepth),
+		quit:        make(chan struct{}),
+		workersDone: make(chan struct{}),
 	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
 	s.mux.HandleFunc("POST /prove", s.handleProve)
@@ -267,8 +275,30 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	close(s.quit)
 	s.workerWG.Wait()
+	// If the manager's Close hit the drain deadline above, its
+	// dispatchers can still be parked in jobGate on entries the (now
+	// exited) workers never picked up. Publish that the pool is gone and
+	// sweep the queue so every waiter is released instead of leaking.
+	close(s.workersDone)
+	s.drainJobQueue()
 	s.cancelBase()
 	return err
+}
+
+// drainJobQueue completes every entry still sitting in the admission
+// queue after the workers have exited, without running it. Safe to call
+// concurrently (jobGate waiters sweep too): each entry is received, and
+// therefore completed, exactly once.
+func (s *Server) drainJobQueue() {
+	for {
+		select {
+		case j := <-s.jobs:
+			j.dropped = true
+			close(j.done)
+		default:
+			return
+		}
+	}
 }
 
 // worker executes admitted jobs one at a time until quit closes.
