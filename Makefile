@@ -9,7 +9,7 @@ FUZZ_TARGETS = \
 	./internal/wire:FuzzReader \
 	./internal/cstream:FuzzDecode
 
-.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus serve-smoke stats-race jobs-chaos ci
+.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus serve-smoke stats-race jobs-chaos tenants-soak ci
 
 all: build test
 
@@ -87,4 +87,13 @@ jobs-chaos:
 	$(GO) test -race -run 'TestCrash|TestChaos|TestTorn|TestParseJournal|TestOpen|TestShutdownReverts|TestJobs|TestReadyz|TestStatusCode' ./internal/jobs ./internal/server
 	$(GO) run -race ./cmd/nocap-loadgen -jobs -requests 40 -clients 8 -n 256
 
-ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos
+# Multi-tenant fairness soak under the race detector: an in-process
+# server with 4 keyed tenants (t0 at 4x DRR weight) under zipf-skewed
+# traffic. Asserts per-tenant 429 isolation (a light tenant is never
+# shed by the heavy tenant's backlog), starvation-freedom (every
+# admitted light request is served, bounded queue wait), typed
+# responses, zero goroutine leaks, and arena balance (DESIGN.md §12).
+tenants-soak:
+	$(GO) run -race ./cmd/nocap-loadgen -tenants 4 -skew zipf -requests 120 -clients 8 -n 128 -workers 4 -queue 4
+
+ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos tenants-soak

@@ -51,6 +51,7 @@ import (
 	"nocap/internal/jobs"
 	"nocap/internal/leakcheck"
 	"nocap/internal/server"
+	"nocap/internal/tenant"
 )
 
 // outcome tallies one traffic kind's results.
@@ -343,9 +344,11 @@ func (h *harness) fire(kind string, seedProof string) {
 			h.record(kind, false, true, err.Error())
 			return
 		}
-		// 202 means the cancel landed; 409 means the job raced to a
-		// terminal state first. Both are legal — anything else is not.
-		if resp.StatusCode != http.StatusAccepted &&
+		// 202 means the cancel landed on a running job, 200 that the job
+		// was already cancelled when the cancel was applied, 409 that it
+		// raced to done/failed first. All three are legal — anything else
+		// is not.
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK &&
 			(resp.StatusCode != http.StatusConflict || !typedError(data)) {
 			h.record(kind, false, true, fmt.Sprintf("cancel status %d: %.120s", resp.StatusCode, data))
 			return
@@ -438,6 +441,8 @@ func run() (failed bool, err error) {
 	workers := flag.Int("workers", 4, "in-process mode: proving workers")
 	queue := flag.Int("queue", 4, "in-process mode: admission queue depth")
 	jobsMode := flag.Bool("jobs", false, "exercise the durable async /jobs API (in-process only), including a crash-window journal-tear restart")
+	tenants := flag.Int("tenants", 0, "multi-tenant fairness mode (in-process only): N keyed tenants, tenant t0 weighted 4x")
+	skew := flag.String("skew", "zipf", "-tenants traffic skew: zipf (t0-heavy) or uniform")
 	flag.Parse()
 
 	if *jobsMode {
@@ -445,6 +450,18 @@ func run() (failed bool, err error) {
 			return true, fmt.Errorf("-jobs mode is in-process only; drop -addr")
 		}
 		return runJobs(*clients, *requests, *duration, *n, *workers, *queue)
+	}
+	if *tenants > 0 {
+		if *addr != "" {
+			return true, fmt.Errorf("-tenants mode is in-process only; drop -addr")
+		}
+		if *tenants < 2 {
+			return true, fmt.Errorf("-tenants needs at least 2 tenants to say anything about fairness")
+		}
+		if *skew != "zipf" && *skew != "uniform" {
+			return true, fmt.Errorf("-skew must be zipf or uniform, got %q", *skew)
+		}
+		return runTenants(*clients, *requests, *duration, *n, *workers, *queue, *tenants, *skew)
 	}
 
 	var snap *leakcheck.Snapshot
@@ -454,13 +471,17 @@ func run() (failed bool, err error) {
 	if base == "" {
 		snap = leakcheck.Take()
 		arenaBefore = nocap.ReadProveStats().Arena
-		srv = server.New(server.Config{
+		var nerr error
+		srv, nerr = server.New(server.Config{
 			Addr:           "127.0.0.1:0",
 			Workers:        *workers,
 			QueueDepth:     *queue,
 			MemoryBudgetMB: 8,
 			Params:         nocap.TestParams(),
 		})
+		if nerr != nil {
+			return true, nerr
+		}
 		bound, lerr := srv.Listen()
 		if lerr != nil {
 			return true, lerr
@@ -565,6 +586,233 @@ func drain(srv *server.Server) error {
 	return srv.Shutdown(ctx)
 }
 
+// postAs is post with a tenant API key attached.
+func (h *harness) postAs(path, key string, body []byte) (*http.Response, []byte, error) {
+	req, err := http.NewRequest(http.MethodPost, h.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := h.client.Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, data, nil
+}
+
+// fireTenant sends one prove or verify as the given tenant. Outcomes
+// are recorded under the tenant's ID so the fairness report reads per
+// tenant, and a 429 naming any OTHER tenant is a protocol violation —
+// quota errors must never bleed across tenants.
+func (h *harness) fireTenant(tenantID, key, kind, seedProof string) {
+	var body []byte
+	path := "/prove"
+	if kind == "verify" {
+		body, _ = json.Marshal(server.VerifyRequest{Circuit: "synthetic", N: h.n, ProofB64: seedProof})
+		path = "/verify"
+	} else {
+		body, _ = json.Marshal(server.ProveRequest{Circuit: "synthetic", N: h.n})
+	}
+	resp, data, err := h.postAs(path, key, body)
+	if err != nil {
+		h.record(tenantID, false, true, err.Error())
+		return
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		h.record(tenantID, false, false, "")
+	case http.StatusTooManyRequests:
+		var er server.ErrorResponse
+		if json.Unmarshal(data, &er) != nil || er.Code == "" {
+			h.record(tenantID, true, true, "untyped 429")
+			return
+		}
+		if er.Tenant != tenantID {
+			h.record(tenantID, true, true, fmt.Sprintf(
+				"429 for tenant %s blamed on %q: cross-tenant quota bleed", tenantID, er.Tenant))
+			return
+		}
+		h.record(tenantID, true, false, "")
+	default:
+		h.record(tenantID, false, true, fmt.Sprintf("status %d: %.120s", resp.StatusCode, data))
+	}
+}
+
+// runTenants is the -tenants mode: an in-process server with N keyed
+// tenants (t0 carries DRR weight 4, the rest weight 1), skewed traffic
+// (zipf concentrates most load on t0), and fairness assertions on top
+// of the usual typed-response, leak, and arena invariants:
+//
+//   - light tenants are never shed by t0's backlog (zero queue-full
+//     429s on their queues — per-tenant isolation),
+//   - every light-tenant request admitted is served (no starvation),
+//   - light tenants do not queue dramatically longer than the heavy
+//     tenant that is causing all the contention.
+func runTenants(clients, requests int, duration time.Duration, n, workers, queue, nTenants int, skew string) (failed bool, err error) {
+	snap := leakcheck.Take()
+	arenaBefore := nocap.ReadProveStats().Arena
+
+	cfgs := make([]tenant.Config, nTenants)
+	keys := make([]string, nTenants)
+	for i := range cfgs {
+		w := 1
+		depth := clients // a light tenant can absorb every client at once
+		if i == 0 {
+			w = 4
+			depth = queue // the heavy tenant's queue is the one meant to overflow
+		}
+		keys[i] = fmt.Sprintf("key-t%d", i)
+		cfgs[i] = tenant.Config{ID: fmt.Sprintf("t%d", i), Key: keys[i], Weight: w, QueueDepth: depth}
+	}
+	srv, err := server.New(server.Config{
+		Addr:           "127.0.0.1:0",
+		Workers:        workers,
+		QueueDepth:     queue,
+		MemoryBudgetMB: 8,
+		Params:         nocap.TestParams(),
+		Tenants:        cfgs,
+	})
+	if err != nil {
+		return true, err
+	}
+	bound, err := srv.Listen()
+	if err != nil {
+		return true, err
+	}
+	go srv.Serve()
+	fmt.Printf("nocap-loadgen: in-process multi-tenant server on %s (%d tenants, %s skew, %d workers)\n",
+		bound, nTenants, skew, workers)
+
+	h := &harness{
+		base:     "http://" + bound.String(),
+		client:   &http.Client{Timeout: 2 * time.Minute},
+		n:        n,
+		outcomes: make(map[string]*outcome),
+	}
+	body, _ := json.Marshal(server.ProveRequest{Circuit: "synthetic", N: n})
+	resp, data, err := h.post("/prove", body)
+	if err != nil || resp.StatusCode != http.StatusOK {
+		return true, fmt.Errorf("seed prove: %v status %v: %.200s", err, resp.StatusCode, data)
+	}
+	var seed server.ProveResponse
+	if err := json.Unmarshal(data, &seed); err != nil {
+		return true, fmt.Errorf("seed prove response: %w", err)
+	}
+
+	start := time.Now()
+	deadline := start.Add(duration)
+	var next int64
+	var mu sync.Mutex
+	take := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if requests > 0 && next >= int64(requests) {
+			return false
+		}
+		next++
+		return !time.Now().After(deadline)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(c) + 1))
+			// Zipf rank 0 is tenant t0: the heavy hitter.
+			zipf := rand.NewZipf(rng, 1.5, 1, uint64(nTenants-1))
+			for i := 0; take(); i++ {
+				ti := int(zipf.Uint64())
+				if skew == "uniform" {
+					ti = rng.Intn(nTenants)
+				}
+				kind := "prove"
+				if i%3 == 2 {
+					kind = "verify"
+				}
+				h.fireTenant(cfgs[ti].ID, keys[ti], kind, seed.ProofB64)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	stats := srv.TenantStats()
+	if err := drain(srv); err != nil {
+		return true, fmt.Errorf("drain: %w", err)
+	}
+
+	_, violations := report(h, clients, elapsed)
+	if violations > 0 {
+		failed = true
+	}
+
+	// Fairness assertions over the scheduler's own ledger.
+	var heavy tenantStat
+	lights := make([]tenantStat, 0, nTenants-1)
+	for _, qs := range stats {
+		ts := tenantStat{id: qs.ID, stats: qs}
+		if qs.ID == "t0" {
+			heavy = ts
+		} else if qs.ID != "default" {
+			lights = append(lights, ts)
+		}
+	}
+	heavyWait := meanWait(heavy.stats)
+	fmt.Printf("nocap-loadgen: heavy %s served %d (shed %d, mean wait %v)\n",
+		heavy.id, heavy.stats.Dequeued, heavy.stats.RejectedFull, heavyWait.Round(time.Microsecond))
+	for _, l := range lights {
+		w := meanWait(l.stats)
+		fmt.Printf("nocap-loadgen: light %s served %d (shed %d, mean wait %v)\n",
+			l.id, l.stats.Dequeued, l.stats.RejectedFull, w.Round(time.Microsecond))
+		if l.stats.RejectedFull != 0 {
+			failed = true
+			fmt.Printf("FAIL: light tenant %s shed %d requests queue-full; the heavy tenant's backlog leaked into its queue\n",
+				l.id, l.stats.RejectedFull)
+		}
+		if l.stats.Dequeued != l.stats.Enqueued {
+			failed = true
+			fmt.Printf("FAIL: light tenant %s admitted %d but served %d: starved work left behind\n",
+				l.id, l.stats.Enqueued, l.stats.Dequeued)
+		}
+		// The starvation bound, loosely: a weight-1 tenant under a 4x
+		// heavy neighbour still gets served within a small number of
+		// rotations, so its queue wait stays within a small multiple of
+		// the wait the heavy tenant imposes on itself. The factor is
+		// deliberately generous — this is a soak, not a microbenchmark.
+		if l.stats.Dequeued > 0 && w > 4*heavyWait+200*time.Millisecond {
+			failed = true
+			fmt.Printf("FAIL: light tenant %s mean queue wait %v vs heavy %v: starvation bound violated\n",
+				l.id, w, heavyWait)
+		}
+	}
+	if checkProcessInvariants(snap, arenaBefore) {
+		failed = true
+	}
+	if !failed {
+		fmt.Printf("nocap-loadgen: tenants run clean (%d tenants, %s skew)\n", nTenants, skew)
+	}
+	return failed, nil
+}
+
+type tenantStat struct {
+	id    string
+	stats tenant.QueueStats
+}
+
+func meanWait(qs tenant.QueueStats) time.Duration {
+	if qs.Dequeued == 0 {
+		return 0
+	}
+	return time.Duration(qs.QueueWaitNs / qs.Dequeued)
+}
+
 // runJobs is the -jobs mode: an in-process server with a durable data
 // dir, async submit/poll/cancel traffic, then a crash-window pass that
 // parks jobs in flight, drains the server (crash-equivalent: interrupted
@@ -581,7 +829,7 @@ func runJobs(clients, requests int, duration time.Duration, n, workers, queue in
 	defer os.RemoveAll(dir)
 
 	boot := func() (*server.Server, string, error) {
-		srv := server.New(server.Config{
+		srv, err := server.New(server.Config{
 			Addr:           "127.0.0.1:0",
 			Workers:        workers,
 			QueueDepth:     queue,
@@ -591,6 +839,9 @@ func runJobs(clients, requests int, duration time.Duration, n, workers, queue in
 			JobBackoffBase: 5 * time.Millisecond,
 			JobBackoffMax:  50 * time.Millisecond,
 		})
+		if err != nil {
+			return nil, "", err
+		}
 		bound, err := srv.Listen()
 		if err != nil {
 			return nil, "", err

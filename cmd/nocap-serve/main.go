@@ -1,12 +1,22 @@
 // Command nocap-serve runs the multi-session proving service: an HTTP
-// front end over the library prover with bounded admission (429 when the
-// queue is full), per-request deadlines and decode limits, per-request
-// stats attribution, and graceful drain on SIGINT/SIGTERM.
+// front end over the library prover with multi-tenant bounded admission
+// (per-tenant queues under a weighted deficit-round-robin scheduler,
+// token-bucket rate limits, per-tenant 429s), a verified content-
+// addressed proof cache, per-request deadlines and decode limits,
+// per-request stats attribution, and graceful drain on SIGINT/SIGTERM.
 //
 // Usage:
 //
 //	nocap-serve -addr 127.0.0.1:8080 -workers 4 -queue 8
 //	nocap-serve -addr :8080 -timeout 60s -mem-mb 128 -drain 30s
+//	nocap-serve -tenant-keys tenants.json -cache-mb 64
+//
+// Tenancy (DESIGN.md §12): -tenant-keys names a JSON keyfile
+// ({"tenants":[{"id":"acme","key":"...","weight":4,...}]}) mapping
+// static API keys (X-API-Key or Authorization: Bearer) to tenants with
+// weights and quotas. Requests without a key run as the anonymous
+// "default" tenant, whose limits the -tenant-default-* flags set.
+// Unknown keys are 401.
 //
 // Endpoints:
 //
@@ -46,6 +56,7 @@ import (
 
 	"nocap"
 	"nocap/internal/server"
+	"nocap/internal/tenant"
 	"nocap/internal/zkerr"
 )
 
@@ -64,6 +75,12 @@ func run() error {
 	jobAttempts := flag.Int("job-attempts", 0, "per-job attempt budget (0 = jobs default)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive internal failures that trip the job breaker (0 = jobs default)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "job breaker open→half-open delay (0 = jobs default)")
+	tenantKeys := flag.String("tenant-keys", "", "JSON keyfile of tenants (id, key, weight, quotas); empty = single anonymous tenant")
+	tenantWeight := flag.Int("tenant-default-weight", 1, "default tenant's DRR weight (also the fallback for keyfile tenants)")
+	tenantRate := flag.Float64("tenant-default-rate", 0, "default tenant's requests/sec token-bucket rate (0 = unlimited)")
+	tenantBurst := flag.Int("tenant-default-burst", 0, "default tenant's token-bucket burst (0 = rate+1)")
+	tenantMaxJobs := flag.Int("tenant-default-max-jobs", 0, "default tenant's live async-job cap (0 = unlimited)")
+	cacheMB := flag.Int("cache-mb", 64, "content-addressed proof cache budget, MB (0 disables)")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -91,11 +108,25 @@ func run() error {
 		return zkerr.Usagef("job flags require -data-dir")
 	}
 
+	if *tenantWeight < 1 {
+		return zkerr.Usagef("-tenant-default-weight must be >= 1, got %d", *tenantWeight)
+	}
+	if *tenantRate < 0 || *tenantBurst < 0 || *tenantMaxJobs < 0 || *cacheMB < 0 {
+		return zkerr.Usagef("tenant and cache flags must be non-negative")
+	}
+	var tenants []tenant.Config
+	if *tenantKeys != "" {
+		var err error
+		if tenants, err = tenant.LoadKeyfile(*tenantKeys); err != nil {
+			return zkerr.Usagef("-tenant-keys: %v", err)
+		}
+	}
+
 	params := nocap.DefaultParams()
 	if *reps > 0 {
 		params.Reps = *reps
 	}
-	s := server.New(server.Config{
+	s, err := server.New(server.Config{
 		Addr:           *addr,
 		Workers:        *workers,
 		QueueDepth:     *queue,
@@ -104,6 +135,15 @@ func run() error {
 		MaxN:           *maxN,
 		Params:         params,
 
+		Tenants: tenants,
+		TenantDefaults: tenant.Config{
+			Weight:     *tenantWeight,
+			RatePerSec: *tenantRate,
+			Burst:      *tenantBurst,
+			MaxJobs:    *tenantMaxJobs,
+		},
+		CacheMB: *cacheMB,
+
 		DataDir:             *dataDir,
 		JobWorkers:          *jobWorkers,
 		JobMaxPending:       *jobPending,
@@ -111,12 +151,21 @@ func run() error {
 		JobBreakerThreshold: *breakerThreshold,
 		JobBreakerCooldown:  *breakerCooldown,
 	})
+	if err != nil {
+		return zkerr.Usagef("tenant config: %v", err)
+	}
 	bound, err := s.Listen()
 	if err != nil {
 		return fmt.Errorf("listen %s: %w", *addr, err)
 	}
 	log.Printf("nocap-serve: listening on %s (%d workers, queue %d, timeout %v, mem %d MB)",
 		bound, *workers, *queue, *timeout, *memMB)
+	if len(tenants) > 0 {
+		log.Printf("nocap-serve: %d keyed tenants loaded from %s", len(tenants), *tenantKeys)
+	}
+	if *cacheMB > 0 {
+		log.Printf("nocap-serve: proof cache enabled (%d MB budget)", *cacheMB)
+	}
 	if *dataDir != "" {
 		log.Printf("nocap-serve: async jobs enabled, journal in %s", *dataDir)
 	}

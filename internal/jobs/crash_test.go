@@ -3,6 +3,7 @@ package jobs
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"os/exec"
@@ -158,6 +159,188 @@ func TestCrashKillAndRecover(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	m.Close(ctx)
 	cancel()
+	snap.Check(t)
+}
+
+const (
+	tenantCrashChildEnv = "NOCAP_JOBS_TENANT_CRASH_CHILD"
+	tenantCrashDirEnv   = "NOCAP_JOBS_TENANT_CRASH_DIR"
+)
+
+// TestTenantCrashChildProcess is the re-exec target for
+// TestCrashTenantAccountingRecovered: it journals jobs attributed to
+// three tenants, parks them mid-attempt, and waits to be SIGKILLed.
+func TestTenantCrashChildProcess(t *testing.T) {
+	if os.Getenv(tenantCrashChildEnv) != "1" {
+		t.Skip("crash-test child (driven by TestCrashTenantAccountingRecovered)")
+	}
+	dir := os.Getenv(tenantCrashDirEnv)
+	m, err := Open(Config{
+		Dir: dir,
+		Exec: func(ctx context.Context, spec Spec) (Result, error) {
+			f, err := os.CreateTemp(dir, "attempt-marker-*")
+			if err == nil {
+				f.Close()
+			}
+			<-ctx.Done()
+			return Result{}, ctx.Err()
+		},
+		Workers:    2,
+		MaxPending: 16,
+	})
+	if err != nil {
+		t.Fatalf("child Open: %v", err)
+	}
+	// Two acme jobs, one beta, one anonymous — the mix the parent's
+	// quota-accounting assertions are keyed to.
+	for i, tenantID := range []string{"acme", "acme", "beta", ""} {
+		if _, err := m.Submit(Spec{Payload: json.RawMessage(fmt.Sprintf("%d", i)), Tenant: tenantID}); err != nil {
+			t.Fatalf("child Submit %d: %v", i, err)
+		}
+	}
+	if err := os.WriteFile(filepath.Join(dir, "submitted"), nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Minute) // the parent's SIGKILL ends this
+}
+
+// TestCrashTenantAccountingRecovered (DESIGN.md §12): tenant
+// attribution and live-job quota accounting must survive a hard kill.
+// The child journals jobs for three tenants and dies mid-attempt; the
+// reopened manager must (a) restore each job's tenant, (b) rebuild the
+// per-tenant live-job counts exactly, and (c) enforce TenantLimit
+// against those recovered counts before any recovered job completes.
+func TestCrashTenantAccountingRecovered(t *testing.T) {
+	dir := t.TempDir()
+	snap := leakcheck.Take()
+
+	child := exec.Command(os.Args[0], "-test.run=^TestTenantCrashChildProcess$", "-test.v")
+	child.Env = append(os.Environ(), tenantCrashChildEnv+"=1", tenantCrashDirEnv+"="+dir)
+	if err := child.Start(); err != nil {
+		t.Fatalf("start child: %v", err)
+	}
+	reaped := false
+	defer func() {
+		if !reaped {
+			child.Process.Kill()
+			child.Wait()
+		}
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, subErr := os.Stat(filepath.Join(dir, "submitted"))
+		markers, _ := filepath.Glob(filepath.Join(dir, "attempt-marker-*"))
+		if subErr == nil && len(markers) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("child never reached the kill window")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := child.Process.Kill(); err != nil {
+		t.Fatalf("kill child: %v", err)
+	}
+	child.Wait()
+	reaped = true
+
+	// The accepted records must already carry the tenant attribution —
+	// it rides inside the journaled Spec, not in memory.
+	wantTenants := map[string]int64{"acme": 2, "beta": 1, "": 1}
+	journaled := map[string]int64{}
+	for _, r := range journalRecords(t, dir) {
+		if r.State == recAccepted && r.Spec != nil {
+			journaled[r.Spec.Tenant]++
+		}
+	}
+	for id, want := range wantTenants {
+		if journaled[id] != want {
+			t.Fatalf("journal has %d accepted jobs for tenant %q, want %d (all: %v)",
+				journaled[id], id, want, journaled)
+		}
+	}
+
+	// Reopen with a gated Exec so the recovered live-job counts can be
+	// observed before any job completes.
+	release := make(chan struct{})
+	m, err := Open(Config{
+		Dir: dir,
+		Exec: func(ctx context.Context, spec Spec) (Result, error) {
+			select {
+			case <-release:
+				return Result{Proof: append([]byte("proof-"), spec.Payload...)}, nil
+			case <-ctx.Done():
+				return Result{}, ctx.Err()
+			}
+		},
+		Workers:    2,
+		MaxPending: 16,
+		TenantLimit: func(tenantID string) int {
+			if tenantID == "acme" {
+				return 2
+			}
+			return 0
+		},
+	})
+	if err != nil {
+		t.Fatalf("reopen after kill: %v", err)
+	}
+	closed := false
+	closeMgr := func() {
+		if closed {
+			return
+		}
+		closed = true
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	}
+	defer closeMgr()
+
+	// (b) Quota accounting restored exactly from the journal.
+	active := m.ActiveByTenant()
+	for id, want := range wantTenants {
+		if active[id] != want {
+			t.Fatalf("ActiveByTenant[%q] = %d after replay, want %d (all: %v)",
+				id, active[id], want, active)
+		}
+	}
+	// (c) The restored counts enforce quotas: acme is at its limit of 2
+	// while its recovered jobs are still live.
+	if _, err := m.Submit(Spec{Payload: json.RawMessage(`4`), Tenant: "acme"}); !errors.Is(err, ErrTenantQuota) {
+		t.Fatalf("Submit over recovered acme quota: %v, want ErrTenantQuota", err)
+	}
+	if _, err := m.Submit(Spec{Payload: json.RawMessage(`5`), Tenant: "beta"}); err != nil {
+		t.Fatalf("beta Submit blocked by acme's quota: %v", err)
+	}
+
+	close(release)
+	// (a) Attribution restored on every recovered job, and the counts
+	// drain to zero as jobs terminalize.
+	byTenant := map[string]int{}
+	for _, info := range m.List() {
+		fin := waitTerminal(t, m, info.ID)
+		if fin.State != StateDone {
+			t.Fatalf("job %s state %s (err %q), want done", info.ID, fin.State, fin.Error)
+		}
+		byTenant[fin.Tenant]++
+	}
+	if byTenant["acme"] != 2 || byTenant["beta"] != 2 || byTenant[""] != 1 {
+		t.Fatalf("terminal jobs by tenant %v, want acme:2 beta:2 anonymous:1", byTenant)
+	}
+	if left := m.ActiveByTenant(); len(left) != 0 {
+		t.Fatalf("ActiveByTenant %v after all jobs terminal, want empty", left)
+	}
+	// The freed quota admits a new acme job.
+	id, err := m.Submit(Spec{Payload: json.RawMessage(`6`), Tenant: "acme"})
+	if err != nil {
+		t.Fatalf("acme Submit after quota drained: %v", err)
+	}
+	if fin := waitTerminal(t, m, id); fin.State != StateDone || fin.Tenant != "acme" {
+		t.Fatalf("post-recovery acme job: %+v", fin)
+	}
+	assertExactlyOneTerminal(t, dir)
+	closeMgr()
 	snap.Check(t)
 }
 

@@ -44,6 +44,10 @@ var (
 	ErrBreakerOpen = errors.New("jobs: circuit breaker open")
 	ErrUnknownJob  = errors.New("jobs: unknown job")
 	ErrTerminal    = errors.New("jobs: job already in a terminal state")
+	// ErrTenantQuota: the submitting tenant is at its live-job cap
+	// (Config.TenantLimit); a per-tenant 429, never caused by other
+	// tenants' jobs.
+	ErrTenantQuota = errors.New("jobs: tenant job quota exceeded")
 )
 
 // State is a job's externally visible lifecycle state. A job moves
@@ -67,16 +71,23 @@ func (s State) Terminal() bool {
 // Spec describes a job. Payload is caller-defined (the HTTP server
 // stores its ProveRequest here verbatim); the Manager persists it
 // opaquely in the journal's accepted record so recovery can re-run it.
+// Tenant attributes the job to a tenant for quota accounting; it rides
+// in the accepted record, so attribution survives crashes and replay
+// restores per-tenant accounting exactly.
 type Spec struct {
 	Payload json.RawMessage `json:"payload,omitempty"`
+	Tenant  string          `json:"tenant,omitempty"`
 }
 
 // Result is a successful attempt's output: the proof bytes (persisted
 // atomically under <dir>/proofs/) and optional caller-defined stats
-// JSON surfaced on GET and journaled with the done record.
+// JSON surfaced on GET and journaled with the done record. Cached marks
+// a proof served from the content-addressed cache rather than proven by
+// this attempt.
 type Result struct {
-	Proof []byte
-	Stats json.RawMessage
+	Proof  []byte
+	Stats  json.RawMessage
+	Cached bool
 }
 
 // Exec runs one proving attempt. It must honour ctx cancellation; the
@@ -88,8 +99,10 @@ type Exec func(ctx context.Context, spec Spec) (Result, error)
 // must execute run synchronously (blocking until run returns) or return
 // an error *without* having called run. The server's Gate enqueues into
 // its bounded HTTP worker pool so sync requests and async attempts
-// share the same concurrency budget.
-type Gate func(ctx context.Context, run func()) error
+// share the same concurrency budget; tenantID lets it join the right
+// per-tenant scheduler queue, so async attempts are subject to the same
+// fairness policy as synchronous requests.
+type Gate func(ctx context.Context, tenantID string, run func()) error
 
 // Config configures a Manager. Zero fields take the documented
 // defaults; Dir and Exec are required.
@@ -123,6 +136,11 @@ type Config struct {
 	Seed int64
 	// Now overrides the breaker clock in tests.
 	Now func() time.Time
+	// TenantLimit, when non-nil, returns the live-job cap for a tenant
+	// (<= 0 means unlimited). Submit beyond the cap returns
+	// ErrTenantQuota. Evaluated under the manager lock against the
+	// replay-restored per-tenant counts, so quotas hold across crashes.
+	TenantLimit func(tenantID string) int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -164,9 +182,16 @@ func (c Config) withDefaults() (Config, error) {
 type JobInfo struct {
 	ID          string `json:"id"`
 	State       State  `json:"state"`
+	Tenant      string `json:"tenant,omitempty"`
 	Attempts    int    `json:"attempts"`
 	MaxAttempts int    `json:"max_attempts"`
 	Recovered   bool   `json:"recovered,omitempty"`
+	// Cached marks a done job whose proof came from the proof cache.
+	Cached bool `json:"cached,omitempty"`
+	// CancelRequested marks a non-terminal job with a cancel in flight
+	// (the running attempt's context is cancelled; the job terminalizes
+	// when it unwinds).
+	CancelRequested bool `json:"cancel_requested,omitempty"`
 	// JournalLost marks a terminal state that could not be journaled
 	// (persistent append failure): the state shown here is not durable,
 	// and a restart will replay the job from its last durable record.
@@ -204,6 +229,7 @@ type jobRec struct {
 	lastErr         string
 	lastCode        string
 	recovered       bool
+	cached          bool
 	cancelRequested bool
 	journalLost     bool
 	proofFile       string
@@ -218,16 +244,19 @@ func (j *jobRec) terminal() bool { return j.state.Terminal() }
 
 func (j *jobRec) info(maxAttempts int) JobInfo {
 	return JobInfo{
-		ID:          j.id,
-		State:       j.state,
-		Attempts:    j.attempt,
-		MaxAttempts: maxAttempts,
-		Recovered:   j.recovered,
-		JournalLost: j.journalLost,
-		Error:       j.lastErr,
-		Code:        j.lastCode,
-		ProofBytes:  j.proofBytes,
-		Stats:       j.stats,
+		ID:              j.id,
+		State:           j.state,
+		Tenant:          j.spec.Tenant,
+		Attempts:        j.attempt,
+		MaxAttempts:     maxAttempts,
+		Recovered:       j.recovered,
+		Cached:          j.cached,
+		CancelRequested: j.cancelRequested && !j.terminal(),
+		JournalLost:     j.journalLost,
+		Error:           j.lastErr,
+		Code:            j.lastCode,
+		ProofBytes:      j.proofBytes,
+		Stats:           j.stats,
 	}
 }
 
@@ -250,6 +279,9 @@ type Manager struct {
 	byID    map[string]*jobRec
 	order   []*jobRec
 	closing bool
+	// activeTenant counts live (non-terminal) jobs per tenant, restored
+	// by replay so TenantLimit quotas survive crashes.
+	activeTenant map[string]int64
 
 	active      int64
 	accepted    int64
@@ -284,8 +316,9 @@ func Open(cfg Config) (*Manager, error) {
 		cancelBase: cancelBase,
 		quit:       make(chan struct{}),
 		ready:      make(chan *jobRec, 2*cfg.MaxPending+16),
-		rand:       rand.New(rand.NewSource(cfg.Seed)),
-		byID:       make(map[string]*jobRec),
+		rand:         rand.New(rand.NewSource(cfg.Seed)),
+		byID:         make(map[string]*jobRec),
+		activeTenant: make(map[string]int64),
 	}
 	m.torn = info.torn
 	if err := m.replay(info.records); err != nil {
@@ -342,6 +375,7 @@ func (m *Manager) replay(recs []record) error {
 			j.proofFile = r.ProofFile
 			j.proofBytes = r.ProofBytes
 			j.stats = r.Stats
+			j.cached = r.Cached
 			j.lastErr, j.lastCode = "", ""
 		case recFailed:
 			j.state = StateFailed
@@ -380,6 +414,7 @@ func (m *Manager) replay(recs []record) error {
 			close(j.done)
 		} else {
 			m.active++
+			m.activeTenant[j.spec.Tenant]++
 		}
 	}
 	return nil
@@ -412,6 +447,12 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		m.mu.Unlock()
 		return "", ErrQueueFull
 	}
+	if m.cfg.TenantLimit != nil {
+		if lim := m.cfg.TenantLimit(spec.Tenant); lim > 0 && m.activeTenant[spec.Tenant] >= int64(lim) {
+			m.mu.Unlock()
+			return "", ErrTenantQuota
+		}
+	}
 	j := &jobRec{id: newID(), spec: spec, state: StateAccepted, done: make(chan struct{})}
 	if err := m.journal.append(record{Job: j.id, State: recAccepted, Spec: &j.spec}); err != nil {
 		m.journalErrs++
@@ -421,6 +462,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 	m.byID[j.id] = j
 	m.order = append(m.order, j)
 	m.active++
+	m.activeTenant[spec.Tenant]++
 	m.accepted++
 	m.mu.Unlock()
 	m.enqueue(j)
@@ -486,33 +528,56 @@ func (m *Manager) Wait(ctx context.Context, id string) (JobInfo, error) {
 	}
 }
 
-// Cancel requests cancellation. A queued job terminalizes immediately;
-// a running job has its attempt context cancelled and terminalizes when
-// the attempt unwinds (unless the proof had already completed, in which
-// case done wins — cancellation is best-effort, not retroactive).
-func (m *Manager) Cancel(id string) error {
+// Cancel requests cancellation and returns the job's snapshot after
+// the request took effect. It is idempotent: a queued job terminalizes
+// immediately, a running job has its attempt context cancelled (it
+// terminalizes when the attempt unwinds — unless the proof had already
+// completed, in which case done wins; cancellation is best-effort, not
+// retroactive), and repeating a cancel — against an already-cancelled
+// job or one with a cancel still in flight — succeeds with the current
+// snapshot. Only a job that reached done or failed FIRST answers
+// ErrTerminal: the caller's cancel lost the race to a different outcome,
+// which is information, not noise.
+func (m *Manager) Cancel(id string) (JobInfo, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	j := m.byID[id]
 	if j == nil {
-		return ErrUnknownJob
+		return JobInfo{}, ErrUnknownJob
+	}
+	if j.state == StateCancelled {
+		return j.info(m.cfg.MaxAttempts), nil
 	}
 	if j.terminal() {
-		return ErrTerminal
+		return j.info(m.cfg.MaxAttempts), ErrTerminal
 	}
 	j.cancelRequested = true
 	if j.state == StateRunning {
 		if j.cancel != nil {
 			j.cancel()
 		}
-		return nil
+		return j.info(m.cfg.MaxAttempts), nil
 	}
 	if j.timer != nil {
 		j.timer.Stop()
 		j.timer = nil
 	}
 	m.terminalizeLocked(j, StateCancelled, "cancelled before execution", "")
-	return nil
+	return j.info(m.cfg.MaxAttempts), nil
+}
+
+// ActiveByTenant snapshots the live (non-terminal) job count per
+// tenant, as restored by replay and maintained since.
+func (m *Manager) ActiveByTenant() map[string]int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]int64, len(m.activeTenant))
+	for id, n := range m.activeTenant {
+		if n > 0 {
+			out[id] = n
+		}
+	}
+	return out
 }
 
 // BreakerState returns the breaker's current state and, when open, the
@@ -650,7 +715,7 @@ func (m *Manager) dispatch(j *jobRec) {
 		return
 	}
 	if m.cfg.Gate != nil {
-		if err := m.cfg.Gate(m.baseCtx, func() { m.runAttempt(j, probe) }); err != nil {
+		if err := m.cfg.Gate(m.baseCtx, j.spec.Tenant, func() { m.runAttempt(j, probe) }); err != nil {
 			// The external pool shed us without running the attempt: no
 			// budget consumed, the probe slot (if held) goes back, try
 			// again shortly.
@@ -747,10 +812,11 @@ func (m *Manager) finishAttempt(j *jobRec, res Result, err error, probe bool) {
 		j.proofFile = proofFile
 		j.proofBytes = len(res.Proof)
 		j.stats = res.Stats
+		j.cached = res.Cached
 		j.lastErr, j.lastCode = "", ""
 		m.appendTerminalLocked(j, record{
 			Job: j.id, State: recDone, Attempt: j.attempt,
-			ProofFile: proofFile, ProofBytes: j.proofBytes, Stats: res.Stats,
+			ProofFile: proofFile, ProofBytes: j.proofBytes, Stats: res.Stats, Cached: res.Cached,
 		})
 		m.markTerminalLocked(j, StateDone)
 		return
@@ -828,6 +894,9 @@ func (m *Manager) markTerminalLocked(j *jobRec, st State) {
 		j.timer = nil
 	}
 	m.active--
+	if m.activeTenant[j.spec.Tenant] > 0 {
+		m.activeTenant[j.spec.Tenant]--
+	}
 	switch st {
 	case StateDone:
 		m.doneCount++

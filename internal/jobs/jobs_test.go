@@ -287,7 +287,7 @@ func TestCancelQueuedJob(t *testing.T) {
 		}
 		time.Sleep(time.Millisecond)
 	}
-	if err := m.Cancel(second); err != nil {
+	if _, err := m.Cancel(second); err != nil {
 		t.Fatalf("Cancel queued: %v", err)
 	}
 	info := waitTerminal(t, m, second)
@@ -297,12 +297,23 @@ func TestCancelQueuedJob(t *testing.T) {
 	if info.Attempts != 0 {
 		t.Fatalf("cancelled queued job ran %d attempts", info.Attempts)
 	}
-	if err := m.Cancel(second); !errors.Is(err, ErrTerminal) {
-		t.Fatalf("Cancel terminal job: %v, want ErrTerminal", err)
+	// Cancelling an already-cancelled job is idempotent: same terminal
+	// info, no error, no second journal record.
+	again, err := m.Cancel(second)
+	if err != nil {
+		t.Fatalf("Cancel cancelled job: %v, want idempotent success", err)
+	}
+	if again.State != StateCancelled {
+		t.Fatalf("re-cancel state %s, want cancelled", again.State)
 	}
 	close(block)
 	if info := waitTerminal(t, m, first); info.State != StateDone {
 		t.Fatalf("first job %s, want done", info.State)
+	}
+	// A job that reached done/failed first is genuinely terminal: cancel
+	// is a typed conflict, not a silent no-op.
+	if _, err := m.Cancel(first); !errors.Is(err, ErrTerminal) {
+		t.Fatalf("Cancel done job: %v, want ErrTerminal", err)
 	}
 	assertExactlyOneTerminal(t, cfg.Dir)
 }
@@ -321,7 +332,7 @@ func TestCancelRunningJob(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("job never started")
 	}
-	if err := m.Cancel(id); err != nil {
+	if _, err := m.Cancel(id); err != nil {
 		t.Fatalf("Cancel running: %v", err)
 	}
 	info := waitTerminal(t, m, id)
@@ -340,7 +351,7 @@ func TestCancelUnknownJob(t *testing.T) {
 	m := openManager(t, testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
 		return Result{}, nil
 	}))
-	if err := m.Cancel("j-nope"); !errors.Is(err, ErrUnknownJob) {
+	if _, err := m.Cancel("j-nope"); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("Cancel unknown: %v, want ErrUnknownJob", err)
 	}
 	if _, err := m.Get("j-nope"); !errors.Is(err, ErrUnknownJob) {
@@ -514,7 +525,7 @@ func TestHalfOpenProbeShedByGateDoesNotWedge(t *testing.T) {
 	cfg.MaxAttempts = 50
 	cfg.BreakerThreshold = 1
 	cfg.BreakerCooldown = 40 * time.Millisecond
-	cfg.Gate = func(ctx context.Context, run func()) error {
+	cfg.Gate = func(ctx context.Context, tenantID string, run func()) error {
 		if shed.Add(-1) >= 0 {
 			return errors.New("external pool full")
 		}
@@ -681,7 +692,7 @@ func TestGateRoutesAttempts(t *testing.T) {
 	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
 		return Result{Proof: []byte("ok")}, nil
 	})
-	cfg.Gate = func(ctx context.Context, run func()) error {
+	cfg.Gate = func(ctx context.Context, tenantID string, run func()) error {
 		gated.Add(1)
 		done := make(chan struct{})
 		select {

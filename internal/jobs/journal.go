@@ -74,6 +74,8 @@ type record struct {
 	ProofFile  string          `json:"proof_file,omitempty"`
 	ProofBytes int             `json:"proof_bytes,omitempty"`
 	Stats      json.RawMessage `json:"stats,omitempty"`
+	// Cached marks a done record whose proof came from the proof cache.
+	Cached bool `json:"cached,omitempty"`
 }
 
 // journal is the open append handle plus its counters.

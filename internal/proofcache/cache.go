@@ -1,0 +1,217 @@
+// Package proofcache is a content-addressed cache of marshalled proofs
+// keyed by (circuit-id, params-digest, witness-commitment). Two rules
+// make it safe to put in front of a prover (DESIGN.md §12):
+//
+//   - Verify-on-insert: every proof is re-verified before it becomes
+//     servable. A cache entry that fails verification is a soundness
+//     incident, not a performance bug — it is counted, never stored,
+//     and never served.
+//   - Singleflight: N identical in-flight submissions cost one prove.
+//     The first requester for a key becomes the leader and proves;
+//     the rest wait on the leader's flight and are served the same
+//     (verified) bytes.
+//
+// The cache is bounded by an LRU bytes budget.
+package proofcache
+
+import (
+	"container/list"
+	"context"
+	"sync"
+
+	"nocap/internal/faultinject"
+	"nocap/internal/zkerr"
+)
+
+// fiInsertCorrupt flips one proof byte between prove and verify-on-
+// insert, modelling a corrupted store; chaos tests use it to prove the
+// verify-reject path never serves the bytes.
+var fiInsertCorrupt = faultinject.Register("proofcache.insert.corrupt")
+
+// KeySize is the cache key width (one hash digest).
+const KeySize = 32
+
+// Key addresses one proof: a hash over circuit identity, parameter
+// digest, and witness commitment. Construction lives with the caller,
+// which knows the hash domain.
+type Key [KeySize]byte
+
+// Config sizes the cache.
+type Config struct {
+	// MaxBytes is the LRU budget over stored proof bytes. <= 0 disables
+	// storage (flights still coalesce identical in-flight proves).
+	MaxBytes int64
+}
+
+// Metrics is a point-in-time snapshot of the cache counters.
+type Metrics struct {
+	Hits          int64
+	Misses        int64
+	Coalesced     int64 // followers that joined an in-flight prove
+	Inserts       int64
+	VerifyRejects int64 // soundness incidents: proofs refused at insert
+	Evictions     int64
+	OversizeSkips int64 // proofs larger than the whole budget
+	Entries       int64
+	Bytes         int64
+}
+
+// Flight is an in-flight prove for one key. Followers Wait on it; the
+// leader resolves it through Commit or Abort.
+type Flight struct {
+	done chan struct{}
+	data []byte
+	err  error
+}
+
+// Wait blocks until the leader resolves the flight or ctx ends. On
+// success the returned bytes are the leader's verified proof.
+func (f *Flight) Wait(ctx context.Context) ([]byte, error) {
+	select {
+	case <-f.done:
+		return f.data, f.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Acquisition is the outcome of Acquire: exactly one of Hit, Leader, or
+// follower (Flight set with Leader=false) holds.
+type Acquisition struct {
+	// Data is the cached proof when Hit.
+	Data []byte
+	// Hit: the proof was in the cache; Data is servable as-is.
+	Hit bool
+	// Leader: the caller owns the prove for this key and must resolve
+	// it with Commit (success) or Abort (failure) — leaking a flight
+	// strands every follower until their contexts expire.
+	Leader bool
+	// Flight is set when !Hit: the leader's own flight, or the one a
+	// follower should Wait on.
+	Flight *Flight
+}
+
+type cacheEntry struct {
+	key  Key
+	data []byte
+}
+
+// Cache is the verified LRU + singleflight store. Safe for concurrent
+// use.
+type Cache struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recent
+	byKey    map[Key]*list.Element
+	flights  map[Key]*Flight
+	m        Metrics // Entries/Bytes computed at snapshot time
+}
+
+// New builds a cache with the given budget.
+func New(cfg Config) *Cache {
+	return &Cache{
+		maxBytes: cfg.MaxBytes,
+		ll:       list.New(),
+		byKey:    make(map[Key]*list.Element),
+		flights:  make(map[Key]*Flight),
+	}
+}
+
+// Acquire looks up k and, on a miss, either claims leadership of the
+// prove (first caller) or joins the existing flight.
+func (c *Cache) Acquire(k Key) Acquisition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		c.ll.MoveToFront(el)
+		c.m.Hits++
+		return Acquisition{Data: el.Value.(*cacheEntry).data, Hit: true}
+	}
+	if f, ok := c.flights[k]; ok {
+		c.m.Coalesced++
+		return Acquisition{Flight: f}
+	}
+	c.m.Misses++
+	f := &Flight{done: make(chan struct{})}
+	c.flights[k] = f
+	return Acquisition{Flight: f, Leader: true}
+}
+
+// Commit resolves a leader's flight with freshly proven bytes. The
+// bytes are re-verified first — the verify-on-insert rule — so a proof
+// the verifier rejects is never inserted and never reaches a follower;
+// the rejection is returned to the leader as an internal error and
+// counted in VerifyRejects. On success the (possibly shared) verified
+// bytes are returned for the leader to serve.
+func (c *Cache) Commit(ctx context.Context, k Key, data []byte, verify func(context.Context, []byte) error) ([]byte, error) {
+	if ferr := faultinject.Check(fiInsertCorrupt); ferr != nil && len(data) > 0 {
+		data = append([]byte(nil), data...)
+		data[len(data)/2] ^= 0x01
+	}
+	if err := verify(ctx, data); err != nil {
+		c.mu.Lock()
+		c.m.VerifyRejects++
+		c.mu.Unlock()
+		rej := zkerr.Internalf("proofcache: verify-on-insert rejected proof: %v", err)
+		c.resolve(k, nil, rej)
+		return nil, rej
+	}
+	c.insert(k, data)
+	c.resolve(k, data, nil)
+	return data, nil
+}
+
+// Abort resolves a leader's flight with the prove's error; nothing is
+// inserted and followers receive err.
+func (c *Cache) Abort(k Key, err error) {
+	c.resolve(k, nil, err)
+}
+
+func (c *Cache) resolve(k Key, data []byte, err error) {
+	c.mu.Lock()
+	f := c.flights[k]
+	delete(c.flights, k)
+	c.mu.Unlock()
+	if f != nil {
+		f.data, f.err = data, err
+		close(f.done)
+	}
+}
+
+func (c *Cache) insert(k Key, data []byte) {
+	size := int64(len(data))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[k]; ok {
+		return
+	}
+	if size > c.maxBytes {
+		c.m.OversizeSkips++
+		return
+	}
+	for c.bytes+size > c.maxBytes {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ev := back.Value.(*cacheEntry)
+		c.ll.Remove(back)
+		delete(c.byKey, ev.key)
+		c.bytes -= int64(len(ev.data))
+		c.m.Evictions++
+	}
+	c.byKey[k] = c.ll.PushFront(&cacheEntry{key: k, data: data})
+	c.bytes += size
+	c.m.Inserts++
+}
+
+// Metrics snapshots the counters.
+func (c *Cache) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.m
+	m.Entries = int64(len(c.byKey))
+	m.Bytes = c.bytes
+	return m
+}

@@ -1,0 +1,62 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+
+	"nocap/internal/tenant"
+)
+
+// Tenant resolution (DESIGN.md §12): every tenant-scoped endpoint runs
+// behind withTenant, which maps the request's API key to a *tenant.
+// Tenant and stashes it in the request context. Requests without a key
+// are the anonymous default tenant — deliberately, so a single-tenant
+// deployment needs no keys at all — while a key the registry does not
+// know is a hard 401: silently demoting a mistyped key to the default
+// tenant would hand one tenant another's (smaller) quota and hide the
+// misconfiguration.
+
+type tenantCtxKey struct{}
+
+// apiKey extracts the request's API key from X-API-Key or
+// Authorization: Bearer; empty means anonymous.
+func apiKey(r *http.Request) string {
+	if k := r.Header.Get("X-API-Key"); k != "" {
+		return k
+	}
+	if auth := r.Header.Get("Authorization"); strings.HasPrefix(auth, "Bearer ") {
+		return strings.TrimSpace(strings.TrimPrefix(auth, "Bearer "))
+	}
+	return ""
+}
+
+// withTenant authenticates the request and threads its tenant through
+// the context. Unknown keys are answered 401 {"code":"unauthorized"}.
+func (s *Server) withTenant(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		key := apiKey(r)
+		var ten *tenant.Tenant
+		if key == "" {
+			ten = s.reg.Default()
+		} else {
+			var ok bool
+			if ten, ok = s.reg.ByKey(key); !ok {
+				s.metrics.authRejected.Add(1)
+				s.metrics.clientErrors.Add(1)
+				writeError(w, http.StatusUnauthorized, "unknown API key", "unauthorized")
+				return
+			}
+		}
+		h(w, r.WithContext(context.WithValue(r.Context(), tenantCtxKey{}, ten)))
+	}
+}
+
+// tenantFor returns the tenant withTenant resolved, or the default
+// tenant for paths that did not pass through it.
+func (s *Server) tenantFor(r *http.Request) *tenant.Tenant {
+	if t, ok := r.Context().Value(tenantCtxKey{}).(*tenant.Tenant); ok {
+		return t
+	}
+	return s.reg.Default()
+}

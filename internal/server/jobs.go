@@ -13,6 +13,7 @@ import (
 
 	"nocap"
 	"nocap/internal/jobs"
+	"nocap/internal/tenant"
 	"nocap/internal/zkerr"
 )
 
@@ -34,17 +35,39 @@ import (
 // status poll stays cheap instead of paying the full proof transfer on
 // every request once the job is done.
 type JobResponse struct {
-	ID          string          `json:"id"`
-	State       string          `json:"state"`
-	Attempts    int             `json:"attempts"`
-	MaxAttempts int             `json:"max_attempts"`
-	Recovered   bool            `json:"recovered,omitempty"`
-	JournalLost bool            `json:"journal_lost,omitempty"`
-	Error       string          `json:"error,omitempty"`
-	Code        string          `json:"code,omitempty"`
-	ProofB64    string          `json:"proof_b64,omitempty"`
-	ProofBytes  int             `json:"proof_bytes,omitempty"`
-	Stats       json.RawMessage `json:"stats,omitempty"`
+	ID              string          `json:"id"`
+	State           string          `json:"state"`
+	Tenant          string          `json:"tenant,omitempty"`
+	Attempts        int             `json:"attempts"`
+	MaxAttempts     int             `json:"max_attempts"`
+	Recovered       bool            `json:"recovered,omitempty"`
+	Cached          bool            `json:"cached,omitempty"`
+	CancelRequested bool            `json:"cancel_requested,omitempty"`
+	JournalLost     bool            `json:"journal_lost,omitempty"`
+	Error           string          `json:"error,omitempty"`
+	Code            string          `json:"code,omitempty"`
+	ProofB64        string          `json:"proof_b64,omitempty"`
+	ProofBytes      int             `json:"proof_bytes,omitempty"`
+	Stats           json.RawMessage `json:"stats,omitempty"`
+}
+
+// jobResponse maps a manager snapshot onto the wire form.
+func jobResponse(info jobs.JobInfo) JobResponse {
+	return JobResponse{
+		ID:              info.ID,
+		State:           string(info.State),
+		Tenant:          info.Tenant,
+		Attempts:        info.Attempts,
+		MaxAttempts:     info.MaxAttempts,
+		Recovered:       info.Recovered,
+		Cached:          info.Cached,
+		CancelRequested: info.CancelRequested,
+		JournalLost:     info.JournalLost,
+		Error:           info.Error,
+		Code:            info.Code,
+		ProofBytes:      info.ProofBytes,
+		Stats:           info.Stats,
+	}
 }
 
 // openJobs opens the durable job manager over cfg.DataDir. It runs in a
@@ -67,6 +90,12 @@ func (s *Server) openJobs() {
 		BackoffMax:       s.cfg.JobBackoffMax,
 		BreakerThreshold: s.cfg.JobBreakerThreshold,
 		BreakerCooldown:  s.cfg.JobBreakerCooldown,
+		TenantLimit: func(tenantID string) int {
+			if t, ok := s.reg.ByID(tenantID); ok {
+				return t.MaxJobs
+			}
+			return s.reg.Default().MaxJobs
+		},
 	})
 	s.jobsMu.Lock()
 	s.jobsMgr, s.jobsErr = mgr, err
@@ -81,12 +110,13 @@ func (s *Server) jobsManager() (*jobs.Manager, error) {
 	return s.jobsMgr, s.jobsErr
 }
 
-// jobGate routes an async proving attempt through the same bounded
-// worker pool that serves synchronous requests, so "workers" is one
-// concurrency budget no matter how work arrives. It either runs the
-// attempt to completion or returns an error without having run it (the
-// manager re-queues and tries again).
-func (s *Server) jobGate(ctx context.Context, run func()) error {
+// jobGate routes an async proving attempt through the same scheduler
+// and bounded worker pool that serve synchronous requests, so "workers"
+// is one concurrency budget and the DRR fairness policy governs all
+// work no matter how it arrives. It either runs the attempt to
+// completion or returns an error without having run it (the manager
+// re-queues and tries again).
+func (s *Server) jobGate(ctx context.Context, tenantID string, run func()) error {
 	select {
 	case <-s.quit:
 		// The worker pool is stopping; shed rather than enqueue an entry
@@ -95,9 +125,14 @@ func (s *Server) jobGate(ctx context.Context, run func()) error {
 	default:
 	}
 	j := &job{run: run, done: make(chan struct{}), enqueued: time.Now()}
-	select {
-	case s.jobs <- j:
-	default:
+	err := s.sched.Enqueue(tenantID, j, 1)
+	if errors.Is(err, tenant.ErrUnknownTenant) {
+		// A journaled tenant no longer configured (keyfile changed across
+		// a restart): the job still owes its attempt, run it on the
+		// default tenant's queue rather than stranding it.
+		err = s.sched.Enqueue(s.reg.Default().ID, j, 1)
+	}
+	if err != nil {
 		return jobs.ErrQueueFull
 	}
 	// Once enqueued the attempt normally runs (a worker picks it up and
@@ -137,18 +172,69 @@ func (s *Server) proveExec(ctx context.Context, spec jobs.Spec) (jobs.Result, er
 	}
 	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
+	if s.cache != nil {
+		return s.cachedProveExec(ctx, req, params, bm)
+	}
+	data, statsRaw, err := s.runProve(ctx, params, bm)
+	if err != nil {
+		return jobs.Result{}, err
+	}
+	return jobs.Result{Proof: data, Stats: statsRaw}, nil
+}
+
+// runProve executes one real prove with per-run collector accounting
+// and returns the marshalled proof plus stats JSON.
+func (s *Server) runProve(ctx context.Context, params nocap.Params, bm *nocap.Benchmark) ([]byte, json.RawMessage, error) {
 	col := nocap.NewCollector()
 	proof, err := nocap.ProveCtx(col.Attach(ctx), params, bm.Inst, bm.IO, bm.Witness)
 	if err != nil {
-		return jobs.Result{}, err
+		return nil, nil, err
 	}
 	data, err := nocap.MarshalProof(proof)
 	if err != nil {
-		return jobs.Result{}, err
+		return nil, nil, err
 	}
 	statsRaw, err := json.Marshal(statsJSON(col.Stats()))
 	if err != nil {
-		return jobs.Result{}, zkerr.Internalf("jobs: marshal stats: %v", err)
+		return nil, nil, zkerr.Internalf("jobs: marshal stats: %v", err)
+	}
+	return data, statsRaw, nil
+}
+
+// cachedProveExec is proveExec behind the proof cache: hits and
+// coalesced followers return the leader's verified bytes with
+// Cached=true; a leader proves, Commits (verify-on-insert), and owns
+// resolving the flight. A follower here blocks its worker slot while
+// waiting, which is safe: the leader always holds a different worker
+// and makes progress (with one worker no follower can exist — the
+// single worker is the leader).
+func (s *Server) cachedProveExec(ctx context.Context, req ProveRequest, params nocap.Params, bm *nocap.Benchmark) (jobs.Result, error) {
+	key := proveCacheKey(req.Circuit, params, bm)
+	acq := s.cache.Acquire(key)
+	switch {
+	case acq.Hit:
+		return jobs.Result{Proof: acq.Data, Cached: true}, nil
+	case !acq.Leader:
+		data, err := acq.Flight.Wait(ctx)
+		if err != nil {
+			if ctx.Err() == nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+				// The LEADER's request died, not this job: report a
+				// retryable failure so the manager re-proves, instead of
+				// inheriting a cancellation this job never asked for.
+				return jobs.Result{}, zkerr.Internalf("jobs: cache leader abandoned prove: %v", err)
+			}
+			return jobs.Result{}, err
+		}
+		return jobs.Result{Proof: data, Cached: true}, nil
+	}
+	data, statsRaw, err := s.runProve(ctx, params, bm)
+	if err != nil {
+		s.cache.Abort(key, err)
+		return jobs.Result{}, err
+	}
+	data, err = s.cache.Commit(ctx, key, data, s.verifyOnInsert(params, bm))
+	if err != nil {
+		return jobs.Result{}, err
 	}
 	return jobs.Result{Proof: data, Stats: statsRaw}, nil
 }
@@ -208,13 +294,17 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeTaxonomyError(w, err)
 		return
 	}
+	ten, ok := s.rateGate(w, r)
+	if !ok {
+		return
+	}
 	payload, err := json.Marshal(req)
 	if err != nil {
 		s.writeTaxonomyError(w, zkerr.Internalf("encode job payload: %v", err))
 		return
 	}
 	mgr, _ := s.jobsManager()
-	id, err := mgr.Submit(jobs.Spec{Payload: payload})
+	id, err := mgr.Submit(jobs.Spec{Payload: payload, Tenant: ten.ID})
 	switch {
 	case errors.Is(err, jobs.ErrBreakerOpen):
 		s.metrics.jobShedBreaker.Add(1)
@@ -224,8 +314,15 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	case errors.Is(err, jobs.ErrQueueFull):
 		s.metrics.rejectedQueueFull.Add(1)
-		w.Header().Set("Retry-After", retryAfterJitter(time.Second, 2))
+		w.Header().Set("Retry-After", retryAfterJitter(s.drainEst.retryAfter(s.sched.Len(), s.cfg.Workers), 2))
 		writeError(w, http.StatusTooManyRequests, "job queue is full", "queue-full")
+		return
+	case errors.Is(err, jobs.ErrTenantQuota):
+		ten.RecordJobQuotaReject()
+		s.metrics.rejectedTenantQuota.Add(1)
+		w.Header().Set("Retry-After", retryAfterJitter(s.drainEst.retryAfter(s.sched.Len(), s.cfg.Workers), 2))
+		s.quotaHeaders(w, ten)
+		writeTenantError(w, http.StatusTooManyRequests, "tenant live-job quota exceeded", "tenant-jobs-quota", ten.ID)
 		return
 	case errors.Is(err, jobs.ErrClosed):
 		s.metrics.rejectedDraining.Add(1)
@@ -236,13 +333,27 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Location", "/jobs/"+id)
-	resp := JobResponse{ID: id, State: string(jobs.StateAccepted)}
+	resp := JobResponse{ID: id, State: string(jobs.StateAccepted), Tenant: ten.ID}
 	if info, err := mgr.Get(id); err == nil {
-		resp.State = string(info.State)
-		resp.Attempts = info.Attempts
-		resp.MaxAttempts = info.MaxAttempts
+		resp = jobResponse(info)
 	}
 	writeJSON(w, http.StatusAccepted, resp)
+}
+
+// jobVisible enforces tenant isolation on job reads: with API keys
+// configured, a tenant sees only its own jobs (pre-tenancy jobs with no
+// attribution belong to the default tenant). An unkeyed deployment is
+// single-tenant and sees everything. Invisible jobs answer 404, not
+// 403: existence itself is tenant data.
+func (s *Server) jobVisible(ten *tenant.Tenant, info jobs.JobInfo) bool {
+	if !s.reg.Keyed() {
+		return true
+	}
+	owner := info.Tenant
+	if owner == "" {
+		owner = s.reg.Default().ID
+	}
+	return owner == ten.ID
 }
 
 func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
@@ -251,22 +362,11 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	}
 	mgr, _ := s.jobsManager()
 	info, err := mgr.Get(r.PathValue("id"))
-	if errors.Is(err, jobs.ErrUnknownJob) {
-		writeError(w, http.StatusNotFound, err.Error(), "unknown-job")
+	if errors.Is(err, jobs.ErrUnknownJob) || (err == nil && !s.jobVisible(s.tenantFor(r), info)) {
+		writeError(w, http.StatusNotFound, jobs.ErrUnknownJob.Error(), "unknown-job")
 		return
 	}
-	resp := JobResponse{
-		ID:          info.ID,
-		State:       string(info.State),
-		Attempts:    info.Attempts,
-		MaxAttempts: info.MaxAttempts,
-		Recovered:   info.Recovered,
-		JournalLost: info.JournalLost,
-		Error:       info.Error,
-		Code:        info.Code,
-		ProofBytes:  info.ProofBytes,
-		Stats:       info.Stats,
-	}
+	resp := jobResponse(info)
 	// The proof payload is returned only on request: polls watch state
 	// (and proof_bytes) for free, then fetch the proof exactly once.
 	if wantProof := r.URL.Query().Get("proof"); (wantProof == "1" || wantProof == "true") && info.State == jobs.StateDone {
@@ -280,27 +380,47 @@ func (s *Server) handleJobGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleJobCancel implements idempotent DELETE /jobs/{id}: the status
+// is a pure function of the job's state, so double-cancels and
+// cancel/complete races always land on one of three consistent typed
+// responses instead of racing to ambiguous ones:
+//
+//	cancelled (now or earlier)  → 200 {"state":"cancelled"}
+//	running, cancel in flight   → 202 {"cancel_requested":true}
+//	done/failed first           → 409 {"code":"terminal"} (repeatable)
 func (s *Server) handleJobCancel(w http.ResponseWriter, r *http.Request) {
 	if s.jobsUnavailable(w) {
 		return
 	}
 	mgr, _ := s.jobsManager()
 	id := r.PathValue("id")
-	err := mgr.Cancel(id)
+	ten := s.tenantFor(r)
+	// Visibility first: cancelling another tenant's job must look
+	// exactly like cancelling a job that does not exist.
+	if info, err := mgr.Get(id); err == nil && !s.jobVisible(ten, info) {
+		writeError(w, http.StatusNotFound, jobs.ErrUnknownJob.Error(), "unknown-job")
+		return
+	}
+	info, err := mgr.Cancel(id)
 	switch {
 	case errors.Is(err, jobs.ErrUnknownJob):
 		writeError(w, http.StatusNotFound, err.Error(), "unknown-job")
 		return
 	case errors.Is(err, jobs.ErrTerminal):
-		writeError(w, http.StatusConflict, err.Error(), "terminal")
+		// The job completed (done/failed) before any cancel arrived — and
+		// repeating the DELETE repeats this same answer.
+		writeJSON(w, http.StatusConflict, ErrorResponse{Error: err.Error(), Code: "terminal", Tenant: info.Tenant})
 		return
 	case err != nil:
 		s.writeTaxonomyError(w, err)
 		return
 	}
 	s.metrics.jobCancels.Add(1)
-	info, _ := mgr.Get(id)
-	writeJSON(w, http.StatusAccepted, JobResponse{ID: id, State: string(info.State), Attempts: info.Attempts})
+	if info.State == jobs.StateCancelled {
+		writeJSON(w, http.StatusOK, jobResponse(info))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, jobResponse(info))
 }
 
 // handleReadyz is the readiness probe: 200 only when the server should

@@ -277,9 +277,14 @@ func TestJobsCancelHTTP(t *testing.T) {
 	if jr.State != "cancelled" {
 		t.Fatalf("state %s, want cancelled", jr.State)
 	}
-	if status, body := del("/jobs/" + id); status != http.StatusConflict ||
-		!strings.Contains(string(body), `"code":"terminal"`) {
-		t.Fatalf("DELETE terminal job: %d %s", status, body)
+	// Double-cancel is idempotent: the same terminal state comes back
+	// with 200, not a conflict (DESIGN.md §12). Repeat it to pin that the
+	// answer is stable, not first-call-only.
+	for i := 0; i < 2; i++ {
+		if status, body := del("/jobs/" + id); status != http.StatusOK ||
+			!strings.Contains(string(body), `"state":"cancelled"`) {
+			t.Fatalf("DELETE cancelled job (try %d): %d %s", i, status, body)
+		}
 	}
 }
 
@@ -497,7 +502,10 @@ func TestShutdownDrainDeadlineDoesNotStrandJobGate(t *testing.T) {
 			time.Sleep(120 * time.Millisecond)
 			return jobs.Result{}, ctx.Err()
 		}
-		s := New(cfg)
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
 		deadline := time.Now().Add(10 * time.Second)
 		for s.JobsRecovering() {
 			if time.Now().After(deadline) {
@@ -538,7 +546,10 @@ func TestShutdownDrainDeadlineDoesNotStrandJobGate(t *testing.T) {
 // (status, code) pair — the machine-readable contract clients and the
 // loadgen assert against.
 func TestStatusCodeTaxonomy(t *testing.T) {
-	s := New(testConfig())
+	s, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"nocap"
+	"nocap/internal/tenant"
 )
 
 // metrics is the server's own counter set: admission, outcome, and
@@ -14,55 +15,65 @@ import (
 // /metrics reads them from the process-wide aggregate (ReadProveStats),
 // which every request's collector also feeds.
 type metrics struct {
-	proveRequests     atomic.Int64
-	verifyRequests    atomic.Int64
-	provesOK          atomic.Int64
-	verifiesOK        atomic.Int64
-	verifiesRejected  atomic.Int64
-	clientErrors      atomic.Int64
-	serverErrors      atomic.Int64
-	rejectedQueueFull atomic.Int64
-	rejectedDraining  atomic.Int64
-	queueWaitNs       atomic.Int64
-	proveNs           atomic.Int64
-	verifyNs          atomic.Int64
-	jobSubmits        atomic.Int64
-	jobShedBreaker    atomic.Int64
-	jobCancels        atomic.Int64
+	proveRequests       atomic.Int64
+	verifyRequests      atomic.Int64
+	provesOK            atomic.Int64
+	verifiesOK          atomic.Int64
+	verifiesRejected    atomic.Int64
+	clientErrors        atomic.Int64
+	serverErrors        atomic.Int64
+	rejectedQueueFull   atomic.Int64
+	rejectedDraining    atomic.Int64
+	rejectedRateLimited atomic.Int64
+	rejectedTenantQuota atomic.Int64
+	authRejected        atomic.Int64
+	queueWaitNs         atomic.Int64
+	proveNs             atomic.Int64
+	verifyNs            atomic.Int64
+	jobSubmits          atomic.Int64
+	jobShedBreaker      atomic.Int64
+	jobCancels          atomic.Int64
 }
 
 // MetricsSnapshot is the server-counter part of /metrics, for tests and
 // embedding callers.
 type MetricsSnapshot struct {
-	ProveRequests     int64
-	VerifyRequests    int64
-	ProvesOK          int64
-	VerifiesOK        int64
-	VerifiesRejected  int64
-	ClientErrors      int64
-	ServerErrors      int64
-	RejectedQueueFull int64
-	RejectedDraining  int64
+	ProveRequests       int64
+	VerifyRequests      int64
+	ProvesOK            int64
+	VerifiesOK          int64
+	VerifiesRejected    int64
+	ClientErrors        int64
+	ServerErrors        int64
+	RejectedQueueFull   int64
+	RejectedDraining    int64
+	RejectedRateLimited int64
+	RejectedTenantQuota int64
+	AuthRejected        int64
 }
 
 // Metrics snapshots the server counters.
 func (s *Server) Metrics() MetricsSnapshot {
 	return MetricsSnapshot{
-		ProveRequests:     s.metrics.proveRequests.Load(),
-		VerifyRequests:    s.metrics.verifyRequests.Load(),
-		ProvesOK:          s.metrics.provesOK.Load(),
-		VerifiesOK:        s.metrics.verifiesOK.Load(),
-		VerifiesRejected:  s.metrics.verifiesRejected.Load(),
-		ClientErrors:      s.metrics.clientErrors.Load(),
-		ServerErrors:      s.metrics.serverErrors.Load(),
-		RejectedQueueFull: s.metrics.rejectedQueueFull.Load(),
-		RejectedDraining:  s.metrics.rejectedDraining.Load(),
+		ProveRequests:       s.metrics.proveRequests.Load(),
+		VerifyRequests:      s.metrics.verifyRequests.Load(),
+		ProvesOK:            s.metrics.provesOK.Load(),
+		VerifiesOK:          s.metrics.verifiesOK.Load(),
+		VerifiesRejected:    s.metrics.verifiesRejected.Load(),
+		ClientErrors:        s.metrics.clientErrors.Load(),
+		ServerErrors:        s.metrics.serverErrors.Load(),
+		RejectedQueueFull:   s.metrics.rejectedQueueFull.Load(),
+		RejectedDraining:    s.metrics.rejectedDraining.Load(),
+		RejectedRateLimited: s.metrics.rejectedRateLimited.Load(),
+		RejectedTenantQuota: s.metrics.rejectedTenantQuota.Load(),
+		AuthRejected:        s.metrics.authRejected.Load(),
 	}
 }
 
 // renderMetrics emits Prometheus text-format gauges and counters: the
-// server's admission/latency counters, the five-stage kernel breakdown,
-// and the arena's checkout behavior.
+// server's admission/latency counters, per-tenant scheduler and quota
+// counters, the proof cache, the five-stage kernel breakdown, and the
+// arena's checkout behavior.
 func (s *Server) renderMetrics() string {
 	var b strings.Builder
 	m := &s.metrics
@@ -82,6 +93,9 @@ func (s *Server) renderMetrics() string {
 	counter("nocap_server_errors_total", "requests answered 5xx", m.serverErrors.Load())
 	counter("nocap_rejected_queue_full_total", "requests shed with 429", m.rejectedQueueFull.Load())
 	counter("nocap_rejected_draining_total", "requests refused during drain", m.rejectedDraining.Load())
+	counter("nocap_rejected_rate_limited_total", "requests shed by a tenant rate limit", m.rejectedRateLimited.Load())
+	counter("nocap_rejected_tenant_quota_total", "job submissions shed by a tenant job quota", m.rejectedTenantQuota.Load())
+	counter("nocap_auth_rejected_total", "requests with an unknown API key", m.authRejected.Load())
 	counter("nocap_queue_wait_ns_total", "nanoseconds requests spent queued (sum)", m.queueWaitNs.Load())
 	counter("nocap_prove_ns_total", "nanoseconds spent proving (sum over completed proves)", m.proveNs.Load())
 	counter("nocap_verify_ns_total", "nanoseconds spent verifying (sum over completed verifies)", m.verifyNs.Load())
@@ -91,10 +105,13 @@ func (s *Server) renderMetrics() string {
 	counter("nocap_job_cancels_total", "jobs cancelled via DELETE /jobs", m.jobCancels.Load())
 	s.renderJobsMetrics(counter, gauge)
 
-	gauge("nocap_queue_depth", "requests admitted and waiting for a worker", int64(len(s.jobs)))
-	gauge("nocap_queue_capacity", "admission queue bound", int64(cap(s.jobs)))
+	gauge("nocap_queue_depth", "requests admitted and waiting for a worker", int64(s.sched.Len()))
+	gauge("nocap_queue_capacity", "admission queue bound", int64(s.sched.Capacity()))
 	gauge("nocap_inflight", "requests currently proving or verifying", s.inflight.Load())
 	gauge("nocap_workers", "proving worker pool size", int64(s.cfg.Workers))
+
+	s.renderTenantMetrics(&b)
+	s.renderCacheMetrics(counter, gauge)
 
 	// Process-wide kernel and arena aggregates (every request's collector
 	// feeds these too; per-request numbers live in the responses).
@@ -126,4 +143,56 @@ func (s *Server) renderMetrics() string {
 	gauge("nocap_arena_outstanding", "live arena checkouts", agg.Arena.Outstanding)
 	gauge("nocap_arena_outstanding_elems", "elements in live arena checkouts", agg.Arena.OutstandingElems)
 	return b.String()
+}
+
+// renderTenantMetrics emits the per-tenant scheduler and quota counters
+// with a tenant label.
+func (s *Server) renderTenantMetrics(b *strings.Builder) {
+	stats := s.sched.Stats()
+	labeled := func(name, help, typ string, value func(tenant.QueueStats) int64) {
+		fmt.Fprintf(b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+		for _, qs := range stats {
+			fmt.Fprintf(b, "%s{tenant=%q} %d\n", name, qs.ID, value(qs))
+		}
+	}
+	labeled("nocap_tenant_enqueued_total", "requests admitted to the tenant queue", "counter",
+		func(qs tenant.QueueStats) int64 { return qs.Enqueued })
+	labeled("nocap_tenant_dequeued_total", "tenant requests handed to workers", "counter",
+		func(qs tenant.QueueStats) int64 { return qs.Dequeued })
+	labeled("nocap_tenant_rejected_queue_full_total", "tenant requests shed with a per-tenant 429", "counter",
+		func(qs tenant.QueueStats) int64 { return qs.RejectedFull })
+	labeled("nocap_tenant_queue_wait_ns_total", "nanoseconds tenant requests spent queued (sum)", "counter",
+		func(qs tenant.QueueStats) int64 { return qs.QueueWaitNs })
+	labeled("nocap_tenant_queue_depth", "tenant requests queued now", "gauge",
+		func(qs tenant.QueueStats) int64 { return int64(qs.Depth) })
+	labeled("nocap_tenant_inflight", "tenant requests on workers now", "gauge",
+		func(qs tenant.QueueStats) int64 { return int64(qs.Inflight) })
+	labeled("nocap_tenant_weight", "tenant DRR weight", "gauge",
+		func(qs tenant.QueueStats) int64 { return int64(qs.Weight) })
+
+	fmt.Fprintf(b, "# HELP nocap_tenant_rate_limited_total requests shed by the tenant rate limit\n# TYPE nocap_tenant_rate_limited_total counter\n")
+	for _, t := range s.reg.All() {
+		fmt.Fprintf(b, "nocap_tenant_rate_limited_total{tenant=%q} %d\n", t.ID, t.RateRejects())
+	}
+	fmt.Fprintf(b, "# HELP nocap_tenant_job_quota_rejects_total job submissions shed by the tenant MaxJobs quota\n# TYPE nocap_tenant_job_quota_rejects_total counter\n")
+	for _, t := range s.reg.All() {
+		fmt.Fprintf(b, "nocap_tenant_job_quota_rejects_total{tenant=%q} %d\n", t.ID, t.JobQuotaRejects())
+	}
+}
+
+// renderCacheMetrics emits the proof cache counters when the cache is
+// enabled.
+func (s *Server) renderCacheMetrics(counter, gauge func(name, help string, v int64)) {
+	if s.cache == nil {
+		return
+	}
+	cm := s.cache.Metrics()
+	counter("nocap_proofcache_hits_total", "proofs served from the cache", cm.Hits)
+	counter("nocap_proofcache_misses_total", "cache lookups that started a prove", cm.Misses)
+	counter("nocap_proofcache_coalesced_total", "requests that joined an in-flight identical prove", cm.Coalesced)
+	counter("nocap_proofcache_inserts_total", "proofs inserted after verify-on-insert", cm.Inserts)
+	counter("nocap_proofcache_verify_rejects_total", "proofs REFUSED at insert by re-verification (soundness incidents)", cm.VerifyRejects)
+	counter("nocap_proofcache_evictions_total", "entries evicted by the LRU bytes budget", cm.Evictions)
+	gauge("nocap_proofcache_entries", "proofs currently cached", cm.Entries)
+	gauge("nocap_proofcache_bytes", "proof bytes currently cached", cm.Bytes)
 }

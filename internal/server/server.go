@@ -3,9 +3,18 @@
 // control a shared prover needs. Proving is seconds of CPU and hundreds
 // of megabytes of scratch per request, so the server never lets HTTP
 // concurrency become proving concurrency: a fixed worker pool executes
-// the cryptographic work and a bounded queue in front of it sheds load
-// with 429 the moment the backlog is full, instead of stacking requests
-// until the process dies.
+// the cryptographic work and bounded per-tenant queues in front of it
+// shed load with 429 the moment a tenant's backlog is full, instead of
+// stacking requests until the process dies.
+//
+// Admission is multi-tenant (DESIGN.md §12): requests authenticate with
+// a static API key (or fall to the anonymous default tenant), pass the
+// tenant's token-bucket rate limit, and join the tenant's own bounded
+// queue. A weighted deficit-round-robin scheduler hands queued requests
+// to the worker pool, so one saturating tenant cannot starve the rest —
+// a light tenant's head-of-queue request is served within a bounded
+// number of dequeues. A content-addressed proof cache (verify-on-insert,
+// singleflight) sits behind admission so repeat proofs cost a lookup.
 //
 // Per-request accounting rides on the stats Collector (nocap.Collector):
 // each request attaches its own collector to the proving context, so the
@@ -19,9 +28,10 @@
 //	usage                  → 400
 //	malformed-proof        → 400
 //	bad-commitment         → 400
+//	unknown API key        → 401
 //	resource-limit         → 413 (request bounds) or 504 (deadline)
 //	internal               → 500
-//	queue full             → 429 (Retry-After set)
+//	queue/rate/quota full  → 429 (typed per-tenant, Retry-After set)
 //	draining               → 503
 //
 // A proof that parses but fails verification is not a transport error:
@@ -36,12 +46,16 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nocap"
+	"nocap/internal/hashfn"
 	"nocap/internal/jobs"
+	"nocap/internal/proofcache"
+	"nocap/internal/tenant"
 	"nocap/internal/zkerr"
 )
 
@@ -52,8 +66,9 @@ type Config struct {
 	Addr string
 	// Workers bounds concurrent proving/verification runs. Default 2.
 	Workers int
-	// QueueDepth bounds requests admitted but not yet running; beyond it
-	// the server answers 429. Default 2×Workers.
+	// QueueDepth bounds requests admitted but not yet running, per
+	// tenant (it is the default tenant queue depth; individual tenants
+	// may override). Beyond it the server answers 429. Default 2×Workers.
 	QueueDepth int
 	// RequestTimeout caps every request's proving deadline; a request's
 	// own timeout_ms may shorten it but never extend it. Default 2m.
@@ -67,6 +82,17 @@ type Config struct {
 	// Params are the proving parameters (Reps is overridden per request
 	// when the request sets reps). Default nocap.DefaultParams().
 	Params nocap.Params
+
+	// Tenants are the keyed tenants (API key required); empty means the
+	// service runs single-tenant on the anonymous default tenant.
+	Tenants []tenant.Config
+	// TenantDefaults configures the anonymous default tenant and
+	// supplies fallback values for keyed tenants' zero fields. Its zero
+	// value means weight 1, queue depth QueueDepth, no rate limit.
+	TenantDefaults tenant.Config
+	// CacheMB is the content-addressed proof cache budget; <= 0
+	// disables the cache (and singleflight coalescing with it).
+	CacheMB int
 
 	// DataDir enables the durable async job API (POST/GET/DELETE /jobs):
 	// the job journal and proof payloads live here and survive restarts.
@@ -142,6 +168,42 @@ type job struct {
 	dropped bool
 }
 
+// drainEstimator measures the worker pool's service rate so Retry-After
+// on shed requests reflects the actual backlog instead of a fixed
+// constant: a queue of B items draining through W workers at mean
+// service time s clears in about s·(B+1)/W.
+type drainEstimator struct {
+	completions atomic.Int64
+	serviceNs   atomic.Int64
+}
+
+func (d *drainEstimator) observe(service time.Duration) {
+	d.completions.Add(1)
+	d.serviceNs.Add(service.Nanoseconds())
+}
+
+// retryAfter estimates when a shed request is worth retrying, clamped
+// to [1s, 30s]. With no completed work yet it falls back to the 1s
+// floor (the pre-estimator behaviour).
+func (d *drainEstimator) retryAfter(backlog, workers int) time.Duration {
+	n := d.completions.Load()
+	if n <= 0 {
+		return time.Second
+	}
+	mean := time.Duration(d.serviceNs.Load() / n)
+	if workers < 1 {
+		workers = 1
+	}
+	est := mean * time.Duration(backlog+1) / time.Duration(workers)
+	if est < time.Second {
+		est = time.Second
+	}
+	if est > 30*time.Second {
+		est = 30 * time.Second
+	}
+	return est
+}
+
 // Server is the proving service. Create with New, start with Serve or
 // ListenAndServe, stop with Shutdown.
 type Server struct {
@@ -149,7 +211,10 @@ type Server struct {
 	limits   nocap.DecodeLimits
 	mux      *http.ServeMux
 	http     *http.Server
-	jobs     chan *job
+	reg      *tenant.Registry
+	sched    *tenant.Scheduler
+	cache    *proofcache.Cache
+	drainEst drainEstimator
 	draining atomic.Bool
 	inflight atomic.Int64
 	metrics  metrics
@@ -159,8 +224,9 @@ type Server struct {
 
 	workerWG sync.WaitGroup
 	quit     chan struct{}
-	// workersDone closes after the last worker exits; anything still in
-	// s.jobs at that point will never run and must be swept.
+	// workersDone closes after the last worker exits; anything still
+	// queued in the scheduler at that point will never run and must be
+	// swept.
 	workersDone chan struct{}
 
 	// Async job state: the manager opens in the background (journal
@@ -174,23 +240,45 @@ type Server struct {
 	listener   net.Listener
 }
 
-// New returns an unstarted server.
-func New(cfg Config) *Server {
+// New returns an unstarted server. It fails only on invalid tenant
+// configuration (duplicate IDs or API keys, keyless tenants).
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.Normalize()
+	defaults := cfg.TenantDefaults
+	if defaults.QueueDepth <= 0 {
+		defaults.QueueDepth = cfg.QueueDepth
+	}
+	reg, err := tenant.NewRegistry(defaults, cfg.Tenants)
+	if err != nil {
+		return nil, err
+	}
+	queues := make([]tenant.QueueConfig, 0, len(reg.All()))
+	for _, t := range reg.All() {
+		queues = append(queues, tenant.QueueConfig{
+			ID:          t.ID,
+			Weight:      t.Weight,
+			Depth:       t.QueueDepth,
+			MaxInflight: t.MaxInflight,
+		})
+	}
 	s := &Server{
-		cfg:    cfg,
-		limits: cfg.decodeLimits(),
-		mux:    http.NewServeMux(),
-		jobs:        make(chan *job, cfg.QueueDepth),
+		cfg:         cfg,
+		limits:      cfg.decodeLimits(),
+		mux:         http.NewServeMux(),
+		reg:         reg,
+		sched:       tenant.NewScheduler(queues),
 		quit:        make(chan struct{}),
 		workersDone: make(chan struct{}),
 	}
+	if cfg.CacheMB > 0 {
+		s.cache = proofcache.New(proofcache.Config{MaxBytes: int64(cfg.CacheMB) << 20})
+	}
 	s.baseCtx, s.cancelBase = context.WithCancel(context.Background())
-	s.mux.HandleFunc("POST /prove", s.handleProve)
-	s.mux.HandleFunc("POST /verify", s.handleVerify)
-	s.mux.HandleFunc("POST /jobs", s.handleJobCreate)
-	s.mux.HandleFunc("GET /jobs/{id}", s.handleJobGet)
-	s.mux.HandleFunc("DELETE /jobs/{id}", s.handleJobCancel)
+	s.mux.HandleFunc("POST /prove", s.withTenant(s.handleProve))
+	s.mux.HandleFunc("POST /verify", s.withTenant(s.handleVerify))
+	s.mux.HandleFunc("POST /jobs", s.withTenant(s.handleJobCreate))
+	s.mux.HandleFunc("GET /jobs/{id}", s.withTenant(s.handleJobGet))
+	s.mux.HandleFunc("DELETE /jobs/{id}", s.withTenant(s.handleJobCancel))
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -212,7 +300,7 @@ func New(cfg Config) *Server {
 		s.recovering.Store(true)
 		go s.openJobs()
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP handler, for tests driving the server through
@@ -274,68 +362,111 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = s.http.Shutdown(context.Background())
 	}
 	close(s.quit)
+	s.sched.Stop()
 	s.workerWG.Wait()
 	// If the manager's Close hit the drain deadline above, its
 	// dispatchers can still be parked in jobGate on entries the (now
 	// exited) workers never picked up. Publish that the pool is gone and
-	// sweep the queue so every waiter is released instead of leaking.
+	// sweep the queues so every waiter is released instead of leaking.
 	close(s.workersDone)
 	s.drainJobQueue()
 	s.cancelBase()
 	return err
 }
 
-// drainJobQueue completes every entry still sitting in the admission
-// queue after the workers have exited, without running it. Safe to call
-// concurrently (jobGate waiters sweep too): each entry is received, and
-// therefore completed, exactly once.
+// drainJobQueue completes every entry still sitting in the scheduler
+// after the workers have exited, without running it. Safe to call
+// concurrently (jobGate waiters sweep too): Drain hands each entry out
+// exactly once.
 func (s *Server) drainJobQueue() {
-	for {
-		select {
-		case j := <-s.jobs:
-			j.dropped = true
-			close(j.done)
-		default:
-			return
-		}
+	for _, v := range s.sched.Drain() {
+		j := v.(*job)
+		j.dropped = true
+		close(j.done)
 	}
 }
 
-// worker executes admitted jobs one at a time until quit closes.
+// worker executes scheduled jobs one at a time until the scheduler
+// stops.
 func (s *Server) worker() {
 	defer s.workerWG.Done()
 	for {
-		select {
-		case j := <-s.jobs:
-			s.metrics.queueWaitNs.Add(time.Since(j.enqueued).Nanoseconds())
-			j.run()
-			close(j.done)
-		case <-s.quit:
+		v, tenantID, wait, ok := s.sched.Dequeue()
+		if !ok {
 			return
 		}
+		j := v.(*job)
+		s.metrics.queueWaitNs.Add(wait.Nanoseconds())
+		start := time.Now()
+		j.run()
+		s.drainEst.observe(time.Since(start))
+		s.sched.Done(tenantID)
+		close(j.done)
 	}
 }
 
-// admit enqueues work for the pool and blocks until it has run, or
-// rejects it (writing the response itself) when the server is draining
-// or the queue is full.
-func (s *Server) admit(w http.ResponseWriter, run func()) bool {
+// admit enqueues work on the tenant's queue and blocks until it has
+// run, or rejects it (writing the response itself) when the server is
+// draining or the tenant's queue is full. A full queue is a per-tenant
+// condition: other tenants' backlog can never cause this 429.
+func (s *Server) admit(w http.ResponseWriter, ten *tenant.Tenant, run func()) bool {
 	if s.draining.Load() {
 		s.metrics.rejectedDraining.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
 		return false
 	}
 	j := &job{run: run, done: make(chan struct{}), enqueued: time.Now()}
-	select {
-	case s.jobs <- j:
-	default:
+	if err := s.sched.Enqueue(ten.ID, j, 1); err != nil {
+		if errors.Is(err, tenant.ErrStopped) {
+			s.metrics.rejectedDraining.Add(1)
+			writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
+			return false
+		}
 		s.metrics.rejectedQueueFull.Add(1)
-		w.Header().Set("Retry-After", retryAfterJitter(time.Second, 2))
-		writeError(w, http.StatusTooManyRequests, "admission queue is full", "queue-full")
+		w.Header().Set("Retry-After", retryAfterJitter(s.drainEst.retryAfter(s.sched.Len(), s.cfg.Workers), 2))
+		s.quotaHeaders(w, ten)
+		writeTenantError(w, http.StatusTooManyRequests, "tenant admission queue is full", "queue-full", ten.ID)
 		return false
 	}
 	<-j.done
+	if j.dropped {
+		s.metrics.rejectedDraining.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
+		return false
+	}
 	return true
+}
+
+// rateGate resolves the request's tenant and charges its token bucket.
+// A refusal is a per-tenant 429 with the quota headers and a
+// Retry-After equal to the bucket's refill horizon.
+func (s *Server) rateGate(w http.ResponseWriter, r *http.Request) (*tenant.Tenant, bool) {
+	ten := s.tenantFor(r)
+	if ok, retryIn := ten.Allow(); !ok {
+		ten.RecordRateReject()
+		s.metrics.rejectedRateLimited.Add(1)
+		w.Header().Set("Retry-After", retryAfterJitter(retryIn, 1))
+		s.quotaHeaders(w, ten)
+		writeTenantError(w, http.StatusTooManyRequests, "tenant rate limit exceeded", "rate-limited", ten.ID)
+		return nil, false
+	}
+	return ten, true
+}
+
+// quotaHeaders attaches the tenant's limits to a response so shed
+// clients learn their budget, not just that they exceeded it.
+func (s *Server) quotaHeaders(w http.ResponseWriter, ten *tenant.Tenant) {
+	h := w.Header()
+	h.Set("X-Quota-Tenant", ten.ID)
+	h.Set("X-Quota-Weight", strconv.Itoa(ten.Weight))
+	h.Set("X-Quota-Queue-Depth", strconv.Itoa(ten.QueueDepth))
+	if ten.RatePerSec > 0 {
+		h.Set("X-RateLimit-Limit", strconv.FormatFloat(ten.RatePerSec, 'f', -1, 64))
+		h.Set("X-RateLimit-Burst", strconv.Itoa(ten.Burst))
+	}
+	if ten.MaxJobs > 0 {
+		h.Set("X-Quota-Max-Jobs", strconv.Itoa(ten.MaxJobs))
+	}
 }
 
 // ProveRequest is the POST /prove body.
@@ -389,6 +520,7 @@ func statsJSON(run nocap.ProveStats) StatsJSON {
 type ProveResponse struct {
 	Circuit    string    `json:"circuit"`
 	N          int       `json:"n"`
+	Cached     bool      `json:"cached"`
 	ProofB64   string    `json:"proof_b64"`
 	ProofBytes int       `json:"proof_bytes"`
 	ElapsedMS  float64   `json:"elapsed_ms"`
@@ -416,10 +548,12 @@ type VerifyResponse struct {
 	Stats     StatsJSON `json:"stats"`
 }
 
-// ErrorResponse is every non-2xx body.
+// ErrorResponse is every non-2xx body. Tenant names whose quota caused
+// a 429 (absent on non-tenant errors).
 type ErrorResponse struct {
-	Error string `json:"error"`
-	Code  string `json:"code"`
+	Error  string `json:"error"`
+	Code   string `json:"code"`
+	Tenant string `json:"tenant,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -431,6 +565,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, msg, code string) {
 	writeJSON(w, status, ErrorResponse{Error: msg, Code: code})
+}
+
+func writeTenantError(w http.ResponseWriter, status int, msg, code, tenantID string) {
+	writeJSON(w, status, ErrorResponse{Error: msg, Code: code, Tenant: tenantID})
 }
 
 // statusFor maps a taxonomy-classified error to an HTTP status.
@@ -542,6 +680,40 @@ func buildFor(params nocap.Params, circuit string, n int) (*nocap.Benchmark, noc
 	return bm, params, nil
 }
 
+// proveCacheKey addresses a proof by (circuit-id, params-digest,
+// witness-commitment): two requests share a key exactly when they prove
+// the same statement under the same parameters, so everything that
+// could change the proof's meaning — circuit, PCS geometry, code,
+// repetitions, masking, recomputation — folds into the digest, and the
+// full IO and witness vectors fold into the commitment.
+func proveCacheKey(circuit string, params nocap.Params, bm *nocap.Benchmark) proofcache.Key {
+	codeName := "nil"
+	if params.PCS.Code != nil {
+		codeName = fmt.Sprintf("%s/%d/%d", params.PCS.Code.Name(), params.PCS.Code.Blowup(), params.PCS.Code.Queries())
+	}
+	paramsDigest := hashfn.Sum([]byte(fmt.Sprintf(
+		"rows=%d code=%s prox=%d maxpts=%d zk=%t reps=%d recompute=%t",
+		params.PCS.Rows, codeName, params.PCS.NumProximity, params.PCS.MaxPoints,
+		params.PCS.ZK, params.Reps, params.Recompute)))
+	witness := hashfn.Hash2(hashfn.HashElems(bm.IO), hashfn.HashElems(bm.Witness))
+	k := hashfn.Hash2(hashfn.Hash2(hashfn.Sum([]byte(circuit)), paramsDigest), witness)
+	return proofcache.Key(k)
+}
+
+// verifyOnInsert is the proof cache's insertion check: decode under the
+// server's limits and fully re-verify against the statement. The cache
+// refuses (and counts) anything that fails — a corrupt entry must be a
+// visible soundness incident, never a served proof.
+func (s *Server) verifyOnInsert(params nocap.Params, bm *nocap.Benchmark) func(context.Context, []byte) error {
+	return func(ctx context.Context, data []byte) error {
+		proof, err := nocap.UnmarshalProofLimits(data, s.limits)
+		if err != nil {
+			return err
+		}
+		return nocap.VerifyCtx(ctx, params, bm.Inst, bm.IO, proof)
+	}
+}
+
 func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 	s.metrics.proveRequests.Add(1)
 	var req ProveRequest
@@ -554,8 +726,13 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 		s.writeTaxonomyError(w, err)
 		return
 	}
+	ten, ok := s.rateGate(w, r)
+	if !ok {
+		return
+	}
 	admitted := time.Now()
-	s.admit(w, func() {
+	var flight *proofcache.Flight
+	if !s.admit(w, ten, func() {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -566,30 +743,112 @@ func (s *Server) handleProve(w http.ResponseWriter, r *http.Request) {
 			s.writeTaxonomyError(w, err)
 			return
 		}
-		col := nocap.NewCollector()
-		start := time.Now()
-		proof, err := nocap.ProveCtx(col.Attach(ctx), params, bm.Inst, bm.IO, bm.Witness)
-		elapsed := time.Since(start)
-		if err != nil {
-			s.writeTaxonomyError(w, err)
+		if s.cache == nil {
+			s.proveAndRespond(ctx, w, req, params, bm, admitted)
 			return
 		}
-		data, err := nocap.MarshalProof(proof)
-		if err != nil {
-			s.writeTaxonomyError(w, err)
-			return
+		key := proveCacheKey(req.Circuit, params, bm)
+		acq := s.cache.Acquire(key)
+		switch {
+		case acq.Hit:
+			s.writeCachedProve(w, req, acq.Data, admitted)
+		case !acq.Leader:
+			// Identical prove already in flight on another worker; hand
+			// the flight back so the handler waits OUTSIDE the worker
+			// pool — a follower must not burn a worker slot idling.
+			flight = acq.Flight
+		default:
+			s.proveForCache(ctx, w, req, key, params, bm, admitted)
 		}
-		s.metrics.provesOK.Add(1)
-		s.metrics.proveNs.Add(elapsed.Nanoseconds())
-		writeJSON(w, http.StatusOK, ProveResponse{
-			Circuit:    req.Circuit,
-			N:          req.N,
-			ProofB64:   base64.StdEncoding.EncodeToString(data),
-			ProofBytes: len(data),
-			ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
-			QueueMS:    float64(start.Sub(admitted)) / float64(time.Millisecond),
-			Stats:      statsJSON(col.Stats()),
-		})
+	}) {
+		return
+	}
+	if flight == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	data, err := flight.Wait(ctx)
+	if err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	s.writeCachedProve(w, req, data, admitted)
+}
+
+// proveAndRespond is the uncached prove path.
+func (s *Server) proveAndRespond(ctx context.Context, w http.ResponseWriter, req ProveRequest, params nocap.Params, bm *nocap.Benchmark, admitted time.Time) {
+	col := nocap.NewCollector()
+	start := time.Now()
+	proof, err := nocap.ProveCtx(col.Attach(ctx), params, bm.Inst, bm.IO, bm.Witness)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	data, err := nocap.MarshalProof(proof)
+	if err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	s.writeProveOK(w, req, data, false, elapsed, start.Sub(admitted), statsJSON(col.Stats()))
+}
+
+// proveForCache is the cache-leader prove path: prove, then Commit —
+// which re-verifies before insertion and resolves the flight for any
+// followers. Errors abort the flight so followers fail fast instead of
+// waiting out their deadlines.
+func (s *Server) proveForCache(ctx context.Context, w http.ResponseWriter, req ProveRequest, key proofcache.Key, params nocap.Params, bm *nocap.Benchmark, admitted time.Time) {
+	col := nocap.NewCollector()
+	start := time.Now()
+	proof, err := nocap.ProveCtx(col.Attach(ctx), params, bm.Inst, bm.IO, bm.Witness)
+	elapsed := time.Since(start)
+	if err != nil {
+		s.cache.Abort(key, err)
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	data, err := nocap.MarshalProof(proof)
+	if err != nil {
+		s.cache.Abort(key, err)
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	data, err = s.cache.Commit(ctx, key, data, s.verifyOnInsert(params, bm))
+	if err != nil {
+		s.writeTaxonomyError(w, err)
+		return
+	}
+	s.writeProveOK(w, req, data, false, elapsed, start.Sub(admitted), statsJSON(col.Stats()))
+}
+
+func (s *Server) writeProveOK(w http.ResponseWriter, req ProveRequest, data []byte, cached bool, elapsed, queued time.Duration, stats StatsJSON) {
+	s.metrics.provesOK.Add(1)
+	s.metrics.proveNs.Add(elapsed.Nanoseconds())
+	writeJSON(w, http.StatusOK, ProveResponse{
+		Circuit:    req.Circuit,
+		N:          req.N,
+		Cached:     cached,
+		ProofB64:   base64.StdEncoding.EncodeToString(data),
+		ProofBytes: len(data),
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		QueueMS:    float64(queued) / float64(time.Millisecond),
+		Stats:      stats,
+	})
+}
+
+// writeCachedProve serves cached bytes: no prove ran for this request,
+// so elapsed is ~0 and the stats block is empty (provesOK counts real
+// proves only; hits show up in the proofcache metrics).
+func (s *Server) writeCachedProve(w http.ResponseWriter, req ProveRequest, data []byte, admitted time.Time) {
+	writeJSON(w, http.StatusOK, ProveResponse{
+		Circuit:    req.Circuit,
+		N:          req.N,
+		Cached:     true,
+		ProofB64:   base64.StdEncoding.EncodeToString(data),
+		ProofBytes: len(data),
+		QueueMS:    float64(time.Since(admitted)) / float64(time.Millisecond),
+		Stats:      StatsJSON{Stages: map[string]StageJSON{}},
 	})
 }
 
@@ -610,7 +869,11 @@ func (s *Server) handleVerify(w http.ResponseWriter, r *http.Request) {
 		s.writeTaxonomyError(w, zkerr.Malformedf("proof_b64: %v", err))
 		return
 	}
-	s.admit(w, func() {
+	ten, ok := s.rateGate(w, r)
+	if !ok {
+		return
+	}
+	s.admit(w, ten, func() {
 		s.inflight.Add(1)
 		defer s.inflight.Add(-1)
 		ctx, cancel := context.WithTimeout(r.Context(), timeout)
@@ -671,8 +934,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		"status":         status,
 		"draining":       s.draining.Load(),
 		"workers":        s.cfg.Workers,
-		"queue_depth":    len(s.jobs),
-		"queue_capacity": cap(s.jobs),
+		"queue_depth":    s.sched.Len(),
+		"queue_capacity": s.sched.Capacity(),
 		"inflight":       s.inflight.Load(),
 	})
 }
@@ -684,5 +947,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 // Queue reports current backlog and in-flight counts (test hook).
 func (s *Server) Queue() (depth, capacity, inflight int) {
-	return len(s.jobs), cap(s.jobs), int(s.inflight.Load())
+	return s.sched.Len(), s.sched.Capacity(), int(s.inflight.Load())
+}
+
+// CacheMetrics snapshots the proof cache counters; the zero snapshot
+// when the cache is disabled (test hook).
+func (s *Server) CacheMetrics() proofcache.Metrics {
+	if s.cache == nil {
+		return proofcache.Metrics{}
+	}
+	return s.cache.Metrics()
+}
+
+// TenantStats snapshots the per-tenant scheduler counters (test hook).
+func (s *Server) TenantStats() []tenant.QueueStats {
+	return s.sched.Stats()
 }

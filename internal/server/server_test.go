@@ -35,7 +35,10 @@ func testConfig() Config {
 // early and the rest get it for free).
 func startServer(t *testing.T, cfg Config) (*Server, string, func()) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr, err := s.Listen()
 	if err != nil {
 		t.Fatal(err)
@@ -352,7 +355,10 @@ func TestQueueBackpressure(t *testing.T) {
 func TestGracefulDrain(t *testing.T) {
 	cfg := testConfig()
 	cfg.Workers = 1
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	addr, err := s.Listen()
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,319 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// Scheduler errors. The server maps all of them to typed HTTP statuses;
+// none escapes to clients as message text.
+var (
+	// ErrQueueFull: the tenant's own bounded queue is at capacity. Other
+	// tenants' backlog can never cause it — that is the isolation
+	// property the per-tenant queues exist for.
+	ErrQueueFull = errors.New("tenant: queue full")
+	// ErrUnknownTenant: Enqueue named a tenant the scheduler has no
+	// queue for (registry and scheduler out of sync — a caller bug).
+	ErrUnknownTenant = errors.New("tenant: unknown tenant")
+	// ErrStopped: the scheduler has been stopped (server draining).
+	ErrStopped = errors.New("tenant: scheduler stopped")
+)
+
+// QueueConfig sizes one tenant's scheduler queue.
+type QueueConfig struct {
+	ID          string
+	Weight      int // DRR quantum, >= 1
+	Depth       int // queue bound, >= 1
+	MaxInflight int // concurrent worker cap, 0 = uncapped
+}
+
+// QueueStats is one tenant's scheduler counters, read atomically under
+// the scheduler lock.
+type QueueStats struct {
+	ID           string
+	Weight       int
+	Depth        int // items currently queued
+	Capacity     int // queue bound
+	Inflight     int // items dequeued but not yet Done
+	Enqueued     int64
+	Dequeued     int64
+	RejectedFull int64
+	QueueWaitNs  int64 // sum of enqueue->dequeue latency
+}
+
+type entry struct {
+	v    any
+	cost int
+	at   time.Time
+}
+
+// tq is one tenant's queue plus its DRR state. All fields are guarded
+// by Scheduler.mu.
+type tq struct {
+	id          string
+	weight      int
+	depth       int
+	maxInflight int
+
+	q       []entry
+	deficit int
+	// charged records that the quantum was granted for the current visit
+	// of the round pointer, so a tenant the pointer parks on (serving a
+	// burst) is charged exactly once per visit, not once per Dequeue.
+	charged  bool
+	active   bool // in the ring
+	inflight int
+
+	enqueued     int64
+	dequeued     int64
+	rejectedFull int64
+	waitNs       int64
+}
+
+// Scheduler is a weighted deficit-round-robin scheduler over per-tenant
+// bounded FIFO queues. It replaces the server's single admission
+// channel: producers Enqueue into their tenant's queue, workers block
+// in Dequeue, and the DRR policy picks which tenant's head to serve.
+//
+// Fairness invariant (DESIGN.md §12): with unit costs, a request at the
+// head of tenant i's queue is served after at most
+//
+//	K = Σ_{j≠i} w_j + max_j w_j
+//
+// other dequeues, regardless of how saturated the other queues are:
+// every other tenant j serves at most w_j items per full rotation
+// (deficits reset when a queue empties and do not accumulate while
+// inactive), plus the tenant the pointer was parked on may finish a
+// burst it had already been charged for. Starvation is impossible.
+type Scheduler struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	byID    map[string]*tq
+	ring    []*tq // active (non-empty) tenants in round order
+	cur     int   // ring index the DRR pointer is parked on
+	queued  int   // total items across all queues
+	stopped bool
+}
+
+// NewScheduler builds a scheduler with one queue per config entry.
+func NewScheduler(queues []QueueConfig) *Scheduler {
+	s := &Scheduler{byID: make(map[string]*tq, len(queues))}
+	s.cond = sync.NewCond(&s.mu)
+	for _, qc := range queues {
+		w, d := qc.Weight, qc.Depth
+		if w < 1 {
+			w = 1
+		}
+		if d < 1 {
+			d = 1
+		}
+		s.byID[qc.ID] = &tq{id: qc.ID, weight: w, depth: d, maxInflight: qc.MaxInflight}
+	}
+	return s
+}
+
+// Enqueue appends v to tenantID's queue (cost < 1 is treated as 1).
+func (s *Scheduler) Enqueue(tenantID string, v any, cost int) error {
+	if cost < 1 {
+		cost = 1
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return ErrStopped
+	}
+	t := s.byID[tenantID]
+	if t == nil {
+		return ErrUnknownTenant
+	}
+	if len(t.q) >= t.depth {
+		t.rejectedFull++
+		return ErrQueueFull
+	}
+	t.q = append(t.q, entry{v: v, cost: cost, at: time.Now()})
+	t.enqueued++
+	s.queued++
+	if !t.active {
+		t.active = true
+		t.charged = false
+		s.ring = append(s.ring, t)
+	}
+	s.cond.Broadcast()
+	return nil
+}
+
+// Dequeue blocks until the DRR policy yields an item or the scheduler
+// is stopped (ok=false). wait is the item's time in queue. The caller
+// must call Done(tenantID) when the item finishes if MaxInflight caps
+// are in use (calling it unconditionally is fine).
+func (s *Scheduler) Dequeue() (v any, tenantID string, wait time.Duration, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if e, t, found := s.pickLocked(); found {
+			w := time.Since(e.at)
+			t.waitNs += w.Nanoseconds()
+			t.dequeued++
+			t.inflight++
+			return e.v, t.id, w, true
+		}
+		if s.stopped {
+			return nil, "", 0, false
+		}
+		s.cond.Wait()
+	}
+}
+
+// pickLocked runs the DRR rotation: grant the quantum once per visit,
+// serve the head while the deficit covers its cost, skip tenants at
+// their inflight cap without charging them, and drop emptied queues
+// from the ring with their deficit cleared. Returns found=false only
+// when no eligible work exists (all queues empty or all backlogged
+// tenants are at their inflight caps).
+func (s *Scheduler) pickLocked() (entry, *tq, bool) {
+	for s.queued > 0 && len(s.ring) > 0 {
+		eligible := false
+		for i := 0; i < len(s.ring); i++ {
+			t := s.ring[s.cur]
+			if t.maxInflight > 0 && t.inflight >= t.maxInflight {
+				s.advanceLocked()
+				continue
+			}
+			eligible = true
+			if !t.charged {
+				t.deficit += t.weight
+				t.charged = true
+			}
+			if t.deficit >= t.q[0].cost {
+				e := t.q[0]
+				t.q[0] = entry{}
+				t.q = t.q[1:]
+				t.deficit -= e.cost
+				s.queued--
+				if len(t.q) == 0 {
+					t.deficit = 0
+					t.charged = false
+					t.active = false
+					s.ring = append(s.ring[:s.cur], s.ring[s.cur+1:]...)
+					if s.cur >= len(s.ring) {
+						s.cur = 0
+					}
+					if cap(t.q) > 64 {
+						t.q = nil
+					}
+				}
+				return e, t, true
+			}
+			s.advanceLocked()
+		}
+		if !eligible {
+			break
+		}
+		// A full rotation granted quanta without serving (every head
+		// costs more than one quantum); loop — deficits accumulate until
+		// some head is affordable, so this terminates.
+	}
+	return entry{}, nil, false
+}
+
+// advanceLocked moves the round pointer to the next active tenant,
+// ending the current tenant's visit (its next visit re-grants the
+// quantum).
+func (s *Scheduler) advanceLocked() {
+	if len(s.ring) == 0 {
+		s.cur = 0
+		return
+	}
+	s.ring[s.cur].charged = false
+	s.cur = (s.cur + 1) % len(s.ring)
+}
+
+// Done releases one inflight slot for tenantID.
+func (s *Scheduler) Done(tenantID string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t := s.byID[tenantID]; t != nil && t.inflight > 0 {
+		t.inflight--
+		s.cond.Broadcast()
+	}
+}
+
+// Stop wakes all blocked Dequeues with ok=false and makes further
+// Enqueues fail with ErrStopped. Queued items stay put for Drain.
+func (s *Scheduler) Stop() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stopped = true
+	s.cond.Broadcast()
+}
+
+// Drain removes and returns every queued item (FIFO within a tenant,
+// tenants in no particular order). Idempotent: each item is returned
+// exactly once across all Drain calls.
+func (s *Scheduler) Drain() []any {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []any
+	for _, t := range s.ring {
+		for _, e := range t.q {
+			out = append(out, e.v)
+		}
+		t.q = nil
+		t.deficit = 0
+		t.charged = false
+		t.active = false
+	}
+	s.ring = nil
+	s.cur = 0
+	s.queued = 0
+	return out
+}
+
+// Len is the total number of queued (not yet dequeued) items.
+func (s *Scheduler) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.queued
+}
+
+// Capacity is the sum of all queue bounds.
+func (s *Scheduler) Capacity() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c := 0
+	for _, t := range s.byID {
+		c += t.depth
+	}
+	return c
+}
+
+// Stats snapshots every tenant's counters, sorted by tenant ID.
+func (s *Scheduler) Stats() []QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]QueueStats, 0, len(s.byID))
+	for _, t := range s.byID {
+		out = append(out, QueueStats{
+			ID:           t.id,
+			Weight:       t.weight,
+			Depth:        len(t.q),
+			Capacity:     t.depth,
+			Inflight:     t.inflight,
+			Enqueued:     t.enqueued,
+			Dequeued:     t.dequeued,
+			RejectedFull: t.rejectedFull,
+			QueueWaitNs:  t.waitNs,
+		})
+	}
+	sortStats(out)
+	return out
+}
+
+func sortStats(stats []QueueStats) {
+	for i := 1; i < len(stats); i++ {
+		for j := i; j > 0 && stats[j].ID < stats[j-1].ID; j-- {
+			stats[j], stats[j-1] = stats[j-1], stats[j]
+		}
+	}
+}

@@ -1,0 +1,270 @@
+package tenant
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func twoQueues(wHeavy, wLight, depth int) *Scheduler {
+	return NewScheduler([]QueueConfig{
+		{ID: "heavy", Weight: wHeavy, Depth: depth},
+		{ID: "light", Weight: wLight, Depth: depth},
+	})
+}
+
+// fill enqueues n unit-cost items for tenantID, failing the test on any
+// error.
+func fill(t *testing.T, s *Scheduler, tenantID string, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if err := s.Enqueue(tenantID, i, 1); err != nil {
+			t.Fatalf("Enqueue %s #%d: %v", tenantID, i, err)
+		}
+	}
+}
+
+func TestSchedulerWeightedShares(t *testing.T) {
+	s := twoQueues(3, 1, 64)
+	fill(t, s, "heavy", 40)
+	fill(t, s, "light", 40)
+	counts := map[string]int{}
+	// Dequeue one full rotation's worth many times over; both queues stay
+	// non-empty throughout, so the service ratio must match the weights.
+	for i := 0; i < 32; i++ {
+		_, id, _, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("Dequeue returned ok=false with work queued")
+		}
+		s.Done(id)
+		counts[id]++
+	}
+	if counts["heavy"] != 24 || counts["light"] != 8 {
+		t.Fatalf("service counts %v, want 3:1 split (24/8) over 32 dequeues", counts)
+	}
+}
+
+// TestSchedulerFairnessBound pins the starvation-freedom invariant from
+// DESIGN.md §12: with unit costs, a newly queued request of tenant i
+// waits at most K = Σ_{j≠i} w_j + max_j w_j dequeues, however deep the
+// other queues are.
+func TestSchedulerFairnessBound(t *testing.T) {
+	s := NewScheduler([]QueueConfig{
+		{ID: "a", Weight: 5, Depth: 256},
+		{ID: "b", Weight: 3, Depth: 256},
+		{ID: "light", Weight: 1, Depth: 4},
+	})
+	// Saturate the heavy tenants, then queue one light item.
+	fill(t, s, "a", 200)
+	fill(t, s, "b", 200)
+	fill(t, s, "light", 1)
+	const bound = 5 + 3 + 5 // Σ_{j≠light} w_j + max_j w_j
+	for i := 0; ; i++ {
+		_, id, _, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("Dequeue returned ok=false")
+		}
+		s.Done(id)
+		if id == "light" {
+			if i > bound {
+				t.Fatalf("light tenant served after %d dequeues, bound is %d", i, bound)
+			}
+			return
+		}
+		if i > bound {
+			t.Fatalf("light tenant still unserved after %d dequeues (bound %d)", i, bound)
+		}
+	}
+}
+
+func TestSchedulerDeficitResetOnEmpty(t *testing.T) {
+	s := twoQueues(10, 1, 64)
+	// heavy drains completely; its large deficit must not carry over to
+	// its next burst (that would let it monopolize the next rotation).
+	fill(t, s, "heavy", 2)
+	for i := 0; i < 2; i++ {
+		_, id, _, _ := s.Dequeue()
+		s.Done(id)
+		if id != "heavy" {
+			t.Fatalf("dequeue %d from %s, want heavy", i, id)
+		}
+	}
+	fill(t, s, "heavy", 20)
+	fill(t, s, "light", 20)
+	counts := map[string]int{}
+	for i := 0; i < 11; i++ {
+		_, id, _, _ := s.Dequeue()
+		s.Done(id)
+		counts[id]++
+	}
+	// One full rotation: heavy serves at most its quantum (10), light
+	// gets its turn within the first 11 dequeues.
+	if counts["light"] == 0 {
+		t.Fatalf("light starved across a rotation: %v (stale deficit carried over)", counts)
+	}
+}
+
+func TestSchedulerQueueFullIsPerTenant(t *testing.T) {
+	s := twoQueues(1, 1, 2)
+	fill(t, s, "heavy", 2)
+	if err := s.Enqueue("heavy", 99, 1); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("heavy overflow: %v, want ErrQueueFull", err)
+	}
+	// The other tenant's queue is unaffected — the isolation property.
+	if err := s.Enqueue("light", 0, 1); err != nil {
+		t.Fatalf("light blocked by heavy's backlog: %v", err)
+	}
+	st := s.Stats()
+	if st[0].ID != "heavy" || st[0].RejectedFull != 1 || st[1].RejectedFull != 0 {
+		t.Fatalf("stats %+v, want exactly one heavy rejection", st)
+	}
+}
+
+func TestSchedulerUnknownTenant(t *testing.T) {
+	s := twoQueues(1, 1, 2)
+	if err := s.Enqueue("nobody", 0, 1); !errors.Is(err, ErrUnknownTenant) {
+		t.Fatalf("unknown tenant: %v", err)
+	}
+}
+
+func TestSchedulerMaxInflight(t *testing.T) {
+	s := NewScheduler([]QueueConfig{
+		{ID: "capped", Weight: 1, Depth: 8, MaxInflight: 1},
+		{ID: "free", Weight: 1, Depth: 8},
+	})
+	fill(t, s, "capped", 3)
+	fill(t, s, "free", 3)
+	_, first, _, _ := s.Dequeue()
+	var got []string
+	got = append(got, first)
+	// With capped at its inflight limit, the next dequeues must all come
+	// from the other tenant (or, if first was "free", capped serves once
+	// then stalls).
+	cappedInflight := 0
+	if first == "capped" {
+		cappedInflight = 1
+	}
+	for i := 0; i < 3; i++ {
+		_, id, _, ok := s.Dequeue()
+		if !ok {
+			t.Fatal("Dequeue ok=false")
+		}
+		got = append(got, id)
+		if id == "capped" {
+			cappedInflight++
+		}
+		if cappedInflight > 1 {
+			t.Fatalf("capped tenant exceeded MaxInflight=1: order %v", got)
+		}
+	}
+	// Releasing the slot makes capped eligible again.
+	s.Done("capped")
+	found := false
+	for i := 0; i < 4; i++ {
+		_, id, _, ok := s.Dequeue()
+		if !ok {
+			break
+		}
+		if id == "capped" {
+			found = true
+			break
+		}
+		s.Done(id)
+	}
+	if first != "capped" && !found {
+		// first=="capped" means Done freed the only slot and remaining
+		// capped items may already be drained; only assert when capped
+		// items must still be there.
+		t.Fatal("capped tenant never resumed after Done")
+	}
+}
+
+func TestSchedulerBlockingDequeueAndStop(t *testing.T) {
+	s := twoQueues(1, 1, 4)
+	type res struct {
+		v  any
+		ok bool
+	}
+	got := make(chan res, 1)
+	go func() {
+		v, _, _, ok := s.Dequeue()
+		got <- res{v, ok}
+	}()
+	select {
+	case r := <-got:
+		t.Fatalf("Dequeue returned %+v with nothing queued", r)
+	case <-time.After(20 * time.Millisecond):
+	}
+	if err := s.Enqueue("light", "hello", 1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case r := <-got:
+		if !r.ok || r.v != "hello" {
+			t.Fatalf("Dequeue got %+v", r)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Dequeue never woke for the enqueued item")
+	}
+
+	// Stop wakes blocked dequeuers with ok=false and fails new enqueues.
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, _, _, ok := s.Dequeue(); ok {
+				t.Error("Dequeue after Stop returned ok=true")
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	s.Stop()
+	wg.Wait()
+	if err := s.Enqueue("light", 0, 1); !errors.Is(err, ErrStopped) {
+		t.Fatalf("Enqueue after Stop: %v", err)
+	}
+}
+
+func TestSchedulerDrainExactlyOnce(t *testing.T) {
+	s := twoQueues(1, 1, 8)
+	fill(t, s, "heavy", 3)
+	fill(t, s, "light", 2)
+	s.Stop()
+	first := s.Drain()
+	if len(first) != 5 {
+		t.Fatalf("Drain returned %d items, want 5", len(first))
+	}
+	if second := s.Drain(); len(second) != 0 {
+		t.Fatalf("second Drain returned %d items, want 0", len(second))
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len %d after drain", s.Len())
+	}
+}
+
+func TestSchedulerCapacityAndStats(t *testing.T) {
+	s := twoQueues(2, 1, 8)
+	if s.Capacity() != 16 {
+		t.Fatalf("Capacity %d, want 16", s.Capacity())
+	}
+	fill(t, s, "heavy", 2)
+	_, id, wait, ok := s.Dequeue()
+	if !ok || id != "heavy" || wait < 0 {
+		t.Fatalf("Dequeue: id=%s wait=%v ok=%v", id, wait, ok)
+	}
+	st := s.Stats()
+	if len(st) != 2 || st[0].ID != "heavy" || st[1].ID != "light" {
+		t.Fatalf("stats order %+v", st)
+	}
+	h := st[0]
+	if h.Enqueued != 2 || h.Dequeued != 1 || h.Depth != 1 || h.Inflight != 1 ||
+		h.Weight != 2 || h.Capacity != 8 {
+		t.Fatalf("heavy stats %+v", h)
+	}
+	s.Done("heavy")
+	if s.Stats()[0].Inflight != 0 {
+		t.Fatal("Done did not release the inflight slot")
+	}
+}

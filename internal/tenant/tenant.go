@@ -1,0 +1,253 @@
+// Package tenant is the multi-tenant admission layer of the proving
+// service: identity (static API keys), per-tenant quotas (token-bucket
+// rate limits, async-job budgets), and a weighted deficit-round-robin
+// scheduler (scheduler.go) that apportions the shared worker pool
+// fairly across tenants. The paper's thesis — many proofs scheduled
+// through shared proving capacity — presumes a front end that keeps one
+// saturating client from starving the rest; this package is that front
+// end in software (DESIGN.md §12).
+package tenant
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultID names the tenant every unauthenticated request maps to.
+// Refusing anonymous traffic outright is not supported; deployments
+// that want it set the default tenant's RatePerSec very low or front
+// the service with their own gateway.
+const DefaultID = "default"
+
+// Config describes one tenant. Zero fields inherit from the registry's
+// defaults (and ultimately from built-in fallbacks), so a keyfile only
+// needs to state what differs.
+type Config struct {
+	// ID names the tenant in responses, metrics labels, and the job
+	// journal. Required for keyed tenants.
+	ID string `json:"id"`
+	// Key is the static API key (X-API-Key or Authorization: Bearer).
+	// Required for keyed tenants; the default tenant has none.
+	Key string `json:"key,omitempty"`
+	// Weight is the DRR quantum: relative share of worker capacity under
+	// contention. Must be >= 1 after defaulting.
+	Weight int `json:"weight,omitempty"`
+	// QueueDepth bounds this tenant's admission queue; overflow is a
+	// per-tenant 429 that cannot be caused by other tenants' backlog.
+	QueueDepth int `json:"queue_depth,omitempty"`
+	// MaxInflight caps how many of this tenant's requests may occupy
+	// workers at once; 0 means no cap beyond the pool size.
+	MaxInflight int `json:"max_inflight,omitempty"`
+	// RatePerSec is the token-bucket refill rate; <= 0 means unlimited.
+	RatePerSec float64 `json:"rate_per_sec,omitempty"`
+	// Burst is the bucket capacity; defaults to ceil(RatePerSec)+1.
+	Burst int `json:"burst,omitempty"`
+	// MaxJobs caps this tenant's live (non-terminal) async jobs;
+	// 0 means unlimited.
+	MaxJobs int `json:"max_jobs,omitempty"`
+}
+
+// withDefaults fills zero fields of c from d, then from built-ins.
+func (c Config) withDefaults(d Config) Config {
+	if c.Weight <= 0 {
+		c.Weight = d.Weight
+	}
+	if c.Weight <= 0 {
+		c.Weight = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 8
+	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = d.MaxInflight
+	}
+	if c.RatePerSec <= 0 {
+		c.RatePerSec = d.RatePerSec
+	}
+	if c.Burst <= 0 {
+		c.Burst = d.Burst
+	}
+	if c.Burst <= 0 && c.RatePerSec > 0 {
+		c.Burst = int(c.RatePerSec) + 1
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = d.MaxJobs
+	}
+	return c
+}
+
+// Tenant is one admitted identity: its resolved config, its token
+// bucket, and its rejection counters (the scheduler keeps the queue
+// counters; see Scheduler.Stats).
+type Tenant struct {
+	Config
+
+	bucket          bucket
+	rateRejects     atomic.Int64
+	jobQuotaRejects atomic.Int64
+}
+
+func newTenant(c Config) *Tenant {
+	t := &Tenant{Config: c}
+	t.bucket.init(c.RatePerSec, c.Burst)
+	return t
+}
+
+// Allow consumes one rate token. When it refuses, retryIn is how long
+// until a token will be available — the Retry-After hint.
+func (t *Tenant) Allow() (ok bool, retryIn time.Duration) {
+	return t.bucket.allow(time.Now())
+}
+
+// RecordRateReject counts a 429 caused by this tenant's rate limit.
+func (t *Tenant) RecordRateReject() { t.rateRejects.Add(1) }
+
+// RateRejects reports how many requests this tenant's rate limit shed.
+func (t *Tenant) RateRejects() int64 { return t.rateRejects.Load() }
+
+// RecordJobQuotaReject counts a 429 caused by this tenant's MaxJobs cap.
+func (t *Tenant) RecordJobQuotaReject() { t.jobQuotaRejects.Add(1) }
+
+// JobQuotaRejects reports how many job submissions the MaxJobs cap shed.
+func (t *Tenant) JobQuotaRejects() int64 { return t.jobQuotaRejects.Load() }
+
+// bucket is a standard token bucket. rate <= 0 disables limiting.
+type bucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64 // capacity
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) init(rate float64, burst int) {
+	b.rate = rate
+	b.burst = float64(burst)
+	if b.burst < 1 {
+		b.burst = 1
+	}
+	b.tokens = b.burst
+}
+
+func (b *bucket) allow(now time.Time) (bool, time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if !b.last.IsZero() {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate // seconds until one whole token
+	return false, time.Duration(need * float64(time.Second))
+}
+
+// Registry resolves API keys to tenants. It is immutable after
+// construction; all lookups are lock-free.
+type Registry struct {
+	def   *Tenant
+	byKey map[string]*Tenant
+	byID  map[string]*Tenant
+	all   []*Tenant // default first, then keyed tenants sorted by ID
+}
+
+// NewRegistry builds a registry from the default tenant's config (which
+// also supplies fallback values for keyed tenants' zero fields) and the
+// keyed tenant list. Keyed tenants must have distinct non-empty IDs and
+// keys; the reserved default ID cannot be reused.
+func NewRegistry(defaults Config, tenants []Config) (*Registry, error) {
+	if defaults.ID == "" {
+		defaults.ID = DefaultID
+	}
+	defaults = defaults.withDefaults(Config{})
+	r := &Registry{
+		def:   newTenant(defaults),
+		byKey: make(map[string]*Tenant, len(tenants)),
+		byID:  make(map[string]*Tenant, len(tenants)+1),
+	}
+	r.byID[defaults.ID] = r.def
+	sorted := append([]Config(nil), tenants...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].ID < sorted[j].ID })
+	for _, tc := range sorted {
+		if tc.ID == "" {
+			return nil, fmt.Errorf("tenant: config with key %q has no id", tc.Key)
+		}
+		if tc.Key == "" {
+			return nil, fmt.Errorf("tenant: %s has no API key", tc.ID)
+		}
+		if _, dup := r.byID[tc.ID]; dup {
+			return nil, fmt.Errorf("tenant: duplicate id %s", tc.ID)
+		}
+		if _, dup := r.byKey[tc.Key]; dup {
+			return nil, fmt.Errorf("tenant: duplicate API key (id %s)", tc.ID)
+		}
+		t := newTenant(tc.withDefaults(defaults))
+		r.byID[tc.ID] = t
+		r.byKey[tc.Key] = t
+	}
+	r.all = append(r.all, r.def)
+	for _, tc := range sorted {
+		r.all = append(r.all, r.byID[tc.ID])
+	}
+	return r, nil
+}
+
+// Default returns the anonymous tenant.
+func (r *Registry) Default() *Tenant { return r.def }
+
+// ByKey resolves an API key.
+func (r *Registry) ByKey(key string) (*Tenant, bool) {
+	t, ok := r.byKey[key]
+	return t, ok
+}
+
+// ByID resolves a tenant ID (metrics, journal replay).
+func (r *Registry) ByID(id string) (*Tenant, bool) {
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// All returns every tenant, default first, keyed tenants sorted by ID.
+// Callers must not mutate the slice.
+func (r *Registry) All() []*Tenant { return r.all }
+
+// Keyed reports whether any API keys are configured. An unkeyed
+// registry serves everyone as the default tenant and does not isolate
+// job visibility.
+func (r *Registry) Keyed() bool { return len(r.byKey) > 0 }
+
+// keyfile is the on-disk format: {"tenants": [{...}, ...]}.
+type keyfile struct {
+	Tenants []Config `json:"tenants"`
+}
+
+// LoadKeyfile reads tenant configs from a JSON keyfile. Validation
+// (duplicate IDs/keys) happens in NewRegistry so flag-built and
+// file-built configs share one path.
+func LoadKeyfile(path string) ([]Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("tenant: read keyfile: %w", err)
+	}
+	var kf keyfile
+	if err := json.Unmarshal(data, &kf); err != nil {
+		return nil, fmt.Errorf("tenant: parse keyfile %s: %w", path, err)
+	}
+	return kf.Tenants, nil
+}

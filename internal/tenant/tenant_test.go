@@ -1,0 +1,152 @@
+package tenant
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRegistryDefaultsAndLookup(t *testing.T) {
+	reg, err := NewRegistry(Config{Weight: 2, QueueDepth: 4}, []Config{
+		{ID: "acme", Key: "k-acme", Weight: 8, RatePerSec: 10},
+		{ID: "beta", Key: "k-beta"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := reg.Default()
+	if def.ID != DefaultID || def.Weight != 2 || def.QueueDepth != 4 {
+		t.Fatalf("default tenant: %+v", def.Config)
+	}
+	acme, ok := reg.ByKey("k-acme")
+	if !ok || acme.ID != "acme" {
+		t.Fatalf("ByKey(k-acme): %+v ok=%v", acme, ok)
+	}
+	if acme.Weight != 8 {
+		t.Fatalf("acme weight %d, want explicit 8", acme.Weight)
+	}
+	if acme.Burst != 11 {
+		t.Fatalf("acme burst %d, want rate+1 = 11", acme.Burst)
+	}
+	// beta stated nothing beyond identity: it inherits the defaults.
+	beta, _ := reg.ByID("beta")
+	if beta.Weight != 2 || beta.QueueDepth != 4 {
+		t.Fatalf("beta inherited %+v, want weight 2 depth 4", beta.Config)
+	}
+	if _, ok := reg.ByKey("nope"); ok {
+		t.Fatal("unknown key resolved")
+	}
+	if !reg.Keyed() {
+		t.Fatal("registry with keyed tenants reports Keyed()=false")
+	}
+	all := reg.All()
+	if len(all) != 3 || all[0].ID != DefaultID || all[1].ID != "acme" || all[2].ID != "beta" {
+		ids := make([]string, len(all))
+		for i, tn := range all {
+			ids[i] = tn.ID
+		}
+		t.Fatalf("All() order %v, want [default acme beta]", ids)
+	}
+
+	unkeyed, err := NewRegistry(Config{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unkeyed.Keyed() {
+		t.Fatal("empty registry reports Keyed()=true")
+	}
+}
+
+func TestRegistryRejectsBadConfigs(t *testing.T) {
+	cases := []struct {
+		name    string
+		tenants []Config
+		wantErr string
+	}{
+		{"missing id", []Config{{Key: "k"}}, "no id"},
+		{"missing key", []Config{{ID: "a"}}, "no API key"},
+		{"duplicate id", []Config{{ID: "a", Key: "k1"}, {ID: "a", Key: "k2"}}, "duplicate id"},
+		{"duplicate key", []Config{{ID: "a", Key: "k"}, {ID: "b", Key: "k"}}, "duplicate API key"},
+		{"reserved default id", []Config{{ID: DefaultID, Key: "k"}}, "duplicate id"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewRegistry(Config{}, tc.tenants)
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestBucketRateLimit(t *testing.T) {
+	var b bucket
+	b.init(2, 2) // 2/sec, burst 2
+	now := time.Unix(1000, 0)
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.allow(now); !ok {
+			t.Fatalf("burst token %d refused", i)
+		}
+	}
+	ok, retryIn := b.allow(now)
+	if ok {
+		t.Fatal("third immediate request allowed past burst")
+	}
+	if retryIn <= 0 || retryIn > time.Second {
+		t.Fatalf("retryIn %v, want (0, 500ms]-ish at 2/sec", retryIn)
+	}
+	// Half a second refills one token at 2/sec.
+	if ok, _ := b.allow(now.Add(500 * time.Millisecond)); !ok {
+		t.Fatal("refilled token refused")
+	}
+	// Idle time must not accumulate past the burst.
+	later := now.Add(time.Hour)
+	allowed := 0
+	for i := 0; i < 5; i++ {
+		if ok, _ := b.allow(later); ok {
+			allowed++
+		}
+	}
+	if allowed != 2 {
+		t.Fatalf("after an idle hour %d tokens, want burst cap 2", allowed)
+	}
+}
+
+func TestBucketUnlimited(t *testing.T) {
+	tn := newTenant(Config{ID: "x"}) // RatePerSec 0 = unlimited
+	for i := 0; i < 1000; i++ {
+		if ok, _ := tn.Allow(); !ok {
+			t.Fatal("unlimited tenant refused")
+		}
+	}
+}
+
+func TestLoadKeyfile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tenants.json")
+	body := `{"tenants":[
+		{"id":"acme","key":"secret-a","weight":4,"rate_per_sec":5,"max_jobs":3},
+		{"id":"beta","key":"secret-b"}
+	]}`
+	if err := os.WriteFile(path, []byte(body), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	tenants, err := LoadKeyfile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tenants) != 2 || tenants[0].ID != "acme" || tenants[0].Weight != 4 ||
+		tenants[0].RatePerSec != 5 || tenants[0].MaxJobs != 3 || tenants[1].Key != "secret-b" {
+		t.Fatalf("parsed %+v", tenants)
+	}
+	if _, err := LoadKeyfile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing keyfile loaded")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	os.WriteFile(bad, []byte("{not json"), 0o600)
+	if _, err := LoadKeyfile(bad); err == nil {
+		t.Fatal("malformed keyfile loaded")
+	}
+}
