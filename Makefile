@@ -7,9 +7,10 @@ FUZZ_TARGETS = \
 	./internal/pcs:FuzzReadCommitment \
 	./internal/merkle:FuzzReadPath \
 	./internal/wire:FuzzReader \
-	./internal/cstream:FuzzDecode
+	./internal/cstream:FuzzDecode \
+	./internal/jobs:FuzzDecodeRecord
 
-.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus serve-smoke stats-race jobs-chaos tenants-soak ci
+.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus serve-smoke stats-race jobs-chaos disk-chaos tenants-soak ci
 
 all: build test
 
@@ -87,6 +88,17 @@ jobs-chaos:
 	$(GO) test -race -run 'TestCrash|TestChaos|TestTorn|TestParseJournal|TestOpen|TestShutdownReverts|TestJobs|TestReadyz|TestStatusCode' ./internal/jobs ./internal/server
 	$(GO) run -race ./cmd/nocap-loadgen -jobs -requests 40 -clients 8 -n 256
 
+# Durable-state lifecycle matrix under the race detector (DESIGN.md §13):
+# checksummed-journal corruption handling, snapshot+compaction bounds and
+# retention GC, SIGKILL-mid-compaction replay equivalence (crash before
+# the snapshot rename, after it, and during the tail swap), disk-fault
+# injection (fsync failure, short write, ENOSPC on append/snapshot/proof
+# persist), degraded-mode entry/self-recovery over HTTP, and orphan
+# temp/proof sweeping.
+disk-chaos:
+	$(GO) test -race -run 'TestParseJournal|TestDecodeRecord|TestCompact|TestDegraded|TestShortWrite|TestFsync|TestOrphan|TestJournal' ./internal/jobs
+	$(GO) test -race -run 'TestJobsDegradedModeHTTP|TestJobsCompactionBoundsJournalHTTP' ./internal/server
+
 # Multi-tenant fairness soak under the race detector: an in-process
 # server with 4 keyed tenants (t0 at 4x DRR weight) under zipf-skewed
 # traffic. Asserts per-tenant 429 isolation (a light tenant is never
@@ -96,4 +108,4 @@ jobs-chaos:
 tenants-soak:
 	$(GO) run -race ./cmd/nocap-loadgen -tenants 4 -skew zipf -requests 120 -clients 8 -n 128 -workers 4 -queue 4
 
-ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos tenants-soak
+ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos disk-chaos tenants-soak

@@ -48,6 +48,7 @@ import (
 	"time"
 
 	"nocap"
+	"nocap/internal/faultinject"
 	"nocap/internal/jobs"
 	"nocap/internal/leakcheck"
 	"nocap/internal/server"
@@ -945,12 +946,225 @@ func runJobs(clients, requests int, duration time.Duration, n, workers, queue in
 		h.record("journal", false, true, msg)
 	}
 
+	// Durable-state lifecycle soak (DESIGN.md §13): compaction keeps the
+	// journal bounded with zero lost terminal states, and sustained disk
+	// failure degrades — then recovers — the durable path only.
+	if err := durabilitySoak(h, n, workers, queue); err != nil {
+		return true, err
+	}
+
 	_, violations := report(h, clients, elapsed)
 	failed = checkProcessInvariants(snap, arenaBefore)
 	if violations > 0 {
 		failed = true
 	}
 	return failed, nil
+}
+
+// durabilitySoak runs the durable-state lifecycle passes on a fresh
+// data directory (DESIGN.md §13):
+//
+//  1. Compaction soak — a tight journal record cap with a fast
+//     compaction tick while jobs churn. The journal must stay bounded,
+//     compactions must actually happen, and a restart over the
+//     compacted state (snapshot + tail) must recover every terminal
+//     job with byte-identical proofs: zero lost terminal states.
+//  2. Degraded-mode pass — injected journal-append failure (the
+//     ENOSPC equivalent) must fail the first DegradedThreshold
+//     submissions loudly, then flip POST /jobs to a typed 503
+//     "degraded" with Retry-After while synchronous /prove and polls
+//     of done jobs keep serving; disarming the fault must exit
+//     degraded mode through the background probe with no restart.
+func durabilitySoak(h *harness, n, workers, queue int) error {
+	const recordCap = 16
+	const degradedThreshold = 3
+	dir, err := os.MkdirTemp("", "nocap-loadgen-durable-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	boot := func() (*server.Server, string, error) {
+		srv, err := server.New(server.Config{
+			Addr:                 "127.0.0.1:0",
+			Workers:              workers,
+			QueueDepth:           queue,
+			MemoryBudgetMB:       8,
+			Params:               nocap.TestParams(),
+			DataDir:              dir,
+			JobBackoffBase:       5 * time.Millisecond,
+			JobBackoffMax:        50 * time.Millisecond,
+			JobJournalMaxRecords: recordCap,
+			JobCompactCheck:      10 * time.Millisecond,
+			JobDegradedThreshold: degradedThreshold,
+			JobProbeInterval:     10 * time.Millisecond,
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		bound, err := srv.Listen()
+		if err != nil {
+			return nil, "", err
+		}
+		go srv.Serve()
+		base := "http://" + bound.String()
+		if err := waitReady(base, 10*time.Second); err != nil {
+			return nil, "", err
+		}
+		return srv, base, nil
+	}
+	srv, base, err := boot()
+	if err != nil {
+		return fmt.Errorf("durability soak boot: %w", err)
+	}
+	h.base = base
+	fmt.Printf("nocap-loadgen: durability soak on %s (record cap %d, journal in %s)\n", base, recordCap, dir)
+
+	// Pass 1: churn enough jobs that the journal overruns its cap
+	// several times over, keeping every proof for the restart check.
+	proofs := make(map[string]string)
+	ids := make([]string, 0, 20)
+	for i := 0; i < 20; i++ {
+		id, ok := h.submitJob("job-compact", n)
+		if !ok {
+			continue
+		}
+		info, perr := h.pollJob(id, time.Minute)
+		if perr != nil || info.State != string(jobs.StateDone) || info.ProofB64 == "" {
+			h.record("job-compact", false, true, fmt.Sprintf("job %s: %v state %q", id, perr, info.State))
+			continue
+		}
+		ids = append(ids, id)
+		proofs[id] = info.ProofB64
+		h.record("job-compact", false, false, "")
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		jm := srv.JobsMetrics()
+		if jm.Compactions >= 1 && jm.JournalRecords < 2*recordCap {
+			fmt.Printf("nocap-loadgen: %d compactions, journal at %d records (cap %d), %d B snapshot\n",
+				jm.Compactions, jm.JournalRecords, recordCap, jm.SnapshotBytes)
+			break
+		}
+		if time.Now().After(deadline) {
+			h.record("job-compact", false, true,
+				fmt.Sprintf("journal never compacted under cap: %d compactions, %d records", jm.Compactions, jm.JournalRecords))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := drain(srv); err != nil {
+		return fmt.Errorf("drain before compacted restart: %w", err)
+	}
+
+	// Restart over snapshot + tail: every terminal job must come back
+	// with the exact proof bytes it finished with.
+	srv, base, err = boot()
+	if err != nil {
+		return fmt.Errorf("restart over compacted state: %w", err)
+	}
+	h.base = base
+	for _, id := range ids {
+		info, perr := h.pollJob(id, time.Minute)
+		switch {
+		case perr != nil:
+			h.record("job-compact", false, true, fmt.Sprintf("job %s after compacted restart: %v", id, perr))
+		case info.State != string(jobs.StateDone):
+			h.record("job-compact", false, true, fmt.Sprintf("job %s after compacted restart: state %q", id, info.State))
+		case info.ProofB64 != proofs[id]:
+			h.record("job-compact", false, true, fmt.Sprintf("job %s proof changed across compacted restart", id))
+		default:
+			h.record("job-compact", false, false, "")
+		}
+	}
+
+	// Pass 2: sustained disk failure. All workers are idle (every job is
+	// terminal), so the only journal writes are the submissions below
+	// and, once degraded, the recovery probe.
+	defer faultinject.Disarm()
+	faultinject.MustArm(faultinject.Plan{
+		Point: "jobs.journal.append",
+		Kind:  faultinject.Error,
+		Count: 1 << 30,
+	})
+	body, _ := json.Marshal(server.ProveRequest{Circuit: "synthetic", N: n})
+	for i := 0; i < degradedThreshold; i++ {
+		resp, data, perr := h.post("/jobs", body)
+		if perr != nil {
+			h.record("job-degraded", false, true, perr.Error())
+		} else if resp.StatusCode != http.StatusInternalServerError || !typedError(data) {
+			h.record("job-degraded", false, true,
+				fmt.Sprintf("submit %d during disk failure: status %d: %.120s", i, resp.StatusCode, data))
+		} else {
+			h.record("job-degraded", false, false, "")
+		}
+	}
+	resp, data, perr := h.post("/jobs", body)
+	switch {
+	case perr != nil:
+		h.record("job-degraded", false, true, perr.Error())
+	case resp.StatusCode != http.StatusServiceUnavailable:
+		h.record("job-degraded", false, true, fmt.Sprintf("degraded submit: status %d: %.120s", resp.StatusCode, data))
+	case resp.Header.Get("Retry-After") == "":
+		h.record("job-degraded", false, true, "degraded 503 missing Retry-After")
+	default:
+		var er server.ErrorResponse
+		if json.Unmarshal(data, &er) != nil || er.Code != "degraded" {
+			h.record("job-degraded", false, true, fmt.Sprintf("degraded 503 code %q", er.Code))
+		} else {
+			h.record("job-degraded", false, false, "")
+		}
+	}
+	// The non-durable surface must not notice: sync prove and polls of
+	// already-terminal jobs keep answering 200.
+	if resp, data, perr := h.post("/prove", body); perr != nil || resp.StatusCode != http.StatusOK {
+		h.record("job-degraded", false, true, fmt.Sprintf("sync /prove during degraded: %v status %d: %.120s", perr, respStatus(resp), data))
+	} else {
+		h.record("job-degraded", false, false, "")
+	}
+	if len(ids) > 0 {
+		if _, perr := h.pollJob(ids[0], time.Minute); perr != nil {
+			h.record("job-degraded", false, true, fmt.Sprintf("poll during degraded: %v", perr))
+		} else {
+			h.record("job-degraded", false, false, "")
+		}
+	}
+
+	// Disk heals: the probe's first successful write exits degraded mode
+	// and submissions are accepted again, with the job running to done.
+	faultinject.Disarm()
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		resp, data, perr := h.post("/jobs", body)
+		if perr == nil && resp.StatusCode == http.StatusAccepted {
+			var jr server.JobResponse
+			if json.Unmarshal(data, &jr) != nil || jr.ID == "" {
+				h.record("job-degraded", false, true, "post-recovery 202 without a job id")
+				break
+			}
+			info, perr := h.pollJob(jr.ID, time.Minute)
+			if perr != nil || info.State != string(jobs.StateDone) {
+				h.record("job-degraded", false, true, fmt.Sprintf("post-recovery job: %v state %q", perr, info.State))
+			} else {
+				h.record("job-degraded", false, false, "")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			h.record("job-degraded", false, true,
+				fmt.Sprintf("server never recovered from degraded mode (last status %d: %.120s)", respStatus(resp), data))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return drain(srv)
+}
+
+// respStatus is a nil-safe status accessor for violation messages.
+func respStatus(resp *http.Response) int {
+	if resp == nil {
+		return 0
+	}
+	return resp.StatusCode
 }
 
 // waitReady polls /readyz until the server finishes journal recovery

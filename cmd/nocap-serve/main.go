@@ -10,6 +10,7 @@
 //	nocap-serve -addr 127.0.0.1:8080 -workers 4 -queue 8
 //	nocap-serve -addr :8080 -timeout 60s -mem-mb 128 -drain 30s
 //	nocap-serve -tenant-keys tenants.json -cache-mb 64
+//	nocap-serve -data-dir /var/lib/nocap -journal-max-mb 64 -job-retention 24h
 //
 // Tenancy (DESIGN.md §12): -tenant-keys names a JSON keyfile
 // ({"tenants":[{"id":"acme","key":"...","weight":4,...}]}) mapping
@@ -35,7 +36,15 @@
 //
 // With -data-dir the server keeps a durable job journal there: jobs
 // accepted before a crash or restart are recovered and re-run on the
-// next start (DESIGN.md §11).
+// next start (DESIGN.md §11). -journal-max-mb bounds the journal by
+// compacting it into an atomic snapshot in the background, and
+// -job-retention garbage-collects terminal jobs (and their proof
+// files) older than that age at compaction time (DESIGN.md §13). If
+// the data disk starts refusing writes the server enters degraded
+// mode: POST /jobs answers a typed 503 {"code":"degraded"} with
+// Retry-After while synchronous /prove, /verify, and job polls keep
+// serving, and a background probe exits degraded mode on the first
+// successful write.
 //
 // On SIGINT/SIGTERM the server stops admitting (503), lets queued and
 // in-flight requests finish (cancelling them if -drain expires), then
@@ -75,6 +84,8 @@ func run() error {
 	jobAttempts := flag.Int("job-attempts", 0, "per-job attempt budget (0 = jobs default)")
 	breakerThreshold := flag.Int("breaker-threshold", 0, "consecutive internal failures that trip the job breaker (0 = jobs default)")
 	breakerCooldown := flag.Duration("breaker-cooldown", 0, "job breaker open→half-open delay (0 = jobs default)")
+	journalMaxMB := flag.Int("journal-max-mb", 0, "journal size that triggers snapshot+compaction, MB (0 = never compact)")
+	jobRetention := flag.Duration("job-retention", 0, "terminal jobs older than this are GC'd at compaction (0 = keep forever)")
 	tenantKeys := flag.String("tenant-keys", "", "JSON keyfile of tenants (id, key, weight, quotas); empty = single anonymous tenant")
 	tenantWeight := flag.Int("tenant-default-weight", 1, "default tenant's DRR weight (also the fallback for keyfile tenants)")
 	tenantRate := flag.Float64("tenant-default-rate", 0, "default tenant's requests/sec token-bucket rate (0 = unlimited)")
@@ -98,13 +109,21 @@ func run() error {
 	if *jobWorkers < 0 || *jobPending < 0 || *jobAttempts < 0 || *breakerThreshold < 0 || *breakerCooldown < 0 {
 		return zkerr.Usagef("job flags must be non-negative")
 	}
+	if *journalMaxMB < 0 || *jobRetention < 0 {
+		return zkerr.Usagef("-journal-max-mb and -job-retention must be non-negative")
+	}
+	if *jobRetention > 0 && *journalMaxMB == 0 {
+		// Retention GC only runs during compaction; a retention with no
+		// compaction trigger would silently never fire.
+		return zkerr.Usagef("-job-retention requires -journal-max-mb")
+	}
 	if *dataDir != "" {
 		// Fail fast on an unusable data dir instead of serving 503s: the
 		// background open would only discover this after the listener is up.
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			return zkerr.Usagef("-data-dir %s: %v", *dataDir, err)
 		}
-	} else if *jobWorkers > 0 || *jobPending > 0 || *jobAttempts > 0 || *breakerThreshold > 0 || *breakerCooldown > 0 {
+	} else if *jobWorkers > 0 || *jobPending > 0 || *jobAttempts > 0 || *breakerThreshold > 0 || *breakerCooldown > 0 || *journalMaxMB > 0 || *jobRetention > 0 {
 		return zkerr.Usagef("job flags require -data-dir")
 	}
 
@@ -150,6 +169,8 @@ func run() error {
 		JobMaxAttempts:      *jobAttempts,
 		JobBreakerThreshold: *breakerThreshold,
 		JobBreakerCooldown:  *breakerCooldown,
+		JobJournalMaxMB:     *journalMaxMB,
+		JobRetention:        *jobRetention,
 	})
 	if err != nil {
 		return zkerr.Usagef("tenant config: %v", err)
@@ -168,6 +189,9 @@ func run() error {
 	}
 	if *dataDir != "" {
 		log.Printf("nocap-serve: async jobs enabled, journal in %s", *dataDir)
+		if *journalMaxMB > 0 {
+			log.Printf("nocap-serve: journal compaction at %d MB (retention %v)", *journalMaxMB, *jobRetention)
+		}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -117,7 +117,8 @@ func (k Kind) String() string {
 	return "none"
 }
 
-// Plan describes one fault: fire Kind at the Trigger-th hit of Point.
+// Plan describes one fault: fire Kind at the Trigger-th hit of Point,
+// and — when Count > 1 — keep firing for that many consecutive hits.
 type Plan struct {
 	// Point is the injection-point name to fire at.
 	Point string
@@ -126,6 +127,11 @@ type Plan struct {
 	// Trigger is the 1-based hit count of Point on which to fire; 0
 	// means 1 (the first hit).
 	Trigger uint64
+	// Count is how many consecutive hits fire, starting at Trigger; 0
+	// means 1 (the classic fire-once fault). A sustained disk outage is
+	// Count = N: hits [Trigger, Trigger+N-1] all fail, the next one
+	// succeeds — the fault "clears".
+	Count uint64
 	// Err is returned for Kind == Error; nil selects a default error
 	// wrapping zkerr.ErrInternal.
 	Err error
@@ -238,7 +244,11 @@ func (inj *injector) check(point string) error {
 	if trigger == 0 {
 		trigger = 1
 	}
-	if inj.fired || p.Point != point || n != trigger {
+	count := p.Count
+	if count == 0 {
+		count = 1
+	}
+	if p.Point != point || n < trigger || n >= trigger+count {
 		inj.mu.Unlock()
 		return nil
 	}

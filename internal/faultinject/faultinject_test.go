@@ -273,3 +273,25 @@ func TestMustArmPanicsOnUnknownPoint(t *testing.T) {
 	}()
 	MustArm(Plan{Point: "still.not.registered", Kind: Error})
 }
+
+// TestCountSustainsFaultThenClears: Count = N fires the fault on hits
+// [Trigger, Trigger+N-1] and lets the next hit succeed — a sustained
+// disk outage that eventually clears. The default Count keeps the
+// classic fire-once behaviour.
+func TestCountSustainsFaultThenClears(t *testing.T) {
+	defer Disarm()
+	mustArm(t, Plan{Point: "stage.a", Kind: Error, Trigger: 2, Count: 3})
+	for i := 1; i <= 6; i++ {
+		err := Check("stage.a")
+		if i >= 2 && i <= 4 {
+			if err == nil {
+				t.Fatalf("hit %d inside the outage window did not fire", i)
+			}
+		} else if err != nil {
+			t.Fatalf("hit %d outside the outage window fired: %v", i, err)
+		}
+		if got, want := Fired(), i >= 2; got != want {
+			t.Fatalf("Fired after hit %d = %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,625 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"nocap/internal/faultinject"
+	"nocap/internal/leakcheck"
+	"nocap/internal/zkerr"
+)
+
+// logBuffer collects Config.Logf output for structured-log assertions.
+type logBuffer struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (b *logBuffer) logf(format string, args ...any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lines = append(b.lines, fmt.Sprintf(format, args...))
+}
+
+func (b *logBuffer) contains(sub string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, l := range b.lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// marshalList canonicalizes a manager's job table for state-equivalence
+// comparisons.
+func marshalList(t *testing.T, m *Manager) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(m.List(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestCompactionBoundsJournal: the background compactor must rewrite
+// the journal as snapshot + tail once the record cap is crossed, the
+// journal must stay bounded under continued traffic, and a restart must
+// recover the identical job table from snapshot-then-tail.
+func TestCompactionBoundsJournal(t *testing.T) {
+	dir := t.TempDir()
+	var logs logBuffer
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{Proof: append([]byte("proof-"), spec.Payload...)}, nil
+	})
+	cfg.Dir = dir
+	cfg.JournalMaxRecords = 12
+	cfg.CompactCheck = 5 * time.Millisecond
+	cfg.Logf = logs.logf
+	m := openManager(t, cfg)
+
+	ids := make([]string, 0, 20)
+	for i := 0; i < 20; i++ {
+		id, err := m.Submit(Spec{Payload: json.RawMessage(fmt.Sprintf("%d", i))})
+		if err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+		ids = append(ids, id)
+		waitTerminal(t, m, id)
+	}
+	// 20 jobs × 3 records is well past the cap; the compactor must have
+	// run and the journal must sit under cap + one compaction period of
+	// traffic.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mm := m.Metrics()
+		if mm.Compactions >= 1 && mm.JournalRecords < 2*cfg.JournalMaxRecords {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("compactor never bounded the journal: %+v", mm)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mm := m.Metrics()
+	if mm.SnapshotBytes == 0 {
+		t.Fatalf("snapshot bytes not reported: %+v", mm)
+	}
+	if !logs.contains("event=compaction") || !logs.contains("trigger=journal-records") {
+		t.Fatalf("no structured compaction log line; got %v", logs.lines)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("snapshot file: %v", err)
+	}
+	before := marshalList(t, m)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	m.Close(ctx)
+	cancel()
+
+	// Recovery replays snapshot-then-tail into the identical table.
+	cfg2 := cfg
+	m2 := openManager(t, cfg2)
+	if after := marshalList(t, m2); !bytes.Equal(before, after) {
+		t.Fatalf("snapshot+tail recovery diverged:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	for i, id := range ids {
+		proof, err := m2.Proof(id)
+		if err != nil {
+			t.Fatalf("Proof(%s) after compacted recovery: %v", id, err)
+		}
+		if want := fmt.Sprintf("proof-%d", i); string(proof) != want {
+			t.Fatalf("proof %q, want %q", proof, want)
+		}
+	}
+	// Post-compaction appends continue the sequence without colliding
+	// with snapshot-folded records.
+	id, err := m2.Submit(Spec{Payload: json.RawMessage(`99`)})
+	if err != nil {
+		t.Fatalf("Submit after compacted recovery: %v", err)
+	}
+	waitTerminal(t, m2, id)
+}
+
+// TestCompactionRetentionGC: terminal jobs older than the retention
+// window are dropped from the table and their proof files deleted;
+// younger and non-terminal jobs survive.
+func TestCompactionRetentionGC(t *testing.T) {
+	dir := t.TempDir()
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{Proof: []byte("p")}, nil
+	})
+	cfg.Dir = dir
+	cfg.Retention = 30 * time.Millisecond
+	m := openManager(t, cfg)
+
+	old, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, old)
+	oldProof := filepath.Join(dir, proofsDirName, old+".bin")
+	if _, err := os.Stat(oldProof); err != nil {
+		t.Fatalf("proof file before GC: %v", err)
+	}
+	time.Sleep(50 * time.Millisecond) // let the old job age past retention
+	young, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, m, young)
+
+	if err := m.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if _, err := m.Get(old); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("retention-expired job still known: %v", err)
+	}
+	if _, err := os.Stat(oldProof); !os.IsNotExist(err) {
+		t.Fatalf("GC'd proof file still on disk: %v", err)
+	}
+	if info, err := m.Get(young); err != nil || info.State != StateDone {
+		t.Fatalf("young job: %+v, %v", info, err)
+	}
+	if mm := m.Metrics(); mm.RetiredJobs != 1 {
+		t.Fatalf("retired %d, want 1", mm.RetiredJobs)
+	}
+	// GC survives restart: the expired job stays gone.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	m.Close(ctx)
+	cancel()
+	m2 := openManager(t, cfg)
+	if _, err := m2.Get(old); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("GC'd job resurrected by replay: %v", err)
+	}
+	if info, err := m2.Get(young); err != nil || info.State != StateDone {
+		t.Fatalf("young job after restart: %+v, %v", info, err)
+	}
+}
+
+// TestCompactionRepairsJournalLost: a terminal state whose journal
+// append failed becomes durable once a snapshot lands, so compaction
+// clears the journal_lost hazard flag and a restart recovers the
+// terminal state instead of re-running the job.
+func TestCompactionRepairsJournalLost(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{Proof: []byte("p")}, nil
+	})
+	cfg.Dir = dir
+	m := openManager(t, cfg)
+	// Fail the done append and its retry (hits 3 and 4: accepted=1,
+	// running=2), so the job terminalizes with journal_lost.
+	faultinject.MustArm(faultinject.Plan{Point: fiJournalAppend, Kind: faultinject.Error, Trigger: 3, Count: 2})
+	id, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitTerminal(t, m, id)
+	faultinject.Disarm()
+	if info.State != StateDone || !info.JournalLost {
+		t.Fatalf("want done+journal_lost, got %+v", info)
+	}
+	if err := m.Compact(); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	if info, _ = m.Get(id); info.JournalLost {
+		t.Fatal("journal_lost still set after the snapshot made the state durable")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	m.Close(ctx)
+	cancel()
+	m2 := openManager(t, cfg)
+	if info, err := m2.Get(id); err != nil || info.State != StateDone {
+		t.Fatalf("snapshot-repaired job after restart: %+v, %v", info, err)
+	}
+}
+
+// ---------------------------------------------------------------------
+// SIGKILL-mid-compaction chaos (the tentpole's crash matrix): a hard
+// kill at each of the three compaction windows — before the snapshot
+// rename, after it (before the tail swap), and during the swap (tail
+// temp written, final rename pending) — must recover the exact job
+// state a no-crash run has. The child process records its expected
+// state to expected.json before arming the kill; the parent reopens the
+// data directory and compares.
+
+const (
+	compactCrashChildEnv = "NOCAP_JOBS_COMPACT_CRASH_CHILD"
+	compactCrashDirEnv   = "NOCAP_JOBS_COMPACT_CRASH_DIR"
+	compactCrashPointEnv = "NOCAP_JOBS_COMPACT_CRASH_POINT"
+)
+
+func TestCompactCrashChildProcess(t *testing.T) {
+	if os.Getenv(compactCrashChildEnv) != "1" {
+		t.Skip("crash-test child (driven by TestCompactCrashWindowsRecoverIdenticalState)")
+	}
+	dir := os.Getenv(compactCrashDirEnv)
+	m, err := Open(Config{
+		Dir: dir,
+		Exec: func(ctx context.Context, spec Spec) (Result, error) {
+			return Result{Proof: append([]byte("proof-"), spec.Payload...)}, nil
+		},
+		Workers: 2, MaxPending: 16, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("child Open: %v", err)
+	}
+	for i := 0; i < 6; i++ {
+		id, err := m.Submit(Spec{Payload: json.RawMessage(fmt.Sprintf("%d", i))})
+		if err != nil {
+			t.Fatalf("child Submit %d: %v", i, err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if _, err := m.Wait(ctx, id); err != nil {
+			t.Fatalf("child Wait: %v", err)
+		}
+		cancel()
+	}
+	expected, err := json.MarshalIndent(m.List(), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "expected.json"), expected, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	faultinject.MustArm(faultinject.Plan{
+		Point: os.Getenv(compactCrashPointEnv),
+		Kind:  faultinject.Hook,
+		Hook: func() error {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {} // SIGKILL delivery is asynchronous; never proceed
+		},
+	})
+	_ = m.Compact()
+	t.Fatal("child survived its own SIGKILL window") // unreachable on success
+}
+
+func TestCompactCrashWindowsRecoverIdenticalState(t *testing.T) {
+	for _, point := range []string{fiCompactSnapshot, fiCompactTruncate, fiCompactSwap} {
+		t.Run(point, func(t *testing.T) {
+			snap := leakcheck.Take()
+			dir := t.TempDir()
+			child := exec.Command(os.Args[0], "-test.run=^TestCompactCrashChildProcess$", "-test.v")
+			child.Env = append(os.Environ(),
+				compactCrashChildEnv+"=1", compactCrashDirEnv+"="+dir, compactCrashPointEnv+"="+point)
+			out, err := child.CombinedOutput()
+			var exitErr *exec.ExitError
+			if !errors.As(err, &exitErr) {
+				t.Fatalf("child did not die by signal: err=%v\n%s", err, out)
+			}
+			if status, ok := exitErr.Sys().(syscall.WaitStatus); !ok || status.Signal() != syscall.SIGKILL {
+				t.Fatalf("child exit %v, want SIGKILL\n%s", exitErr, out)
+			}
+
+			expected, err := os.ReadFile(filepath.Join(dir, "expected.json"))
+			if err != nil {
+				t.Fatalf("child never recorded its pre-crash state: %v\n%s", err, out)
+			}
+			m, err := Open(Config{
+				Dir: dir,
+				Exec: func(ctx context.Context, spec Spec) (Result, error) {
+					return Result{Proof: []byte("post-crash-reexec")}, nil
+				},
+				Workers: 2, MaxPending: 16, Seed: 1,
+			})
+			if err != nil {
+				t.Fatalf("reopen after %s kill: %v", point, err)
+			}
+			defer func() {
+				ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+				defer cancel()
+				m.Close(ctx)
+			}()
+			got := marshalList(t, m)
+			if !bytes.Equal(expected, got) {
+				t.Fatalf("state after SIGKILL at %s diverged:\nexpected:\n%s\ngot:\n%s", point, expected, got)
+			}
+			// Every done job's proof bytes survive the crash too.
+			var infos []JobInfo
+			if err := json.Unmarshal(expected, &infos); err != nil {
+				t.Fatal(err)
+			}
+			for i, info := range infos {
+				proof, err := m.Proof(info.ID)
+				if err != nil {
+					t.Fatalf("Proof(%s) after %s kill: %v", info.ID, point, err)
+				}
+				if want := fmt.Sprintf("proof-%d", i); string(proof) != want {
+					t.Fatalf("proof %q, want %q", proof, want)
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			m.Close(ctx)
+			cancel()
+			snap.Check(t)
+		})
+	}
+}
+
+// ---------------------------------------------------------------------
+// Degraded mode.
+
+// TestDegradedModeEntersAndSelfRecovers: sustained journal failures
+// flip the manager into degraded mode (Submit → ErrDegraded), the
+// probe loop exits it once the disk heals, and both transitions emit
+// structured log lines.
+func TestDegradedModeEntersAndSelfRecovers(t *testing.T) {
+	defer faultinject.Disarm()
+	var logs logBuffer
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{Proof: []byte("ok")}, nil
+	})
+	cfg.DegradedThreshold = 3
+	cfg.ProbeInterval = 10 * time.Millisecond
+	cfg.Logf = logs.logf
+	m := openManager(t, cfg)
+
+	// A sustained outage: every journal append fails until disarmed.
+	faultinject.MustArm(faultinject.Plan{Point: fiJournalAppend, Kind: faultinject.Error, Count: 1 << 30})
+	for i := 0; i < 3; i++ {
+		if _, err := m.Submit(Spec{}); zkerr.Code(err) != "internal" {
+			t.Fatalf("Submit %d during outage: %v, want internal-class error", i, err)
+		}
+	}
+	if _, err := m.Submit(Spec{}); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Submit past threshold: %v, want ErrDegraded", err)
+	}
+	if deg, _ := m.Degraded(); !deg {
+		t.Fatal("Degraded() false past threshold")
+	}
+	if !logs.contains("event=degraded_enter") {
+		t.Fatalf("no degraded_enter log line; got %v", logs.lines)
+	}
+	// Reads keep working while degraded.
+	if got := len(m.List()); got != 0 {
+		t.Fatalf("List len %d while degraded, want 0", got)
+	}
+
+	// The disk heals: the next probe write succeeds and exits degraded.
+	faultinject.Disarm()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if deg, _ := m.Degraded(); !deg {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("probe never exited degraded mode")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !logs.contains("event=degraded_exit") {
+		t.Fatalf("no degraded_exit log line; got %v", logs.lines)
+	}
+	mm := m.Metrics()
+	if mm.DegradedEntries != 1 || mm.ProbeWrites == 0 {
+		t.Fatalf("degraded entries %d probe writes %d", mm.DegradedEntries, mm.ProbeWrites)
+	}
+	// Healthy again end to end.
+	id, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatalf("Submit after recovery: %v", err)
+	}
+	if info := waitTerminal(t, m, id); info.State != StateDone {
+		t.Fatalf("state %s, want done", info.State)
+	}
+	// Probe records never become jobs on replay.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	m.Close(ctx)
+	cancel()
+	m2 := openManager(t, cfg)
+	if _, err := m2.Get(probeJobID); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("probe record replayed as a job: %v", err)
+	}
+}
+
+// TestShortWriteLeavesParseableJournal: an injected short write (half
+// the record lands, then the error) must not poison the journal — the
+// failed append truncates back to the last clean record, the next
+// append lands on a clean boundary, and replay sees zero torn or
+// corrupt records.
+func TestShortWriteLeavesParseableJournal(t *testing.T) {
+	defer faultinject.Disarm()
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{Proof: []byte("ok")}, nil
+	})
+	m := openManager(t, cfg)
+	faultinject.MustArm(faultinject.Plan{Point: fiJournalWrite, Kind: faultinject.Error})
+	if _, err := m.Submit(Spec{}); err == nil {
+		t.Fatal("Submit with injected short write succeeded")
+	}
+	if !faultinject.Fired() {
+		t.Fatal("short-write fault never fired")
+	}
+	faultinject.Disarm()
+	id, err := m.Submit(Spec{})
+	if err != nil {
+		t.Fatalf("Submit after short write: %v", err)
+	}
+	waitTerminal(t, m, id)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	m.Close(ctx)
+	cancel()
+
+	data, err := os.ReadFile(filepath.Join(cfg.Dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, _, err := parseAll(data)
+	if err != nil {
+		t.Fatalf("reparse after short write: %v", err)
+	}
+	if info.torn != 0 || info.corrupt != 0 {
+		t.Fatalf("torn %d corrupt %d after truncate-back recovery, want 0/0", info.torn, info.corrupt)
+	}
+	m2 := openManager(t, cfg)
+	if info, err := m2.Get(id); err != nil || info.State != StateDone {
+		t.Fatalf("job after short-write recovery: %+v, %v", info, err)
+	}
+}
+
+// TestFsyncFailureRollsBackRecord: an injected fsync failure after a
+// clean write must also roll the tail back — a record whose durability
+// is unknown is treated as never written.
+func TestFsyncFailureRollsBackRecord(t *testing.T) {
+	defer faultinject.Disarm()
+	dir := t.TempDir()
+	jl, _, err := openJournal(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer jl.close()
+	faultinject.MustArm(faultinject.Plan{Point: fiJournalFsync, Kind: faultinject.Error})
+	if err := jl.append(record{Job: "j-a", State: recAccepted}); err == nil {
+		t.Fatal("append with failing fsync succeeded")
+	}
+	faultinject.Disarm()
+	st, err := os.Stat(filepath.Join(dir, journalName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 0 {
+		t.Fatalf("journal %d bytes after rolled-back append, want 0", st.Size())
+	}
+	if err := jl.append(record{Job: "j-a", State: recAccepted}); err != nil {
+		t.Fatalf("append after rollback: %v", err)
+	}
+	if jl.records != 1 {
+		t.Fatalf("records %d, want 1", jl.records)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Orphan sweep.
+
+const (
+	orphanCrashChildEnv = "NOCAP_JOBS_ORPHAN_CRASH_CHILD"
+	orphanCrashDirEnv   = "NOCAP_JOBS_ORPHAN_CRASH_DIR"
+)
+
+// TestOrphanCrashChildProcess dies by its own SIGKILL exactly between a
+// proof's temp-file write and its rename, stranding a *.tmp-* file.
+func TestOrphanCrashChildProcess(t *testing.T) {
+	if os.Getenv(orphanCrashChildEnv) != "1" {
+		t.Skip("crash-test child (driven by TestOrphanTempSweptOnRecovery)")
+	}
+	dir := os.Getenv(orphanCrashDirEnv)
+	m, err := Open(Config{
+		Dir: dir,
+		Exec: func(ctx context.Context, spec Spec) (Result, error) {
+			return Result{Proof: []byte("doomed")}, nil
+		},
+		Workers: 1, MaxPending: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("child Open: %v", err)
+	}
+	faultinject.MustArm(faultinject.Plan{
+		Point: fiProofPersist,
+		Kind:  faultinject.Hook,
+		Hook: func() error {
+			_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+			select {}
+		},
+	})
+	if _, err := m.Submit(Spec{Payload: json.RawMessage(`1`)}); err != nil {
+		t.Fatalf("child Submit: %v", err)
+	}
+	time.Sleep(time.Minute) // the self-SIGKILL in the persist path ends this
+}
+
+// TestOrphanTempSweptOnRecovery: a crash between proof temp-write and
+// rename strands a temp file; recovery must delete and count it, and
+// the interrupted job must still reach done.
+func TestOrphanTempSweptOnRecovery(t *testing.T) {
+	dir := t.TempDir()
+	child := exec.Command(os.Args[0], "-test.run=^TestOrphanCrashChildProcess$", "-test.v")
+	child.Env = append(os.Environ(), orphanCrashChildEnv+"=1", orphanCrashDirEnv+"="+dir)
+	out, err := child.CombinedOutput()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("child did not die: err=%v\n%s", err, out)
+	}
+	temps, _ := filepath.Glob(filepath.Join(dir, proofsDirName, "*.tmp-*"))
+	if len(temps) == 0 {
+		t.Fatalf("child left no stranded proof temp file\n%s", out)
+	}
+
+	m, err := Open(Config{
+		Dir: dir,
+		Exec: func(ctx context.Context, spec Spec) (Result, error) {
+			return Result{Proof: []byte("recovered")}, nil
+		},
+		Workers: 1, MaxPending: 4, Seed: 1,
+	})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	}()
+	if mm := m.Metrics(); mm.OrphansSwept < int64(len(temps)) {
+		t.Fatalf("orphans swept %d, want >= %d", mm.OrphansSwept, len(temps))
+	}
+	if left, _ := filepath.Glob(filepath.Join(dir, proofsDirName, "*.tmp-*")); len(left) != 0 {
+		t.Fatalf("temp files survived the sweep: %v", left)
+	}
+	for _, info := range m.List() {
+		fin := waitTerminal(t, m, info.ID)
+		if fin.State != StateDone {
+			t.Fatalf("interrupted job %s: %s (err %q), want done", info.ID, fin.State, fin.Error)
+		}
+	}
+}
+
+// TestOrphanUnreferencedProofSwept: proof files no loaded job
+// references (stranded by a crash between a compaction's snapshot
+// rename and its proof GC) are deleted on recovery; referenced ones
+// survive.
+func TestOrphanUnreferencedProofSwept(t *testing.T) {
+	dir := t.TempDir()
+	proofs := filepath.Join(dir, proofsDirName)
+	if err := os.MkdirAll(proofs, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	live := filepath.Join(proofs, "j-live.bin")
+	ghost := filepath.Join(proofs, "j-ghost.bin")
+	for _, p := range []string{live, ghost} {
+		if err := os.WriteFile(p, []byte("proof"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := recLine(t, record{Seq: 1, Job: "j-live", State: recAccepted}) +
+		recLine(t, record{Seq: 2, Job: "j-live", State: recDone, Attempt: 1, ProofFile: live, ProofBytes: 5})
+	if err := os.WriteFile(filepath.Join(dir, journalName), []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{}, nil
+	})
+	cfg.Dir = dir
+	m := openManager(t, cfg)
+	if _, err := os.Stat(ghost); !os.IsNotExist(err) {
+		t.Fatalf("unreferenced proof survived the sweep: %v", err)
+	}
+	if proof, err := m.Proof("j-live"); err != nil || string(proof) != "proof" {
+		t.Fatalf("referenced proof: %q, %v", proof, err)
+	}
+	if mm := m.Metrics(); mm.OrphansSwept != 1 {
+		t.Fatalf("orphans swept %d, want 1", mm.OrphansSwept)
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -48,6 +49,12 @@ var (
 	// (Config.TenantLimit); a per-tenant 429, never caused by other
 	// tenants' jobs.
 	ErrTenantQuota = errors.New("jobs: tenant job quota exceeded")
+	// ErrDegraded: the data disk is failing (DegradedThreshold
+	// consecutive journal/snapshot/proof writes failed), so new jobs —
+	// whose acceptance contract is durability — are refused until a
+	// probe write succeeds. Synchronous proving, which promises nothing
+	// durable, keeps working; the server maps this to a typed 503.
+	ErrDegraded = errors.New("jobs: durability degraded: data disk is failing")
 )
 
 // State is a job's externally visible lifecycle state. A job moves
@@ -141,6 +148,29 @@ type Config struct {
 	// ErrTenantQuota. Evaluated under the manager lock against the
 	// replay-restored per-tenant counts, so quotas hold across crashes.
 	TenantLimit func(tenantID string) int
+	// JournalMaxBytes / JournalMaxRecords cap the journal before the
+	// background compactor rewrites it as snapshot + tail (DESIGN.md
+	// §13). Zero disables that cap; with both zero no compactor runs
+	// and the journal grows without bound (the pre-v2 behaviour).
+	JournalMaxBytes   int64
+	JournalMaxRecords int64
+	// Retention is how long terminal jobs (and their proof files) stay
+	// queryable after finishing; compaction garbage-collects older
+	// ones. Zero keeps them forever.
+	Retention time.Duration
+	// CompactCheck is the compactor's cap-polling interval (default 1s).
+	CompactCheck time.Duration
+	// DegradedThreshold consecutive disk-write failures (journal
+	// append, snapshot write, proof persist) flip the manager into
+	// degraded mode, where Submit returns ErrDegraded (default 3).
+	DegradedThreshold int
+	// ProbeInterval is how often degraded mode probes the disk with a
+	// journaled no-op write; the first success exits degraded mode
+	// (default 1s).
+	ProbeInterval time.Duration
+	// Logf receives one structured line per degraded-mode entry/exit
+	// and per compaction (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -173,6 +203,18 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Seed == 0 {
 		c.Seed = time.Now().UnixNano()
+	}
+	if c.CompactCheck <= 0 {
+		c.CompactCheck = time.Second
+	}
+	if c.DegradedThreshold <= 0 {
+		c.DegradedThreshold = 3
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
 	}
 	return c, nil
 }
@@ -218,6 +260,25 @@ type Metrics struct {
 	JournalLostJobs     int64
 	BreakerState        BreakerState
 	BreakerTrips        int64
+	// CorruptRecords counts journal records skipped on replay for bad
+	// checksums or bogus content (distinct from torn tails).
+	CorruptRecords int64
+	// Compactions / SnapshotBytes / RetiredJobs describe the compactor:
+	// completed cycles, the live snapshot's size, and terminal jobs
+	// garbage-collected past the retention window.
+	Compactions   int64
+	SnapshotBytes int64
+	RetiredJobs   int64
+	// OrphansSwept counts stranded temp files and unreferenced proof
+	// files deleted during recovery.
+	OrphansSwept int64
+	// Degraded state: whether Submit is refusing jobs over disk
+	// failures, how many times that mode was entered, the current
+	// consecutive-failure streak, and probe writes attempted.
+	Degraded        bool
+	DegradedEntries int64
+	DiskFailStreak  int64
+	ProbeWrites     int64
 }
 
 // jobRec is the Manager's in-memory view of one job.
@@ -235,6 +296,7 @@ type jobRec struct {
 	proofFile       string
 	proofBytes      int
 	stats           json.RawMessage
+	terminalAt      time.Time          // when the job terminalized (retention GC clock)
 	cancel          context.CancelFunc // set while an attempt runs
 	timer           *time.Timer        // pending retry / requeue timer
 	done            chan struct{}      // closed on terminal transition
@@ -293,6 +355,27 @@ type Manager struct {
 	torn        int64
 	journalErrs int64
 	journalLost int64
+
+	// Durable-state lifecycle counters (DESIGN.md §13), under mu.
+	corruptRecs   int64
+	orphansSwept  int64
+	compactions   int64
+	snapshotBytes int64
+	retired       int64
+	probeWrites   int64
+
+	// Degraded-mode state machine, under mu: diskFails is the
+	// consecutive disk-write failure streak; at DegradedThreshold the
+	// manager enters degraded mode, and the first successful disk write
+	// (probe or otherwise) exits it.
+	diskFails       int64
+	degraded        bool
+	degradedSince   time.Time
+	degradedEntries int64
+
+	// compactMu serializes compaction cycles (it is never taken while
+	// holding mu).
+	compactMu sync.Mutex
 }
 
 // Open opens (creating if absent) the data directory, replays the
@@ -321,15 +404,24 @@ func Open(cfg Config) (*Manager, error) {
 		activeTenant: make(map[string]int64),
 	}
 	m.torn = info.torn
-	if err := m.replay(info.records); err != nil {
+	m.corruptRecs = info.corrupt
+	m.orphansSwept = info.orphanTemps
+	if err := m.replay(info); err != nil {
 		jl.close()
 		cancelBase()
 		return nil, err
 	}
+	m.orphansSwept += m.sweepOrphanProofs()
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
 	}
+	if cfg.JournalMaxBytes > 0 || cfg.JournalMaxRecords > 0 {
+		m.wg.Add(1)
+		go m.compactor()
+	}
+	m.wg.Add(1)
+	go m.prober()
 	for _, j := range m.order {
 		if !j.terminal() {
 			m.enqueue(j)
@@ -338,17 +430,38 @@ func Open(cfg Config) (*Manager, error) {
 	return m, nil
 }
 
-// replay rebuilds the job table from journal records. Records are
-// applied in order, later states overriding earlier ones; a
-// non-accepted record for an unknown job means the journal lost its
-// accepted record mid-file, which parseJournal would have rejected —
-// so it is corruption, not tearing, and fails loudly.
-func (m *Manager) replay(recs []record) error {
-	for _, r := range recs {
+// replay rebuilds the job table: snapshot first (the folded state of
+// every record up to its BaseSeq), then the journal tail applied in
+// order, later states overriding earlier ones. A non-accepted record
+// for an unknown job means the journal lost the accepted record — in a
+// checksummed journal that is a corrupt (or corrupt-skipped) record,
+// so it is itself skipped and counted rather than failing the whole
+// replay: one bad sector must not strand thousands of healthy jobs.
+func (m *Manager) replay(info replayInfo) error {
+	if info.snap != nil {
+		for _, sj := range info.snap.Jobs {
+			j := &jobRec{
+				id: sj.ID, state: sj.State, spec: sj.Spec, attempt: sj.Attempt,
+				lastErr: sj.Error, lastCode: sj.Code, cached: sj.Cached,
+				proofFile: sj.ProofFile, proofBytes: sj.ProofBytes, stats: sj.Stats,
+				done: make(chan struct{}),
+			}
+			if sj.TerminalAt != "" {
+				if t, err := time.Parse(time.RFC3339Nano, sj.TerminalAt); err == nil {
+					j.terminalAt = t
+				}
+			}
+			m.byID[j.id] = j
+			m.order = append(m.order, j)
+		}
+	}
+	for _, r := range info.records {
 		j := m.byID[r.Job]
 		if j == nil {
 			if r.State != recAccepted {
-				return zkerr.Malformedf("jobs: journal seq %d: %s record for unknown job %s", r.Seq, r.State, r.Job)
+				m.corruptRecs++
+				m.logf("nocap-jobs event=journal_orphan_record seq=%d job=%s state=%s", r.Seq, r.Job, r.State)
+				continue
 			}
 			j = &jobRec{id: r.Job, done: make(chan struct{})}
 			if r.Spec != nil {
@@ -386,9 +499,17 @@ func (m *Manager) replay(recs []record) error {
 			j.attempt = r.Attempt
 			j.lastErr, j.lastCode = r.Error, r.Code
 		default:
+			// decodeRecord admits only known states; recProbe records are
+			// dropped by parseJournal before they get here.
 			return zkerr.Malformedf("jobs: journal seq %d: unknown state %q", r.Seq, r.State)
 		}
+		if j.state.Terminal() {
+			if t, err := time.Parse(time.RFC3339Nano, r.T); err == nil {
+				j.terminalAt = t
+			}
+		}
 	}
+	now := time.Now()
 	for _, j := range m.order {
 		m.accepted++
 		if j.state == StateRunning {
@@ -411,6 +532,11 @@ func (m *Manager) replay(recs []record) error {
 			m.cancelCount++
 		}
 		if j.terminal() {
+			if j.terminalAt.IsZero() {
+				// Pre-v2 records carry no usable timestamp; date them now
+				// so the retention clock still starts ticking.
+				j.terminalAt = now
+			}
 			close(j.done)
 		} else {
 			m.active++
@@ -418,6 +544,119 @@ func (m *Manager) replay(recs []record) error {
 		}
 	}
 	return nil
+}
+
+// sweepOrphanProofs deletes proof files no loaded job references: a
+// crash between a compaction's snapshot rename and its proof-file GC
+// (or between a proof persist and its journal record, when the job
+// later resolved differently) strands them. Runs once at Open, before
+// workers start, so no attempt can be writing proofs concurrently.
+func (m *Manager) sweepOrphanProofs() int64 {
+	referenced := make(map[string]struct{}, len(m.byID))
+	for _, j := range m.byID {
+		if j.proofFile != "" {
+			referenced[filepath.Base(j.proofFile)] = struct{}{}
+		}
+	}
+	dir := filepath.Join(m.cfg.Dir, proofsDirName)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	var n int64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if _, ok := referenced[e.Name()]; ok {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			n++
+		}
+	}
+	if n > 0 {
+		m.logf("nocap-jobs event=orphan_proofs_swept count=%d", n)
+	}
+	return n
+}
+
+// logf emits one structured operator log line.
+func (m *Manager) logf(format string, args ...any) {
+	m.cfg.Logf(format, args...)
+}
+
+// appendLocked journals one record through the degraded-mode state
+// machine: every disk failure feeds the consecutive-failure streak,
+// every success resets it (and exits degraded mode if entered). Caller
+// holds m.mu.
+func (m *Manager) appendLocked(r record) error {
+	err := m.journal.append(r)
+	if err != nil {
+		m.journalErrs++
+		m.noteDiskFailureLocked("journal.append", err)
+		return err
+	}
+	m.noteDiskSuccessLocked()
+	return nil
+}
+
+// noteDiskFailureLocked records one failed disk write; at
+// DegradedThreshold consecutive failures the manager enters degraded
+// mode. Caller holds m.mu.
+func (m *Manager) noteDiskFailureLocked(op string, err error) {
+	m.diskFails++
+	if !m.degraded && m.diskFails >= int64(m.cfg.DegradedThreshold) {
+		m.degraded = true
+		m.degradedSince = time.Now()
+		m.degradedEntries++
+		m.logf("nocap-jobs event=degraded_enter trigger=%s consecutive_failures=%d err=%q", op, m.diskFails, err)
+	}
+}
+
+// noteDiskSuccessLocked records one successful disk write, resetting
+// the failure streak and exiting degraded mode. Caller holds m.mu.
+func (m *Manager) noteDiskSuccessLocked() {
+	m.diskFails = 0
+	if m.degraded {
+		m.degraded = false
+		m.logf("nocap-jobs event=degraded_exit duration=%s", time.Since(m.degradedSince).Round(time.Millisecond))
+	}
+}
+
+// Degraded reports whether the manager is refusing new jobs over disk
+// failures, and for how long it has been.
+func (m *Manager) Degraded() (bool, time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.degraded {
+		return false, 0
+	}
+	return true, time.Since(m.degradedSince)
+}
+
+// prober is the degraded-mode recovery loop: while degraded, append a
+// no-op probe record through the real journal path every ProbeInterval;
+// the first success flips the manager back to healthy (inside
+// appendLocked). Replay skips probe records, so they cost one journal
+// line until the next compaction.
+func (m *Manager) prober() {
+	defer m.wg.Done()
+	tick := time.NewTicker(m.cfg.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-tick.C:
+			m.mu.Lock()
+			if m.degraded && !m.closing {
+				m.probeWrites++
+				_ = m.appendLocked(record{Job: probeJobID, State: recProbe})
+			}
+			m.mu.Unlock()
+		}
+	}
 }
 
 // newID returns a fresh job identifier.
@@ -439,6 +678,10 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		m.mu.Unlock()
 		return "", ErrClosed
 	}
+	if m.degraded {
+		m.mu.Unlock()
+		return "", ErrDegraded
+	}
 	if ok, _ := m.breaker.AllowSubmit(); !ok {
 		m.mu.Unlock()
 		return "", ErrBreakerOpen
@@ -454,8 +697,7 @@ func (m *Manager) Submit(spec Spec) (string, error) {
 		}
 	}
 	j := &jobRec{id: newID(), spec: spec, state: StateAccepted, done: make(chan struct{})}
-	if err := m.journal.append(record{Job: j.id, State: recAccepted, Spec: &j.spec}); err != nil {
-		m.journalErrs++
+	if err := m.appendLocked(record{Job: j.id, State: recAccepted, Spec: &j.spec}); err != nil {
 		m.mu.Unlock()
 		return "", err
 	}
@@ -608,6 +850,15 @@ func (m *Manager) Metrics() Metrics {
 		JournalLostJobs:     m.journalLost,
 		BreakerState:        m.breaker.State(),
 		BreakerTrips:        m.breaker.Trips(),
+		CorruptRecords:      m.corruptRecs,
+		Compactions:         m.compactions,
+		SnapshotBytes:       m.snapshotBytes,
+		RetiredJobs:         m.retired,
+		OrphansSwept:        m.orphansSwept,
+		Degraded:            m.degraded,
+		DegradedEntries:     m.degradedEntries,
+		DiskFailStreak:      m.diskFails,
+		ProbeWrites:         m.probeWrites,
 	}
 }
 
@@ -743,8 +994,7 @@ func (m *Manager) runAttempt(j *jobRec, probe bool) {
 		return
 	}
 	j.attempt++
-	if err := m.journal.append(record{Job: j.id, State: recRunning, Attempt: j.attempt}); err != nil {
-		m.journalErrs++
+	if err := m.appendLocked(record{Job: j.id, State: recRunning, Attempt: j.attempt}); err != nil {
 		m.mu.Unlock()
 		m.finishAttempt(j, Result{}, err, probe)
 		return
@@ -778,15 +1028,22 @@ func (m *Manager) exec(ctx context.Context, spec Spec) (res Result, err error) {
 // that reach neither.
 func (m *Manager) finishAttempt(j *jobRec, res Result, err error, probe bool) {
 	var proofFile string
+	var persistErr error
 	if err == nil {
 		proofFile = filepath.Join(m.cfg.Dir, proofsDirName, j.id+".bin")
-		if werr := writeFileAtomic(proofFile, res.Proof, 0o644); werr != nil {
+		if werr := writeFileAtomic(proofFile, res.Proof, 0o644, fiProofPersist); werr != nil {
+			persistErr = werr
 			err = zkerr.Internalf("jobs: persist proof for %s: %v", j.id, werr)
 		}
 	}
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if persistErr != nil {
+		// A failed proof persist is a disk failure like any other; feed
+		// the degraded-mode streak.
+		m.noteDiskFailureLocked("proof.persist", persistErr)
+	}
 	if j.terminal() {
 		if probe {
 			m.breaker.abandonProbe()
@@ -834,12 +1091,10 @@ func (m *Manager) finishAttempt(j *jobRec, res Result, err error, probe bool) {
 		j.state = StateAccepted
 		j.lastErr, j.lastCode = err.Error(), code
 		m.retries++
-		if jerr := m.journal.append(record{
+		_ = m.appendLocked(record{
 			Job: j.id, State: recRetrying, Attempt: j.attempt,
 			Error: err.Error(), Code: code, BackoffMS: backoff.Milliseconds(),
-		}); jerr != nil {
-			m.journalErrs++
-		}
+		})
 		if m.closing {
 			return
 		}
@@ -872,12 +1127,9 @@ func (m *Manager) terminalizeLocked(j *jobRec, st State, msg, code string) {
 // and the journal-lost counter makes a dying data disk alertable.
 // Caller holds m.mu.
 func (m *Manager) appendTerminalLocked(j *jobRec, r record) {
-	err := m.journal.append(r)
+	err := m.appendLocked(r)
 	if err != nil {
-		m.journalErrs++
-		if err = m.journal.append(r); err != nil {
-			m.journalErrs++
-		}
+		err = m.appendLocked(r)
 	}
 	if err != nil {
 		j.journalLost = true
@@ -889,6 +1141,7 @@ func (m *Manager) appendTerminalLocked(j *jobRec, r record) {
 // transition exactly once. Caller holds m.mu and has already journaled.
 func (m *Manager) markTerminalLocked(j *jobRec, st State) {
 	j.state = st
+	j.terminalAt = time.Now()
 	if j.timer != nil {
 		j.timer.Stop()
 		j.timer = nil

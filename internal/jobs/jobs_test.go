@@ -69,8 +69,8 @@ func journalRecords(t *testing.T, dir string) []record {
 	if err != nil {
 		t.Fatalf("read journal: %v", err)
 	}
-	info, _, err := parseJournal(data)
-	if err != nil {
+	var info replayInfo
+	if _, err := parseJournal(data, 0, &info); err != nil {
 		t.Fatalf("parse journal: %v", err)
 	}
 	return info.records

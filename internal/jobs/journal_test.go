@@ -24,6 +24,8 @@ func writeJournal(t *testing.T, raw string) string {
 	return dir
 }
 
+// recLine marshals a record WITHOUT a checksum — the v1 wire format —
+// so these fixtures double as the legacy-journal compatibility corpus.
 func recLine(t *testing.T, r record) string {
 	t.Helper()
 	b, err := json.Marshal(r)
@@ -33,11 +35,28 @@ func recLine(t *testing.T, r record) string {
 	return string(b) + "\n"
 }
 
+// crcLine is the v2 form: encodeRecord's output, checksum included.
+func crcLine(t *testing.T, r record) string {
+	t.Helper()
+	b, err := encodeRecord(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// parseAll runs parseJournal with no snapshot horizon.
+func parseAll(raw []byte) (replayInfo, int64, error) {
+	var info replayInfo
+	clean, err := parseJournal(raw, 0, &info)
+	return info, clean, err
+}
+
 func TestParseJournalCleanFile(t *testing.T) {
 	raw := recLine(t, record{Seq: 1, Job: "j-a", State: recAccepted}) +
-		recLine(t, record{Seq: 2, Job: "j-a", State: recRunning, Attempt: 1}) +
-		recLine(t, record{Seq: 3, Job: "j-a", State: recDone, Attempt: 1})
-	info, clean, err := parseJournal([]byte(raw))
+		crcLine(t, record{Seq: 2, Job: "j-a", State: recRunning, Attempt: 1}) +
+		crcLine(t, record{Seq: 3, Job: "j-a", State: recDone, Attempt: 1})
+	info, clean, err := parseAll([]byte(raw))
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -52,7 +71,7 @@ func TestParseJournalCleanFile(t *testing.T) {
 func TestParseJournalTornUnterminatedFinal(t *testing.T) {
 	good := recLine(t, record{Seq: 1, Job: "j-a", State: recAccepted})
 	raw := good + `{"seq":2,"job":"j-a","sta` // crash mid-append, no newline
-	info, clean, err := parseJournal([]byte(raw))
+	info, clean, err := parseAll([]byte(raw))
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -67,7 +86,7 @@ func TestParseJournalTornUnterminatedFinal(t *testing.T) {
 func TestParseJournalTornTerminatedGarbageFinal(t *testing.T) {
 	good := recLine(t, record{Seq: 1, Job: "j-a", State: recAccepted})
 	raw := good + "\x00\x00garbage\n" // newline landed, payload did not
-	info, clean, err := parseJournal([]byte(raw))
+	info, clean, err := parseAll([]byte(raw))
 	if err != nil {
 		t.Fatalf("parse: %v", err)
 	}
@@ -79,12 +98,96 @@ func TestParseJournalTornTerminatedGarbageFinal(t *testing.T) {
 	}
 }
 
-func TestParseJournalMidFileCorruptionFailsLoudly(t *testing.T) {
+// Journal v2: mid-file corruption is skipped and counted, not fatal —
+// one flipped sector must not strand every healthy record around it.
+func TestParseJournalMidFileCorruptionSkippedAndCounted(t *testing.T) {
 	raw := recLine(t, record{Seq: 1, Job: "j-a", State: recAccepted}) +
 		"not json at all\n" +
 		recLine(t, record{Seq: 3, Job: "j-a", State: recDone})
-	if _, _, err := parseJournal([]byte(raw)); !errors.Is(err, zkerr.ErrMalformedProof) {
-		t.Fatalf("mid-file corruption: %v, want ErrMalformedProof", err)
+	info, clean, err := parseAll([]byte(raw))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(info.records) != 2 || info.corrupt != 1 || info.torn != 0 {
+		t.Fatalf("records %d corrupt %d torn %d, want 2/1/0", len(info.records), info.corrupt, info.torn)
+	}
+	if clean != int64(len(raw)) {
+		t.Fatalf("clean %d, want %d (corrupt records stay in place until compaction)", clean, len(raw))
+	}
+}
+
+// A record whose stored checksum disagrees with its content is corrupt
+// even though it is perfectly valid JSON.
+func TestParseJournalChecksumMismatchSkipped(t *testing.T) {
+	bad := crcLine(t, record{Seq: 2, Job: "j-a", State: recRunning, Attempt: 1})
+	// Flip one byte inside the job id, leaving the stored crc behind.
+	bad = strings.Replace(bad, `"job":"j-a"`, `"job":"j-b"`, 1)
+	raw := crcLine(t, record{Seq: 1, Job: "j-a", State: recAccepted}) +
+		bad +
+		crcLine(t, record{Seq: 3, Job: "j-a", State: recDone, Attempt: 1})
+	info, _, err := parseAll([]byte(raw))
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(info.records) != 2 || info.corrupt != 1 {
+		t.Fatalf("records %d corrupt %d, want 2/1", len(info.records), info.corrupt)
+	}
+	for _, r := range info.records {
+		if r.Seq == 2 {
+			t.Fatal("checksum-mismatched record survived replay")
+		}
+	}
+}
+
+// Past maxConsecutiveCorrupt corrupt records in a row the journal is
+// not bit-rotten but destroyed: recovery must refuse to start.
+func TestParseJournalConsecutiveCorruptionCapFailsLoudly(t *testing.T) {
+	raw := recLine(t, record{Seq: 1, Job: "j-a", State: recAccepted})
+	for i := 0; i <= maxConsecutiveCorrupt; i++ {
+		raw += "corrupt line\n"
+	}
+	raw += recLine(t, record{Seq: 2, Job: "j-a", State: recDone})
+	if _, _, err := parseAll([]byte(raw)); !errors.Is(err, zkerr.ErrMalformedProof) {
+		t.Fatalf("beyond consecutive cap: %v, want ErrMalformedProof", err)
+	}
+	// One fewer stays under the cap: skip-and-count applies.
+	raw = recLine(t, record{Seq: 1, Job: "j-a", State: recAccepted})
+	for i := 0; i < maxConsecutiveCorrupt; i++ {
+		raw += "corrupt line\n"
+	}
+	raw += recLine(t, record{Seq: 2, Job: "j-a", State: recDone})
+	info, _, err := parseAll([]byte(raw))
+	if err != nil {
+		t.Fatalf("at the cap: %v", err)
+	}
+	if len(info.records) != 2 || info.corrupt != int64(maxConsecutiveCorrupt) {
+		t.Fatalf("records %d corrupt %d", len(info.records), info.corrupt)
+	}
+}
+
+// decodeRecord round-trips encodeRecord and rejects semantic garbage
+// with the zkerr taxonomy.
+func TestDecodeRecordValidation(t *testing.T) {
+	line, err := encodeRecord(record{Seq: 7, Job: "j-a", State: recDone, Attempt: 2, ProofBytes: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := decodeRecord(line[:len(line)-1])
+	if err != nil {
+		t.Fatalf("decode own encoding: %v", err)
+	}
+	if r.Seq != 7 || r.Job != "j-a" || r.State != recDone || r.CRC == nil {
+		t.Fatalf("round-trip mangled record: %+v", r)
+	}
+	for name, raw := range map[string]string{
+		"no-job":           `{"seq":1,"state":"done"}`,
+		"unknown-state":    `{"seq":1,"job":"j-a","state":"zombie"}`,
+		"negative-attempt": `{"seq":1,"job":"j-a","state":"done","attempt":-1}`,
+		"truncated":        string(line[:len(line)/2]),
+	} {
+		if _, err := decodeRecord([]byte(raw)); !errors.Is(err, zkerr.ErrMalformedProof) {
+			t.Fatalf("%s: %v, want ErrMalformedProof", name, err)
+		}
 	}
 }
 
@@ -109,7 +212,7 @@ func TestOpenTruncatesTornTail(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	info2, _, err := parseJournal(data)
+	info2, _, err := parseAll(data)
 	if err != nil {
 		t.Fatalf("reparse: %v", err)
 	}
@@ -237,16 +340,37 @@ func TestTornAcceptedRecordIsDroppedSilently(t *testing.T) {
 	}
 }
 
-// TestReplayRejectsOrphanTransition: a running record for a job with no
-// accepted record is corruption, not tearing — recovery must refuse.
-func TestReplayRejectsOrphanTransition(t *testing.T) {
-	dir := writeJournal(t, recLine(t, record{Seq: 1, Job: "j-x", State: recRunning, Attempt: 1}))
+// TestReplayOrphanTransitionSkippedAndCounted: a running record for a
+// job with no accepted record means the accepted record was lost to
+// corruption. Under journal v2's skip-and-count policy the orphan is
+// itself skipped and counted — failing loudly would turn one corrupt
+// record into a refusal to start.
+func TestReplayOrphanTransitionSkippedAndCounted(t *testing.T) {
+	dir := writeJournal(t,
+		recLine(t, record{Seq: 1, Job: "j-x", State: recRunning, Attempt: 1})+
+			recLine(t, record{Seq: 2, Job: "j-ok", State: recAccepted})+
+			recLine(t, record{Seq: 3, Job: "j-ok", State: recDone, Attempt: 1}))
 	cfg := testConfig(t, func(ctx context.Context, spec Spec) (Result, error) {
 		return Result{}, nil
 	})
 	cfg.Dir = dir
-	if _, err := Open(cfg); !errors.Is(err, zkerr.ErrMalformedProof) {
-		t.Fatalf("Open over orphan transition: %v, want ErrMalformedProof", err)
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("Open over orphan transition: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		m.Close(ctx)
+	}()
+	if _, err := m.Get("j-x"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("orphan job resurfaced: %v", err)
+	}
+	if info, err := m.Get("j-ok"); err != nil || info.State != StateDone {
+		t.Fatalf("healthy neighbour: %+v, %v", info, err)
+	}
+	if mm := m.Metrics(); mm.CorruptRecords != 1 {
+		t.Fatalf("corrupt records %d, want 1", mm.CorruptRecords)
 	}
 }
 
@@ -287,11 +411,11 @@ func TestJournalSeqMonotonic(t *testing.T) {
 func TestWriteFileAtomicReplacesWholeFile(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "proof.bin")
-	if err := writeFileAtomic(path, []byte("short"), 0o644); err != nil {
+	if err := writeFileAtomic(path, []byte("short"), 0o644, ""); err != nil {
 		t.Fatal(err)
 	}
 	long := []byte(strings.Repeat("x", 4096))
-	if err := writeFileAtomic(path, long, 0o600); err != nil {
+	if err := writeFileAtomic(path, long, 0o600, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

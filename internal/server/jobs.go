@@ -80,16 +80,22 @@ func (s *Server) openJobs() {
 		exec = s.proveExec
 	}
 	mgr, err := jobs.Open(jobs.Config{
-		Dir:              s.cfg.DataDir,
-		Exec:             exec,
-		Gate:             s.jobGate,
-		Workers:          s.cfg.JobWorkers,
-		MaxPending:       s.cfg.JobMaxPending,
-		MaxAttempts:      s.cfg.JobMaxAttempts,
-		BackoffBase:      s.cfg.JobBackoffBase,
-		BackoffMax:       s.cfg.JobBackoffMax,
-		BreakerThreshold: s.cfg.JobBreakerThreshold,
-		BreakerCooldown:  s.cfg.JobBreakerCooldown,
+		Dir:               s.cfg.DataDir,
+		Exec:              exec,
+		Gate:              s.jobGate,
+		Workers:           s.cfg.JobWorkers,
+		MaxPending:        s.cfg.JobMaxPending,
+		MaxAttempts:       s.cfg.JobMaxAttempts,
+		BackoffBase:       s.cfg.JobBackoffBase,
+		BackoffMax:        s.cfg.JobBackoffMax,
+		BreakerThreshold:  s.cfg.JobBreakerThreshold,
+		BreakerCooldown:   s.cfg.JobBreakerCooldown,
+		JournalMaxBytes:   int64(s.cfg.JobJournalMaxMB) << 20,
+		JournalMaxRecords: s.cfg.JobJournalMaxRecords,
+		Retention:         s.cfg.JobRetention,
+		DegradedThreshold: s.cfg.JobDegradedThreshold,
+		ProbeInterval:     s.cfg.JobProbeInterval,
+		CompactCheck:      s.cfg.JobCompactCheck,
 		TenantLimit: func(tenantID string) int {
 			if t, ok := s.reg.ByID(tenantID); ok {
 				return t.MaxJobs
@@ -324,6 +330,15 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.quotaHeaders(w, ten)
 		writeTenantError(w, http.StatusTooManyRequests, "tenant live-job quota exceeded", "tenant-jobs-quota", ten.ID)
 		return
+	case errors.Is(err, jobs.ErrDegraded):
+		// The data disk is refusing writes, so a new job could not be
+		// made durable — but sync /prove, /verify, and polls of already
+		// accepted jobs still work, so this is a typed shed of exactly
+		// the durable path, not a blanket outage.
+		s.metrics.jobShedDegraded.Add(1)
+		w.Header().Set("Retry-After", retryAfterJitter(s.drainEst.retryAfter(s.sched.Len(), s.cfg.Workers), 2))
+		writeError(w, http.StatusServiceUnavailable, "durable job storage is degraded: journal writes are failing", "degraded")
+		return
 	case errors.Is(err, jobs.ErrClosed):
 		s.metrics.rejectedDraining.Add(1)
 		writeError(w, http.StatusServiceUnavailable, "server is draining", "draining")
@@ -449,6 +464,19 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "breaker-open", "code": "breaker-open"})
 			return
 		}
+		// Degraded durable storage does NOT flip readiness: sync /prove,
+		// /verify, cached proofs, and job polls all still serve, and only
+		// POST /jobs sheds (with its own typed 503). A load balancer that
+		// routed around a degraded replica would drop the traffic it can
+		// still handle. The body reports it so operators see the state.
+		if degraded, since := mgr.Degraded(); degraded {
+			writeJSON(w, http.StatusOK, map[string]any{
+				"status":           "ready",
+				"degraded":         true,
+				"degraded_seconds": int64(since.Seconds()),
+			})
+			return
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"status": "ready"})
 }
@@ -492,8 +520,20 @@ func (s *Server) renderJobsMetrics(counter, gauge func(name, help string, v int6
 	counter("nocap_jobs_journal_append_errors_total", "journal append failures", m.JournalAppendErrors)
 	counter("nocap_jobs_journal_lost_total", "jobs whose terminal record could not be journaled", m.JournalLostJobs)
 	counter("nocap_jobs_breaker_trips_total", "circuit breaker trips", m.BreakerTrips)
+	counter("nocap_jobs_journal_corrupt_records_total", "checksum-failed or undecodable journal records skipped at recovery", m.CorruptRecords)
+	counter("nocap_jobs_compactions_total", "journal compactions completed", m.Compactions)
+	counter("nocap_jobs_retired_total", "terminal jobs garbage-collected by retention", m.RetiredJobs)
+	counter("nocap_jobs_orphans_swept_total", "orphaned temp/proof files deleted at recovery", m.OrphansSwept)
+	counter("nocap_jobs_degraded_entries_total", "times the manager entered degraded mode", m.DegradedEntries)
+	counter("nocap_jobs_probe_writes_total", "disk-recovery probe writes attempted while degraded", m.ProbeWrites)
 	gauge("nocap_jobs_active", "jobs in a non-terminal state", m.Active)
 	gauge("nocap_jobs_journal_records", "records in the journal", m.JournalRecords)
 	gauge("nocap_jobs_journal_bytes", "journal size in bytes", m.JournalBytes)
+	gauge("nocap_jobs_snapshot_bytes", "size of the last compaction snapshot", m.SnapshotBytes)
 	gauge("nocap_jobs_breaker_state", "breaker state (0 closed, 1 open, 2 half-open)", int64(m.BreakerState))
+	degraded := int64(0)
+	if m.Degraded {
+		degraded = 1
+	}
+	gauge("nocap_jobs_degraded", "1 while durable job storage is refusing writes", degraded)
 }

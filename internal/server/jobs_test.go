@@ -620,3 +620,211 @@ func TestRetryAfterJitterBounds(t *testing.T) {
 		t.Fatalf("zero-duration Retry-After %q, want minimum 1", v)
 	}
 }
+
+// TestJobsDegradedModeHTTP drives the degraded-mode lifecycle over the
+// wire: sustained journal-append failure flips the manager degraded,
+// new POST /jobs answer a typed 503 "degraded" with Retry-After while
+// synchronous /prove and polls of already-accepted jobs keep serving,
+// /readyz stays 200 (with the state in the body) and /metrics report
+// the transition — and once the disk heals, a probe write exits
+// degraded mode without a restart.
+func TestJobsDegradedModeHTTP(t *testing.T) {
+	snap := leakcheck.Take()
+	cfg := jobsConfig(t)
+	cfg.JobsExec = func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+		return jobs.Result{Proof: []byte("degraded-test-proof"), Stats: json.RawMessage(`{}`)}, nil
+	}
+	cfg.JobMaxAttempts = 1
+	cfg.JobDegradedThreshold = 3
+	cfg.JobProbeInterval = 10 * time.Millisecond
+	_, base, stopServer := startServer(t, cfg)
+	client := &http.Client{Timeout: time.Minute}
+	waitReady(t, client, base)
+
+	// A job completed while healthy: its poll must survive degradation.
+	doneID := submitJob(t, client, base, ProveRequest{Circuit: "synthetic", N: 64})
+	if jr := pollJob(t, client, base, doneID); jr.State != "done" {
+		t.Fatalf("healthy job: state %s (err %q)", jr.State, jr.Error)
+	}
+
+	// Sustained disk failure: every journal append fails (ENOSPC-style)
+	// until disarmed.
+	defer faultinject.Disarm()
+	faultinject.MustArm(faultinject.Plan{
+		Point: "jobs.journal.append",
+		Kind:  faultinject.Error,
+		Count: 1 << 30,
+	})
+
+	// The first JobDegradedThreshold submissions fail loudly (500
+	// internal: the append itself errored); the next one is shed with
+	// the typed degraded 503.
+	for i := 0; i < cfg.JobDegradedThreshold; i++ {
+		status, body := postJSON(t, client, base+"/jobs", ProveRequest{Circuit: "synthetic", N: 64})
+		if status != http.StatusInternalServerError {
+			t.Fatalf("submit %d during disk failure: status %d: %s", i, status, body)
+		}
+	}
+	req, err := http.NewRequest(http.MethodPost, base+"/jobs", strings.NewReader(`{"circuit":"synthetic","n":64}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("degraded submit: status %d: %s", resp.StatusCode, body)
+	}
+	var er ErrorResponse
+	if err := json.Unmarshal(body, &er); err != nil {
+		t.Fatalf("degraded body: %v: %s", err, body)
+	}
+	if er.Code != "degraded" {
+		t.Fatalf("degraded code %q: %s", er.Code, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("degraded 503 missing Retry-After")
+	}
+
+	// The non-durable surface keeps working: sync prove, job polls.
+	if status, pbody := postJSON(t, client, base+"/prove", ProveRequest{Circuit: "synthetic", N: 64}); status != http.StatusOK {
+		t.Fatalf("sync /prove during degraded: status %d: %s", status, pbody)
+	}
+	if jr := getJob(t, client, base, doneID, ""); jr.State != "done" {
+		t.Fatalf("poll during degraded: state %s", jr.State)
+	}
+
+	// Readiness stays 200 — only the durable path is down — but the body
+	// and /metrics surface the state.
+	rresp, err := client.Get(base + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rbody, _ := io.ReadAll(rresp.Body)
+	rresp.Body.Close()
+	if rresp.StatusCode != http.StatusOK {
+		t.Fatalf("/readyz during degraded: status %d: %s", rresp.StatusCode, rbody)
+	}
+	if !bytes.Contains(rbody, []byte(`"degraded":true`)) {
+		t.Fatalf("/readyz body does not report degraded: %s", rbody)
+	}
+	mresp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"nocap_jobs_degraded 1", "nocap_job_shed_degraded_total 1", "nocap_jobs_degraded_entries_total 1"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics during degraded missing %q", want)
+		}
+	}
+
+	// Disk heals: the next probe write succeeds and degraded mode exits
+	// on its own — new submissions are accepted again.
+	faultinject.Disarm()
+	deadline := time.Now().Add(10 * time.Second)
+	var recoveredID string
+	for {
+		status, sbody := postJSON(t, client, base+"/jobs", ProveRequest{Circuit: "synthetic", N: 64})
+		if status == http.StatusAccepted {
+			var jr JobResponse
+			if err := json.Unmarshal(sbody, &jr); err != nil {
+				t.Fatalf("recovered submit body: %v: %s", err, sbody)
+			}
+			recoveredID = jr.ID
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never recovered from degraded mode (last status %d: %s)", status, sbody)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if jr := pollJob(t, client, base, recoveredID); jr.State != "done" {
+		t.Fatalf("post-recovery job: state %s (err %q)", jr.State, jr.Error)
+	}
+	mresp, err = client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ = io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "nocap_jobs_degraded 0") {
+		t.Error("/metrics still reports degraded after recovery")
+	}
+	client.CloseIdleConnections()
+	stopServer()
+	snap.Check(t)
+}
+
+// TestJobsCompactionBoundsJournalHTTP exercises compaction through the
+// server config surface: a tight record cap keeps the journal bounded
+// while jobs churn, /metrics exposes the compaction counters, and a
+// restart over the compacted state (snapshot + tail) recovers every
+// terminal job.
+func TestJobsCompactionBoundsJournalHTTP(t *testing.T) {
+	cfg := jobsConfig(t)
+	cfg.JobsExec = func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+		return jobs.Result{Proof: []byte("compact-test-proof"), Stats: json.RawMessage(`{}`)}, nil
+	}
+	cfg.JobJournalMaxRecords = 10
+	cfg.JobCompactCheck = 5 * time.Millisecond
+	srv, base, stop := startServer(t, cfg)
+	client := &http.Client{Timeout: time.Minute}
+	waitReady(t, client, base)
+
+	ids := make([]string, 0, 12)
+	for i := 0; i < 12; i++ {
+		id := submitJob(t, client, base, ProveRequest{Circuit: "synthetic", N: 64})
+		if jr := pollJob(t, client, base, id); jr.State != "done" {
+			t.Fatalf("job %s: state %s (err %q)", id, jr.State, jr.Error)
+		}
+		ids = append(ids, id)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		jm := srv.JobsMetrics()
+		if jm.Compactions >= 1 && jm.JournalRecords < 2*cfg.JobJournalMaxRecords {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never compacted: %+v", jm)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mresp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{"nocap_jobs_compactions_total", "nocap_jobs_snapshot_bytes", "nocap_jobs_journal_corrupt_records_total"} {
+		if !strings.Contains(string(mbody), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	stop()
+
+	// Recovery over snapshot + tail: every job still polls done.
+	cfg2 := cfg
+	cfg2.JobsExec = func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+		t.Error("recovered terminal job re-executed")
+		return jobs.Result{}, zkerr.Internalf("unexpected re-execution")
+	}
+	_, base2, _ := startServer(t, cfg2)
+	waitReady(t, client, base2)
+	for _, id := range ids {
+		jr := getJob(t, client, base2, id, "?proof=1")
+		if jr.State != "done" {
+			t.Fatalf("job %s after compacting restart: state %s", id, jr.State)
+		}
+		proof, err := base64.StdEncoding.DecodeString(jr.ProofB64)
+		if err != nil || string(proof) != "compact-test-proof" {
+			t.Fatalf("job %s proof after restart: %q (%v)", id, proof, err)
+		}
+	}
+}

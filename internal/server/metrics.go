@@ -32,6 +32,7 @@ type metrics struct {
 	verifyNs            atomic.Int64
 	jobSubmits          atomic.Int64
 	jobShedBreaker      atomic.Int64
+	jobShedDegraded     atomic.Int64
 	jobCancels          atomic.Int64
 }
 
@@ -102,6 +103,7 @@ func (s *Server) renderMetrics() string {
 
 	counter("nocap_job_submits_total", "POST /jobs requests received", m.jobSubmits.Load())
 	counter("nocap_job_shed_breaker_total", "job submissions shed while the breaker was open", m.jobShedBreaker.Load())
+	counter("nocap_job_shed_degraded_total", "job submissions shed while durable storage was degraded", m.jobShedDegraded.Load())
 	counter("nocap_job_cancels_total", "jobs cancelled via DELETE /jobs", m.jobCancels.Load())
 	s.renderJobsMetrics(counter, gauge)
 

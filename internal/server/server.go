@@ -108,6 +108,21 @@ type Config struct {
 	JobBackoffMax       time.Duration
 	JobBreakerThreshold int
 	JobBreakerCooldown  time.Duration
+	// JobJournalMaxMB / JobJournalMaxRecords bound the job journal:
+	// past either, a background compaction snapshots live state and
+	// truncates the journal. Zero for both disables compaction.
+	JobJournalMaxMB      int
+	JobJournalMaxRecords int64
+	// JobRetention garbage-collects terminal jobs (and their proof
+	// files) older than this at compaction time; zero keeps them until
+	// the operator cleans up.
+	JobRetention time.Duration
+	// JobDegradedThreshold / JobProbeInterval / JobCompactCheck tune
+	// degraded-mode entry, the disk-recovery probe cadence, and the
+	// compaction poll tick; zero values take the jobs package defaults.
+	JobDegradedThreshold int
+	JobProbeInterval     time.Duration
+	JobCompactCheck      time.Duration
 	// JobsExec overrides the proving executor for async jobs (test hook;
 	// nil means the real ProveCtx pipeline).
 	JobsExec jobs.Exec
