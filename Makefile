@@ -8,9 +8,10 @@ FUZZ_TARGETS = \
 	./internal/merkle:FuzzReadPath \
 	./internal/wire:FuzzReader \
 	./internal/cstream:FuzzDecode \
-	./internal/jobs:FuzzDecodeRecord
+	./internal/jobs:FuzzDecodeRecord \
+	./internal/hashfn:FuzzEngineParity
 
-.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json fuzz-smoke corpus serve-smoke stats-race jobs-chaos disk-chaos tenants-soak ci
+.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json hash-bench fuzz-smoke corpus serve-smoke stats-race jobs-chaos disk-chaos tenants-soak ci
 
 all: build test
 
@@ -52,6 +53,11 @@ bench-smoke:
 # per-stage kernel counters, arena hit rates) for trend tracking.
 bench-json:
 	$(GO) test -run TestProveBenchJSON -benchjson BENCH_prove.json .
+
+# Per-engine Merkle-kernel measurements: one BENCH_hash_<engine>.json per
+# registered hash engine (logN 10/12/14, throughput, speedup vs sha3).
+hash-bench:
+	$(GO) test -run TestHashBenchJSON -hashbench . .
 
 # Run each fuzz target for $(FUZZTIME) from its seeded corpus. A finding
 # is written to the package's testdata/fuzz directory and fails the run.

@@ -11,6 +11,8 @@
 //	nocap-bench -usecases       # §I/§VIII use cases
 //	nocap-bench -measured 14    # run the real prover at 2^14 constraints
 //	nocap-bench -measured 18 -timeout 1m   # bound a long measured run
+//	nocap-bench -measured 14 -hash keccak-x4   # multi-buffer hash engine
+//	nocap-bench -hashmatrix     # Merkle kernel under every hash engine
 //
 // SIGINT/SIGTERM (and -timeout expiry) cancel an in-flight -measured run
 // at its next cooperative checkpoint; the process then exits with the
@@ -77,12 +79,23 @@ func writeBundle(dir string) error {
 
 // measuredRun runs the real prover at 2^logN constraints under ctx and
 // prints the result, or reports the cancellation/fault error.
-func measuredRun(ctx context.Context, logN, reps int) error {
-	res, err := experiments.MeasuredCtx(ctx, logN, reps)
+func measuredRun(ctx context.Context, logN, reps int, hash string) error {
+	res, err := experiments.MeasuredEngineCtx(ctx, logN, reps, hash)
 	if err != nil {
 		return err
 	}
 	fmt.Print(res.Render())
+	return nil
+}
+
+// hashMatrixRun benchmarks the Merkle level kernel under every
+// registered hash engine and prints the per-engine matrix.
+func hashMatrixRun(ctx context.Context) error {
+	results, err := experiments.HashMatrixCtx(ctx, []int{10, 12, 14})
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.RenderHashMatrix(results))
 	return nil
 }
 
@@ -102,6 +115,8 @@ func main() {
 	csv := flag.String("csv", "", "emit plot-ready CSV: figure7|figure8|table4")
 	outDir := flag.String("out", "", "write the full evaluation bundle (text + CSVs) to this directory")
 	reps := flag.Int("reps", 1, "soundness repetitions for -measured")
+	hash := flag.String("hash", "", "hash engine for -measured (sha3|keccak-x4, default sha3)")
+	hashMatrix := flag.Bool("hashmatrix", false, "benchmark the Merkle kernel under every hash engine")
 	timeout := flag.Duration("timeout", 0, "abandon a -measured run after this duration (0 = no limit)")
 	flag.Parse()
 
@@ -115,7 +130,7 @@ func main() {
 		defer cancel()
 	}
 
-	specific := *table != 0 || *figure != 0 || *analysis || *analysisProofs || *usecases || *measured != 0 || *csv != "" || *outDir != ""
+	specific := *table != 0 || *figure != 0 || *analysis || *analysisProofs || *usecases || *measured != 0 || *csv != "" || *outDir != "" || *hashMatrix
 
 	tables := map[int]func() string{
 		1: func() string { return experiments.TableI().Render() },
@@ -159,7 +174,12 @@ func main() {
 		fmt.Println()
 		fmt.Print(experiments.PhotoEdit().Render())
 	case *measured != 0:
-		if err := measuredRun(ctx, *measured, *reps); err != nil {
+		if err := measuredRun(ctx, *measured, *reps, *hash); err != nil {
+			fmt.Fprintf(os.Stderr, "nocap-bench: %v\n", err)
+			os.Exit(zkerr.ExitCode(err))
+		}
+	case *hashMatrix:
+		if err := hashMatrixRun(ctx); err != nil {
 			fmt.Fprintf(os.Stderr, "nocap-bench: %v\n", err)
 			os.Exit(zkerr.ExitCode(err))
 		}
@@ -214,7 +234,7 @@ func main() {
 	fmt.Println()
 	fmt.Print(experiments.PhotoEdit().Render())
 	fmt.Println()
-	if err := measuredRun(ctx, 14, 1); err != nil {
+	if err := measuredRun(ctx, 14, 1, ""); err != nil {
 		fmt.Fprintf(os.Stderr, "nocap-bench: %v\n", err)
 		os.Exit(zkerr.ExitCode(err))
 	}

@@ -10,6 +10,7 @@
 //	nocap-prove -circuit rsa -out proof.bin      # save the proof
 //	nocap-prove -circuit rsa -in proof.bin       # verify a saved proof
 //	nocap-prove -circuit rsa -timeout 30s        # bound the whole run
+//	nocap-prove -circuit rsa -hash keccak-x4     # multi-buffer hash engine
 //
 // Exit codes follow the error taxonomy (DESIGN.md §7): 0 success,
 // 2 usage, 3 malformed proof, 4 soundness failure, 5 resource limit
@@ -27,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +82,7 @@ func run(ctx context.Context) (err error) {
 	reps := flag.Int("reps", 1, "soundness repetitions (paper uses 3)")
 	zk := flag.Bool("zk", true, "zero-knowledge masking")
 	recompute := flag.Bool("recompute", false, "use the §V-A recomputation prover (identical proofs, different memory profile)")
+	hash := flag.String("hash", "sha3", "hash engine: "+strings.Join(nocap.HashEngineNames(), "|"))
 	out := flag.String("out", "", "write the serialized proof to this file")
 	in := flag.String("in", "", "verify a serialized proof from this file instead of proving")
 	maxMB := flag.Int("max-proof-mb", 0, "reject serialized proofs larger than this many MB (0 = default limits)")
@@ -119,6 +122,9 @@ func run(ctx context.Context) (err error) {
 	params.Reps = *reps
 	params.PCS.ZK = *zk
 	params.Recompute = *recompute
+	if params, err = nocap.WithHashEngine(params, *hash); err != nil {
+		return err
+	}
 	if half := bm.Inst.NumVars() / 2; params.PCS.Rows > half {
 		params.PCS.Rows = half
 	}

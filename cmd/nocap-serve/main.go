@@ -60,6 +60,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -77,6 +78,7 @@ func run() error {
 	memMB := flag.Int("mem-mb", 64, "per-request memory envelope, MB (bodies and decoded proofs)")
 	maxN := flag.Int("max-n", 1<<16, "largest circuit size parameter a request may ask for")
 	reps := flag.Int("reps", 0, "default soundness repetitions (0 = library default)")
+	hash := flag.String("hash", "sha3", "hash engine for proving/verification: "+strings.Join(nocap.HashEngineNames(), "|"))
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
 	dataDir := flag.String("data-dir", "", "durable job journal directory; enables the async /jobs API")
 	jobWorkers := flag.Int("job-workers", 0, "async job dispatchers (0 = jobs default)")
@@ -144,6 +146,10 @@ func run() error {
 	params := nocap.DefaultParams()
 	if *reps > 0 {
 		params.Reps = *reps
+	}
+	params, err := nocap.WithHashEngine(params, *hash)
+	if err != nil {
+		return err
 	}
 	s, err := server.New(server.Config{
 		Addr:           *addr,

@@ -1,0 +1,59 @@
+package nocap_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nocap/internal/experiments"
+)
+
+// hashBenchDir names the directory TestHashBenchJSON writes per-engine
+// Merkle-kernel measurements to, one BENCH_hash_<engine>.json per
+// registered engine:
+//
+//	go test -run TestHashBenchJSON -hashbench . .
+//
+// Without the flag the test is skipped, so the ordinary suite stays fast.
+var hashBenchDir = flag.String("hashbench", "", "write per-engine hash benchmark JSON files to this directory")
+
+// TestHashBenchJSON benchmarks the Merkle level-compression kernel under
+// every registered hash engine at logN 10/12/14 and emits one
+// BENCH_hash_<engine>.json per engine for CI trend tracking. Each row
+// carries the ns per level, node and byte throughput, and the speedup
+// over the scalar sha3 engine at the same size — the software analogue
+// of the paper's multi-lane hash FU comparison (§IV-B).
+func TestHashBenchJSON(t *testing.T) {
+	if *hashBenchDir == "" {
+		t.Skip("-hashbench not set")
+	}
+	results, err := experiments.HashMatrixCtx(context.Background(), []int{10, 12, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byEngine := make(map[string][]experiments.HashBenchResult)
+	var order []string
+	for _, r := range results {
+		if _, ok := byEngine[r.Engine]; !ok {
+			order = append(order, r.Engine)
+		}
+		byEngine[r.Engine] = append(byEngine[r.Engine], r)
+		t.Logf("%s logN=%d: %.0f ns/level, %.0f nodes/s, %.2fx vs sha3",
+			r.Engine, r.LogN, r.NsPerOp, r.NodesPerSec, r.SpeedupVsSHA3)
+	}
+	for _, name := range order {
+		data, err := json.MarshalIndent(byEngine[name], "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data = append(data, '\n')
+		path := filepath.Join(*hashBenchDir, fmt.Sprintf("BENCH_hash_%s.json", name))
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

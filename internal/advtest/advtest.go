@@ -47,6 +47,11 @@ const (
 	KindZeroWindow
 	// KindSplice copies a random window over another offset.
 	KindSplice
+	// KindEngineTag rewrites the version/engine-id header words of the
+	// proof wire format, modeling a proof relabeled under a different
+	// hash engine (or an unknown one): the verifier must reject with a
+	// typed error, never follow the hostile tag into a panic.
+	KindEngineTag
 	numKinds
 )
 
@@ -71,6 +76,8 @@ func (k Kind) String() string {
 		return "zero-window"
 	case KindSplice:
 		return "splice"
+	case KindEngineTag:
+		return "engine-tag"
 	}
 	return "unknown"
 }
@@ -156,6 +163,15 @@ func (m *Mutator) Apply(kind Kind) []byte {
 			src := m.rng.Intn(n - w + 1)
 			dst := m.rng.Intn(n - w + 1)
 			copy(buf[dst:dst+w], m.valid[src:src+w])
+		}
+	case KindEngineTag:
+		// Word 0 is the magic, word 1 the version, word 2 (in versioned
+		// engine streams) the engine id. Rewrite the version to the
+		// engine-tagged value and the following word to a small id —
+		// sometimes registered-but-wrong, sometimes unknown.
+		if n >= 24 {
+			binary.LittleEndian.PutUint64(buf[8:], 1+uint64(m.rng.Intn(2)))
+			binary.LittleEndian.PutUint64(buf[16:], uint64(m.rng.Intn(4)))
 		}
 	}
 	return buf

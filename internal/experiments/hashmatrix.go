@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"nocap/internal/hashfn"
+	"nocap/internal/kernel"
+)
+
+// HashBenchResult is one engine × size cell of the hash-engine
+// benchmark matrix: the Merkle level-compression kernel timed over a
+// full level of 2^logN input digests.
+type HashBenchResult struct {
+	Engine        string  `json:"engine"`
+	LogN          int     `json:"log_n"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	NodesPerSec   float64 `json:"nodes_per_sec"`
+	MBPerSec      float64 `json:"mb_per_sec"`
+	SpeedupVsSHA3 float64 `json:"speedup_vs_sha3"`
+}
+
+// hashBenchMinTime is the per-cell measurement floor: iterations repeat
+// until this much wall time has accumulated, which keeps single-digit
+// microsecond levels from being timed by one noisy sample.
+const hashBenchMinTime = 200 * time.Millisecond
+
+// HashMatrix benchmarks every registered hash engine over the Merkle
+// level kernel at the given sizes (2^logN leaf digests each). Results
+// come back grouped by engine in registry order, with SpeedupVsSHA3
+// filled in relative to the sha3 row of the same size.
+func HashMatrix(logNs []int) []HashBenchResult {
+	res, err := HashMatrixCtx(context.Background(), logNs)
+	if err != nil {
+		panic("experiments: hash matrix failed: " + err.Error())
+	}
+	return res
+}
+
+// HashMatrixCtx is HashMatrix under a context: cancellation abandons
+// the run between kernel invocations.
+func HashMatrixCtx(ctx context.Context, logNs []int) ([]HashBenchResult, error) {
+	baseline := make(map[int]float64) // logN → sha3 ns/op
+	var out []HashBenchResult
+	for _, name := range hashfn.Names() {
+		eng, ok := hashfn.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("experiments: engine %q not registered", name)
+		}
+		for _, logN := range logNs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			n := 1 << uint(logN)
+			prev := make([]hashfn.Digest, n)
+			for i := range prev {
+				var seed [8]byte
+				seed[0], seed[1] = byte(i), byte(i>>8)
+				prev[i] = hashfn.Sum(seed[:])
+			}
+			dst := make([]hashfn.Digest, n/2)
+
+			// Warm up once, then time batches until the floor is met.
+			if err := kernel.MerkleLevelCtx(ctx, eng, dst, prev); err != nil {
+				return nil, err
+			}
+			iters := 0
+			var elapsed time.Duration
+			for elapsed < hashBenchMinTime {
+				start := time.Now()
+				if err := kernel.MerkleLevelCtx(ctx, eng, dst, prev); err != nil {
+					return nil, err
+				}
+				elapsed += time.Since(start)
+				iters++
+			}
+			nsPerOp := float64(elapsed.Nanoseconds()) / float64(iters)
+			sec := nsPerOp / 1e9
+			r := HashBenchResult{
+				Engine:      name,
+				LogN:        logN,
+				NsPerOp:     nsPerOp,
+				NodesPerSec: float64(n/2) / sec,
+				MBPerSec:    float64(n*hashfn.Size) / 1e6 / sec,
+			}
+			if eng.ID() == hashfn.IDSHA3 {
+				baseline[logN] = nsPerOp
+				r.SpeedupVsSHA3 = 1
+			} else if base, ok := baseline[logN]; ok && nsPerOp > 0 {
+				r.SpeedupVsSHA3 = base / nsPerOp
+			}
+			out = append(out, r)
+		}
+	}
+	return out, nil
+}
+
+// RenderHashMatrix formats the matrix as the per-engine benchmark table
+// nocap-bench prints.
+func RenderHashMatrix(results []HashBenchResult) string {
+	var b strings.Builder
+	b.WriteString("Hash-engine Merkle level kernel (software analogue of the §IV-B hash FU)\n")
+	fmt.Fprintf(&b, "%-10s %6s %14s %16s %12s %10s\n",
+		"engine", "log2N", "ns/level", "nodes/s", "MB/s", "vs sha3")
+	for _, r := range results {
+		fmt.Fprintf(&b, "%-10s %6d %14.0f %16.0f %12.1f %9.2fx\n",
+			r.Engine, r.LogN, r.NsPerOp, r.NodesPerSec, r.MBPerSec, r.SpeedupVsSHA3)
+	}
+	return b.String()
+}

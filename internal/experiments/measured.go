@@ -8,6 +8,7 @@ import (
 
 	"nocap/internal/circuits"
 	"nocap/internal/field"
+	"nocap/internal/hashfn"
 	"nocap/internal/pcs"
 	"nocap/internal/poly"
 	"nocap/internal/spartan"
@@ -45,9 +46,23 @@ func Measured(logN, reps int) MeasuredResult {
 // allows 2^20+ constraints) can be abandoned via -timeout or SIGINT,
 // with the in-flight prove cancelled at its next checkpoint.
 func MeasuredCtx(ctx context.Context, logN, reps int) (MeasuredResult, error) {
+	return MeasuredEngineCtx(ctx, logN, reps, "")
+}
+
+// MeasuredEngineCtx is MeasuredCtx with the prover's hash engine
+// selected by name ("" or "sha3" is the default scalar engine;
+// "keccak-x4" the multi-buffer Merkle engine).
+func MeasuredEngineCtx(ctx context.Context, logN, reps int, hashName string) (MeasuredResult, error) {
 	bm := circuits.Synthetic(1 << uint(logN))
 	params := spartan.DefaultParams()
 	params.Reps = reps
+	if hashName != "" {
+		eng, ok := hashfn.ByName(hashName)
+		if !ok {
+			return MeasuredResult{}, fmt.Errorf("experiments: unknown hash engine %q", hashName)
+		}
+		params.PCS.Hash = eng
+	}
 	params.PCS.ZK = false // keep commit geometry identical to the isolated
 	// encode timing below, so the encode/Merkle split is exact
 	if half := bm.Inst.NumVars() / 2; params.PCS.Rows > half {

@@ -1,0 +1,121 @@
+package hashfn
+
+import "nocap/internal/field"
+
+// ID identifies a registered hash engine. The id is part of a proof's
+// meaning: it is bound into the serialized proof header (spartan wire
+// format v2) and into the Fiat–Shamir transcript seed, so proofs
+// produced under one engine are rejected — with a typed error, before
+// any cryptographic work — when verified under another.
+type ID uint8
+
+const (
+	// IDSHA3 is the scalar SHA3-256 engine backed by crypto/sha3. It is
+	// the default and is bit-for-bit transcript-identical to the
+	// pre-engine versions of this library: proofs serialized before the
+	// engine layer existed verify unchanged under it.
+	IDSHA3 ID = 1
+	// IDKeccakX4 is the multi-buffer Keccak-f[1600] engine built on
+	// internal/keccak: batch entry points permute four independent
+	// sponge states per pass (the software analogue of the paper's
+	// 128-lane hash FU, §IV-B). The hash primitive is the same SHA3-256
+	// function, but the engine is a distinct identity with its own
+	// transcript domain, exactly like a future arithmetic-hash engine
+	// (Poseidon2/MiMC, ROADMAP item 3) will be.
+	IDKeccakX4 ID = 2
+)
+
+// Engine is one hash implementation behind the Merkle/transcript seam.
+// The three batch entry points exist so implementations can keep many
+// independent states in flight (the paper's hash FU holds 128): callers
+// present whole Merkle levels and column groups, not one message at a
+// time. All methods must be safe for concurrent use.
+type Engine interface {
+	// ID returns the engine's registered identity byte.
+	ID() ID
+	// Name returns the engine's registered name (CLI -hash values).
+	Name() string
+	// Sum hashes an arbitrary byte string.
+	Sum(data []byte) Digest
+	// Hash2 is the 2-to-1 Merkle compression H(a ‖ b).
+	Hash2(a, b Digest) Digest
+	// HashElems hashes a packed field-element vector (leaf packing).
+	HashElems(elems []field.Element) Digest
+	// CompressMany fills dst[i] = Hash2(prev[2i], prev[2i+1]) — one
+	// Merkle-level chunk. len(prev) must be 2·len(dst).
+	CompressMany(dst, prev []Digest)
+	// SumMany fills dst[i] = Sum(msgs[i]). len(msgs) must equal
+	// len(dst). Multi-buffer engines hash equal-length groups in
+	// interleaved passes; ragged groups fall back to scalar hashing.
+	SumMany(dst []Digest, msgs [][]byte)
+}
+
+// sha3Engine is the scalar SHA3-256 engine: every method delegates to
+// the package-level primitives, so its digests and performance profile
+// are exactly those of the pre-engine library.
+type sha3Engine struct{}
+
+func (sha3Engine) ID() ID       { return IDSHA3 }
+func (sha3Engine) Name() string { return "sha3" }
+
+func (sha3Engine) Sum(data []byte) Digest { return Sum(data) }
+
+func (sha3Engine) Hash2(a, b Digest) Digest { return Hash2(a, b) }
+
+func (sha3Engine) HashElems(elems []field.Element) Digest { return HashElems(elems) }
+
+func (sha3Engine) CompressMany(dst, prev []Digest) {
+	if len(prev) != 2*len(dst) {
+		panic("hashfn: CompressMany size mismatch")
+	}
+	for i := range dst {
+		dst[i] = Hash2(prev[2*i], prev[2*i+1])
+	}
+}
+
+func (sha3Engine) SumMany(dst []Digest, msgs [][]byte) {
+	if len(msgs) != len(dst) {
+		panic("hashfn: SumMany size mismatch")
+	}
+	for i := range dst {
+		dst[i] = Sum(msgs[i])
+	}
+}
+
+// engines is the registry, indexed by registration order. Engines are
+// stateless empty structs so interface values stay comparable (params
+// structs holding an Engine remain ==-comparable).
+var engines = []Engine{sha3Engine{}, keccakX4Engine{}}
+
+// Default returns the scalar SHA3-256 engine.
+func Default() Engine { return sha3Engine{} }
+
+// ByID resolves a registered engine by identity byte.
+func ByID(id ID) (Engine, bool) {
+	for _, e := range engines {
+		if e.ID() == id {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// ByName resolves a registered engine by name.
+func ByName(name string) (Engine, bool) {
+	for _, e := range engines {
+		if e.Name() == name {
+			return e, true
+		}
+	}
+	return nil, false
+}
+
+// Names lists the registered engine names in registration order (the
+// default engine first).
+func Names() []string {
+	out := make([]string, len(engines))
+	for i, e := range engines {
+		out[i] = e.Name()
+	}
+	return out
+}

@@ -1,0 +1,222 @@
+package hashfn
+
+import (
+	"bytes"
+	"crypto/sha3"
+	"encoding/hex"
+	"math/rand"
+	"testing"
+
+	"nocap/internal/field"
+)
+
+// digestSink defeats dead-code elimination in the allocation tests.
+var digestSink Digest
+
+// TestEngineRegistry pins the registry contents: ids, names, default.
+func TestEngineRegistry(t *testing.T) {
+	if Default().ID() != IDSHA3 || Default().Name() != "sha3" {
+		t.Fatalf("default engine is %q/%d, want sha3/%d", Default().Name(), Default().ID(), IDSHA3)
+	}
+	names := Names()
+	if len(names) != 2 || names[0] != "sha3" || names[1] != "keccak-x4" {
+		t.Fatalf("Names() = %v", names)
+	}
+	for _, id := range []ID{IDSHA3, IDKeccakX4} {
+		e, ok := ByID(id)
+		if !ok || e.ID() != id {
+			t.Fatalf("ByID(%d) = %v, %v", id, e, ok)
+		}
+		byName, ok := ByName(e.Name())
+		if !ok || byName.ID() != id {
+			t.Fatalf("ByName(%q) does not round-trip", e.Name())
+		}
+	}
+	if _, ok := ByID(0); ok {
+		t.Fatal("ByID(0) resolved")
+	}
+	if _, ok := ByName("poseidon2"); ok {
+		t.Fatal("ByName resolved an unregistered engine")
+	}
+}
+
+// TestEngineGoldenVectors pins both engines to the published SHA3-256
+// test vectors, so an engine can never silently drift from the
+// primitive it claims to implement.
+func TestEngineGoldenVectors(t *testing.T) {
+	vectors := []struct{ msg, hexDigest string }{
+		{"", "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a"},
+		{"abc", "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532"},
+	}
+	for _, eng := range []Engine{Default(), mustEngine(t, IDKeccakX4)} {
+		for _, v := range vectors {
+			want, err := hex.DecodeString(v.hexDigest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := eng.Sum([]byte(v.msg)); !bytes.Equal(got[:], want) {
+				t.Errorf("%s: Sum(%q) = %x, want %s", eng.Name(), v.msg, got, v.hexDigest)
+			}
+		}
+	}
+}
+
+func mustEngine(t *testing.T, id ID) Engine {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("engine %d not registered", id)
+	}
+	return e
+}
+
+// TestEngineCompressManyParity pins the multi-buffer engine against
+// crypto/sha3 across every batch size from 1 to 9 sibling pairs: the
+// aligned sizes (4, 8) exercise full interleaved passes on all 4 lanes,
+// the ragged sizes exercise the scalar tail, and every output position
+// is checked independently.
+func TestEngineCompressManyParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x4 := mustEngine(t, IDKeccakX4)
+	for pairs := 1; pairs <= 9; pairs++ {
+		prev := make([]Digest, 2*pairs)
+		for i := range prev {
+			rng.Read(prev[i][:])
+		}
+		got := make([]Digest, pairs)
+		x4.CompressMany(got, prev)
+		ref := make([]Digest, pairs)
+		Default().CompressMany(ref, prev)
+		for i := 0; i < pairs; i++ {
+			var cat [2 * Size]byte
+			copy(cat[:Size], prev[2*i][:])
+			copy(cat[Size:], prev[2*i+1][:])
+			want := Digest(sha3.Sum256(cat[:]))
+			if got[i] != want {
+				t.Fatalf("pairs=%d node %d: keccak-x4 disagrees with crypto/sha3", pairs, i)
+			}
+			if ref[i] != want {
+				t.Fatalf("pairs=%d node %d: sha3 engine disagrees with crypto/sha3", pairs, i)
+			}
+		}
+	}
+}
+
+// TestEngineSumManyParity covers the batched column hashing for aligned
+// and ragged groups, equal and unequal message lengths (unequal lengths
+// must fall back to the scalar sponge, not mishash).
+func TestEngineSumManyParity(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	x4 := mustEngine(t, IDKeccakX4)
+	lengthSets := [][]int{
+		{40},
+		{40, 40, 40, 40},
+		{40, 40, 40, 40, 40, 40, 40},
+		{16, 300, 16, 16, 8, 8, 8, 8, 1120}, // ragged head group, aligned middle
+		{0, 0, 0, 0},
+		{136, 136, 136, 136, 137},
+	}
+	for _, lens := range lengthSets {
+		msgs := make([][]byte, len(lens))
+		for i, n := range lens {
+			msgs[i] = make([]byte, n)
+			rng.Read(msgs[i])
+		}
+		got := make([]Digest, len(msgs))
+		x4.SumMany(got, msgs)
+		for i := range msgs {
+			if want := Digest(sha3.Sum256(msgs[i])); got[i] != want {
+				t.Fatalf("lens=%v msg %d: keccak-x4 SumMany disagrees with crypto/sha3", lens, i)
+			}
+		}
+	}
+}
+
+// TestHashElemsMatchesEngines pins leaf packing across both engines and
+// the package function.
+func TestHashElemsMatchesEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for _, n := range []int{0, 1, 4, 17, 128, 140, 256, 257, 1000} {
+		elems := make([]field.Element, n)
+		for i := range elems {
+			elems[i] = field.New(rng.Uint64())
+		}
+		want := Sum(ElemBytes(elems))
+		for _, eng := range []Engine{Default(), mustEngine(t, IDKeccakX4)} {
+			if got := eng.HashElems(elems); got != want {
+				t.Fatalf("n=%d: %s HashElems mismatch", n, eng.Name())
+			}
+		}
+	}
+}
+
+// TestHashElemsNoAlloc is the satellite regression test: leaf-sized
+// vectors must hash with zero allocations (the old implementation
+// allocated a fresh byte buffer per call on the Merkle leaf hot path).
+func TestHashElemsNoAlloc(t *testing.T) {
+	elems := make([]field.Element, 140) // Rows + masks at paper scale
+	for i := range elems {
+		elems[i] = field.New(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		digestSink = HashElems(elems)
+	})
+	if allocs != 0 {
+		t.Fatalf("HashElems(%d elems) allocates %.1f times per call, want 0", len(elems), allocs)
+	}
+}
+
+// FuzzEngineParity is the differential fuzz target of the engine layer:
+// for arbitrary input bytes, every registered engine must agree with
+// crypto/sha3 on Sum, Hash2, CompressMany and SumMany outputs.
+func FuzzEngineParity(f *testing.F) {
+	f.Add([]byte{}, uint8(1))
+	f.Add([]byte("nocap"), uint8(4))
+	f.Add(bytes.Repeat([]byte{0xa5}, 300), uint8(9))
+	f.Fuzz(func(t *testing.T, data []byte, batch uint8) {
+		n := 1 + int(batch)%9
+		// Derive n deterministic sibling pairs from the input.
+		prev := make([]Digest, 2*n)
+		for i := range prev {
+			prev[i] = Sum(append([]byte{byte(i)}, data...))
+		}
+		want := make([]Digest, n)
+		for i := 0; i < n; i++ {
+			var cat [2 * Size]byte
+			copy(cat[:Size], prev[2*i][:])
+			copy(cat[Size:], prev[2*i+1][:])
+			want[i] = Digest(sha3.Sum256(cat[:]))
+		}
+		// Split data into n equal-length messages plus one ragged tail.
+		msgs := make([][]byte, n)
+		chunk := 0
+		if n > 0 {
+			chunk = len(data) / n
+		}
+		for i := range msgs {
+			msgs[i] = data[i*chunk : (i+1)*chunk]
+		}
+		if len(data) > 0 {
+			msgs = append(msgs, data)
+		}
+		for _, eng := range []Engine{Default(), keccakX4Engine{}} {
+			if got := eng.Sum(data); got != Digest(sha3.Sum256(data)) {
+				t.Fatalf("%s: Sum mismatch", eng.Name())
+			}
+			got := make([]Digest, n)
+			eng.CompressMany(got, prev)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s: CompressMany node %d mismatch", eng.Name(), i)
+				}
+			}
+			sums := make([]Digest, len(msgs))
+			eng.SumMany(sums, msgs)
+			for i := range msgs {
+				if sums[i] != Digest(sha3.Sum256(msgs[i])) {
+					t.Fatalf("%s: SumMany msg %d mismatch", eng.Name(), i)
+				}
+			}
+		}
+	})
+}

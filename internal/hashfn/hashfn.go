@@ -32,16 +32,40 @@ func Hash2(a, b Digest) Digest {
 	return Sum(buf[:])
 }
 
+// hashElemsStack is the largest element count HashElems packs into a
+// stack buffer (2 KiB of packed bytes). It covers every Merkle leaf the
+// PCS produces — columns are Rows(+masks) elements, 128+12 at paper
+// scale — so the leaf hot path performs zero allocations.
+const hashElemsStack = 256
+
 // HashElems packs field elements into 64-bit little-endian words (four
 // elements per 256-bit hash input block, matching the FU's
 // reinterpretation of "each group of four consecutive 64-bit elements as
-// a 256-bit input") and hashes them.
+// a 256-bit input") and hashes them. Vectors of up to hashElemsStack
+// elements are packed into a stack buffer; only oversized vectors
+// allocate scratch.
 func HashElems(elems []field.Element) Digest {
-	buf := make([]byte, 8*len(elems))
-	for i, e := range elems {
-		binary.LittleEndian.PutUint64(buf[8*i:], e.Uint64())
+	if len(elems) <= hashElemsStack {
+		var buf [8 * hashElemsStack]byte
+		b := buf[:8*len(elems)]
+		PutElems(b, elems)
+		return Sum(b)
 	}
-	return Sum(buf)
+	b := make([]byte, 8*len(elems))
+	PutElems(b, elems)
+	return Sum(b)
+}
+
+// PutElems packs elems into dst as 64-bit little-endian words. len(dst)
+// must be exactly 8·len(elems). Batch hashers (kernel.ColumnLeavesCtx)
+// pack into reused buffers with it instead of allocating per column.
+func PutElems(dst []byte, elems []field.Element) {
+	if len(dst) != 8*len(elems) {
+		panic("hashfn: PutElems buffer size mismatch")
+	}
+	for i, e := range elems {
+		binary.LittleEndian.PutUint64(dst[8*i:], e.Uint64())
+	}
 }
 
 // AppendElems appends the packed little-endian representation of elems to

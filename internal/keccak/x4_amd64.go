@@ -1,0 +1,45 @@
+//go:build amd64 && !purego
+
+package keccak
+
+// permute4xAVX2 is the assembly datapath in keccak_amd64.s: one ymm
+// register per quad, so each vector instruction advances the same lane
+// of four independent states. b is caller scratch for the ρ/π plane
+// (passing it in keeps the asm NOSPLIT with a zero frame).
+//
+//go:noescape
+func permute4xAVX2(a, b *StateX4)
+
+func cpuidX4(eaxArg, ecxArg uint32) (eax, ebx, ecx, edx uint32)
+
+func xgetbvX4() (eax, edx uint32)
+
+// useAVX2 gates the vector permutation on hardware AVX2 plus OS ymm
+// state support (OSXSAVE and XCR0 SSE+AVX bits).
+var useAVX2 = func() bool {
+	maxID, _, _, _ := cpuidX4(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, ecx1, _ := cpuidX4(1, 0)
+	const osxsave = 1 << 27
+	const avx = 1 << 28
+	if ecx1&osxsave == 0 || ecx1&avx == 0 {
+		return false
+	}
+	if eax, _ := xgetbvX4(); eax&6 != 6 {
+		return false
+	}
+	_, ebx7, _, _ := cpuidX4(7, 0)
+	const avx2 = 1 << 5
+	return ebx7&avx2 != 0
+}()
+
+func permuteX4(s *StateX4) {
+	if useAVX2 {
+		var b StateX4
+		permute4xAVX2(s, &b)
+		return
+	}
+	s.permuteGeneric()
+}

@@ -1,0 +1,7 @@
+//go:build !amd64 || purego
+
+package keccak
+
+const useAVX2 = false
+
+func permuteX4(s *StateX4) { s.permuteGeneric() }

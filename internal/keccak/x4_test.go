@@ -1,0 +1,114 @@
+package keccak
+
+import (
+	"crypto/sha3"
+	"math/rand"
+	"testing"
+)
+
+// TestPermuteX4MatchesScalar drives four random states through the
+// interleaved permutation and checks each lane against the scalar
+// Permute, per buffer.
+func TestPermuteX4MatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x4 StateX4
+	var scalar [4]State
+	for k := 0; k < 4; k++ {
+		for x := 0; x < 5; x++ {
+			for y := 0; y < 5; y++ {
+				v := rng.Uint64()
+				scalar[k][x][y] = v
+				x4[x+5*y].setLane(k, v)
+			}
+		}
+	}
+	for iter := 0; iter < 3; iter++ {
+		x4.Permute()
+		for k := range scalar {
+			scalar[k].Permute()
+		}
+		for k := 0; k < 4; k++ {
+			for x := 0; x < 5; x++ {
+				for y := 0; y < 5; y++ {
+					if x4[x+5*y].lane(k) != scalar[k][x][y] {
+						t.Fatalf("iter %d buffer %d lane (%d,%d): x4 %#x, scalar %#x",
+							iter, k, x, y, x4[x+5*y].lane(k), scalar[k][x][y])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCompress64X4MatchesStdlib pins the fused 2-to-1 compression
+// against crypto/sha3 for all four buffers.
+func TestCompress64X4MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var in [4][64]byte
+	for k := range in {
+		rng.Read(in[k][:])
+	}
+	var out [4][32]byte
+	Compress64X4(&out, &in)
+	for k := range in {
+		if want := sha3.Sum256(in[k][:]); out[k] != want {
+			t.Fatalf("buffer %d: Compress64X4 disagrees with crypto/sha3", k)
+		}
+	}
+}
+
+// TestSum256X4MatchesStdlib covers the multi-block sponge across
+// lengths that exercise 0, 1 and 2 full rate blocks plus every padding
+// position class (empty tail, mid-block tail, tail one byte short of
+// the rate, tail exactly at a block boundary).
+func TestSum256X4MatchesStdlib(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 8, 64, 135, 136, 137, 272, 300, 1024, 1120} {
+		var msgs [4][]byte
+		for k := range msgs {
+			msgs[k] = make([]byte, n)
+			rng.Read(msgs[k])
+		}
+		var out [4][32]byte
+		Sum256X4(&out, &msgs)
+		for k := range msgs {
+			if want := sha3.Sum256(msgs[k]); out[k] != want {
+				t.Fatalf("len %d buffer %d: Sum256X4 disagrees with crypto/sha3", n, k)
+			}
+		}
+	}
+}
+
+func TestSum256X4RejectsRaggedLengths(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sum256X4 accepted ragged message lengths")
+		}
+	}()
+	var out [4][32]byte
+	msgs := [4][]byte{make([]byte, 8), make([]byte, 8), make([]byte, 8), make([]byte, 9)}
+	Sum256X4(&out, &msgs)
+}
+
+// BenchmarkCompress64X4 measures the fused four-way 2-to-1 compression
+// (per-op cost covers four sibling pairs).
+func BenchmarkCompress64X4(b *testing.B) {
+	var in [4][64]byte
+	var out [4][32]byte
+	b.SetBytes(4 * 64)
+	for i := 0; i < b.N; i++ {
+		Compress64X4(&out, &in)
+	}
+}
+
+// BenchmarkStdlibSum256x4 is the scalar baseline for the same work:
+// four independent 64-byte SHA3-256 calls through crypto/sha3.
+func BenchmarkStdlibSum256x4(b *testing.B) {
+	var in [4][64]byte
+	b.SetBytes(4 * 64)
+	for i := 0; i < b.N; i++ {
+		for k := 0; k < 4; k++ {
+			_ = sha3.Sum256(in[k][:])
+		}
+	}
+}

@@ -134,43 +134,64 @@ func RSEncodeCtx(ctx context.Context, dst, msg []field.Element) error {
 }
 
 // MerkleLevelCtx compresses one Merkle level: dst[i] = H(prev[2i] ‖
-// prev[2i+1]). len(prev) must be 2·len(dst). Cancellation is polled
-// every ctxCheckInterval nodes.
-func MerkleLevelCtx(ctx context.Context, dst, prev []hashfn.Digest) error {
+// prev[2i+1]). len(prev) must be 2·len(dst). Whole ctxCheckInterval
+// chunks are handed to the engine's batch compression — the entry point
+// a multi-buffer engine fills its lanes from — with cancellation polled
+// between chunks.
+func MerkleLevelCtx(ctx context.Context, eng hashfn.Engine, dst, prev []hashfn.Digest) error {
 	if len(prev) != 2*len(dst) {
 		panic("kernel: merkle level size mismatch")
 	}
 	sp := BeginCtx(ctx, StageMerkle)
-	for i := range dst {
-		if i%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				sp.End(i)
-				return err
-			}
+	for lo := 0; lo < len(dst); lo += ctxCheckInterval {
+		if err := ctx.Err(); err != nil {
+			sp.End(lo)
+			return err
 		}
-		dst[i] = hashfn.Hash2(prev[2*i], prev[2*i+1])
+		hi := lo + ctxCheckInterval
+		if hi > len(dst) {
+			hi = len(dst)
+		}
+		eng.CompressMany(dst[lo:hi], prev[2*lo:2*hi])
 	}
 	sp.End(len(dst))
 	return nil
 }
 
+// columnGroup is how many columns each worker packs before one SumMany
+// call: the multi-buffer engine's interleave width, so every full group
+// is hashed in single interleaved passes.
+const columnGroup = 4
+
 // ColumnLeavesCtx hashes every column of the row-major matrix rows into
 // leaves: leaves[j] = H(rows[0][j] ‖ rows[1][j] ‖ …). Every rows[r] must
 // have length ≥ len(leaves). Columns fan out across the worker pool;
-// each worker reuses one gather buffer and one byte buffer for its whole
-// chunk, so the loop allocates O(workers), not O(columns).
-func ColumnLeavesCtx(ctx context.Context, leaves []hashfn.Digest, rows [][]field.Element) error {
+// each worker packs columnGroup equal-length columns into reused byte
+// buffers and hashes them through the engine's batch entry point, so the
+// loop allocates O(workers), not O(columns), and a multi-buffer engine
+// advances four columns per permutation pass.
+func ColumnLeavesCtx(ctx context.Context, eng hashfn.Engine, leaves []hashfn.Digest, rows [][]field.Element) error {
 	sp := BeginCtx(ctx, StageMerkle)
 	depth := len(rows)
 	err := par.ForErrCtx(ctx, len(leaves), func(lo, hi int) error {
 		col := make([]field.Element, depth)
-		buf := make([]byte, 0, 8*depth)
-		for j := lo; j < hi; j++ {
-			for r, row := range rows {
-				col[r] = row[j]
+		flat := make([]byte, columnGroup*8*depth)
+		var msgs [columnGroup][]byte
+		for k := range msgs {
+			msgs[k] = flat[8*depth*k : 8*depth*(k+1)]
+		}
+		for j := lo; j < hi; j += columnGroup {
+			m := columnGroup
+			if hi-j < m {
+				m = hi - j
 			}
-			buf = hashfn.AppendElems(buf[:0], col)
-			leaves[j] = hashfn.Sum(buf)
+			for k := 0; k < m; k++ {
+				for r, row := range rows {
+					col[r] = row[j+k]
+				}
+				hashfn.PutElems(msgs[k], col)
+			}
+			eng.SumMany(leaves[j:j+m], msgs[:m])
 		}
 		return nil
 	})

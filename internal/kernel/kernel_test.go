@@ -137,13 +137,19 @@ func TestMerkleLevelCtxMatchesHash2(t *testing.T) {
 	for i := range prev {
 		prev[i] = hashfn.HashElems(randElems(t, rng, 2))
 	}
-	dst := make([]hashfn.Digest, 8)
-	if err := MerkleLevelCtx(context.Background(), dst, prev); err != nil {
-		t.Fatal(err)
-	}
-	for i := range dst {
-		if want := hashfn.Hash2(prev[2*i], prev[2*i+1]); dst[i] != want {
-			t.Fatalf("level[%d] mismatch", i)
+	for _, name := range hashfn.Names() {
+		eng, ok := hashfn.ByName(name)
+		if !ok {
+			t.Fatalf("engine %q not registered", name)
+		}
+		dst := make([]hashfn.Digest, 8)
+		if err := MerkleLevelCtx(context.Background(), eng, dst, prev); err != nil {
+			t.Fatal(err)
+		}
+		for i := range dst {
+			if want := hashfn.Hash2(prev[2*i], prev[2*i+1]); dst[i] != want {
+				t.Fatalf("%s: level[%d] mismatch", name, i)
+			}
 		}
 	}
 }
@@ -155,17 +161,23 @@ func TestColumnLeavesCtxMatchesHashElems(t *testing.T) {
 	for r := range rows {
 		rows[r] = randElems(t, rng, cols)
 	}
-	leaves := make([]hashfn.Digest, cols)
-	if err := ColumnLeavesCtx(context.Background(), leaves, rows); err != nil {
-		t.Fatal(err)
-	}
-	col := make([]field.Element, depth)
-	for j := 0; j < cols; j++ {
-		for r := range rows {
-			col[r] = rows[r][j]
+	for _, name := range hashfn.Names() {
+		eng, ok := hashfn.ByName(name)
+		if !ok {
+			t.Fatalf("engine %q not registered", name)
 		}
-		if want := hashfn.HashElems(col); leaves[j] != want {
-			t.Fatalf("leaf %d mismatch", j)
+		leaves := make([]hashfn.Digest, cols)
+		if err := ColumnLeavesCtx(context.Background(), eng, leaves, rows); err != nil {
+			t.Fatal(err)
+		}
+		col := make([]field.Element, depth)
+		for j := 0; j < cols; j++ {
+			for r := range rows {
+				col[r] = rows[r][j]
+			}
+			if want := hashfn.HashElems(col); leaves[j] != want {
+				t.Fatalf("%s: leaf %d mismatch", name, j)
+			}
 		}
 	}
 }
@@ -248,7 +260,7 @@ func TestCtxKernelsHonorCancellation(t *testing.T) {
 	if err := RSEncodeCtx(ctx, make([]field.Element, 64), randElems(t, rng, 16)); err == nil {
 		t.Error("RSEncodeCtx ignored cancelled context")
 	}
-	if err := MerkleLevelCtx(ctx, make([]hashfn.Digest, 4), make([]hashfn.Digest, 8)); err == nil {
+	if err := MerkleLevelCtx(ctx, hashfn.Default(), make([]hashfn.Digest, 4), make([]hashfn.Digest, 8)); err == nil {
 		t.Error("MerkleLevelCtx ignored cancelled context")
 	}
 	if err := SpMVCtx(ctx, make([]field.Element, 8), randSparse(rng, 8, 8), randElems(t, rng, 8)); err == nil {
@@ -257,7 +269,7 @@ func TestCtxKernelsHonorCancellation(t *testing.T) {
 	if err := SpMVTCtx(ctx, make([]field.Element, 8), randSparse(rng, 8, 8), randElems(t, rng, 8), field.One); err == nil {
 		t.Error("SpMVTCtx ignored cancelled context")
 	}
-	if err := ColumnLeavesCtx(ctx, make([]hashfn.Digest, 8), [][]field.Element{randElems(t, rng, 8)}); err == nil {
+	if err := ColumnLeavesCtx(ctx, hashfn.Default(), make([]hashfn.Digest, 8), [][]field.Element{randElems(t, rng, 8)}); err == nil {
 		t.Error("ColumnLeavesCtx ignored cancelled context")
 	}
 }

@@ -33,6 +33,11 @@ func LeafOfColumn(col []field.Element) hashfn.Digest {
 	return hashfn.HashElems(col)
 }
 
+// LeafOfColumnEngine is LeafOfColumn under an explicit hash engine.
+func LeafOfColumnEngine(eng hashfn.Engine, col []field.Element) hashfn.Digest {
+	return eng.HashElems(col)
+}
+
 // New builds a tree over the given leaves. The number of leaves must be a
 // power of two and non-zero. An injected fault (chaos tests only)
 // escapes as a panic contained by the caller's zkerr boundary;
@@ -51,6 +56,13 @@ func New(leaves []hashfn.Digest) *Tree {
 // within a level. All 2n−1 nodes live in one backing allocation rather
 // than one slice per level.
 func NewCtx(ctx context.Context, leaves []hashfn.Digest) (*Tree, error) {
+	return NewEngineCtx(ctx, hashfn.Default(), leaves)
+}
+
+// NewEngineCtx is NewCtx under an explicit hash engine: every level is
+// compressed through the engine's batch entry point, so a multi-buffer
+// engine hashes four tree nodes per interleaved pass.
+func NewEngineCtx(ctx context.Context, eng hashfn.Engine, leaves []hashfn.Digest) (*Tree, error) {
 	n := len(leaves)
 	if n == 0 || n&(n-1) != 0 {
 		panic("merkle: leaf count must be a positive power of two")
@@ -71,7 +83,7 @@ func NewCtx(ctx context.Context, leaves []hashfn.Digest) (*Tree, error) {
 		prev := levels[d-1]
 		cur := nodes[off : off+len(prev)/2]
 		off += len(cur)
-		if err := kernel.MerkleLevelCtx(ctx, cur, prev); err != nil {
+		if err := kernel.MerkleLevelCtx(ctx, eng, cur, prev); err != nil {
 			return nil, err
 		}
 		levels[d] = cur
@@ -121,13 +133,19 @@ var ErrPathMismatch = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed,
 
 // Verify checks that leaf sits at p.Index under root.
 func Verify(root hashfn.Digest, leaf hashfn.Digest, p Path) error {
+	return VerifyEngine(hashfn.Default(), root, leaf, p)
+}
+
+// VerifyEngine is Verify under an explicit hash engine (the engine the
+// tree was built with; the verifier takes it from its agreed params).
+func VerifyEngine(eng hashfn.Engine, root hashfn.Digest, leaf hashfn.Digest, p Path) error {
 	h := leaf
 	idx := p.Index
 	for _, sib := range p.Siblings {
 		if idx&1 == 0 {
-			h = hashfn.Hash2(h, sib)
+			h = eng.Hash2(h, sib)
 		} else {
-			h = hashfn.Hash2(sib, h)
+			h = eng.Hash2(sib, h)
 		}
 		idx >>= 1
 	}

@@ -101,6 +101,19 @@ type Params struct {
 	MaxPoints int
 	// ZK enables the masking machinery.
 	ZK bool
+	// Hash is the hash engine for column leaves and the Merkle tree. nil
+	// selects hashfn.Default() (the scalar sha3 engine), which keeps
+	// commitments byte-identical to every earlier version. Prover and
+	// verifier must agree on it, like every other field here.
+	Hash hashfn.Engine
+}
+
+// Engine resolves the configured hash engine, defaulting to sha3.
+func (p Params) Engine() hashfn.Engine {
+	if p.Hash == nil {
+		return hashfn.Default()
+	}
+	return p.Hash
 }
 
 // DefaultParams returns the paper's parameters (128 rows, RS-4, 4
@@ -304,14 +317,15 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 	if err := faultinject.Check(fiCommitLeaves); err != nil {
 		return nil, fmt.Errorf("pcs: column hash: %w", err)
 	}
+	eng := params.Engine()
 	leaves := make([]hashfn.Digest, encLen)
-	if err := kernel.ColumnLeavesCtx(ctx, leaves, encoded); err != nil {
+	if err := kernel.ColumnLeavesCtx(ctx, eng, leaves, encoded); err != nil {
 		return nil, fmt.Errorf("pcs: column hash: %w", err)
 	}
 	if err := faultinject.Check(fiCommitTree); err != nil {
 		return nil, fmt.Errorf("pcs: merkle build: %w", err)
 	}
-	tree, err := merkle.NewCtx(ctx, leaves)
+	tree, err := merkle.NewEngineCtx(ctx, eng, leaves)
 	if err != nil {
 		return nil, fmt.Errorf("pcs: merkle build: %w", err)
 	}
@@ -656,6 +670,7 @@ func VerifyCtx(ctx context.Context, params Params, comm *Commitment, tr *transcr
 	encLen := comm.MsgLen * params.Code.Blowup()
 	idxs := tr.ChallengeIndices("pcs/columns", params.Code.Queries(), encLen)
 	total := comm.Rows + params.numMasks()
+	eng := params.Engine()
 	for q, j := range idxs {
 		if q&63 == 0 && q > 0 {
 			if err := ctx.Err(); err != nil {
@@ -670,7 +685,7 @@ func VerifyCtx(ctx context.Context, params Params, comm *Commitment, tr *transcr
 		if path.Index != j {
 			return fmt.Errorf("%w: column %d opened at %d, expected %d", ErrColumnAuth, q, path.Index, j)
 		}
-		if err := merkle.Verify(comm.Root, merkle.LeafOfColumn(col), path); err != nil {
+		if err := merkle.VerifyEngine(eng, comm.Root, merkle.LeafOfColumnEngine(eng, col), path); err != nil {
 			return fmt.Errorf("%w: column %d: %v", ErrColumnAuth, q, err)
 		}
 		// Proximity: Enc(γᵀM + mask_j)[j] == γᵀ·col_data + col_mask_j.

@@ -148,13 +148,9 @@ type Instance struct {
 	digestDone bool
 }
 
-// Digest returns a structural hash of the instance (shapes and all matrix
-// entries), used to bind proofs to the circuit being proven. The result
-// is cached.
-func (in *Instance) Digest() hashfn.Digest {
-	if in.digestDone {
-		return in.digest
-	}
+// digestBytes serializes the structural content of the instance (shapes
+// and all matrix entries) that the digest commits to.
+func (in *Instance) digestBytes() []byte {
 	var buf []byte
 	put := func(v uint64) {
 		var b [8]byte
@@ -173,9 +169,30 @@ func (in *Instance) Digest() hashfn.Digest {
 			}
 		}
 	}
-	in.digest = hashfn.Sum(buf)
+	return buf
+}
+
+// Digest returns a structural hash of the instance (shapes and all matrix
+// entries), used to bind proofs to the circuit being proven. The result
+// is cached.
+func (in *Instance) Digest() hashfn.Digest {
+	if in.digestDone {
+		return in.digest
+	}
+	in.digest = hashfn.Sum(in.digestBytes())
 	in.digestDone = true
 	return in.digest
+}
+
+// DigestEngine is Digest under an explicit hash engine. The default
+// (sha3 or nil) engine returns the cached Digest; other engines hash the
+// same serialization, so the statement binding a transcript absorbs is
+// engine-specific even though every engine here computes SHA3-256.
+func (in *Instance) DigestEngine(eng hashfn.Engine) hashfn.Digest {
+	if eng == nil || eng.ID() == hashfn.IDSHA3 {
+		return in.Digest()
+	}
+	return eng.Sum(in.digestBytes())
 }
 
 // NumConstraints returns the (padded) number of rows.

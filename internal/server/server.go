@@ -707,9 +707,9 @@ func proveCacheKey(circuit string, params nocap.Params, bm *nocap.Benchmark) pro
 		codeName = fmt.Sprintf("%s/%d/%d", params.PCS.Code.Name(), params.PCS.Code.Blowup(), params.PCS.Code.Queries())
 	}
 	paramsDigest := hashfn.Sum([]byte(fmt.Sprintf(
-		"rows=%d code=%s prox=%d maxpts=%d zk=%t reps=%d recompute=%t",
+		"rows=%d code=%s prox=%d maxpts=%d zk=%t reps=%d recompute=%t hash=%s",
 		params.PCS.Rows, codeName, params.PCS.NumProximity, params.PCS.MaxPoints,
-		params.PCS.ZK, params.Reps, params.Recompute)))
+		params.PCS.ZK, params.Reps, params.Recompute, params.PCS.Engine().Name())))
 	witness := hashfn.Hash2(hashfn.HashElems(bm.IO), hashfn.HashElems(bm.Witness))
 	k := hashfn.Hash2(hashfn.Hash2(hashfn.Sum([]byte(circuit)), paramsDigest), witness)
 	return proofcache.Key(k)

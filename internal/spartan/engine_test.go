@@ -1,0 +1,233 @@
+package spartan
+
+import (
+	"errors"
+	"testing"
+
+	"nocap/internal/hashfn"
+	"nocap/internal/wire"
+	"nocap/internal/zkerr"
+)
+
+// paramsWithEngine returns TestParams with the PCS hash engine set.
+func paramsWithEngine(t *testing.T, name string) Params {
+	t.Helper()
+	eng, ok := hashfn.ByName(name)
+	if !ok {
+		t.Fatalf("engine %q not registered", name)
+	}
+	p := TestParams()
+	p.PCS.Hash = eng
+	return p
+}
+
+// TestProveVerifyEveryEngine proves and verifies the same statement
+// under every registered engine, through a marshal/unmarshal round trip.
+func TestProveVerifyEveryEngine(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+	for _, name := range hashfn.Names() {
+		params := paramsWithEngine(t, name)
+		proof, err := Prove(params, inst, io, w)
+		if err != nil {
+			t.Fatalf("%s: prove: %v", name, err)
+		}
+		if proof.Engine != params.PCS.Engine().ID() {
+			t.Fatalf("%s: proof tagged engine %d", name, proof.Engine)
+		}
+		data, err := proof.MarshalBinary()
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", name, err)
+		}
+		decoded, err := UnmarshalProof(data)
+		if err != nil {
+			t.Fatalf("%s: unmarshal: %v", name, err)
+		}
+		if decoded.Engine != proof.Engine {
+			t.Fatalf("%s: engine id did not survive the wire: %d", name, decoded.Engine)
+		}
+		if err := Verify(params, inst, io, decoded); err != nil {
+			t.Fatalf("%s: verify: %v", name, err)
+		}
+	}
+}
+
+// TestCrossEngineRejection is the satellite acceptance test: a proof
+// generated under engine A must fail verification under engine B with a
+// typed commitment-agreement error — never panic, never verify.
+func TestCrossEngineRejection(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+	names := hashfn.Names()
+	for _, proveName := range names {
+		proof, err := Prove(paramsWithEngine(t, proveName), inst, io, w)
+		if err != nil {
+			t.Fatalf("%s: prove: %v", proveName, err)
+		}
+		for _, verifyName := range names {
+			if verifyName == proveName {
+				continue
+			}
+			err := func() (err error) {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("prove=%s verify=%s panicked: %v", proveName, verifyName, r)
+					}
+				}()
+				return Verify(paramsWithEngine(t, verifyName), inst, io, proof)
+			}()
+			if err == nil {
+				t.Fatalf("proof under %s verified under %s", proveName, verifyName)
+			}
+			if !errors.Is(err, ErrEngineMismatch) || !errors.Is(err, zkerr.ErrBadCommitment) {
+				t.Fatalf("prove=%s verify=%s: want ErrEngineMismatch, got %v", proveName, verifyName, err)
+			}
+		}
+	}
+}
+
+// TestLegacyProofEngineZero pins backward compatibility: a proof struct
+// with the zero Engine value (anything built by pre-engine code) must
+// verify under default parameters and reject under any other engine.
+func TestLegacyProofEngineZero(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+	proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proof.Engine = 0
+	if err := Verify(TestParams(), inst, io, proof); err != nil {
+		t.Fatalf("legacy engine-0 proof rejected under defaults: %v", err)
+	}
+	if err := Verify(paramsWithEngine(t, "keccak-x4"), inst, io, proof); !errors.Is(err, ErrEngineMismatch) {
+		t.Fatalf("legacy proof under keccak-x4 params: want ErrEngineMismatch, got %v", err)
+	}
+}
+
+// TestEngineWireHeader pins the v1/v2 wire rules: sha3 proofs serialize
+// as version 1 (byte-compatible with every earlier release), other
+// engines as version 2 with an id word, and the two non-canonical
+// headers — v2 claiming sha3, v2 with an unknown id — are malformed.
+func TestEngineWireHeader(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+
+	sha3Proof, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sha3Data, err := sha3Proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := le64(sha3Data[8:]); v != proofVersion {
+		t.Fatalf("sha3 proof serialized as version %d, want %d", v, proofVersion)
+	}
+
+	x4Proof, err := Prove(paramsWithEngine(t, "keccak-x4"), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x4Data, err := x4Proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := le64(x4Data[8:]); v != proofVersionEngine {
+		t.Fatalf("keccak-x4 proof serialized as version %d, want %d", v, proofVersionEngine)
+	}
+	if id := le64(x4Data[16:]); id != uint64(hashfn.IDKeccakX4) {
+		t.Fatalf("engine id word = %d, want %d", id, hashfn.IDKeccakX4)
+	}
+
+	// v2 claiming sha3: same proof would admit two encodings — malformed.
+	hostile := append([]byte(nil), x4Data...)
+	putLE64(hostile[16:], uint64(hashfn.IDSHA3))
+	if _, err := UnmarshalProof(hostile); !errors.Is(err, zkerr.ErrMalformedProof) {
+		t.Fatalf("v2-claiming-sha3 header: want ErrMalformedProof, got %v", err)
+	}
+
+	// Unknown engine ids, small and absurd.
+	for _, id := range []uint64{0, 200, 1 << 40} {
+		hostile := append([]byte(nil), x4Data...)
+		putLE64(hostile[16:], id)
+		if _, err := UnmarshalProof(hostile); !errors.Is(err, zkerr.ErrMalformedProof) {
+			t.Fatalf("engine id %d: want ErrMalformedProof, got %v", id, err)
+		}
+	}
+}
+
+// TestEngineProofsDiverge makes sure the two engines do not share
+// transcripts: the serialized proofs for the same statement must differ
+// beyond the header (the Fiat–Shamir challenges diverge from the seed).
+func TestEngineProofsDiverge(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+	a, err := Prove(TestParams(), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Prove(paramsWithEngine(t, "keccak-x4"), inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Commitment.Root == b.Commitment.Root {
+		t.Fatal("sha3 and keccak-x4 commitments share a root: ZK masking or engine separation broken")
+	}
+}
+
+func le64(b []byte) uint64 {
+	var v uint64
+	for i := 0; i < 8; i++ {
+		v |= uint64(b[i]) << (8 * uint(i))
+	}
+	return v
+}
+
+func putLE64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * uint(i)))
+	}
+}
+
+// TestEngineTagMutations drives the dedicated engine-tag corruption
+// class from the advtest harness shape: rewriting the header words of a
+// valid keccak-x4 proof must always produce a typed rejection at decode
+// or verify, never a panic or an accept.
+func TestEngineTagMutations(t *testing.T) {
+	inst, io, w := buildFibonacci(10, 1, 2)
+	params := paramsWithEngine(t, "keccak-x4")
+	proof, err := Prove(params, inst, io, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	valid, err := proof.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for version := uint64(1); version <= 2; version++ {
+		for id := uint64(0); id < 4; id++ {
+			mutated := append([]byte(nil), valid...)
+			putLE64(mutated[8:], version)
+			putLE64(mutated[16:], id)
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("version=%d id=%d panicked: %v", version, id, r)
+					}
+				}()
+				p, err := UnmarshalProofLimits(mutated, wire.DefaultLimits())
+				if err != nil {
+					if !zkerr.InTaxonomy(err) {
+						t.Fatalf("version=%d id=%d: decode error outside taxonomy: %v", version, id, err)
+					}
+					return
+				}
+				if err := Verify(params, inst, io, p); err == nil {
+					// Only the identity rewrite (the proof's own header) may
+					// still verify.
+					if version != uint64(proofVersionEngine) || id != uint64(hashfn.IDKeccakX4) {
+						t.Fatalf("version=%d id=%d: relabeled proof verified", version, id)
+					}
+				} else if !zkerr.InTaxonomy(err) {
+					t.Fatalf("version=%d id=%d: verify error outside taxonomy: %v", version, id, err)
+				}
+			}()
+		}
+	}
+}

@@ -1,17 +1,23 @@
 package spartan
 
 import (
+	"nocap/internal/hashfn"
 	"nocap/internal/pcs"
 	"nocap/internal/sumcheck"
 	"nocap/internal/wire"
 	"nocap/internal/zkerr"
 )
 
-// proofMagic and proofVersion identify the serialized format.
+// proofMagic and proofVersion identify the serialized format. Version 1
+// is the legacy stream (implicitly sha3-hashed); version 2 inserts one
+// hash-engine-id word after the version and is emitted only for
+// non-default engines, so default-engine proofs stay byte-identical
+// across releases.
 const (
-	proofMagic   = 0x6e6f4361702d7631 // "noCap-v1"
-	proofVersion = 1
-	maxReps      = 64
+	proofMagic         = 0x6e6f4361702d7631 // "noCap-v1"
+	proofVersion       = 1
+	proofVersionEngine = 2
+	maxReps            = 64
 )
 
 // MarshalBinary serializes the proof into the compact wire format the
@@ -21,7 +27,12 @@ func (p *Proof) MarshalBinary() ([]byte, error) {
 	// pad slightly and encode without intermediate growth.
 	w := wire.NewWriter(p.SizeBytes() + p.SizeBytes()/4 + 64)
 	w.U64(proofMagic)
-	w.U64(proofVersion)
+	if p.Engine == 0 || p.Engine == hashfn.IDSHA3 {
+		w.U64(proofVersion)
+	} else {
+		w.U64(proofVersionEngine)
+		w.U64(uint64(p.Engine))
+	}
 	p.Commitment.AppendTo(w)
 	w.U64(uint64(len(p.Reps)))
 	for _, rp := range p.Reps {
@@ -66,10 +77,31 @@ func UnmarshalProofLimits(data []byte, limits wire.Limits) (p *Proof, err error)
 	if err != nil {
 		return nil, err
 	}
-	if version != proofVersion {
+	p = &Proof{}
+	switch version {
+	case proofVersion:
+		p.Engine = hashfn.IDSHA3
+	case proofVersionEngine:
+		engWord, err := r.U64()
+		if err != nil {
+			return nil, err
+		}
+		if engWord == uint64(hashfn.IDSHA3) {
+			// sha3 proofs are canonically v1; a v2 header claiming sha3
+			// would make the same proof admit two distinct encodings.
+			return nil, zkerr.Malformedf("spartan: non-canonical engine header (sha3 must use version 1)")
+		}
+		eng, ok := hashfn.ID(engWord), engWord <= 0xff
+		if ok {
+			_, ok = hashfn.ByID(eng)
+		}
+		if !ok {
+			return nil, zkerr.Malformedf("spartan: unknown hash engine %d", engWord)
+		}
+		p.Engine = eng
+	default:
 		return nil, zkerr.Malformedf("spartan: unsupported proof version %d", version)
 	}
-	p = &Proof{}
 	if p.Commitment, err = pcs.ReadCommitment(r); err != nil {
 		return nil, err
 	}

@@ -28,6 +28,7 @@ import (
 	"nocap/internal/arena"
 	"nocap/internal/faultinject"
 	"nocap/internal/field"
+	"nocap/internal/hashfn"
 	"nocap/internal/kernel"
 	"nocap/internal/pcs"
 	"nocap/internal/poly"
@@ -93,6 +94,12 @@ type RepProof struct {
 
 // Proof is a complete non-interactive Spartan+Orion proof.
 type Proof struct {
+	// Engine identifies the hash engine the proof was generated under.
+	// The zero value means the legacy default (sha3): proofs deserialized
+	// from the v1 wire format, or built by old code, carry 0 and verify
+	// under sha3 parameters only.
+	Engine hashfn.ID
+
 	Commitment *pcs.Commitment
 	Reps       []RepProof
 	// WEvals[i] is w̃(ry_i[1:]) for repetition i, proven by Opening.
@@ -136,8 +143,8 @@ func innerCombine(v []field.Element) field.Element {
 }
 
 // bindStatement absorbs everything both parties know up front.
-func bindStatement(tr *transcript.Transcript, inst *r1cs.Instance, io []field.Element, params Params) {
-	tr.AppendDigest("instance", inst.Digest())
+func bindStatement(tr *transcript.Transcript, eng hashfn.Engine, inst *r1cs.Instance, io []field.Element, params Params) {
+	tr.AppendDigest("instance", inst.DigestEngine(eng))
 	tr.AppendElems("io", io)
 	tr.AppendUint64("reps", uint64(params.Reps))
 }
@@ -215,8 +222,9 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	defer arena.Put(z)
 	inst.AssembleZInto(z, io, witness)
 
-	tr := transcript.New("spartan-orion")
-	bindStatement(tr, inst, io, params)
+	eng := params.PCS.Engine()
+	tr := transcript.NewEngine("spartan-orion", eng)
+	bindStatement(tr, eng, inst, io, params)
 
 	// SpMV: the three sparse matrix-vector products (paper §V-A),
 	// computed once into arena scratch and reused both for the witness
@@ -275,7 +283,7 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	tr.AppendDigest("witness-commitment", comm.Root)
 
 	logM := inst.LogConstraints()
-	proof = &Proof{Commitment: comm, Reps: make([]RepProof, params.Reps)}
+	proof = &Proof{Engine: eng.ID(), Commitment: comm, Reps: make([]RepProof, params.Reps)}
 	openPoints := make([][]field.Element, params.Reps)
 
 	for rep := 0; rep < params.Reps; rep++ {
@@ -394,6 +402,13 @@ var (
 	ErrOuterFinal = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed, "spartan: outer sumcheck final check failed")
 	ErrInnerFinal = zkerr.Wrap(zkerr.ErrSoundnessCheckFailed, "spartan: inner sumcheck final check failed")
 	ErrShape      = zkerr.Wrap(zkerr.ErrMalformedProof, "spartan: malformed proof")
+	// ErrEngineMismatch rejects a proof whose hash engine differs from
+	// the verifier's parameters. Rejecting up front (rather than letting
+	// the transcript diverge into an opaque soundness failure) keeps the
+	// failure typed and diagnosable; it is a commitment-agreement error,
+	// not a soundness hole — the diverged transcripts could never verify
+	// anyway.
+	ErrEngineMismatch = zkerr.Wrap(zkerr.ErrBadCommitment, "spartan: proof hash engine does not match verifier parameters")
 )
 
 // Verify checks a proof against the instance and public inputs. The proof
@@ -427,8 +442,17 @@ func VerifyCtx(ctx context.Context, params Params, inst *r1cs.Instance, io []fie
 	half := inst.NumVars() / 2
 	pcsParams := params.effective(half)
 
-	tr := transcript.New("spartan-orion")
-	bindStatement(tr, inst, io, params)
+	eng := params.PCS.Engine()
+	pe := proof.Engine
+	if pe == 0 {
+		pe = hashfn.IDSHA3 // legacy proofs predate the engine field
+	}
+	if pe != eng.ID() {
+		return fmt.Errorf("%w: proof under engine %d, params say %q", ErrEngineMismatch, pe, eng.Name())
+	}
+
+	tr := transcript.NewEngine("spartan-orion", eng)
+	bindStatement(tr, eng, inst, io, params)
 	tr.AppendDigest("witness-commitment", proof.Commitment.Root)
 
 	logM := inst.LogConstraints()

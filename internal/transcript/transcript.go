@@ -17,6 +17,7 @@ import (
 // Transcript is a running Fiat–Shamir state. The zero value is not
 // usable; construct with New.
 type Transcript struct {
+	eng     hashfn.Engine
 	state   hashfn.Digest
 	counter uint64
 	// absorb scratch, reused across calls: a transcript absorbs hundreds
@@ -26,9 +27,27 @@ type Transcript struct {
 	ebuf []byte
 }
 
-// New creates a transcript domain-separated by label.
+// New creates a transcript domain-separated by label, under the default
+// hash engine.
 func New(label string) *Transcript {
-	return &Transcript{state: hashfn.Sum([]byte("nocap/v1/" + label))}
+	return NewEngine(label, hashfn.Default())
+}
+
+// NewEngine creates a transcript domain-separated by label and bound to
+// a hash engine. The default (sha3) engine seeds exactly as New always
+// has, so proofs under it stay byte-compatible with every earlier
+// version; any other engine folds its name into the seed string, so
+// transcripts under different engines diverge from the first challenge
+// and cross-engine proofs can never share Fiat–Shamir randomness.
+func NewEngine(label string, eng hashfn.Engine) *Transcript {
+	if eng == nil {
+		eng = hashfn.Default()
+	}
+	seed := "nocap/v1/" + label
+	if eng.ID() != hashfn.IDSHA3 {
+		seed = "nocap/v1/hash=" + eng.Name() + "/" + label
+	}
+	return &Transcript{eng: eng, state: eng.Sum([]byte(seed))}
 }
 
 // absorb mixes labeled data into the state. The hashed bytes are exactly
@@ -37,8 +56,8 @@ func (t *Transcript) absorb(label string, data []byte) {
 	t.buf = append(t.buf[:0], label...)
 	t.buf = append(t.buf, 0)
 	t.buf = append(t.buf, data...)
-	h := hashfn.Sum(t.buf)
-	t.state = hashfn.Hash2(t.state, h)
+	h := t.eng.Sum(t.buf)
+	t.state = t.eng.Hash2(t.state, h)
 	t.counter = 0
 }
 
@@ -71,7 +90,7 @@ func (t *Transcript) next() hashfn.Digest {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], t.counter)
 	t.counter++
-	return hashfn.Hash2(t.state, hashfn.Sum(buf[:]))
+	return t.eng.Hash2(t.state, t.eng.Sum(buf[:]))
 }
 
 // Challenge returns one uniform field element.

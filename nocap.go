@@ -34,6 +34,7 @@ import (
 	"nocap/internal/circuits"
 	"nocap/internal/experiments"
 	"nocap/internal/field"
+	"nocap/internal/hashfn"
 	"nocap/internal/power"
 	"nocap/internal/r1cs"
 	"nocap/internal/sim"
@@ -113,6 +114,25 @@ func DefaultParams() Params { return spartan.DefaultParams() }
 
 // TestParams is a small configuration for tests and examples.
 func TestParams() Params { return spartan.TestParams() }
+
+// HashEngineNames lists the registered hash engines, in id order: the
+// scalar "sha3" default (byte-compatible with every earlier release)
+// and the multi-buffer "keccak-x4" Merkle engine.
+func HashEngineNames() []string { return hashfn.Names() }
+
+// WithHashEngine returns p with the named hash engine selected for the
+// Orion commitment's column leaves, Merkle tree, and Fiat–Shamir
+// transcript. Prover and verifier must use the same engine: proofs
+// carry the engine id and a verifier under different parameters rejects
+// them with ErrBadCommitment. Unknown names are ErrUsage.
+func WithHashEngine(p Params, name string) (Params, error) {
+	eng, ok := hashfn.ByName(name)
+	if !ok {
+		return p, zkerr.Usagef("nocap: unknown hash engine %q (have %v)", name, hashfn.Names())
+	}
+	p.PCS.Hash = eng
+	return p, nil
+}
 
 // Prove generates a proof that the witness satisfies the instance.
 func Prove(p Params, inst *Instance, io, witness []Element) (*Proof, error) {
