@@ -11,7 +11,7 @@ FUZZ_TARGETS = \
 	./internal/jobs:FuzzDecodeRecord \
 	./internal/hashfn:FuzzEngineParity
 
-.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json hash-bench fuzz-smoke corpus serve-smoke stats-race jobs-chaos disk-chaos tenants-soak ci
+.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json hash-bench fuzz-smoke corpus serve-smoke stats-race jobs-chaos disk-chaos tenants-soak batch-soak ci
 
 all: build test
 
@@ -50,9 +50,12 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench Prove -benchtime 1x .
 
 # Machine-readable end-to-end prove measurements (ns/op, allocs/op, B/op,
-# per-stage kernel counters, arena hit rates) for trend tracking.
+# per-stage kernel counters, arena hit rates) for trend tracking, plus
+# batched-vs-solo throughput through the shared-structure plan
+# (DESIGN.md §15) at batch sizes 1/4/8/16.
 bench-json:
 	$(GO) test -run TestProveBenchJSON -benchjson BENCH_prove.json .
+	$(GO) test -run TestBatchBenchJSON -batchbench BENCH_batch.json .
 
 # Per-engine Merkle-kernel measurements: one BENCH_hash_<engine>.json per
 # registered hash engine (logN 10/12/14, throughput, speedup vs sha3).
@@ -114,4 +117,13 @@ disk-chaos:
 tenants-soak:
 	$(GO) run -race ./cmd/nocap-loadgen -tenants 4 -skew zipf -requests 120 -clients 8 -n 128 -workers 4 -queue 4
 
-ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos disk-chaos tenants-soak
+# Batched-proving soak under the race detector: the async batch planner
+# coalesces same-key jobs from two equal-weight keyed tenants; every
+# batched proof must be byte-identical to its tenant's solo proof,
+# coalescing must show up in the batch metrics, and the scheduler
+# ledger must show zero cross-tenant fairness regression — plus the
+# journal, goroutine-leak, and arena-balance invariants (DESIGN.md §15).
+batch-soak:
+	$(GO) run -race ./cmd/nocap-loadgen -batch -requests 48 -clients 8 -n 256 -workers 4 -queue 4
+
+ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos disk-chaos tenants-soak batch-soak

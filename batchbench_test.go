@@ -1,0 +1,133 @@
+package nocap_test
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"nocap"
+)
+
+// batchBenchJSON names the file TestBatchBenchJSON writes batched-vs-
+// solo prove measurements to, e.g.
+//
+//	go test -run TestBatchBenchJSON -batchbench BENCH_batch.json
+//
+// Without the flag the test is skipped, so the ordinary suite stays fast.
+var batchBenchJSON = flag.String("batchbench", "", "write batched-vs-solo prove benchmark results to this JSON file")
+
+// batchBenchEntry is one (logN, batch size) configuration: per-job wall
+// time through the shared-structure plan versus the solo prover, and the
+// resulting throughput speedup.
+type batchBenchEntry struct {
+	Name            string  `json:"name"`
+	LogN            int     `json:"log_n"`
+	Batch           int     `json:"batch"`
+	SoloNsPerJob    int64   `json:"solo_ns_per_job"`
+	BatchedNsPerJob int64   `json:"batched_ns_per_job"`
+	SoloJobsPerSec  float64 `json:"solo_jobs_per_sec"`
+	BatchJobsPerSec float64 `json:"batched_jobs_per_sec"`
+	Speedup         float64 `json:"speedup"`
+}
+
+// TestBatchBenchJSON measures shared-structure batched proving
+// (DESIGN.md §15) against the solo prover and emits BENCH_batch.json
+// for CI trend tracking. Both sides time the full per-job path the
+// server runs: the solo side synthesizes the statement and proves it,
+// once per job (exactly what each queued job pays without batching);
+// the batched side synthesizes once, builds one plan (the amortized
+// once-per-batch work: z assembly, SpMV + satisfaction check, the
+// instance digest, PCS geometry with warmed twiddle/encoder caches),
+// and runs B member proves, divided by B. Batch size 1 therefore
+// shows what a singleton would pay through the plan; the jobs layer
+// routes singletons to the solo path for exactly that reason. Each
+// side takes its best of three rounds to damp scheduler noise.
+func TestBatchBenchJSON(t *testing.T) {
+	if *batchBenchJSON == "" {
+		t.Skip("-batchbench not set")
+	}
+	// Production geometry in the deterministic serving configuration the
+	// batch planner is verified under (`make batch-soak` proves batched
+	// output byte-identical to solo with ZK off): one repetition, ZK
+	// masking off. Per-rep sumcheck/PCS work scales with Reps while the
+	// amortized plan work does not, so Reps=1 reports the per-repetition
+	// amortization honestly; ZK adds per-member row randomization whose
+	// cost batching cannot touch, so it is benchmarked separately by
+	// BENCH_prove.json rather than folded in here.
+	params := nocap.DefaultParams()
+	params.Reps = 1
+	params.PCS.ZK = false
+	ctx := context.Background()
+	const rounds = 3
+	var entries []batchBenchEntry
+	for _, logN := range []int{10, 12, 14} {
+		n := 1 << uint(logN)
+		// Fit the PCS geometry the way the server's buildFor does, so the
+		// bench measures the exact configuration batched jobs run.
+		params := params
+		warm := nocap.Synthetic(n)
+		if half := warm.Inst.NumVars() / 2; params.PCS.Rows > half {
+			params.PCS.Rows = half
+		}
+		// One warm-up prove so neither side pays first-touch cache builds.
+		if _, err := nocap.ProveCtx(ctx, params, warm.Inst, warm.IO, warm.Witness); err != nil {
+			t.Fatal(err)
+		}
+		soloNs := int64(math.MaxInt64)
+		for r := 0; r < rounds; r++ {
+			const probe = 4
+			start := time.Now()
+			for i := 0; i < probe; i++ {
+				bm := nocap.Synthetic(n)
+				if _, err := nocap.ProveCtx(ctx, params, bm.Inst, bm.IO, bm.Witness); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if per := time.Since(start).Nanoseconds() / probe; per < soloNs {
+				soloNs = per
+			}
+		}
+		for _, batch := range []int{1, 4, 8, 16} {
+			batchedNs := int64(math.MaxInt64)
+			for r := 0; r < rounds; r++ {
+				start := time.Now()
+				plan, err := nocap.NewBatchPlanForCtx(ctx, params, nocap.Synthetic(n))
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < batch; i++ {
+					if _, err := plan.ProveMemberCtx(ctx); err != nil {
+						t.Fatal(err)
+					}
+				}
+				if per := time.Since(start).Nanoseconds() / int64(batch); per < batchedNs {
+					batchedNs = per
+				}
+			}
+			entries = append(entries, batchBenchEntry{
+				Name:            "BatchProve/synthetic",
+				LogN:            logN,
+				Batch:           batch,
+				SoloNsPerJob:    soloNs,
+				BatchedNsPerJob: batchedNs,
+				SoloJobsPerSec:  1e9 / float64(soloNs),
+				BatchJobsPerSec: 1e9 / float64(batchedNs),
+				Speedup:         float64(soloNs) / float64(batchedNs),
+			})
+			t.Logf("logN=%d B=%d: solo %d ns/job, batched %d ns/job (%.2fx)",
+				logN, batch, soloNs, batchedNs, float64(soloNs)/float64(batchedNs))
+		}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*batchBenchJSON, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

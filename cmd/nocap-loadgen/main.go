@@ -23,12 +23,23 @@
 // job lands in exactly one typed terminal state with no lost or
 // duplicated proofs. The same leak and arena invariants apply.
 //
+// With -batch (in-process only) the server runs the async batch
+// planner (DESIGN.md §15) with two equal-weight keyed tenants and ZK
+// disabled: each tenant pins a solo baseline proof, then all clients
+// burst same-key jobs so the planner coalesces them into shared-
+// structure batched attempts. Every batched proof must be byte-
+// identical to its tenant's solo proof, /metrics must show real
+// coalescing, and the scheduler ledger must show zero cross-tenant
+// fairness regression — on top of the journal, leak, and arena
+// invariants.
+//
 // Usage:
 //
 //	nocap-loadgen                          # in-process smoke, 8 clients, 15s cap
 //	nocap-loadgen -requests 64 -clients 8
 //	nocap-loadgen -addr 127.0.0.1:8080 -duration 30s
 //	nocap-loadgen -jobs -requests 40       # async-jobs + crash-recovery smoke
+//	nocap-loadgen -batch -requests 48      # batched-proving byte-identity + fairness soak
 package main
 
 import (
@@ -43,6 +54,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -106,9 +118,16 @@ func (h *harness) post(path string, body []byte) (*http.Response, []byte, error)
 }
 
 func (h *harness) do(method, path string) (*http.Response, []byte, error) {
+	return h.doAs(method, path, "")
+}
+
+func (h *harness) doAs(method, path, key string) (*http.Response, []byte, error) {
 	req, err := http.NewRequest(method, h.base+path, nil)
 	if err != nil {
 		return nil, nil, err
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
 	}
 	resp, err := h.client.Do(req)
 	if err != nil {
@@ -126,6 +145,10 @@ func (h *harness) get(path string) (*http.Response, []byte, error) {
 	return h.do(http.MethodGet, path)
 }
 
+func (h *harness) getAs(path, key string) (*http.Response, []byte, error) {
+	return h.doAs(http.MethodGet, path, key)
+}
+
 func (h *harness) del(path string) (*http.Response, []byte, error) {
 	return h.do(http.MethodDelete, path)
 }
@@ -133,8 +156,13 @@ func (h *harness) del(path string) (*http.Response, []byte, error) {
 // submitJob posts one async job and returns its id. On shed (429) or a
 // protocol violation it records the outcome itself and reports ok=false.
 func (h *harness) submitJob(kind string, n int) (string, bool) {
+	return h.submitJobAs(kind, n, "")
+}
+
+// submitJobAs is submitJob with a tenant API key.
+func (h *harness) submitJobAs(kind string, n int, key string) (string, bool) {
 	body, _ := json.Marshal(server.ProveRequest{Circuit: "synthetic", N: n})
-	resp, data, err := h.post("/jobs", body)
+	resp, data, err := h.postAs("/jobs", key, body)
 	if err != nil {
 		h.record(kind, false, true, err.Error())
 		return "", false
@@ -161,9 +189,14 @@ func (h *harness) submitJob(kind string, n int) (string, bool) {
 // here on every poll); once done, the proof is fetched with ?proof=1
 // and the full response returned.
 func (h *harness) pollJob(id string, budget time.Duration) (server.JobResponse, error) {
+	return h.pollJobAs(id, budget, "")
+}
+
+// pollJobAs is pollJob with a tenant API key.
+func (h *harness) pollJobAs(id string, budget time.Duration, key string) (server.JobResponse, error) {
 	deadline := time.Now().Add(budget)
 	for {
-		resp, data, err := h.get("/jobs/" + id)
+		resp, data, err := h.getAs("/jobs/"+id, key)
 		if err != nil {
 			return server.JobResponse{}, err
 		}
@@ -181,7 +214,7 @@ func (h *harness) pollJob(id string, budget time.Duration) (server.JobResponse, 
 			if jr.State != string(jobs.StateDone) {
 				return jr, nil
 			}
-			resp, data, err = h.get("/jobs/" + id + "?proof=1")
+			resp, data, err = h.getAs("/jobs/"+id+"?proof=1", key)
 			if err != nil {
 				return server.JobResponse{}, err
 			}
@@ -444,8 +477,15 @@ func run() (failed bool, err error) {
 	jobsMode := flag.Bool("jobs", false, "exercise the durable async /jobs API (in-process only), including a crash-window journal-tear restart")
 	tenants := flag.Int("tenants", 0, "multi-tenant fairness mode (in-process only): N keyed tenants, tenant t0 weighted 4x")
 	skew := flag.String("skew", "zipf", "-tenants traffic skew: zipf (t0-heavy) or uniform")
+	batchMode := flag.Bool("batch", false, "batched-proving soak (in-process only): coalesced async jobs must prove byte-identical to solo with no cross-tenant fairness regression")
 	flag.Parse()
 
+	if *batchMode {
+		if *addr != "" {
+			return true, fmt.Errorf("-batch mode is in-process only; drop -addr")
+		}
+		return runBatchSoak(*clients, *requests, *duration, *n, *workers, *queue)
+	}
 	if *jobsMode {
 		if *addr != "" {
 			return true, fmt.Errorf("-jobs mode is in-process only; drop -addr")
@@ -959,6 +999,233 @@ func runJobs(clients, requests int, duration time.Duration, n, workers, queue in
 		failed = true
 	}
 	return failed, nil
+}
+
+// runBatchSoak is the -batch mode: an in-process server with the async
+// batch planner on (DESIGN.md §15), two equal-weight keyed tenants, and
+// ZK disabled so proofs are deterministic. Each tenant first proves one
+// job solo (a singleton group bypasses BatchExec), then all clients
+// burst same-key jobs for both tenants. Every batched proof must be
+// byte-identical to its tenant's solo proof, coalescing must actually
+// have happened (batch counters on /metrics), and the scheduler ledger
+// must show no cross-tenant fairness regression: no queue-full sheds,
+// no stranded work, no wait-time divergence under equal load. The
+// usual journal, leak, and arena invariants close the run.
+func runBatchSoak(clients, requests int, duration time.Duration, n, workers, queue int) (failed bool, err error) {
+	snap := leakcheck.Take()
+	arenaBefore := nocap.ReadProveStats().Arena
+	dir, err := os.MkdirTemp("", "nocap-loadgen-batch-")
+	if err != nil {
+		return true, err
+	}
+	defer os.RemoveAll(dir)
+
+	// ZK off so batched output can be byte-compared against the solo
+	// path. The plan never shares witness randomness, so this only makes
+	// the equality checkable — it does not paper over a leak.
+	params := nocap.TestParams()
+	params.PCS.ZK = false
+	keys := []string{"key-t0", "key-t1"}
+	cfgs := []tenant.Config{
+		{ID: "t0", Key: keys[0], Weight: 1, QueueDepth: clients + queue},
+		{ID: "t1", Key: keys[1], Weight: 1, QueueDepth: clients + queue},
+	}
+	srv, err := server.New(server.Config{
+		Addr:           "127.0.0.1:0",
+		Workers:        workers,
+		QueueDepth:     queue,
+		MemoryBudgetMB: 8,
+		Params:         params,
+		Tenants:        cfgs,
+		DataDir:        dir,
+		JobBackoffBase: 5 * time.Millisecond,
+		JobBackoffMax:  50 * time.Millisecond,
+		JobBatchWindow: 20 * time.Millisecond,
+		JobBatchMax:    8,
+	})
+	if err != nil {
+		return true, err
+	}
+	bound, err := srv.Listen()
+	if err != nil {
+		return true, err
+	}
+	go srv.Serve()
+	base := "http://" + bound.String()
+	if err := waitReady(base, 10*time.Second); err != nil {
+		return true, err
+	}
+	fmt.Printf("nocap-loadgen: in-process batch server on %s (window 20ms, max 8, journal in %s)\n",
+		bound, dir)
+
+	h := &harness{
+		base:     base,
+		client:   &http.Client{Timeout: 2 * time.Minute},
+		n:        n,
+		outcomes: make(map[string]*outcome),
+	}
+
+	// Per-tenant solo baselines: a lone job's group times out alone and
+	// proves through the solo Exec path, pinning the reference bytes.
+	solo := make([]string, len(keys))
+	for ti, key := range keys {
+		kind := "batch-" + cfgs[ti].ID
+		id, ok := h.submitJobAs(kind, n, key)
+		if !ok {
+			return true, fmt.Errorf("solo baseline submit for %s failed", cfgs[ti].ID)
+		}
+		jr, perr := h.pollJobAs(id, time.Minute, key)
+		if perr != nil {
+			return true, fmt.Errorf("solo baseline for %s: %w", cfgs[ti].ID, perr)
+		}
+		if jr.State != string(jobs.StateDone) || jr.ProofB64 == "" {
+			return true, fmt.Errorf("solo baseline for %s ended %q (code %q)", cfgs[ti].ID, jr.State, jr.Code)
+		}
+		h.record(kind, false, false, "")
+		solo[ti] = jr.ProofB64
+	}
+
+	// Burst: every client alternates tenants submitting the same job key,
+	// so the planner sees coalescing opportunities under contention.
+	start := time.Now()
+	deadline := start.Add(duration)
+	var next int64
+	var mu sync.Mutex
+	take := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if requests > 0 && next >= int64(requests) {
+			return false
+		}
+		next++
+		return !time.Now().After(deadline)
+	}
+	ids := make([][]string, len(keys))
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; take(); i++ {
+				ti := (c + i) % len(keys)
+				if id, ok := h.submitJobAs("batch-"+cfgs[ti].ID, n, keys[ti]); ok {
+					mu.Lock()
+					ids[ti] = append(ids[ti], id)
+					mu.Unlock()
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	// Every admitted job must land done with the solo proof bytes: the
+	// shared-structure plan may amortize work, never change output — and
+	// batching one tenant's jobs must not strand the other's.
+	for ti, tenantIDs := range ids {
+		kind := "batch-" + cfgs[ti].ID
+		for _, id := range tenantIDs {
+			jr, perr := h.pollJobAs(id, time.Minute, keys[ti])
+			if perr != nil {
+				h.record(kind, false, true, perr.Error())
+				continue
+			}
+			switch {
+			case jr.State != string(jobs.StateDone):
+				h.record(kind, false, true, fmt.Sprintf("job %s ended %q (code %q)", id, jr.State, jr.Code))
+			case jr.ProofB64 != solo[ti]:
+				h.record(kind, false, true, fmt.Sprintf(
+					"job %s proof differs from the solo baseline (%d vs %d b64 bytes)",
+					id, len(jr.ProofB64), len(solo[ti])))
+			default:
+				h.record(kind, false, false, "")
+			}
+		}
+	}
+	elapsed := time.Since(start)
+
+	// The run only says something if coalescing actually happened.
+	if resp, data, merr := h.get("/metrics"); merr != nil || resp.StatusCode != http.StatusOK {
+		h.record("batch-metrics", false, true, fmt.Sprintf("metrics: %v", merr))
+	} else {
+		text := string(data)
+		batches := metricValue(text, "nocap_batches_total")
+		saves := metricValue(text, "nocap_batch_amortized_saves_total")
+		if batches < 1 || saves < 1 {
+			h.record("batch-metrics", false, true, fmt.Sprintf(
+				"no coalescing observed (%d batches, %d amortized saves): widen -batch window or raise -clients",
+				batches, saves))
+		} else {
+			h.record("batch-metrics", false, false, "")
+			fmt.Printf("nocap-loadgen: %d batches coalesced, %d member setups amortized away\n",
+				batches, saves)
+		}
+	}
+
+	// Fairness over the scheduler's own ledger: equal weights and equal
+	// load, so batching must not shed, strand, or slow either tenant
+	// relative to the other.
+	stats := srv.TenantStats()
+	if err := drain(srv); err != nil {
+		return true, fmt.Errorf("drain: %w", err)
+	}
+	waits := make(map[string]time.Duration, len(stats))
+	for _, qs := range stats {
+		if qs.ID == "default" {
+			continue
+		}
+		w := meanWait(qs)
+		waits[qs.ID] = w
+		fmt.Printf("nocap-loadgen: tenant %s served %d (shed %d, mean wait %v)\n",
+			qs.ID, qs.Dequeued, qs.RejectedFull, w.Round(time.Microsecond))
+		if qs.RejectedFull != 0 {
+			failed = true
+			fmt.Printf("FAIL: tenant %s shed %d queue-full under equal load: batching broke per-tenant isolation\n",
+				qs.ID, qs.RejectedFull)
+		}
+		if qs.Dequeued != qs.Enqueued {
+			failed = true
+			fmt.Printf("FAIL: tenant %s admitted %d but served %d: the batch planner stranded work\n",
+				qs.ID, qs.Enqueued, qs.Dequeued)
+		}
+	}
+	// The divergence bound is deliberately generous — this is a soak,
+	// not a microbenchmark — but a batching path that bypassed the DRR
+	// charge would blow way past it.
+	if w0, w1 := waits["t0"], waits["t1"]; w0 > 4*w1+200*time.Millisecond || w1 > 4*w0+200*time.Millisecond {
+		failed = true
+		fmt.Printf("FAIL: tenant queue waits diverged under equal load (t0 %v vs t1 %v): batching skewed fairness\n",
+			w0, w1)
+	}
+
+	// Drained, the journal is the ledger: one terminal record per job.
+	if msg := journalTerminalViolation(filepath.Join(dir, "journal.jsonl")); msg != "" {
+		h.record("journal", false, true, msg)
+	}
+
+	_, violations := report(h, clients, elapsed)
+	if checkProcessInvariants(snap, arenaBefore) {
+		failed = true
+	}
+	if violations > 0 {
+		failed = true
+	}
+	if !failed {
+		fmt.Printf("nocap-loadgen: batch run clean (byte-identical proofs, fairness intact)\n")
+	}
+	return failed, nil
+}
+
+// metricValue extracts a numeric Prometheus sample by exact metric
+// name, or 0 if absent.
+func metricValue(text, name string) int64 {
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, name+" "); ok {
+			if v, perr := strconv.ParseFloat(strings.TrimSpace(rest), 64); perr == nil {
+				return int64(v)
+			}
+		}
+	}
+	return 0
 }
 
 // durabilitySoak runs the durable-state lifecycle passes on a fresh

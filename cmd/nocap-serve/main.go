@@ -11,6 +11,7 @@
 //	nocap-serve -addr :8080 -timeout 60s -mem-mb 128 -drain 30s
 //	nocap-serve -tenant-keys tenants.json -cache-mb 64
 //	nocap-serve -data-dir /var/lib/nocap -journal-max-mb 64 -job-retention 24h
+//	nocap-serve -data-dir /var/lib/nocap -batch-window 5ms -batch-max 8
 //
 // Tenancy (DESIGN.md §12): -tenant-keys names a JSON keyfile
 // ({"tenants":[{"id":"acme","key":"...","weight":4,...}]}) mapping
@@ -45,6 +46,15 @@
 // Retry-After while synchronous /prove, /verify, and job polls keep
 // serving, and a background probe exits degraded mode on the first
 // successful write.
+//
+// -batch-window enables the async batch planner (DESIGN.md §15):
+// queued jobs for the same tenant with the same (circuit, n, reps) key
+// arriving within the window coalesce into one batched attempt, capped
+// at -batch-max jobs, and prove through a shared-structure plan that
+// computes the per-statement setup once. Member proofs are
+// byte-identical to solo proofs; the batch is charged its full size
+// against the tenant's fairness account. /metrics grows nocap_batch_*
+// counters and the nocap_batch_size gauge.
 //
 // On SIGINT/SIGTERM the server stops admitting (503), lets queued and
 // in-flight requests finish (cancelling them if -drain expires), then
@@ -94,6 +104,8 @@ func run() error {
 	tenantBurst := flag.Int("tenant-default-burst", 0, "default tenant's token-bucket burst (0 = rate+1)")
 	tenantMaxJobs := flag.Int("tenant-default-max-jobs", 0, "default tenant's live async-job cap (0 = unlimited)")
 	cacheMB := flag.Int("cache-mb", 64, "content-addressed proof cache budget, MB (0 disables)")
+	batchWindow := flag.Duration("batch-window", 0, "coalesce same-key async jobs arriving within this window into one batched attempt (0 disables; requires -data-dir)")
+	batchMax := flag.Int("batch-max", 8, "max jobs per coalesced batch")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -111,6 +123,9 @@ func run() error {
 	if *jobWorkers < 0 || *jobPending < 0 || *jobAttempts < 0 || *breakerThreshold < 0 || *breakerCooldown < 0 {
 		return zkerr.Usagef("job flags must be non-negative")
 	}
+	if *batchWindow < 0 || *batchMax < 1 {
+		return zkerr.Usagef("-batch-window must be non-negative and -batch-max positive")
+	}
 	if *journalMaxMB < 0 || *jobRetention < 0 {
 		return zkerr.Usagef("-journal-max-mb and -job-retention must be non-negative")
 	}
@@ -125,7 +140,7 @@ func run() error {
 		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
 			return zkerr.Usagef("-data-dir %s: %v", *dataDir, err)
 		}
-	} else if *jobWorkers > 0 || *jobPending > 0 || *jobAttempts > 0 || *breakerThreshold > 0 || *breakerCooldown > 0 || *journalMaxMB > 0 || *jobRetention > 0 {
+	} else if *jobWorkers > 0 || *jobPending > 0 || *jobAttempts > 0 || *breakerThreshold > 0 || *breakerCooldown > 0 || *journalMaxMB > 0 || *jobRetention > 0 || *batchWindow > 0 {
 		return zkerr.Usagef("job flags require -data-dir")
 	}
 
@@ -177,6 +192,8 @@ func run() error {
 		JobBreakerCooldown:  *breakerCooldown,
 		JobJournalMaxMB:     *journalMaxMB,
 		JobRetention:        *jobRetention,
+		JobBatchWindow:      *batchWindow,
+		JobBatchMax:         *batchMax,
 	})
 	if err != nil {
 		return zkerr.Usagef("tenant config: %v", err)

@@ -71,6 +71,19 @@ func (c *Collector) Snapshot() Stats {
 	}
 }
 
+// AddStats credits a whole Stats delta to the collector without touching
+// the arena's aggregate counters. Batched proving uses it to hand each
+// batch member its share of checkouts made once under a shared plan
+// collector (which already hit the aggregate); Outstanding is derived
+// from Gets−Puts at snapshot time, so only the raw counters are applied.
+func (c *Collector) AddStats(s Stats) {
+	c.gets.Add(s.Gets)
+	c.puts.Add(s.Puts)
+	c.hits.Add(s.Hits)
+	c.misses.Add(s.Misses)
+	c.outstandingElems.Add(s.OutstandingElems)
+}
+
 // collectorKey carries a *Collector in a context.
 type collectorKey struct{}
 
@@ -275,6 +288,40 @@ func (s Stats) Add(o Stats) Stats {
 		Outstanding:      s.Outstanding + o.Outstanding,
 		OutstandingElems: s.OutstandingElems + o.OutstandingElems,
 	}
+}
+
+// shareOf returns share i of total split k ways so the k shares sum to
+// total exactly (floor division, remainder to the lowest-indexed shares).
+func shareOf(total int64, k, i int) int64 {
+	q, r := total/int64(k), total%int64(k)
+	if int64(i) < r {
+		q++
+	}
+	return q
+}
+
+// Split partitions s into k shares that sum back to s exactly. Batched
+// proving attributes shared-plan arena activity proportionally — batch
+// members are structurally identical, so the proportional share is an
+// even split, with integer remainders going to the lowest-indexed
+// members so sum(shares) == s holds counter-for-counter.
+func (s Stats) Split(k int) []Stats {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Stats, k)
+	for i := range out {
+		out[i] = Stats{
+			Gets:             shareOf(s.Gets, k, i),
+			Puts:             shareOf(s.Puts, k, i),
+			Hits:             shareOf(s.Hits, k, i),
+			Misses:           shareOf(s.Misses, k, i),
+			DoubleReturns:    shareOf(s.DoubleReturns, k, i),
+			Outstanding:      shareOf(s.Outstanding, k, i),
+			OutstandingElems: shareOf(s.OutstandingElems, k, i),
+		}
+	}
+	return out
 }
 
 // Get checks a zeroed buffer out of the Default arena.

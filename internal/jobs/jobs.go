@@ -31,6 +31,12 @@ import (
 	"nocap/internal/zkerr"
 )
 
+// fiBatchExec fires once per member at the top of every batched proving
+// attempt (before the member is handed to BatchExec), so chaos tests
+// can deterministically fail the Nth member of a batch without touching
+// its batch-mates.
+var fiBatchExec = faultinject.Register("jobs.batch.exec")
+
 // fiAttemptExec fires at the top of every proving attempt, inside the
 // panic-containment boundary; chaos tests use it to exercise the retry
 // machinery without involving the prover.
@@ -111,6 +117,37 @@ type Exec func(ctx context.Context, spec Spec) (Result, error)
 // fairness policy as synchronous requests.
 type Gate func(ctx context.Context, tenantID string, run func()) error
 
+// GateN is the batch-aware variant of Gate: cost is the number of jobs
+// the gated run will prove (the batch size), so the external scheduler
+// can charge the tenant's fairness account for the whole batch instead
+// of letting batching bypass DRR accounting. Like Gate, it must execute
+// run synchronously or return an error without having called run.
+type GateN func(ctx context.Context, tenantID string, cost int, run func()) error
+
+// BatchMember is one job of a batch handed to BatchExec. Ctx is the
+// member's own attempt context: cancelling one member (DELETE /jobs/id)
+// cancels only that member's Ctx, so BatchExec must check it per member
+// and must not let one member's cancellation or failure disturb its
+// batch-mates.
+type BatchMember struct {
+	ID   string
+	Spec Spec
+	Ctx  context.Context
+}
+
+// BatchOutcome is one member's attempt outcome, classified exactly like
+// a solo attempt's (Result, error) pair.
+type BatchOutcome struct {
+	Result Result
+	Err    error
+}
+
+// BatchExec proves a whole batch in one call, amortizing shared
+// structure across the members. It must return exactly one outcome per
+// member, index-aligned, and must honour each member's Ctx
+// independently. The Manager wraps every call in panic containment.
+type BatchExec func(ctx context.Context, members []BatchMember) []BatchOutcome
+
 // Config configures a Manager. Zero fields take the documented
 // defaults; Dir and Exec are required.
 type Config struct {
@@ -171,6 +208,28 @@ type Config struct {
 	// Logf receives one structured line per degraded-mode entry/exit
 	// and per compaction (default log.Printf).
 	Logf func(format string, args ...any)
+	// BatchKey, when set, enables the batch planner (DESIGN.md §15):
+	// ready jobs whose specs map to the same key for the same tenant
+	// within BatchWindow of each other coalesce into one batched attempt
+	// proved through BatchExec, amortizing shared structure. Return
+	// ok=false for specs that must not batch; they dispatch solo through
+	// Exec. Requires BatchExec.
+	BatchKey func(spec Spec) (key string, ok bool)
+	// BatchExec proves a coalesced batch; required when BatchKey is set.
+	// A group that closes with a single member bypasses it and runs
+	// through the solo Exec path unchanged.
+	BatchExec BatchExec
+	// GateN, when set, is preferred over Gate for routing attempts onto
+	// the external worker pool: it carries the batch size as an explicit
+	// cost so coalescing cannot bypass per-tenant fairness accounting
+	// (one batch of k jobs is charged like k solo jobs).
+	GateN GateN
+	// BatchWindow is how long the planner holds a group open for
+	// batch-mates after its first job arrives (default 5ms); BatchMax
+	// caps the batch size, flushing a group early when reached
+	// (default 8).
+	BatchWindow time.Duration
+	BatchMax    int
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -215,6 +274,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
+	}
+	if c.BatchKey != nil && c.BatchExec == nil {
+		return c, zkerr.Usagef("jobs: Config.BatchKey requires Config.BatchExec")
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 5 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 8
 	}
 	return c, nil
 }
@@ -279,6 +347,14 @@ type Metrics struct {
 	DegradedEntries int64
 	DiskFailStreak  int64
 	ProbeWrites     int64
+	// Batch planner counters (DESIGN.md §15): batched attempts
+	// dispatched, jobs proved through them, the most recent batch's
+	// size, and jobs that skipped redundant shared-structure work
+	// because a batch-mate already did it (size−1 per batch).
+	Batches             int64
+	BatchJobs           int64
+	LastBatchSize       int64
+	BatchAmortizedSaves int64
 }
 
 // jobRec is the Manager's in-memory view of one job.
@@ -332,7 +408,11 @@ type Manager struct {
 	cancelBase context.CancelFunc
 	quit       chan struct{}
 	ready      chan *jobRec
-	wg         sync.WaitGroup
+	// batches feeds coalesced batches from the batcher goroutine to the
+	// workers; nil when batching is disabled (no BatchKey), in which
+	// case workers consume ready directly.
+	batches chan []*jobRec
+	wg      sync.WaitGroup
 
 	randMu sync.Mutex
 	rand   *rand.Rand
@@ -373,6 +453,12 @@ type Manager struct {
 	degradedSince   time.Time
 	degradedEntries int64
 
+	// Batch planner counters (under mu).
+	batchCount    int64
+	batchJobs     int64
+	lastBatchSize int64
+	batchSaves    int64
+
 	// compactMu serializes compaction cycles (it is never taken while
 	// holding mu).
 	compactMu sync.Mutex
@@ -412,6 +498,11 @@ func Open(cfg Config) (*Manager, error) {
 		return nil, err
 	}
 	m.orphansSwept += m.sweepOrphanProofs()
+	if cfg.BatchKey != nil {
+		m.batches = make(chan []*jobRec, 2*cfg.MaxPending+16)
+		m.wg.Add(1)
+		go m.batcher()
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -859,6 +950,10 @@ func (m *Manager) Metrics() Metrics {
 		DegradedEntries:     m.degradedEntries,
 		DiskFailStreak:      m.diskFails,
 		ProbeWrites:         m.probeWrites,
+		Batches:             m.batchCount,
+		BatchJobs:           m.batchJobs,
+		LastBatchSize:       m.lastBatchSize,
+		BatchAmortizedSaves: m.batchSaves,
 	}
 }
 
@@ -942,6 +1037,18 @@ func (m *Manager) requeueAfter(j *jobRec, d time.Duration) {
 
 func (m *Manager) worker() {
 	defer m.wg.Done()
+	if m.batches != nil {
+		// Batching on: the batcher goroutine owns ready; workers consume
+		// coalesced batches.
+		for {
+			select {
+			case <-m.quit:
+				return
+			case b := <-m.batches:
+				m.dispatchBatch(b)
+			}
+		}
+	}
 	for {
 		select {
 		case <-m.quit:
@@ -952,32 +1059,203 @@ func (m *Manager) worker() {
 	}
 }
 
+// batcher sits between the ready channel and the workers when batching
+// is enabled (DESIGN.md §15). It groups ready jobs by (tenant, batch
+// key); a group flushes to the workers when it reaches BatchMax or when
+// BatchWindow has elapsed since its first member arrived, whichever is
+// sooner. Unbatchable jobs (BatchKey ok=false) flush immediately as
+// singletons. Tenant is part of the group key, so a batch never mixes
+// tenants and fairness/quota accounting stays per-tenant.
+func (m *Manager) batcher() {
+	defer m.wg.Done()
+	type group struct {
+		jobs     []*jobRec
+		deadline time.Time
+	}
+	pending := make(map[string]*group)
+	var order []string // group keys in arrival order, for deterministic flushing
+	timer := time.NewTimer(time.Hour)
+	timer.Stop()
+	timerSet := false
+
+	emit := func(jobs []*jobRec) bool {
+		select {
+		case m.batches <- jobs:
+			return true
+		case <-m.quit:
+			// Dropped batches stay journaled as accepted/retrying; the
+			// next Open re-enqueues them (crash equivalence).
+			return false
+		}
+	}
+	flush := func(gk string) bool {
+		g := pending[gk]
+		delete(pending, gk)
+		for i, k := range order {
+			if k == gk {
+				order = append(order[:i], order[i+1:]...)
+				break
+			}
+		}
+		return emit(g.jobs)
+	}
+	rearm := func() {
+		if timerSet {
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timerSet = false
+		}
+		var earliest time.Time
+		for _, k := range order {
+			if g := pending[k]; earliest.IsZero() || g.deadline.Before(earliest) {
+				earliest = g.deadline
+			}
+		}
+		if !earliest.IsZero() {
+			d := time.Until(earliest)
+			if d < 0 {
+				d = 0
+			}
+			timer.Reset(d)
+			timerSet = true
+		}
+	}
+
+	for {
+		select {
+		case <-m.quit:
+			return
+		case j := <-m.ready:
+			key, ok := m.cfg.BatchKey(j.spec)
+			if !ok {
+				if !emit([]*jobRec{j}) {
+					return
+				}
+				continue
+			}
+			gk := j.spec.Tenant + "\x00" + key
+			g := pending[gk]
+			if g == nil {
+				g = &group{deadline: time.Now().Add(m.cfg.BatchWindow)}
+				pending[gk] = g
+				order = append(order, gk)
+			}
+			g.jobs = append(g.jobs, j)
+			if len(g.jobs) >= m.cfg.BatchMax {
+				if !flush(gk) {
+					return
+				}
+			}
+			rearm()
+		case <-timer.C:
+			timerSet = false
+			now := time.Now()
+			for _, k := range append([]string(nil), order...) {
+				if g := pending[k]; g != nil && !g.deadline.After(now) {
+					if !flush(k) {
+						return
+					}
+				}
+			}
+			rearm()
+		}
+	}
+}
+
 func (m *Manager) dispatch(j *jobRec) {
 	ok, probe := m.breaker.AllowAttempt()
 	if !ok {
-		d := m.cfg.BreakerCooldown / 4
-		if d < 10*time.Millisecond {
-			d = 10 * time.Millisecond
-		}
-		if d > 500*time.Millisecond {
-			d = 500 * time.Millisecond
-		}
-		m.requeueAfter(j, d)
+		m.requeueAfter(j, m.breakerRetryDelay())
 		return
 	}
-	if m.cfg.Gate != nil {
-		if err := m.cfg.Gate(m.baseCtx, j.spec.Tenant, func() { m.runAttempt(j, probe) }); err != nil {
-			// The external pool shed us without running the attempt: no
-			// budget consumed, the probe slot (if held) goes back, try
-			// again shortly.
-			if probe {
-				m.breaker.abandonProbe()
-			}
+	m.dispatchGranted(j, probe)
+}
+
+// breakerRetryDelay is how long a breaker-denied dispatch waits before
+// re-enqueueing: a quarter of the cooldown, clamped to [10ms, 500ms].
+func (m *Manager) breakerRetryDelay() time.Duration {
+	d := m.cfg.BreakerCooldown / 4
+	if d < 10*time.Millisecond {
+		d = 10 * time.Millisecond
+	}
+	if d > 500*time.Millisecond {
+		d = 500 * time.Millisecond
+	}
+	return d
+}
+
+// dispatchGranted routes one breaker-granted solo attempt through the
+// external pool gate (GateN with cost 1 when set, else Gate) or runs it
+// directly.
+func (m *Manager) dispatchGranted(j *jobRec, probe bool) {
+	run := func() { m.runAttempt(j, probe) }
+	var err error
+	switch {
+	case m.cfg.GateN != nil:
+		err = m.cfg.GateN(m.baseCtx, j.spec.Tenant, 1, run)
+	case m.cfg.Gate != nil:
+		err = m.cfg.Gate(m.baseCtx, j.spec.Tenant, run)
+	default:
+		run()
+		return
+	}
+	if err != nil {
+		// The external pool shed us without running the attempt: no
+		// budget consumed, the probe slot (if held) goes back, try
+		// again shortly.
+		if probe {
+			m.breaker.abandonProbe()
+		}
+		m.requeueAfter(j, 50*time.Millisecond)
+	}
+}
+
+// dispatchBatch dispatches one coalesced batch. Singletons take the
+// solo path (Exec, per-attempt breaker grant) unchanged. A real batch
+// takes one breaker grant for the whole attempt; a half-open probe must
+// be a single attempt, so the first member probes solo and the rest
+// requeue. The gate is charged the full batch size via GateN so DRR
+// fairness sees k jobs, not one.
+func (m *Manager) dispatchBatch(batch []*jobRec) {
+	if len(batch) == 1 {
+		m.dispatch(batch[0])
+		return
+	}
+	ok, probe := m.breaker.AllowAttempt()
+	if !ok {
+		d := m.breakerRetryDelay()
+		for _, j := range batch {
+			m.requeueAfter(j, d)
+		}
+		return
+	}
+	if probe {
+		m.dispatchGranted(batch[0], true)
+		for _, j := range batch[1:] {
 			m.requeueAfter(j, 50*time.Millisecond)
 		}
 		return
 	}
-	m.runAttempt(j, probe)
+	run := func() { m.runBatch(batch) }
+	var err error
+	switch {
+	case m.cfg.GateN != nil:
+		err = m.cfg.GateN(m.baseCtx, batch[0].spec.Tenant, len(batch), run)
+	case m.cfg.Gate != nil:
+		err = m.cfg.Gate(m.baseCtx, batch[0].spec.Tenant, run)
+	default:
+		run()
+		return
+	}
+	if err != nil {
+		for _, j := range batch {
+			m.requeueAfter(j, 50*time.Millisecond)
+		}
+	}
 }
 
 // runAttempt executes one attempt: journal running (fsync'd), run Exec
@@ -1018,6 +1296,106 @@ func (m *Manager) exec(ctx context.Context, spec Spec) (res Result, err error) {
 		return Result{}, ferr
 	}
 	return m.cfg.Exec(ctx, spec)
+}
+
+// runBatch executes one batched attempt: journal every live member
+// running (fsync'd) under one lock hold, give each member its own
+// cancellable context, run BatchExec once, then classify every member's
+// outcome exactly like a solo attempt. A member that is already
+// terminal or running is silently dropped (its state owner wins); a
+// member whose running record cannot be journaled finishes with that
+// error while its batch-mates proceed.
+func (m *Manager) runBatch(batch []*jobRec) {
+	type prepped struct {
+		j      *jobRec
+		ctx    context.Context
+		cancel context.CancelFunc
+	}
+	var live []prepped
+	var journalFailed []*jobRec
+	var journalErr error
+	m.mu.Lock()
+	if m.closing {
+		m.mu.Unlock()
+		return
+	}
+	for _, j := range batch {
+		if j.terminal() || j.state == StateRunning {
+			continue
+		}
+		j.attempt++
+		if err := m.appendLocked(record{Job: j.id, State: recRunning, Attempt: j.attempt}); err != nil {
+			journalFailed = append(journalFailed, j)
+			journalErr = err
+			continue
+		}
+		ctx, cancel := context.WithCancel(m.baseCtx)
+		j.cancel = cancel
+		j.state = StateRunning
+		if j.cancelRequested {
+			cancel() // Cancel raced the dispatch; make this member a no-op.
+		}
+		live = append(live, prepped{j, ctx, cancel})
+	}
+	m.mu.Unlock()
+	for _, j := range journalFailed {
+		m.finishAttempt(j, Result{}, journalErr, false)
+	}
+
+	// Per-member fault injection: a chaos-failed member finishes with
+	// the injected error without ever reaching BatchExec, and its
+	// batch-mates proceed without it.
+	run := make([]prepped, 0, len(live))
+	for _, p := range live {
+		if ferr := faultinject.Check(fiBatchExec); ferr != nil {
+			p.cancel()
+			m.finishAttempt(p.j, Result{}, ferr, false)
+			continue
+		}
+		run = append(run, p)
+	}
+	if len(run) == 0 {
+		return
+	}
+
+	members := make([]BatchMember, len(run))
+	for i, p := range run {
+		members[i] = BatchMember{ID: p.j.id, Spec: p.j.spec, Ctx: p.ctx}
+	}
+	m.mu.Lock()
+	m.batchCount++
+	m.batchJobs += int64(len(run))
+	m.lastBatchSize = int64(len(run))
+	if len(run) > 1 {
+		m.batchSaves += int64(len(run) - 1)
+	}
+	m.mu.Unlock()
+
+	outs := m.execBatch(members)
+	for i, p := range run {
+		p.cancel()
+		m.finishAttempt(p.j, outs[i].Result, outs[i].Err, false)
+	}
+}
+
+// execBatch is the panic-containment boundary around the caller's
+// BatchExec; it guarantees exactly one outcome per member, turning a
+// panic or a miscounted return into a per-member internal error.
+func (m *Manager) execBatch(members []BatchMember) []BatchOutcome {
+	outs, err := func() (outs []BatchOutcome, err error) {
+		defer zkerr.RecoverTo(&err, "jobs: batch attempt")
+		return m.cfg.BatchExec(m.baseCtx, members), nil
+	}()
+	if err == nil && len(outs) != len(members) {
+		err = zkerr.Internalf("jobs: BatchExec returned %d outcomes for %d members", len(outs), len(members))
+	}
+	if err != nil {
+		outs = make([]BatchOutcome, len(members))
+		for i := range outs {
+			outs[i] = BatchOutcome{Err: err}
+		}
+	}
+	return outs
 }
 
 // finishAttempt classifies an attempt's outcome and journals the

@@ -81,6 +81,25 @@ func (c *Collector) add(stage Stage, elems int, ns int64) {
 	sc.ns.Add(ns)
 }
 
+// AddStats credits a whole Stats delta to the collector without touching
+// the process-wide aggregate. Batched proving uses it to hand each batch
+// member its share of work that ran once under a shared plan collector:
+// those spans already credited the aggregate when they ran, so routing
+// the shares through the normal span path would double-count them.
+func (c *Collector) AddStats(s Stats) {
+	add := func(st Stage, ss StageStats) {
+		sc := &c.perStage[st]
+		sc.calls.Add(ss.Calls)
+		sc.elems.Add(ss.Elems)
+		sc.ns.Add(int64(ss.Wall))
+	}
+	add(StageSumcheck, s.Sumcheck)
+	add(StageEncode, s.Encode)
+	add(StageMerkle, s.Merkle)
+	add(StageSpMV, s.SpMV)
+	add(StagePoly, s.Poly)
+}
+
 // Snapshot reads the collector's current cumulative counters.
 func (c *Collector) Snapshot() Stats {
 	read := func(st Stage) StageStats {
@@ -209,6 +228,43 @@ func (s Stats) Add(o Stats) Stats {
 		SpMV:     s.SpMV.Add(o.SpMV),
 		Poly:     s.Poly.Add(o.Poly),
 	}
+}
+
+// shareOf returns share i of total split k ways so the k shares sum to
+// total exactly: an even floor division with the remainder spread one
+// unit at a time over the lowest-indexed shares.
+func shareOf(total int64, k, i int) int64 {
+	q, r := total/int64(k), total%int64(k)
+	if int64(i) < r {
+		q++
+	}
+	return q
+}
+
+// Split partitions s into k shares that sum back to s exactly. Batched
+// proving uses it to attribute shared-plan work proportionally: members
+// of a batch are structurally identical, so the proportional share of
+// once-per-batch work is an even split, with counter remainders going to
+// the lowest-indexed members so no unit is lost or invented.
+func (s Stats) Split(k int) []Stats {
+	if k <= 0 {
+		return nil
+	}
+	out := make([]Stats, k)
+	split := func(get func(*Stats) *StageStats, total StageStats) {
+		for i := range out {
+			ss := get(&out[i])
+			ss.Calls = shareOf(total.Calls, k, i)
+			ss.Elems = shareOf(total.Elems, k, i)
+			ss.Wall = time.Duration(shareOf(int64(total.Wall), k, i))
+		}
+	}
+	split(func(s *Stats) *StageStats { return &s.Sumcheck }, s.Sumcheck)
+	split(func(s *Stats) *StageStats { return &s.Encode }, s.Encode)
+	split(func(s *Stats) *StageStats { return &s.Merkle }, s.Merkle)
+	split(func(s *Stats) *StageStats { return &s.SpMV }, s.SpMV)
+	split(func(s *Stats) *StageStats { return &s.Poly }, s.Poly)
+	return out
 }
 
 // Named returns the stages keyed by their taxonomy names, for JSON

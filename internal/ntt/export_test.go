@@ -1,0 +1,12 @@
+package ntt
+
+import "nocap/internal/field"
+
+// resetTwiddleForTest clears the cached twiddle table for size 1<<logN so
+// race tests can re-exercise the concurrent-first-use path repeatedly.
+func resetTwiddleForTest(logN int) {
+	twiddleCache[logN].Store(nil)
+}
+
+// twiddlesForTest exposes the internal table lookup to tests.
+func twiddlesForTest(logN int) []field.Element { return twiddles(logN) }

@@ -12,6 +12,7 @@ import (
 	"context"
 	"fmt"
 	"math/bits"
+	"sync/atomic"
 
 	"nocap/internal/faultinject"
 	"nocap/internal/field"
@@ -28,24 +29,25 @@ const FUSize = 1 << 12
 // FULanes is the element throughput per cycle of the NTT FU.
 const FULanes = 64
 
-// twiddleCache memoizes per-size twiddle tables. Sizes used in a process
-// are few (powers of two), so an eagerly grown slice indexed by log2(n)
-// is sufficient; access is not synchronized because provers are
-// constructed before concurrent use and tests exercise sizes up-front via
-// Prepare. Concurrent first use of a new size would race, so Prepare must
-// be called before sharing across goroutines.
-var twiddleCache [field.TwoAdicity + 1][]field.Element
+// twiddleCache memoizes per-size twiddle tables, one atomic slot per
+// log2(n). The table for a size is immutable once published, so the hot
+// path is a single atomic load (no locks, no allocation). Concurrent
+// first use of a new size is safe: each racer computes its own table and
+// the first CompareAndSwap wins; losers adopt the published table, so
+// every caller sees the same backing array. Prepare remains available as
+// an optional warm-up to keep first-request latency off the serving path.
+var twiddleCache [field.TwoAdicity + 1]atomic.Pointer[[]field.Element]
 
 // Prepare precomputes the twiddle table for size 1<<logN so later calls
-// are allocation-free and safe for concurrent use at that size.
+// at that size are allocation-free.
 func Prepare(logN int) {
 	twiddles(logN)
 }
 
 // twiddles returns [w^0, w^1, ..., w^(n/2-1)] for n = 1<<logN.
 func twiddles(logN int) []field.Element {
-	if t := twiddleCache[logN]; t != nil {
-		return t
+	if p := twiddleCache[logN].Load(); p != nil {
+		return *p
 	}
 	n := 1 << logN
 	w := field.RootOfUnity(logN)
@@ -54,7 +56,11 @@ func twiddles(logN int) []field.Element {
 	for i := 1; i < n/2; i++ {
 		t[i] = field.Mul(t[i-1], w)
 	}
-	twiddleCache[logN] = t
+	if !twiddleCache[logN].CompareAndSwap(nil, &t) {
+		// Another goroutine published first; use its table so all callers
+		// share one backing array.
+		return *twiddleCache[logN].Load()
+	}
 	return t
 }
 

@@ -1,0 +1,106 @@
+package ntt
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"nocap/internal/field"
+)
+
+// TestTwiddleConcurrentFirstUse hammers the concurrent-first-use path of
+// the twiddle cache: many goroutines request the table for a freshly
+// cleared size at once. Under -race this is the regression test for the
+// old unsynchronized twiddleCache (which required Prepare before sharing
+// a size across goroutines); it also asserts first-CAS-wins semantics —
+// every racer must end up with the same backing array — and that the
+// published table is correct.
+func TestTwiddleConcurrentFirstUse(t *testing.T) {
+	const logN = 13 // a size the other tests in this package do not pin
+	workers := 4 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+
+	// Serial reference, computed before any concurrent access.
+	n := 1 << logN
+	want := make([]field.Element, n/2)
+	w := field.RootOfUnity(logN)
+	want[0] = field.One
+	for i := 1; i < len(want); i++ {
+		want[i] = field.Mul(want[i-1], w)
+	}
+
+	for round := 0; round < 25; round++ {
+		resetTwiddleForTest(logN)
+
+		start := make(chan struct{})
+		got := make([][]field.Element, workers)
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				<-start
+				got[i] = twiddlesForTest(logN)
+			}(i)
+		}
+		close(start)
+		wg.Wait()
+
+		for i := 1; i < workers; i++ {
+			if &got[i][0] != &got[0][0] {
+				t.Fatalf("round %d: goroutine %d got a different table than goroutine 0 (first-CAS-wins violated)", round, i)
+			}
+		}
+		for i, e := range got[0] {
+			if e != want[i] {
+				t.Fatalf("round %d: twiddle[%d] = %v, want %v", round, i, e, want[i])
+			}
+		}
+	}
+}
+
+// TestTwiddleConcurrentTransforms runs full transforms of a freshly
+// cleared size from many goroutines at once; each result must match the
+// serial transform, proving racers that lose the publication CAS still
+// compute correctly.
+func TestTwiddleConcurrentTransforms(t *testing.T) {
+	const logN = 13
+	n := 1 << logN
+
+	in := randVec(n, 777)
+	want := append([]field.Element(nil), in...)
+	Forward(want)
+
+	resetTwiddleForTest(logN)
+	workers := 2 * runtime.GOMAXPROCS(0)
+	if workers < 8 {
+		workers = 8
+	}
+	var wg sync.WaitGroup
+	errs := make([]int, workers) // first mismatching index+1, 0 = ok
+	start := make(chan struct{})
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			v := append([]field.Element(nil), in...)
+			<-start
+			Forward(v)
+			for i := range v {
+				if v[i] != want[i] {
+					errs[g] = i + 1
+					return
+				}
+			}
+		}(g)
+	}
+	close(start)
+	wg.Wait()
+	for g, e := range errs {
+		if e != 0 {
+			t.Fatalf("goroutine %d: transform mismatch at index %d", g, e-1)
+		}
+	}
+}

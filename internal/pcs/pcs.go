@@ -227,15 +227,33 @@ func Commit(params Params, vec []field.Element) (*ProverState, error) {
 // boundary ("pcs.commit.encode", "pcs.commit.leaves",
 // "pcs.commit.tree").
 func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*ProverState, error) {
+	g, err := planGeometry(params, len(vec))
+	if err != nil {
+		return nil, err
+	}
+	return commitPlanned(ctx, params, g, vec, true)
+}
+
+// geometry is the size plan of one commitment: a pure function of the
+// parameters and the vector length, so it can be computed once and
+// shared across the members of a batch.
+type geometry struct {
+	n      int // vector length
+	cols   int // data columns per row
+	msgLen int // padded message length per row (power of two)
+	encLen int // encoded row length (msgLen × blowup)
+	zkTail int // random tail entries per row (ZK only)
+	total  int // rows + masks
+}
+
+// planGeometry validates params against a vector length and fixes the
+// commitment's sizes.
+func planGeometry(params Params, n int) (geometry, error) {
 	if err := params.validate(); err != nil {
-		return nil, err
+		return geometry{}, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	n := len(vec)
 	if n < params.Rows || n&(n-1) != 0 {
-		return nil, fmt.Errorf("pcs: vector length %d must be a power of two ≥ %d rows", n, params.Rows)
+		return geometry{}, fmt.Errorf("pcs: vector length %d must be a power of two ≥ %d rows", n, params.Rows)
 	}
 	cols := n / params.Rows
 	msgLen := cols
@@ -246,15 +264,85 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 	for msgLen&(msgLen-1) != 0 {
 		msgLen++
 	}
+	zkTail := 0
+	if params.ZK {
+		zkTail = params.Code.Queries()
+	}
+	return geometry{
+		n:      n,
+		cols:   cols,
+		msgLen: msgLen,
+		encLen: msgLen * params.Code.Blowup(),
+		zkTail: zkTail,
+		total:  params.Rows + params.numMasks(),
+	}, nil
+}
+
+// Shared is witness-independent commitment state precomputed once and
+// reused for every member of a batch with identical parameters and
+// vector length: the validated geometry plan plus warmed size-dependent
+// encoder caches. The plan carries no witness-dependent state, so
+// commitments produced through it are byte-identical to solo CommitCtx
+// commitments. A Shared plan is immutable after NewSharedCtx and safe
+// for concurrent use.
+type Shared struct {
+	params Params
+	geom   geometry
+}
+
+// NewSharedCtx validates the parameters, fixes the commitment geometry
+// for vectors of length n, and warms the size-dependent encoder caches
+// (NTT twiddle tables and any code-specific layout) by encoding one
+// zero-message row, so batch members skip the per-commit serial warm-up
+// row and fan out immediately.
+func NewSharedCtx(ctx context.Context, params Params, n int) (*Shared, error) {
+	g, err := planGeometry(params, n)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	msg := arena.GetCtx(ctx, g.msgLen)
+	defer arena.Put(msg)
+	enc := arena.GetUninitCtx(ctx, g.encLen)
+	defer arena.Put(enc)
+	if err := encodeInto(ctx, params.Code, enc, msg); err != nil {
+		return nil, fmt.Errorf("pcs: shared warm-up encode: %w", err)
+	}
+	return &Shared{params: params, geom: g}, nil
+}
+
+// Params returns the parameters the plan was built for.
+func (sh *Shared) Params() Params { return sh.params }
+
+// CommitSharedCtx is CommitCtx against a precomputed Shared plan:
+// validation and geometry planning are skipped, and every row encode
+// fans out in parallel immediately (the plan already warmed the
+// per-size caches). The resulting commitment is byte-identical to
+// CommitCtx with the same parameters and vector.
+func CommitSharedCtx(ctx context.Context, sh *Shared, vec []field.Element) (*ProverState, error) {
+	if len(vec) != sh.geom.n {
+		return nil, fmt.Errorf("pcs: vector length %d does not match shared plan length %d", len(vec), sh.geom.n)
+	}
+	return commitPlanned(ctx, sh.params, sh.geom, vec, false)
+}
+
+// commitPlanned is the shared body of CommitCtx and CommitSharedCtx:
+// commit vec under an already-validated geometry. warm selects the
+// serial first-row encode that primes size-dependent caches on the solo
+// path (a shared plan has already primed them).
+func commitPlanned(ctx context.Context, params Params, g geometry, vec []field.Element, warm bool) (*ProverState, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	n := g.n
+	cols, msgLen, zkTail := g.cols, g.msgLen, g.zkTail
 
 	// The row, mask, and codeword matrices are subslices of three arena
 	// checkouts, owned by the ProverState until Close. rowsBuf is zeroed
 	// (the pad region past data+ZK tail must be zero); the other two are
 	// fully overwritten before use.
-	zkTail := 0
-	if params.ZK {
-		zkTail = params.Code.Queries()
-	}
 	rowsBuf := arena.GetCtx(ctx, params.Rows*msgLen)
 	masksBuf := arena.GetUninitCtx(ctx, params.numMasks()*msgLen)
 	var encBuf []field.Element
@@ -285,26 +373,33 @@ func CommitCtx(ctx context.Context, params Params, vec []field.Element) (*Prover
 	all := make([][]field.Element, 0, total)
 	all = append(all, rows...)
 	all = append(all, masks...)
-	encLen := msgLen * params.Code.Blowup()
+	encLen := g.encLen
 	encBuf = arena.GetUninitCtx(ctx, total*encLen)
 	encoded := make([][]field.Element, total)
 	for r := range encoded {
 		encoded[r] = encBuf[r*encLen : (r+1)*encLen]
 	}
-	// Encode the first row serially to warm size-dependent caches
-	// (twiddle tables, expander graphs), then fan out: row encodes are
-	// independent (the parallel CPU baseline of §III). ForErrCtx contains
-	// worker faults — an encode panic becomes an error from Commit (and
-	// thus Prove) instead of killing the serving process — and stops
-	// dispatching rows once ctx is cancelled.
+	// On the solo path, encode the first row serially to warm
+	// size-dependent caches (twiddle tables, expander graphs) — safe to
+	// skip since the cache publication is atomic, but the warm avoids N
+	// workers redundantly computing the same table on first use. A shared
+	// batch plan has already warmed these, so it fans out immediately.
+	// Row encodes are independent (the parallel CPU baseline of §III).
+	// ForErrCtx contains worker faults — an encode panic becomes an error
+	// from Commit (and thus Prove) instead of killing the serving process
+	// — and stops dispatching rows once ctx is cancelled.
 	if err := faultinject.Check(fiCommitEncode); err != nil {
 		return nil, fmt.Errorf("pcs: row encode: %w", err)
 	}
-	if err := encodeInto(ctx, params.Code, encoded[0], all[0]); err != nil {
-		return nil, fmt.Errorf("pcs: row encode: %w", err)
+	first := 0
+	if warm {
+		if err := encodeInto(ctx, params.Code, encoded[0], all[0]); err != nil {
+			return nil, fmt.Errorf("pcs: row encode: %w", err)
+		}
+		first = 1
 	}
-	if err := par.ForErrCtx(ctx, total-1, func(lo, hi int) error {
-		for r := lo + 1; r < hi+1; r++ {
+	if err := par.ForErrCtx(ctx, total-first, func(lo, hi int) error {
+		for r := lo + first; r < hi+first; r++ {
 			if err := encodeInto(ctx, params.Code, encoded[r], all[r]); err != nil {
 				return err
 			}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nocap"
+)
+
+// batchJobsConfig is jobsConfig with the batch planner on and ZK off,
+// so proofs are deterministic and batched output can be byte-compared
+// against the solo path.
+func batchJobsConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := jobsConfig(t)
+	params := nocap.TestParams()
+	params.PCS.ZK = false
+	cfg.Params = params
+	cfg.JobBatchWindow = time.Second
+	cfg.JobBatchMax = 4
+	return cfg
+}
+
+// TestJobsBatchedByteIdenticalToSolo drives the REAL prover through the
+// batch planner end to end: a lone job proves solo (singleton groups
+// bypass BatchExec), then four same-key jobs coalesce into one batched
+// attempt — and every member's proof is byte-identical to the solo
+// proof. The batch metrics appear on /metrics with the coalescing
+// accounted for.
+func TestJobsBatchedByteIdenticalToSolo(t *testing.T) {
+	_, base, _ := startServer(t, batchJobsConfig(t))
+	client := &http.Client{Timeout: time.Minute}
+	waitReady(t, client, base)
+
+	req := ProveRequest{Circuit: "synthetic", N: 64}
+
+	// Solo baseline through the same server: the singleton group times
+	// out alone and takes the solo Exec path.
+	soloID := submitJob(t, client, base, req)
+	solo := pollJob(t, client, base, soloID)
+	if solo.State != "done" {
+		t.Fatalf("solo job %s: state %s (err %q)", soloID, solo.State, solo.Error)
+	}
+	if solo.ProofB64 == "" {
+		t.Fatal("solo job returned no proof")
+	}
+
+	// Four same-key jobs inside one window: one batched attempt.
+	ids := make([]string, 4)
+	for i := range ids {
+		ids[i] = submitJob(t, client, base, req)
+	}
+	for _, id := range ids {
+		jr := pollJob(t, client, base, id)
+		if jr.State != "done" {
+			t.Fatalf("batched job %s: state %s (err %q code %q)", id, jr.State, jr.Error, jr.Code)
+		}
+		if jr.Attempts != 1 {
+			t.Errorf("batched job %s attempts %d, want 1", id, jr.Attempts)
+		}
+		if jr.ProofB64 != solo.ProofB64 {
+			t.Errorf("batched job %s proof differs from solo proof (%d vs %d b64 bytes)",
+				id, len(jr.ProofB64), len(solo.ProofB64))
+		}
+		if jr.Stats == nil {
+			t.Errorf("batched job %s carries no per-run stats", id)
+		}
+	}
+
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, metric := range []string{
+		"nocap_batches_total 1",
+		"nocap_batch_jobs_total 4",
+		"nocap_batch_amortized_saves_total 3",
+		"nocap_batch_size 4",
+	} {
+		if !strings.Contains(text, metric) {
+			t.Errorf("/metrics missing %q", metric)
+		}
+	}
+}

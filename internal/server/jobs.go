@@ -79,10 +79,23 @@ func (s *Server) openJobs() {
 	if exec == nil {
 		exec = s.proveExec
 	}
+	var batchKey func(jobs.Spec) (string, bool)
+	var batchExec jobs.BatchExec
+	var gateN jobs.GateN
+	if s.cfg.JobBatchWindow > 0 {
+		batchKey = s.jobBatchKey
+		batchExec = s.batchProveExec
+		gateN = s.jobGateN
+	}
 	mgr, err := jobs.Open(jobs.Config{
 		Dir:               s.cfg.DataDir,
 		Exec:              exec,
 		Gate:              s.jobGate,
+		GateN:             gateN,
+		BatchKey:          batchKey,
+		BatchExec:         batchExec,
+		BatchWindow:       s.cfg.JobBatchWindow,
+		BatchMax:          s.cfg.JobBatchMax,
 		Workers:           s.cfg.JobWorkers,
 		MaxPending:        s.cfg.JobMaxPending,
 		MaxAttempts:       s.cfg.JobMaxAttempts,
@@ -123,6 +136,17 @@ func (s *Server) jobsManager() (*jobs.Manager, error) {
 // completion or returns an error without having run it (the manager
 // re-queues and tries again).
 func (s *Server) jobGate(ctx context.Context, tenantID string, run func()) error {
+	return s.jobGateCost(ctx, tenantID, 1, run)
+}
+
+// jobGateN is the batch-aware gate: a coalesced batch of k jobs is
+// charged k against its tenant's DRR deficit, so batching amortizes
+// proving work without amortizing fairness accounting.
+func (s *Server) jobGateN(ctx context.Context, tenantID string, cost int, run func()) error {
+	return s.jobGateCost(ctx, tenantID, cost, run)
+}
+
+func (s *Server) jobGateCost(ctx context.Context, tenantID string, cost int, run func()) error {
 	select {
 	case <-s.quit:
 		// The worker pool is stopping; shed rather than enqueue an entry
@@ -131,12 +155,12 @@ func (s *Server) jobGate(ctx context.Context, tenantID string, run func()) error
 	default:
 	}
 	j := &job{run: run, done: make(chan struct{}), enqueued: time.Now()}
-	err := s.sched.Enqueue(tenantID, j, 1)
+	err := s.sched.Enqueue(tenantID, j, cost)
 	if errors.Is(err, tenant.ErrUnknownTenant) {
 		// A journaled tenant no longer configured (keyfile changed across
 		// a restart): the job still owes its attempt, run it on the
 		// default tenant's queue rather than stranding it.
-		err = s.sched.Enqueue(s.reg.Default().ID, j, 1)
+		err = s.sched.Enqueue(s.reg.Default().ID, j, cost)
 	}
 	if err != nil {
 		return jobs.ErrQueueFull
@@ -215,6 +239,15 @@ func (s *Server) runProve(ctx context.Context, params nocap.Params, bm *nocap.Be
 // and makes progress (with one worker no follower can exist — the
 // single worker is the leader).
 func (s *Server) cachedProveExec(ctx context.Context, req ProveRequest, params nocap.Params, bm *nocap.Benchmark) (jobs.Result, error) {
+	return s.cachedProve(ctx, req, params, bm, func(ctx context.Context) ([]byte, json.RawMessage, error) {
+		return s.runProve(ctx, params, bm)
+	})
+}
+
+// cachedProve is the cache/singleflight protocol shared by the solo and
+// batched executors; prove runs only when this call is the flight
+// leader.
+func (s *Server) cachedProve(ctx context.Context, req ProveRequest, params nocap.Params, bm *nocap.Benchmark, prove func(context.Context) ([]byte, json.RawMessage, error)) (jobs.Result, error) {
 	key := proveCacheKey(req.Circuit, params, bm)
 	acq := s.cache.Acquire(key)
 	switch {
@@ -233,7 +266,7 @@ func (s *Server) cachedProveExec(ctx context.Context, req ProveRequest, params n
 		}
 		return jobs.Result{Proof: data, Cached: true}, nil
 	}
-	data, statsRaw, err := s.runProve(ctx, params, bm)
+	data, statsRaw, err := prove(ctx)
 	if err != nil {
 		s.cache.Abort(key, err)
 		return jobs.Result{}, err
@@ -243,6 +276,117 @@ func (s *Server) cachedProveExec(ctx context.Context, req ProveRequest, params n
 		return jobs.Result{}, err
 	}
 	return jobs.Result{Proof: data, Stats: statsRaw}, nil
+}
+
+// jobBatchKey derives the coalescing key for a journaled ProveRequest:
+// jobs with the same circuit, size, and reps share every piece of plan
+// state (proving params and hash engine are server-wide), so they can
+// prove through one shared-structure plan. Requests that fail to decode
+// never batch; the solo path owns reporting that error.
+func (s *Server) jobBatchKey(spec jobs.Spec) (string, bool) {
+	var req ProveRequest
+	if err := json.Unmarshal(spec.Payload, &req); err != nil {
+		return "", false
+	}
+	return fmt.Sprintf("%s|%d|%d", req.Circuit, req.N, req.Reps), true
+}
+
+// batchProveExec proves a coalesced batch through one shared-structure
+// plan (DESIGN.md §15). The once-per-batch work — circuit build, z
+// assembly, the SpMV products and satisfaction check, the instance
+// digest, the PCS geometry plan with warmed encoder/twiddle caches —
+// runs once under the plan's own collector and is charged back to the
+// members in exact proportional shares; each member then proves with
+// its own transcript, deadline, collector, and (with ZK) randomness, so
+// per-member proofs are byte-identical to solo proofs of the same
+// request. With the proof cache enabled the first member leads the
+// flight and its committed bytes serve the rest, exactly like the solo
+// cached path.
+func (s *Server) batchProveExec(ctx context.Context, members []jobs.BatchMember) []jobs.BatchOutcome {
+	outs := make([]jobs.BatchOutcome, len(members))
+	fail := func(err error) []jobs.BatchOutcome {
+		for i := range outs {
+			outs[i] = jobs.BatchOutcome{Err: err}
+		}
+		return outs
+	}
+	// Every member shares the batch key, so the first member's request
+	// describes the batch's statement; per-member timeouts still apply
+	// member by member.
+	var req ProveRequest
+	if err := json.Unmarshal(members[0].Spec.Payload, &req); err != nil {
+		return fail(zkerr.Usagef("jobs: decode journaled request: %v", err))
+	}
+	params, _, err := s.requestSetup(req.Circuit, req.N, req.Reps, req.TimeoutMS)
+	if err != nil {
+		return fail(err)
+	}
+	bm, params, err := buildFor(params, req.Circuit, req.N)
+	if err != nil {
+		return fail(err)
+	}
+	planCol := nocap.NewCollector()
+	plan, err := nocap.NewBatchPlanForCtx(planCol.Attach(ctx), params, bm)
+	if err != nil {
+		return fail(err)
+	}
+	shares := nocap.SplitProveStats(planCol.Stats(), len(members))
+	for i, mb := range members {
+		outs[i] = s.proveBatchMember(mb, params, bm, plan, shares[i])
+	}
+	return outs
+}
+
+// proveBatchMember proves one member of a batch against the shared
+// plan, honouring the member's own cancellation and request deadline.
+func (s *Server) proveBatchMember(mb jobs.BatchMember, params nocap.Params, bm *nocap.Benchmark, plan *nocap.BatchPlan, share nocap.ProveStats) jobs.BatchOutcome {
+	if err := mb.Ctx.Err(); err != nil {
+		return jobs.BatchOutcome{Err: err}
+	}
+	var req ProveRequest
+	if err := json.Unmarshal(mb.Spec.Payload, &req); err != nil {
+		return jobs.BatchOutcome{Err: zkerr.Usagef("jobs: decode journaled request: %v", err)}
+	}
+	_, timeout, err := s.requestSetup(req.Circuit, req.N, req.Reps, req.TimeoutMS)
+	if err != nil {
+		return jobs.BatchOutcome{Err: err}
+	}
+	ctx, cancel := context.WithTimeout(mb.Ctx, timeout)
+	defer cancel()
+	prove := func(ctx context.Context) ([]byte, json.RawMessage, error) {
+		return s.runBatchMember(ctx, plan, share)
+	}
+	if s.cache != nil {
+		res, err := s.cachedProve(ctx, req, params, bm, prove)
+		return jobs.BatchOutcome{Result: res, Err: err}
+	}
+	data, statsRaw, err := prove(ctx)
+	if err != nil {
+		return jobs.BatchOutcome{Err: err}
+	}
+	return jobs.BatchOutcome{Result: jobs.Result{Proof: data, Stats: statsRaw}}
+}
+
+// runBatchMember is runProve through the shared plan: the member's
+// proportional share of the plan's work is pre-credited to its
+// collector, so per-job stats stay conservative (the members' counters
+// sum to exactly the aggregate work the batch did).
+func (s *Server) runBatchMember(ctx context.Context, plan *nocap.BatchPlan, share nocap.ProveStats) ([]byte, json.RawMessage, error) {
+	col := nocap.NewCollector()
+	col.AddStats(share)
+	proof, err := plan.ProveMemberCtx(col.Attach(ctx))
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := nocap.MarshalProof(proof)
+	if err != nil {
+		return nil, nil, err
+	}
+	statsRaw, err := json.Marshal(statsJSON(col.Stats()))
+	if err != nil {
+		return nil, nil, zkerr.Internalf("jobs: marshal stats: %v", err)
+	}
+	return data, statsRaw, nil
 }
 
 // retryAfterJitter renders a Retry-After header value of at least min
@@ -531,6 +675,12 @@ func (s *Server) renderJobsMetrics(counter, gauge func(name, help string, v int6
 	gauge("nocap_jobs_journal_bytes", "journal size in bytes", m.JournalBytes)
 	gauge("nocap_jobs_snapshot_bytes", "size of the last compaction snapshot", m.SnapshotBytes)
 	gauge("nocap_jobs_breaker_state", "breaker state (0 closed, 1 open, 2 half-open)", int64(m.BreakerState))
+	if s.cfg.JobBatchWindow > 0 {
+		counter("nocap_batches_total", "batched proving attempts dispatched", m.Batches)
+		counter("nocap_batch_jobs_total", "jobs proved through batched attempts", m.BatchJobs)
+		counter("nocap_batch_amortized_saves_total", "jobs that skipped redundant shared-structure work because a batch-mate already did it", m.BatchAmortizedSaves)
+		gauge("nocap_batch_size", "size of the most recently dispatched batch", m.LastBatchSize)
+	}
 	degraded := int64(0)
 	if m.Degraded {
 		degraded = 1

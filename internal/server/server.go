@@ -126,6 +126,13 @@ type Config struct {
 	// JobsExec overrides the proving executor for async jobs (test hook;
 	// nil means the real ProveCtx pipeline).
 	JobsExec jobs.Exec
+	// JobBatchWindow enables the batch planner (DESIGN.md §15): queued
+	// jobs for the same tenant with the same (circuit, n, reps) key that
+	// arrive within this window coalesce into one batched attempt proved
+	// through a shared-structure plan. Zero disables batching.
+	// JobBatchMax caps the batch size (zero takes the jobs default, 8).
+	JobBatchWindow time.Duration
+	JobBatchMax    int
 }
 
 // Normalize fills zero fields with defaults.

@@ -24,6 +24,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"nocap/internal/arena"
 	"nocap/internal/faultinject"
@@ -208,12 +209,8 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	if params.Reps < 1 {
-		return nil, errors.New("spartan: Reps must be ≥ 1")
-	}
-	half := inst.NumVars() / 2
-	if len(witness) != half {
-		return nil, fmt.Errorf("spartan: witness length %d, want %d", len(witness), half)
+	if err := validateStatement(params, inst, witness); err != nil {
+		return nil, err
 	}
 	if err := checkpoint(ctx, fiProveAssemble); err != nil {
 		return nil, err
@@ -221,10 +218,6 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	z := arena.GetUninitCtx(ctx, inst.NumVars())
 	defer arena.Put(z)
 	inst.AssembleZInto(z, io, witness)
-
-	eng := params.PCS.Engine()
-	tr := transcript.NewEngine("spartan-orion", eng)
-	bindStatement(tr, eng, inst, io, params)
 
 	// SpMV: the three sparse matrix-vector products (paper §V-A),
 	// computed once into arena scratch and reused both for the witness
@@ -245,22 +238,180 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 		defer arena.Put(az)
 		defer arena.Put(bz)
 		defer arena.Put(cz)
-		for _, p := range []struct {
-			mat *r1cs.SparseMatrix
-			dst []field.Element
-		}{{inst.A, az}, {inst.B, bz}, {inst.C, cz}} {
-			if err := p.mat.MulIntoCtx(ctx, p.dst, z); err != nil {
-				return nil, fmt.Errorf("spartan: spmv: %w", err)
-			}
-		}
-		for i := range az {
-			if field.Mul(az[i], bz[i]) != cz[i] {
-				return nil, fmt.Errorf("spartan: witness does not satisfy constraint %d", i)
-			}
+		if err := spmvAndCheck(ctx, inst, z, az, bz, cz); err != nil {
+			return nil, err
 		}
 	} else if ok, i := inst.Satisfied(z); !ok {
 		return nil, fmt.Errorf("spartan: witness does not satisfy constraint %d", i)
 	}
+	return proveCore(ctx, params, inst, io, witness, z, az, bz, cz, nil)
+}
+
+// validateStatement checks the shape invariants shared by the solo and
+// batched prover entry points.
+func validateStatement(params Params, inst *r1cs.Instance, witness []field.Element) error {
+	if params.Reps < 1 {
+		return errors.New("spartan: Reps must be ≥ 1")
+	}
+	if half := inst.NumVars() / 2; len(witness) != half {
+		return fmt.Errorf("spartan: witness length %d, want %d", len(witness), half)
+	}
+	return nil
+}
+
+// spmvAndCheck fills az/bz/cz with the three sparse products and checks
+// witness satisfaction directly on them.
+func spmvAndCheck(ctx context.Context, inst *r1cs.Instance, z, az, bz, cz []field.Element) error {
+	for _, p := range []struct {
+		mat *r1cs.SparseMatrix
+		dst []field.Element
+	}{{inst.A, az}, {inst.B, bz}, {inst.C, cz}} {
+		if err := p.mat.MulIntoCtx(ctx, p.dst, z); err != nil {
+			return fmt.Errorf("spartan: spmv: %w", err)
+		}
+	}
+	for i := range az {
+		if field.Mul(az[i], bz[i]) != cz[i] {
+			return fmt.Errorf("spartan: witness does not satisfy constraint %d", i)
+		}
+	}
+	return nil
+}
+
+// Shared is a batch-scoped shared-structure plan (DESIGN.md §15): every
+// statement-level input the prover needs that does not depend on the
+// member's transcript or commitment randomness, computed once and
+// reused by each member of a batch proving the same statement. That
+// covers the assembled z vector, the three SpMV products and the
+// satisfaction check, the warmed instance digest (the transcript's
+// first absorb), the PCS geometry plan with its warmed encoder caches,
+// and a sumcheck scratch pool the members' in-place DP folds cycle
+// through. Per-member transcripts, ZK randomness, and proof bytes are
+// untouched: a proof produced through the plan is byte-identical to
+// what solo ProveCtx would emit for the same statement.
+//
+// Members run through the plan one at a time (an internal mutex
+// serializes ProveCtx calls; the scratch pool is single-flight).
+type Shared struct {
+	mu      sync.Mutex
+	params  Params
+	inst    *r1cs.Instance
+	io      []field.Element
+	witness []field.Element
+	z       []field.Element
+	// az/bz/cz are nil when params.Recompute is set (products are
+	// re-derived on demand from z during the outer sumcheck).
+	az, bz, cz []field.Element
+	pcsShared  *pcs.Shared
+	scratch    *sumcheck.Scratch
+}
+
+// NewSharedCtx builds the shared-structure plan for one statement:
+// validates shapes, assembles z, runs the SpMV products and the
+// satisfaction check once, warms the instance digest under the batch's
+// hash engine, and fixes the PCS geometry (warming its size-dependent
+// encoder caches). Plan buffers are plain allocations, not arena
+// checkouts — the plan outlives any single member run, while arena
+// accounting is run-scoped.
+func NewSharedCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witness []field.Element) (sh *Shared, err error) {
+	defer zkerr.RecoverTo(&err, "spartan.NewShared")
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := validateStatement(params, inst, witness); err != nil {
+		return nil, err
+	}
+	if err := checkpoint(ctx, fiProveAssemble); err != nil {
+		return nil, err
+	}
+	z := make([]field.Element, inst.NumVars())
+	inst.AssembleZInto(z, io, witness)
+
+	// Warm the memoized instance digest under the batch's engine: the
+	// first DigestEngine call hashes the whole matrix structure
+	// (milliseconds at serving sizes); members then bind it from the
+	// memo in nanoseconds.
+	eng := params.PCS.Engine()
+	inst.DigestEngine(eng)
+
+	if err := checkpoint(ctx, fiProveSpMV); err != nil {
+		return nil, err
+	}
+	numCons := inst.NumConstraints()
+	var az, bz, cz []field.Element
+	if !params.Recompute {
+		az = make([]field.Element, numCons)
+		bz = make([]field.Element, numCons)
+		cz = make([]field.Element, numCons)
+		if err := spmvAndCheck(ctx, inst, z, az, bz, cz); err != nil {
+			return nil, err
+		}
+	} else if ok, i := inst.Satisfied(z); !ok {
+		return nil, fmt.Errorf("spartan: witness does not satisfy constraint %d", i)
+	}
+
+	ps, err := pcs.NewSharedCtx(ctx, params.effective(len(witness)), len(witness))
+	if err != nil {
+		return nil, fmt.Errorf("spartan: shared commit plan: %w", err)
+	}
+	return &Shared{
+		params:    params,
+		inst:      inst,
+		io:        append([]field.Element(nil), io...),
+		witness:   append([]field.Element(nil), witness...),
+		z:         z,
+		az:        az,
+		bz:        bz,
+		cz:        cz,
+		pcsShared: ps,
+		scratch:   sumcheck.NewScratch(),
+	}, nil
+}
+
+// Params returns the parameters the plan was built for.
+func (sh *Shared) Params() Params { return sh.params }
+
+// ProveCtx proves the plan's statement as one batch member: the
+// precomputed z/az/bz/cz are reused (copied into scratch where the
+// sumcheck folds in place), the commitment goes through the shared PCS
+// geometry, and the transcript binds the memoized instance digest. The
+// proof is byte-identical to solo ProveCtx for the same statement, and
+// every per-stage checkpoint (cancellation + fault injection) still
+// fires, so one member's cancellation or injected fault is contained to
+// that member.
+func (sh *Shared) ProveCtx(ctx context.Context) (proof *Proof, err error) {
+	defer zkerr.RecoverTo(&err, "spartan.Prove")
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	// The assemble and SpMV stages ran at plan time; keep their
+	// checkpoints so cancellation and chaos faults behave as on the solo
+	// path.
+	if err := checkpoint(ctx, fiProveAssemble); err != nil {
+		return nil, err
+	}
+	if err := checkpoint(ctx, fiProveSpMV); err != nil {
+		return nil, err
+	}
+	return proveCore(ctx, sh.params, sh.inst, sh.io, sh.witness, sh.z, sh.az, sh.bz, sh.cz, sh)
+}
+
+// proveCore is the transcript-facing body shared by the solo and
+// batched provers: commit, the per-repetition outer/inner sumchecks,
+// and the shared Orion opening. z is the assembled variable vector;
+// az/bz/cz are the SpMV products (nil in Recompute mode). When sh is
+// non-nil the commitment uses the plan's precomputed PCS geometry and
+// the repetition DP arrays cycle through the plan's scratch pool
+// instead of arena checkouts; the transcript sequence is identical
+// either way, so proof bytes do not depend on which path ran.
+func proveCore(ctx context.Context, params Params, inst *r1cs.Instance, io, witness, z, az, bz, cz []field.Element, sh *Shared) (proof *Proof, err error) {
+	eng := params.PCS.Engine()
+	tr := transcript.NewEngine("spartan-orion", eng)
+	bindStatement(tr, eng, inst, io, params)
+
+	numCons := inst.NumConstraints()
 	rowDot := func(mat *r1cs.SparseMatrix, i int) field.Element {
 		var acc field.Element
 		for _, e := range mat.Rows[i] {
@@ -273,8 +424,12 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 	if err := checkpoint(ctx, fiProveCommit); err != nil {
 		return nil, err
 	}
-	pcsParams := params.effective(half)
-	st, err := pcs.CommitCtx(ctx, pcsParams, witness)
+	var st *pcs.ProverState
+	if sh != nil {
+		st, err = pcs.CommitSharedCtx(ctx, sh.pcsShared, witness)
+	} else {
+		st, err = pcs.CommitCtx(ctx, params.effective(len(witness)), witness)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("spartan: commit: %w", err)
 	}
@@ -318,14 +473,24 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 			} else {
 				// The sumcheck folds its arrays in place, so eq(τ,·)
 				// expands straight into scratch and az/bz/cz are copied.
-				eqTau := arena.GetUninitCtx(ctx, 1<<logM)
-				azc := arena.GetUninitCtx(ctx, numCons)
-				bzc := arena.GetUninitCtx(ctx, numCons)
-				czc := arena.GetUninitCtx(ctx, numCons)
-				defer arena.Put(eqTau)
-				defer arena.Put(azc)
-				defer arena.Put(bzc)
-				defer arena.Put(czc)
+				// Batch members draw the copies from the plan's scratch
+				// pool; solo runs check them out of the arena.
+				var eqTau, azc, bzc, czc []field.Element
+				if sh != nil {
+					eqTau = sh.scratch.Buf(0, 1<<logM)
+					azc = sh.scratch.Buf(1, numCons)
+					bzc = sh.scratch.Buf(2, numCons)
+					czc = sh.scratch.Buf(3, numCons)
+				} else {
+					eqTau = arena.GetUninitCtx(ctx, 1<<logM)
+					azc = arena.GetUninitCtx(ctx, numCons)
+					bzc = arena.GetUninitCtx(ctx, numCons)
+					czc = arena.GetUninitCtx(ctx, numCons)
+					defer arena.Put(eqTau)
+					defer arena.Put(azc)
+					defer arena.Put(bzc)
+					defer arena.Put(czc)
+				}
 				poly.EqTableIntoCtx(ctx, eqTau, tau)
 				copy(azc, az)
 				copy(bzc, bz)
@@ -350,13 +515,20 @@ func ProveCtx(ctx context.Context, params Params, inst *r1cs.Instance, io, witne
 			if err := checkpoint(ctx, fiProveInner); err != nil {
 				return RepProof{}, nil, err
 			}
-			eqRx := arena.GetUninitCtx(ctx, 1<<len(rx))
-			defer arena.Put(eqRx)
+			var eqRx, my, zc []field.Element
+			if sh != nil {
+				eqRx = sh.scratch.Buf(4, 1<<len(rx))
+				my = sh.scratch.Zeroed(5, inst.NumVars())
+				zc = sh.scratch.Buf(6, len(z))
+			} else {
+				eqRx = arena.GetUninitCtx(ctx, 1<<len(rx))
+				defer arena.Put(eqRx)
+				my = arena.GetCtx(ctx, inst.NumVars())
+				defer arena.Put(my)
+				zc = arena.GetUninitCtx(ctx, len(z))
+				defer arena.Put(zc)
+			}
 			poly.EqTableIntoCtx(ctx, eqRx, rx)
-			my := arena.GetCtx(ctx, inst.NumVars())
-			defer arena.Put(my)
-			zc := arena.GetUninitCtx(ctx, len(z))
-			defer arena.Put(zc)
 			copy(zc, z)
 			for _, p := range []struct {
 				mat   *r1cs.SparseMatrix

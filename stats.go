@@ -112,3 +112,30 @@ func (c *Collector) Attach(ctx context.Context) context.Context {
 func (c *Collector) Stats() ProveStats {
 	return ProveStats{Stages: c.kc.Snapshot(), Arena: c.ac.Snapshot()}
 }
+
+// AddStats credits a whole ProveStats delta to the collector without
+// touching the process aggregate. Batched proving uses it to hand each
+// member its proportional share of the shared plan's work (which was
+// recorded once, under the plan's own collector, and already credited
+// to the aggregate as it ran); crediting the shares through the normal
+// span path would double-count them in the aggregate.
+func (c *Collector) AddStats(s ProveStats) {
+	c.kc.AddStats(s.Stages)
+	c.ac.AddStats(s.Arena)
+}
+
+// SplitProveStats partitions total into k shares that sum back to total
+// exactly, counter for counter. Batch members are structurally
+// identical, so each member's proportional share of once-per-batch work
+// is an even split; integer remainders go to the lowest-indexed shares
+// so conservation (sum of per-run collectors == aggregate delta) holds
+// exactly rather than approximately.
+func SplitProveStats(total ProveStats, k int) []ProveStats {
+	ks := total.Stages.Split(k)
+	as := total.Arena.Split(k)
+	out := make([]ProveStats, len(ks))
+	for i := range out {
+		out[i] = ProveStats{Stages: ks[i], Arena: as[i]}
+	}
+	return out
+}

@@ -125,6 +125,104 @@ func TestConcurrentProveAttribution(t *testing.T) {
 	snap.Check(t)
 }
 
+// TestConcurrentProveAttributionBatched extends the attribution
+// acceptance test to the batched path (DESIGN.md §15): the shared plan
+// is built under its own collector, its stats are split exactly across
+// the member collectors (each job is credited its proportional share of
+// the shared work exactly once), and the members prove through the plan
+// under their own collectors. Conservation must still hold —
+// sum(member collectors) == aggregate delta, counter for counter — and
+// with ZK off every member proof must be byte-identical to the solo
+// proof of the same statement.
+func TestConcurrentProveAttributionBatched(t *testing.T) {
+	snap := leakcheck.Take()
+	params := nocap.TestParams()
+	params.PCS.ZK = false // deterministic proofs for the byte-identity check
+
+	const circuit, n = "synthetic", 1 << 10
+	bm := nocap.Synthetic(n)
+	soloProof, err := nocap.Prove(params, bm.Inst, bm.IO, bm.Witness)
+	if err != nil {
+		t.Fatal(err)
+	}
+	soloBytes, err := nocap.MarshalProof(soloProof)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const members = 4
+	before := nocap.ReadProveStats()
+
+	// Once-per-batch work runs under the plan's own collector…
+	planCol := nocap.NewCollector()
+	plan, err := nocap.NewBatchPlanCtx(planCol.Attach(context.Background()), params, circuit, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// …and is handed to the members in exact proportional shares, so the
+	// plan collector itself drops out of the conservation sum.
+	shares := nocap.SplitProveStats(planCol.Stats(), members)
+
+	cols := make([]*nocap.Collector, members)
+	proofs := make([][]byte, members)
+	var wg sync.WaitGroup
+	for i := 0; i < members; i++ {
+		cols[i] = nocap.NewCollector()
+		cols[i].AddStats(shares[i])
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := plan.ProveMemberCtx(cols[i].Attach(context.Background()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			b, err := nocap.MarshalProof(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			proofs[i] = b
+		}(i)
+	}
+	wg.Wait()
+	delta := nocap.ReadProveStats().Delta(before)
+
+	// Byte-identity: every member proof equals the solo proof.
+	for i, b := range proofs {
+		if string(b) != string(soloBytes) {
+			t.Errorf("member %d proof differs from solo proof (%d vs %d bytes)", i, len(b), len(soloBytes))
+		}
+	}
+
+	// Conservation: member collectors (shared shares included) partition
+	// the aggregate delta exactly.
+	sum := cols[0].Stats()
+	for i := 1; i < members; i++ {
+		sum = sum.Plus(cols[i].Stats())
+	}
+	if sum != delta {
+		t.Errorf("batched collectors don't partition the aggregate:\n sum:   %+v\n delta: %+v", sum, delta)
+	}
+
+	// Share exactness: the shares reassemble the plan's stats with no
+	// counter lost or invented.
+	reassembled := shares[0]
+	for i := 1; i < members; i++ {
+		reassembled = reassembled.Plus(shares[i])
+	}
+	if reassembled != planCol.Stats() {
+		t.Errorf("split shares don't reassemble the plan stats:\n sum:  %+v\n plan: %+v", reassembled, planCol.Stats())
+	}
+
+	// Hygiene: no member leaked scratch, and the members' collective
+	// arena balance (plan share included) is clean.
+	if sum.Arena.Outstanding != 0 || sum.Arena.OutstandingElems != 0 {
+		t.Errorf("batched runs leaked arena scratch: %+v", sum.Arena)
+	}
+	snap.Check(t)
+}
+
 // TestConcurrentProveAttributionHammer races many collector-attributed
 // proves (the serving layer's steady state) and checks conservation:
 // all per-run stats sum to the global delta, every run matches the solo
