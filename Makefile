@@ -11,7 +11,7 @@ FUZZ_TARGETS = \
 	./internal/jobs:FuzzDecodeRecord \
 	./internal/hashfn:FuzzEngineParity
 
-.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json hash-bench fuzz-smoke corpus serve-smoke stats-race jobs-chaos disk-chaos tenants-soak batch-soak ci
+.PHONY: all build test vet staticcheck race chaos bench-smoke bench-json hash-bench fuzz-smoke corpus serve-smoke stats-race jobs-chaos disk-chaos tenants-soak batch-soak cluster-chaos ci
 
 all: build test
 
@@ -56,6 +56,7 @@ bench-smoke:
 bench-json:
 	$(GO) test -run TestProveBenchJSON -benchjson BENCH_prove.json .
 	$(GO) test -run TestBatchBenchJSON -batchbench BENCH_batch.json .
+	$(GO) test -run TestClusterBenchJSON -clusterbench BENCH_cluster.json .
 
 # Per-engine Merkle-kernel measurements: one BENCH_hash_<engine>.json per
 # registered hash engine (logN 10/12/14, throughput, speedup vs sha3).
@@ -126,4 +127,18 @@ tenants-soak:
 batch-soak:
 	$(GO) run -race ./cmd/nocap-loadgen -batch -requests 48 -clients 8 -n 256 -workers 4 -queue 4
 
-ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos disk-chaos tenants-soak batch-soak
+# Distributed-proving chaos matrix under the race detector (DESIGN.md
+# §16): the cluster package's lease/health/fairness/locality unit tests
+# and kill-mid-proof / mid-batch / mid-result-upload chaos cells, the
+# jobs manager's lease-loss refund semantics, the server's end-to-end
+# cluster suite (including a real SIGKILLed worker subprocess), and the
+# loadgen's coordinator soak with a mid-run node kill — asserting
+# exactly-one-terminal-state, refunded attempts, zero client 5xx, and
+# zero goroutine leaks throughout.
+cluster-chaos:
+	$(GO) test -race ./internal/cluster
+	$(GO) test -race -run 'TestLeaseLost' ./internal/jobs
+	$(GO) test -race -run 'TestClusterServer' ./internal/server
+	$(GO) run -race ./cmd/nocap-loadgen -cluster -requests 32 -clients 8 -n 256
+
+ci: vet staticcheck build test race chaos bench-smoke fuzz-smoke stats-race serve-smoke jobs-chaos disk-chaos tenants-soak batch-soak cluster-chaos

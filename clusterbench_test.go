@@ -1,0 +1,245 @@
+package nocap_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"nocap"
+	"nocap/internal/cluster"
+	"nocap/internal/jobs"
+	"nocap/internal/server"
+)
+
+// clusterBenchJSON names the file TestClusterBenchJSON writes
+// distributed-proving throughput measurements to, e.g.
+//
+//	go test -run TestClusterBenchJSON -clusterbench BENCH_cluster.json
+//
+// Without the flag the test is skipped, so the ordinary suite stays fast.
+var clusterBenchJSON = flag.String("clusterbench", "", "write distributed-proving throughput results to this JSON file")
+
+// clusterBenchEntry is one (logN, worker count) configuration: per-job
+// wall time through the full coordinator path (HTTP submit → lease
+// dispatch → worker prove → completion → poll) and the throughput
+// scaling against the single-worker baseline at the same logN.
+type clusterBenchEntry struct {
+	Name       string  `json:"name"`
+	LogN       int     `json:"log_n"`
+	Workers    int     `json:"workers"`
+	Jobs       int     `json:"jobs"`
+	NsPerJob   int64   `json:"ns_per_job"`
+	JobsPerSec float64 `json:"jobs_per_sec"`
+	Scaling    float64 `json:"scaling_vs_1_worker"`
+}
+
+// TestClusterBenchJSON measures end-to-end distributed proving
+// (DESIGN.md §16) and emits BENCH_cluster.json for CI trend tracking.
+// Each cell boots a fresh coordinator (local fallback off) plus N
+// in-process worker nodes proving with the real prover, submits a
+// burst of async jobs over HTTP, and divides the wall time to the last
+// completion by the job count. The in-process nodes share one machine,
+// so the scaling column reports how much of the fan-out survives the
+// coordinator's dispatch/heartbeat/completion overhead rather than
+// cross-machine speedup — regressions in the lease plumbing show up
+// here as a scaling collapse.
+func TestClusterBenchJSON(t *testing.T) {
+	if *clusterBenchJSON == "" {
+		t.Skip("-clusterbench not set")
+	}
+	params := nocap.DefaultParams()
+	params.Reps = 1
+	params.PCS.ZK = false
+	const jobsPerCell = 8
+	client := &http.Client{Timeout: 2 * time.Minute}
+	var entries []clusterBenchEntry
+	baseline := map[int]int64{} // logN → 1-worker ns/job
+	for _, workers := range []int{1, 2, 4} {
+		for _, logN := range []int{10, 12} {
+			n := 1 << uint(logN)
+			perJob := runClusterBenchCell(t, client, params, workers, n, jobsPerCell)
+			if workers == 1 {
+				baseline[logN] = perJob
+			}
+			scaling := 0.0
+			if b := baseline[logN]; b > 0 {
+				scaling = float64(b) / float64(perJob)
+			}
+			entries = append(entries, clusterBenchEntry{
+				Name:       "ClusterProve/synthetic",
+				LogN:       logN,
+				Workers:    workers,
+				Jobs:       jobsPerCell,
+				NsPerJob:   perJob,
+				JobsPerSec: 1e9 / float64(perJob),
+				Scaling:    scaling,
+			})
+			t.Logf("logN=%d workers=%d: %d ns/job (%.1f jobs/sec, %.2fx vs 1 worker)",
+				logN, workers, perJob, 1e9/float64(perJob), scaling)
+		}
+	}
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*clusterBenchJSON, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runClusterBenchCell boots one coordinator + worker fleet, runs one
+// warm-up job and then a timed burst, and returns ns per job.
+func runClusterBenchCell(t *testing.T, client *http.Client, params nocap.Params, workers, n, jobCount int) int64 {
+	t.Helper()
+	srv, err := server.New(server.Config{
+		Addr:            "127.0.0.1:0",
+		Workers:         4,
+		QueueDepth:      2 * jobCount,
+		MemoryBudgetMB:  8,
+		Params:          params,
+		DataDir:         t.TempDir(),
+		JobBackoffBase:  5 * time.Millisecond,
+		JobBackoffMax:   50 * time.Millisecond,
+		ClusterEnabled:  true,
+		ClusterLeaseTTL: 3 * time.Second,
+		ClusterSeed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bound, err := srv.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	base := "http://" + bound.String()
+
+	prover := cluster.NewProver(cluster.ProverConfig{Params: params, Timeout: time.Minute})
+	fleet := make([]*cluster.Worker, workers)
+	for i := range fleet {
+		w, werr := cluster.NewWorker(cluster.WorkerConfig{
+			Coordinator: base,
+			ID:          fmt.Sprintf("bench-w%d", i),
+			Slots:       1,
+			PollWait:    200 * time.Millisecond,
+			RetryBase:   5 * time.Millisecond,
+			Exec:        prover.Exec,
+			BatchExec:   prover.BatchExec,
+			Seed:        int64(100 + i),
+		})
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		w.Start()
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			if err := w.Stop(ctx); err != nil {
+				t.Fatal(err)
+			}
+		}()
+	}
+
+	submit := func() string {
+		body, _ := json.Marshal(server.ProveRequest{Circuit: "synthetic", N: n})
+		resp, err := client.Post(base+"/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("submit: status %d: %.200s", resp.StatusCode, data)
+		}
+		var jr server.JobResponse
+		if err := json.Unmarshal(data, &jr); err != nil || jr.ID == "" {
+			t.Fatalf("submit: %v (%.200s)", err, data)
+		}
+		return jr.ID
+	}
+	await := func(id string) {
+		deadline := time.Now().Add(2 * time.Minute)
+		for {
+			resp, err := client.Get(base + "/jobs/" + id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			var jr server.JobResponse
+			if err := json.Unmarshal(data, &jr); err != nil {
+				t.Fatalf("poll %s: %v", id, err)
+			}
+			if jobs.State(jr.State).Terminal() {
+				if jr.State != string(jobs.StateDone) {
+					t.Fatalf("job %s ended %q (code %q)", id, jr.State, jr.Code)
+				}
+				return
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("job %s still %q", id, jr.State)
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+
+	// Submissions 503 until journal recovery finishes and at least one
+	// node's first poll has registered it; wait for the whole fleet so
+	// the timed burst measures the intended worker count.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ready := false
+		if resp, err := client.Get(base + "/readyz"); err == nil {
+			ready = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		live := 0
+		if resp, err := client.Get(base + "/healthz"); err == nil {
+			var body struct {
+				Cluster struct {
+					LiveNodes int `json:"live_nodes"`
+				} `json:"cluster"`
+			}
+			data, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if json.Unmarshal(data, &body) == nil {
+				live = body.Cluster.LiveNodes
+			}
+		}
+		if ready && live >= workers {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("cell never came up (ready=%v, %d/%d nodes live)", ready, live, workers)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Warm-up: caches, twiddles, and the dispatch path end to end.
+	await(submit())
+
+	start := time.Now()
+	ids := make([]string, jobCount)
+	for i := range ids {
+		ids[i] = submit()
+	}
+	for _, id := range ids {
+		await(id)
+	}
+	return time.Since(start).Nanoseconds() / int64(jobCount)
+}

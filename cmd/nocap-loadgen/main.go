@@ -33,6 +33,17 @@
 // fairness regression — on top of the journal, leak, and arena
 // invariants.
 //
+// With -cluster (in-process only) the server runs as a cluster
+// coordinator (DESIGN.md §16) with local fallback off, a short lease
+// TTL, and two in-process worker nodes proving with the real prover.
+// Two equal-weight keyed tenants drive async jobs through the worker
+// plane; mid-run, worker w0 is Kill()ed while holding a lease — node
+// death, no goodbye — and a replacement node joins. The lease must
+// expire and the parked attempt reassign with its budget refunded,
+// clients must never see a 5xx, neither tenant may be shed or
+// starved, and the usual journal, leak, and arena invariants close
+// the run.
+//
 // Usage:
 //
 //	nocap-loadgen                          # in-process smoke, 8 clients, 15s cap
@@ -40,6 +51,7 @@
 //	nocap-loadgen -addr 127.0.0.1:8080 -duration 30s
 //	nocap-loadgen -jobs -requests 40       # async-jobs + crash-recovery smoke
 //	nocap-loadgen -batch -requests 48      # batched-proving byte-identity + fairness soak
+//	nocap-loadgen -cluster -requests 32    # distributed proving + node-death soak
 package main
 
 import (
@@ -57,9 +69,11 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nocap"
+	"nocap/internal/cluster"
 	"nocap/internal/faultinject"
 	"nocap/internal/jobs"
 	"nocap/internal/leakcheck"
@@ -478,8 +492,15 @@ func run() (failed bool, err error) {
 	tenants := flag.Int("tenants", 0, "multi-tenant fairness mode (in-process only): N keyed tenants, tenant t0 weighted 4x")
 	skew := flag.String("skew", "zipf", "-tenants traffic skew: zipf (t0-heavy) or uniform")
 	batchMode := flag.Bool("batch", false, "batched-proving soak (in-process only): coalesced async jobs must prove byte-identical to solo with no cross-tenant fairness regression")
+	clusterMode := flag.Bool("cluster", false, "distributed-proving soak (in-process only): coordinator + worker nodes with a mid-run node kill; no client may see a 5xx")
 	flag.Parse()
 
+	if *clusterMode {
+		if *addr != "" {
+			return true, fmt.Errorf("-cluster mode is in-process only; drop -addr")
+		}
+		return runClusterSoak(*clients, *requests, *duration, *n, *workers, *queue)
+	}
 	if *batchMode {
 		if *addr != "" {
 			return true, fmt.Errorf("-batch mode is in-process only; drop -addr")
@@ -1211,6 +1232,351 @@ func runBatchSoak(clients, requests int, duration time.Duration, n, workers, que
 	}
 	if !failed {
 		fmt.Printf("nocap-loadgen: batch run clean (byte-identical proofs, fairness intact)\n")
+	}
+	return failed, nil
+}
+
+// runClusterSoak is the -cluster mode: the in-process server runs as a
+// cluster coordinator (DESIGN.md §16) with local fallback OFF and a
+// short lease TTL, and two in-process worker nodes prove with the real
+// prover over the h2c worker plane. Two equal-weight keyed tenants
+// drive async jobs end to end; mid-run, worker w0 is Kill()ed while it
+// provably holds a lease (its exec is trapped first), and a
+// replacement node joins. The soak asserts:
+//
+//   - zero 5xx ever reaches a client — every submit is a 202 (or a
+//     typed 429 shed) and every poll a 200; the node death is absorbed
+//     entirely by lease expiry + reassignment,
+//   - the parked attempt is refunded and re-proved (lease-expiry and
+//     reassign counters move; local fallback stays at zero),
+//   - neither tenant is shed queue-full or leaves stranded work, and
+//     their mean queue waits do not diverge under equal load,
+//   - the drained journal holds at most one terminal record per job,
+//   - zero leaked goroutines and a balanced arena.
+func runClusterSoak(clients, requests int, duration time.Duration, n, workers, queue int) (failed bool, err error) {
+	snap := leakcheck.Take()
+	arenaBefore := nocap.ReadProveStats().Arena
+	dir, err := os.MkdirTemp("", "nocap-loadgen-cluster-")
+	if err != nil {
+		return true, err
+	}
+	defer os.RemoveAll(dir)
+
+	const leaseTTL = 500 * time.Millisecond
+	params := nocap.TestParams()
+	keys := []string{"key-t0", "key-t1"}
+	cfgs := []tenant.Config{
+		{ID: "t0", Key: keys[0], Weight: 1, QueueDepth: clients + queue},
+		{ID: "t1", Key: keys[1], Weight: 1, QueueDepth: clients + queue},
+	}
+	srv, err := server.New(server.Config{
+		Addr:                 "127.0.0.1:0",
+		Workers:              workers,
+		QueueDepth:           queue,
+		MemoryBudgetMB:       8,
+		Params:               params,
+		Tenants:              cfgs,
+		DataDir:              dir,
+		JobBackoffBase:       5 * time.Millisecond,
+		JobBackoffMax:        50 * time.Millisecond,
+		ClusterEnabled:       true,
+		ClusterLeaseTTL:      leaseTTL,
+		ClusterLocalFallback: false,
+		ClusterSeed:          1,
+	})
+	if err != nil {
+		return true, err
+	}
+	bound, err := srv.Listen()
+	if err != nil {
+		return true, err
+	}
+	go srv.Serve()
+	base := "http://" + bound.String()
+	if err := waitReady(base, 10*time.Second); err != nil {
+		return true, err
+	}
+	fmt.Printf("nocap-loadgen: in-process cluster coordinator on %s (lease TTL %v, no local fallback, journal in %s)\n",
+		bound, leaseTTL, dir)
+
+	// The nodes prove with the real prover — the same Params the
+	// coordinator would use in-process, fitted per circuit.
+	prover := cluster.NewProver(cluster.ProverConfig{Params: params, Timeout: time.Minute})
+
+	// w0's exec can be "trapped": once armed, its next assignment parks
+	// until the node dies. That pins a lease on w0 at kill time, so the
+	// death deterministically exercises expiry + reassignment instead of
+	// racing the prover.
+	var trap atomic.Bool
+	var trapOnce sync.Once
+	trapped := make(chan struct{})
+	trapExec := func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+		if trap.Load() {
+			trapOnce.Do(func() { close(trapped) })
+			<-ctx.Done()
+			return jobs.Result{}, ctx.Err()
+		}
+		return prover.Exec(ctx, spec)
+	}
+	startWorker := func(id string, exec jobs.Exec, seed int64) (*cluster.Worker, error) {
+		w, werr := cluster.NewWorker(cluster.WorkerConfig{
+			Coordinator: base,
+			ID:          id,
+			Slots:       2,
+			PollWait:    200 * time.Millisecond,
+			RetryBase:   5 * time.Millisecond,
+			Exec:        exec,
+			BatchExec:   prover.BatchExec,
+			Seed:        seed,
+		})
+		if werr != nil {
+			return nil, werr
+		}
+		w.Start()
+		return w, nil
+	}
+	w0, err := startWorker("w0", trapExec, 21)
+	if err != nil {
+		return true, err
+	}
+	w1, err := startWorker("w1", prover.Exec, 22)
+	if err != nil {
+		return true, err
+	}
+
+	h := &harness{
+		base:     base,
+		client:   &http.Client{Timeout: 2 * time.Minute},
+		n:        n,
+		outcomes: make(map[string]*outcome),
+	}
+
+	// A node only exists once its first poll lands; traffic before that
+	// would be shed no_workers. Gate each phase on the health table.
+	waitLive := func(want int) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			resp, data, gerr := h.get("/healthz")
+			if gerr == nil && resp.StatusCode == http.StatusOK {
+				var body struct {
+					Cluster struct {
+						LiveNodes int `json:"live_nodes"`
+					} `json:"cluster"`
+				}
+				if json.Unmarshal(data, &body) == nil && body.Cluster.LiveNodes >= want {
+					return nil
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("cluster never reached %d live nodes", want)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if err := waitLive(2); err != nil {
+		return true, err
+	}
+
+	// Full submit→poll→done cycles as alternating tenants. Any non-202
+	// submit (beyond a typed 429 shed) and any non-200 poll is recorded
+	// as a violation — that is the zero-5xx assertion.
+	fireCluster := func(ti, nn int) {
+		kind := "cluster-" + cfgs[ti].ID
+		id, ok := h.submitJobAs(kind, nn, keys[ti])
+		if !ok {
+			return
+		}
+		info, perr := h.pollJobAs(id, time.Minute, keys[ti])
+		if perr != nil {
+			h.record(kind, false, true, perr.Error())
+			return
+		}
+		if info.State != string(jobs.StateDone) || info.ProofB64 == "" || info.Attempts < 1 {
+			h.record(kind, false, true, fmt.Sprintf("job %s ended %q (code %q), attempts %d",
+				id, info.State, info.Code, info.Attempts))
+			return
+		}
+		h.record(kind, false, false, "")
+	}
+	deadline := time.Now().Add(duration)
+	driveCluster := func(total int) {
+		var next int64
+		var mu sync.Mutex
+		take := func() (int, bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			if next >= int64(total) || time.Now().After(deadline) {
+				return 0, false
+			}
+			ti := int(next) % len(cfgs)
+			next++
+			return ti, true
+		}
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ti, ok := take()
+					if !ok {
+						return
+					}
+					fireCluster(ti, n)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	start := time.Now()
+	driveCluster(requests / 2)
+
+	// Node death. Arm the trap, then queue enough work that w0's free
+	// slots must pull an assignment; once it provably holds one, kill it
+	// without a goodbye and bring up a replacement. The parked jobs must
+	// still finish — through w1 or the replacement — after the lease
+	// expires and the attempt is refunded.
+	trap.Store(true)
+	var victims [][2]string // id, tenant key
+	for i := 0; i < 4; i++ {
+		ti := i % len(cfgs)
+		if id, ok := h.submitJobAs("cluster-kill", 4*n, keys[ti]); ok {
+			victims = append(victims, [2]string{id, keys[ti]})
+		}
+	}
+	select {
+	case <-trapped:
+	case <-time.After(15 * time.Second):
+		return true, fmt.Errorf("worker w0 never picked up a kill-window assignment")
+	}
+	w0.Kill()
+	fmt.Printf("nocap-loadgen: killed worker w0 holding a lease; starting replacement w0b\n")
+	w0b, err := startWorker("w0b", prover.Exec, 23)
+	if err != nil {
+		return true, err
+	}
+	if err := waitLive(2); err != nil { // w1 + w0b; w0 decays to dead
+		return true, err
+	}
+	for _, v := range victims {
+		id, key := v[0], v[1]
+		info, perr := h.pollJobAs(id, time.Minute, key)
+		switch {
+		case perr != nil:
+			h.record("cluster-kill", false, true, perr.Error())
+		case info.State != string(jobs.StateDone) || info.ProofB64 == "":
+			h.record("cluster-kill", false, true, fmt.Sprintf("job %s ended %q (code %q) after node death",
+				id, info.State, info.Code))
+		default:
+			h.record("cluster-kill", false, false, "")
+		}
+	}
+
+	// Second traffic phase over the reshaped fleet (w1 + w0b).
+	driveCluster(requests - requests/2)
+	elapsed := time.Since(start)
+
+	// The run only says something if the death was actually absorbed by
+	// the lease machinery — and never papered over by local fallback.
+	if resp, data, merr := h.get("/metrics"); merr != nil || resp.StatusCode != http.StatusOK {
+		h.record("cluster-metrics", false, true, fmt.Sprintf("metrics: %v", merr))
+	} else {
+		text := string(data)
+		expiries := metricValue(text, "nocap_cluster_lease_expiries_total")
+		reassigns := metricValue(text, "nocap_jobs_lease_reassigns_total")
+		fallbacks := metricValue(text, "nocap_cluster_local_fallbacks_total")
+		completions := metricValue(text, "nocap_cluster_completions_total")
+		switch {
+		case expiries < 1 || reassigns < 1:
+			h.record("cluster-metrics", false, true, fmt.Sprintf(
+				"node death left no trace (%d lease expiries, %d reassigns)", expiries, reassigns))
+		case fallbacks != 0:
+			h.record("cluster-metrics", false, true, fmt.Sprintf(
+				"%d local fallbacks with fallback disabled", fallbacks))
+		case completions < 1:
+			h.record("cluster-metrics", false, true, "no completions went through the worker plane")
+		default:
+			h.record("cluster-metrics", false, false, "")
+			fmt.Printf("nocap-loadgen: %d worker completions, %d lease expiries, %d attempt refunds, 0 local fallbacks\n",
+				completions, expiries, reassigns)
+		}
+	}
+
+	// Starvation-freedom, per tenant: under equal load every admitted
+	// job must have run to done. (Cluster attempts execute on worker
+	// nodes under the coordinator's stride scheduler, so the server's
+	// local DRR ledger below only carries work the cluster hands back.)
+	for ti := range cfgs {
+		kind := "cluster-" + cfgs[ti].ID
+		o := h.outcomes[kind]
+		if o == nil || o.ok == 0 || o.ok != o.sent {
+			failed = true
+			var okN, sent int64
+			if o != nil {
+				okN, sent = o.ok, o.sent
+			}
+			fmt.Printf("FAIL: tenant %s finished %d of %d cluster jobs: starved under equal load\n",
+				cfgs[ti].ID, okN, sent)
+		}
+	}
+
+	// Fairness over the scheduler's ledger: equal weights, equal load —
+	// distribution must not shed, strand, or skew either tenant.
+	stats := srv.TenantStats()
+	waits := make(map[string]time.Duration, len(stats))
+	for _, qs := range stats {
+		if qs.ID == "default" {
+			continue
+		}
+		w := meanWait(qs)
+		waits[qs.ID] = w
+		fmt.Printf("nocap-loadgen: tenant %s served %d (shed %d, mean wait %v)\n",
+			qs.ID, qs.Dequeued, qs.RejectedFull, w.Round(time.Microsecond))
+		if qs.RejectedFull != 0 {
+			failed = true
+			fmt.Printf("FAIL: tenant %s shed %d queue-full under equal load\n", qs.ID, qs.RejectedFull)
+		}
+		if qs.Dequeued != qs.Enqueued {
+			failed = true
+			fmt.Printf("FAIL: tenant %s admitted %d but served %d: distribution stranded work\n",
+				qs.ID, qs.Enqueued, qs.Dequeued)
+		}
+	}
+	if w0t, w1t := waits["t0"], waits["t1"]; w0t > 4*w1t+200*time.Millisecond || w1t > 4*w0t+200*time.Millisecond {
+		failed = true
+		fmt.Printf("FAIL: tenant queue waits diverged under equal load (t0 %v vs t1 %v)\n", w0t, w1t)
+	}
+
+	// Tear down the fleet before the leak check: live workers drain,
+	// the killed one just needs its goroutines reaped.
+	stopCtx, stopCancel := context.WithTimeout(context.Background(), 15*time.Second)
+	for _, w := range []*cluster.Worker{w1, w0b, w0} {
+		if serr := w.Stop(stopCtx); serr != nil {
+			failed = true
+			fmt.Printf("FAIL: worker stop: %v\n", serr)
+		}
+	}
+	stopCancel()
+	if err := drain(srv); err != nil {
+		return true, fmt.Errorf("drain: %w", err)
+	}
+
+	// Drained, the journal is the ledger: at most one terminal record
+	// per job, node death or not.
+	if msg := journalTerminalViolation(filepath.Join(dir, "journal.jsonl")); msg != "" {
+		h.record("journal", false, true, msg)
+	}
+
+	_, violations := report(h, clients, elapsed)
+	if checkProcessInvariants(snap, arenaBefore) {
+		failed = true
+	}
+	if violations > 0 {
+		failed = true
+	}
+	if !failed {
+		fmt.Printf("nocap-loadgen: cluster run clean (node death absorbed, zero 5xx, fairness intact)\n")
 	}
 	return failed, nil
 }

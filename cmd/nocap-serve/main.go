@@ -56,6 +56,15 @@
 // against the tenant's fairness account. /metrics grows nocap_batch_*
 // counters and the nocap_batch_size gauge.
 //
+// -cluster turns the server into a cluster coordinator (DESIGN.md
+// §16): async job attempts dispatch to nocap-worker nodes over
+// /cluster/* (unencrypted HTTP/2) with lease-based reassignment —
+// a worker that dies mid-proof forfeits its lease after -lease-ttl and
+// the attempt is refunded and re-dispatched. With zero live workers the
+// coordinator proves in-process (-local-fallback, default) or sheds new
+// jobs with a typed 503 {"code":"no_workers"} and an EWMA Retry-After.
+// -cluster-key authenticates the worker plane.
+//
 // On SIGINT/SIGTERM the server stops admitting (503), lets queued and
 // in-flight requests finish (cancelling them if -drain expires), then
 // exits. Exit codes follow the taxonomy (DESIGN.md §7): 0 clean, 2
@@ -106,6 +115,10 @@ func run() error {
 	cacheMB := flag.Int("cache-mb", 64, "content-addressed proof cache budget, MB (0 disables)")
 	batchWindow := flag.Duration("batch-window", 0, "coalesce same-key async jobs arriving within this window into one batched attempt (0 disables; requires -data-dir)")
 	batchMax := flag.Int("batch-max", 8, "max jobs per coalesced batch")
+	clusterMode := flag.Bool("cluster", false, "coordinator mode: dispatch async jobs to nocap-worker nodes over /cluster/* (requires -data-dir)")
+	leaseTTL := flag.Duration("lease-ttl", 3*time.Second, "cluster assignment lease TTL; a lease not heartbeat-renewed within it is reassigned")
+	localFallback := flag.Bool("local-fallback", true, "with zero live workers, prove in-process; false sheds new jobs with a typed 503 {\"code\":\"no_workers\"}")
+	clusterKey := flag.String("cluster-key", "", "shared secret workers must present as X-Cluster-Key (empty = open worker plane)")
 	flag.Parse()
 
 	if *workers < 1 {
@@ -142,6 +155,15 @@ func run() error {
 		}
 	} else if *jobWorkers > 0 || *jobPending > 0 || *jobAttempts > 0 || *breakerThreshold > 0 || *breakerCooldown > 0 || *journalMaxMB > 0 || *jobRetention > 0 || *batchWindow > 0 {
 		return zkerr.Usagef("job flags require -data-dir")
+	}
+	if *clusterMode && *dataDir == "" {
+		return zkerr.Usagef("-cluster requires -data-dir (the coordinator owns the job journal)")
+	}
+	if !*clusterMode && (*clusterKey != "" || !*localFallback) {
+		return zkerr.Usagef("-cluster-key and -local-fallback=false require -cluster")
+	}
+	if *leaseTTL <= 0 {
+		return zkerr.Usagef("-lease-ttl must be positive, got %v", *leaseTTL)
 	}
 
 	if *tenantWeight < 1 {
@@ -194,6 +216,11 @@ func run() error {
 		JobRetention:        *jobRetention,
 		JobBatchWindow:      *batchWindow,
 		JobBatchMax:         *batchMax,
+
+		ClusterEnabled:       *clusterMode,
+		ClusterKey:           *clusterKey,
+		ClusterLeaseTTL:      *leaseTTL,
+		ClusterLocalFallback: *localFallback,
 	})
 	if err != nil {
 		return zkerr.Usagef("tenant config: %v", err)
@@ -215,6 +242,9 @@ func run() error {
 		if *journalMaxMB > 0 {
 			log.Printf("nocap-serve: journal compaction at %d MB (retention %v)", *journalMaxMB, *jobRetention)
 		}
+	}
+	if *clusterMode {
+		log.Printf("nocap-serve: coordinator mode (lease TTL %v, local fallback %v); point nocap-worker at http://%s", *leaseTTL, *localFallback, bound)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

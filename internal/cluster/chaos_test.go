@@ -1,0 +1,394 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nocap/internal/faultinject"
+	"nocap/internal/jobs"
+	"nocap/internal/leakcheck"
+)
+
+// The chaos matrix (ISSUE: node-death chaos gates). Each cell kills a
+// worker at a different point of the attempt lifecycle and asserts the
+// full recovery contract through a real jobs.Manager wired to the
+// coordinator: exactly one terminal state, the attempt refunded (the
+// kill does not consume retry budget), member-scoped batch failure,
+// byte-identical proofs after reassignment, and zero goroutine leaks.
+// The in-process analogue of SIGKILL is Worker.Kill(): the worker
+// instantly stops polling, heartbeating, and completing, exactly like a
+// dead process; the subprocess SIGKILL variant lives in
+// internal/server's e2e test.
+
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func newChaosManager(t *testing.T, h *harness, batch bool) *jobs.Manager {
+	t.Helper()
+	cfg := jobs.Config{
+		Dir:         t.TempDir(),
+		Exec:        h.coord.Exec,
+		Workers:     4,
+		MaxAttempts: 2, // tight budget: a non-refunded kill would exhaust it
+		BackoffBase: 10 * time.Millisecond,
+		BackoffMax:  50 * time.Millisecond,
+		Seed:        1,
+		Logf:        t.Logf,
+	}
+	if batch {
+		cfg.BatchKey = func(jobs.Spec) (string, bool) { return "k", true }
+		cfg.BatchExec = h.coord.BatchExec
+		cfg.BatchWindow = 100 * time.Millisecond
+		cfg.BatchMax = 3
+	}
+	m, err := jobs.Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func closeManager(t *testing.T, m *jobs.Manager) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := m.Close(ctx); err != nil {
+		t.Errorf("manager close: %v", err)
+	}
+}
+
+// TestChaosKillMidProof: the worker dies while proving a solo job. The
+// lease expires, the attempt is refunded, a healthy node re-proves, and
+// the final proof is byte-identical to an undisturbed run.
+func TestChaosKillMidProof(t *testing.T) {
+	snap := leakcheck.Take()
+	h := newHarness(t, Config{LeaseTTL: 200 * time.Millisecond, FailThreshold: 1})
+	mgr := newChaosManager(t, h, false)
+
+	started := make(chan struct{}, 1)
+	var victim *Worker
+	dieMidProof := func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+		started <- struct{}{}
+		victim.Kill()
+		<-ctx.Done()
+		return jobs.Result{}, ctx.Err()
+	}
+	victim = newTestWorker(t, h, "victim", dieMidProof, nil)
+	victim.Start()
+
+	payload := json.RawMessage(`{"job":"mid-proof"}`)
+	id, err := mgr.Submit(jobs.Spec{Payload: payload, Tenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // victim is mid-proof and now dead
+
+	survivor := newTestWorker(t, h, "survivor", echoExec, nil)
+	survivor.Start()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	info, err := mgr.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != jobs.StateDone {
+		t.Fatalf("state = %s (err %q), want done", info.State, info.Error)
+	}
+	// Exactly one terminal state and a refunded attempt: the kill cost
+	// zero budget, so the surviving attempt is attempt 1 of 2.
+	if info.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (lease loss must refund, not consume)", info.Attempts)
+	}
+	jm := mgr.Metrics()
+	if jm.LeaseReassigns != 1 {
+		t.Fatalf("lease reassigns = %d, want 1", jm.LeaseReassigns)
+	}
+	if jm.Done != 1 || jm.Failed != 0 {
+		t.Fatalf("done=%d failed=%d, want 1/0", jm.Done, jm.Failed)
+	}
+	// Byte-identical to an undisturbed local run of the same spec.
+	want, _ := echoExec(context.Background(), jobs.Spec{Payload: payload})
+	got, err := mgr.Proof(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Proof) {
+		t.Fatalf("proof after reassignment = %q, want %q", got, want.Proof)
+	}
+	cm := h.coord.Metrics()
+	if cm.LeaseExpiries != 1 {
+		t.Fatalf("coordinator lease expiries = %d, want 1", cm.LeaseExpiries)
+	}
+	for _, n := range cm.Nodes {
+		if n.Node == "victim" && n.State != "dead" {
+			t.Fatalf("victim state = %s, want dead", n.State)
+		}
+	}
+
+	closeManager(t, mgr)
+	stopWorker(t, survivor)
+	h.close()
+	snap.Check(t)
+}
+
+// TestChaosKillMidBatch: the worker dies while proving a coalesced
+// batch. Every member is refunded member-scoped (no member's budget is
+// consumed, none is failed wholesale) and a healthy node finishes all
+// of them.
+func TestChaosKillMidBatch(t *testing.T) {
+	snap := leakcheck.Take()
+	h := newHarness(t, Config{LeaseTTL: 200 * time.Millisecond, FailThreshold: 1})
+	mgr := newChaosManager(t, h, true)
+
+	started := make(chan int, 1)
+	var victim *Worker
+	dieMidBatch := func(ctx context.Context, members []jobs.BatchMember) []jobs.BatchOutcome {
+		started <- len(members)
+		victim.Kill()
+		<-ctx.Done()
+		outs := make([]jobs.BatchOutcome, len(members))
+		for i := range outs {
+			outs[i] = jobs.BatchOutcome{Err: ctx.Err()}
+		}
+		return outs
+	}
+	victim = newTestWorker(t, h, "victim", echoExec, dieMidBatch)
+	victim.Start()
+
+	ids := make([]string, 3)
+	payloads := make([]json.RawMessage, 3)
+	for i := range ids {
+		payloads[i], _ = json.Marshal(map[string]int{"member": i})
+		id, err := mgr.Submit(jobs.Spec{Payload: payloads[i], Tenant: "t0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	if n := <-started; n != 3 {
+		t.Fatalf("batch reached victim with %d members, want 3", n)
+	}
+
+	survivor := newTestWorker(t, h, "survivor", echoExec, echoBatch)
+	survivor.Start()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	for i, id := range ids {
+		info, err := mgr.Wait(ctx, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.State != jobs.StateDone {
+			t.Fatalf("member %d state = %s (err %q), want done", i, info.State, info.Error)
+		}
+		if info.Attempts != 1 {
+			t.Fatalf("member %d attempts = %d, want 1 (member-scoped refund)", i, info.Attempts)
+		}
+		want, _ := echoExec(context.Background(), jobs.Spec{Payload: payloads[i]})
+		got, err := mgr.Proof(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want.Proof) {
+			t.Fatalf("member %d proof = %q, want %q", i, got, want.Proof)
+		}
+	}
+	jm := mgr.Metrics()
+	if jm.LeaseReassigns != 3 {
+		t.Fatalf("lease reassigns = %d, want 3 (one refund per batch member)", jm.LeaseReassigns)
+	}
+	if jm.Failed != 0 {
+		t.Fatalf("failed = %d, want 0", jm.Failed)
+	}
+
+	closeManager(t, mgr)
+	stopWorker(t, survivor)
+	h.close()
+	snap.Check(t)
+}
+
+// TestChaosKillMidResultUpload: the node finishes the proof but dies
+// before the completion lands — modeled by suppressing its heartbeats
+// (cluster.heartbeat.miss) so the lease expires while it is still
+// proving, then letting its stale completion arrive. The contract:
+// first terminal record wins, the stale upload is discarded and
+// counted, the refunded attempt re-proves, and the job still ends with
+// exactly one done state and the right proof bytes.
+func TestChaosKillMidResultUpload(t *testing.T) {
+	snap := leakcheck.Take()
+	defer faultinject.Disarm()
+	h := newHarness(t, Config{LeaseTTL: 200 * time.Millisecond})
+	mgr := newChaosManager(t, h, false)
+
+	// Suppress every heartbeat from the start: the worker holds the
+	// lease silently, like a node whose network died after poll.
+	faultinject.MustArm(faultinject.Plan{Point: FIHeartbeatMiss, Kind: faultinject.Error, Count: 1 << 30})
+
+	var calls atomic.Int64
+	payload := json.RawMessage(`{"job":"mid-upload"}`)
+	slowThenFast := func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+		if calls.Add(1) == 1 {
+			// Outlive the lease WITHOUT observing cancellation: the
+			// worker believes it is still the owner and uploads late.
+			time.Sleep(600 * time.Millisecond)
+		}
+		return echoExec(ctx, spec)
+	}
+	w := newTestWorker(t, h, "node-a", slowThenFast, nil)
+	w.Start()
+
+	id, err := mgr.Submit(jobs.Spec{Payload: payload, Tenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	info, err := mgr.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != jobs.StateDone {
+		t.Fatalf("state = %s (err %q), want done", info.State, info.Error)
+	}
+	if info.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (expired lease refunds)", info.Attempts)
+	}
+	if !faultinject.Fired() {
+		t.Fatal("heartbeat.miss plan never fired — the cell is vacuous")
+	}
+	// The stale upload from the first attempt must be discarded (it may
+	// land after Wait returns; poll for it).
+	waitFor(t, "duplicate completion to be discarded", func() bool {
+		return h.coord.Metrics().Duplicates >= 1
+	})
+	jm := mgr.Metrics()
+	if jm.LeaseReassigns < 1 {
+		t.Fatalf("lease reassigns = %d, want >= 1", jm.LeaseReassigns)
+	}
+	if jm.Done != 1 {
+		t.Fatalf("done = %d, want exactly 1 terminal state", jm.Done)
+	}
+	want, _ := echoExec(context.Background(), jobs.Spec{Payload: payload})
+	got, err := mgr.Proof(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Proof) {
+		t.Fatalf("proof = %q, want %q", got, want.Proof)
+	}
+
+	faultinject.Disarm()
+	closeManager(t, mgr)
+	stopWorker(t, w)
+	h.close()
+	snap.Check(t)
+}
+
+// TestChaosRPCFaultPoints: coordinator-side receive faults and
+// worker-side send faults are absorbed by retry/backoff — an armed
+// one-shot fault on each RPC plane point must not surface to the
+// submitting client.
+func TestChaosRPCFaultPoints(t *testing.T) {
+	snap := leakcheck.Take()
+	defer faultinject.Disarm()
+	for _, point := range []string{FIRPCSend, FIRPCRecv} {
+		t.Run(point, func(t *testing.T) {
+			h := newHarness(t, Config{LeaseTTL: 500 * time.Millisecond})
+			mgr := newChaosManager(t, h, false)
+			faultinject.MustArm(faultinject.Plan{Point: point, Kind: faultinject.Error})
+
+			w := newTestWorker(t, h, "node-a", echoExec, nil)
+			w.Start()
+			id, err := mgr.Submit(jobs.Spec{Payload: json.RawMessage(`1`), Tenant: "t0"})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			defer cancel()
+			info, err := mgr.Wait(ctx, id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.State != jobs.StateDone {
+				t.Fatalf("state = %s (err %q), want done despite %s fault", info.State, info.Error, point)
+			}
+			if !faultinject.Fired() {
+				t.Fatalf("%s plan never fired — the cell is vacuous", point)
+			}
+			faultinject.Disarm()
+			closeManager(t, mgr)
+			stopWorker(t, w)
+			h.close()
+		})
+	}
+	snap.Check(t)
+}
+
+// TestChaosForcedLeaseExpiry: cluster.lease.expire forces the reaper to
+// expire a healthy lease; the attempt refunds and the job still
+// completes.
+func TestChaosForcedLeaseExpiry(t *testing.T) {
+	snap := leakcheck.Take()
+	defer faultinject.Disarm()
+	h := newHarness(t, Config{LeaseTTL: 500 * time.Millisecond})
+	mgr := newChaosManager(t, h, false)
+
+	var calls atomic.Int64
+	exec := func(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+		if calls.Add(1) == 1 {
+			// Park long enough for a forced-expiry reaper tick.
+			select {
+			case <-ctx.Done():
+				return jobs.Result{}, ctx.Err()
+			case <-time.After(2 * time.Second):
+			}
+		}
+		return echoExec(ctx, spec)
+	}
+	w := newTestWorker(t, h, "node-a", exec, nil)
+	w.Start()
+
+	faultinject.MustArm(faultinject.Plan{Point: FILeaseExpire, Kind: faultinject.Error})
+	id, err := mgr.Submit(jobs.Spec{Payload: json.RawMessage(`1`), Tenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	info, err := mgr.Wait(ctx, id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.State != jobs.StateDone {
+		t.Fatalf("state = %s (err %q), want done", info.State, info.Error)
+	}
+	if info.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", info.Attempts)
+	}
+	if !faultinject.Fired() {
+		t.Fatal("lease.expire plan never fired")
+	}
+	if h.coord.Metrics().LeaseExpiries < 1 {
+		t.Fatal("no lease expiry recorded")
+	}
+
+	faultinject.Disarm()
+	closeManager(t, mgr)
+	stopWorker(t, w)
+	h.close()
+	snap.Check(t)
+}

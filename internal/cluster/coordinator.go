@@ -1,0 +1,879 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"nocap/internal/faultinject"
+	"nocap/internal/jobs"
+)
+
+// ErrLeaseLost marks an attempt whose worker lease expired before a
+// completion arrived (node death, partition, hang). It is an alias of
+// jobs.ErrLeaseLost: the jobs manager recognizes it in finishAttempt
+// and refunds the attempt (journal-backed), exactly like crash replay.
+var ErrLeaseLost = jobs.ErrLeaseLost
+
+// Node health states. The state machine doubles as a per-node circuit
+// breaker: suspect is half-open (one unit of probation), dead is open
+// (no work until a jittered probe).
+const (
+	nodeHealthy = iota
+	nodeSuspect
+	nodeDead
+)
+
+func stateName(s int) string {
+	switch s {
+	case nodeHealthy:
+		return "healthy"
+	case nodeSuspect:
+		return "suspect"
+	default:
+		return "dead"
+	}
+}
+
+// Config configures a Coordinator. Zero fields take the documented
+// defaults.
+type Config struct {
+	// LeaseTTL is how long a dispatched unit may go without a heartbeat
+	// before it is reassigned (default 3s).
+	LeaseTTL time.Duration
+	// DeadAfter marks a node dead after this much silence (default
+	// 3×LeaseTTL).
+	DeadAfter time.Duration
+	// FailThreshold consecutive lease losses mark a node dead
+	// (default 3); a single loss marks it suspect.
+	FailThreshold int
+	// ProbeBase is the base of the jittered dead→probe re-admission
+	// delay (default 5s): actual delay is ProbeBase/2 + U(0, ProbeBase/2).
+	ProbeBase time.Duration
+	// MaxPollWait caps worker long-polls so Shutdown never waits on a
+	// parked handler (default 2s).
+	MaxPollWait time.Duration
+	// LocalExec/LocalBatch run attempts in-process when no live worker
+	// exists and LocalFallback is set. LocalExec is required when
+	// LocalFallback is true.
+	LocalExec     jobs.Exec
+	LocalBatch    jobs.BatchExec
+	LocalFallback bool
+	// TenantWeight returns a tenant's fair-share weight (<=0 → 1), so
+	// cross-node dispatch honours the same DRR weights as local
+	// admission.
+	TenantWeight func(tenant string) int
+	// LocalityKey derives the warm-cache key for a payload (the
+	// server's jobBatchKey). Nil disables locality placement.
+	LocalityKey func(payload json.RawMessage) (string, bool)
+	// Seed seeds lease/probe jitter for deterministic tests (0 →
+	// time-based).
+	Seed int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTTL <= 0 {
+		c.LeaseTTL = 3 * time.Second
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 3 * c.LeaseTTL
+	}
+	if c.FailThreshold <= 0 {
+		c.FailThreshold = 3
+	}
+	if c.ProbeBase <= 0 {
+		c.ProbeBase = 5 * time.Second
+	}
+	if c.MaxPollWait <= 0 {
+		c.MaxPollWait = 2 * time.Second
+	}
+	return c
+}
+
+// member is one job inside a unit. ctx is the member's own attempt
+// context (nil for coordinator-generated solo members, whose lifetime
+// is the Exec call itself).
+type member struct {
+	id      string
+	payload json.RawMessage
+	ctx     context.Context
+}
+
+// unitResult resolves a unit: outcomes from a worker completion, or a
+// unit-scoped transport error (lease lost).
+type unitResult struct {
+	outcomes []JobOutcome
+	err      error
+}
+
+// unit is one dispatchable piece of work: a solo job or a whole batch.
+type unit struct {
+	tenant    string
+	key       string
+	batch     bool
+	members   []member
+	cost      int
+	res       chan unitResult
+	leased    bool
+	delivered bool
+}
+
+// resolveLocked delivers r exactly once; later resolutions are dropped
+// (first terminal record wins).
+func (u *unit) resolveLocked(r unitResult) bool {
+	if u.delivered {
+		return false
+	}
+	u.delivered = true
+	u.res <- r
+	return true
+}
+
+type lease struct {
+	id      string
+	unit    *unit
+	node    string
+	expires time.Time
+}
+
+const warmKeyCap = 8
+
+type node struct {
+	id       string
+	state    int
+	fails    int
+	inflight int
+	lastSeen time.Time
+	retryAt  time.Time
+	warm     map[string]int64 // locality key → last-touch seq (LRU)
+}
+
+func (n *node) touchWarm(key string, seq int64) {
+	if key == "" {
+		return
+	}
+	n.warm[key] = seq
+	for len(n.warm) > warmKeyCap {
+		oldKey, oldSeq := "", int64(1<<62)
+		for k, s := range n.warm {
+			if s < oldSeq {
+				oldKey, oldSeq = k, s
+			}
+		}
+		delete(n.warm, oldKey)
+	}
+}
+
+type tenantQueue struct {
+	units  []*unit
+	served float64
+}
+
+// Metrics is a point-in-time snapshot of the coordinator's counters.
+type Metrics struct {
+	Dispatches     int64
+	Completions    int64
+	Duplicates     int64
+	LeaseExpiries  int64
+	Heartbeats     int64
+	Polls          int64
+	LocalFallbacks int64
+	QueuedUnits    int
+	LiveLeases     int
+	Nodes          []NodeInfo
+}
+
+// Coordinator owns dispatch: it queues ready units per tenant, leases
+// them to polling workers, reaps expired leases, and resolves results
+// back into the jobs manager. It is plugged into jobs.Config as
+// Exec/BatchExec, so the journal, retries, breaker, and admission stack
+// stay exactly where they were.
+type Coordinator struct {
+	cfg  Config
+	mu   sync.Mutex
+	rng  *rand.Rand
+	seq  int64
+	q    map[string]*tenantQueue
+	lss  map[string]*lease
+	nds  map[string]*node
+	wtrs []chan struct{}
+
+	closed bool
+	quit   chan struct{}
+	done   chan struct{}
+
+	ewmaPollNS float64
+	lastPoll   time.Time
+
+	dispatches, completions, duplicates int64
+	expiries, heartbeats, polls         int64
+	localFallbacks                      int64
+}
+
+// New builds a Coordinator and starts its lease reaper.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	c := &Coordinator{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		q:    make(map[string]*tenantQueue),
+		lss:  make(map[string]*lease),
+		nds:  make(map[string]*node),
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	go c.reap()
+	return c
+}
+
+// Close stops the reaper and wakes every parked long-poll. In-flight
+// Exec calls are unblocked by the jobs manager cancelling their
+// contexts, not by Close; call it after jobs.Manager.Close.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.quit)
+	c.wakeLocked()
+	c.mu.Unlock()
+	<-c.done
+}
+
+func (c *Coordinator) wakeLocked() {
+	for _, ch := range c.wtrs {
+		close(ch)
+	}
+	c.wtrs = nil
+}
+
+func (c *Coordinator) weight(tenant string) float64 {
+	if c.cfg.TenantWeight != nil {
+		if w := c.cfg.TenantWeight(tenant); w > 0 {
+			return float64(w)
+		}
+	}
+	return 1
+}
+
+// HasLiveWorkers reports whether any node is currently eligible for
+// work (not dead, seen within DeadAfter). The server's no_workers shed
+// and healthz key on this.
+func (c *Coordinator) HasLiveWorkers() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveWorkersLocked() > 0
+}
+
+func (c *Coordinator) liveWorkersLocked() int {
+	live, now := 0, time.Now()
+	for _, n := range c.nds {
+		if n.state != nodeDead && now.Sub(n.lastSeen) <= c.cfg.DeadAfter {
+			live++
+		}
+	}
+	return live
+}
+
+// RetryAfterHint estimates how soon a worker is likely to appear: twice
+// the EWMA of poll inter-arrivals, clamped to [1s, 30s]. With no poll
+// history it reports 5s.
+func (c *Coordinator) RetryAfterHint() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ewmaPollNS <= 0 {
+		return 5 * time.Second
+	}
+	d := time.Duration(2 * c.ewmaPollNS)
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 30*time.Second {
+		d = 30 * time.Second
+	}
+	return d
+}
+
+// Metrics snapshots the counters and node table.
+func (c *Coordinator) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := Metrics{
+		Dispatches:     c.dispatches,
+		Completions:    c.completions,
+		Duplicates:     c.duplicates,
+		LeaseExpiries:  c.expiries,
+		Heartbeats:     c.heartbeats,
+		Polls:          c.polls,
+		LocalFallbacks: c.localFallbacks,
+		LiveLeases:     len(c.lss),
+	}
+	for _, tq := range c.q {
+		m.QueuedUnits += len(tq.units)
+	}
+	now := time.Now()
+	for _, n := range c.nds {
+		info := NodeInfo{
+			Node:       n.id,
+			State:      stateName(n.state),
+			Inflight:   n.inflight,
+			Fails:      n.fails,
+			LastSeenMS: now.Sub(n.lastSeen).Milliseconds(),
+		}
+		for k := range n.warm {
+			info.Warm = append(info.Warm, k)
+		}
+		sort.Strings(info.Warm)
+		m.Nodes = append(m.Nodes, info)
+	}
+	sort.Slice(m.Nodes, func(i, j int) bool { return m.Nodes[i].Node < m.Nodes[j].Node })
+	return m
+}
+
+// Exec is the jobs.Exec the cluster-mode server installs: it queues the
+// spec as a solo unit and blocks until a worker completes it, the lease
+// is lost (→ attempt refund upstream), or ctx is cancelled. With zero
+// live workers and LocalFallback it proves in-process instead.
+func (c *Coordinator) Exec(ctx context.Context, spec jobs.Spec) (jobs.Result, error) {
+	if c.tryLocalSolo() {
+		return c.cfg.LocalExec(ctx, spec)
+	}
+	c.mu.Lock()
+	c.seq++
+	u := &unit{
+		tenant:  spec.Tenant,
+		members: []member{{id: fmt.Sprintf("solo-%d", c.seq), payload: spec.Payload}},
+		cost:    1,
+		res:     make(chan unitResult, 1),
+	}
+	if c.cfg.LocalityKey != nil {
+		if k, ok := c.cfg.LocalityKey(spec.Payload); ok {
+			u.key = k
+		}
+	}
+	c.enqueueLocked(u)
+	c.mu.Unlock()
+
+	r, ok := c.await(ctx, u)
+	if !ok {
+		return jobs.Result{}, ctx.Err()
+	}
+	if r.err != nil {
+		return jobs.Result{}, r.err
+	}
+	if r.local {
+		c.countLocalFallback()
+		return c.cfg.LocalExec(ctx, spec)
+	}
+	if len(r.outcomes) != 1 {
+		return jobs.Result{}, fmt.Errorf("cluster: %d outcomes for solo unit: %w", len(r.outcomes), ErrLeaseLost)
+	}
+	o := r.outcomes[0]
+	if o.Error != "" || o.Code != "" {
+		return jobs.Result{}, outcomeError(o.Error, o.Code)
+	}
+	return jobs.Result{Proof: o.Proof, Stats: o.Stats}, nil
+}
+
+// BatchExec dispatches a coalesced batch whole to one node; failure is
+// member-scoped (each outcome classifies independently, and a lost
+// lease refunds every member's attempt).
+func (c *Coordinator) BatchExec(ctx context.Context, members []jobs.BatchMember) []jobs.BatchOutcome {
+	outs := make([]jobs.BatchOutcome, len(members))
+	if c.tryLocalBatch() {
+		return c.cfg.LocalBatch(ctx, members)
+	}
+	c.mu.Lock()
+	u := &unit{
+		tenant: members[0].Spec.Tenant,
+		batch:  true,
+		cost:   len(members),
+		res:    make(chan unitResult, 1),
+	}
+	for _, mb := range members {
+		u.members = append(u.members, member{id: mb.ID, payload: mb.Spec.Payload, ctx: mb.Ctx})
+	}
+	if c.cfg.LocalityKey != nil {
+		if k, ok := c.cfg.LocalityKey(members[0].Spec.Payload); ok {
+			u.key = k
+		}
+	}
+	c.enqueueLocked(u)
+	c.mu.Unlock()
+
+	r, ok := c.await(ctx, u)
+	if !ok {
+		for i := range outs {
+			outs[i] = jobs.BatchOutcome{Err: ctx.Err()}
+		}
+		return outs
+	}
+	if r.local {
+		c.countLocalFallback()
+		return c.cfg.LocalBatch(ctx, members)
+	}
+	if r.err != nil {
+		for i := range outs {
+			outs[i] = jobs.BatchOutcome{Err: r.err}
+		}
+		return outs
+	}
+	byID := make(map[string]JobOutcome, len(r.outcomes))
+	for _, o := range r.outcomes {
+		byID[o.ID] = o
+	}
+	for i, mb := range members {
+		o, found := byID[mb.ID]
+		switch {
+		case !found:
+			outs[i] = jobs.BatchOutcome{Err: fmt.Errorf("cluster: no outcome for member %s: %w", mb.ID, ErrLeaseLost)}
+		case o.Error != "" || o.Code != "":
+			outs[i] = jobs.BatchOutcome{Err: outcomeError(o.Error, o.Code)}
+		default:
+			outs[i] = jobs.BatchOutcome{Result: jobs.Result{Proof: o.Proof, Stats: o.Stats}}
+		}
+	}
+	return outs
+}
+
+func (c *Coordinator) tryLocalSolo() bool {
+	if !c.cfg.LocalFallback || c.cfg.LocalExec == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.liveWorkersLocked() > 0 {
+		return false
+	}
+	c.localFallbacks++
+	return true
+}
+
+func (c *Coordinator) tryLocalBatch() bool {
+	if !c.cfg.LocalFallback || c.cfg.LocalBatch == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.liveWorkersLocked() > 0 {
+		return false
+	}
+	c.localFallbacks++
+	return true
+}
+
+func (c *Coordinator) countLocalFallback() {
+	c.mu.Lock()
+	c.localFallbacks++
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) enqueueLocked(u *unit) {
+	tq := c.q[u.tenant]
+	if tq == nil {
+		// A new tenant joins at the minimum pass already in play so a
+		// late joiner with a zero ledger cannot monopolize dispatch.
+		var minPass float64
+		first := true
+		for t, other := range c.q {
+			p := other.served / c.weight(t)
+			if first || p < minPass {
+				minPass, first = p, false
+			}
+		}
+		tq = &tenantQueue{served: minPass * c.weight(u.tenant)}
+		c.q[u.tenant] = tq
+	}
+	tq.units = append(tq.units, u)
+	c.wakeLocked()
+}
+
+// awaitResult extends unitResult with the local-fallback escape: the
+// unit sat queued with zero live workers, so the caller should prove
+// in-process.
+type awaitResult struct {
+	outcomes []JobOutcome
+	err      error
+	local    bool
+}
+
+// await blocks until the unit resolves, ctx fires, or — when local
+// fallback is enabled — the unit has sat queued through a full lease
+// TTL with zero live workers (the fleet died after submission).
+func (c *Coordinator) await(ctx context.Context, u *unit) (awaitResult, bool) {
+	tick := time.NewTicker(c.cfg.LeaseTTL)
+	defer tick.Stop()
+	for {
+		select {
+		case r := <-u.res:
+			return awaitResult{outcomes: r.outcomes, err: r.err}, true
+		case <-ctx.Done():
+			c.mu.Lock()
+			delivered := u.delivered
+			u.delivered = true
+			c.mu.Unlock()
+			if delivered {
+				// Raced with a resolution: take it.
+				r := <-u.res
+				return awaitResult{outcomes: r.outcomes, err: r.err}, true
+			}
+			return awaitResult{}, false
+		case <-tick.C:
+			if c.reclaimForLocal(u) {
+				return awaitResult{local: true}, true
+			}
+		}
+	}
+}
+
+// reclaimForLocal pulls a still-queued unit back for in-process
+// execution when the fleet has died out from under it.
+func (c *Coordinator) reclaimForLocal(u *unit) bool {
+	if !c.cfg.LocalFallback {
+		return false
+	}
+	if u.batch && c.cfg.LocalBatch == nil {
+		return false
+	}
+	if !u.batch && c.cfg.LocalExec == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if u.delivered || u.leased || c.liveWorkersLocked() > 0 {
+		return false
+	}
+	u.delivered = true
+	return true
+}
+
+// touchNode fetches or creates the node record and refreshes lastSeen.
+func (c *Coordinator) touchNodeLocked(id string) *node {
+	n := c.nds[id]
+	if n == nil {
+		n = &node{id: id, state: nodeHealthy, warm: make(map[string]int64)}
+		c.nds[id] = n
+	}
+	n.lastSeen = time.Now()
+	return n
+}
+
+// tryAssignLocked hands the polling node its next unit, honouring the
+// health gate (dead → at most one probe after retryAt; suspect → one
+// unit of probation), stride-scheduled tenant fairness, and locality.
+func (c *Coordinator) tryAssignLocked(n *node, warm []string) *Assignment {
+	now := time.Now()
+	switch n.state {
+	case nodeDead:
+		if now.Before(n.retryAt) {
+			return nil
+		}
+		// Jittered probe re-admission: the first poll past retryAt gets
+		// exactly one unit under probation.
+		n.state = nodeSuspect
+		n.inflight = 0
+	case nodeSuspect:
+		if n.inflight >= 1 {
+			return nil
+		}
+	}
+
+	// Stride scheduling across tenants: pick the non-empty tenant with
+	// the lowest served/weight pass, so cross-node dispatch honours the
+	// same weights as local DRR admission.
+	var best string
+	bestPass, found := 0.0, false
+	for t, tq := range c.q {
+		c.pruneLocked(tq)
+		if len(tq.units) == 0 {
+			continue
+		}
+		pass := tq.served / c.weight(t)
+		if !found || pass < bestPass || (pass == bestPass && t < best) {
+			best, bestPass, found = t, pass, true
+		}
+	}
+	if !found {
+		return nil
+	}
+	tq := c.q[best]
+
+	// Locality: prefer a unit whose key is warm on this node (either
+	// tracked coordinator-side or reported by the worker); fall back to
+	// the queue head.
+	warmSet := make(map[string]bool, len(warm)+len(n.warm))
+	for _, k := range warm {
+		warmSet[k] = true
+	}
+	for k := range n.warm {
+		warmSet[k] = true
+	}
+	pick := 0
+	for i, u := range tq.units {
+		if u.key != "" && warmSet[u.key] {
+			pick = i
+			break
+		}
+	}
+	u := tq.units[pick]
+	tq.units = append(tq.units[:pick], tq.units[pick+1:]...)
+	tq.served += float64(u.cost)
+
+	c.seq++
+	ls := &lease{
+		id:      fmt.Sprintf("lease-%d", c.seq),
+		unit:    u,
+		node:    n.id,
+		expires: now.Add(c.cfg.LeaseTTL),
+	}
+	c.lss[ls.id] = ls
+	u.leased = true
+	n.inflight++
+	n.touchWarm(u.key, c.seq)
+	c.dispatches++
+
+	a := &Assignment{
+		Lease: ls.id,
+		TTLMS: c.cfg.LeaseTTL.Milliseconds(),
+		Batch: u.batch,
+		Key:   u.key,
+	}
+	for _, mb := range u.members {
+		a.Jobs = append(a.Jobs, AssignedJob{ID: mb.id, Payload: mb.payload})
+	}
+	return a
+}
+
+// pruneLocked drops units whose caller already gave up (delivered by
+// ctx cancellation) so they are never dispatched.
+func (c *Coordinator) pruneLocked(tq *tenantQueue) {
+	kept := tq.units[:0]
+	for _, u := range tq.units {
+		if !u.delivered {
+			kept = append(kept, u)
+		}
+	}
+	tq.units = kept
+}
+
+// reap expires stale leases: the unit resolves with ErrLeaseLost (→
+// journal-backed attempt refund upstream) and the node pays the breaker
+// verdict (suspect, then dead past FailThreshold with a jittered probe
+// window). Also marks silent nodes dead.
+func (c *Coordinator) reap() {
+	defer close(c.done)
+	t := time.NewTicker(c.cfg.LeaseTTL / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-t.C:
+		}
+		c.mu.Lock()
+		now := time.Now()
+		for id, ls := range c.lss {
+			forced := faultinject.Check(FILeaseExpire) != nil
+			if !forced && now.Before(ls.expires) {
+				continue
+			}
+			delete(c.lss, id)
+			c.expiries++
+			if n := c.nds[ls.node]; n != nil {
+				if n.inflight > 0 {
+					n.inflight--
+				}
+				n.fails++
+				if n.fails >= c.cfg.FailThreshold {
+					n.state = nodeDead
+					n.retryAt = now.Add(probeDelay(c.rng, c.cfg.ProbeBase))
+				} else if n.state == nodeHealthy {
+					n.state = nodeSuspect
+				}
+			}
+			ls.unit.resolveLocked(unitResult{err: fmt.Errorf("cluster: lease %s on node %s expired: %w", id, ls.node, ErrLeaseLost)})
+		}
+		for _, n := range c.nds {
+			if n.state != nodeDead && now.Sub(n.lastSeen) > c.cfg.DeadAfter {
+				n.state = nodeDead
+				n.fails = 0
+				n.retryAt = now.Add(probeDelay(c.rng, c.cfg.ProbeBase))
+			}
+		}
+		c.mu.Unlock()
+	}
+}
+
+// ---- HTTP handlers -------------------------------------------------
+
+// HandlePoll serves POST /cluster/poll: long-poll for an assignment.
+func (c *Coordinator) HandlePoll(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Check(FIRPCRecv); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var req PollRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+		http.Error(w, "cluster: bad poll request", http.StatusBadRequest)
+		return
+	}
+	wait := c.cfg.MaxPollWait
+	if req.WaitMS > 0 {
+		if d := time.Duration(req.WaitMS) * time.Millisecond; d < wait {
+			wait = d
+		}
+	}
+	deadline := time.Now().Add(wait)
+	c.mu.Lock()
+	now := time.Now()
+	c.polls++
+	if !c.lastPoll.IsZero() {
+		gap := float64(now.Sub(c.lastPoll))
+		if c.ewmaPollNS == 0 {
+			c.ewmaPollNS = gap
+		} else {
+			c.ewmaPollNS = 0.3*gap + 0.7*c.ewmaPollNS
+		}
+	}
+	c.lastPoll = now
+	c.mu.Unlock()
+	for {
+		c.mu.Lock()
+		n := c.touchNodeLocked(req.Node)
+		if c.closed {
+			c.mu.Unlock()
+			writeJSON(w, PollResponse{})
+			return
+		}
+		if a := c.tryAssignLocked(n, req.Warm); a != nil {
+			c.mu.Unlock()
+			writeJSON(w, PollResponse{Assignment: a})
+			return
+		}
+		ch := make(chan struct{})
+		c.wtrs = append(c.wtrs, ch)
+		c.mu.Unlock()
+
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			writeJSON(w, PollResponse{})
+			return
+		}
+		timer := time.NewTimer(remain)
+		select {
+		case <-ch:
+			timer.Stop()
+		case <-timer.C:
+			writeJSON(w, PollResponse{})
+			return
+		case <-c.quit:
+			timer.Stop()
+			writeJSON(w, PollResponse{})
+			return
+		case <-r.Context().Done():
+			timer.Stop()
+			return
+		}
+	}
+}
+
+// HandleHeartbeat serves POST /cluster/heartbeat: renew leases, learn
+// which are lost, and pick up member cancellations.
+func (c *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Check(FIRPCRecv); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var req HeartbeatRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Node == "" {
+		http.Error(w, "cluster: bad heartbeat request", http.StatusBadRequest)
+		return
+	}
+	var resp HeartbeatResponse
+	c.mu.Lock()
+	c.heartbeats++
+	c.touchNodeLocked(req.Node)
+	now := time.Now()
+	for _, id := range req.Leases {
+		ls := c.lss[id]
+		if ls == nil || ls.node != req.Node {
+			resp.Lost = append(resp.Lost, id)
+			continue
+		}
+		ls.expires = now.Add(c.cfg.LeaseTTL)
+		for _, mb := range ls.unit.members {
+			if mb.ctx != nil && mb.ctx.Err() != nil {
+				resp.Cancelled = append(resp.Cancelled, mb.id)
+			}
+		}
+		if ls.unit.delivered && !ls.unit.batch {
+			// Solo caller gave up (job cancelled): tell the worker.
+			resp.Cancelled = append(resp.Cancelled, ls.unit.members[0].id)
+		}
+	}
+	c.mu.Unlock()
+	writeJSON(w, resp)
+}
+
+// HandleComplete serves POST /cluster/complete: deliver outcomes for a
+// lease. An unknown lease means the reaper already reassigned the unit;
+// the completion is discarded (first terminal record wins) and counted.
+func (c *Coordinator) HandleComplete(w http.ResponseWriter, r *http.Request) {
+	if err := faultinject.Check(FIRPCRecv); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	var req CompleteRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Lease == "" {
+		http.Error(w, "cluster: bad complete request", http.StatusBadRequest)
+		return
+	}
+	c.mu.Lock()
+	c.touchNodeLocked(req.Node)
+	ls := c.lss[req.Lease]
+	if ls == nil {
+		c.duplicates++
+		c.mu.Unlock()
+		writeJSON(w, CompleteResponse{Discarded: true})
+		return
+	}
+	delete(c.lss, req.Lease)
+	c.completions++
+	if n := c.nds[ls.node]; n != nil {
+		if n.inflight > 0 {
+			n.inflight--
+		}
+		n.fails = 0
+		n.state = nodeHealthy
+		c.seq++
+		n.touchWarm(ls.unit.key, c.seq)
+	}
+	ls.unit.resolveLocked(unitResult{outcomes: req.Outcomes})
+	c.wakeLocked() // a slot freed up; re-check queues
+	c.mu.Unlock()
+	writeJSON(w, CompleteResponse{})
+}
+
+// HandleNodes serves GET /cluster/nodes: the health table.
+func (c *Coordinator) HandleNodes(w http.ResponseWriter, r *http.Request) {
+	m := c.Metrics()
+	writeJSON(w, m.Nodes)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	// An encode failure here is a dropped connection; the worker's RPC
+	// retry/lease machinery owns recovery.
+	_ = json.NewEncoder(w).Encode(v)
+}

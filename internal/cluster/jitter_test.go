@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// distinctFraction draws n samples and reports how many land in each
+// third of [lo, hi) plus the count of distinct values — a cheap spread
+// regression that catches a future edit replacing full jitter with a
+// fixed interval (which would synchronize the fleet into heartbeat and
+// probe stampedes).
+func spreadStats(t *testing.T, name string, n int, lo, hi time.Duration, draw func() time.Duration) {
+	t.Helper()
+	thirds := [3]int{}
+	seen := make(map[time.Duration]struct{}, n)
+	width := hi - lo
+	for i := 0; i < n; i++ {
+		d := draw()
+		if d < lo || d >= hi {
+			t.Fatalf("%s: draw %v outside [%v, %v)", name, d, lo, hi)
+		}
+		seen[d] = struct{}{}
+		idx := int(3 * (d - lo) / width)
+		if idx > 2 {
+			idx = 2
+		}
+		thirds[idx]++
+	}
+	// With nanosecond-granularity uniform draws, collisions are
+	// essentially impossible; demand near-total distinctness.
+	if len(seen) < n*9/10 {
+		t.Errorf("%s: only %d/%d distinct draws — jitter has collapsed", name, len(seen), n)
+	}
+	// Uniform across the window: each third holds n/3 in expectation;
+	// demand at least half of that so skewed-but-random still passes.
+	for i, c := range thirds {
+		if c < n/6 {
+			t.Errorf("%s: third %d holds %d/%d draws — distribution collapsed (%v)", name, i, c, n, thirds)
+		}
+	}
+}
+
+func TestHeartbeatIntervalJitterSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const ttl = 3 * time.Second
+	spreadStats(t, "heartbeatInterval", 500, ttl/6, ttl/3, func() time.Duration {
+		return heartbeatInterval(rng, ttl)
+	})
+}
+
+func TestProbeDelayJitterSpread(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const base = 5 * time.Second
+	spreadStats(t, "probeDelay", 500, base/2, base, func() time.Duration {
+		return probeDelay(rng, base)
+	})
+}
+
+func TestFullJitterBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	if got := fullJitter(rng, 0); got != 0 {
+		t.Fatalf("fullJitter(0) = %v, want 0", got)
+	}
+	if got := fullJitter(rng, -time.Second); got != 0 {
+		t.Fatalf("fullJitter(<0) = %v, want 0", got)
+	}
+	spreadStats(t, "fullJitter", 500, 0, time.Second, func() time.Duration {
+		return fullJitter(rng, time.Second)
+	})
+}
+
+// TestHeartbeatIntervalFitsTTL: however the jitter lands, at least
+// three renewal opportunities must fit inside one TTL, or a single
+// dropped beat could expire a healthy lease.
+func TestHeartbeatIntervalFitsTTL(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, ttl := range []time.Duration{100 * time.Millisecond, 3 * time.Second, time.Minute} {
+		for i := 0; i < 200; i++ {
+			if got := heartbeatInterval(rng, ttl); got > ttl/3 {
+				t.Fatalf("heartbeatInterval(ttl=%v) = %v > ttl/3", ttl, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package cluster
+
+import (
+	"slices"
+	"testing"
+
+	"nocap/internal/faultinject"
+)
+
+// TestClusterFaultPointsRegistered pins the cluster's injection-point
+// coverage: every point the chaos matrix arms must be registered (an
+// unregistered point makes its cells vacuous), and every point must be
+// armable through the public faultinject API.
+func TestClusterFaultPointsRegistered(t *testing.T) {
+	want := []string{
+		FIRPCSend,
+		FIRPCRecv,
+		FIHeartbeatMiss,
+		FIWorkerExec,
+		FILeaseExpire,
+	}
+	wantNames := []string{
+		"cluster.rpc.send",
+		"cluster.rpc.recv",
+		"cluster.heartbeat.miss",
+		"cluster.worker.exec",
+		"cluster.lease.expire",
+	}
+	for i, p := range want {
+		if p != wantNames[i] {
+			t.Errorf("point %d = %q, want %q (renaming breaks armed chaos plans)", i, p, wantNames[i])
+		}
+	}
+	all := faultinject.Points()
+	for _, p := range want {
+		if !slices.Contains(all, p) {
+			t.Errorf("point %q missing from faultinject.Points() = %v", p, all)
+		}
+		if !faultinject.Registered(p) {
+			t.Errorf("point %q not Registered", p)
+		}
+		if err := faultinject.Arm(faultinject.Plan{Point: p, Kind: faultinject.Error}); err != nil {
+			t.Errorf("Arm(%q): %v", p, err)
+		}
+		faultinject.Disarm()
+	}
+}
+
+// TestClusterFaultPointsFire drives each worker/coordinator-side point
+// through an actual Check call so a point that exists but is never
+// reached by any call site fails here instead of passing vacuously in
+// the matrix.
+func TestClusterFaultPointsFire(t *testing.T) {
+	for _, p := range []string{FIRPCSend, FIRPCRecv, FIHeartbeatMiss, FIWorkerExec, FILeaseExpire} {
+		faultinject.MustArm(faultinject.Plan{Point: p, Kind: faultinject.Error})
+		if err := faultinject.Check(p); err == nil {
+			t.Errorf("Check(%q) with armed Error plan returned nil", p)
+		}
+		if !faultinject.Fired() {
+			t.Errorf("plan at %q did not report Fired", p)
+		}
+		faultinject.Disarm()
+	}
+}

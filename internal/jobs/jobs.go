@@ -61,6 +61,12 @@ var (
 	// probe write succeeds. Synchronous proving, which promises nothing
 	// durable, keeps working; the server maps this to a typed 503.
 	ErrDegraded = errors.New("jobs: durability degraded: data disk is failing")
+	// ErrLeaseLost: a cluster worker's lease on this attempt expired
+	// before a completion arrived (node death, partition, hang). The
+	// attempt never reached a prover verdict, so finishAttempt refunds
+	// it — journal-backed, like crash replay — and re-enqueues instead
+	// of consuming retry budget or feeding the breaker.
+	ErrLeaseLost = errors.New("jobs: worker lease lost")
 )
 
 // State is a job's externally visible lifecycle state. A job moves
@@ -355,6 +361,9 @@ type Metrics struct {
 	BatchJobs           int64
 	LastBatchSize       int64
 	BatchAmortizedSaves int64
+	// LeaseReassigns counts attempts refunded because a cluster
+	// worker's lease expired (node death → journal-backed reassignment).
+	LeaseReassigns int64
 }
 
 // jobRec is the Manager's in-memory view of one job.
@@ -458,6 +467,8 @@ type Manager struct {
 	batchJobs     int64
 	lastBatchSize int64
 	batchSaves    int64
+
+	leaseReassigns int64
 
 	// compactMu serializes compaction cycles (it is never taken while
 	// holding mu).
@@ -954,6 +965,7 @@ func (m *Manager) Metrics() Metrics {
 		BatchJobs:           m.batchJobs,
 		LastBatchSize:       m.lastBatchSize,
 		BatchAmortizedSaves: m.batchSaves,
+		LeaseReassigns:      m.leaseReassigns,
 	}
 }
 
@@ -1439,6 +1451,33 @@ func (m *Manager) finishAttempt(j *jobRec, res Result, err error, probe bool) {
 		if probe {
 			m.breaker.abandonProbe()
 		}
+		return
+	}
+
+	if err != nil && errors.Is(err, ErrLeaseLost) && !j.cancelRequested {
+		// A worker node died (or partitioned) holding this attempt's
+		// lease: the prover never reached a verdict, so the attempt is
+		// refunded — journaled as a retry at the decremented attempt
+		// number so a crash mid-reassignment replays to the same
+		// refunded state — and the job re-enqueues after a short
+		// jittered delay for another node to steal. The breaker sees
+		// nothing: node death is the cluster's failure, not proving's.
+		j.attempt--
+		j.state = StateAccepted
+		j.lastErr, j.lastCode = err.Error(), "lease-lost"
+		m.retries++
+		m.leaseReassigns++
+		_ = m.appendLocked(record{
+			Job: j.id, State: recRetrying, Attempt: j.attempt,
+			Error: err.Error(), Code: "lease-lost",
+		})
+		if probe {
+			m.breaker.abandonProbe()
+		}
+		if m.closing {
+			return
+		}
+		j.timer = time.AfterFunc(m.backoffFor(1), func() { m.enqueue(j) })
 		return
 	}
 

@@ -1,0 +1,215 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLeaseLostRefundsAttempt: an attempt that ends with ErrLeaseLost
+// (the cluster coordinator's lease-expiry verdict) is refunded, not
+// consumed — the job retries on the same budget, is journaled with the
+// "lease-lost" code, and still succeeds with Attempts == 1.
+func TestLeaseLostRefundsAttempt(t *testing.T) {
+	var calls atomic.Int64
+	exec := func(ctx context.Context, spec Spec) (Result, error) {
+		if calls.Add(1) <= 2 {
+			return Result{}, fmt.Errorf("cluster: lease lease-1 on node a expired: %w", ErrLeaseLost)
+		}
+		return Result{Proof: []byte("ok")}, nil
+	}
+	cfg := testConfig(t, exec)
+	cfg.MaxAttempts = 2 // two lease losses would exhaust a non-refunding budget
+	m := openManager(t, cfg)
+
+	id, err := m.Submit(Spec{Tenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitTerminal(t, m, id)
+	if info.State != StateDone {
+		t.Fatalf("state = %s (err %q), want done", info.State, info.Error)
+	}
+	if info.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (both lease losses refunded)", info.Attempts)
+	}
+	jm := m.Metrics()
+	if jm.LeaseReassigns != 2 {
+		t.Fatalf("lease reassigns = %d, want 2", jm.LeaseReassigns)
+	}
+	// Refunds are journaled as retrying records at the refunded attempt
+	// with the lease-lost code, so crash replay restores the same budget.
+	var leaseLost int
+	for _, r := range journalRecords(t, cfg.Dir) {
+		if r.State == recRetrying && r.Code == "lease-lost" {
+			leaseLost++
+			if r.Attempt != 0 {
+				t.Errorf("lease-lost retrying record at attempt %d, want 0 (refunded)", r.Attempt)
+			}
+		}
+	}
+	if leaseLost != 2 {
+		t.Fatalf("journaled %d lease-lost records, want 2", leaseLost)
+	}
+}
+
+// TestLeaseLostDoesNotTripBreaker: lease losses are infrastructure
+// verdicts about a worker node, not about the proving pipeline — they
+// must not count toward the manager's failure breaker.
+func TestLeaseLostDoesNotTripBreaker(t *testing.T) {
+	var calls atomic.Int64
+	exec := func(ctx context.Context, spec Spec) (Result, error) {
+		if calls.Add(1) <= 3 {
+			return Result{}, fmt.Errorf("expired: %w", ErrLeaseLost)
+		}
+		return Result{Proof: []byte("ok")}, nil
+	}
+	cfg := testConfig(t, exec)
+	cfg.BreakerThreshold = 2 // trips on 2 consecutive internal failures
+	m := openManager(t, cfg)
+
+	id, err := m.Submit(Spec{Tenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitTerminal(t, m, id)
+	if info.State != StateDone {
+		t.Fatalf("state = %s, want done", info.State)
+	}
+	jm := m.Metrics()
+	if jm.BreakerState != BreakerClosed {
+		t.Fatalf("breaker = %v after lease losses, want closed", jm.BreakerState)
+	}
+	if jm.BreakerTrips != 0 {
+		t.Fatalf("breaker trips = %d, want 0", jm.BreakerTrips)
+	}
+}
+
+// TestLeaseLostCancelWins: a cancel requested while the attempt is out
+// on a (subsequently lost) lease terminalizes the job as cancelled —
+// the refund must not resurrect it.
+func TestLeaseLostCancelWins(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	exec := func(ctx context.Context, spec Spec) (Result, error) {
+		close(started)
+		<-release
+		return Result{}, fmt.Errorf("expired: %w", ErrLeaseLost)
+	}
+	m := openManager(t, testConfig(t, exec))
+
+	id, err := m.Submit(Spec{Tenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := m.Cancel(id); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	info := waitTerminal(t, m, id)
+	if info.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled (cancel wins over lease refund)", info.State)
+	}
+	if m.Metrics().LeaseReassigns != 0 {
+		t.Fatalf("lease reassigns = %d, want 0", m.Metrics().LeaseReassigns)
+	}
+}
+
+// TestLeaseLostInfiniteReassignBounded: refunds deliberately do not
+// consume the attempt budget, so a pathological run of lease losses
+// retries indefinitely rather than failing the job — but each refund
+// must re-enqueue with backoff (not spin). Verify a long loss streak
+// still converges and the job never fails.
+func TestLeaseLostInfiniteReassignBounded(t *testing.T) {
+	const losses = 10
+	var calls atomic.Int64
+	exec := func(ctx context.Context, spec Spec) (Result, error) {
+		if calls.Add(1) <= losses {
+			return Result{}, fmt.Errorf("expired: %w", ErrLeaseLost)
+		}
+		return Result{Proof: []byte("ok")}, nil
+	}
+	cfg := testConfig(t, exec)
+	cfg.MaxAttempts = 2
+	m := openManager(t, cfg)
+
+	id, err := m.Submit(Spec{Tenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := waitTerminal(t, m, id)
+	if info.State != StateDone || info.Attempts != 1 {
+		t.Fatalf("state=%s attempts=%d, want done/1", info.State, info.Attempts)
+	}
+	if got := m.Metrics().LeaseReassigns; got != losses {
+		t.Fatalf("lease reassigns = %d, want %d", got, losses)
+	}
+}
+
+// TestLeaseLostSentinelIdentity: callers (the cluster package) alias
+// this sentinel; wrapping chains must stay errors.Is-compatible.
+func TestLeaseLostSentinelIdentity(t *testing.T) {
+	wrapped := fmt.Errorf("cluster: lease x on node y expired: %w", ErrLeaseLost)
+	if !errors.Is(wrapped, ErrLeaseLost) {
+		t.Fatal("wrapped lease-lost error lost its identity")
+	}
+	if errors.Is(context.Canceled, ErrLeaseLost) || errors.Is(ErrLeaseLost, context.Canceled) {
+		t.Fatal("lease-lost must be distinct from cancellation")
+	}
+}
+
+// TestLeaseLostCrashReplayRestoresBudget: crash after a journaled
+// lease-lost refund; reopening must restore the job at the refunded
+// attempt and finish it on the original budget.
+func TestLeaseLostCrashReplayRestoresBudget(t *testing.T) {
+	dir := t.TempDir()
+	blocked := make(chan struct{})
+	execBlock := func(ctx context.Context, spec Spec) (Result, error) {
+		select {
+		case blocked <- struct{}{}:
+		default:
+		}
+		return Result{}, fmt.Errorf("expired: %w", ErrLeaseLost)
+	}
+	cfg := testConfig(t, execBlock)
+	cfg.Dir = dir
+	cfg.MaxAttempts = 2
+	m, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.Submit(Spec{Tenant: "t0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-blocked
+	// Wait until at least one refund is journaled, then "crash" (close
+	// without draining semantics is the closest in-process analogue).
+	deadline := time.Now().Add(10 * time.Second)
+	for m.Metrics().LeaseReassigns == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no refund journaled")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	m.Close(ctx)
+	cancel()
+
+	cfg2 := cfg
+	cfg2.Exec = func(ctx context.Context, spec Spec) (Result, error) {
+		return Result{Proof: []byte("ok")}, nil
+	}
+	m2 := openManager(t, cfg2)
+	info := waitTerminal(t, m2, id)
+	if info.State != StateDone {
+		t.Fatalf("state after replay = %s (err %q), want done", info.State, info.Error)
+	}
+	if info.Attempts != 1 {
+		t.Fatalf("attempts after replay = %d, want 1 (refund survived the crash)", info.Attempts)
+	}
+}

@@ -87,16 +87,33 @@ func (s *Server) openJobs() {
 		batchExec = s.batchProveExec
 		gateN = s.jobGateN
 	}
+	gate := s.jobGate
+	workers := s.cfg.JobWorkers
+	if s.coord != nil {
+		// Cluster mode: attempts execute on remote worker nodes, so the
+		// dispatchers must NOT occupy the local HTTP worker pool — they
+		// spend their time parked on RPC, not proving. Fairness moves
+		// with them: the coordinator stride-schedules dispatch across
+		// tenants with the same weights the local DRR scheduler uses.
+		exec = s.coord.Exec
+		if batchExec != nil {
+			batchExec = s.coord.BatchExec
+		}
+		gate, gateN = nil, nil
+		if workers <= 0 {
+			workers = 8
+		}
+	}
 	mgr, err := jobs.Open(jobs.Config{
 		Dir:               s.cfg.DataDir,
 		Exec:              exec,
-		Gate:              s.jobGate,
+		Gate:              gate,
 		GateN:             gateN,
 		BatchKey:          batchKey,
 		BatchExec:         batchExec,
 		BatchWindow:       s.cfg.JobBatchWindow,
 		BatchMax:          s.cfg.JobBatchMax,
-		Workers:           s.cfg.JobWorkers,
+		Workers:           workers,
 		MaxPending:        s.cfg.JobMaxPending,
 		MaxAttempts:       s.cfg.JobMaxAttempts,
 		BackoffBase:       s.cfg.JobBackoffBase,
@@ -444,6 +461,17 @@ func (s *Server) handleJobCreate(w http.ResponseWriter, r *http.Request) {
 		s.writeTaxonomyError(w, err)
 		return
 	}
+	// Cluster mode without local fallback: zero live workers means an
+	// accepted job could only sit and time out, so shed it now with a
+	// typed 503 whose Retry-After tracks the EWMA of worker poll
+	// arrivals. Checked before the rate gate so the shed does not charge
+	// the tenant's token bucket.
+	if s.coord != nil && !s.cfg.ClusterLocalFallback && !s.coord.HasLiveWorkers() {
+		s.metrics.jobShedNoWorkers.Add(1)
+		w.Header().Set("Retry-After", retryAfterJitter(s.coord.RetryAfterHint(), 2))
+		writeError(w, http.StatusServiceUnavailable, "no live worker nodes", "no_workers")
+		return
+	}
 	ten, ok := s.rateGate(w, r)
 	if !ok {
 		return
@@ -659,6 +687,7 @@ func (s *Server) renderJobsMetrics(counter, gauge func(name, help string, v int6
 	counter("nocap_jobs_failed_total", "jobs terminally failed", m.Failed)
 	counter("nocap_jobs_cancelled_total", "jobs cancelled", m.Cancelled)
 	counter("nocap_jobs_retries_total", "attempt retries scheduled", m.Retries)
+	counter("nocap_jobs_lease_reassigns_total", "attempts refunded after a worker lease expired (node death)", m.LeaseReassigns)
 	counter("nocap_jobs_recovered_total", "jobs re-enqueued by crash recovery", m.RecoveredJobs)
 	counter("nocap_jobs_torn_records_total", "torn journal records dropped at recovery", m.TornRecords)
 	counter("nocap_jobs_journal_append_errors_total", "journal append failures", m.JournalAppendErrors)

@@ -33,6 +33,7 @@ type metrics struct {
 	jobSubmits          atomic.Int64
 	jobShedBreaker      atomic.Int64
 	jobShedDegraded     atomic.Int64
+	jobShedNoWorkers    atomic.Int64
 	jobCancels          atomic.Int64
 }
 
@@ -104,8 +105,10 @@ func (s *Server) renderMetrics() string {
 	counter("nocap_job_submits_total", "POST /jobs requests received", m.jobSubmits.Load())
 	counter("nocap_job_shed_breaker_total", "job submissions shed while the breaker was open", m.jobShedBreaker.Load())
 	counter("nocap_job_shed_degraded_total", "job submissions shed while durable storage was degraded", m.jobShedDegraded.Load())
+	counter("nocap_job_shed_no_workers_total", "job submissions shed because no live worker node existed", m.jobShedNoWorkers.Load())
 	counter("nocap_job_cancels_total", "jobs cancelled via DELETE /jobs", m.jobCancels.Load())
 	s.renderJobsMetrics(counter, gauge)
+	s.renderClusterMetrics(counter, gauge)
 
 	gauge("nocap_queue_depth", "requests admitted and waiting for a worker", int64(s.sched.Len()))
 	gauge("nocap_queue_capacity", "admission queue bound", int64(s.sched.Capacity()))

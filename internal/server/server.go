@@ -52,6 +52,7 @@ import (
 	"time"
 
 	"nocap"
+	"nocap/internal/cluster"
 	"nocap/internal/hashfn"
 	"nocap/internal/jobs"
 	"nocap/internal/proofcache"
@@ -133,6 +134,28 @@ type Config struct {
 	// JobBatchMax caps the batch size (zero takes the jobs default, 8).
 	JobBatchWindow time.Duration
 	JobBatchMax    int
+
+	// ClusterEnabled turns the server into a cluster coordinator
+	// (DESIGN.md §16): async job attempts dispatch to worker nodes over
+	// the /cluster/* endpoints instead of proving in-process. Requires
+	// DataDir.
+	ClusterEnabled bool
+	// ClusterKey, when set, is required as X-Cluster-Key on every
+	// worker RPC.
+	ClusterKey string
+	// ClusterLeaseTTL is the assignment lease TTL (default 3s);
+	// ClusterDeadAfter marks silent nodes dead (default 3×TTL);
+	// ClusterProbeBase shapes the jittered dead-node re-admission delay
+	// (default 5s).
+	ClusterLeaseTTL  time.Duration
+	ClusterDeadAfter time.Duration
+	ClusterProbeBase time.Duration
+	// ClusterLocalFallback lets the coordinator prove in-process when
+	// zero live workers exist; false sheds new jobs with a typed 503
+	// {"code":"no_workers"} instead.
+	ClusterLocalFallback bool
+	// ClusterSeed seeds lease/probe jitter for deterministic tests.
+	ClusterSeed int64
 }
 
 // Normalize fills zero fields with defaults.
@@ -236,6 +259,7 @@ type Server struct {
 	reg      *tenant.Registry
 	sched    *tenant.Scheduler
 	cache    *proofcache.Cache
+	coord    *cluster.Coordinator
 	drainEst drainEstimator
 	draining atomic.Bool
 	inflight atomic.Int64
@@ -304,6 +328,12 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.ClusterEnabled {
+		if err := s.openCluster(); err != nil {
+			s.cancelBase()
+			return nil, err
+		}
+	}
 	s.http = &http.Server{
 		Addr:    cfg.Addr,
 		Handler: s.mux,
@@ -313,6 +343,14 @@ func New(cfg Config) (*Server, error) {
 			return s.baseCtx
 		},
 		ReadHeaderTimeout: 10 * time.Second,
+	}
+	if cfg.ClusterEnabled {
+		// Workers speak unencrypted HTTP/2 (h2c) for multiplexed
+		// long-polls and completions; HTTP/1.1 clients keep working.
+		protos := new(http.Protocols)
+		protos.SetHTTP1(true)
+		protos.SetUnencryptedHTTP2(true)
+		s.http.Protocols = protos
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.workerWG.Add(1)
@@ -375,6 +413,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	if mgr, _ := s.jobsManager(); mgr != nil {
 		_ = mgr.Close(ctx)
+	}
+	// Stop the coordinator after the manager (its Exec callers are gone)
+	// and before the HTTP drain so parked worker long-polls wake up.
+	if s.coord != nil {
+		s.coord.Close()
 	}
 	err := s.http.Shutdown(ctx)
 	if err != nil {
@@ -952,14 +995,31 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		status = "draining"
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         status,
 		"draining":       s.draining.Load(),
 		"workers":        s.cfg.Workers,
 		"queue_depth":    s.sched.Len(),
 		"queue_capacity": s.sched.Capacity(),
 		"inflight":       s.inflight.Load(),
-	})
+	}
+	if s.coord != nil {
+		cm := s.coord.Metrics()
+		live := 0
+		for _, n := range cm.Nodes {
+			if n.State != "dead" {
+				live++
+			}
+		}
+		body["cluster"] = map[string]any{
+			"nodes":          len(cm.Nodes),
+			"live_nodes":     live,
+			"live_leases":    cm.LiveLeases,
+			"queued_units":   cm.QueuedUnits,
+			"local_fallback": s.cfg.ClusterLocalFallback,
+		}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
